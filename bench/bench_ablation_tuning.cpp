@@ -1,0 +1,147 @@
+// Ablations for the design knobs Table 1 varies (and §3 discusses):
+//   1. initial congestion window sweep (10/16/32/64), with and without pacing
+//   2. handshake round trips: TCP+TLS (2-RTT) vs gQUIC (1-RTT) vs 0-RTT
+//   3. QUIC's ACK-range budget: 3 ranges (TCP's SACK limit) vs 256
+//   4. transport head-of-line blocking: H2-over-TCP vs QUIC streams under loss
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "net/profile.hpp"
+#include "web/website.hpp"
+
+namespace qperc {
+namespace {
+
+double mean_si(const web::Website& site, const core::ProtocolConfig& protocol,
+               const net::NetworkProfile& profile, std::uint32_t runs) {
+  double sum = 0.0;
+  for (std::uint32_t seed = 1; seed <= runs; ++seed) {
+    sum += core::run_trial(site, protocol, profile, seed * 7919).metrics.si_ms();
+  }
+  return sum / runs;
+}
+
+}  // namespace
+}  // namespace qperc
+
+int main() {
+  using namespace qperc;
+  bench::banner("Ablations: IW / pacing / handshake RTTs / ACK ranges / HOL blocking",
+                "Design-choice experiments behind Table 1's parameterization.");
+  const auto catalog = web::study_catalog(bench::master_seed());
+  const std::uint32_t runs = std::max<std::uint32_t>(bench::runs_per_condition() / 3, 5);
+  const web::Website* gov = nullptr;
+  const web::Website* big = nullptr;
+  for (const auto& site : catalog) {
+    if (site.name == "gov.uk") gov = &site;
+    if (site.name == "github.com") big = &site;
+  }
+
+  // 1. IW x pacing sweep.
+  std::cout << "1) Initial-window sweep, TCP Cubic, mean SI in ms (" << gov->name << ", "
+            << runs << " runs):\n";
+  TextTable iw_table({"IW", "DSL unpaced", "DSL paced", "DA2GC unpaced", "DA2GC paced"});
+  for (const std::uint32_t iw : {10u, 16u, 32u, 64u}) {
+    core::ProtocolConfig protocol = core::protocol_by_name("TCP+");
+    protocol.initial_window_segments = iw;
+    protocol.pacing = false;
+    const double dsl_unpaced = mean_si(*gov, protocol, net::dsl_profile(), runs);
+    const double da2gc_unpaced = mean_si(*gov, protocol, net::da2gc_profile(), runs);
+    protocol.pacing = true;
+    const double dsl_paced = mean_si(*gov, protocol, net::dsl_profile(), runs);
+    const double da2gc_paced = mean_si(*gov, protocol, net::da2gc_profile(), runs);
+    iw_table.add_row({std::to_string(iw), fmt_fixed(dsl_unpaced, 0),
+                      fmt_fixed(dsl_paced, 0), fmt_fixed(da2gc_unpaced, 0),
+                      fmt_fixed(da2gc_paced, 0)});
+  }
+  iw_table.print(std::cout);
+  std::cout << "Expected: larger IW helps on DSL; on DA2GC the IW32/64 burst backfires\n"
+               "(the §4.3 early-loss effect); pacing softens the damage.\n\n";
+
+  // 2. Handshake round trips.
+  std::cout << "2) Handshake cost (gov.uk, LTE, mean SI in ms):\n";
+  TextTable hs_table({"Stack", "RTTs to request", "mean SI"});
+  core::ProtocolConfig tcp_plus = core::protocol_by_name("TCP+");
+  core::ProtocolConfig quic = core::protocol_by_name("QUIC");
+  core::ProtocolConfig quic0 = quic;
+  quic0.name = "QUIC 0-RTT";
+  quic0.zero_rtt = true;
+  hs_table.add_row({"TCP+TLS+H2 (TCP+)", "2",
+                    fmt_fixed(mean_si(*gov, tcp_plus, net::lte_profile(), runs), 0)});
+  hs_table.add_row({"gQUIC (fresh cache)", "1",
+                    fmt_fixed(mean_si(*gov, quic, net::lte_profile(), runs), 0)});
+  hs_table.add_row({"gQUIC (cached config)", "0",
+                    fmt_fixed(mean_si(*gov, quic0, net::lte_profile(), runs), 0)});
+  hs_table.print(std::cout);
+  std::cout << "Expected: each saved round trip shaves roughly one 74 ms RTT per\n"
+               "contacted origin off the visual metrics (§3: the 1-RTT advantage is\n"
+               "the primary factor in non-lossy environments).\n\n";
+
+  // 3. ACK-range budget.
+  std::cout << "3) QUIC ACK-range budget on the lossy networks (mean SI in ms, "
+            << big->name << "):\n";
+  TextTable ack_table({"max ACK ranges", "DA2GC", "MSS"});
+  for (const std::uint32_t ranges : {3u, 8u, 256u}) {
+    core::ProtocolConfig protocol = core::protocol_by_name("QUIC");
+    protocol.quic_max_ack_ranges = ranges;
+    ack_table.add_row({std::to_string(ranges),
+                       fmt_fixed(mean_si(*big, protocol, net::da2gc_profile(), runs), 0),
+                       fmt_fixed(mean_si(*big, protocol, net::mss_profile(), runs), 0)});
+  }
+  ack_table.print(std::cout);
+  std::cout << "Reading: the per-ACK range budget alone moves SI only slightly here —\n"
+               "QUIC acks frequently, so successive ACKs cover the hole map even with\n"
+               "3 ranges. The HOL experiment below shows the larger share of §4.3's\n"
+               "'QUIC copes better' effect comes from independent streams.\n\n";
+
+  // 4. Transport head-of-line blocking.
+  std::cout << "4) HOL blocking: H2-over-TCP vs QUIC streams (single-origin site,\n"
+               "   DA2GC, mean SI / VC85 in ms, same IW/pacing/CC):\n";
+  const web::Website* single_origin = nullptr;
+  for (const auto& site : catalog) {
+    if (site.name == "archive.org") single_origin = &site;
+  }
+  TextTable hol_table({"Stack", "mean SI", "mean VC85"});
+  const auto mean_vc85 = [&](const core::ProtocolConfig& protocol) {
+    double sum = 0.0;
+    for (std::uint32_t seed = 1; seed <= runs; ++seed) {
+      sum += core::run_trial(*single_origin, protocol, net::da2gc_profile(), seed * 104729)
+                 .metrics.vc85_ms();
+    }
+    return sum / runs;
+  };
+  hol_table.add_row(
+      {"TCP+ (one byte stream)",
+       fmt_fixed(mean_si(*single_origin, tcp_plus, net::da2gc_profile(), runs), 0),
+       fmt_fixed(mean_vc85(tcp_plus), 0)});
+  hol_table.add_row(
+      {"QUIC (independent streams)",
+       fmt_fixed(mean_si(*single_origin, quic, net::da2gc_profile(), runs), 0),
+       fmt_fixed(mean_vc85(quic), 0)});
+  hol_table.print(std::cout);
+  std::cout << "Expected: with one origin the handshake advantage is a single RTT, so\n"
+               "most of QUIC's remaining edge comes from loss-isolated streams letting\n"
+               "objects render independently.\n\n";
+
+  // 5. The related-work baseline: HTTP/1.1 (6 connections, no multiplexing)
+  //    — what most prior studies compared QUIC against (§2).
+  std::cout << "5) HTTP version baseline (mean SI in ms, " << gov->name << "):\n";
+  TextTable http_table({"Stack", "DSL", "LTE"});
+  const auto h1 = core::http1_baseline_protocol();
+  const auto& h2 = core::protocol_by_name("TCP");
+  http_table.add_row({"TCP+TLS+HTTP/1.1 (6 conns)",
+                      fmt_fixed(mean_si(*gov, h1, net::dsl_profile(), runs), 0),
+                      fmt_fixed(mean_si(*gov, h1, net::lte_profile(), runs), 0)});
+  http_table.add_row({"TCP+TLS+HTTP/2 (stock TCP)",
+                      fmt_fixed(mean_si(*gov, h2, net::dsl_profile(), runs), 0),
+                      fmt_fixed(mean_si(*gov, h2, net::lte_profile(), runs), 0)});
+  http_table.add_row({"gQUIC",
+                      fmt_fixed(mean_si(*gov, quic, net::dsl_profile(), runs), 0),
+                      fmt_fixed(mean_si(*gov, quic, net::lte_profile(), runs), 0)});
+  http_table.print(std::cout);
+  std::cout << "Reading: against the HTTP/1.1 baseline the QUIC gap is largest — the\n"
+               "comparison the paper criticizes as not being at eye level (§1).\n";
+  return 0;
+}

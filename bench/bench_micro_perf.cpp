@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark): raw performance of the simulation
+// substrate — event scheduling, congestion-controller updates, RNG, link
+// emulation, metric computation, and a full page-load trial per stack.
+#include <benchmark/benchmark.h>
+
+#include "browser/metrics.hpp"
+#include "cc/bbr.hpp"
+#include "cc/cubic.hpp"
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "net/link.hpp"
+#include "net/profile.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+#include "util/rng.hpp"
+#include "web/website.hpp"
+
+namespace qperc {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_in(microseconds(i), [&counter] { ++counter; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_CubicOnAck(benchmark::State& state) {
+  cc::Cubic cubic(cc::CubicConfig{.initial_window_segments = 32});
+  cc::AckSample sample;
+  sample.bytes_acked = 1460;
+  sample.rtt = milliseconds(50);
+  sample.smoothed_rtt = milliseconds(50);
+  SimTime now{0};
+  for (auto _ : state) {
+    now += microseconds(100);
+    cubic.on_ack(now, sample);
+    benchmark::DoNotOptimize(cubic.congestion_window());
+  }
+}
+BENCHMARK(BM_CubicOnAck);
+
+void BM_BbrOnAck(benchmark::State& state) {
+  cc::Bbr bbr(cc::BbrConfig{});
+  cc::AckSample sample;
+  sample.bytes_acked = 1460;
+  sample.rtt = milliseconds(50);
+  sample.smoothed_rtt = milliseconds(50);
+  sample.delivery_rate = DataRate::megabits_per_second(10.0);
+  sample.bytes_in_flight = 64'000;
+  SimTime now{0};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    now += microseconds(100);
+    sample.round_trip_ended = (++i % 50) == 0;
+    bbr.on_ack(now, sample);
+    benchmark::DoNotOptimize(bbr.congestion_window());
+  }
+}
+BENCHMARK(BM_BbrOnAck);
+
+void BM_LinkSaturated(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t delivered = 0;
+    net::Link link(simulator, DataRate::megabits_per_second(100.0), milliseconds(1), 0.0,
+                   1'000'000, Rng(1), [&](net::Packet) { ++delivered; });
+    for (int i = 0; i < 500; ++i) {
+      net::Packet packet;
+      packet.wire_bytes = 1500;
+      link.send(packet);
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_LinkSaturated);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<double> x(1000);
+  std::vector<double> y(1000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(0, 1);
+    y[i] = x[i] * 0.5 + rng.normal(0, 1);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(stats::pearson(x, y));
+}
+BENCHMARK(BM_PearsonCorrelation);
+
+void BM_PageLoadTrial(benchmark::State& state) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[static_cast<std::size_t>(state.range(0))];
+  const auto& protocol =
+      core::paper_protocols()[static_cast<std::size_t>(state.range(1))];
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto result = core::run_trial(site, protocol, net::dsl_profile(), seed++);
+    benchmark::DoNotOptimize(result.metrics.plt_ms());
+  }
+  state.SetLabel(site.name + " / " + protocol.name);
+}
+// Site 6 = apache.org (small); site 4 = nytimes.com (large). Protocols 0=TCP, 3=QUIC.
+BENCHMARK(BM_PageLoadTrial)->Args({6, 0})->Args({6, 3})->Args({4, 0})->Args({4, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qperc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Table 2 — the emulated network configurations, validated: for each profile
+// we measure achieved bottleneck rate, base RTT, random loss, and the
+// queueing delay ceiling, and print them next to the configured values.
+#include <functional>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "net/emulated_network.hpp"
+#include "net/link.hpp"
+#include "net/profile.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace qperc {
+namespace {
+
+struct Measured {
+  double downlink_mbps = 0.0;
+  double uplink_mbps = 0.0;
+  double min_rtt_ms = 0.0;
+  double loss = 0.0;
+  double max_queue_ms = 0.0;
+};
+
+Measured measure(const net::NetworkProfile& profile) {
+  Measured out;
+
+  // Saturation test per direction: offer more than the link can carry for
+  // two (virtual) seconds and count delivered bytes.
+  const auto saturate = [&](DataRate rate, std::uint64_t queue_bytes) {
+    sim::Simulator simulator;
+    std::uint64_t delivered = 0;
+    net::Link link(simulator, rate, profile.min_rtt / 2, 0.0, queue_bytes, Rng(3),
+                   [&](net::Packet p) { delivered += p.wire_bytes; });
+    std::function<void()> refill = [&] {
+      while (link.queued_bytes() + net::kMtuBytes <= queue_bytes) {
+        net::Packet packet;
+        packet.wire_bytes = net::kMtuBytes;
+        link.send(packet);
+      }
+      if (simulator.now() < SimTime(seconds(3))) simulator.schedule_in(milliseconds(2), refill);
+    };
+    refill();
+    // Exclude the queue-fill warm-up: measure the steady second 1s..3s.
+    simulator.run_until(SimTime(seconds(1)));
+    const std::uint64_t at_warmup = delivered;
+    simulator.run_until(SimTime(seconds(3)));
+    return static_cast<double>(delivered - at_warmup) * 8.0 / 2.0 / 1e6;
+  };
+  out.downlink_mbps = saturate(profile.downlink, profile.downlink_queue_bytes());
+  out.uplink_mbps = saturate(profile.uplink, profile.uplink_queue_bytes());
+
+  // RTT probe: one small packet each way through an idle network.
+  {
+    sim::Simulator simulator;
+    net::EmulatedNetwork network(simulator, profile, Rng(4));
+    const net::FlowId flow = network.allocate_flow_id();
+    SimTime reply{kNoTime};
+    network.register_server_flow(flow, [&](net::Packet p) { network.server_send(p); });
+    network.register_client_flow(flow, [&](net::Packet) { reply = simulator.now(); });
+    // Loss may eat the probe; retry until it lands.
+    std::function<void()> send_probe = [&] {
+      if (reply != kNoTime) return;
+      net::Packet probe_packet;
+      probe_packet.flow = flow;
+      probe_packet.wire_bytes = 64;
+      const SimTime sent = simulator.now();
+      network.client_send(probe_packet);
+      simulator.schedule_in(seconds(5), send_probe);
+      (void)sent;
+    };
+    send_probe();
+    simulator.run_until(SimTime(seconds(30)));
+    out.min_rtt_ms = to_millis(reply);
+    // Subtract the serialization share of the 64-byte probe (negligible).
+  }
+
+  // Loss measurement: spaced packets (no queue drops), big sample.
+  {
+    sim::Simulator simulator;
+    net::EmulatedNetwork network(simulator, profile, Rng(5));
+    const net::FlowId flow = network.allocate_flow_id();
+    std::uint64_t received = 0;
+    network.register_server_flow(flow, [&](net::Packet) { ++received; });
+    constexpr std::uint64_t kProbes = 30'000;
+    for (std::uint64_t i = 0; i < kProbes; ++i) {
+      simulator.schedule_at(SimTime(milliseconds(i)), [&, flow] {
+        net::Packet packet;
+        packet.flow = flow;
+        packet.wire_bytes = 40;
+        network.client_send(packet);
+      });
+    }
+    simulator.run(std::uint64_t{500'000'000});
+    out.loss = 1.0 - static_cast<double>(received) / static_cast<double>(kProbes);
+  }
+
+  // Queue ceiling: capacity / rate (per the Mahimahi ms-sized droptail).
+  out.max_queue_ms = to_millis(
+      profile.downlink.transmission_time(profile.downlink_queue_bytes()));
+  return out;
+}
+
+}  // namespace
+}  // namespace qperc
+
+int main() {
+  using namespace qperc;
+  bench::banner("Table 2: network configurations",
+                "Paper: DSL / LTE / DA2GC / MSS access networks, §3.");
+
+  TextTable table({"Network", "Up (cfg)", "Up (meas)", "Down (cfg)", "Down (meas)",
+                   "minRTT (cfg)", "minRTT (meas)", "Loss (cfg)", "Loss (meas)",
+                   "Queue (cfg)", "Queue (meas)"});
+  for (const auto& profile : net::all_profiles()) {
+    const auto measured = measure(profile);
+    table.add_row({profile.name, fmt_fixed(profile.uplink.megabits(), 3) + " Mbps",
+                   fmt_fixed(measured.uplink_mbps, 3) + " Mbps",
+                   fmt_fixed(profile.downlink.megabits(), 3) + " Mbps",
+                   fmt_fixed(measured.downlink_mbps, 3) + " Mbps",
+                   fmt_ms(to_millis(profile.min_rtt)), fmt_ms(measured.min_rtt_ms, 1),
+                   fmt_percent(profile.loss_rate), fmt_percent(measured.loss),
+                   fmt_ms(to_millis(profile.queue_delay)),
+                   fmt_ms(measured.max_queue_ms, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: the measured one-way loss applies per direction; queue ceiling is\n"
+               "the downlink droptail capacity expressed in milliseconds at line rate.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared plumbing for the reproduction benches.
+//
+// Every bench honours three environment variables so the full-fidelity
+// reproduction (31 runs, 36 sites, paper cohort sizes) can be dialed down
+// for quick checks:
+//   QPERC_RUNS    trials per condition      (default 31, the paper's floor)
+//   QPERC_SITES   websites used             (default 36, all)
+//   QPERC_SEED    master seed               (default 7)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/video.hpp"
+#include "net/profile.hpp"
+#include "study/participant.hpp"
+#include "util/table.hpp"
+
+namespace qperc::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+inline std::uint64_t master_seed() { return env_u64("QPERC_SEED", 7); }
+inline std::uint32_t runs_per_condition() {
+  return static_cast<std::uint32_t>(env_u64("QPERC_RUNS", 31));
+}
+inline std::size_t site_budget() {
+  return static_cast<std::size_t>(env_u64("QPERC_SITES", 36));
+}
+
+/// The site names used by a bench, truncated to the QPERC_SITES budget
+/// (paper-named sites come first in the catalog and are kept).
+inline std::vector<std::string> bench_sites(const core::VideoLibrary& library) {
+  std::vector<std::string> names;
+  for (const auto& site : library.catalog()) {
+    if (names.size() >= site_budget()) break;
+    names.push_back(site.name);
+  }
+  return names;
+}
+
+inline std::vector<std::string> all_protocol_names() {
+  std::vector<std::string> names;
+  for (const auto& protocol : core::paper_protocols()) names.push_back(protocol.name);
+  return names;
+}
+
+inline std::vector<net::NetworkKind> all_network_kinds() {
+  std::vector<net::NetworkKind> kinds;
+  for (const auto& profile : net::all_profiles()) kinds.push_back(profile.kind);
+  return kinds;
+}
+
+inline void banner(const std::string& title, const std::string& paper_reference) {
+  std::cout << "============================================================\n"
+            << title << "\n"
+            << paper_reference << "\n"
+            << "seed=" << master_seed() << " runs/condition=" << runs_per_condition()
+            << " sites=" << site_budget() << "\n"
+            << "============================================================\n\n";
+}
+
+inline std::string context_label(study::Context context) {
+  return std::string(study::to_string(context));
+}
+
+inline std::string cache_path() {
+  const char* override_path = std::getenv("QPERC_CACHE");
+  if (override_path != nullptr && *override_path != '\0') return override_path;
+  return ".qperc_videos_seed" + std::to_string(master_seed()) + "_runs" +
+         std::to_string(runs_per_condition()) + ".cache";
+}
+
+/// A video library backed by the on-disk cache; `precompute_all` fills (and
+/// persists) everything the study benches need so the grid is simulated at
+/// most once per (seed, runs) pair across the whole bench suite.
+class CachedLibrary {
+ public:
+  CachedLibrary() : library_(master_seed(), runs_per_condition()) {
+    loaded_ = library_.load_cache(cache_path());
+  }
+
+  core::VideoLibrary& get() { return library_; }
+
+  void precompute(const std::vector<std::string>& sites,
+                  const std::vector<std::string>& protocols,
+                  const std::vector<net::NetworkKind>& networks) {
+    const std::size_t before = library_.cached_conditions();
+    library_.precompute(sites, protocols, networks);
+    if (library_.cached_conditions() != before) library_.save_cache(cache_path());
+  }
+
+  void precompute_all() {
+    precompute(bench_sites(library_), all_protocol_names(), all_network_kinds());
+  }
+
+  [[nodiscard]] bool loaded_from_disk() const { return loaded_; }
+
+ private:
+  core::VideoLibrary library_;
+  bool loaded_ = false;
+};
+
+}  // namespace qperc::bench

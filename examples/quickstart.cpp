@@ -1,0 +1,63 @@
+// Quickstart: load one website over the emulated DSL network with every
+// protocol stack of Table 1 and print the technical metrics.
+//
+//   ./quickstart [site] [network]
+//   e.g. ./quickstart wikipedia.org LTE
+#include <iostream>
+#include <string>
+
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "net/profile.hpp"
+#include "util/table.hpp"
+#include "web/website.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qperc;
+  const std::string site_name = argc > 1 ? argv[1] : "wikipedia.org";
+  const std::string network_name = argc > 2 ? argv[2] : "DSL";
+
+  // 1. Build the study catalog (36 synthetic sites, deterministic in the seed).
+  const auto catalog = web::study_catalog(7);
+  const web::Website* site = nullptr;
+  for (const auto& candidate : catalog) {
+    if (candidate.name == site_name) site = &candidate;
+  }
+  if (site == nullptr) {
+    std::cerr << "unknown site '" << site_name << "'; available sites:\n";
+    for (const auto& candidate : catalog) std::cerr << "  " << candidate.name << "\n";
+    return 1;
+  }
+
+  // 2. Pick the emulated access network (Table 2).
+  const net::NetworkProfile* profile = nullptr;
+  for (const auto& candidate : net::all_profiles()) {
+    if (candidate.name == network_name) profile = &candidate;
+  }
+  if (profile == nullptr) {
+    std::cerr << "unknown network '" << network_name << "' (DSL, LTE, DA2GC, MSS)\n";
+    return 1;
+  }
+
+  std::cout << "Loading " << site->name << " (" << site->object_count() << " objects, "
+            << site->total_bytes() / 1024 << " kB, " << site->contacted_origins()
+            << " origins) over " << profile->name << " ("
+            << profile->downlink.megabits() << " Mbps down, "
+            << to_millis(profile->min_rtt) << " ms RTT, "
+            << profile->loss_rate * 100 << "% loss)\n\n";
+
+  // 3. Run one trial per protocol configuration and print the visual metrics.
+  TextTable table({"Protocol", "FVC", "SI", "VC85", "LVC", "PLT", "retx", "conns"});
+  for (const auto& protocol : core::paper_protocols()) {
+    const auto result = core::run_trial(*site, protocol, *profile, /*seed=*/42);
+    table.add_row({protocol.name, fmt_ms(result.metrics.fvc_ms()),
+                   fmt_ms(result.metrics.si_ms()), fmt_ms(result.metrics.vc85_ms()),
+                   fmt_ms(result.metrics.lvc_ms()), fmt_ms(result.metrics.plt_ms()),
+                   std::to_string(result.transport.retransmissions),
+                   std::to_string(result.connections_opened)});
+  }
+  table.print(std::cout);
+  std::cout << "\nFVC = first visual change, SI = Speed Index, VC85 = 85% visually\n"
+               "complete, LVC = last visual change, PLT = page load time (onload).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Dumps a packet-level trace of a small page load — every enqueue, drop,
+// and delivery on the emulated access link — as CSV on stdout.
+//
+//   ./trace_flow [site] [protocol] [network] > trace.csv
+#include <iostream>
+
+#include "browser/page_loader.hpp"
+#include "core/protocol.hpp"
+#include "http/session.hpp"
+#include "net/packet_trace.hpp"
+#include "net/profile.hpp"
+#include "util/rng.hpp"
+#include "web/website.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qperc;
+  const std::string site_name = argc > 1 ? argv[1] : "apache.org";
+  const std::string protocol_name = argc > 2 ? argv[2] : "QUIC";
+  const std::string network_name = argc > 3 ? argv[3] : "LTE";
+
+  const auto catalog = web::study_catalog(7);
+  const web::Website* site = nullptr;
+  for (const auto& candidate : catalog) {
+    if (candidate.name == site_name) site = &candidate;
+  }
+  if (site == nullptr) {
+    std::cerr << "unknown site\n";
+    return 1;
+  }
+  const net::NetworkProfile* profile = &net::all_profiles()[1];
+  for (const auto& candidate : net::all_profiles()) {
+    if (candidate.name == network_name) profile = &candidate;
+  }
+  const auto& protocol = core::protocol_by_name(protocol_name);
+
+  sim::Simulator simulator;
+  Rng rng(42);
+  net::EmulatedNetwork network(simulator, *profile, rng.fork("network"));
+  net::PacketTrace trace(simulator, network);
+
+  browser::PageLoader::SessionFactory factory;
+  if (protocol.transport == core::Transport::kQuic) {
+    const auto config = protocol.quic_config();
+    factory = [&, config](net::ServerId origin) {
+      return http::make_quic_session(simulator, network, origin, config);
+    };
+  } else {
+    const auto config = protocol.tcp_config();
+    factory = [&, config](net::ServerId origin) {
+      return http::make_h2_session(simulator, network, origin, config);
+    };
+  }
+  const auto result =
+      browser::load_page(simulator, *site, std::move(factory), rng.fork("browser"));
+
+  trace.print_csv(std::cout);
+  std::cerr << site->name << " / " << protocol.name << " / " << profile->name
+            << ": PLT " << result.metrics.plt_ms() << " ms, " << trace.records().size()
+            << " packet events, "
+            << trace.count(net::Direction::kDownlink, net::LinkEvent::kDroppedQueueFull) +
+                   trace.count(net::Direction::kDownlink, net::LinkEvent::kDroppedRandomLoss)
+            << " downlink drops\n";
+  return 0;
+}

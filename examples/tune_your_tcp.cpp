@@ -1,0 +1,70 @@
+// "Bring TCP up to speed": starts from stock Linux TCP and applies the
+// paper's TCP+ tuning knobs one at a time (IW32, pacing, BDP buffers, no
+// slow-start-after-idle), showing what each buys on a chosen network — and
+// what the full tuning still cannot buy versus QUIC's 1-RTT handshake.
+#include <iostream>
+
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "net/profile.hpp"
+#include "util/table.hpp"
+#include "web/website.hpp"
+
+namespace {
+
+double mean_si(const qperc::web::Website& site, const qperc::core::ProtocolConfig& p,
+               const qperc::net::NetworkProfile& profile) {
+  double sum = 0.0;
+  constexpr int kRuns = 15;
+  for (int seed = 1; seed <= kRuns; ++seed) {
+    sum += qperc::core::run_trial(site, p, profile, static_cast<std::uint64_t>(seed) * 31)
+               .metrics.si_ms();
+  }
+  return sum / kRuns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qperc;
+  const std::string network_name = argc > 1 ? argv[1] : "LTE";
+  const net::NetworkProfile* profile = &net::all_profiles()[1];  // LTE
+  for (const auto& candidate : net::all_profiles()) {
+    if (candidate.name == network_name) profile = &candidate;
+  }
+
+  const auto catalog = web::study_catalog(7);
+  const auto& site = *std::find_if(catalog.begin(), catalog.end(),
+                                   [](const auto& s) { return s.name == "gov.uk"; });
+
+  std::cout << "Tuning TCP step by step on " << profile->name << " (site: " << site.name
+            << ", mean SI over 15 seeds)\n\n";
+
+  core::ProtocolConfig config = core::protocol_by_name("TCP");
+  TextTable table({"Step", "IW", "Pacing", "Buffers", "SS-idle", "mean SI"});
+  const auto add = [&](const std::string& label) {
+    table.add_row({label, std::to_string(config.initial_window_segments),
+                   config.pacing ? "on" : "off",
+                   config.tuned_buffers ? "2xBDP" : "autotune",
+                   config.slow_start_after_idle ? "yes" : "no",
+                   fmt_ms(mean_si(site, config, *profile))});
+  };
+
+  add("stock Linux TCP");
+  config.initial_window_segments = 32;
+  add("+ IW32 (gQUIC's default)");
+  config.pacing = true;
+  add("+ sch_fq pacing");
+  config.tuned_buffers = true;
+  add("+ BDP-sized buffers");
+  config.slow_start_after_idle = false;
+  add("+ no slow-start-after-idle  (= TCP+)");
+  table.print(std::cout);
+
+  const double tcp_plus = mean_si(site, config, *profile);
+  const double quic = mean_si(site, core::protocol_by_name("QUIC"), *profile);
+  std::cout << "\nFully tuned TCP+ reaches " << fmt_ms(tcp_plus) << "; gQUIC still loads at "
+            << fmt_ms(quic) << ".\nThe rest is the handshake: TCP+TLS needs two round\n"
+            << "trips per origin before the request, gQUIC one (§3).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "browser/metrics.hpp"
+
+#include <algorithm>
+
+namespace qperc::browser {
+
+const char* metric_name(std::size_t index) {
+  switch (index) {
+    case 0: return "FVC";
+    case 1: return "SI";
+    case 2: return "VC85";
+    case 3: return "LVC";
+    case 4: return "PLT";
+    default: return "?";
+  }
+}
+
+double PageMetrics::metric_ms(std::size_t index) const {
+  switch (index) {
+    case 0: return fvc_ms();
+    case 1: return si_ms();
+    case 2: return vc85_ms();
+    case 3: return lvc_ms();
+    case 4: return plt_ms();
+    default: return 0.0;
+  }
+}
+
+PageMetrics compute_metrics(const std::vector<VcSample>& curve,
+                            SimDuration page_load_time, bool finished) {
+  PageMetrics metrics;
+  metrics.page_load_time = page_load_time;
+  metrics.finished = finished;
+  if (curve.empty()) {
+    metrics.first_visual_change = page_load_time;
+    metrics.last_visual_change = page_load_time;
+    metrics.visual_complete_85 = page_load_time;
+    metrics.speed_index = page_load_time;
+    return metrics;
+  }
+
+  metrics.first_visual_change = curve.front().time;
+  metrics.last_visual_change = curve.back().time;
+
+  // VC85: first sample reaching 85% completeness.
+  metrics.visual_complete_85 = metrics.last_visual_change;
+  for (const auto& sample : curve) {
+    if (sample.completeness >= 0.85) {
+      metrics.visual_complete_85 = sample.time;
+      break;
+    }
+  }
+
+  // Speed Index: area above the step curve up to the last visual change.
+  double area_seconds = to_seconds(curve.front().time);  // VC==0 until FVC
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const SimTime segment_end = i + 1 < curve.size() ? curve[i + 1].time : curve[i].time;
+    const double dt = to_seconds(segment_end - curve[i].time);
+    area_seconds += (1.0 - std::min(curve[i].completeness, 1.0)) * dt;
+  }
+  metrics.speed_index = from_seconds(area_seconds);
+  return metrics;
+}
+
+}  // namespace qperc::browser

@@ -1,0 +1,45 @@
+// Visual-progress curve and the paper's five technical metrics:
+// FVC, LVC, PLT, SI (Speed Index), VC85 (§3 "Producing Videos").
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace qperc::browser {
+
+/// One step of the visual-completeness curve: at `time`, completeness jumps
+/// to `completeness` (a fraction in [0, 1]).
+struct VcSample {
+  SimTime time{0};
+  double completeness = 0.0;
+};
+
+struct PageMetrics {
+  SimDuration first_visual_change{0};
+  SimDuration last_visual_change{0};
+  SimDuration page_load_time{0};
+  SimDuration visual_complete_85{0};
+  /// Speed Index: integral of (1 - VC(t)) dt, in the same time unit.
+  SimDuration speed_index{0};
+  bool finished = false;
+
+  [[nodiscard]] double fvc_ms() const { return to_millis(first_visual_change); }
+  [[nodiscard]] double lvc_ms() const { return to_millis(last_visual_change); }
+  [[nodiscard]] double plt_ms() const { return to_millis(page_load_time); }
+  [[nodiscard]] double vc85_ms() const { return to_millis(visual_complete_85); }
+  [[nodiscard]] double si_ms() const { return to_millis(speed_index); }
+  [[nodiscard]] double metric_ms(std::size_t index) const;
+};
+
+/// Metric order used throughout reporting (matches Figure 6's rows).
+inline constexpr std::size_t kMetricCount = 5;
+[[nodiscard]] const char* metric_name(std::size_t index);
+
+/// Computes metrics from a step curve. `page_load_time` is supplied by the
+/// loader (all objects fetched); the curve must be sorted by time with
+/// nondecreasing completeness.
+[[nodiscard]] PageMetrics compute_metrics(const std::vector<VcSample>& curve,
+                                          SimDuration page_load_time, bool finished);
+
+}  // namespace qperc::browser

@@ -1,0 +1,198 @@
+#include "browser/page_loader.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace qperc::browser {
+namespace {
+
+/// Priority classes mirror Chromium's resource scheduler: document and
+/// blocking CSS first, scripts/fonts next, images last.
+std::uint8_t request_priority(const web::WebObject& object) {
+  return object.priority;
+}
+
+}  // namespace
+
+PageLoader::PageLoader(sim::Simulator& simulator, const web::Website& site,
+                       SessionFactory session_factory, Rng rng)
+    : simulator_(simulator),
+      site_(site),
+      session_factory_(std::move(session_factory)),
+      rng_(rng) {
+  states_.resize(site.objects.size());
+  children_.resize(site.objects.size());
+  for (const auto& object : site.objects) {
+    if (object.parent < 0) {
+      roots_.push_back(object.id);
+    } else {
+      children_[static_cast<std::size_t>(object.parent)].push_back(object.id);
+    }
+  }
+}
+
+void PageLoader::start() {
+  for (const std::uint32_t id : roots_) request_object(id);
+}
+
+void PageLoader::open_connection(std::uint32_t origin) {
+  ++connecting_;
+  auto session = session_factory_(net::ServerId{origin});
+  session->set_on_established([this] { on_connection_established(); });
+  session->start();
+  auto [it, inserted] = sessions_.emplace(origin, std::move(session));
+  // Flush objects that queued up while the pool slot was pending.
+  if (const auto queued = queued_objects_.find(origin); queued != queued_objects_.end()) {
+    for (const std::uint32_t id : queued->second) submit_to_session(*it->second, id);
+    queued_objects_.erase(queued);
+  }
+}
+
+void PageLoader::on_connection_established() {
+  if (connecting_ > 0) --connecting_;
+  while (connecting_ < kMaxConcurrentConnecting && !waiting_origins_.empty()) {
+    const std::uint32_t origin = waiting_origins_.front();
+    waiting_origins_.erase(waiting_origins_.begin());
+    open_connection(origin);
+  }
+}
+
+void PageLoader::dispatch(std::uint32_t id) {
+  const std::uint32_t origin = site_.objects[id].origin;
+  if (const auto it = sessions_.find(origin); it != sessions_.end()) {
+    submit_to_session(*it->second, id);
+    return;
+  }
+  // No session yet: queue the object; the first object for an origin also
+  // claims a connection-pool slot (or joins the wait list).
+  const bool origin_pending = queued_objects_.contains(origin);
+  queued_objects_[origin].push_back(id);
+  if (origin_pending) return;
+  if (connecting_ < kMaxConcurrentConnecting) {
+    open_connection(origin);  // flushes this origin's queue
+  } else {
+    waiting_origins_.push_back(origin);
+  }
+}
+
+void PageLoader::submit_to_session(http::Session& session, std::uint32_t id) {
+  const web::WebObject& object = site_.objects[id];
+  http::Request request;
+  request.object_id = id;
+  request.request_bytes = 380;
+  request.response_header_bytes = 140;
+  request.response_body_bytes = object.bytes;
+  request.priority = request_priority(object);
+  // Real origin servers answer with a spread of first-byte latencies; the
+  // jitter also desynchronizes multi-origin response bursts.
+  request.server_think_time =
+      from_seconds(0.001 + std::min(rng_.exponential(0.006), 0.040));
+  session.submit(request, [this](std::uint32_t oid, std::uint64_t body, bool complete) {
+    on_progress(oid, body, complete);
+  });
+}
+
+void PageLoader::request_object(std::uint32_t id) {
+  ObjectState& state = states_[id];
+  if (state.requested) return;
+  state.requested = true;
+  dispatch(id);
+}
+
+void PageLoader::on_progress(std::uint32_t id, std::uint64_t body_bytes, bool complete) {
+  ObjectState& state = states_[id];
+  state.body_delivered = std::max(state.body_delivered, body_bytes);
+  check_discoveries(id);
+  if (complete && !state.complete) on_object_complete(id);
+}
+
+void PageLoader::check_discoveries(std::uint32_t parent_id) {
+  const ObjectState& parent_state = states_[parent_id];
+  const web::WebObject& parent = site_.objects[parent_id];
+  for (const std::uint32_t child_id : children_[parent_id]) {
+    if (states_[child_id].requested) continue;
+    const web::WebObject& child = site_.objects[child_id];
+    const auto threshold = static_cast<std::uint64_t>(
+        child.discovery_fraction * static_cast<double>(parent.bytes));
+    if (parent_state.body_delivered >= threshold ||
+        (parent_state.complete && parent_state.body_delivered >= parent.bytes)) {
+      states_[child_id].requested = true;  // claim now; submit after parse delay
+      simulator_.schedule_in(child.parse_delay, [this, child_id] {
+        states_[child_id].requested = false;
+        request_object(child_id);
+      });
+    }
+  }
+}
+
+void PageLoader::on_object_complete(std::uint32_t id) {
+  ObjectState& state = states_[id];
+  state.complete = true;
+  state.complete_at = simulator_.now();
+  ++completed_objects_;
+  page_load_end_ = std::max(page_load_end_, state.complete_at);
+  check_discoveries(id);
+}
+
+PageLoadResult PageLoader::result() const {
+  PageLoadResult result;
+  result.connections_opened = static_cast<std::uint32_t>(sessions_.size());
+  result.object_complete_at.assign(site_.objects.size(), kNoTime);
+
+  // First paint: the document plus every render-blocking resource.
+  SimTime first_paint{0};
+  bool paintable = true;
+  for (const auto& object : site_.objects) {
+    const ObjectState& state = states_[object.id];
+    if (state.complete) result.object_complete_at[object.id] = state.complete_at;
+    if (object.render_blocking || object.type == web::ObjectType::kHtml) {
+      if (!state.complete) {
+        paintable = false;
+      } else {
+        first_paint = std::max(first_paint, state.complete_at);
+      }
+    }
+  }
+
+  // Render events: weights realize at completion, but never before first paint.
+  std::map<SimTime, double> weight_at;
+  double total_weight = 0.0;
+  for (const auto& object : site_.objects) {
+    total_weight += object.render_weight;
+    const ObjectState& state = states_[object.id];
+    if (!state.complete || object.render_weight <= 0.0) continue;
+    if (!paintable) continue;  // nothing rendered yet at all
+    const SimTime effective = std::max(state.complete_at, first_paint);
+    weight_at[effective] += object.render_weight;
+  }
+
+  double cumulative = 0.0;
+  for (const auto& [time, weight] : weight_at) {
+    cumulative += weight;
+    result.vc_curve.push_back(
+        VcSample{time, total_weight > 0.0 ? cumulative / total_weight : 1.0});
+  }
+
+  const bool done = completed_objects_ == site_.objects.size();
+  result.metrics = compute_metrics(result.vc_curve,
+                                   done ? SimDuration{page_load_end_}
+                                        : SimDuration{simulator_.now()},
+                                   done);
+  for (const auto& [origin, session] : sessions_) result.transport += session->stats();
+  return result;
+}
+
+PageLoadResult load_page(sim::Simulator& simulator, const web::Website& site,
+                         PageLoader::SessionFactory factory, Rng rng,
+                         SimDuration time_cap) {
+  PageLoader loader(simulator, site, std::move(factory), rng);
+  loader.start();
+  const SimTime deadline = simulator.now() + time_cap;
+  while (!loader.finished() && simulator.now() < deadline) {
+    const SimTime next = std::min(deadline, simulator.now() + milliseconds(200));
+    simulator.run_until(next);
+  }
+  return loader.result();
+}
+
+}  // namespace qperc::browser

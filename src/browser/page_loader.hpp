@@ -1,0 +1,101 @@
+// Browser page-load engine: dependency-driven discovery, one HTTP session
+// per origin, priority assignment, and the render model producing the
+// visual-completeness curve (the paper's "video" of the loading process).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "browser/metrics.hpp"
+#include "http/session.hpp"
+#include "net/emulated_network.hpp"
+#include "net/transport_stats.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "web/website.hpp"
+
+namespace qperc::browser {
+
+struct PageLoadResult {
+  PageMetrics metrics;
+  std::vector<VcSample> vc_curve;
+  net::TransportStats transport;
+  /// Completion time per object id (kNoTime when unfinished).
+  std::vector<SimTime> object_complete_at;
+  std::uint32_t connections_opened = 0;
+};
+
+class PageLoader {
+ public:
+  /// Creates one HTTP session (H2-over-TCP or gQUIC) for an origin.
+  using SessionFactory =
+      std::function<std::unique_ptr<http::Session>(net::ServerId origin)>;
+
+  /// `rng` drives small behavioural jitter (per-request server think time);
+  /// page loads are deterministic in (site, factory config, rng seed).
+  PageLoader(sim::Simulator& simulator, const web::Website& site,
+             SessionFactory session_factory, Rng rng = Rng(0));
+  PageLoader(const PageLoader&) = delete;
+  PageLoader& operator=(const PageLoader&) = delete;
+
+  /// Kicks off the root document fetch.
+  void start();
+  [[nodiscard]] bool finished() const noexcept {
+    return completed_objects_ == site_.objects.size();
+  }
+  /// Collects the result; valid any time (finished flag reflects progress).
+  [[nodiscard]] PageLoadResult result() const;
+
+ private:
+  struct ObjectState {
+    bool requested = false;
+    bool complete = false;
+    std::uint64_t body_delivered = 0;
+    SimTime complete_at{0};
+  };
+
+  void request_object(std::uint32_t id);
+  void on_progress(std::uint32_t id, std::uint64_t body_bytes, bool complete);
+  void check_discoveries(std::uint32_t parent_id);
+  void on_object_complete(std::uint32_t id);
+  void submit_to_session(http::Session& session, std::uint32_t id);
+  /// Dispatches the request for `id`: submits on an existing session, or
+  /// queues it while the browser's connection pool is saturated.
+  void dispatch(std::uint32_t id);
+  void open_connection(std::uint32_t origin);
+  void on_connection_established();
+
+  /// Chromium-style cap on sockets being connected concurrently; keeps the
+  /// browser from slamming dozens of handshakes into the uplink in the same
+  /// millisecond.
+  static constexpr std::size_t kMaxConcurrentConnecting = 8;
+
+  sim::Simulator& simulator_;
+  const web::Website& site_;
+  SessionFactory session_factory_;
+  Rng rng_;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<http::Session>> sessions_;
+  std::size_t connecting_ = 0;
+  /// Origins waiting for a connection-pool slot, FIFO; per-origin object
+  /// queues waiting for their session to exist.
+  std::vector<std::uint32_t> waiting_origins_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> queued_objects_;
+  std::vector<ObjectState> states_;
+  /// children_by_parent_[p] lists object ids discovered while p loads.
+  std::vector<std::vector<std::uint32_t>> children_;
+  std::vector<std::uint32_t> roots_;
+  std::size_t completed_objects_ = 0;
+  SimTime page_load_end_{0};
+};
+
+/// Convenience: run one page load to completion (with a virtual-time safety
+/// cap) and return the result.
+[[nodiscard]] PageLoadResult load_page(sim::Simulator& simulator, const web::Website& site,
+                                       PageLoader::SessionFactory factory, Rng rng = Rng(0),
+                                       SimDuration time_cap = seconds(180));
+
+}  // namespace qperc::browser

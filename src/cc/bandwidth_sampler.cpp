@@ -1,0 +1,55 @@
+#include "cc/bandwidth_sampler.hpp"
+
+#include <algorithm>
+
+namespace qperc::cc {
+
+void BandwidthSampler::on_packet_sent(std::uint64_t packet_id, std::uint64_t bytes,
+                                      SimTime now, std::uint64_t bytes_in_flight) {
+  if (bytes_in_flight == 0) {
+    // Restarting from idle: the delivery clock must not count the idle gap.
+    delivered_time_ = now;
+    first_sent_time_ = now;
+  }
+  in_flight_[packet_id] = SendState{
+      .sent_time = now,
+      .delivered_at_send = delivered_bytes_,
+      .delivered_time_at_send = delivered_time_,
+      .bytes = bytes,
+      .app_limited = app_limited_until_delivered_ > delivered_bytes_,
+  };
+}
+
+std::optional<RateSample> BandwidthSampler::on_packet_acked(std::uint64_t packet_id,
+                                                            SimTime now) {
+  const auto it = in_flight_.find(packet_id);
+  if (it == in_flight_.end()) return std::nullopt;
+  const SendState state = it->second;
+  in_flight_.erase(it);
+
+  delivered_bytes_ += state.bytes;
+  delivered_time_ = now;
+
+  // Rate over the ACK interval, guarded against division by ~zero: use the
+  // longer of the ack elapsed and the send elapsed intervals (standard
+  // delivery-rate estimation uses the max of both to be conservative).
+  const SimDuration ack_elapsed = now - state.delivered_time_at_send;
+  const SimDuration send_elapsed = state.sent_time - state.delivered_time_at_send;
+  const SimDuration interval = std::max(ack_elapsed, send_elapsed);
+  if (interval <= SimDuration::zero()) return std::nullopt;
+  const std::uint64_t delivered_in_interval = delivered_bytes_ - state.delivered_at_send;
+  return RateSample{
+      .delivery_rate = DataRate::from_bytes_and_duration(delivered_in_interval, interval),
+      .is_app_limited = state.app_limited,
+  };
+}
+
+void BandwidthSampler::on_packet_lost(std::uint64_t packet_id) { in_flight_.erase(packet_id); }
+
+void BandwidthSampler::on_app_limited() {
+  std::uint64_t outstanding = 0;
+  for (const auto& [id, state] : in_flight_) outstanding += state.bytes;
+  app_limited_until_delivered_ = delivered_bytes_ + outstanding;
+}
+
+}  // namespace qperc::cc

@@ -1,0 +1,57 @@
+// Per-packet delivery-rate estimation (the "bandwidth sampler" from the BBR
+// design / draft-cheng-iccrg-delivery-rate-estimation), shared by the TCP and
+// QUIC senders.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qperc::cc {
+
+/// A delivery-rate sample produced when a packet is acknowledged.
+struct RateSample {
+  DataRate delivery_rate;
+  bool is_app_limited = false;
+};
+
+class BandwidthSampler {
+ public:
+  /// Records state at send time. `packet_id` is any unique per-packet key
+  /// (TCP uses the segment's end sequence, QUIC its packet number).
+  void on_packet_sent(std::uint64_t packet_id, std::uint64_t bytes, SimTime now,
+                      std::uint64_t bytes_in_flight);
+
+  /// Produces a rate sample for an acked packet; nullopt if unknown (e.g.
+  /// already sampled or spuriously retransmitted).
+  std::optional<RateSample> on_packet_acked(std::uint64_t packet_id, SimTime now);
+
+  /// Forgets a lost packet's state.
+  void on_packet_lost(std::uint64_t packet_id);
+
+  /// Marks the connection app-limited: rate samples from packets sent from
+  /// now until delivery catches up must not raise the bandwidth estimate.
+  void on_app_limited();
+
+  [[nodiscard]] std::uint64_t total_bytes_delivered() const noexcept { return delivered_bytes_; }
+
+ private:
+  struct SendState {
+    SimTime sent_time{0};
+    std::uint64_t delivered_at_send = 0;
+    SimTime delivered_time_at_send{0};
+    std::uint64_t bytes = 0;
+    bool app_limited = false;
+  };
+
+  std::uint64_t delivered_bytes_ = 0;
+  SimTime delivered_time_{0};
+  SimTime first_sent_time_{0};
+  std::uint64_t app_limited_until_delivered_ = 0;
+  std::unordered_map<std::uint64_t, SendState> in_flight_;
+};
+
+}  // namespace qperc::cc

@@ -1,0 +1,189 @@
+#include "cc/bbr.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace qperc::cc {
+namespace {
+
+/// PROBE_BW pacing-gain cycle: one probing phase, one draining phase, six
+/// cruise phases.
+constexpr std::array<double, 8> kGainCycle = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+}  // namespace
+
+Bbr::Bbr(BbrConfig config)
+    : config_(config),
+      max_bw_(config.bw_window_rounds),
+      pacing_gain_(config.startup_gain),
+      cwnd_gain_(config.startup_gain),
+      cwnd_bytes_(config.initial_window_segments * config.mss) {}
+
+std::uint64_t Bbr::bdp(double gain) const {
+  if (max_bw_.empty() || min_rtt_ == SimDuration::max()) {
+    return config_.initial_window_segments * config_.mss;
+  }
+  const double bdp_bytes = max_bw_.best().bytes_per_second_d() * to_seconds(min_rtt_);
+  return static_cast<std::uint64_t>(bdp_bytes * gain);
+}
+
+void Bbr::on_packet_sent(SimTime /*now*/, std::uint64_t /*bytes_in_flight*/,
+                         std::uint64_t /*packet_bytes*/) {}
+
+void Bbr::on_ack(SimTime now, const AckSample& sample) {
+  if (sample.round_trip_ended) {
+    ++round_count_;
+    in_recovery_ = false;  // conservation window held for one round after loss
+  }
+
+  if (sample.rtt > SimDuration::zero() &&
+      (sample.rtt <= min_rtt_ || now - min_rtt_timestamp_ > config_.min_rtt_window)) {
+    min_rtt_ = sample.rtt;
+    min_rtt_timestamp_ = now;
+  }
+
+  if (!sample.delivery_rate.is_zero() &&
+      (!sample.is_app_limited || sample.delivery_rate > max_bw_.best())) {
+    max_bw_.update(sample.delivery_rate, round_count_);
+  } else {
+    max_bw_.advance(round_count_);
+  }
+
+  if (sample.round_trip_ended && !pipe_filled_) check_full_pipe(sample);
+
+  switch (mode_) {
+    case Mode::kStartup:
+      if (pipe_filled_) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = config_.drain_gain;
+        cwnd_gain_ = config_.cwnd_gain;
+      }
+      break;
+    case Mode::kDrain:
+      if (sample.bytes_in_flight <= bdp(1.0)) enter_probe_bw(now);
+      break;
+    case Mode::kProbeBw:
+      update_gain_cycle(now, sample.bytes_in_flight);
+      break;
+    case Mode::kProbeRtt:
+      break;
+  }
+
+  maybe_enter_or_exit_probe_rtt(now, sample.bytes_in_flight);
+
+  // Target cwnd tracks the BDP model; grow towards it by acked bytes so the
+  // window cannot jump past delivery evidence while filling.
+  const std::uint64_t target =
+      mode_ == Mode::kProbeRtt ? config_.min_window_segments * config_.mss
+                               : bdp(cwnd_gain_);
+  if (mode_ == Mode::kProbeRtt) {
+    cwnd_bytes_ = target;
+  } else if (cwnd_bytes_ < target) {
+    cwnd_bytes_ = std::min(target, cwnd_bytes_ + sample.bytes_acked);
+  } else {
+    cwnd_bytes_ = target;
+  }
+  cwnd_bytes_ = std::clamp(cwnd_bytes_, config_.min_window_segments * config_.mss,
+                           config_.max_window_segments * config_.mss);
+}
+
+void Bbr::check_full_pipe(const AckSample& /*sample*/) {
+  if (max_bw_.empty()) return;
+  const DataRate bw = max_bw_.best();
+  if (bw.bps() >= full_bw_.bps() * 5 / 4) {
+    full_bw_ = bw;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  if (++full_bw_rounds_ >= 3) pipe_filled_ = true;
+}
+
+void Bbr::enter_probe_bw(SimTime now) {
+  mode_ = Mode::kProbeBw;
+  cwnd_gain_ = config_.cwnd_gain;
+  // Start in a random-ish cruise phase in real BBR; deterministic phase 2
+  // keeps simulation runs reproducible without changing steady-state shape.
+  cycle_index_ = 2;
+  pacing_gain_ = kGainCycle[cycle_index_];
+  cycle_start_ = now;
+}
+
+void Bbr::update_gain_cycle(SimTime now, std::uint64_t bytes_in_flight) {
+  const SimDuration phase_length = min_rtt_ == SimDuration::max() ? milliseconds(100) : min_rtt_;
+  bool advance = now - cycle_start_ > phase_length;
+  // Stay in the 1.25 probing phase until it actually inflated the pipe, and
+  // stay in the 0.75 drain phase until the queue is drained.
+  if (pacing_gain_ > 1.0 && bytes_in_flight < bdp(pacing_gain_)) advance = false;
+  if (pacing_gain_ < 1.0 && bytes_in_flight <= bdp(1.0)) advance = true;
+  if (advance) {
+    cycle_index_ = (cycle_index_ + 1) % kGainCycle.size();
+    pacing_gain_ = kGainCycle[cycle_index_];
+    cycle_start_ = now;
+  }
+}
+
+void Bbr::maybe_enter_or_exit_probe_rtt(SimTime now, std::uint64_t bytes_in_flight) {
+  const bool min_rtt_stale =
+      min_rtt_ != SimDuration::max() && now - min_rtt_timestamp_ > config_.min_rtt_window;
+  if (mode_ != Mode::kProbeRtt && min_rtt_stale && pipe_filled_) {
+    mode_ = Mode::kProbeRtt;
+    prior_cwnd_bytes_ = cwnd_bytes_;
+    pacing_gain_ = 1.0;
+    probe_rtt_done_at_ = kNoTime;
+    probe_rtt_round_seen_ = false;
+    return;
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    if (probe_rtt_done_at_ == kNoTime &&
+        bytes_in_flight <= config_.min_window_segments * config_.mss) {
+      probe_rtt_done_at_ = now + config_.probe_rtt_duration;
+      probe_rtt_round_seen_ = true;
+      min_rtt_timestamp_ = now;  // we are re-measuring now
+    }
+    if (probe_rtt_round_seen_ && now >= probe_rtt_done_at_) {
+      min_rtt_timestamp_ = now;
+      cwnd_bytes_ = std::max(prior_cwnd_bytes_, config_.min_window_segments * config_.mss);
+      enter_probe_bw(now);
+    }
+  }
+}
+
+void Bbr::on_congestion_event(SimTime /*now*/, std::uint64_t bytes_in_flight) {
+  // BBRv1 does not reduce its model on loss; it only bounds cwnd to the
+  // delivered + in-flight evidence during recovery (packet conservation).
+  if (!in_recovery_) {
+    in_recovery_ = true;
+    cwnd_bytes_ =
+        std::max(bytes_in_flight, config_.min_window_segments * config_.mss);
+  }
+}
+
+void Bbr::on_retransmission_timeout() {
+  in_recovery_ = true;
+  cwnd_bytes_ = config_.min_window_segments * config_.mss;
+}
+
+void Bbr::on_restart_after_idle() {
+  // BBR is rate-based; restarting from idle keeps the model (Linux BBR
+  // likewise ignores tcp_slow_start_after_idle).
+  in_recovery_ = false;
+}
+
+std::uint64_t Bbr::congestion_window() const {
+  // Recovery ends implicitly as soon as on_ack raises the window again; the
+  // flag is cleared lazily there.
+  return cwnd_bytes_;
+}
+
+DataRate Bbr::pacing_rate(SimDuration smoothed_rtt) const {
+  if (max_bw_.empty() || min_rtt_ == SimDuration::max()) {
+    // No model yet: pace the initial window over the handshake RTT estimate.
+    const SimDuration rtt = smoothed_rtt > SimDuration::zero() ? smoothed_rtt : milliseconds(100);
+    const double initial_bytes =
+        static_cast<double>(config_.initial_window_segments * config_.mss);
+    return DataRate::bytes_per_second(initial_bytes / to_seconds(rtt) * pacing_gain_);
+  }
+  return max_bw_.best().scaled(pacing_gain_);
+}
+
+}  // namespace qperc::cc

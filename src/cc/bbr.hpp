@@ -1,0 +1,86 @@
+// BBRv1 congestion control (Cardwell et al.), as shipped in Linux 4.9+ and
+// gQUIC at the time of the paper ("BBRv2 was not yet available", §3 fn. 2).
+#pragma once
+
+#include <cstdint>
+
+#include "cc/congestion_controller.hpp"
+#include "cc/windowed_filter.hpp"
+
+namespace qperc::cc {
+
+struct BbrConfig {
+  std::uint64_t initial_window_segments = 32;
+  std::uint64_t mss = kDefaultMss;
+  std::uint64_t min_window_segments = 4;
+  std::uint64_t max_window_segments = 10'000;
+  /// 2/ln(2): fills the pipe in the same number of RTTs as slow start.
+  double startup_gain = 2.885;
+  double drain_gain = 1.0 / 2.885;
+  double cwnd_gain = 2.0;
+  /// Bandwidth filter window, in round trips.
+  std::uint64_t bw_window_rounds = 10;
+  /// Min-RTT filter window; staleness triggers PROBE_RTT.
+  SimDuration min_rtt_window = seconds(10);
+  SimDuration probe_rtt_duration = milliseconds(200);
+};
+
+class Bbr final : public CongestionController {
+ public:
+  explicit Bbr(BbrConfig config);
+
+  void on_packet_sent(SimTime now, std::uint64_t bytes_in_flight,
+                      std::uint64_t packet_bytes) override;
+  void on_ack(SimTime now, const AckSample& sample) override;
+  void on_congestion_event(SimTime now, std::uint64_t bytes_in_flight) override;
+  void on_retransmission_timeout() override;
+  void on_restart_after_idle() override;
+
+  [[nodiscard]] std::uint64_t congestion_window() const override;
+  [[nodiscard]] DataRate pacing_rate(SimDuration smoothed_rtt) const override;
+  [[nodiscard]] bool in_slow_start() const override { return mode_ == Mode::kStartup; }
+  [[nodiscard]] std::string_view name() const override { return "bbr"; }
+
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] DataRate bandwidth_estimate() const { return max_bw_.best(); }
+  [[nodiscard]] SimDuration min_rtt_estimate() const noexcept { return min_rtt_; }
+
+ private:
+  [[nodiscard]] std::uint64_t bdp(double gain) const;
+  void enter_probe_bw(SimTime now);
+  void check_full_pipe(const AckSample& sample);
+  void update_gain_cycle(SimTime now, std::uint64_t bytes_in_flight);
+  void maybe_enter_or_exit_probe_rtt(SimTime now, std::uint64_t bytes_in_flight);
+
+  BbrConfig config_;
+  Mode mode_ = Mode::kStartup;
+
+  WindowedFilter<DataRate, std::uint64_t, Greater<DataRate>> max_bw_;
+  std::uint64_t round_count_ = 0;
+
+  SimDuration min_rtt_{SimDuration::max()};
+  SimTime min_rtt_timestamp_{0};
+
+  double pacing_gain_;
+  double cwnd_gain_;
+
+  // Full-pipe detection (exit STARTUP after 3 rounds without 25% growth).
+  DataRate full_bw_;
+  std::uint32_t full_bw_rounds_ = 0;
+  bool pipe_filled_ = false;
+
+  // PROBE_BW gain cycling.
+  std::size_t cycle_index_ = 0;
+  SimTime cycle_start_{0};
+
+  // PROBE_RTT bookkeeping.
+  SimTime probe_rtt_done_at_{kNoTime};
+  bool probe_rtt_round_seen_ = false;
+
+  std::uint64_t cwnd_bytes_;
+  std::uint64_t prior_cwnd_bytes_ = 0;
+  bool in_recovery_ = false;
+};
+
+}  // namespace qperc::cc

@@ -1,0 +1,231 @@
+#include "cc/bbr2.hpp"
+
+#include <algorithm>
+
+namespace qperc::cc {
+
+Bbr2::Bbr2(Bbr2Config config)
+    : config_(config),
+      max_bw_(config.bw_window_rounds),
+      pacing_gain_(config.startup_gain),
+      cwnd_gain_(config.startup_gain),
+      cwnd_bytes_(config.initial_window_segments * config.mss) {}
+
+std::uint64_t Bbr2::bdp(double gain) const {
+  if (max_bw_.empty() || min_rtt_ == SimDuration::max()) {
+    return config_.initial_window_segments * config_.mss;
+  }
+  const double bdp_bytes = max_bw_.best().bytes_per_second_d() * to_seconds(min_rtt_);
+  return static_cast<std::uint64_t>(bdp_bytes * gain);
+}
+
+void Bbr2::on_packet_sent(SimTime /*now*/, std::uint64_t /*bytes_in_flight*/,
+                          std::uint64_t /*packet_bytes*/) {}
+
+void Bbr2::track_loss_round(SimTime now, const AckSample& sample) {
+  round_delivered_bytes_ += sample.bytes_acked;
+  if (!sample.round_trip_ended) return;
+
+  // End of a round: apply the loss-threshold rule, then reset the counters.
+  // Per the draft, loss caps the ceiling only while we are *probing* (the
+  // loss is then evidence that the probe exceeded the path); reacting to
+  // every lossy round would let random loss (DA2GC's 3.3%) starve the flow.
+  const bool probing = mode_ == Mode::kStartup || mode_ == Mode::kProbeBwUp ||
+                       mode_ == Mode::kProbeBwRefill;
+  const std::uint64_t total = round_delivered_bytes_ + round_lost_bytes_;
+  if (probing && total > 0 &&
+      static_cast<double>(round_lost_bytes_) >
+          config_.loss_threshold * static_cast<double>(total)) {
+    const std::uint64_t measured = bdp(1.0);
+    const std::uint64_t ceiling = std::min(inflight_hi_, std::max(measured, cwnd_bytes_));
+    inflight_hi_ = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(ceiling) * config_.beta),
+        config_.min_window_segments * config_.mss);
+    if (mode_ == Mode::kStartup) {
+      pipe_filled_ = true;  // v2 ends startup on excessive loss
+    } else {
+      enter_probe_down(now);
+    }
+  }
+  round_delivered_bytes_ = 0;
+  round_lost_bytes_ = 0;
+}
+
+void Bbr2::on_ack(SimTime now, const AckSample& sample) {
+  if (sample.round_trip_ended) ++round_count_;
+
+  if (sample.rtt > SimDuration::zero() &&
+      (sample.rtt <= min_rtt_ || now - min_rtt_timestamp_ > config_.min_rtt_window)) {
+    min_rtt_ = sample.rtt;
+    min_rtt_timestamp_ = now;
+  }
+  if (!sample.delivery_rate.is_zero() &&
+      (!sample.is_app_limited || sample.delivery_rate > max_bw_.best())) {
+    max_bw_.update(sample.delivery_rate, round_count_);
+  } else {
+    max_bw_.advance(round_count_);
+  }
+
+  track_loss_round(now, sample);
+  if (sample.round_trip_ended && !pipe_filled_) check_full_pipe();
+
+  switch (mode_) {
+    case Mode::kStartup:
+      if (pipe_filled_) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = config_.drain_gain;
+        cwnd_gain_ = config_.cwnd_gain;
+      }
+      break;
+    case Mode::kDrain:
+      if (sample.bytes_in_flight <= bdp(1.0)) enter_probe_down(now);
+      break;
+    case Mode::kProbeBwDown:
+    case Mode::kProbeBwCruise:
+    case Mode::kProbeBwRefill:
+    case Mode::kProbeBwUp:
+      update_probe_cycle(now, sample.bytes_in_flight);
+      break;
+    case Mode::kProbeRtt:
+      break;
+  }
+
+  maybe_probe_rtt(now, sample.bytes_in_flight);
+
+  // Window: gain x BDP, never above the loss-informed ceiling (minus
+  // headroom while cruising), grown at most by delivered bytes.
+  std::uint64_t target = bdp(cwnd_gain_);
+  if (mode_ == Mode::kProbeRtt) {
+    target = config_.min_window_segments * config_.mss;
+    cwnd_bytes_ = target;
+  } else {
+    std::uint64_t ceiling = inflight_hi_;
+    if (mode_ == Mode::kProbeBwCruise && inflight_hi_ != UINT64_MAX) {
+      ceiling = static_cast<std::uint64_t>(static_cast<double>(inflight_hi_) *
+                                           (1.0 - config_.headroom));
+    }
+    target = std::min(target, ceiling);
+    if (cwnd_bytes_ < target) {
+      cwnd_bytes_ = std::min(target, cwnd_bytes_ + sample.bytes_acked);
+    } else {
+      cwnd_bytes_ = target;
+    }
+  }
+  cwnd_bytes_ = std::clamp(cwnd_bytes_, config_.min_window_segments * config_.mss,
+                           config_.max_window_segments * config_.mss);
+}
+
+void Bbr2::check_full_pipe() {
+  if (max_bw_.empty()) return;
+  const DataRate bw = max_bw_.best();
+  if (bw.bps() >= full_bw_.bps() * 5 / 4) {
+    full_bw_ = bw;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  if (++full_bw_rounds_ >= 3) pipe_filled_ = true;
+}
+
+void Bbr2::enter_probe_down(SimTime now) {
+  mode_ = Mode::kProbeBwDown;
+  pacing_gain_ = 0.9;
+  cwnd_gain_ = config_.cwnd_gain;
+  probe_phase_start_ = now;
+  next_probe_at_ = now + config_.probe_bw_interval;
+}
+
+void Bbr2::update_probe_cycle(SimTime now, std::uint64_t bytes_in_flight) {
+  const SimDuration rtt = min_rtt_ == SimDuration::max() ? milliseconds(100) : min_rtt_;
+  switch (mode_) {
+    case Mode::kProbeBwDown:
+      // Hold back until in-flight dropped to the (headroomed) target.
+      if (bytes_in_flight <= bdp(1.0) || now - probe_phase_start_ > 2 * rtt) {
+        mode_ = Mode::kProbeBwCruise;
+        pacing_gain_ = 1.0;
+        probe_phase_start_ = now;
+      }
+      break;
+    case Mode::kProbeBwCruise:
+      if (now >= next_probe_at_) {
+        mode_ = Mode::kProbeBwRefill;
+        pacing_gain_ = 1.0;
+        // Refill: temporarily lift the ceiling by one round of delivery.
+        probe_phase_start_ = now;
+      }
+      break;
+    case Mode::kProbeBwRefill:
+      if (now - probe_phase_start_ >= rtt) {
+        mode_ = Mode::kProbeBwUp;
+        pacing_gain_ = 1.25;
+        probe_phase_start_ = now;
+        // Probing up may raise the ceiling if the path carries it.
+        if (inflight_hi_ != UINT64_MAX) {
+          inflight_hi_ = std::max(inflight_hi_, bdp(1.25));
+        }
+      }
+      break;
+    case Mode::kProbeBwUp:
+      if (now - probe_phase_start_ >= rtt &&
+          (bytes_in_flight >= bdp(1.25) || now - probe_phase_start_ > 4 * rtt)) {
+        enter_probe_down(now);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Bbr2::maybe_probe_rtt(SimTime now, std::uint64_t bytes_in_flight) {
+  const bool stale =
+      min_rtt_ != SimDuration::max() && now - min_rtt_timestamp_ > config_.min_rtt_window;
+  if (mode_ != Mode::kProbeRtt && stale && pipe_filled_) {
+    mode_ = Mode::kProbeRtt;
+    prior_cwnd_bytes_ = cwnd_bytes_;
+    pacing_gain_ = 1.0;
+    probe_rtt_done_at_ = kNoTime;
+    probe_rtt_inflight_reached_ = false;
+    return;
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    if (probe_rtt_done_at_ == kNoTime &&
+        bytes_in_flight <= config_.min_window_segments * config_.mss) {
+      probe_rtt_done_at_ = now + config_.probe_rtt_duration;
+      probe_rtt_inflight_reached_ = true;
+      min_rtt_timestamp_ = now;
+    }
+    if (probe_rtt_inflight_reached_ && now >= probe_rtt_done_at_) {
+      min_rtt_timestamp_ = now;
+      cwnd_bytes_ = std::max(prior_cwnd_bytes_, config_.min_window_segments * config_.mss);
+      enter_probe_down(now);
+    }
+  }
+}
+
+void Bbr2::on_congestion_event(SimTime /*now*/, std::uint64_t /*bytes_in_flight*/) {
+  // Loss feeds the per-round accounting; one "event" approximates one MSS.
+  round_lost_bytes_ += config_.mss;
+}
+
+void Bbr2::on_retransmission_timeout() {
+  inflight_hi_ = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(static_cast<double>(std::min(inflight_hi_, cwnd_bytes_)) *
+                                 config_.beta),
+      config_.min_window_segments * config_.mss);
+  cwnd_bytes_ = config_.min_window_segments * config_.mss;
+}
+
+void Bbr2::on_restart_after_idle() {}
+
+std::uint64_t Bbr2::congestion_window() const { return cwnd_bytes_; }
+
+DataRate Bbr2::pacing_rate(SimDuration smoothed_rtt) const {
+  if (max_bw_.empty() || min_rtt_ == SimDuration::max()) {
+    const SimDuration rtt = smoothed_rtt > SimDuration::zero() ? smoothed_rtt : milliseconds(100);
+    const double initial_bytes =
+        static_cast<double>(config_.initial_window_segments * config_.mss);
+    return DataRate::bytes_per_second(initial_bytes / to_seconds(rtt) * pacing_gain_);
+  }
+  return max_bw_.best().scaled(pacing_gain_);
+}
+
+}  // namespace qperc::cc

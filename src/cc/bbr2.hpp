@@ -1,0 +1,107 @@
+// BBRv2 congestion control (Cardwell et al., IETF drafts circa 2019/2020).
+//
+// The paper notes "BBRv2 was not yet available at the time of testing"
+// (§3, footnote 2); this implementation enables the natural follow-up
+// experiment. The key differences from v1 that matter on the paper's lossy
+// in-flight networks:
+//   * loss is a model signal again: sustained loss above a threshold caps
+//     the in-flight ceiling (inflight_hi) instead of being ignored,
+//   * gentler PROBE_BW cycling (DOWN/CRUISE/REFILL/UP) with a headroom
+//     margin below inflight_hi,
+//   * cwnd bounded by the loss-informed ceiling, so 6%-loss links no longer
+//     see v1's persistent overshoot.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/congestion_controller.hpp"
+#include "cc/windowed_filter.hpp"
+
+namespace qperc::cc {
+
+struct Bbr2Config {
+  std::uint64_t initial_window_segments = 32;
+  std::uint64_t mss = kDefaultMss;
+  std::uint64_t min_window_segments = 4;
+  std::uint64_t max_window_segments = 10'000;
+  double startup_gain = 2.885;
+  double drain_gain = 1.0 / 2.885;
+  double cwnd_gain = 2.0;
+  /// Loss rate treated as "too much" within a probe round (draft: 2%).
+  double loss_threshold = 0.02;
+  /// Multiplicative back-off of inflight_hi on excessive loss (draft beta).
+  double beta = 0.7;
+  /// Headroom kept below inflight_hi while cruising (draft: 15%).
+  double headroom = 0.15;
+  std::uint64_t bw_window_rounds = 10;
+  SimDuration min_rtt_window = seconds(10);
+  SimDuration probe_rtt_duration = milliseconds(200);
+  /// Wall-clock cadence of bandwidth probes in PROBE_BW.
+  SimDuration probe_bw_interval = seconds(2);
+};
+
+class Bbr2 final : public CongestionController {
+ public:
+  explicit Bbr2(Bbr2Config config);
+
+  void on_packet_sent(SimTime now, std::uint64_t bytes_in_flight,
+                      std::uint64_t packet_bytes) override;
+  void on_ack(SimTime now, const AckSample& sample) override;
+  void on_congestion_event(SimTime now, std::uint64_t bytes_in_flight) override;
+  void on_retransmission_timeout() override;
+  void on_restart_after_idle() override;
+
+  [[nodiscard]] std::uint64_t congestion_window() const override;
+  [[nodiscard]] DataRate pacing_rate(SimDuration smoothed_rtt) const override;
+  [[nodiscard]] bool in_slow_start() const override { return mode_ == Mode::kStartup; }
+  [[nodiscard]] std::string_view name() const override { return "bbr2"; }
+
+  enum class Mode { kStartup, kDrain, kProbeBwDown, kProbeBwCruise, kProbeBwRefill,
+                    kProbeBwUp, kProbeRtt };
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] DataRate bandwidth_estimate() const { return max_bw_.best(); }
+  [[nodiscard]] std::uint64_t inflight_hi() const noexcept { return inflight_hi_; }
+  [[nodiscard]] SimDuration min_rtt_estimate() const noexcept { return min_rtt_; }
+
+ private:
+  [[nodiscard]] std::uint64_t bdp(double gain) const;
+  void enter_probe_down(SimTime now);
+  void check_full_pipe();
+  void update_probe_cycle(SimTime now, std::uint64_t bytes_in_flight);
+  void maybe_probe_rtt(SimTime now, std::uint64_t bytes_in_flight);
+  void track_loss_round(SimTime now, const AckSample& sample);
+
+  Bbr2Config config_;
+  Mode mode_ = Mode::kStartup;
+
+  WindowedFilter<DataRate, std::uint64_t, Greater<DataRate>> max_bw_;
+  std::uint64_t round_count_ = 0;
+
+  SimDuration min_rtt_{SimDuration::max()};
+  SimTime min_rtt_timestamp_{0};
+
+  double pacing_gain_;
+  double cwnd_gain_;
+
+  DataRate full_bw_;
+  std::uint32_t full_bw_rounds_ = 0;
+  bool pipe_filled_ = false;
+
+  /// Loss-informed in-flight ceiling; max() until loss teaches us better.
+  std::uint64_t inflight_hi_ = UINT64_MAX;
+
+  // Per-round delivery/loss accounting for the loss-threshold test.
+  std::uint64_t round_delivered_bytes_ = 0;
+  std::uint64_t round_lost_bytes_ = 0;
+
+  SimTime probe_phase_start_{0};
+  SimTime next_probe_at_{0};
+
+  SimTime probe_rtt_done_at_{kNoTime};
+  bool probe_rtt_inflight_reached_ = false;
+  std::uint64_t prior_cwnd_bytes_ = 0;
+
+  std::uint64_t cwnd_bytes_;
+};
+
+}  // namespace qperc::cc

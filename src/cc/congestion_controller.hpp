@@ -1,0 +1,63 @@
+// Pluggable congestion control shared by the TCP and QUIC stacks.
+//
+// The paper's Table 1 crosses two transports with two controllers (Cubic and
+// BBRv1); implementing the controllers once and plugging them into both
+// stacks is exactly how gQUIC is built and guarantees the "similarly
+// parameterized" comparison the paper is about.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qperc::cc {
+
+/// Sender MSS assumed by window arithmetic. TCP uses 1460-byte segments;
+/// gQUIC uses smaller packets but identical window accounting in MSS units.
+inline constexpr std::uint64_t kDefaultMss = 1460;
+
+/// Everything a controller learns from one ACK event.
+struct AckSample {
+  std::uint64_t bytes_acked = 0;
+  /// Most recent RTT measurement; zero when the ACK carried no new sample.
+  SimDuration rtt{0};
+  /// Smoothed RTT maintained by the transport.
+  SimDuration smoothed_rtt{0};
+  /// Delivery-rate estimate for the newest acked packet (BBR's food).
+  DataRate delivery_rate;
+  /// True when the rate sample was taken while the sender was app-limited.
+  bool is_app_limited = false;
+  /// Bytes still outstanding after this ACK was processed.
+  std::uint64_t bytes_in_flight = 0;
+  /// True when this ACK ends a round trip (all data outstanding at the
+  /// beginning of the round has been acked).
+  bool round_trip_ended = false;
+};
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  virtual void on_packet_sent(SimTime now, std::uint64_t bytes_in_flight,
+                              std::uint64_t packet_bytes) = 0;
+  virtual void on_ack(SimTime now, const AckSample& sample) = 0;
+  /// A loss-based congestion event (fast retransmit); at most one window
+  /// reduction per round trip is the caller's responsibility for TCP-style
+  /// semantics, but both implementations also self-protect.
+  virtual void on_congestion_event(SimTime now, std::uint64_t bytes_in_flight) = 0;
+  virtual void on_retransmission_timeout() = 0;
+  /// Stock Linux TCP collapses to IW after an idle period
+  /// (net.ipv4.tcp_slow_start_after_idle=1); TCP+ disables this.
+  virtual void on_restart_after_idle() = 0;
+
+  [[nodiscard]] virtual std::uint64_t congestion_window() const = 0;
+  /// Desired pacing rate given the transport's smoothed RTT; ignored when the
+  /// configuration disables pacing (stock TCP).
+  [[nodiscard]] virtual DataRate pacing_rate(SimDuration smoothed_rtt) const = 0;
+  [[nodiscard]] virtual bool in_slow_start() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace qperc::cc

@@ -1,0 +1,138 @@
+#include "cc/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qperc::cc {
+namespace {
+
+/// HyStart only engages once the window is large enough to matter.
+constexpr std::uint64_t kHystartMinWindowSegments = 16;
+/// Minimum number of RTT samples per round before the delay check fires.
+constexpr std::uint32_t kHystartMinSamples = 8;
+constexpr SimDuration kHystartDelayMin = microseconds(4000);
+constexpr SimDuration kHystartDelayMax = microseconds(16000);
+
+}  // namespace
+
+Cubic::Cubic(CubicConfig config)
+    : config_(config),
+      cwnd_bytes_(config.initial_window_segments * config.mss),
+      ssthresh_bytes_(config.max_window_segments * config.mss) {}
+
+void Cubic::on_packet_sent(SimTime /*now*/, std::uint64_t /*bytes_in_flight*/,
+                           std::uint64_t /*packet_bytes*/) {}
+
+void Cubic::on_ack(SimTime now, const AckSample& sample) {
+  if (in_slow_start()) {
+    // Classic slow start: one MSS per acked MSS (byte-counting).
+    cwnd_bytes_ = std::min(cwnd_bytes_ + sample.bytes_acked,
+                           config_.max_window_segments * config_.mss);
+    if (config_.enable_hystart) hystart_on_ack(now, sample);
+    return;
+  }
+  cubic_update(now, sample.bytes_acked);
+}
+
+void Cubic::hystart_on_ack(SimTime /*now*/, const AckSample& sample) {
+  if (sample.rtt > SimDuration::zero()) {
+    hystart_round_min_rtt_ = std::min(hystart_round_min_rtt_, sample.rtt);
+    ++hystart_rtt_samples_;
+  }
+  if (!sample.round_trip_ended) return;
+
+  // Round boundary: compare this round's min RTT against the previous one.
+  if (hystart_prev_round_min_rtt_ != SimDuration::max() &&
+      hystart_rtt_samples_ >= kHystartMinSamples &&
+      cwnd_bytes_ >= kHystartMinWindowSegments * config_.mss) {
+    const SimDuration threshold =
+        std::clamp(hystart_prev_round_min_rtt_ / 8, kHystartDelayMin, kHystartDelayMax);
+    if (hystart_round_min_rtt_ != SimDuration::max() &&
+        hystart_round_min_rtt_ >= hystart_prev_round_min_rtt_ + threshold) {
+      // Delay increase detected: leave slow start without a loss.
+      ssthresh_bytes_ = cwnd_bytes_;
+    }
+  }
+  if (hystart_round_min_rtt_ != SimDuration::max()) {
+    hystart_prev_round_min_rtt_ = hystart_round_min_rtt_;
+  }
+  hystart_round_min_rtt_ = SimDuration::max();
+  hystart_rtt_samples_ = 0;
+}
+
+void Cubic::cubic_update(SimTime now, std::uint64_t bytes_acked) {
+  const auto mss = static_cast<double>(config_.mss);
+  const double cwnd_segments = static_cast<double>(cwnd_bytes_) / mss;
+
+  if (!epoch_active_) {
+    epoch_active_ = true;
+    epoch_start_ = now;
+    if (w_max_segments_ < cwnd_segments) w_max_segments_ = cwnd_segments;
+    k_seconds_ = std::cbrt(w_max_segments_ * (1.0 - config_.beta) / config_.c);
+    est_segments_ = cwnd_segments;
+  }
+
+  const double t = to_seconds(now - epoch_start_);
+  const double dt = t - k_seconds_;
+  const double target = w_max_segments_ + config_.c * dt * dt * dt;
+
+  // TCP-friendly region (RFC 8312 section 4.2): grow the Reno estimate by
+  // 3(1-beta)/(1+beta) segments per RTT, approximated per acked segment.
+  est_segments_ += 3.0 * (1.0 - config_.beta) / (1.0 + config_.beta) *
+                   (static_cast<double>(bytes_acked) / std::max(cwnd_bytes_, config_.mss));
+
+  const double desired = std::max(target, est_segments_);
+  if (desired > cwnd_segments) {
+    // Spread the growth over the window: per acked byte, grow proportionally.
+    const double growth_per_ack =
+        (desired - cwnd_segments) / cwnd_segments * static_cast<double>(bytes_acked);
+    ack_credit_bytes_ += growth_per_ack;
+    if (ack_credit_bytes_ >= 1.0) {
+      const auto whole = static_cast<std::uint64_t>(ack_credit_bytes_);
+      ack_credit_bytes_ -= static_cast<double>(whole);
+      cwnd_bytes_ = std::min(cwnd_bytes_ + whole, config_.max_window_segments * config_.mss);
+    }
+  }
+}
+
+void Cubic::on_congestion_event(SimTime /*now*/, std::uint64_t /*bytes_in_flight*/) {
+  const auto mss = static_cast<double>(config_.mss);
+  const double cwnd_segments = static_cast<double>(cwnd_bytes_) / mss;
+  // Fast convergence: release bandwidth faster when the window is shrinking
+  // across successive loss events.
+  if (cwnd_segments < w_max_segments_) {
+    w_max_segments_ = cwnd_segments * (2.0 - config_.beta) / 2.0;
+  } else {
+    w_max_segments_ = cwnd_segments;
+  }
+  cwnd_bytes_ = std::max(static_cast<std::uint64_t>(cwnd_segments * config_.beta * mss),
+                         config_.min_window_segments * config_.mss);
+  ssthresh_bytes_ = cwnd_bytes_;
+  epoch_active_ = false;
+  ack_credit_bytes_ = 0.0;
+}
+
+void Cubic::on_retransmission_timeout() {
+  ssthresh_bytes_ = std::max(cwnd_bytes_ / 2, config_.min_window_segments * config_.mss);
+  cwnd_bytes_ = config_.min_window_segments * config_.mss;
+  epoch_active_ = false;
+  ack_credit_bytes_ = 0.0;
+}
+
+void Cubic::on_restart_after_idle() {
+  // net.ipv4.tcp_slow_start_after_idle: collapse cwnd back to the initial
+  // window but keep ssthresh (the path memory).
+  cwnd_bytes_ = std::min(cwnd_bytes_, config_.initial_window_segments * config_.mss);
+  epoch_active_ = false;
+}
+
+DataRate Cubic::pacing_rate(SimDuration smoothed_rtt) const {
+  if (smoothed_rtt <= SimDuration::zero()) smoothed_rtt = milliseconds(100);
+  const double gain =
+      in_slow_start() ? config_.pacing_gain_slow_start : config_.pacing_gain_cong_avoid;
+  const double bytes_per_second =
+      static_cast<double>(cwnd_bytes_) / to_seconds(smoothed_rtt) * gain;
+  return DataRate::bytes_per_second(bytes_per_second);
+}
+
+}  // namespace qperc::cc

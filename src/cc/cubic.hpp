@@ -1,0 +1,68 @@
+// CUBIC congestion control (RFC 8312) with HyStart slow-start exit, matching
+// what both Linux TCP and gQUIC ship as their default controller.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/congestion_controller.hpp"
+
+namespace qperc::cc {
+
+struct CubicConfig {
+  /// Initial congestion window in segments: 10 for stock Linux TCP, 32 for
+  /// gQUIC and the paper's TCP+ (Table 1).
+  std::uint64_t initial_window_segments = 10;
+  std::uint64_t mss = kDefaultMss;
+  std::uint64_t min_window_segments = 2;
+  std::uint64_t max_window_segments = 10'000;
+  /// Multiplicative decrease factor (RFC 8312 uses 0.7).
+  double beta = 0.7;
+  /// Cubic scaling constant C.
+  double c = 0.4;
+  bool enable_hystart = true;
+  /// Pacing-rate multipliers applied to cwnd/srtt (Linux: 200% / 120%).
+  double pacing_gain_slow_start = 2.0;
+  double pacing_gain_cong_avoid = 1.2;
+};
+
+class Cubic final : public CongestionController {
+ public:
+  explicit Cubic(CubicConfig config);
+
+  void on_packet_sent(SimTime now, std::uint64_t bytes_in_flight,
+                      std::uint64_t packet_bytes) override;
+  void on_ack(SimTime now, const AckSample& sample) override;
+  void on_congestion_event(SimTime now, std::uint64_t bytes_in_flight) override;
+  void on_retransmission_timeout() override;
+  void on_restart_after_idle() override;
+
+  [[nodiscard]] std::uint64_t congestion_window() const override { return cwnd_bytes_; }
+  [[nodiscard]] DataRate pacing_rate(SimDuration smoothed_rtt) const override;
+  [[nodiscard]] bool in_slow_start() const override { return cwnd_bytes_ < ssthresh_bytes_; }
+  [[nodiscard]] std::string_view name() const override { return "cubic"; }
+
+  [[nodiscard]] std::uint64_t ssthresh() const noexcept { return ssthresh_bytes_; }
+
+ private:
+  void cubic_update(SimTime now, std::uint64_t bytes_acked);
+  void hystart_on_ack(SimTime now, const AckSample& sample);
+
+  CubicConfig config_;
+  std::uint64_t cwnd_bytes_;
+  std::uint64_t ssthresh_bytes_;
+
+  // CUBIC epoch state.
+  SimTime epoch_start_{0};
+  bool epoch_active_ = false;
+  double w_max_segments_ = 0.0;   // window before the last reduction
+  double k_seconds_ = 0.0;        // time to regrow to w_max
+  double est_segments_ = 0.0;     // TCP-friendly (Reno) estimate
+  double ack_credit_bytes_ = 0.0; // fractional cwnd growth accumulator
+
+  // HyStart (delay-increase heuristic) state.
+  SimDuration hystart_round_min_rtt_{SimDuration::max()};
+  SimDuration hystart_prev_round_min_rtt_{SimDuration::max()};
+  std::uint32_t hystart_rtt_samples_ = 0;
+};
+
+}  // namespace qperc::cc

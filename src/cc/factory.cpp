@@ -1,0 +1,51 @@
+#include "cc/factory.hpp"
+
+#include "cc/bbr.hpp"
+#include "cc/bbr2.hpp"
+#include "cc/cubic.hpp"
+#include "cc/reno.hpp"
+
+namespace qperc::cc {
+
+std::string_view to_string(CcKind kind) {
+  switch (kind) {
+    case CcKind::kCubic: return "Cubic";
+    case CcKind::kBbr: return "BBRv1";
+    case CcKind::kBbr2: return "BBRv2";
+    case CcKind::kReno: return "NewReno";
+  }
+  return "?";
+}
+
+std::unique_ptr<CongestionController> make_congestion_controller(
+    CcKind kind, std::uint64_t initial_window_segments, std::uint64_t mss) {
+  switch (kind) {
+    case CcKind::kCubic: {
+      CubicConfig config;
+      config.initial_window_segments = initial_window_segments;
+      config.mss = mss;
+      return std::make_unique<Cubic>(config);
+    }
+    case CcKind::kBbr: {
+      BbrConfig config;
+      config.initial_window_segments = initial_window_segments;
+      config.mss = mss;
+      return std::make_unique<Bbr>(config);
+    }
+    case CcKind::kBbr2: {
+      Bbr2Config config;
+      config.initial_window_segments = initial_window_segments;
+      config.mss = mss;
+      return std::make_unique<Bbr2>(config);
+    }
+    case CcKind::kReno: {
+      RenoConfig config;
+      config.initial_window_segments = initial_window_segments;
+      config.mss = mss;
+      return std::make_unique<Reno>(config);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace qperc::cc

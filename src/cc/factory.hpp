@@ -1,0 +1,25 @@
+// Controller selection shared by both transports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "cc/congestion_controller.hpp"
+
+namespace qperc::cc {
+
+enum class CcKind {
+  kCubic,  // default for Linux TCP and gQUIC
+  kBbr,    // BBRv1 (the Table-1 "+BBR" rows)
+  kBbr2,   // BBRv2 — extension study (not available at paper time, §3 fn. 2)
+  kReno,   // NewReno — classic AIMD baseline for ablations
+};
+
+[[nodiscard]] std::string_view to_string(CcKind kind);
+
+/// Builds a controller with the given initial window (in segments of `mss`).
+[[nodiscard]] std::unique_ptr<CongestionController> make_congestion_controller(
+    CcKind kind, std::uint64_t initial_window_segments, std::uint64_t mss);
+
+}  // namespace qperc::cc

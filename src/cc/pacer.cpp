@@ -1,0 +1,46 @@
+#include "cc/pacer.hpp"
+
+#include <algorithm>
+
+namespace qperc::cc {
+
+Pacer::Pacer(PacerConfig config)
+    : config_(config),
+      token_bytes_(static_cast<double>(config.initial_quantum_segments) *
+                   config.segment_bytes) {}
+
+double Pacer::tokens_at(SimTime now) const {
+  const double cap =
+      static_cast<double>(config_.refill_quantum_segments) * config_.segment_bytes;
+  const double accrued =
+      rate_.bytes_per_second_d() * to_seconds(std::max(now - last_update_, SimDuration::zero()));
+  // The initial quantum may exceed the steady-state cap; never shrink below
+  // what is already banked, only stop accruing beyond the cap.
+  if (token_bytes_ >= cap) return token_bytes_;
+  return std::min(cap, token_bytes_ + accrued);
+}
+
+SimTime Pacer::next_send_time(SimTime now, std::uint32_t bytes) const {
+  if (!config_.enabled) return now;
+  const double available = tokens_at(now);
+  if (available >= bytes) return now;
+  if (rate_.is_zero()) return now;  // no rate yet: do not block the handshake
+  const double deficit = static_cast<double>(bytes) - available;
+  return now + from_seconds(deficit / rate_.bytes_per_second_d());
+}
+
+void Pacer::on_packet_sent(SimTime now, std::uint32_t bytes) {
+  if (!config_.enabled) return;
+  token_bytes_ = tokens_at(now) - static_cast<double>(bytes);
+  last_update_ = now;
+}
+
+void Pacer::on_restart_from_idle(SimTime now) {
+  if (!config_.enabled) return;
+  token_bytes_ = std::max(
+      token_bytes_,
+      static_cast<double>(config_.initial_quantum_segments) * config_.segment_bytes);
+  last_update_ = now;
+}
+
+}  // namespace qperc::cc

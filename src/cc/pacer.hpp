@@ -1,0 +1,50 @@
+// Packet pacing, modeled on Linux's fq/sch_fq behaviour that the paper
+// enables for TCP+ ("pacing with Linux's defaults of an initial quantum of
+// ten and a refill quantum of two segments", §3) and that gQUIC applies
+// internally.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qperc::cc {
+
+struct PacerConfig {
+  bool enabled = true;
+  /// Burst allowed for a fresh (or idle-restarted) flow, in segments.
+  std::uint32_t initial_quantum_segments = 10;
+  /// Steady-state token-bucket depth, in segments.
+  std::uint32_t refill_quantum_segments = 2;
+  std::uint32_t segment_bytes = 1460;
+};
+
+/// Token bucket that accumulates credit at the controller-supplied pacing
+/// rate. A disabled pacer always answers "send now" (stock TCP).
+class Pacer {
+ public:
+  explicit Pacer(PacerConfig config);
+
+  void set_rate(DataRate rate) noexcept { rate_ = rate; }
+  [[nodiscard]] DataRate rate() const noexcept { return rate_; }
+
+  /// Earliest time `bytes` may leave. Never earlier than `now`.
+  [[nodiscard]] SimTime next_send_time(SimTime now, std::uint32_t bytes) const;
+  /// Consumes credit for a transmission happening at `now`.
+  void on_packet_sent(SimTime now, std::uint32_t bytes);
+  /// Re-grants the initial burst (flow restarted from idle).
+  void on_restart_from_idle(SimTime now);
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+ private:
+  [[nodiscard]] double tokens_at(SimTime now) const;
+
+  PacerConfig config_;
+  DataRate rate_;
+  double token_bytes_;
+  SimTime last_update_{0};
+};
+
+}  // namespace qperc::cc

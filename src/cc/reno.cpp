@@ -1,0 +1,53 @@
+#include "cc/reno.hpp"
+
+#include <algorithm>
+
+namespace qperc::cc {
+
+Reno::Reno(RenoConfig config)
+    : config_(config),
+      cwnd_bytes_(config.initial_window_segments * config.mss),
+      ssthresh_bytes_(config.max_window_segments * config.mss) {}
+
+void Reno::on_packet_sent(SimTime /*now*/, std::uint64_t /*bytes_in_flight*/,
+                          std::uint64_t /*packet_bytes*/) {}
+
+void Reno::on_ack(SimTime /*now*/, const AckSample& sample) {
+  const std::uint64_t cap = config_.max_window_segments * config_.mss;
+  if (in_slow_start()) {
+    cwnd_bytes_ = std::min(cwnd_bytes_ + sample.bytes_acked, cap);
+    return;
+  }
+  // Congestion avoidance: one MSS per window's worth of acknowledged bytes.
+  ack_accumulator_ += sample.bytes_acked;
+  while (ack_accumulator_ >= cwnd_bytes_ && cwnd_bytes_ < cap) {
+    ack_accumulator_ -= cwnd_bytes_;
+    cwnd_bytes_ = std::min(cwnd_bytes_ + config_.mss, cap);
+  }
+}
+
+void Reno::on_congestion_event(SimTime /*now*/, std::uint64_t /*bytes_in_flight*/) {
+  ssthresh_bytes_ = std::max(cwnd_bytes_ / 2, config_.min_window_segments * config_.mss);
+  cwnd_bytes_ = ssthresh_bytes_;
+  ack_accumulator_ = 0;
+}
+
+void Reno::on_retransmission_timeout() {
+  ssthresh_bytes_ = std::max(cwnd_bytes_ / 2, config_.min_window_segments * config_.mss);
+  cwnd_bytes_ = config_.min_window_segments * config_.mss;
+  ack_accumulator_ = 0;
+}
+
+void Reno::on_restart_after_idle() {
+  cwnd_bytes_ = std::min(cwnd_bytes_, config_.initial_window_segments * config_.mss);
+}
+
+DataRate Reno::pacing_rate(SimDuration smoothed_rtt) const {
+  if (smoothed_rtt <= SimDuration::zero()) smoothed_rtt = milliseconds(100);
+  const double gain =
+      in_slow_start() ? config_.pacing_gain_slow_start : config_.pacing_gain_cong_avoid;
+  return DataRate::bytes_per_second(static_cast<double>(cwnd_bytes_) /
+                                    to_seconds(smoothed_rtt) * gain);
+}
+
+}  // namespace qperc::cc

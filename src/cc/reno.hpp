@@ -1,0 +1,44 @@
+// NewReno congestion control (RFC 5681/6582): the classic AIMD baseline —
+// useful for ablations against Cubic and the BBR family.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/congestion_controller.hpp"
+
+namespace qperc::cc {
+
+struct RenoConfig {
+  std::uint64_t initial_window_segments = 10;
+  std::uint64_t mss = kDefaultMss;
+  std::uint64_t min_window_segments = 2;
+  std::uint64_t max_window_segments = 10'000;
+  double pacing_gain_slow_start = 2.0;
+  double pacing_gain_cong_avoid = 1.2;
+};
+
+class Reno final : public CongestionController {
+ public:
+  explicit Reno(RenoConfig config);
+
+  void on_packet_sent(SimTime now, std::uint64_t bytes_in_flight,
+                      std::uint64_t packet_bytes) override;
+  void on_ack(SimTime now, const AckSample& sample) override;
+  void on_congestion_event(SimTime now, std::uint64_t bytes_in_flight) override;
+  void on_retransmission_timeout() override;
+  void on_restart_after_idle() override;
+
+  [[nodiscard]] std::uint64_t congestion_window() const override { return cwnd_bytes_; }
+  [[nodiscard]] DataRate pacing_rate(SimDuration smoothed_rtt) const override;
+  [[nodiscard]] bool in_slow_start() const override { return cwnd_bytes_ < ssthresh_bytes_; }
+  [[nodiscard]] std::string_view name() const override { return "reno"; }
+  [[nodiscard]] std::uint64_t ssthresh() const noexcept { return ssthresh_bytes_; }
+
+ private:
+  RenoConfig config_;
+  std::uint64_t cwnd_bytes_;
+  std::uint64_t ssthresh_bytes_;
+  std::uint64_t ack_accumulator_ = 0;  // bytes acked towards the next +1 MSS
+};
+
+}  // namespace qperc::cc

@@ -1,0 +1,52 @@
+// RFC 6298 smoothed RTT / RTO estimation, shared by TCP and QUIC.
+#pragma once
+
+#include <algorithm>
+
+#include "util/time.hpp"
+
+namespace qperc::cc {
+
+class RttEstimator {
+ public:
+  /// Linux's TCP_RTO_MIN; gQUIC clamps comparably.
+  static constexpr SimDuration kMinRto = milliseconds(200);
+  static constexpr SimDuration kMaxRto = seconds(60);
+  static constexpr SimDuration kInitialRto = seconds(1);
+
+  void on_rtt_sample(SimDuration rtt) {
+    latest_ = rtt;
+    min_rtt_ = has_sample_ ? std::min(min_rtt_, rtt) : rtt;
+    if (!has_sample_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      has_sample_ = true;
+      return;
+    }
+    const SimDuration err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+  }
+
+  [[nodiscard]] bool has_sample() const noexcept { return has_sample_; }
+  [[nodiscard]] SimDuration smoothed_rtt() const noexcept { return srtt_; }
+  [[nodiscard]] SimDuration latest_rtt() const noexcept { return latest_; }
+  [[nodiscard]] SimDuration min_rtt() const noexcept { return min_rtt_; }
+  [[nodiscard]] SimDuration rtt_var() const noexcept { return rttvar_; }
+
+  /// Base retransmission timeout (before exponential backoff).
+  [[nodiscard]] SimDuration rto() const {
+    if (!has_sample_) return kInitialRto;
+    return std::clamp<SimDuration>(srtt_ + std::max<SimDuration>(4 * rttvar_, milliseconds(1)),
+                                   kMinRto, kMaxRto);
+  }
+
+ private:
+  bool has_sample_ = false;
+  SimDuration srtt_{0};
+  SimDuration rttvar_{0};
+  SimDuration latest_{0};
+  SimDuration min_rtt_{0};
+};
+
+}  // namespace qperc::cc

@@ -1,0 +1,61 @@
+// Windowed extremum filter, the building block of BBR's model
+// (max-bandwidth over 10 round trips, min-RTT over 10 seconds).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace qperc::cc {
+
+/// Tracks the best (per `Better`) sample over a sliding window keyed by a
+/// monotonically nondecreasing clock (round count or virtual time ticks).
+/// Straightforward monotonic-deque implementation: amortized O(1) update.
+template <typename Value, typename Ticks, typename Better>
+class WindowedFilter {
+ public:
+  explicit WindowedFilter(Ticks window_length) : window_length_(window_length) {}
+
+  void update(Value sample, Ticks now) {
+    // Evict entries dominated by the new sample, then expired entries.
+    while (!samples_.empty() && !Better{}(samples_.back().value, sample)) {
+      samples_.pop_back();
+    }
+    samples_.push_back(Entry{sample, now});
+    expire(now);
+  }
+
+  /// Re-evaluates expiry without adding a sample.
+  void advance(Ticks now) { expire(now); }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] Value best() const { return samples_.empty() ? Value{} : samples_.front().value; }
+  void reset() { samples_.clear(); }
+
+ private:
+  struct Entry {
+    Value value;
+    Ticks time;
+  };
+
+  void expire(Ticks now) {
+    while (!samples_.empty() && samples_.front().time + window_length_ < now) {
+      // Never drop the last remaining sample: a stale estimate beats none.
+      if (samples_.size() == 1) break;
+      samples_.pop_front();
+    }
+  }
+
+  Ticks window_length_;
+  std::deque<Entry> samples_;
+};
+
+template <typename T>
+struct Greater {
+  bool operator()(const T& a, const T& b) const { return a > b; }
+};
+template <typename T>
+struct Less {
+  bool operator()(const T& a, const T& b) const { return a < b; }
+};
+
+}  // namespace qperc::cc

@@ -1,0 +1,91 @@
+#include "core/protocol.hpp"
+
+#include <stdexcept>
+
+namespace qperc::core {
+
+tcp::TcpConfig ProtocolConfig::tcp_config() const {
+  tcp::TcpConfig config;
+  config.initial_window_segments = initial_window_segments;
+  config.congestion_control = congestion_control;
+  config.pacing = pacing;
+  config.tuned_buffers = tuned_buffers;
+  config.slow_start_after_idle = slow_start_after_idle;
+  config.handshake_rtts =
+      tcp_handshake_rtts >= 0 ? static_cast<std::uint32_t>(tcp_handshake_rtts)
+                              : (zero_rtt ? 0 : 2);
+  return config;
+}
+
+quic::QuicConfig ProtocolConfig::quic_config() const {
+  quic::QuicConfig config;
+  config.initial_window_segments = initial_window_segments;
+  config.congestion_control = congestion_control;
+  config.pacing = pacing;
+  config.zero_rtt = zero_rtt;
+  if (quic_max_ack_ranges > 0) config.max_ack_ranges = quic_max_ack_ranges;
+  return config;
+}
+
+const std::vector<ProtocolConfig>& paper_protocols() {
+  static const std::vector<ProtocolConfig> protocols = {
+      {.name = "TCP",
+       .transport = Transport::kTcp,
+       .congestion_control = cc::CcKind::kCubic,
+       .initial_window_segments = 10,
+       .pacing = false,
+       .tuned_buffers = false,
+       .slow_start_after_idle = true},
+      {.name = "TCP+",
+       .transport = Transport::kTcp,
+       .congestion_control = cc::CcKind::kCubic,
+       .initial_window_segments = 32,
+       .pacing = true,
+       .tuned_buffers = true,
+       .slow_start_after_idle = false},
+      {.name = "TCP+BBR",
+       .transport = Transport::kTcp,
+       .congestion_control = cc::CcKind::kBbr,
+       .initial_window_segments = 32,
+       .pacing = true,
+       .tuned_buffers = true,
+       .slow_start_after_idle = false},
+      {.name = "QUIC",
+       .transport = Transport::kQuic,
+       .congestion_control = cc::CcKind::kCubic,
+       .initial_window_segments = 32,
+       .pacing = true,
+       .tuned_buffers = true,
+       .slow_start_after_idle = false},
+      {.name = "QUIC+BBR",
+       .transport = Transport::kQuic,
+       .congestion_control = cc::CcKind::kBbr,
+       .initial_window_segments = 32,
+       .pacing = true,
+       .tuned_buffers = true,
+       .slow_start_after_idle = false},
+  };
+  return protocols;
+}
+
+const ProtocolConfig& http1_baseline_protocol() {
+  static const ProtocolConfig protocol = {
+      .name = "TCP-H1",
+      .transport = Transport::kTcpH1,
+      .congestion_control = cc::CcKind::kCubic,
+      .initial_window_segments = 10,
+      .pacing = false,
+      .tuned_buffers = false,
+      .slow_start_after_idle = true};
+  return protocol;
+}
+
+const ProtocolConfig& protocol_by_name(std::string_view name) {
+  for (const auto& protocol : paper_protocols()) {
+    if (protocol.name == name) return protocol;
+  }
+  if (http1_baseline_protocol().name == name) return http1_baseline_protocol();
+  throw std::invalid_argument("unknown protocol: " + std::string(name));
+}
+
+}  // namespace qperc::core

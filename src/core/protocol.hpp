@@ -1,0 +1,46 @@
+// The five protocol configurations of Table 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/factory.hpp"
+#include "quic/config.hpp"
+#include "tcp/config.hpp"
+
+namespace qperc::core {
+
+enum class Transport {
+  kTcp,    // TCP+TLS+HTTP/2 (Table 1's TCP rows)
+  kQuic,   // gQUIC (Table 1's QUIC rows)
+  kTcpH1,  // TCP+TLS+HTTP/1.1 — the related-work baseline (§2), ablations only
+};
+
+struct ProtocolConfig {
+  std::string name;
+  Transport transport = Transport::kTcp;
+  cc::CcKind congestion_control = cc::CcKind::kCubic;
+  std::uint32_t initial_window_segments = 10;
+  bool pacing = false;
+  bool tuned_buffers = false;
+  bool slow_start_after_idle = true;
+  /// Ablation only: 0-RTT (QUIC cached config / TCP TFO+early-data).
+  bool zero_rtt = false;
+  /// Ablation only: cap on QUIC ACK ranges (0 = gQUIC default of 256).
+  std::uint32_t quic_max_ack_ranges = 0;
+  /// Ablation only: explicit TCP handshake round trips before the request
+  /// (-1 = derive from zero_rtt: 0 or 2). 1 models TFO with a cached cookie.
+  int tcp_handshake_rtts = -1;
+
+  [[nodiscard]] tcp::TcpConfig tcp_config() const;
+  [[nodiscard]] quic::QuicConfig quic_config() const;
+};
+
+/// Table 1, in the paper's order: TCP, TCP+, TCP+BBR, QUIC, QUIC+BBR.
+[[nodiscard]] const std::vector<ProtocolConfig>& paper_protocols();
+[[nodiscard]] const ProtocolConfig& protocol_by_name(std::string_view name);
+
+/// Stock TCP+TLS+HTTP/1.1 — what most prior QUIC studies compared against.
+[[nodiscard]] const ProtocolConfig& http1_baseline_protocol();
+
+}  // namespace qperc::core

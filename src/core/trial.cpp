@@ -1,0 +1,43 @@
+#include "core/trial.hpp"
+
+#include "http/session.hpp"
+#include "net/emulated_network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace qperc::core {
+
+browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
+                                  const net::NetworkProfile& profile, std::uint64_t seed) {
+  sim::Simulator simulator;
+  Rng rng(seed);
+  net::EmulatedNetwork network(simulator, profile, rng.fork("network"));
+
+  browser::PageLoader::SessionFactory factory;
+  switch (protocol.transport) {
+    case Transport::kTcp: {
+      const tcp::TcpConfig config = protocol.tcp_config();
+      factory = [&simulator, &network, config](net::ServerId origin) {
+        return http::make_h2_session(simulator, network, origin, config);
+      };
+      break;
+    }
+    case Transport::kQuic: {
+      const quic::QuicConfig config = protocol.quic_config();
+      factory = [&simulator, &network, config](net::ServerId origin) {
+        return http::make_quic_session(simulator, network, origin, config);
+      };
+      break;
+    }
+    case Transport::kTcpH1: {
+      const tcp::TcpConfig config = protocol.tcp_config();
+      factory = [&simulator, &network, config](net::ServerId origin) {
+        return http::make_h1_session(simulator, network, origin, config);
+      };
+      break;
+    }
+  }
+  return browser::load_page(simulator, site, std::move(factory), rng.fork("browser"));
+}
+
+}  // namespace qperc::core

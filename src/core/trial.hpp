@@ -1,0 +1,20 @@
+// One testbed trial: a full website visit with a fresh browser over a fresh
+// emulated network — the unit §3 repeats >=31 times per condition.
+#pragma once
+
+#include <cstdint>
+
+#include "browser/page_loader.hpp"
+#include "core/protocol.hpp"
+#include "net/profile.hpp"
+#include "web/website.hpp"
+
+namespace qperc::core {
+
+/// Runs a single page load. Deterministic in (site, protocol, profile, seed).
+[[nodiscard]] browser::PageLoadResult run_trial(const web::Website& site,
+                                                const ProtocolConfig& protocol,
+                                                const net::NetworkProfile& profile,
+                                                std::uint64_t seed);
+
+}  // namespace qperc::core

@@ -1,0 +1,230 @@
+#include "core/video.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace qperc::core {
+
+Video produce_video(const web::Website& site, const ProtocolConfig& protocol,
+                    const net::NetworkProfile& profile, std::uint32_t runs,
+                    std::uint64_t base_seed) {
+  Video video;
+  video.site = site.name;
+  video.protocol = protocol.name;
+  video.network = profile.kind;
+  video.runs = runs;
+
+  const Rng seeder(base_seed);
+  std::vector<browser::PageLoadResult> results;
+  results.reserve(runs);
+  for (std::uint32_t run = 0; run < runs; ++run) {
+    Rng run_rng = seeder.fork(run + 1);
+    results.push_back(run_trial(site, protocol, profile, run_rng.next_u64()));
+  }
+
+  // Per-condition means of every metric.
+  double sums[browser::kMetricCount] = {};
+  double retx_sum = 0.0;
+  for (const auto& result : results) {
+    for (std::size_t m = 0; m < browser::kMetricCount; ++m) {
+      sums[m] += result.metrics.metric_ms(m);
+    }
+    retx_sum += static_cast<double>(result.transport.retransmissions);
+  }
+  const auto n = static_cast<double>(results.size());
+  video.mean_metrics.first_visual_change = from_seconds(sums[0] / n / 1000.0);
+  video.mean_metrics.speed_index = from_seconds(sums[1] / n / 1000.0);
+  video.mean_metrics.visual_complete_85 = from_seconds(sums[2] / n / 1000.0);
+  video.mean_metrics.last_visual_change = from_seconds(sums[3] / n / 1000.0);
+  video.mean_metrics.page_load_time = from_seconds(sums[4] / n / 1000.0);
+  video.mean_metrics.finished = true;
+  video.mean_retransmissions = retx_sum / n;
+
+  // Typical recording: the trial whose PLT is closest to the mean PLT
+  // (inspired by [27], §3).
+  const double mean_plt = sums[4] / n;
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double distance = std::fabs(results[i].metrics.plt_ms() - mean_plt);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  video.metrics = results[best].metrics;
+  video.vc_curve = std::move(results[best].vc_curve);
+  return video;
+}
+
+VideoLibrary::VideoLibrary(std::uint64_t catalog_seed, std::uint32_t runs)
+    : catalog_seed_(catalog_seed), runs_(runs), catalog_(web::study_catalog(catalog_seed)) {}
+
+const web::Website& VideoLibrary::site_by_name(const std::string& name) const {
+  for (const auto& site : catalog_) {
+    if (site.name == name) return site;
+  }
+  throw std::invalid_argument("unknown site: " + name);
+}
+
+const Video& VideoLibrary::get(const std::string& site_name,
+                               const std::string& protocol_name,
+                               net::NetworkKind network) {
+  const Key key{site_name, protocol_name, static_cast<int>(network)};
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  const web::Website& site = site_by_name(site_name);
+  const ProtocolConfig& protocol = protocol_by_name(protocol_name);
+  const net::NetworkProfile& profile = net::profile_for(network);
+  const Rng seeder(catalog_seed_);
+  const std::uint64_t base_seed =
+      seeder.fork(site_name)
+          .fork(protocol_name)
+          .fork(static_cast<std::uint64_t>(network))
+          .next_u64();
+  return cache_.emplace(key, produce_video(site, protocol, profile, runs_, base_seed))
+      .first->second;
+}
+
+void VideoLibrary::precompute(const std::vector<std::string>& sites,
+                              const std::vector<std::string>& protocols,
+                              const std::vector<net::NetworkKind>& networks) {
+  struct Task {
+    std::string site;
+    std::string protocol;
+    net::NetworkKind network;
+  };
+  std::vector<Task> tasks;
+  for (const auto& site : sites) {
+    for (const auto& protocol : protocols) {
+      for (const auto network : networks) {
+        const Key key{site, protocol, static_cast<int>(network)};
+        if (!cache_.contains(key)) tasks.push_back(Task{site, protocol, network});
+      }
+    }
+  }
+  if (tasks.empty()) return;
+
+  const unsigned workers =
+      std::max(1u, std::min<unsigned>(std::thread::hardware_concurrency(),
+                                      static_cast<unsigned>(tasks.size())));
+  std::vector<Video> videos(tasks.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t index = next.fetch_add(1);
+        if (index >= tasks.size()) return;
+        const Task& task = tasks[index];
+        const web::Website& site = site_by_name(task.site);
+        const ProtocolConfig& protocol = protocol_by_name(task.protocol);
+        const net::NetworkProfile& profile = net::profile_for(task.network);
+        const Rng seeder(catalog_seed_);
+        const std::uint64_t base_seed =
+            seeder.fork(task.site)
+                .fork(task.protocol)
+                .fork(static_cast<std::uint64_t>(task.network))
+                .next_u64();
+        videos[index] = produce_video(site, protocol, profile, runs_, base_seed);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Key key{tasks[i].site, tasks[i].protocol, static_cast<int>(tasks[i].network)};
+    cache_.emplace(key, std::move(videos[i]));
+  }
+}
+
+namespace {
+
+void write_metrics(std::ostream& os, const browser::PageMetrics& metrics) {
+  os << metrics.first_visual_change.count() << ' ' << metrics.speed_index.count() << ' '
+     << metrics.visual_complete_85.count() << ' ' << metrics.last_visual_change.count()
+     << ' ' << metrics.page_load_time.count();
+}
+
+browser::PageMetrics read_metrics(std::istream& is) {
+  browser::PageMetrics metrics;
+  std::int64_t fvc = 0;
+  std::int64_t si = 0;
+  std::int64_t vc85 = 0;
+  std::int64_t lvc = 0;
+  std::int64_t plt = 0;
+  is >> fvc >> si >> vc85 >> lvc >> plt;
+  metrics.first_visual_change = SimDuration{fvc};
+  metrics.speed_index = SimDuration{si};
+  metrics.visual_complete_85 = SimDuration{vc85};
+  metrics.last_visual_change = SimDuration{lvc};
+  metrics.page_load_time = SimDuration{plt};
+  metrics.finished = true;
+  return metrics;
+}
+
+}  // namespace
+
+bool VideoLibrary::load_cache(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic;
+  std::uint64_t seed = 0;
+  std::uint32_t runs = 0;
+  std::size_t count = 0;
+  in >> magic >> seed >> runs >> count;
+  if (magic != "qperc-video-cache-v1" || seed != catalog_seed_ || runs != runs_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    Video video;
+    int network = 0;
+    std::size_t curve_points = 0;
+    in >> video.site >> video.protocol >> network >> video.runs >>
+        video.mean_retransmissions;
+    video.network = static_cast<net::NetworkKind>(network);
+    video.metrics = read_metrics(in);
+    video.mean_metrics = read_metrics(in);
+    in >> curve_points;
+    video.vc_curve.resize(curve_points);
+    for (auto& sample : video.vc_curve) {
+      std::int64_t time = 0;
+      in >> time >> sample.completeness;
+      sample.time = SimTime{time};
+    }
+    if (!in) return false;
+    const Key key{video.site, video.protocol, network};
+    cache_.insert_or_assign(key, std::move(video));
+  }
+  return true;
+}
+
+void VideoLibrary::save_cache(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "qperc-video-cache-v1 " << catalog_seed_ << ' ' << runs_ << ' ' << cache_.size()
+      << '\n';
+  out.precision(17);
+  for (const auto& [key, video] : cache_) {
+    out << video.site << ' ' << video.protocol << ' ' << static_cast<int>(video.network)
+        << ' ' << video.runs << ' ' << video.mean_retransmissions << ' ';
+    write_metrics(out, video.metrics);
+    out << ' ';
+    write_metrics(out, video.mean_metrics);
+    out << ' ' << video.vc_curve.size();
+    for (const auto& sample : video.vc_curve) {
+      out << ' ' << sample.time.count() << ' ' << sample.completeness;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace qperc::core

@@ -1,0 +1,78 @@
+// "Producing Videos" (§3): visit each site >=31 times per condition, derive
+// the technical metrics, and select the recording closest to the mean PLT as
+// the "typical" stimulus shown to study participants.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "browser/metrics.hpp"
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "net/profile.hpp"
+#include "net/transport_stats.hpp"
+#include "web/website.hpp"
+
+namespace qperc::core {
+
+/// The stimulus for one (site, protocol, network) condition.
+struct Video {
+  std::string site;
+  std::string protocol;
+  net::NetworkKind network = net::NetworkKind::kDsl;
+  /// Metrics of the selected typical trial (what participants see).
+  browser::PageMetrics metrics;
+  std::vector<browser::VcSample> vc_curve;
+  /// Per-condition means across all recorded trials.
+  browser::PageMetrics mean_metrics;
+  double mean_retransmissions = 0.0;
+  std::uint32_t runs = 0;
+};
+
+/// Records `runs` trials and picks the typical one (closest-to-mean PLT).
+[[nodiscard]] Video produce_video(const web::Website& site, const ProtocolConfig& protocol,
+                                  const net::NetworkProfile& profile, std::uint32_t runs,
+                                  std::uint64_t base_seed);
+
+/// Lazily computes and caches videos for the whole study grid; the cache is
+/// what both user studies draw their stimuli from.
+class VideoLibrary {
+ public:
+  /// `runs` trials per condition (the paper records at least 31).
+  VideoLibrary(std::uint64_t catalog_seed, std::uint32_t runs);
+
+  [[nodiscard]] const std::vector<web::Website>& catalog() const { return catalog_; }
+  [[nodiscard]] std::uint32_t runs() const noexcept { return runs_; }
+
+  /// Fetches (computing on first use) the video for a condition.
+  const Video& get(const std::string& site_name, const std::string& protocol_name,
+                   net::NetworkKind network);
+
+  /// Precomputes a set of conditions in parallel across hardware threads.
+  void precompute(const std::vector<std::string>& sites,
+                  const std::vector<std::string>& protocols,
+                  const std::vector<net::NetworkKind>& networks);
+
+  [[nodiscard]] const web::Website& site_by_name(const std::string& name) const;
+
+  /// Loads previously saved videos; returns false (and leaves the cache
+  /// untouched) when the file is missing or was produced with a different
+  /// (seed, runs) pair.
+  bool load_cache(const std::string& path);
+  /// Persists every cached video for reuse by later runs.
+  void save_cache(const std::string& path) const;
+  [[nodiscard]] std::size_t cached_conditions() const { return cache_.size(); }
+
+ private:
+  using Key = std::tuple<std::string, std::string, int>;
+
+  std::uint64_t catalog_seed_;
+  std::uint32_t runs_;
+  std::vector<web::Website> catalog_;
+  std::map<Key, Video> cache_;
+};
+
+}  // namespace qperc::core

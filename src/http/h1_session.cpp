@@ -1,0 +1,178 @@
+// HTTP/1.1 over TCP+TLS: the unoptimized baseline most prior QUIC studies
+// compare against (§2). No multiplexing — the browser opens up to six
+// parallel connections per origin and each carries one request at a time.
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "http/session.hpp"
+#include "tcp/connection.hpp"
+
+namespace qperc::http {
+namespace {
+
+constexpr std::size_t kMaxConnectionsPerOrigin = 6;
+
+class H1Session final : public Session {
+ public:
+  H1Session(sim::Simulator& simulator, net::EmulatedNetwork& network, net::ServerId server,
+            const tcp::TcpConfig& config)
+      : simulator_(simulator), network_(network), server_(server), config_(config) {}
+
+  void start() override {
+    if (lanes_.empty()) open_lane();
+  }
+
+  void submit(const Request& request, ProgressFn on_progress) override {
+    pending_.push_back(PendingRequest{request, std::move(on_progress)});
+    pump();
+  }
+
+  [[nodiscard]] net::TransportStats stats() const override {
+    net::TransportStats total;
+    for (const auto& lane : lanes_) total += lane->connection->stats();
+    return total;
+  }
+
+  [[nodiscard]] bool established() const override { return any_established_; }
+
+  void set_on_established(std::function<void()> cb) override {
+    on_established_ = std::move(cb);
+    if (any_established_ && on_established_) on_established_();
+  }
+
+ private:
+  struct PendingRequest {
+    Request request;
+    ProgressFn on_progress;
+  };
+
+  /// One keep-alive connection carrying sequential request/response
+  /// exchanges (no pipelining).
+  struct Lane {
+    std::unique_ptr<tcp::TcpConnection> connection;
+    bool busy = false;
+    bool responding = false;
+
+    // Cumulative stream offsets delimiting the current exchange.
+    std::uint64_t request_boundary = 0;  // client->server bytes ending the request
+    std::uint64_t response_start = 0;    // server->client offset where it begins
+
+    Request current;
+    ProgressFn on_progress;
+    bool complete = true;
+
+    // Server-side write progress of the current response (backpressured).
+    std::uint64_t server_target = 0;
+    std::uint64_t server_written = 0;
+  };
+
+  void open_lane() {
+    auto lane = std::make_unique<Lane>();
+    Lane* raw = lane.get();
+    lane->connection = std::make_unique<tcp::TcpConnection>(
+        simulator_, network_, server_, config_,
+        tcp::TcpConnection::Callbacks{
+            .on_established =
+                [this] {
+                  if (!any_established_) {
+                    any_established_ = true;
+                    if (on_established_) on_established_();
+                  }
+                },
+            .on_request_bytes =
+                [this, raw](std::uint64_t total) { server_side(*raw, total); },
+            .on_response_bytes =
+                [this, raw](std::uint64_t total) { client_side(*raw, total); },
+        });
+    lane->connection->set_server_on_writable([raw] {
+      while (raw->server_written < raw->server_target) {
+        const std::uint64_t accepted =
+            raw->connection->server_write(raw->server_target - raw->server_written);
+        if (accepted == 0) break;
+        raw->server_written += accepted;
+      }
+    });
+    lane->connection->connect();
+    lanes_.push_back(std::move(lane));
+  }
+
+  void pump() {
+    for (auto& lane : lanes_) {
+      if (pending_.empty()) return;
+      if (lane->busy) continue;
+      assign(*lane, pending_.front());
+      pending_.pop_front();
+    }
+    while (!pending_.empty() && lanes_.size() < kMaxConnectionsPerOrigin) {
+      open_lane();
+      assign(*lanes_.back(), pending_.front());
+      pending_.pop_front();
+    }
+  }
+
+  void assign(Lane& lane, PendingRequest& pending) {
+    lane.busy = true;
+    lane.responding = false;
+    lane.complete = false;
+    lane.current = pending.request;
+    lane.on_progress = std::move(pending.on_progress);
+    lane.request_boundary += pending.request.request_bytes;
+    lane.connection->client_write(pending.request.request_bytes);
+  }
+
+  void server_side(Lane& lane, std::uint64_t total) {
+    if (lane.responding || lane.complete || total < lane.request_boundary) return;
+    lane.responding = true;
+    const std::uint64_t bytes =
+        lane.current.response_header_bytes + lane.current.response_body_bytes;
+    simulator_.schedule_in(lane.current.server_think_time, [&lane, bytes] {
+      lane.server_target += bytes;
+      while (lane.server_written < lane.server_target) {
+        const std::uint64_t accepted =
+            lane.connection->server_write(lane.server_target - lane.server_written);
+        if (accepted == 0) break;
+        lane.server_written += accepted;
+      }
+    });
+  }
+
+  void client_side(Lane& lane, std::uint64_t total) {
+    if (lane.complete) return;
+    const std::uint64_t response_bytes =
+        lane.current.response_header_bytes + lane.current.response_body_bytes;
+    const std::uint64_t got = total - lane.response_start;
+    const std::uint64_t headers = lane.current.response_header_bytes;
+    const std::uint64_t body =
+        got > headers ? std::min(got - headers, lane.current.response_body_bytes) : 0;
+    const bool complete = got >= response_bytes;
+    if (lane.on_progress) lane.on_progress(lane.current.object_id, body, complete);
+    if (complete) {
+      lane.complete = true;
+      lane.busy = false;
+      lane.responding = false;
+      lane.response_start += response_bytes;
+      pump();
+    }
+  }
+
+  sim::Simulator& simulator_;
+  net::EmulatedNetwork& network_;
+  net::ServerId server_;
+  tcp::TcpConfig config_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::deque<PendingRequest> pending_;
+  bool any_established_ = false;
+  std::function<void()> on_established_;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> make_h1_session(sim::Simulator& simulator,
+                                         net::EmulatedNetwork& network, net::ServerId server,
+                                         const tcp::TcpConfig& config) {
+  return std::make_unique<H1Session>(simulator, network, server, config);
+}
+
+}  // namespace qperc::http

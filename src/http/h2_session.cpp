@@ -1,0 +1,197 @@
+// HTTP/2 over TCP+TLS.
+//
+// The server-side scheduler interleaves DATA frames of at most 16 KiB across
+// active responses (strict priority, round-robin within a class), feeding the
+// TCP send buffer only when it has room — so interleaving decisions happen at
+// transmission time, like a real H2 server over a drained socket. All
+// responses share one TCP byte stream: a lost segment stalls delivery of
+// every object behind it (transport head-of-line blocking).
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "http/session.hpp"
+#include "tcp/connection.hpp"
+
+namespace qperc::http {
+namespace {
+
+constexpr std::uint64_t kMaxFrameBytes = 16 * 1024;
+
+class H2Session final : public Session {
+ public:
+  H2Session(sim::Simulator& simulator, net::EmulatedNetwork& network, net::ServerId server,
+            const tcp::TcpConfig& config)
+      : simulator_(simulator) {
+    connection_ = std::make_unique<tcp::TcpConnection>(
+        simulator, network, server, config,
+        tcp::TcpConnection::Callbacks{
+            .on_established =
+                [this] {
+                  established_ = true;
+                  if (on_established_) on_established_();
+                },
+            .on_request_bytes = [this](std::uint64_t total) { server_on_request_bytes(total); },
+            .on_response_bytes = [this](std::uint64_t total) { client_on_response_bytes(total); },
+        });
+    connection_->set_server_on_writable([this] { pump_responses(); });
+  }
+
+  void start() override { connection_->connect(); }
+
+  void submit(const Request& request, ProgressFn on_progress) override {
+    const std::uint64_t stream_id = next_stream_id_;
+    next_stream_id_ += 2;
+    streams_.emplace(stream_id, StreamState{request, std::move(on_progress)});
+
+    // The request headers go onto the shared client->server stream; the
+    // server recognizes the request once its last byte arrives.
+    request_bytes_written_ += request.request_bytes;
+    pending_requests_.push_back(PendingRequest{request_bytes_written_, stream_id});
+    connection_->client_write(request.request_bytes);
+  }
+
+  [[nodiscard]] net::TransportStats stats() const override { return connection_->stats(); }
+  [[nodiscard]] bool established() const override { return established_; }
+  void set_on_established(std::function<void()> cb) override {
+    on_established_ = std::move(cb);
+    if (established_ && on_established_) on_established_();
+  }
+
+ private:
+  struct StreamState {
+    Request request;
+    ProgressFn on_progress;
+    std::uint64_t body_delivered = 0;
+    bool complete = false;
+  };
+  struct PendingRequest {
+    std::uint64_t request_end_offset;  // in the client->server byte stream
+    std::uint64_t stream_id;
+  };
+  /// A response currently being framed onto the wire by the server.
+  struct ActiveResponse {
+    std::uint64_t stream_id = 0;
+    std::uint64_t remaining_bytes = 0;  // headers + body left to frame
+    std::uint8_t priority = 2;
+    std::uint64_t arrival_order = 0;
+  };
+  /// A chunk of bytes on the server->client stream, in wire order.
+  struct WireFrame {
+    std::uint64_t stream_id = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void server_on_request_bytes(std::uint64_t total) {
+    while (!pending_requests_.empty() &&
+           total >= pending_requests_.front().request_end_offset) {
+      const PendingRequest pending = pending_requests_.front();
+      pending_requests_.pop_front();
+      const auto it = streams_.find(pending.stream_id);
+      if (it == streams_.end()) continue;
+      const Request& request = it->second.request;
+      const std::uint64_t response_bytes =
+          request.response_header_bytes + request.response_body_bytes;
+      const std::uint8_t priority = request.priority;
+      simulator_.schedule_in(request.server_think_time,
+                             [this, pending, response_bytes, priority] {
+                               active_responses_.push_back(
+                                   ActiveResponse{pending.stream_id, response_bytes,
+                                                  priority, next_arrival_order_++});
+                               pump_responses();
+                             });
+    }
+  }
+
+  /// Picks the next response to frame: strict priority, round-robin within
+  /// the same priority (rotate the chosen entry to the back of its class).
+  std::optional<std::size_t> pick_response() const {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < active_responses_.size(); ++i) {
+      if (!best || active_responses_[i].priority < active_responses_[*best].priority) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  void pump_responses() {
+    while (!active_responses_.empty()) {
+      const std::uint64_t room = connection_->server_writable();
+      if (room == 0) return;  // resumed by on_writable
+      const auto index = pick_response();
+      if (!index) return;
+      ActiveResponse& response = active_responses_[*index];
+      const std::uint64_t frame = std::min({kMaxFrameBytes, response.remaining_bytes, room});
+      if (frame == 0) return;
+      connection_->server_write(frame);
+      wire_frames_.push_back(WireFrame{response.stream_id, frame});
+      response.remaining_bytes -= frame;
+      if (response.remaining_bytes == 0) {
+        active_responses_.erase(active_responses_.begin() +
+                                static_cast<std::ptrdiff_t>(*index));
+      } else {
+        // Round-robin within the class: move to the back.
+        ActiveResponse moved = response;
+        active_responses_.erase(active_responses_.begin() +
+                                static_cast<std::ptrdiff_t>(*index));
+        active_responses_.push_back(moved);
+      }
+    }
+  }
+
+  void client_on_response_bytes(std::uint64_t total) {
+    // Attribute newly delivered in-order bytes to wire frames front-to-back.
+    while (total > wire_consumed_ && !wire_frames_.empty()) {
+      WireFrame& front = wire_frames_.front();
+      const std::uint64_t take = std::min(total - wire_consumed_, front.bytes);
+      wire_consumed_ += take;
+      front.bytes -= take;
+      deliver_to_stream(front.stream_id, take);
+      if (front.bytes == 0) wire_frames_.pop_front();
+    }
+  }
+
+  void deliver_to_stream(std::uint64_t stream_id, std::uint64_t bytes) {
+    const auto it = streams_.find(stream_id);
+    if (it == streams_.end()) return;
+    StreamState& stream = it->second;
+    stream.body_delivered += bytes;  // includes header bytes first
+    const std::uint64_t headers = stream.request.response_header_bytes;
+    const std::uint64_t body =
+        stream.body_delivered > headers ? stream.body_delivered - headers : 0;
+    const bool complete = body >= stream.request.response_body_bytes;
+    if (stream.complete) return;
+    if (complete) stream.complete = true;
+    if (stream.on_progress) stream.on_progress(stream.request.object_id, body, complete);
+  }
+
+  sim::Simulator& simulator_;
+  std::unique_ptr<tcp::TcpConnection> connection_;
+  bool established_ = false;
+  std::function<void()> on_established_;
+
+  std::uint64_t next_stream_id_ = 1;
+  std::map<std::uint64_t, StreamState> streams_;
+
+  std::uint64_t request_bytes_written_ = 0;
+  std::deque<PendingRequest> pending_requests_;
+
+  std::vector<ActiveResponse> active_responses_;
+  std::uint64_t next_arrival_order_ = 0;
+
+  std::deque<WireFrame> wire_frames_;
+  std::uint64_t wire_consumed_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> make_h2_session(sim::Simulator& simulator,
+                                         net::EmulatedNetwork& network, net::ServerId server,
+                                         const tcp::TcpConfig& config) {
+  return std::make_unique<H2Session>(simulator, network, server, config);
+}
+
+}  // namespace qperc::http

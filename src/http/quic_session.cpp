@@ -1,0 +1,106 @@
+// HTTP over gQUIC: each request/response pair maps onto its own transport
+// stream, so a lost packet only stalls the objects whose frames it carried.
+#include <map>
+#include <utility>
+
+#include "http/session.hpp"
+#include "quic/connection.hpp"
+
+namespace qperc::http {
+namespace {
+
+class QuicHttpSession final : public Session {
+ public:
+  QuicHttpSession(sim::Simulator& simulator, net::EmulatedNetwork& network,
+                  net::ServerId server, const quic::QuicConfig& config)
+      : simulator_(simulator) {
+    connection_ = std::make_unique<quic::QuicConnection>(
+        simulator, network, server, config,
+        quic::QuicConnection::Callbacks{
+            .on_established =
+                [this] {
+                  established_ = true;
+                  if (on_established_) on_established_();
+                },
+            .on_request_stream =
+                [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
+                  server_on_request(stream, bytes, fin);
+                },
+            .on_response_stream =
+                [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
+                  client_on_response(stream, bytes, fin);
+                },
+        });
+  }
+
+  void start() override { connection_->connect(); }
+
+  void submit(const Request& request, ProgressFn on_progress) override {
+    const std::uint64_t stream_id = next_stream_id_;
+    next_stream_id_ += 2;
+    streams_.emplace(stream_id, StreamState{request, std::move(on_progress)});
+    connection_->client_write_stream(stream_id, request.request_bytes, /*fin=*/true,
+                                     request.priority);
+  }
+
+  [[nodiscard]] net::TransportStats stats() const override { return connection_->stats(); }
+  [[nodiscard]] bool established() const override { return established_; }
+  void set_on_established(std::function<void()> cb) override {
+    on_established_ = std::move(cb);
+    if (established_ && on_established_) on_established_();
+  }
+
+ private:
+  struct StreamState {
+    Request request;
+    ProgressFn on_progress;
+    bool response_started = false;
+    bool complete = false;
+  };
+
+  void server_on_request(std::uint64_t stream_id, std::uint64_t /*bytes*/, bool fin) {
+    if (!fin) return;  // request headers not complete yet
+    const auto it = streams_.find(stream_id);
+    if (it == streams_.end() || it->second.response_started) return;
+    it->second.response_started = true;
+    const Request& request = it->second.request;
+    const std::uint64_t response_bytes =
+        request.response_header_bytes + request.response_body_bytes;
+    const std::uint8_t priority = request.priority;
+    simulator_.schedule_in(request.server_think_time,
+                           [this, stream_id, response_bytes, priority] {
+                             connection_->server_write_stream(stream_id, response_bytes,
+                                                              /*fin=*/true, priority);
+                           });
+  }
+
+  void client_on_response(std::uint64_t stream_id, std::uint64_t bytes, bool fin) {
+    const auto it = streams_.find(stream_id);
+    if (it == streams_.end()) return;
+    StreamState& stream = it->second;
+    if (stream.complete) return;
+    const std::uint64_t headers = stream.request.response_header_bytes;
+    const std::uint64_t body = bytes > headers ? bytes - headers : 0;
+    const bool complete = fin && body >= stream.request.response_body_bytes;
+    if (complete) stream.complete = true;
+    if (stream.on_progress) stream.on_progress(stream.request.object_id, body, complete);
+  }
+
+  sim::Simulator& simulator_;
+  std::unique_ptr<quic::QuicConnection> connection_;
+  bool established_ = false;
+  std::function<void()> on_established_;
+  std::uint64_t next_stream_id_ = 5;
+  std::map<std::uint64_t, StreamState> streams_;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> make_quic_session(sim::Simulator& simulator,
+                                           net::EmulatedNetwork& network,
+                                           net::ServerId server,
+                                           const quic::QuicConfig& config) {
+  return std::make_unique<QuicHttpSession>(simulator, network, server, config);
+}
+
+}  // namespace qperc::http

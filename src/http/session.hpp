@@ -1,0 +1,75 @@
+// HTTP abstraction the browser talks to: one session per origin, request
+// multiplexing, per-object delivery progress.
+//
+// Two implementations exist: HTTP/2 over TCP+TLS (responses share one byte
+// stream — transport loss blocks every in-flight object) and gQUIC HTTP
+// (responses ride independent transport streams).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/emulated_network.hpp"
+#include "net/transport_stats.hpp"
+#include "quic/config.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/config.hpp"
+#include "util/time.hpp"
+
+namespace qperc::http {
+
+/// One HTTP request/response exchange for a page object.
+struct Request {
+  std::uint32_t object_id = 0;
+  /// Compressed request-header bytes on the wire.
+  std::uint64_t request_bytes = 400;
+  /// Compressed response-header bytes preceding the body.
+  std::uint64_t response_header_bytes = 140;
+  std::uint64_t response_body_bytes = 0;
+  /// Lower value = more urgent (browser priority classes).
+  std::uint8_t priority = 2;
+  /// Server processing latency before the response starts.
+  SimDuration server_think_time{microseconds(500)};
+};
+
+class Session {
+ public:
+  /// Progress report: body bytes of `object_id` delivered in order so far;
+  /// `complete` fires exactly once, when the full body has arrived.
+  using ProgressFn =
+      std::function<void(std::uint32_t object_id, std::uint64_t body_bytes, bool complete)>;
+
+  virtual ~Session() = default;
+
+  /// Starts the transport handshake. Idempotent.
+  virtual void start() = 0;
+  /// Submits a request; may be called before the handshake completes.
+  virtual void submit(const Request& request, ProgressFn on_progress) = 0;
+  [[nodiscard]] virtual net::TransportStats stats() const = 0;
+  [[nodiscard]] virtual bool established() const = 0;
+  /// Invoked once when the transport handshake completes (the browser uses
+  /// this to pace its connection pool).
+  virtual void set_on_established(std::function<void()> cb) = 0;
+};
+
+/// HTTP/2 over TCP+TLS per Table 1's TCP rows.
+[[nodiscard]] std::unique_ptr<Session> make_h2_session(sim::Simulator& simulator,
+                                                       net::EmulatedNetwork& network,
+                                                       net::ServerId server,
+                                                       const tcp::TcpConfig& config);
+
+/// gQUIC HTTP per Table 1's QUIC rows.
+[[nodiscard]] std::unique_ptr<Session> make_quic_session(sim::Simulator& simulator,
+                                                         net::EmulatedNetwork& network,
+                                                         net::ServerId server,
+                                                         const quic::QuicConfig& config);
+
+/// HTTP/1.1 over TCP+TLS (six parallel connections per origin, one exchange
+/// at a time): the related-work baseline (§2), not part of Table 1.
+[[nodiscard]] std::unique_ptr<Session> make_h1_session(sim::Simulator& simulator,
+                                                       net::EmulatedNetwork& network,
+                                                       net::ServerId server,
+                                                       const tcp::TcpConfig& config);
+
+}  // namespace qperc::http

@@ -1,0 +1,54 @@
+#include "net/emulated_network.hpp"
+
+#include <utility>
+
+namespace qperc::net {
+
+EmulatedNetwork::EmulatedNetwork(sim::Simulator& simulator, const NetworkProfile& profile,
+                                 Rng rng)
+    : simulator_(simulator), profile_(profile) {
+  const SimDuration one_way = profile.min_rtt / 2;
+  uplink_ = std::make_unique<Link>(
+      simulator_, profile.uplink, one_way, profile.loss_rate, profile.uplink_queue_bytes(),
+      rng.fork("uplink-loss"), [this](Packet p) { deliver_uplink(std::move(p)); });
+  downlink_ = std::make_unique<Link>(
+      simulator_, profile.downlink, one_way, profile.loss_rate,
+      profile.downlink_queue_bytes(), rng.fork("downlink-loss"),
+      [this](Packet p) { deliver_downlink(std::move(p)); });
+}
+
+void EmulatedNetwork::register_client_flow(FlowId flow, Handler handler) {
+  client_flows_[static_cast<std::uint64_t>(flow)] = std::move(handler);
+}
+
+void EmulatedNetwork::unregister_client_flow(FlowId flow) {
+  client_flows_.erase(static_cast<std::uint64_t>(flow));
+}
+
+void EmulatedNetwork::register_server_flow(FlowId flow, Handler handler) {
+  server_flows_[static_cast<std::uint64_t>(flow)] = std::move(handler);
+}
+
+void EmulatedNetwork::unregister_server_flow(FlowId flow) {
+  server_flows_.erase(static_cast<std::uint64_t>(flow));
+}
+
+void EmulatedNetwork::client_send(Packet packet) { uplink_->send(std::move(packet)); }
+
+void EmulatedNetwork::server_send(Packet packet) { downlink_->send(std::move(packet)); }
+
+void EmulatedNetwork::deliver_uplink(Packet packet) {
+  if (const auto it = server_flows_.find(static_cast<std::uint64_t>(packet.flow));
+      it != server_flows_.end()) {
+    it->second(std::move(packet));
+  }
+}
+
+void EmulatedNetwork::deliver_downlink(Packet packet) {
+  if (const auto it = client_flows_.find(static_cast<std::uint64_t>(packet.flow));
+      it != client_flows_.end()) {
+    it->second(std::move(packet));
+  }
+}
+
+}  // namespace qperc::net

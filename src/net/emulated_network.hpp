@@ -1,0 +1,62 @@
+// The testbed topology: one client behind an emulated access network talking
+// to many origin servers, all sharing the same bottleneck pair of links —
+// exactly Mahimahi's shape (every replayed origin lives behind the one
+// emulated interface).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/profile.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace qperc::net {
+
+class EmulatedNetwork {
+ public:
+  using Handler = std::function<void(Packet)>;
+
+  EmulatedNetwork(sim::Simulator& simulator, const NetworkProfile& profile, Rng rng);
+
+  /// Registers the client-side handler for one flow; downlink packets of that
+  /// flow are demultiplexed to it.
+  void register_client_flow(FlowId flow, Handler handler);
+  void unregister_client_flow(FlowId flow);
+  /// Registers the server-side handler for one flow; uplink packets of that
+  /// flow are demultiplexed to it. (Origin servers are a higher-level concept;
+  /// `Packet::dest_server` is retained for accounting and per-origin delays.)
+  void register_server_flow(FlowId flow, Handler handler);
+  void unregister_server_flow(FlowId flow);
+
+  /// Sends a packet from the client towards `packet.dest_server`.
+  void client_send(Packet packet);
+  /// Sends a packet from a server back to the client of `packet.flow`.
+  void server_send(Packet packet);
+
+  [[nodiscard]] const LinkStats& uplink_stats() const { return uplink_->stats(); }
+  [[nodiscard]] const LinkStats& downlink_stats() const { return downlink_->stats(); }
+  /// Direct link access (observers/tracing).
+  [[nodiscard]] Link& uplink() { return *uplink_; }
+  [[nodiscard]] Link& downlink() { return *downlink_; }
+  [[nodiscard]] const NetworkProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] FlowId allocate_flow_id() noexcept { return FlowId{next_flow_id_++}; }
+
+ private:
+  void deliver_uplink(Packet packet);
+  void deliver_downlink(Packet packet);
+
+  sim::Simulator& simulator_;
+  NetworkProfile profile_;
+  std::unique_ptr<Link> uplink_;
+  std::unique_ptr<Link> downlink_;
+  std::unordered_map<std::uint64_t, Handler> client_flows_;
+  std::unordered_map<std::uint64_t, Handler> server_flows_;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+}  // namespace qperc::net

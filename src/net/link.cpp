@@ -1,0 +1,61 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qperc::net {
+
+Link::Link(sim::Simulator& simulator, DataRate rate, SimDuration propagation_delay,
+           double loss_rate, std::uint64_t queue_capacity_bytes, Rng loss_rng,
+           DeliverFn deliver)
+    : simulator_(simulator),
+      rate_(rate),
+      propagation_delay_(propagation_delay),
+      loss_rate_(loss_rate),
+      queue_capacity_bytes_(queue_capacity_bytes),
+      loss_rng_(loss_rng),
+      deliver_(std::move(deliver)) {}
+
+void Link::send(Packet packet) {
+  ++stats_.packets_offered;
+  if (queued_bytes_ + packet.wire_bytes > queue_capacity_bytes_) {
+    ++stats_.drops_queue_full;
+    notify(LinkEvent::kDroppedQueueFull, packet);
+    return;
+  }
+  queued_bytes_ += packet.wire_bytes;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  notify(LinkEvent::kEnqueued, packet);
+  queue_.push_back(std::move(packet));
+  if (!serializing_) start_serialization();
+}
+
+void Link::start_serialization() {
+  if (queue_.empty()) {
+    serializing_ = false;
+    return;
+  }
+  serializing_ = true;
+  const Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  const SimDuration wire_time = rate_.transmission_time(packet.wire_bytes);
+  simulator_.schedule_in(wire_time, [this, packet]() mutable {
+    queued_bytes_ -= packet.wire_bytes;
+    // Random loss models the lossy wireless segment beyond the bottleneck;
+    // the packet has already consumed its serialization slot.
+    if (loss_rng_.bernoulli(loss_rate_)) {
+      ++stats_.drops_random_loss;
+      notify(LinkEvent::kDroppedRandomLoss, packet);
+    } else {
+      simulator_.schedule_in(propagation_delay_, [this, packet = std::move(packet)]() mutable {
+        ++stats_.packets_delivered;
+        stats_.bytes_delivered += packet.wire_bytes;
+        notify(LinkEvent::kDelivered, packet);
+        deliver_(std::move(packet));
+      });
+    }
+    start_serialization();
+  });
+}
+
+}  // namespace qperc::net

@@ -1,0 +1,82 @@
+// One-directional emulated link: droptail queue -> serialization at a fixed
+// rate -> propagation delay -> Bernoulli random loss.
+//
+// This mirrors the Mahimahi link shells the paper's testbed is built from:
+// a byte-accurate bottleneck with a queue sized in milliseconds (Table 2:
+// 200 ms everywhere except DSL's 12 ms) plus an independent random-loss
+// stage for the in-flight networks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace qperc::net {
+
+/// Counters exposed for tests and the Table-2 validation bench.
+struct LinkStats {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t drops_random_loss = 0;
+  std::uint64_t drops_queue_full = 0;
+  std::uint64_t max_queue_bytes = 0;
+};
+
+/// Per-packet lifecycle events a Link can report to an observer.
+enum class LinkEvent { kEnqueued, kDroppedQueueFull, kDroppedRandomLoss, kDelivered };
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+  using Observer = std::function<void(LinkEvent, const Packet&)>;
+
+  /// `queue_capacity_bytes` bounds the droptail queue (excluding the packet
+  /// currently being serialized). `loss_rate` is applied per packet after the
+  /// queue, i.e. queued packets can still be lost "on the wire".
+  Link(sim::Simulator& simulator, DataRate rate, SimDuration propagation_delay,
+       double loss_rate, std::uint64_t queue_capacity_bytes, Rng loss_rng,
+       DeliverFn deliver);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offers a packet to the link; it is queued, dropped (tail-drop), or lost.
+  void send(Packet packet);
+
+  /// Installs a per-packet observer (tracing); pass nullptr to remove.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t queued_bytes() const noexcept { return queued_bytes_; }
+  [[nodiscard]] DataRate rate() const noexcept { return rate_; }
+  [[nodiscard]] SimDuration propagation_delay() const noexcept { return propagation_delay_; }
+
+ private:
+  void start_serialization();
+
+  sim::Simulator& simulator_;
+  DataRate rate_;
+  SimDuration propagation_delay_;
+  double loss_rate_;
+  std::uint64_t queue_capacity_bytes_;
+  Rng loss_rng_;
+  DeliverFn deliver_;
+  Observer observer_;
+
+  void notify(LinkEvent event, const Packet& packet) {
+    if (observer_) observer_(event, packet);
+  }
+
+  std::deque<Packet> queue_;
+  std::uint64_t queued_bytes_ = 0;
+  bool serializing_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace qperc::net

@@ -1,0 +1,38 @@
+// Packet representation shared by every emulated protocol stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace qperc::net {
+
+/// Identifies one transport connection end-to-end (client-assigned).
+enum class FlowId : std::uint64_t {};
+/// Identifies one origin server behind the emulated access link.
+enum class ServerId : std::uint32_t {};
+
+/// Base class for protocol payloads. The network layer treats payloads as
+/// opaque freight; TCP and QUIC derive their segment/packet types from this
+/// and cast back on delivery (each flow knows its own protocol).
+struct Payload {
+  Payload() = default;
+  Payload(const Payload&) = default;
+  Payload& operator=(const Payload&) = default;
+  virtual ~Payload() = default;
+};
+
+/// A packet on the emulated wire. Copyable: queueing inside links copies the
+/// descriptor while the payload is shared immutable state.
+struct Packet {
+  FlowId flow{0};
+  ServerId dest_server{0};
+  /// Total size on the wire, including all header overhead; this is what the
+  /// link serializes and the queue counts.
+  std::uint32_t wire_bytes = 0;
+  std::shared_ptr<const Payload> payload;
+};
+
+/// Ethernet-ish MTU used to size queues and segments.
+inline constexpr std::uint32_t kMtuBytes = 1500;
+
+}  // namespace qperc::net

@@ -1,0 +1,63 @@
+#include "net/packet_trace.hpp"
+
+namespace qperc::net {
+
+PacketTrace::PacketTrace(sim::Simulator& simulator, EmulatedNetwork& network)
+    : simulator_(simulator), network_(network) {
+  network_.uplink().set_observer([this](LinkEvent event, const Packet& packet) {
+    records_.push_back(TraceRecord{simulator_.now(), Direction::kUplink, event,
+                                   packet.flow, packet.wire_bytes});
+  });
+  network_.downlink().set_observer([this](LinkEvent event, const Packet& packet) {
+    records_.push_back(TraceRecord{simulator_.now(), Direction::kDownlink, event,
+                                   packet.flow, packet.wire_bytes});
+  });
+}
+
+PacketTrace::~PacketTrace() {
+  network_.uplink().set_observer(nullptr);
+  network_.downlink().set_observer(nullptr);
+}
+
+std::vector<SimTime> PacketTrace::delivery_times(Direction direction, FlowId flow) const {
+  std::vector<SimTime> times;
+  for (const auto& record : records_) {
+    if (record.direction != direction || record.event != LinkEvent::kDelivered) continue;
+    if (flow != FlowId{0} && record.flow != flow) continue;
+    times.push_back(record.time);
+  }
+  return times;
+}
+
+std::size_t PacketTrace::count(Direction direction, LinkEvent event) const {
+  std::size_t n = 0;
+  for (const auto& record : records_) {
+    n += record.direction == direction && record.event == event;
+  }
+  return n;
+}
+
+void PacketTrace::print_csv(std::ostream& os) const {
+  os << "time_ms,direction,event,flow,wire_bytes\n";
+  for (const auto& record : records_) {
+    os << to_millis(record.time) << ',' << to_string(record.direction) << ','
+       << to_string(record.event) << ',' << static_cast<std::uint64_t>(record.flow) << ','
+       << record.wire_bytes << '\n';
+  }
+}
+
+std::string_view to_string(LinkEvent event) {
+  switch (event) {
+    case LinkEvent::kEnqueued: return "enqueued";
+    case LinkEvent::kDroppedQueueFull: return "drop_queue";
+    case LinkEvent::kDroppedRandomLoss: return "drop_loss";
+    case LinkEvent::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+std::string_view to_string(Direction direction) {
+  return direction == Direction::kUplink ? "up" : "down";
+}
+
+}  // namespace qperc::net

@@ -1,0 +1,54 @@
+// Packet tracing: records per-packet link events for debugging, tests
+// (e.g. asserting pacing gaps on the wire), and the trace_flow example.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "net/emulated_network.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace qperc::net {
+
+enum class Direction { kUplink, kDownlink };
+
+struct TraceRecord {
+  SimTime time{0};
+  Direction direction = Direction::kUplink;
+  LinkEvent event = LinkEvent::kEnqueued;
+  FlowId flow{0};
+  std::uint32_t wire_bytes = 0;
+};
+
+/// Attaches to both links of an EmulatedNetwork and collects every packet
+/// event. Detach (destroy) before the network; records remain valid.
+class PacketTrace {
+ public:
+  PacketTrace(sim::Simulator& simulator, EmulatedNetwork& network);
+  ~PacketTrace();
+  PacketTrace(const PacketTrace&) = delete;
+  PacketTrace& operator=(const PacketTrace&) = delete;
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Delivery timestamps on one direction, optionally for one flow
+  /// (FlowId{0} = all flows) — handy for asserting wire spacing.
+  [[nodiscard]] std::vector<SimTime> delivery_times(Direction direction,
+                                                    FlowId flow = FlowId{0}) const;
+  [[nodiscard]] std::size_t count(Direction direction, LinkEvent event) const;
+
+  void print_csv(std::ostream& os) const;
+
+ private:
+  sim::Simulator& simulator_;
+  EmulatedNetwork& network_;
+  std::vector<TraceRecord> records_;
+};
+
+[[nodiscard]] std::string_view to_string(LinkEvent event);
+[[nodiscard]] std::string_view to_string(Direction direction);
+
+}  // namespace qperc::net

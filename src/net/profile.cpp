@@ -1,0 +1,104 @@
+#include "net/profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/packet.hpp"
+
+namespace qperc::net {
+namespace {
+
+std::uint64_t queue_bytes(DataRate rate, SimDuration delay) {
+  return std::max<std::uint64_t>(rate.bytes_in(delay), 2 * kMtuBytes);
+}
+
+}  // namespace
+
+std::string_view to_string(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kDsl: return "DSL";
+    case NetworkKind::kLte: return "LTE";
+    case NetworkKind::kDa2gc: return "DA2GC";
+    case NetworkKind::kMss: return "MSS";
+  }
+  return "?";
+}
+
+std::uint64_t NetworkProfile::uplink_queue_bytes() const {
+  // Access uplinks are notoriously over-buffered (modem bufferbloat); the
+  // ms-sized droptail models the *downlink* bottleneck the paper tunes.
+  // Floor the uplink buffer at 32 kB so request/handshake fan-out is not
+  // dropped by an unrealistically tiny 5-packet queue.
+  return std::max<std::uint64_t>(queue_bytes(uplink, queue_delay), 32 * 1024);
+}
+
+std::uint64_t NetworkProfile::downlink_queue_bytes() const {
+  return queue_bytes(downlink, queue_delay);
+}
+
+std::uint64_t NetworkProfile::downlink_bdp_bytes() const {
+  return std::max<std::uint64_t>(bdp_bytes(downlink, min_rtt), 4 * kMtuBytes);
+}
+
+NetworkProfile dsl_profile() {
+  return NetworkProfile{
+      .kind = NetworkKind::kDsl,
+      .name = "DSL",
+      .uplink = DataRate::megabits_per_second(5.0),
+      .downlink = DataRate::megabits_per_second(25.0),
+      .min_rtt = milliseconds(24),
+      .loss_rate = 0.0,
+      .queue_delay = milliseconds(12),
+  };
+}
+
+NetworkProfile lte_profile() {
+  return NetworkProfile{
+      .kind = NetworkKind::kLte,
+      .name = "LTE",
+      .uplink = DataRate::megabits_per_second(2.8),
+      .downlink = DataRate::megabits_per_second(10.5),
+      .min_rtt = milliseconds(74),
+      .loss_rate = 0.0,
+      .queue_delay = milliseconds(200),
+  };
+}
+
+NetworkProfile da2gc_profile() {
+  return NetworkProfile{
+      .kind = NetworkKind::kDa2gc,
+      .name = "DA2GC",
+      .uplink = DataRate::megabits_per_second(0.468),
+      .downlink = DataRate::megabits_per_second(0.468),
+      .min_rtt = milliseconds(262),
+      .loss_rate = 0.033,
+      .queue_delay = milliseconds(200),
+  };
+}
+
+NetworkProfile mss_profile() {
+  return NetworkProfile{
+      .kind = NetworkKind::kMss,
+      .name = "MSS",
+      .uplink = DataRate::megabits_per_second(1.89),
+      .downlink = DataRate::megabits_per_second(1.89),
+      .min_rtt = milliseconds(760),
+      .loss_rate = 0.06,
+      .queue_delay = milliseconds(200),
+  };
+}
+
+const std::vector<NetworkProfile>& all_profiles() {
+  static const std::vector<NetworkProfile> profiles = {dsl_profile(), lte_profile(),
+                                                       da2gc_profile(), mss_profile()};
+  return profiles;
+}
+
+const NetworkProfile& profile_for(NetworkKind kind) {
+  for (const auto& profile : all_profiles()) {
+    if (profile.kind == kind) return profile;
+  }
+  throw std::invalid_argument("unknown network kind");
+}
+
+}  // namespace qperc::net

@@ -1,0 +1,55 @@
+// The four emulated access networks of Table 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qperc::net {
+
+/// Which of the paper's four network settings a profile represents; used to
+/// key study conditions and report tables.
+enum class NetworkKind { kDsl, kLte, kDa2gc, kMss };
+
+[[nodiscard]] std::string_view to_string(NetworkKind kind);
+
+/// Parameters of one emulated access network (Table 2). Queue sizes are
+/// expressed as a delay budget per direction, exactly like Mahimahi's
+/// ms-sized droptail queues.
+struct NetworkProfile {
+  NetworkKind kind = NetworkKind::kDsl;
+  std::string name;
+  DataRate uplink;
+  DataRate downlink;
+  SimDuration min_rtt{0};
+  /// Random loss probability, applied independently per direction.
+  double loss_rate = 0.0;
+  SimDuration queue_delay{0};
+
+  /// Droptail capacity of the given direction's queue in bytes
+  /// (rate x queue delay, floored at two MTUs so tiny links stay usable).
+  [[nodiscard]] std::uint64_t uplink_queue_bytes() const;
+  [[nodiscard]] std::uint64_t downlink_queue_bytes() const;
+
+  /// Bandwidth-delay product of the downstream path (used to size "tuned"
+  /// socket buffers, Section 3).
+  [[nodiscard]] std::uint64_t downlink_bdp_bytes() const;
+};
+
+/// DSL: median German household broadband, no artificial loss, 12 ms queue.
+[[nodiscard]] NetworkProfile dsl_profile();
+/// LTE: median German mobile link, higher RTT, 200 ms queue.
+[[nodiscard]] NetworkProfile lte_profile();
+/// DA2GC: in-flight WiFi, direct-air-to-ground cellular (lossy, slow).
+[[nodiscard]] NetworkProfile da2gc_profile();
+/// MSS: in-flight WiFi over a satellite link (very high RTT, 6% loss).
+[[nodiscard]] NetworkProfile mss_profile();
+
+/// All four study networks in the paper's order.
+[[nodiscard]] const std::vector<NetworkProfile>& all_profiles();
+
+[[nodiscard]] const NetworkProfile& profile_for(NetworkKind kind);
+
+}  // namespace qperc::net

@@ -1,0 +1,31 @@
+// gQUIC stack parameterization (the QUIC rows of Table 1).
+#pragma once
+
+#include <cstdint>
+
+#include "cc/factory.hpp"
+
+namespace qperc::quic {
+
+struct QuicConfig {
+  /// gQUIC default: initial congestion window of 32 segments (§1).
+  std::uint32_t initial_window_segments = 32;
+  cc::CcKind congestion_control = cc::CcKind::kCubic;
+  /// gQUIC always paces.
+  bool pacing = true;
+  /// Fresh browser cache => 1-RTT handshake (inchoate CHLO -> REJ -> full
+  /// CHLO + request). True enables the 0-RTT ablation (cached server config).
+  bool zero_rtt = false;
+
+  /// Maximum stream payload per packet (gQUIC's default packet size).
+  std::uint32_t max_payload_bytes = 1350;
+  /// ACK frames can describe up to 256 ranges — the "large SACK ranges"
+  /// §4.3 credits for QUIC's loss resilience.
+  std::uint32_t max_ack_ranges = 256;
+
+  /// Flow-control windows; sized generously (the tuned-buffer equivalent).
+  std::uint64_t stream_flow_window_bytes = 1 * 1024 * 1024;
+  std::uint64_t connection_flow_window_bytes = 1536 * 1024;
+};
+
+}  // namespace qperc::quic

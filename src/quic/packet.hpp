@@ -1,0 +1,56 @@
+// On-the-wire QUIC packet representation for the emulated network.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace qperc::quic {
+
+enum class QuicHandshakeStep : std::uint8_t {
+  kNone = 0,
+  kInchoateChlo,  // client -> server, padded to a full packet
+  kRej,           // server -> client: server config (two packets)
+  kFullChlo,      // client -> server, completes the crypto handshake
+};
+
+struct StreamFrame {
+  std::uint64_t stream_id = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  bool fin = false;
+};
+
+/// Flow-control credit grant (MAX_STREAM_DATA / MAX_DATA).
+struct WindowUpdate {
+  std::uint64_t stream_id = 0;  // 0 == connection-level
+  std::uint64_t limit = 0;
+};
+
+/// Per-packet overheads: short header + AEAD tag (~30 B) plus UDP/IP (28 B).
+inline constexpr std::uint32_t kQuicOverheadBytes = 30;
+inline constexpr std::uint32_t kUdpIpOverheadBytes = 28;
+/// Framing overhead per stream frame inside a packet.
+inline constexpr std::uint32_t kStreamFrameOverhead = 8;
+/// Wire size of a padded handshake packet.
+inline constexpr std::uint32_t kHandshakePacketWireBytes = 1392;
+
+struct QuicPacket final : net::Payload {
+  QuicHandshakeStep handshake = QuicHandshakeStep::kNone;
+  std::uint8_t flight_index = 0;
+  std::uint8_t flight_size = 1;
+
+  std::uint64_t packet_number = 0;
+  bool ack_eliciting = false;
+  std::vector<StreamFrame> frames;
+
+  bool has_ack = false;
+  /// Received packet-number ranges [first, last], newest first, <= 256.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ack_ranges;
+
+  std::vector<WindowUpdate> window_updates;
+};
+
+}  // namespace qperc::quic

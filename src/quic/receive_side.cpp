@@ -1,0 +1,160 @@
+#include "quic/receive_side.hpp"
+
+#include <algorithm>
+
+namespace qperc::quic {
+namespace {
+
+constexpr SimDuration kAckDelay = milliseconds(25);
+
+}  // namespace
+
+QuicReceiveSide::QuicReceiveSide(
+    sim::Simulator& simulator, const QuicConfig& config, std::function<void()> request_ack,
+    std::function<void(std::uint64_t, std::uint64_t, bool)> on_stream_progress)
+    : simulator_(simulator),
+      config_(config),
+      request_ack_(std::move(request_ack)),
+      on_stream_progress_(std::move(on_stream_progress)),
+      delayed_ack_timer_(simulator, [this] { request_ack_(); }),
+      connection_advertised_(config.connection_flow_window_bytes) {}
+
+std::uint64_t QuicReceiveSide::stream_delivered(std::uint64_t stream_id) const {
+  const auto it = streams_.find(stream_id);
+  return it == streams_.end() ? 0 : it->second.contiguous;
+}
+
+void QuicReceiveSide::on_packet(const QuicPacket& packet) {
+  const std::uint64_t pn = packet.packet_number;
+
+  // Record the packet number in the received-range set.
+  bool duplicate = false;
+  auto it = received_.upper_bound(pn);
+  if (it != received_.begin()) {
+    auto prev = std::prev(it);
+    if (pn <= prev->second) duplicate = true;
+  }
+  const bool out_of_order = pn < largest_received_;
+  if (!duplicate) {
+    // Merge pn into ranges: extend neighbours where adjacent.
+    auto next = received_.lower_bound(pn);
+    const bool joins_next = next != received_.end() && next->first == pn + 1;
+    auto prev = next == received_.begin() ? received_.end() : std::prev(next);
+    const bool joins_prev = prev != received_.end() && prev->second + 1 == pn;
+    if (joins_prev && joins_next) {
+      prev->second = next->second;
+      received_.erase(next);
+    } else if (joins_prev) {
+      prev->second = pn;
+    } else if (joins_next) {
+      const std::uint64_t end = next->second;
+      received_.erase(next);
+      received_[pn] = end;
+    } else {
+      received_[pn] = pn;
+    }
+    largest_received_ = std::max(largest_received_, pn);
+  }
+
+  if (!duplicate) {
+    for (const auto& frame : packet.frames) on_stream_frame(frame);
+  }
+
+  if (packet.ack_eliciting) {
+    ++ack_eliciting_since_ack_;
+    const bool immediate = out_of_order || !pending_window_updates_.empty() ||
+                           ack_eliciting_since_ack_ >= 2 || duplicate;
+    if (immediate) {
+      request_ack_();
+    } else if (!delayed_ack_timer_.is_armed()) {
+      delayed_ack_timer_.set_in(kAckDelay);
+    }
+  }
+}
+
+void QuicReceiveSide::on_stream_frame(const StreamFrame& frame) {
+  auto& stream = streams_[frame.stream_id];
+  if (stream.advertised_limit == 0) {
+    stream.advertised_limit = config_.stream_flow_window_bytes;
+  }
+  if (frame.fin) {
+    stream.fin_offset = frame.offset + frame.length;
+  }
+
+  const std::uint64_t start = frame.offset;
+  const std::uint64_t end = frame.offset + frame.length;
+  const std::uint64_t before = stream.contiguous;
+
+  if (end > stream.contiguous || (frame.fin && frame.length == 0)) {
+    if (start <= stream.contiguous) {
+      stream.contiguous = std::max(stream.contiguous, end);
+      auto it = stream.out_of_order.begin();
+      while (it != stream.out_of_order.end() && it->first <= stream.contiguous) {
+        stream.contiguous = std::max(stream.contiguous, it->second);
+        it = stream.out_of_order.erase(it);
+      }
+    } else if (end > start) {
+      // Merge into the out-of-order set.
+      std::uint64_t new_start = start;
+      std::uint64_t new_end = end;
+      auto it = stream.out_of_order.lower_bound(start);
+      if (it != stream.out_of_order.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= start) {
+          new_start = prev->first;
+          new_end = std::max(new_end, prev->second);
+          stream.out_of_order.erase(prev);
+        }
+      }
+      it = stream.out_of_order.lower_bound(new_start);
+      while (it != stream.out_of_order.end() && it->first <= new_end) {
+        new_end = std::max(new_end, it->second);
+        it = stream.out_of_order.erase(it);
+      }
+      stream.out_of_order[new_start] = new_end;
+    }
+  }
+
+  const std::uint64_t progress = stream.contiguous - before;
+  connection_consumed_ += progress;
+  maybe_update_windows(frame.stream_id, stream);
+
+  const bool fin_complete = stream.contiguous == stream.fin_offset;
+  if ((progress > 0 || (fin_complete && !stream.fin_signaled)) && on_stream_progress_) {
+    if (fin_complete) stream.fin_signaled = true;
+    on_stream_progress_(frame.stream_id, stream.contiguous, fin_complete);
+  }
+}
+
+void QuicReceiveSide::maybe_update_windows(std::uint64_t stream_id, RecvStream& stream) {
+  // The application consumes delivered bytes instantly; grant more credit
+  // once half the window is used (gQUIC's session/stream flow controllers).
+  if (stream.advertised_limit - stream.contiguous <
+      config_.stream_flow_window_bytes / 2) {
+    stream.advertised_limit = stream.contiguous + config_.stream_flow_window_bytes;
+    pending_window_updates_.push_back(WindowUpdate{stream_id, stream.advertised_limit});
+  }
+  if (connection_advertised_ - connection_consumed_ <
+      config_.connection_flow_window_bytes / 2) {
+    connection_advertised_ =
+        connection_consumed_ + config_.connection_flow_window_bytes;
+    pending_window_updates_.push_back(WindowUpdate{0, connection_advertised_});
+  }
+}
+
+void QuicReceiveSide::fill_ack(QuicPacket& packet) {
+  if (received_.empty() && pending_window_updates_.empty()) return;
+  packet.has_ack = !received_.empty();
+  packet.ack_ranges.clear();
+  // Newest ranges first, capped at the configured range budget.
+  for (auto it = received_.rbegin();
+       it != received_.rend() && packet.ack_ranges.size() < config_.max_ack_ranges; ++it) {
+    packet.ack_ranges.emplace_back(it->first, it->second);
+  }
+  packet.window_updates = std::move(pending_window_updates_);
+  pending_window_updates_.clear();
+  ack_eliciting_since_ack_ = 0;
+  delayed_ack_timer_.cancel();
+}
+
+}  // namespace qperc::quic

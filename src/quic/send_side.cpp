@@ -1,0 +1,349 @@
+#include "quic/send_side.hpp"
+
+#include <algorithm>
+
+namespace qperc::quic {
+namespace {
+
+/// QUIC loss detection (packet threshold / time threshold, RFC 9002 values
+/// that gQUIC also used).
+constexpr std::uint64_t kPacketReorderThreshold = 3;
+constexpr SimDuration kMaxAckDelay = milliseconds(25);
+
+}  // namespace
+
+QuicSendSide::QuicSendSide(sim::Simulator& simulator, const QuicConfig& config, EmitFn emit)
+    : simulator_(simulator),
+      config_(config),
+      emit_(std::move(emit)),
+      cc_(cc::make_congestion_controller(config.congestion_control,
+                                         config.initial_window_segments,
+                                         config.max_payload_bytes)),
+      pacer_(cc::PacerConfig{.enabled = config.pacing,
+                             .initial_quantum_segments = 10,
+                             .refill_quantum_segments = 2,
+                             .segment_bytes = config.max_payload_bytes}),
+      peer_connection_limit_(config.connection_flow_window_bytes),
+      loss_or_pto_timer_(simulator, [this] { on_timer(); }),
+      send_timer_(simulator, [this] { maybe_send(); }) {}
+
+void QuicSendSide::on_established(SimDuration handshake_rtt) {
+  established_ = true;
+  if (handshake_rtt > SimDuration::zero()) rtt_.on_rtt_sample(handshake_rtt);
+  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  maybe_send();
+}
+
+void QuicSendSide::write_stream(std::uint64_t stream_id, std::uint64_t bytes, bool fin,
+                                std::uint8_t priority) {
+  auto [it, inserted] =
+      streams_.try_emplace(stream_id, SendStream{config_.stream_flow_window_bytes});
+  SendStream& stream = it->second;
+  stream.priority = priority;
+  stream.write_bytes += bytes;
+  if (fin) stream.fin = true;
+  if (bytes_in_flight_ == 0) pacer_.on_restart_from_idle(simulator_.now());
+  maybe_send();
+}
+
+QuicPacket QuicSendSide::make_control_packet() {
+  QuicPacket packet;
+  packet.packet_number = next_packet_number_++;
+  packet.ack_eliciting = false;
+  ++stats_.acks_sent;
+  return packet;
+}
+
+std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
+                                                    bool& is_retransmission) {
+  std::vector<StreamFrame> frames;
+  is_retransmission = false;
+
+  // Retransmissions take precedence: they unblock the peer's reassembly.
+  while (!retransmit_queue_.empty() && budget > kStreamFrameOverhead) {
+    StreamFrame& pending = retransmit_queue_.front();
+    const std::uint32_t take =
+        std::min(pending.length, budget - kStreamFrameOverhead);
+    if (take == 0 && !(pending.length == 0 && pending.fin)) break;
+    StreamFrame frame = pending;
+    frame.length = take;
+    if (take < pending.length) {
+      frame.fin = false;
+      pending.offset += take;
+      pending.length -= take;
+    } else {
+      retransmit_queue_.pop_front();
+    }
+    budget -= std::min(budget, take + kStreamFrameOverhead);
+    frames.push_back(frame);
+    is_retransmission = true;
+  }
+
+  // New data: strict priority, round-robin within a priority level.
+  while (budget > kStreamFrameOverhead) {
+    SendStream* best = nullptr;
+    std::uint64_t best_id = 0;
+    // Two passes give round-robin: prefer ids after the last served one.
+    for (int pass = 0; pass < 2 && best == nullptr; ++pass) {
+      for (auto& [id, stream] : streams_) {
+        if (pass == 0 && id <= last_served_stream_) continue;
+        const bool has_data = stream.next_offset < stream.write_bytes;
+        const bool has_fin = stream.fin && !stream.fin_packetized &&
+                             stream.next_offset == stream.write_bytes;
+        if (!has_data && !has_fin) continue;
+        if (has_data && stream.next_offset >= stream.peer_limit) continue;
+        if (has_data && connection_bytes_sent_ >= peer_connection_limit_) continue;
+        if (best == nullptr || stream.priority < best->priority) {
+          best = &stream;
+          best_id = id;
+        }
+      }
+    }
+    if (best == nullptr) break;
+    last_served_stream_ = best_id;
+
+    const std::uint64_t cap = std::min(
+        {static_cast<std::uint64_t>(budget - kStreamFrameOverhead),
+         best->write_bytes - best->next_offset, best->peer_limit - best->next_offset,
+         peer_connection_limit_ - connection_bytes_sent_});
+    StreamFrame frame;
+    frame.stream_id = best_id;
+    frame.offset = best->next_offset;
+    frame.length = static_cast<std::uint32_t>(cap);
+    best->next_offset += cap;
+    connection_bytes_sent_ += cap;
+    if (best->fin && best->next_offset == best->write_bytes) {
+      frame.fin = true;
+      best->fin_packetized = true;
+    }
+    budget -= frame.length + kStreamFrameOverhead;
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+void QuicSendSide::maybe_send() {
+  if (!established_) return;
+  while (true) {
+    if (bytes_in_flight_ >= cc_->congestion_window()) return;
+
+    // Pacing gate, using a full-sized packet as the release unit.
+    const std::uint32_t wire_estimate =
+        config_.max_payload_bytes + kQuicOverheadBytes + kUdpIpOverheadBytes;
+    const SimTime release = pacer_.next_send_time(simulator_.now(), wire_estimate);
+    if (release > simulator_.now()) {
+      send_timer_.set_at(release);
+      return;
+    }
+
+    bool is_retransmission = false;
+    auto frames = build_frames(config_.max_payload_bytes, is_retransmission);
+    if (frames.empty()) {
+      sampler_.on_app_limited();
+      return;
+    }
+    transmit(std::move(frames), is_retransmission);
+  }
+}
+
+void QuicSendSide::transmit(std::vector<StreamFrame> frames, bool is_retransmission) {
+  const SimTime now = simulator_.now();
+  std::uint32_t payload = 0;
+  std::uint64_t stream_bytes = 0;
+  for (const auto& frame : frames) {
+    payload += frame.length + kStreamFrameOverhead;
+    stream_bytes += frame.length;
+  }
+
+  const std::uint64_t pn = next_packet_number_++;
+  sampler_.on_packet_sent(pn, stream_bytes, now, bytes_in_flight_);
+  cc_->on_packet_sent(now, bytes_in_flight_, payload);
+  pacer_.on_packet_sent(now, payload + kQuicOverheadBytes + kUdpIpOverheadBytes);
+  bytes_in_flight_ += payload;
+
+  ++stats_.data_packets_sent;
+  stats_.bytes_sent += stream_bytes;
+  if (is_retransmission) ++stats_.retransmissions;
+
+  QuicPacket packet;
+  packet.packet_number = pn;
+  packet.ack_eliciting = true;
+  packet.frames = frames;
+  unacked_[pn] = UnackedPacket{now, payload, stream_bytes, std::move(frames)};
+
+  emit_(std::move(packet));
+  rearm_timer();
+}
+
+void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
+  if (!packet.has_ack || !established_) return;
+  const SimTime now = simulator_.now();
+
+  std::uint64_t newly_acked = 0;
+  SimDuration rtt_sample{0};
+  cc::RateSample best_rate{};
+  bool have_rate = false;
+
+  for (const auto& [first, last] : packet.ack_ranges) {
+    auto it = unacked_.lower_bound(first);
+    while (it != unacked_.end() && it->first <= last) {
+      const std::uint64_t pn = it->first;
+      UnackedPacket& up = it->second;
+      newly_acked += up.stream_bytes;
+      stats_.bytes_delivered += up.stream_bytes;
+      bytes_in_flight_ -= up.payload_bytes;
+      if (pn > largest_acked_) {
+        largest_acked_ = pn;
+        rtt_sample = now - up.sent_time;
+      }
+      if (const auto sample = sampler_.on_packet_acked(pn, now)) {
+        if (!have_rate || sample->delivery_rate > best_rate.delivery_rate) {
+          best_rate = *sample;
+        }
+        have_rate = true;
+      }
+      it = unacked_.erase(it);
+    }
+  }
+
+  if (rtt_sample > SimDuration::zero()) rtt_.on_rtt_sample(rtt_sample);
+
+  detect_losses(now);
+
+  bool round_ended = false;
+  if (largest_acked_ >= round_end_pn_) {
+    round_ended = true;
+    round_end_pn_ = next_packet_number_;
+  }
+  if (newly_acked > 0 || have_rate) {
+    cc::AckSample sample;
+    sample.bytes_acked = newly_acked;
+    sample.rtt = rtt_sample;
+    sample.smoothed_rtt = rtt_.smoothed_rtt();
+    if (have_rate) {
+      sample.delivery_rate = best_rate.delivery_rate;
+      sample.is_app_limited = best_rate.is_app_limited;
+    }
+    sample.bytes_in_flight = bytes_in_flight_;
+    sample.round_trip_ended = round_ended;
+    cc_->on_ack(now, sample);
+    pto_backoff_ = 0;
+  }
+  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+
+  rearm_timer();
+  maybe_send();
+}
+
+void QuicSendSide::on_window_updates(const QuicPacket& packet) {
+  for (const auto& update : packet.window_updates) {
+    if (update.stream_id == 0) {
+      peer_connection_limit_ = std::max(peer_connection_limit_, update.limit);
+    } else if (const auto it = streams_.find(update.stream_id); it != streams_.end()) {
+      it->second.peer_limit = std::max(it->second.peer_limit, update.limit);
+    }
+  }
+  maybe_send();
+}
+
+void QuicSendSide::requeue_lost(UnackedPacket& packet) {
+  for (const auto& frame : packet.frames) {
+    if (frame.length == 0 && !frame.fin) continue;
+    retransmit_queue_.push_back(frame);
+  }
+}
+
+void QuicSendSide::enter_recovery_if_needed(std::uint64_t lost_pn) {
+  if (lost_pn <= recovery_end_pn_) return;
+  recovery_end_pn_ = next_packet_number_;
+  ++stats_.congestion_events;
+  cc_->on_congestion_event(simulator_.now(), bytes_in_flight_);
+  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+}
+
+void QuicSendSide::detect_losses(SimTime now) {
+  if (largest_acked_ == 0) return;
+  const SimDuration rtt_basis = rtt_.has_sample()
+                                    ? std::max(rtt_.smoothed_rtt(), rtt_.latest_rtt())
+                                    : SimDuration{milliseconds(100)};
+  const SimDuration loss_delay = rtt_basis * 9 / 8;
+  loss_deadline_ = kNoTime;
+
+  std::uint64_t largest_lost = 0;
+  auto it = unacked_.begin();
+  while (it != unacked_.end() && it->first < largest_acked_) {
+    const std::uint64_t pn = it->first;
+    UnackedPacket& up = it->second;
+    const bool threshold_lost = largest_acked_ - pn >= kPacketReorderThreshold;
+    const bool time_lost = up.sent_time + loss_delay <= now;
+    if (threshold_lost || time_lost) {
+      bytes_in_flight_ -= up.payload_bytes;
+      sampler_.on_packet_lost(pn);
+      requeue_lost(up);
+      largest_lost = pn;
+      it = unacked_.erase(it);
+    } else {
+      loss_deadline_ = std::min(loss_deadline_, up.sent_time + loss_delay);
+      ++it;
+    }
+  }
+  if (largest_lost != 0) enter_recovery_if_needed(largest_lost);
+}
+
+SimDuration QuicSendSide::probe_timeout() const {
+  const SimDuration base = rtt_.has_sample()
+                               ? rtt_.smoothed_rtt() +
+                                     std::max<SimDuration>(4 * rtt_.rtt_var(),
+                                                           milliseconds(1)) +
+                                     kMaxAckDelay
+                               : SimDuration{seconds(1)};
+  return base * (1u << std::min(pto_backoff_, 6u));
+}
+
+void QuicSendSide::rearm_timer() {
+  const bool has_retransmittable = !unacked_.empty() || !retransmit_queue_.empty();
+  if (!has_retransmittable) {
+    loss_or_pto_timer_.cancel();
+    return;
+  }
+  if (loss_deadline_ != kNoTime && loss_deadline_ != SimTime{0}) {
+    timer_is_loss_ = true;
+    loss_or_pto_timer_.set_at(loss_deadline_);
+    return;
+  }
+  timer_is_loss_ = false;
+  loss_or_pto_timer_.set_in(probe_timeout());
+}
+
+void QuicSendSide::on_timer() {
+  if (timer_is_loss_) {
+    loss_deadline_ = kNoTime;
+    detect_losses(simulator_.now());
+    rearm_timer();
+    maybe_send();
+    return;
+  }
+  // Probe timeout: retransmit the oldest unacked packet's frames (bypassing
+  // the congestion window) to elicit an ACK.
+  ++pto_backoff_;
+  ++stats_.tail_probes;
+  if (pto_backoff_ >= 2) ++stats_.timeouts;
+  if (!unacked_.empty()) {
+    auto it = unacked_.begin();
+    UnackedPacket up = std::move(it->second);
+    bytes_in_flight_ -= up.payload_bytes;
+    sampler_.on_packet_lost(it->first);
+    unacked_.erase(it);
+    requeue_lost(up);
+    bool is_retx = false;
+    auto frames = build_frames(config_.max_payload_bytes, is_retx);
+    if (!frames.empty()) transmit(std::move(frames), true);
+  } else if (!retransmit_queue_.empty()) {
+    bool is_retx = false;
+    auto frames = build_frames(config_.max_payload_bytes, is_retx);
+    if (!frames.empty()) transmit(std::move(frames), true);
+  }
+  rearm_timer();
+}
+
+}  // namespace qperc::quic

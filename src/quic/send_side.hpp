@@ -1,0 +1,124 @@
+// The sending half of one direction of a gQUIC connection.
+//
+// Key behavioural differences from the TCP sender that the paper leans on:
+//  * packet-number space with no retransmission ambiguity,
+//  * frames from independent streams share packets (no transport-level
+//    head-of-line blocking between objects),
+//  * loss detection from ACK ranges covering up to 256 ranges,
+//  * probe timeouts instead of dup-ack machinery.
+// Congestion control and pacing reuse the same cc:: modules as TCP,
+// which is precisely the "similarly parameterized" setup of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "cc/bandwidth_sampler.hpp"
+#include "cc/congestion_controller.hpp"
+#include "cc/pacer.hpp"
+#include "cc/rtt_estimator.hpp"
+#include "net/transport_stats.hpp"
+#include "quic/config.hpp"
+#include "quic/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace qperc::quic {
+
+class QuicSendSide {
+ public:
+  /// Emits a data packet; the connection piggybacks ACK state and routes it.
+  using EmitFn = std::function<void(QuicPacket)>;
+
+  QuicSendSide(sim::Simulator& simulator, const QuicConfig& config, EmitFn emit);
+  QuicSendSide(const QuicSendSide&) = delete;
+  QuicSendSide& operator=(const QuicSendSide&) = delete;
+
+  void on_established(SimDuration handshake_rtt);
+
+  /// Appends bytes to a stream (creating it as needed). Lower `priority`
+  /// values are served first; streams of equal priority share round-robin.
+  void write_stream(std::uint64_t stream_id, std::uint64_t bytes, bool fin,
+                    std::uint8_t priority);
+
+  /// Processes an ACK frame (ranges of received packet numbers).
+  void on_ack_frame(const QuicPacket& packet);
+  /// Processes MAX_DATA / MAX_STREAM_DATA credit from the peer.
+  void on_window_updates(const QuicPacket& packet);
+
+  /// Allocates a packet number for a pure control/ACK packet (not congestion
+  /// controlled, not retransmittable).
+  [[nodiscard]] QuicPacket make_control_packet();
+
+  [[nodiscard]] const net::TransportStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const cc::RttEstimator& rtt() const noexcept { return rtt_; }
+  [[nodiscard]] const cc::CongestionController& controller() const { return *cc_; }
+  [[nodiscard]] std::uint64_t bytes_in_flight() const noexcept { return bytes_in_flight_; }
+
+ private:
+  struct SendStream {
+    std::uint8_t priority = 1;
+    std::uint64_t write_bytes = 0;   // total bytes the application wrote
+    std::uint64_t next_offset = 0;   // first-transmission progress
+    bool fin = false;
+    bool fin_packetized = false;
+    std::uint64_t peer_limit;        // MAX_STREAM_DATA from the peer
+    explicit SendStream(std::uint64_t limit) : peer_limit(limit) {}
+  };
+
+  struct UnackedPacket {
+    SimTime sent_time{0};
+    std::uint32_t payload_bytes = 0;  // counted against the window
+    std::uint64_t stream_bytes = 0;
+    std::vector<StreamFrame> frames;
+  };
+
+  void maybe_send();
+  /// Assembles the next data packet; empty frames vector == nothing to send.
+  [[nodiscard]] std::vector<StreamFrame> build_frames(std::uint32_t budget,
+                                                      bool& is_retransmission);
+  void transmit(std::vector<StreamFrame> frames, bool is_retransmission);
+  void detect_losses(SimTime now);
+  void requeue_lost(UnackedPacket& packet);
+  void enter_recovery_if_needed(std::uint64_t lost_pn);
+  void rearm_timer();
+  void on_timer();
+  [[nodiscard]] SimDuration probe_timeout() const;
+
+  sim::Simulator& simulator_;
+  QuicConfig config_;
+  EmitFn emit_;
+
+  std::unique_ptr<cc::CongestionController> cc_;
+  cc::Pacer pacer_;
+  cc::RttEstimator rtt_;
+  cc::BandwidthSampler sampler_;
+  net::TransportStats stats_;
+
+  bool established_ = false;
+  std::map<std::uint64_t, SendStream> streams_;
+  std::uint64_t last_served_stream_ = 0;
+  std::deque<StreamFrame> retransmit_queue_;
+
+  std::uint64_t next_packet_number_ = 1;
+  std::uint64_t largest_acked_ = 0;
+  std::map<std::uint64_t, UnackedPacket> unacked_;
+  std::uint64_t bytes_in_flight_ = 0;
+
+  std::uint64_t peer_connection_limit_;
+  std::uint64_t connection_bytes_sent_ = 0;
+
+  std::uint64_t recovery_end_pn_ = 0;
+  std::uint64_t round_end_pn_ = 0;
+
+  sim::Timer loss_or_pto_timer_;
+  bool timer_is_loss_ = false;
+  SimTime loss_deadline_{0};
+  std::uint32_t pto_backoff_ = 0;
+
+  sim::Timer send_timer_;
+};
+
+}  // namespace qperc::quic

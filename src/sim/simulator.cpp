@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qperc::sim {
+
+EventId Simulator::schedule_at(SimTime t, Callback fn) {
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{std::max(t, now_), next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventId{id};
+}
+
+EventId Simulator::schedule_in(SimDuration d, Callback fn) {
+  return schedule_at(now_ + std::max(d, SimDuration::zero()), std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  const auto raw = static_cast<std::uint64_t>(id);
+  if (callbacks_.erase(raw) > 0) cancelled_.insert(raw);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (const auto erased = cancelled_.erase(ev.id); erased > 0) continue;
+    const auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // defensive; should not happen
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.time;
+    ++events_processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::run(std::uint64_t max_events) {
+  stop_requested_ = false;
+  for (std::uint64_t fired = 0; fired < max_events; ++fired) {
+    if (stop_requested_ || !step()) return true;
+  }
+  return queue_.empty();
+}
+
+bool Simulator::run_until(SimTime t, std::uint64_t max_events) {
+  stop_requested_ = false;
+  for (std::uint64_t fired = 0; fired < max_events; ++fired) {
+    if (stop_requested_) return true;
+    // Peek through cancelled entries to find the next live event time.
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (cancelled_.erase(top.id) > 0) {
+        queue_.pop();
+        continue;
+      }
+      break;
+    }
+    if (queue_.empty() || queue_.top().time > t) {
+      now_ = std::max(now_, t);
+      return true;
+    }
+    if (!step()) {
+      now_ = std::max(now_, t);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Simulator::pending_events() const { return callbacks_.size(); }
+
+Timer::Timer(Simulator& simulator, Simulator::Callback on_fire)
+    : simulator_(simulator), on_fire_(std::move(on_fire)) {}
+
+Timer::~Timer() { cancel(); }
+
+void Timer::set_at(SimTime deadline) {
+  cancel();
+  armed_ = true;
+  deadline_ = deadline;
+  pending_ = simulator_.schedule_at(deadline, [this] {
+    armed_ = false;
+    on_fire_();
+  });
+}
+
+void Timer::set_in(SimDuration d) { set_at(simulator_.now() + std::max(d, SimDuration::zero())); }
+
+void Timer::cancel() {
+  if (armed_) {
+    simulator_.cancel(pending_);
+    armed_ = false;
+  }
+}
+
+}  // namespace qperc::sim

@@ -1,0 +1,111 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a virtual clock and an event queue. Protocol stacks, link
+// emulators, and the page loader all schedule callbacks against it. Events at
+// equal timestamps run in FIFO scheduling order, which keeps runs bit-exact
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace qperc::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+enum class EventId : std::uint64_t {};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (clamped to now()).
+  EventId schedule_at(SimTime t, Callback fn);
+  /// Schedules `fn` to run `d` after now().
+  EventId schedule_in(SimDuration d, Callback fn);
+  /// Cancels a pending event; cancelling an already-fired or unknown id is a no-op.
+  void cancel(EventId id);
+
+  /// Runs until the queue is empty or `max_events` have fired.
+  /// Returns false if the event cap stopped the run (a runaway guard).
+  bool run(std::uint64_t max_events = kDefaultEventCap);
+  /// Runs all events with timestamp <= t, then advances the clock to t.
+  /// Returns false if the event cap stopped the run.
+  bool run_until(SimTime t, std::uint64_t max_events = kDefaultEventCap);
+
+  /// Stops the current run() after the in-flight callback returns.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+  [[nodiscard]] std::size_t pending_events() const;
+
+  static constexpr std::uint64_t kDefaultEventCap = 500'000'000;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    // Callbacks live in a side map so the heap stays cheap to move.
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the next non-cancelled event; returns false when empty.
+  bool step();
+
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// A re-armable one-shot timer bound to a Simulator.
+///
+/// Protocol stacks use this for RTO / TLP / delayed-ACK timers: set() replaces
+/// any pending deadline, cancel() disarms. The callback is fixed at
+/// construction; Timer must outlive any armed deadline (stacks own their
+/// timers, and the simulator never outlives the stacks in our harness).
+class Timer {
+ public:
+  Timer(Simulator& simulator, Simulator::Callback on_fire);
+  ~Timer();
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms (or re-arms) the timer for absolute time `deadline`.
+  void set_at(SimTime deadline);
+  /// Arms (or re-arms) the timer to fire `d` from now.
+  void set_in(SimDuration d);
+  void cancel();
+  [[nodiscard]] bool is_armed() const noexcept { return armed_; }
+  [[nodiscard]] SimTime deadline() const noexcept { return deadline_; }
+
+ private:
+  Simulator& simulator_;
+  Simulator::Callback on_fire_;
+  EventId pending_{0};
+  bool armed_ = false;
+  SimTime deadline_{0};
+};
+
+}  // namespace qperc::sim

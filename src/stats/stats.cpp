@@ -1,0 +1,272 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace qperc::stats {
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (Numerical-Recipes-style modified Lentz algorithm).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const auto md = static_cast<double>(m);
+    const double m2 = 2.0 * md;
+    double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(n - 1);
+}
+
+double sample_stddev(std::span<const double> xs) { return std::sqrt(sample_variance(xs)); }
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double skewness(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 3) return 0.0;
+  const double m = mean(xs);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (const double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double excess_kurtosis(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 3) return 0.0;
+  const double m = mean(xs);
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (const double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly when it converges fastest.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_two_sided_critical(double level, double df) {
+  // Solve P(|T| <= c) == level by bisection; CDF is monotone in c.
+  const double target = 0.5 + level / 2.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  while (student_t_cdf(hi, df) < target && hi < 1e8) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double f_cdf(double f, double df1, double df2) {
+  if (f <= 0.0) return 0.0;
+  const double x = df1 * f / (df1 * f + df2);
+  return regularized_incomplete_beta(df1 / 2.0, df2 / 2.0, x);
+}
+
+double chi2_sf_df2(double x) { return x <= 0.0 ? 1.0 : std::exp(-x / 2.0); }
+
+bool ConfidenceInterval::overlaps(const ConfidenceInterval& other) const {
+  return lower() <= other.upper() && other.lower() <= upper();
+}
+
+ConfidenceInterval mean_confidence_interval(std::span<const double> xs, double level) {
+  const std::size_t n = xs.size();
+  if (n < 2) return ConfidenceInterval{mean(xs), 0.0};
+  const double crit = student_t_two_sided_critical(level, static_cast<double>(n - 1));
+  const double sem = sample_stddev(xs) / std::sqrt(static_cast<double>(n));
+  return ConfidenceInterval{mean(xs), crit * sem};
+}
+
+AnovaResult one_way_anova(std::span<const std::vector<double>> groups) {
+  std::vector<const std::vector<double>*> usable;
+  for (const auto& g : groups) {
+    if (!g.empty()) usable.push_back(&g);
+  }
+  AnovaResult result;
+  if (usable.size() < 2) return result;
+
+  std::size_t total_n = 0;
+  double grand_sum = 0.0;
+  for (const auto* g : usable) {
+    total_n += g->size();
+    grand_sum = std::accumulate(g->begin(), g->end(), grand_sum);
+  }
+  const double grand_mean = grand_sum / static_cast<double>(total_n);
+
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (const auto* g : usable) {
+    const double gm = mean(*g);
+    ss_between += static_cast<double>(g->size()) * (gm - grand_mean) * (gm - grand_mean);
+    for (const double x : *g) ss_within += (x - gm) * (x - gm);
+  }
+
+  result.df_between = static_cast<double>(usable.size() - 1);
+  result.df_within = static_cast<double>(total_n) - static_cast<double>(usable.size());
+  if (result.df_within <= 0.0) return result;
+  const double ms_between = ss_between / result.df_between;
+  const double ms_within = ss_within / result.df_within;
+  if (ms_within <= 0.0) {
+    result.f_statistic = ss_between > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    result.p_value = ss_between > 0.0 ? 0.0 : 1.0;
+    return result;
+  }
+  result.f_statistic = ms_between / ms_within;
+  result.p_value = 1.0 - f_cdf(result.f_statistic, result.df_between, result.df_within);
+  return result;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const double mx = mean(x.first(n));
+  const double my = mean(y.first(n));
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const auto rx = average_ranks(x.first(n));
+  const auto ry = average_ranks(y.first(n));
+  return pearson(rx, ry);
+}
+
+NormalityResult jarque_bera(std::span<const double> xs) {
+  NormalityResult result;
+  const std::size_t n = xs.size();
+  if (n < 8) return result;
+  const double s = skewness(xs);
+  const double k = excess_kurtosis(xs);
+  result.jb_statistic = static_cast<double>(n) / 6.0 * (s * s + k * k / 4.0);
+  result.p_value = chi2_sf_df2(result.jb_statistic);
+  return result;
+}
+
+}  // namespace qperc::stats

@@ -1,0 +1,91 @@
+// Statistical toolkit used by the study evaluation.
+//
+// Implements exactly what the paper's analysis needs: descriptive statistics,
+// Student-t confidence intervals (99% in Figures 3 and 5), one-way ANOVA with
+// exact F-distribution p-values (significance testing in Section 4.4),
+// Pearson's correlation (Figure 6), Spearman's rank correlation (mentioned as
+// the alternative the authors rejected), and a Jarque–Bera normality check
+// (the paper reports the Internet group's votes are not normally distributed).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qperc::stats {
+
+// ---- Descriptive ----------------------------------------------------------
+
+[[nodiscard]] double mean(std::span<const double> xs);
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+[[nodiscard]] double sample_variance(std::span<const double> xs);
+[[nodiscard]] double sample_stddev(std::span<const double> xs);
+/// Median (average of middle two for even n). Copies and sorts internally.
+[[nodiscard]] double median(std::span<const double> xs);
+/// Linear-interpolation quantile, q in [0,1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+/// Sample skewness (g1) and excess kurtosis (g2); both 0 for n < 3.
+[[nodiscard]] double skewness(std::span<const double> xs);
+[[nodiscard]] double excess_kurtosis(std::span<const double> xs);
+
+// ---- Special functions ----------------------------------------------------
+
+/// Regularized incomplete beta function I_x(a, b).
+[[nodiscard]] double regularized_incomplete_beta(double a, double b, double x);
+
+// ---- Distributions --------------------------------------------------------
+
+/// CDF of Student's t with `df` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double df);
+/// Two-sided critical value: P(|T| <= value) == level. level in (0,1).
+[[nodiscard]] double student_t_two_sided_critical(double level, double df);
+/// CDF of the F distribution with (df1, df2) degrees of freedom.
+[[nodiscard]] double f_cdf(double f, double df1, double df2);
+/// Chi-squared survival function with 2 degrees of freedom (closed form).
+[[nodiscard]] double chi2_sf_df2(double x);
+
+// ---- Inference ------------------------------------------------------------
+
+/// A two-sided confidence interval around a sample mean.
+struct ConfidenceInterval {
+  double center = 0.0;
+  double half_width = 0.0;
+  [[nodiscard]] double lower() const { return center - half_width; }
+  [[nodiscard]] double upper() const { return center + half_width; }
+  /// True when the two intervals share any value (the paper's informal
+  /// "confidence intervals mostly overlap" reading of Figure 5).
+  [[nodiscard]] bool overlaps(const ConfidenceInterval& other) const;
+};
+
+/// Student-t CI for the mean at the given confidence level (e.g. 0.99).
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(std::span<const double> xs,
+                                                          double level);
+
+struct AnovaResult {
+  double f_statistic = 0.0;
+  double df_between = 0.0;
+  double df_within = 0.0;
+  double p_value = 1.0;
+  [[nodiscard]] bool significant_at(double alpha) const { return p_value < alpha; }
+};
+
+/// One-way ANOVA over k groups. Groups with fewer than 1 observation are
+/// ignored; fewer than 2 usable groups yields p = 1.
+[[nodiscard]] AnovaResult one_way_anova(std::span<const std::vector<double>> groups);
+
+/// Pearson's product-moment correlation coefficient; 0 if degenerate.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+/// Spearman's rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+struct NormalityResult {
+  double jb_statistic = 0.0;
+  double p_value = 1.0;
+  /// Conventional reading at alpha = 0.05.
+  [[nodiscard]] bool looks_normal() const { return p_value >= 0.05; }
+};
+
+/// Jarque–Bera test of normality.
+[[nodiscard]] NormalityResult jarque_bera(std::span<const double> xs);
+
+}  // namespace qperc::stats

@@ -1,0 +1,120 @@
+#include "study/ab_study.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "net/profile.hpp"
+#include "web/website.hpp"
+
+namespace qperc::study {
+
+const std::vector<std::pair<std::string, std::string>>& ab_pairs() {
+  static const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"TCP+", "TCP"},
+      {"QUIC", "TCP"},
+      {"QUIC", "TCP+"},
+      {"QUIC+BBR", "TCP+BBR"},
+  };
+  return pairs;
+}
+
+AbStudyResult run_ab_study(core::VideoLibrary& library, const AbStudyConfig& config) {
+  AbStudyResult result;
+  Rng rng = Rng(config.seed).fork("ab-study").fork(static_cast<std::uint64_t>(config.group));
+
+  const std::size_t initial = config.initial_participants > 0
+                                  ? config.initial_participants
+                                  : paper_initial_cohort(config.group, StudyKind::kAb);
+
+  // Stimulus pool: (pair, network, site).
+  std::vector<std::string> site_names;
+  if (config.lab_domains_only) {
+    site_names = web::lab_study_domains();
+  } else {
+    for (const auto& site : library.catalog()) site_names.push_back(site.name);
+  }
+  struct Condition {
+    std::size_t pair_index;
+    net::NetworkKind network;
+    std::string site;
+  };
+  std::vector<Condition> pool;
+  for (std::size_t p = 0; p < ab_pairs().size(); ++p) {
+    for (const auto& profile : net::all_profiles()) {
+      for (const auto& site : site_names) {
+        pool.push_back(Condition{p, profile.kind, site});
+      }
+    }
+  }
+
+  result.funnel.initial = initial;
+  std::array<std::size_t, kRuleCount> removed_at{};
+  double seconds_sum = 0.0;
+  std::size_t seconds_n = 0;
+  const GroupParams& params = params_for(config.group);
+
+  for (std::size_t i = 0; i < initial; ++i) {
+    Rng participant_rng = rng.fork(i + 1);
+    Participant participant = sample_participant(config.group, participant_rng);
+    if (const auto rule = sample_violation(StudyKind::kAb, participant, participant_rng)) {
+      ++removed_at[*rule];
+      continue;
+    }
+
+    // Random assignment without replacement: a partial Fisher–Yates shuffle.
+    std::vector<std::size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const std::size_t shown = std::min(config.videos_per_participant, pool.size());
+    for (std::size_t k = 0; k < shown; ++k) {
+      const auto j = static_cast<std::size_t>(
+          participant_rng.uniform_int(static_cast<std::int64_t>(k),
+                                      static_cast<std::int64_t>(order.size() - 1)));
+      std::swap(order[k], order[j]);
+      const Condition& condition = pool[order[k]];
+      const auto& [proto_a, proto_b] = ab_pairs()[condition.pair_index];
+      const core::Video& video_a = library.get(condition.site, proto_a, condition.network);
+      const core::Video& video_b = library.get(condition.site, proto_b, condition.network);
+
+      // Left/right randomization; map the answer back to the protocol pair.
+      const bool swapped = participant_rng.bernoulli(0.5);
+      const AbVote vote = swapped ? ab_vote(video_b, video_a, participant, participant_rng)
+                                  : ab_vote(video_a, video_b, participant, participant_rng);
+      AbChoice choice = vote.choice;
+      if (swapped) {
+        if (choice == AbChoice::kFirst) {
+          choice = AbChoice::kSecond;
+        } else if (choice == AbChoice::kSecond) {
+          choice = AbChoice::kFirst;
+        }
+      }
+
+      const auto apply = [&](AbAggregate& cell) {
+        if (choice == AbChoice::kFirst) {
+          ++cell.prefer_first;
+        } else if (choice == AbChoice::kSecond) {
+          ++cell.prefer_second;
+        } else {
+          ++cell.no_difference;
+        }
+        cell.replay_sum += vote.replays;
+        cell.confidence_sum += vote.confidence;
+      };
+      apply(result.cells[{condition.pair_index, condition.network}]);
+      apply(result.by_site[{condition.pair_index, condition.network, condition.site}]);
+
+      seconds_sum += participant_rng.normal(params.seconds_per_video_ab, 3.0);
+      ++seconds_n;
+    }
+  }
+
+  std::size_t survivors = initial;
+  for (std::size_t rule = 0; rule < kRuleCount; ++rule) {
+    survivors -= removed_at[rule];
+    result.funnel.after_rule[rule] = survivors;
+  }
+  result.avg_seconds_per_video = seconds_n ? seconds_sum / static_cast<double>(seconds_n) : 0.0;
+  return result;
+}
+
+}  // namespace qperc::study

@@ -1,0 +1,73 @@
+// Study 1 (A/B, §4): just-noticeable-difference test. Two recordings of the
+// same website over the same network but different protocol stacks play side
+// by side; participants answer "left faster / right faster / no difference"
+// plus a confidence rating.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/video.hpp"
+#include "study/conformance.hpp"
+#include "study/participant.hpp"
+#include "study/rater.hpp"
+
+namespace qperc::study {
+
+/// The four protocol pairs of Figure 4, in its order. The first element is
+/// the "supposedly faster" variant.
+[[nodiscard]] const std::vector<std::pair<std::string, std::string>>& ab_pairs();
+
+/// Aggregated votes for one (pair, network) cell of Figure 4.
+struct AbAggregate {
+  std::uint64_t prefer_first = 0;
+  std::uint64_t no_difference = 0;
+  std::uint64_t prefer_second = 0;
+  double replay_sum = 0.0;
+  double confidence_sum = 0.0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return prefer_first + no_difference + prefer_second;
+  }
+  [[nodiscard]] double share_first() const {
+    return total() ? static_cast<double>(prefer_first) / static_cast<double>(total()) : 0.0;
+  }
+  [[nodiscard]] double share_no_difference() const {
+    return total() ? static_cast<double>(no_difference) / static_cast<double>(total()) : 0.0;
+  }
+  [[nodiscard]] double share_second() const {
+    return total() ? static_cast<double>(prefer_second) / static_cast<double>(total()) : 0.0;
+  }
+  [[nodiscard]] double avg_replays() const {
+    return total() ? replay_sum / static_cast<double>(total()) : 0.0;
+  }
+};
+
+struct AbStudyConfig {
+  Group group = Group::kMicroworker;
+  /// Participants entering the study (pre-filter); defaults to Table 3.
+  std::size_t initial_participants = 0;
+  /// Videos (pairs) shown per participant: 28 lab / 26 uWorker / 14 Internet.
+  std::size_t videos_per_participant = 26;
+  /// Restrict the stimulus pool to the lab's five domains.
+  bool lab_domains_only = false;
+  std::uint64_t seed = 1;
+};
+
+struct AbStudyResult {
+  FunnelResult funnel;
+  /// Cell key: (pair index into ab_pairs(), network).
+  std::map<std::pair<std::size_t, net::NetworkKind>, AbAggregate> cells;
+  /// Per-site detail: ((pair index, network), site) -> aggregate.
+  std::map<std::tuple<std::size_t, net::NetworkKind, std::string>, AbAggregate> by_site;
+  double avg_seconds_per_video = 0.0;
+};
+
+/// Runs the A/B study against a (shared) video library.
+[[nodiscard]] AbStudyResult run_ab_study(core::VideoLibrary& library,
+                                         const AbStudyConfig& config);
+
+}  // namespace qperc::study

@@ -1,0 +1,40 @@
+// Perceptual rating models: how a simulated participant turns a loading
+// "video" into a 10..70 quality vote (Study 2) or an A/B choice (Study 1).
+#pragma once
+
+#include "core/video.hpp"
+#include "study/participant.hpp"
+#include "util/rng.hpp"
+
+namespace qperc::study {
+
+/// Perceived duration of a loading process, in seconds: a geometric blend of
+/// the visual metrics, dominated by the Speed Index. (Human speed perception
+/// follows the visual progress of the page, not the onload event — this is
+/// why the paper finds SI correlating best and PLT worst, Figure 6.)
+[[nodiscard]] double perceived_duration_seconds(const browser::PageMetrics& metrics);
+
+/// Absolute quality rating on the paper's seven-point linear 10..70 scale
+/// (extremely bad .. ideal), via a Weber–Fechner law with context-dependent
+/// tolerance plus participant bias/noise. Cheaters answer uniformly.
+[[nodiscard]] double rate_video(const core::Video& video, Context context,
+                                const Participant& participant, Rng& rng);
+
+/// Deterministic part of the rating model (no bias/noise), for tests.
+[[nodiscard]] double ideal_rating(const browser::PageMetrics& metrics, Context context);
+
+enum class AbChoice { kFirst, kNoDifference, kSecond };
+
+struct AbVote {
+  AbChoice choice = AbChoice::kNoDifference;
+  /// Self-reported confidence in [0, 1].
+  double confidence = 0.0;
+  /// How often the participant replayed the clip.
+  std::uint32_t replays = 0;
+};
+
+/// Just-noticeable-difference vote between two videos shown side by side.
+[[nodiscard]] AbVote ab_vote(const core::Video& first, const core::Video& second,
+                             const Participant& participant, Rng& rng);
+
+}  // namespace qperc::study

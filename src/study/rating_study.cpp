@@ -1,0 +1,113 @@
+#include "study/rating_study.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "core/protocol.hpp"
+#include "net/profile.hpp"
+#include "web/website.hpp"
+
+namespace qperc::study {
+
+const std::vector<net::NetworkKind>& networks_for_context(Context context) {
+  static const std::vector<net::NetworkKind> fast = {net::NetworkKind::kDsl,
+                                                     net::NetworkKind::kLte};
+  static const std::vector<net::NetworkKind> plane = {net::NetworkKind::kDa2gc,
+                                                      net::NetworkKind::kMss};
+  return context == Context::kPlane ? plane : fast;
+}
+
+RatingStudyResult run_rating_study(core::VideoLibrary& library,
+                                   const RatingStudyConfig& config) {
+  RatingStudyResult result;
+  Rng rng =
+      Rng(config.seed).fork("rating-study").fork(static_cast<std::uint64_t>(config.group));
+
+  const std::size_t initial = config.initial_participants > 0
+                                  ? config.initial_participants
+                                  : paper_initial_cohort(config.group, StudyKind::kRating);
+
+  std::vector<std::string> site_names;
+  if (config.lab_domains_only) {
+    site_names = web::lab_study_domains();
+  } else {
+    for (const auto& site : library.catalog()) site_names.push_back(site.name);
+  }
+
+  struct Condition {
+    std::string site;
+    std::string protocol;
+    net::NetworkKind network;
+  };
+  const auto pool_for = [&](Context context) {
+    std::vector<Condition> pool;
+    for (const auto& site : site_names) {
+      for (const auto& protocol : core::paper_protocols()) {
+        for (const auto network : networks_for_context(context)) {
+          pool.push_back(Condition{site, protocol.name, network});
+        }
+      }
+    }
+    return pool;
+  };
+  const std::array<std::pair<Context, std::size_t>, 3> blocks = {
+      std::pair{Context::kWork, config.videos_work},
+      std::pair{Context::kFreeTime, config.videos_free_time},
+      std::pair{Context::kPlane, config.videos_plane},
+  };
+  const auto work_pool = pool_for(Context::kWork);
+  const auto plane_pool = pool_for(Context::kPlane);
+
+  result.funnel.initial = initial;
+  std::array<std::size_t, kRuleCount> removed_at{};
+  double seconds_sum = 0.0;
+  std::size_t seconds_n = 0;
+  const GroupParams& params = params_for(config.group);
+
+  for (std::size_t i = 0; i < initial; ++i) {
+    Rng participant_rng = rng.fork(i + 1);
+    Participant participant = sample_participant(config.group, participant_rng);
+    if (const auto rule =
+            sample_violation(StudyKind::kRating, participant, participant_rng)) {
+      ++removed_at[*rule];
+      continue;
+    }
+
+    for (const auto& [context, count] : blocks) {
+      const auto& pool = context == Context::kPlane ? plane_pool : work_pool;
+      std::vector<std::size_t> order(pool.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      const std::size_t shown = std::min(count, pool.size());
+      for (std::size_t k = 0; k < shown; ++k) {
+        const auto j = static_cast<std::size_t>(
+            participant_rng.uniform_int(static_cast<std::int64_t>(k),
+                                        static_cast<std::int64_t>(order.size() - 1)));
+        std::swap(order[k], order[j]);
+        const Condition& condition = pool[order[k]];
+        const core::Video& video =
+            library.get(condition.site, condition.protocol, condition.network);
+        const double vote = rate_video(video, context, participant, participant_rng);
+
+        result.votes_by_cell[{condition.protocol, condition.network, context}].push_back(
+            vote);
+        result
+            .votes_by_site[{condition.site, condition.protocol, condition.network, context}]
+            .push_back(vote);
+        seconds_sum += participant_rng.normal(params.seconds_per_video_rating, 3.0);
+        ++seconds_n;
+      }
+    }
+  }
+
+  std::size_t survivors = initial;
+  for (std::size_t rule = 0; rule < kRuleCount; ++rule) {
+    survivors -= removed_at[rule];
+    result.funnel.after_rule[rule] = survivors;
+  }
+  result.avg_seconds_per_video =
+      seconds_n ? seconds_sum / static_cast<double>(seconds_n) : 0.0;
+  return result;
+}
+
+}  // namespace qperc::study

@@ -1,0 +1,51 @@
+// Study 2 (Rating, §4): single-stimulus quality assessment. Participants
+// watch one loading recording at a time and rate satisfaction with the
+// loading speed on the seven-point linear 10..70 scale, framed in one of
+// three contexts: at work, in their free time (DSL/LTE videos), or on a
+// plane (DA2GC/MSS videos).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/video.hpp"
+#include "study/conformance.hpp"
+#include "study/participant.hpp"
+#include "study/rater.hpp"
+
+namespace qperc::study {
+
+/// (protocol, network, context) — one bar of Figure 5.
+using RatingCellKey = std::tuple<std::string, net::NetworkKind, Context>;
+/// (site, protocol, network, context) — §4.4 / Figure 6 granularity.
+using RatingSiteKey = std::tuple<std::string, std::string, net::NetworkKind, Context>;
+
+struct RatingStudyConfig {
+  Group group = Group::kMicroworker;
+  std::size_t initial_participants = 0;  // 0 => Table 3 cohort
+  /// Videos per context block: lab/uWorker 11+11+5, Internet 6+6+3.
+  std::size_t videos_work = 11;
+  std::size_t videos_free_time = 11;
+  std::size_t videos_plane = 5;
+  bool lab_domains_only = false;
+  std::uint64_t seed = 1;
+};
+
+struct RatingStudyResult {
+  FunnelResult funnel;
+  std::map<RatingCellKey, std::vector<double>> votes_by_cell;
+  std::map<RatingSiteKey, std::vector<double>> votes_by_site;
+  double avg_seconds_per_video = 0.0;
+};
+
+[[nodiscard]] RatingStudyResult run_rating_study(core::VideoLibrary& library,
+                                                 const RatingStudyConfig& config);
+
+/// Networks shown in a context block (work/free time: DSL+LTE; plane:
+/// DA2GC+MSS).
+[[nodiscard]] const std::vector<net::NetworkKind>& networks_for_context(Context context);
+
+}  // namespace qperc::study

@@ -1,0 +1,41 @@
+// TCP stack parameterization (the rows of Table 1 that run over TCP).
+#pragma once
+
+#include <cstdint>
+
+#include "cc/factory.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qperc::tcp {
+
+struct TcpConfig {
+  /// IW10 for stock Linux, IW32 for the paper's TCP+ variants.
+  std::uint32_t initial_window_segments = 10;
+  cc::CcKind congestion_control = cc::CcKind::kCubic;
+  /// sch_fq-style pacing; off for stock Linux TCP.
+  bool pacing = false;
+  /// "Enlarge the send and receive buffers according to the BDP" (§3). When
+  /// false the receive window starts small and autotunes like Linux DRS.
+  bool tuned_buffers = false;
+  /// net.ipv4.tcp_slow_start_after_idle; TCP+ disables it.
+  bool slow_start_after_idle = true;
+  std::uint64_t mss = 1460;
+
+  /// TLS 1.3 over TCP: one round trip for TCP, one for TLS, so the request
+  /// leaves after 2 RTTs. Kept configurable for the 0-RTT/TFO ablation.
+  std::uint32_t handshake_rtts = 2;
+
+  /// Receive-window ceiling for the autotuned (stock) case.
+  std::uint64_t autotune_max_rwnd_bytes = 3 * 1024 * 1024;
+  std::uint64_t autotune_initial_rwnd_bytes = 64 * 1024;
+};
+
+/// Derived per-network sizing: the "tuned buffers" row of Table 1.
+[[nodiscard]] inline std::uint64_t tuned_rwnd_bytes(std::uint64_t bdp_bytes) {
+  // Twice the BDP so the window never limits full utilization even with the
+  // bottleneck queue full.
+  return std::max<std::uint64_t>(2 * bdp_bytes, 128 * 1024);
+}
+
+}  // namespace qperc::tcp

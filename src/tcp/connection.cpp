@@ -1,0 +1,299 @@
+#include "tcp/connection.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qperc::tcp {
+namespace {
+
+constexpr std::uint32_t kSynWireBytes = 66;
+constexpr std::uint32_t kClientHelloWireBytes = 350;
+/// TLS ServerHello + certificate chain + Finished: ~4.3 KB in three packets.
+constexpr std::array<std::uint32_t, 3> kServerFlightWireBytes = {1500, 1500, 1360};
+constexpr SimDuration kInitialHandshakeTimeout = seconds(1);
+
+}  // namespace
+
+TcpConnection::TcpConnection(sim::Simulator& simulator, net::EmulatedNetwork& network,
+                             net::ServerId server, const TcpConfig& config,
+                             Callbacks callbacks)
+    : simulator_(simulator),
+      network_(network),
+      server_(server),
+      config_(config),
+      callbacks_(std::move(callbacks)),
+      flow_(network.allocate_flow_id()),
+      client_hs_timer_(simulator, [this] { on_client_handshake_timeout(); }) {
+  const auto& profile = network_.profile();
+  const std::uint64_t down_bdp = profile.downlink_bdp_bytes();
+  const std::uint64_t up_bdp =
+      std::max<std::uint64_t>(bdp_bytes(profile.uplink, profile.min_rtt), 4 * net::kMtuBytes);
+
+  const std::uint64_t client_rwnd = config.tuned_buffers
+                                        ? tuned_rwnd_bytes(down_bdp)
+                                        : config.autotune_initial_rwnd_bytes;
+  const std::uint64_t server_rwnd = config.tuned_buffers
+                                        ? tuned_rwnd_bytes(up_bdp)
+                                        : config.autotune_initial_rwnd_bytes;
+
+  // Send buffers: large enough to never starve the congestion window, small
+  // enough that the HTTP/2 scheduler (not the socket) decides interleaving.
+  const std::uint64_t server_sndbuf = tuned_rwnd_bytes(down_bdp) + 64 * 1024;
+  const std::uint64_t client_sndbuf = 256 * 1024;
+
+  client_sender_ = std::make_unique<TcpSender>(
+      simulator_, config_, client_sndbuf, [this](TcpSegment s) { client_emit(std::move(s)); });
+  server_sender_ = std::make_unique<TcpSender>(
+      simulator_, config_, server_sndbuf, [this](TcpSegment s) { server_emit(std::move(s)); });
+
+  client_receiver_ = std::make_unique<TcpReceiver>(
+      simulator_, config_, client_rwnd,
+      [this] {
+        TcpSegment ack;
+        client_emit(std::move(ack));
+      },
+      [this](std::uint64_t total) {
+        if (callbacks_.on_response_bytes) callbacks_.on_response_bytes(total);
+      });
+  server_receiver_ = std::make_unique<TcpReceiver>(
+      simulator_, config_, server_rwnd,
+      [this] {
+        TcpSegment ack;
+        server_emit(std::move(ack));
+      },
+      [this](std::uint64_t total) {
+        if (callbacks_.on_request_bytes) callbacks_.on_request_bytes(total);
+      });
+
+  network_.register_client_flow(flow_, [this](net::Packet p) { client_on_packet(p); });
+  network_.register_server_flow(flow_, [this](net::Packet p) { server_on_packet(p); });
+}
+
+TcpConnection::~TcpConnection() {
+  network_.unregister_client_flow(flow_);
+  network_.unregister_server_flow(flow_);
+}
+
+void TcpConnection::connect() {
+  if (client_hs_ != ClientHsState::kIdle) return;
+  syn_sent_at_ = simulator_.now();
+  switch (config_.handshake_rtts) {
+    case 0:
+      // TFO + TLS early-data (repeat visit with cached cookie/ticket): the
+      // request rides with the SYN. Replay-attack caveats apply (§3). The
+      // CH keeps retransmitting until the server is heard from (the SYN
+      // retransmission of real TFO).
+      send_handshake(/*from_client=*/true, HandshakeStep::kClientHello);
+      complete_client_handshake();
+      client_hs_timer_.set_in(client_handshake_rto());
+      break;
+    case 1:
+      // TFO with a cached cookie: the ClientHello accompanies the SYN and
+      // the server's TLS flight returns in one round trip. A repeat visitor
+      // also cached the path RTT, so the retransmission timer is tight.
+      client_hs_ = ClientHsState::kHelloSent;
+      send_handshake(/*from_client=*/true, HandshakeStep::kClientHello);
+      client_hs_timer_.set_in(client_handshake_rto());
+      break;
+    default:
+      // Fresh connection (the paper's study setting): SYN / SYN-ACK, then
+      // the TLS exchange — two round trips before the request leaves.
+      client_hs_ = ClientHsState::kSynSent;
+      send_handshake(/*from_client=*/true, HandshakeStep::kSyn);
+      client_hs_timer_.set_in(kInitialHandshakeTimeout);
+      break;
+  }
+}
+
+void TcpConnection::send_handshake(bool from_client, HandshakeStep step) {
+  const auto emit = [&](std::uint32_t wire, std::uint8_t index, std::uint8_t flight_size) {
+    auto segment = std::make_shared<TcpSegment>();
+    segment->handshake = step;
+    segment->flight_index = index;
+    segment->flight_size = flight_size;
+    net::Packet packet;
+    packet.flow = flow_;
+    packet.dest_server = server_;
+    packet.wire_bytes = wire;
+    packet.payload = std::move(segment);
+    ++handshake_stats_.handshake_packets;
+    if (from_client) {
+      network_.client_send(std::move(packet));
+    } else {
+      network_.server_send(std::move(packet));
+    }
+  };
+  switch (step) {
+    case HandshakeStep::kSyn:
+    case HandshakeStep::kSynAck:
+      emit(kSynWireBytes, 0, 1);
+      break;
+    case HandshakeStep::kClientHello:
+      emit(kClientHelloWireBytes, 0, 1);
+      break;
+    case HandshakeStep::kServerFlight:
+      for (std::uint8_t i = 0; i < kServerFlightWireBytes.size(); ++i) {
+        emit(kServerFlightWireBytes[i], i,
+             static_cast<std::uint8_t>(kServerFlightWireBytes.size()));
+      }
+      break;
+    case HandshakeStep::kNone:
+      break;
+  }
+}
+
+/// RTO for handshake steps after the SYN/SYN-ACK exchange measured the path:
+/// Linux retransmits with an RTT-derived RTO (min 200 ms), not the 1 s
+/// initial-SYN timer.
+SimDuration TcpConnection::client_handshake_rto() const {
+  if (client_hs_rtt_ <= SimDuration::zero()) {
+    // A TFO/0-RTT client visited before and cached the path RTT.
+    if (config_.handshake_rtts <= 1) {
+      return std::max<SimDuration>(3 * network_.profile().min_rtt, milliseconds(100));
+    }
+    return kInitialHandshakeTimeout;
+  }
+  return std::max<SimDuration>(3 * client_hs_rtt_, milliseconds(200));
+}
+
+void TcpConnection::on_client_handshake_timeout() {
+  if (client_hs_ == ClientHsState::kDone) {
+    // 0-RTT mode: keep nudging the server until anything comes back.
+    if (!client_heard_from_server_) {
+      ++handshake_stats_.handshake_retransmissions;
+      hs_backoff_ = std::min(hs_backoff_ + 1, 6u);
+      send_handshake(true, HandshakeStep::kClientHello);
+      client_hs_timer_.set_in(client_handshake_rto() * (1u << hs_backoff_));
+    }
+    return;
+  }
+  ++handshake_stats_.handshake_retransmissions;
+  hs_backoff_ = std::min(hs_backoff_ + 1, 6u);
+  if (client_hs_ == ClientHsState::kSynSent) {
+    send_handshake(true, HandshakeStep::kSyn);
+    client_hs_timer_.set_in(kInitialHandshakeTimeout * (1u << hs_backoff_));
+  } else if (client_hs_ == ClientHsState::kHelloSent) {
+    server_flight_received_mask_ = 0;
+    send_handshake(true, HandshakeStep::kClientHello);
+    client_hs_timer_.set_in(client_handshake_rto() * (1u << hs_backoff_));
+  }
+}
+
+void TcpConnection::client_handshake_packet(const TcpSegment& segment) {
+  switch (segment.handshake) {
+    case HandshakeStep::kSynAck:
+      if (client_hs_ == ClientHsState::kSynSent) {
+        client_hs_rtt_ = simulator_.now() - syn_sent_at_;
+        client_hs_ = ClientHsState::kHelloSent;
+        send_handshake(true, HandshakeStep::kClientHello);
+        client_hs_timer_.set_in(client_handshake_rto());
+      }
+      break;
+    case HandshakeStep::kServerFlight: {
+      if (client_hs_ != ClientHsState::kHelloSent) break;
+      server_flight_received_mask_ |= static_cast<std::uint8_t>(1u << segment.flight_index);
+      const auto all = static_cast<std::uint8_t>((1u << segment.flight_size) - 1);
+      if (server_flight_received_mask_ == all) complete_client_handshake();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TcpConnection::complete_client_handshake() {
+  client_hs_ = ClientHsState::kDone;
+  client_established_ = true;
+  client_hs_timer_.cancel();
+  // One-round-trip handshakes sample the RTT from CH -> server flight.
+  if (client_hs_rtt_ == SimDuration::zero() && config_.handshake_rtts == 1) {
+    client_hs_rtt_ = simulator_.now() - syn_sent_at_;
+  }
+  // The peer's initial advertised window: what the server's request-side
+  // receiver can take.
+  client_sender_->on_established(server_receiver_->rwnd_limit(), client_hs_rtt_);
+  if (callbacks_.on_established) callbacks_.on_established();
+}
+
+void TcpConnection::server_handshake_packet(const TcpSegment& segment) {
+  switch (segment.handshake) {
+    case HandshakeStep::kSyn:
+      // Fresh or duplicate SYN: (re)send SYN/ACK.
+      syn_ack_sent_at_ = simulator_.now();
+      send_handshake(false, HandshakeStep::kSynAck);
+      break;
+    case HandshakeStep::kClientHello: {
+      const bool first = !server_established_;
+      if (first) {
+        server_established_ = true;
+        const SimDuration rtt = simulator_.now() - syn_ack_sent_at_;
+        server_sender_->on_established(client_receiver_->rwnd_limit(),
+                                       syn_ack_sent_at_ > SimTime{0} ? rtt : SimDuration{0});
+      }
+      // Always answer (duplicate CH means the flight was lost).
+      send_handshake(false, HandshakeStep::kServerFlight);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TcpConnection::client_on_packet(const net::Packet& packet) {
+  client_heard_from_server_ = true;
+  const auto& segment = static_cast<const TcpSegment&>(*packet.payload);
+  if (segment.handshake != HandshakeStep::kNone) {
+    client_handshake_packet(segment);
+    return;
+  }
+  if (segment.has_ack) client_sender_->on_ack_received(segment);
+  if (segment.has_data) client_receiver_->on_data(segment.seq, segment.payload_bytes);
+}
+
+void TcpConnection::server_on_packet(const net::Packet& packet) {
+  const auto& segment = static_cast<const TcpSegment&>(*packet.payload);
+  if (segment.handshake != HandshakeStep::kNone) {
+    server_handshake_packet(segment);
+    return;
+  }
+  if (!server_established_) {
+    // 0-RTT early data arriving before (or instead of) a crypto flight.
+    server_established_ = true;
+    server_sender_->on_established(client_receiver_->rwnd_limit(), SimDuration::zero());
+  }
+  if (segment.has_ack) server_sender_->on_ack_received(segment);
+  if (segment.has_data) server_receiver_->on_data(segment.seq, segment.payload_bytes);
+}
+
+void TcpConnection::client_emit(TcpSegment segment) {
+  client_receiver_->fill_ack(segment);
+  net::Packet packet;
+  packet.flow = flow_;
+  packet.dest_server = server_;
+  packet.wire_bytes =
+      segment.has_data ? segment.payload_bytes + kTcpHeaderBytes : kBareAckBytes;
+  if (!segment.has_data) ++handshake_stats_.acks_sent;
+  packet.payload = std::make_shared<const TcpSegment>(std::move(segment));
+  network_.client_send(std::move(packet));
+}
+
+void TcpConnection::server_emit(TcpSegment segment) {
+  server_receiver_->fill_ack(segment);
+  net::Packet packet;
+  packet.flow = flow_;
+  packet.dest_server = server_;
+  packet.wire_bytes =
+      segment.has_data ? segment.payload_bytes + kTcpHeaderBytes : kBareAckBytes;
+  if (!segment.has_data) ++handshake_stats_.acks_sent;
+  packet.payload = std::make_shared<const TcpSegment>(std::move(segment));
+  network_.server_send(std::move(packet));
+}
+
+net::TransportStats TcpConnection::stats() const {
+  net::TransportStats total = handshake_stats_;
+  total += client_sender_->stats();
+  total += server_sender_->stats();
+  return total;
+}
+
+}  // namespace qperc::tcp

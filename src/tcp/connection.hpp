@@ -1,0 +1,110 @@
+// A full TCP+TLS connection through the emulated network.
+//
+// One object simulates both endpoints (client and origin server); every
+// packet between them still traverses the emulated bottleneck links, so
+// handshakes, ACKs, and retransmissions all experience loss and queueing.
+//
+// Handshake model (fresh connection, no TFO / no TLS early-data, §3):
+//   SYN -> SYN/ACK -> ClientHello -> ServerHello+Cert+Finished
+// after which the client may transmit (Finished piggybacks the first write):
+// two round trips before the request leaves, versus gQUIC's one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/emulated_network.hpp"
+#include "net/transport_stats.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/config.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/segment.hpp"
+#include "tcp/sender.hpp"
+
+namespace qperc::tcp {
+
+class TcpConnection {
+ public:
+  struct Callbacks {
+    /// Client-side handshake completion: the request may now flow.
+    std::function<void()> on_established;
+    /// Server side: total in-order client->server bytes delivered so far.
+    std::function<void(std::uint64_t)> on_request_bytes;
+    /// Client side: total in-order server->client bytes delivered so far.
+    std::function<void(std::uint64_t)> on_response_bytes;
+  };
+
+  TcpConnection(sim::Simulator& simulator, net::EmulatedNetwork& network,
+                net::ServerId server, const TcpConfig& config, Callbacks callbacks);
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Starts the handshake (sends the SYN).
+  void connect();
+
+  [[nodiscard]] bool established() const noexcept { return client_established_; }
+
+  /// Client -> server stream (requests). Bytes may be written before the
+  /// handshake completes; they are buffered and flushed on establishment.
+  std::uint64_t client_write(std::uint64_t bytes) { return client_sender_->write(bytes); }
+  [[nodiscard]] std::uint64_t client_writable() const {
+    return client_sender_->writable_bytes();
+  }
+
+  /// Server -> client stream (responses).
+  std::uint64_t server_write(std::uint64_t bytes) { return server_sender_->write(bytes); }
+  [[nodiscard]] std::uint64_t server_writable() const {
+    return server_sender_->writable_bytes();
+  }
+  void set_server_on_writable(std::function<void()> cb) {
+    server_sender_->set_on_writable(std::move(cb));
+  }
+
+  [[nodiscard]] const TcpSender& server_sender() const { return *server_sender_; }
+  [[nodiscard]] const TcpSender& client_sender() const { return *client_sender_; }
+  /// Combined counters of both directions plus handshake traffic.
+  [[nodiscard]] net::TransportStats stats() const;
+  [[nodiscard]] net::FlowId flow() const noexcept { return flow_; }
+
+ private:
+  enum class ClientHsState { kIdle, kSynSent, kHelloSent, kDone };
+
+  void client_on_packet(const net::Packet& packet);
+  void server_on_packet(const net::Packet& packet);
+  void client_handshake_packet(const TcpSegment& segment);
+  void server_handshake_packet(const TcpSegment& segment);
+  void send_handshake(bool from_client, HandshakeStep step);
+  [[nodiscard]] SimDuration client_handshake_rto() const;
+  void on_client_handshake_timeout();
+  void client_emit(TcpSegment segment);
+  void server_emit(TcpSegment segment);
+  void complete_client_handshake();
+
+  sim::Simulator& simulator_;
+  net::EmulatedNetwork& network_;
+  net::ServerId server_;
+  TcpConfig config_;
+  Callbacks callbacks_;
+  net::FlowId flow_;
+
+  std::unique_ptr<TcpSender> client_sender_;
+  std::unique_ptr<TcpSender> server_sender_;
+  std::unique_ptr<TcpReceiver> client_receiver_;  // receives responses
+  std::unique_ptr<TcpReceiver> server_receiver_;  // receives requests
+
+  ClientHsState client_hs_ = ClientHsState::kIdle;
+  bool client_established_ = false;
+  bool server_established_ = false;
+  bool client_heard_from_server_ = false;
+  SimTime syn_sent_at_{0};
+  SimTime syn_ack_sent_at_{0};
+  SimDuration client_hs_rtt_{0};
+  std::uint8_t server_flight_received_mask_ = 0;
+  sim::Timer client_hs_timer_;
+  std::uint32_t hs_backoff_ = 0;
+  net::TransportStats handshake_stats_;
+};
+
+}  // namespace qperc::tcp

@@ -1,0 +1,55 @@
+// On-the-wire TCP segment representation for the emulated network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace qperc::tcp {
+
+/// A SACK block: [start, end) in byte-sequence space.
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+/// Handshake phases. The handshake is modeled with explicit packets so that
+/// SYN/hello loss on the in-flight networks delays connections realistically.
+enum class HandshakeStep : std::uint8_t {
+  kNone = 0,
+  kSyn,            // client -> server
+  kSynAck,         // server -> client
+  kClientHello,    // client -> server (TLS CH, carries TCP ACK)
+  kServerFlight,   // server -> client (SH + certificate + Finished)
+};
+
+/// TCP/TLS header overhead added to every data-bearing packet (IPv4 20 +
+/// TCP 20 + options/timestamps 12 + TLS record framing amortized).
+inline constexpr std::uint32_t kTcpHeaderBytes = 56;
+inline constexpr std::uint32_t kBareAckBytes = 68;  // header + SACK options
+
+/// Receivers advertise at most 3 SACK blocks per ACK (the classic TCP option
+/// space limit when timestamps are in use) — the contrast to QUIC's large
+/// ACK ranges that §4.3 calls out.
+inline constexpr std::size_t kMaxSackBlocks = 3;
+
+struct TcpSegment final : net::Payload {
+  HandshakeStep handshake = HandshakeStep::kNone;
+  /// Index of this packet within a multi-packet handshake flight.
+  std::uint8_t flight_index = 0;
+  std::uint8_t flight_size = 1;
+
+  // Data part.
+  bool has_data = false;
+  std::uint64_t seq = 0;
+  std::uint32_t payload_bytes = 0;
+
+  // Acknowledgment part (piggybacked on every segment once established).
+  bool has_ack = false;
+  std::uint64_t cumulative_ack = 0;
+  std::vector<SackBlock> sack_blocks;
+  std::uint64_t receive_window_bytes = 0;
+};
+
+}  // namespace qperc::tcp

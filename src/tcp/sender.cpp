@@ -1,0 +1,336 @@
+#include "tcp/sender.hpp"
+
+#include <algorithm>
+
+#include "net/packet.hpp"
+
+namespace qperc::tcp {
+namespace {
+
+constexpr SimDuration kMinTlpTimeout = milliseconds(10);
+
+}  // namespace
+
+TcpSender::TcpSender(sim::Simulator& simulator, const TcpConfig& config,
+                     std::uint64_t send_buffer_bytes, SendFn send_segment)
+    : simulator_(simulator),
+      config_(config),
+      send_segment_(std::move(send_segment)),
+      cc_(cc::make_congestion_controller(config.congestion_control,
+                                         config.initial_window_segments, config.mss)),
+      pacer_(cc::PacerConfig{.enabled = config.pacing,
+                             .initial_quantum_segments = 10,
+                             .refill_quantum_segments = 2,
+                             .segment_bytes = static_cast<std::uint32_t>(config.mss)}),
+      send_buffer_bytes_(send_buffer_bytes),
+      retx_timer_(simulator, [this] { on_retransmission_timer(); }),
+      send_timer_(simulator, [this] { maybe_send(); }) {}
+
+void TcpSender::on_established(std::uint64_t initial_peer_rwnd, SimDuration handshake_rtt) {
+  established_ = true;
+  peer_rwnd_ = initial_peer_rwnd;
+  if (handshake_rtt > SimDuration::zero()) rtt_.on_rtt_sample(handshake_rtt);
+  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  last_send_time_ = simulator_.now();
+  maybe_send();
+}
+
+std::uint64_t TcpSender::write(std::uint64_t bytes) {
+  const std::uint64_t accepted = std::min(bytes, writable_bytes());
+  if (accepted == 0) return 0;
+  restart_from_idle_if_needed();
+  app_bytes_total_ += accepted;
+  maybe_send();
+  return accepted;
+}
+
+std::uint64_t TcpSender::writable_bytes() const {
+  const std::uint64_t buffered = app_bytes_total_ - highest_cum_ack_;
+  return buffered >= send_buffer_bytes_ ? 0 : send_buffer_bytes_ - buffered;
+}
+
+void TcpSender::restart_from_idle_if_needed() {
+  if (!established_ || outstanding_bytes_ != 0 || next_seq_ != app_bytes_total_) return;
+  const SimDuration idle = simulator_.now() - last_send_time_;
+  if (idle < rtt_.rto()) return;
+  if (config_.slow_start_after_idle) cc_->on_restart_after_idle();
+  pacer_.on_restart_from_idle(simulator_.now());
+}
+
+TcpSender::SegmentRecord* TcpSender::next_lost_segment() {
+  for (auto& [start, record] : segments_) {
+    if (record.lost && !record.sacked) return &record;
+  }
+  return nullptr;
+}
+
+void TcpSender::maybe_send() {
+  if (!established_) return;
+  while (true) {
+    const std::uint64_t cwnd = cc_->congestion_window();
+    if (outstanding_bytes_ >= cwnd) return;  // window full; ACK clock will resume
+
+    SegmentRecord* candidate = next_lost_segment();
+    bool is_retransmission = candidate != nullptr;
+    if (candidate == nullptr) {
+      if (next_seq_ >= app_bytes_total_) {
+        // Nothing more to send although the window has room: app-limited.
+        sampler_.on_app_limited();
+        return;
+      }
+      // Respect the peer's advertised receive window for new data.
+      const std::uint64_t in_window = next_seq_ - highest_cum_ack_;
+      if (in_window >= peer_rwnd_) return;  // zero-window; opened by later ACKs
+      const std::uint64_t len =
+          std::min({config_.mss, app_bytes_total_ - next_seq_, peer_rwnd_ - in_window});
+      auto [it, inserted] =
+          segments_.try_emplace(next_seq_, SegmentRecord{.start = next_seq_,
+                                                         .end = next_seq_ + len});
+      candidate = &it->second;
+      next_seq_ += len;
+    }
+
+    const auto wire_bytes =
+        static_cast<std::uint32_t>(candidate->end - candidate->start) + kTcpHeaderBytes;
+    const SimTime release = pacer_.next_send_time(simulator_.now(), wire_bytes);
+    if (release > simulator_.now()) {
+      // Undo speculative packetization of new data so a later call re-derives it.
+      if (!is_retransmission) {
+        next_seq_ = candidate->start;
+        segments_.erase(candidate->start);
+      }
+      send_timer_.set_at(release);
+      return;
+    }
+    transmit(*candidate, is_retransmission);
+  }
+}
+
+void TcpSender::transmit(SegmentRecord& record, bool is_retransmission) {
+  const SimTime now = simulator_.now();
+  const auto len = record.end - record.start;
+
+  record.transmissions += 1;
+  record.last_sent = now;
+  record.packet_id = next_packet_id_++;
+  record.lost = false;
+  if (!record.outstanding) {
+    record.outstanding = true;
+    outstanding_bytes_ += len;
+  }
+
+  sampler_.on_packet_sent(record.packet_id, len, now, outstanding_bytes_ - len);
+  cc_->on_packet_sent(now, outstanding_bytes_ - len, len);
+  const std::uint32_t wire = static_cast<std::uint32_t>(len) + kTcpHeaderBytes;
+  pacer_.on_packet_sent(now, wire);
+  last_send_time_ = now;
+
+  ++stats_.data_packets_sent;
+  stats_.bytes_sent += len;
+  if (is_retransmission) ++stats_.retransmissions;
+
+  TcpSegment segment;
+  segment.has_data = true;
+  segment.seq = record.start;
+  segment.payload_bytes = static_cast<std::uint32_t>(len);
+  send_segment_(std::move(segment));
+
+  rearm_retransmission_timer();
+}
+
+void TcpSender::mark_delivered(SegmentRecord& record, SimTime now,
+                               std::uint64_t& newly_delivered, SimDuration& rtt_sample,
+                               SimTime& newest_delivered_sent_time,
+                               std::uint64_t& newest_delivered_packet_id) {
+  if (record.delivered_counted) return;
+  record.delivered_counted = true;
+  const auto len = record.end - record.start;
+  newly_delivered += len;
+  stats_.bytes_delivered += len;
+  if (record.outstanding) {
+    record.outstanding = false;
+    outstanding_bytes_ -= len;
+  }
+  if (record.transmissions == 1 && now > record.last_sent) {
+    // Karn's rule: only never-retransmitted segments produce RTT samples.
+    rtt_sample = std::max(rtt_sample, now - record.last_sent);
+  }
+  if (record.last_sent > newest_delivered_sent_time) {
+    newest_delivered_sent_time = record.last_sent;
+    newest_delivered_packet_id = record.packet_id;
+  }
+}
+
+void TcpSender::on_ack_received(const TcpSegment& segment) {
+  if (!segment.has_ack || !established_) return;
+  const SimTime now = simulator_.now();
+  peer_rwnd_ = segment.receive_window_bytes;
+
+  std::uint64_t newly_delivered = 0;
+  SimDuration rtt_sample{0};
+  SimTime newest_sent_time{0};
+  std::uint64_t newest_packet_id = 0;
+
+  // Rate samples: keep the fastest sample in this ACK (BBR's max filter
+  // consumes it; taking the max here loses nothing).
+  cc::RateSample best_rate_sample{};
+  bool have_rate_sample = false;
+  const auto consider_rate_sample = [&](std::uint64_t packet_id) {
+    if (const auto sample = sampler_.on_packet_acked(packet_id, now)) {
+      if (!have_rate_sample ||
+          sample->delivery_rate > best_rate_sample.delivery_rate) {
+        best_rate_sample = *sample;
+      }
+      have_rate_sample = true;
+    }
+  };
+
+  // Cumulative acknowledgment.
+  const bool cum_advanced = segment.cumulative_ack > highest_cum_ack_;
+  if (cum_advanced) {
+    auto it = segments_.begin();
+    while (it != segments_.end() && it->second.end <= segment.cumulative_ack) {
+      mark_delivered(it->second, now, newly_delivered, rtt_sample, newest_sent_time,
+                     newest_packet_id);
+      consider_rate_sample(it->second.packet_id);
+      it = segments_.erase(it);
+    }
+    highest_cum_ack_ = segment.cumulative_ack;
+  }
+
+  // Selective acknowledgments.
+  for (const auto& block : segment.sack_blocks) {
+    for (auto it = segments_.lower_bound(block.start);
+         it != segments_.end() && it->second.end <= block.end; ++it) {
+      SegmentRecord& record = it->second;
+      if (record.sacked) continue;
+      record.sacked = true;
+      mark_delivered(record, now, newly_delivered, rtt_sample, newest_sent_time,
+                     newest_packet_id);
+      consider_rate_sample(record.packet_id);
+    }
+  }
+
+  if (rtt_sample > SimDuration::zero()) rtt_.on_rtt_sample(rtt_sample);
+  if (newest_sent_time > rack_newest_sent_time_) rack_newest_sent_time_ = newest_sent_time;
+
+  detect_losses(rack_newest_sent_time_);
+
+  // Congestion-controller update.
+  bool round_ended = false;
+  if (highest_cum_ack_ >= round_end_seq_) {
+    round_ended = true;
+    round_end_seq_ = next_seq_;
+  }
+  cc::AckSample ack_sample;
+  ack_sample.bytes_acked = newly_delivered;
+  ack_sample.rtt = rtt_sample;
+  ack_sample.smoothed_rtt = rtt_.smoothed_rtt();
+  if (have_rate_sample) {
+    ack_sample.delivery_rate = best_rate_sample.delivery_rate;
+    ack_sample.is_app_limited = best_rate_sample.is_app_limited;
+  }
+  ack_sample.bytes_in_flight = outstanding_bytes_;
+  ack_sample.round_trip_ended = round_ended;
+  if (newly_delivered > 0) {
+    cc_->on_ack(now, ack_sample);
+    rto_backoff_ = 0;
+    tlp_fired_this_episode_ = false;
+  }
+  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+
+  rearm_retransmission_timer();
+
+  if (cum_advanced && on_writable_ && writable_bytes() > 0) on_writable_();
+  maybe_send();
+}
+
+void TcpSender::detect_losses(SimTime newest_delivered_sent_time) {
+  if (newest_delivered_sent_time == SimTime{0}) return;
+  // RACK: a segment sent sufficiently before the newest delivered segment is
+  // deemed lost. Reordering window: a quarter of the minimum RTT.
+  const SimDuration reorder_window =
+      rtt_.has_sample() ? std::max<SimDuration>(rtt_.min_rtt() / 4, milliseconds(1))
+                        : SimDuration{milliseconds(5)};
+  bool any_lost = false;
+  for (auto& [start, record] : segments_) {
+    if (record.sacked || record.lost || !record.outstanding) continue;
+    if (record.last_sent + reorder_window < newest_delivered_sent_time) {
+      record.lost = true;
+      record.outstanding = false;
+      outstanding_bytes_ -= record.end - record.start;
+      sampler_.on_packet_lost(record.packet_id);
+      any_lost = true;
+    }
+  }
+  if (any_lost) enter_recovery_if_needed();
+}
+
+void TcpSender::enter_recovery_if_needed() {
+  if (highest_cum_ack_ < recovery_point_) return;  // already in this episode
+  recovery_point_ = next_seq_;
+  ++stats_.congestion_events;
+  cc_->on_congestion_event(simulator_.now(), outstanding_bytes_);
+  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+}
+
+void TcpSender::rearm_retransmission_timer() {
+  const bool has_outstanding = outstanding_bytes_ > 0;
+  const bool has_lost = next_lost_segment() != nullptr;
+  if (!has_outstanding && !has_lost) {
+    retx_timer_.cancel();
+    return;
+  }
+  const SimDuration rto = rtt_.rto() * (1u << std::min(rto_backoff_, 6u));
+  // Tail-loss probe fires before the full RTO when eligible: something is in
+  // flight, we have an RTT estimate, and no probe was spent this episode.
+  if (has_outstanding && rtt_.has_sample() && !tlp_fired_this_episode_ &&
+      rto_backoff_ == 0) {
+    const SimDuration pto = std::max(2 * rtt_.smoothed_rtt(), kMinTlpTimeout);
+    if (pto < rto) {
+      timer_is_tlp_ = true;
+      retx_timer_.set_in(pto);
+      return;
+    }
+  }
+  timer_is_tlp_ = false;
+  retx_timer_.set_in(rto);
+}
+
+void TcpSender::on_retransmission_timer() {
+  if (timer_is_tlp_) {
+    // Probe with the highest outstanding segment to elicit a SACK.
+    tlp_fired_this_episode_ = true;
+    ++stats_.tail_probes;
+    SegmentRecord* tail = nullptr;
+    for (auto& [start, record] : segments_) {
+      if (record.outstanding && !record.sacked) tail = &record;
+    }
+    if (tail != nullptr) {
+      transmit(*tail, true);
+    } else {
+      rearm_retransmission_timer();
+    }
+    return;
+  }
+
+  // Full RTO: collapse the pipe, mark everything unacked as lost.
+  ++stats_.timeouts;
+  rto_backoff_ = std::min(rto_backoff_ + 1, 10u);
+  for (auto& [start, record] : segments_) {
+    if (record.sacked || record.lost) continue;
+    record.lost = true;
+    if (record.outstanding) {
+      record.outstanding = false;
+      outstanding_bytes_ -= record.end - record.start;
+    }
+    sampler_.on_packet_lost(record.packet_id);
+  }
+  recovery_point_ = next_seq_;
+  cc_->on_retransmission_timeout();
+  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  maybe_send();
+  rearm_retransmission_timer();
+}
+
+}  // namespace qperc::tcp

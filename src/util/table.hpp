@@ -1,0 +1,40 @@
+// Fixed-width console table printer used by the benchmark harness to emit
+// paper-style tables and figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qperc {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+///
+/// Numeric formatting is left to the caller (see `fmt_*` helpers below) so a
+/// table can mix precisions per column, exactly like the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  /// Comma-separated rendering (for piping results into plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Fixed-precision float formatting ("3.14").
+[[nodiscard]] std::string fmt_fixed(double v, int precision);
+/// Percentage formatting ("12.3%") of a fraction in [0,1].
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+/// Millisecond formatting of a double ms value ("241 ms").
+[[nodiscard]] std::string fmt_ms(double ms, int precision = 0);
+
+}  // namespace qperc

@@ -1,0 +1,43 @@
+// Simulation time primitives.
+//
+// All modules share one clock type: nanoseconds since simulation start.
+// Using std::chrono gives unit safety (no bare "double seconds" anywhere)
+// at zero runtime cost.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace qperc {
+
+/// Point in simulated time, measured from the start of the simulation.
+using SimTime = std::chrono::nanoseconds;
+
+/// Span of simulated time.
+using SimDuration = std::chrono::nanoseconds;
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+using std::chrono::seconds;
+
+/// Converts a simulated duration to fractional seconds (for reporting only;
+/// never use double seconds for scheduling).
+[[nodiscard]] constexpr double to_seconds(SimDuration d) noexcept {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Converts a simulated duration to fractional milliseconds (reporting only).
+[[nodiscard]] constexpr double to_millis(SimDuration d) noexcept {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Builds a duration from fractional seconds, rounding to nanoseconds.
+[[nodiscard]] constexpr SimDuration from_seconds(double s) noexcept {
+  return std::chrono::duration_cast<SimDuration>(std::chrono::duration<double>(s));
+}
+
+/// Sentinel for "no deadline".
+inline constexpr SimTime kNoTime = SimTime::max();
+
+}  // namespace qperc

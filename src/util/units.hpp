@@ -1,0 +1,79 @@
+// Strong types for link rates and byte quantities.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace qperc {
+
+/// A data rate, stored in bits per second. Strongly typed so a bandwidth can
+/// never be confused with a byte count or a duration.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  [[nodiscard]] static constexpr DataRate bits_per_second(std::uint64_t bps) {
+    return DataRate{bps};
+  }
+  [[nodiscard]] static constexpr DataRate kilobits_per_second(std::uint64_t kbps) {
+    return DataRate{kbps * 1000};
+  }
+  [[nodiscard]] static constexpr DataRate megabits_per_second(double mbps) {
+    return DataRate{static_cast<std::uint64_t>(mbps * 1e6)};
+  }
+  [[nodiscard]] static constexpr DataRate bytes_per_second(double byps) {
+    return DataRate{static_cast<std::uint64_t>(byps * 8.0)};
+  }
+
+  /// Rate inferred from transferring `bytes` over `d` (used by BBR's
+  /// delivery-rate estimator).
+  [[nodiscard]] static constexpr DataRate from_bytes_and_duration(std::uint64_t bytes,
+                                                                  SimDuration d) {
+    if (d <= SimDuration::zero()) return DataRate{0};
+    const double seconds = to_seconds(d);
+    return DataRate{static_cast<std::uint64_t>(static_cast<double>(bytes) * 8.0 / seconds)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bps() const noexcept { return bits_per_second_; }
+  [[nodiscard]] constexpr double megabits() const noexcept {
+    return static_cast<double>(bits_per_second_) / 1e6;
+  }
+  [[nodiscard]] constexpr double bytes_per_second_d() const noexcept {
+    return static_cast<double>(bits_per_second_) / 8.0;
+  }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return bits_per_second_ == 0; }
+
+  /// Wire time for `bytes` at this rate. Zero rate yields kNoTime-like huge value
+  /// guarded by callers; we return max to make misuse loud.
+  [[nodiscard]] constexpr SimDuration transmission_time(std::uint64_t bytes) const {
+    if (bits_per_second_ == 0) return SimDuration::max();
+    const double seconds = static_cast<double>(bytes) * 8.0 / static_cast<double>(bits_per_second_);
+    return from_seconds(seconds);
+  }
+
+  /// Bytes that can be sent in `d` at this rate.
+  [[nodiscard]] constexpr std::uint64_t bytes_in(SimDuration d) const {
+    return static_cast<std::uint64_t>(bytes_per_second_d() * to_seconds(d));
+  }
+
+  [[nodiscard]] constexpr DataRate scaled(double factor) const {
+    return DataRate{static_cast<std::uint64_t>(static_cast<double>(bits_per_second_) * factor)};
+  }
+
+  friend constexpr bool operator==(DataRate, DataRate) = default;
+  friend constexpr auto operator<=>(DataRate a, DataRate b) {
+    return a.bits_per_second_ <=> b.bits_per_second_;
+  }
+
+ private:
+  constexpr explicit DataRate(std::uint64_t bps) : bits_per_second_(bps) {}
+  std::uint64_t bits_per_second_ = 0;
+};
+
+/// Bandwidth-delay product in bytes.
+[[nodiscard]] constexpr std::uint64_t bdp_bytes(DataRate rate, SimDuration rtt) {
+  return rate.bytes_in(rtt);
+}
+
+}  // namespace qperc

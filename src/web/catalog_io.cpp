@@ -1,0 +1,107 @@
+#include "web/catalog_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qperc::web {
+
+std::string_view object_type_token(ObjectType type) { return to_string(type); }
+
+ObjectType object_type_from_token(std::string_view token) {
+  if (token == "html") return ObjectType::kHtml;
+  if (token == "css") return ObjectType::kCss;
+  if (token == "script") return ObjectType::kScript;
+  if (token == "image") return ObjectType::kImage;
+  if (token == "font") return ObjectType::kFont;
+  if (token == "other") return ObjectType::kOther;
+  throw std::runtime_error("unknown object type: " + std::string(token));
+}
+
+void write_catalog(std::ostream& os, const std::vector<Website>& catalog) {
+  os << "# qperc website catalog v1\n";
+  os.precision(17);
+  for (const auto& site : catalog) {
+    os << "site " << site.name << ' ' << site.origin_count << '\n';
+    for (const auto& object : site.objects) {
+      os << "obj " << object.id << ' ' << object_type_token(object.type) << ' '
+         << object.origin << ' ' << object.bytes << ' ' << object.parent << ' '
+         << object.discovery_fraction << ' '
+         << std::chrono::duration_cast<microseconds>(object.parse_delay).count() << ' '
+         << (object.render_blocking ? 1 : 0) << ' ' << (object.deferred ? 1 : 0) << ' '
+         << object.render_weight << ' ' << static_cast<int>(object.priority) << '\n';
+    }
+  }
+}
+
+std::vector<Website> read_catalog(std::istream& is) {
+  std::vector<Website> catalog;
+  std::string line;
+  std::size_t line_number = 0;
+  const auto fail = [&](const std::string& message) {
+    throw std::runtime_error("catalog line " + std::to_string(line_number) + ": " +
+                             message);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "site") {
+      Website site;
+      fields >> site.name >> site.origin_count;
+      if (fields.fail() || site.name.empty()) fail("malformed site line");
+      if (site.origin_count == 0) fail("origin_count must be positive");
+      catalog.push_back(std::move(site));
+    } else if (keyword == "obj") {
+      if (catalog.empty()) fail("obj before any site");
+      WebObject object;
+      std::string type_token;
+      std::int64_t parse_delay_us = 0;
+      int blocking = 0;
+      int deferred = 0;
+      int priority = 2;
+      fields >> object.id >> type_token >> object.origin >> object.bytes >>
+          object.parent >> object.discovery_fraction >> parse_delay_us >> blocking >>
+          deferred >> object.render_weight >> priority;
+      if (fields.fail()) fail("malformed obj line");
+      object.type = object_type_from_token(type_token);
+      object.parse_delay = microseconds(parse_delay_us);
+      object.render_blocking = blocking != 0;
+      object.deferred = deferred != 0;
+      object.priority = static_cast<std::uint8_t>(priority);
+      Website& site = catalog.back();
+      if (object.id != site.objects.size()) fail("object ids must be dense and in order");
+      if (object.parent < -1 || object.parent >= static_cast<std::int32_t>(object.id)) {
+        fail("parent must be -1 or precede the object (acyclic)");
+      }
+      if (object.origin >= site.origin_count) fail("origin out of range");
+      if (object.bytes == 0) fail("object bytes must be positive");
+      site.objects.push_back(object);
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  for (const auto& site : catalog) {
+    if (site.objects.empty()) {
+      throw std::runtime_error("site " + site.name + " has no objects");
+    }
+  }
+  return catalog;
+}
+
+void save_catalog(const std::string& path, const std::vector<Website>& catalog) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_catalog(out, catalog);
+}
+
+std::vector<Website> load_catalog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_catalog(in);
+}
+
+}  // namespace qperc::web

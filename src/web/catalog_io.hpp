@@ -1,0 +1,31 @@
+// Website catalog serialization: lets users export the generated study
+// catalog, edit it (or derive one from their own HAR-style recordings), and
+// replay the studies against it.
+//
+// Format: a line-oriented text file.
+//   site <name> <origin_count>
+//   obj <id> <type> <origin> <bytes> <parent> <discovery_fraction>
+//       <parse_delay_us> <render_blocking> <deferred> <render_weight> <priority>
+// Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "web/website.hpp"
+
+namespace qperc::web {
+
+void write_catalog(std::ostream& os, const std::vector<Website>& catalog);
+/// Parses a catalog; throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] std::vector<Website> read_catalog(std::istream& is);
+
+void save_catalog(const std::string& path, const std::vector<Website>& catalog);
+[[nodiscard]] std::vector<Website> load_catalog(const std::string& path);
+
+[[nodiscard]] std::string_view object_type_token(ObjectType type);
+[[nodiscard]] ObjectType object_type_from_token(std::string_view token);
+
+}  // namespace qperc::web

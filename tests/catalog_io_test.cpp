@@ -1,0 +1,80 @@
+// Catalog serialization tests: round-trips and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "web/catalog_io.hpp"
+
+namespace qperc::web {
+namespace {
+
+TEST(CatalogIo, RoundTripsTheStudyCatalog) {
+  const auto original = study_catalog(7);
+  std::stringstream buffer;
+  write_catalog(buffer, original);
+  const auto loaded = read_catalog(buffer);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t s = 0; s < original.size(); ++s) {
+    EXPECT_EQ(loaded[s].name, original[s].name);
+    EXPECT_EQ(loaded[s].origin_count, original[s].origin_count);
+    ASSERT_EQ(loaded[s].objects.size(), original[s].objects.size());
+    for (std::size_t i = 0; i < original[s].objects.size(); ++i) {
+      const auto& a = original[s].objects[i];
+      const auto& b = loaded[s].objects[i];
+      EXPECT_EQ(b.id, a.id);
+      EXPECT_EQ(b.type, a.type);
+      EXPECT_EQ(b.origin, a.origin);
+      EXPECT_EQ(b.bytes, a.bytes);
+      EXPECT_EQ(b.parent, a.parent);
+      EXPECT_DOUBLE_EQ(b.discovery_fraction, a.discovery_fraction);
+      EXPECT_EQ(std::chrono::duration_cast<microseconds>(b.parse_delay),
+                std::chrono::duration_cast<microseconds>(a.parse_delay));
+      EXPECT_EQ(b.render_blocking, a.render_blocking);
+      EXPECT_EQ(b.deferred, a.deferred);
+      EXPECT_DOUBLE_EQ(b.render_weight, a.render_weight);
+      EXPECT_EQ(b.priority, a.priority);
+    }
+  }
+}
+
+TEST(CatalogIo, ParsesHandWrittenCatalog) {
+  std::stringstream buffer(
+      "# my tiny catalog\n"
+      "site example.test 2\n"
+      "obj 0 html 0 20000 -1 0 0 1 0 0.5 0\n"
+      "obj 1 image 1 50000 0 0.5 1000 0 0 0.5 3\n");
+  const auto catalog = read_catalog(buffer);
+  ASSERT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog[0].name, "example.test");
+  ASSERT_EQ(catalog[0].objects.size(), 2u);
+  EXPECT_EQ(catalog[0].objects[1].type, ObjectType::kImage);
+  EXPECT_EQ(catalog[0].objects[1].parse_delay, microseconds(1000));
+}
+
+TEST(CatalogIo, RejectsMalformedInput) {
+  const auto expect_throw = [](const std::string& text) {
+    std::stringstream buffer(text);
+    EXPECT_THROW(static_cast<void>(read_catalog(buffer)), std::runtime_error) << text;
+  };
+  expect_throw("obj 0 html 0 100 -1 0 0 1 0 0.5 0\n");             // obj before site
+  expect_throw("site a 1\nobj 1 html 0 100 -1 0 0 1 0 0.5 0\n");   // non-dense id
+  expect_throw("site a 1\nobj 0 html 0 100 5 0 0 1 0 0.5 0\n");    // forward parent
+  expect_throw("site a 1\nobj 0 html 3 100 -1 0 0 1 0 0.5 0\n");   // origin range
+  expect_throw("site a 1\nobj 0 html 0 0 -1 0 0 1 0 0.5 0\n");     // zero bytes
+  expect_throw("site a 1\nobj 0 blob 0 100 -1 0 0 1 0 0.5 0\n");   // bad type
+  expect_throw("site a 0\nobj 0 html 0 100 -1 0 0 1 0 0.5 0\n");   // zero origins
+  expect_throw("site a 1\n");                                      // empty site
+  expect_throw("frob x y\n");                                      // unknown keyword
+}
+
+TEST(CatalogIo, ObjectTypeTokensRoundTrip) {
+  for (const auto type : {ObjectType::kHtml, ObjectType::kCss, ObjectType::kScript,
+                          ObjectType::kImage, ObjectType::kFont, ObjectType::kOther}) {
+    EXPECT_EQ(object_type_from_token(object_type_token(type)), type);
+  }
+  EXPECT_THROW(static_cast<void>(object_type_from_token("blob")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qperc::web

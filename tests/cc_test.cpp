@@ -1,0 +1,333 @@
+// Unit tests for congestion control: Cubic, BBRv1, pacing, rate sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cc/bandwidth_sampler.hpp"
+#include "cc/bbr.hpp"
+#include "cc/cubic.hpp"
+#include "cc/factory.hpp"
+#include "cc/pacer.hpp"
+#include "cc/rtt_estimator.hpp"
+#include "cc/windowed_filter.hpp"
+
+namespace qperc::cc {
+namespace {
+
+constexpr std::uint64_t kMss = 1460;
+
+AckSample make_ack(std::uint64_t bytes, SimDuration rtt, bool round_ended = false,
+                   DataRate rate = DataRate(), std::uint64_t in_flight = 0) {
+  AckSample sample;
+  sample.bytes_acked = bytes;
+  sample.rtt = rtt;
+  sample.smoothed_rtt = rtt;
+  sample.delivery_rate = rate;
+  sample.bytes_in_flight = in_flight;
+  sample.round_trip_ended = round_ended;
+  return sample;
+}
+
+TEST(Cubic, InitialWindowMatchesConfig) {
+  Cubic iw10(CubicConfig{.initial_window_segments = 10});
+  EXPECT_EQ(iw10.congestion_window(), 10 * kMss);
+  Cubic iw32(CubicConfig{.initial_window_segments = 32});
+  EXPECT_EQ(iw32.congestion_window(), 32 * kMss);
+}
+
+TEST(Cubic, SlowStartDoublesPerRoundTrip) {
+  Cubic cubic(CubicConfig{.initial_window_segments = 10, .enable_hystart = false});
+  const std::uint64_t before = cubic.congestion_window();
+  // Ack a full window's worth of data.
+  SimTime now{milliseconds(100)};
+  cubic.on_ack(now, make_ack(before, milliseconds(50)));
+  EXPECT_EQ(cubic.congestion_window(), 2 * before);
+  EXPECT_TRUE(cubic.in_slow_start());
+}
+
+TEST(Cubic, LossReducesWindowByBeta) {
+  Cubic cubic(CubicConfig{.initial_window_segments = 100, .enable_hystart = false});
+  const std::uint64_t before = cubic.congestion_window();
+  cubic.on_congestion_event(SimTime{seconds(1)}, before);
+  EXPECT_NEAR(static_cast<double>(cubic.congestion_window()),
+              static_cast<double>(before) * 0.7, static_cast<double>(kMss));
+  EXPECT_FALSE(cubic.in_slow_start());
+}
+
+TEST(Cubic, WindowRegrowsAfterLossTowardsWmax) {
+  Cubic cubic(CubicConfig{.initial_window_segments = 100, .enable_hystart = false});
+  const std::uint64_t w_max = cubic.congestion_window();
+  cubic.on_congestion_event(SimTime{seconds(1)}, w_max);
+  const std::uint64_t reduced = cubic.congestion_window();
+  // Feed ACKs over simulated time; cubic should grow back towards w_max.
+  SimTime now{seconds(1)};
+  for (int i = 0; i < 400; ++i) {
+    now += milliseconds(20);
+    cubic.on_ack(now, make_ack(cubic.congestion_window() / 4, milliseconds(20)));
+  }
+  EXPECT_GT(cubic.congestion_window(), reduced);
+  EXPECT_GE(cubic.congestion_window(), w_max * 9 / 10);
+}
+
+TEST(Cubic, RtoCollapsesToMinWindow) {
+  Cubic cubic(CubicConfig{.initial_window_segments = 50});
+  cubic.on_retransmission_timeout();
+  EXPECT_EQ(cubic.congestion_window(), 2 * kMss);
+}
+
+TEST(Cubic, IdleRestartResetsToInitialWindow) {
+  CubicConfig config{.initial_window_segments = 10, .enable_hystart = false};
+  Cubic cubic(config);
+  SimTime now{milliseconds(0)};
+  for (int i = 0; i < 5; ++i) {
+    now += milliseconds(50);
+    cubic.on_ack(now, make_ack(cubic.congestion_window(), milliseconds(50)));
+  }
+  EXPECT_GT(cubic.congestion_window(), 10 * kMss);
+  cubic.on_restart_after_idle();
+  EXPECT_EQ(cubic.congestion_window(), 10 * kMss);
+}
+
+TEST(Cubic, HystartExitsSlowStartOnDelayIncrease) {
+  Cubic cubic(CubicConfig{.initial_window_segments = 32, .enable_hystart = true});
+  SimTime now{milliseconds(0)};
+  // Round 1: baseline RTT 100 ms, plenty of samples.
+  for (int i = 0; i < 9; ++i) {
+    now += milliseconds(1);
+    cubic.on_ack(now, make_ack(kMss, milliseconds(100), i == 8));
+  }
+  ASSERT_TRUE(cubic.in_slow_start());
+  // Round 2: RTT grows 40% — queue building, exit before loss.
+  for (int i = 0; i < 9; ++i) {
+    now += milliseconds(1);
+    cubic.on_ack(now, make_ack(kMss, milliseconds(140), i == 8));
+  }
+  // Round 3 begins: the exit decision is taken at the round boundary.
+  EXPECT_FALSE(cubic.in_slow_start());
+}
+
+TEST(Cubic, PacingRateUsesGains) {
+  Cubic cubic(CubicConfig{.initial_window_segments = 10});
+  const auto rate_ss = cubic.pacing_rate(milliseconds(100));
+  // Slow start: 2x cwnd/srtt = 2 * 14600B / 0.1s = 292 kB/s.
+  EXPECT_NEAR(rate_ss.bytes_per_second_d(), 292'000.0, 2000.0);
+}
+
+TEST(Bbr, StartupUsesHighGain) {
+  Bbr bbr(BbrConfig{.initial_window_segments = 32});
+  EXPECT_TRUE(bbr.in_slow_start());
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kStartup);
+  const auto rate = bbr.pacing_rate(milliseconds(100));
+  const double expected = 32.0 * 1460 / 0.1 * 2.885;
+  EXPECT_NEAR(rate.bytes_per_second_d(), expected, expected * 0.02);
+}
+
+TEST(Bbr, ExitsStartupWhenBandwidthPlateaus) {
+  Bbr bbr(BbrConfig{});
+  SimTime now{milliseconds(0)};
+  const auto bw = DataRate::megabits_per_second(10.0);
+  // Several rounds at the same measured bandwidth: full pipe detected.
+  for (int round = 0; round < 6; ++round) {
+    now += milliseconds(50);
+    bbr.on_ack(now, make_ack(10 * kMss, milliseconds(50), true, bw, 20 * kMss));
+  }
+  EXPECT_NE(bbr.mode(), Bbr::Mode::kStartup);
+}
+
+TEST(Bbr, DrainThenProbeBandwidth) {
+  Bbr bbr(BbrConfig{});
+  SimTime now{milliseconds(0)};
+  const auto bw = DataRate::megabits_per_second(10.0);
+  for (int round = 0; round < 6; ++round) {
+    now += milliseconds(50);
+    bbr.on_ack(now, make_ack(10 * kMss, milliseconds(50), true, bw, 40 * kMss));
+  }
+  // Low in-flight lets DRAIN complete.
+  now += milliseconds(50);
+  bbr.on_ack(now, make_ack(10 * kMss, milliseconds(50), true, bw, kMss));
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kProbeBw);
+  // cwnd tracks 2x BDP: 10 Mbps x 50 ms = 62.5 kB BDP.
+  const double bdp = 10e6 / 8.0 * 0.05;
+  EXPECT_NEAR(static_cast<double>(bbr.congestion_window()), 2.0 * bdp, bdp * 0.5);
+}
+
+TEST(Bbr, BandwidthEstimateTracksDeliveryRate) {
+  Bbr bbr(BbrConfig{});
+  SimTime now{milliseconds(0)};
+  const auto bw = DataRate::megabits_per_second(7.0);
+  for (int round = 0; round < 4; ++round) {
+    now += milliseconds(40);
+    bbr.on_ack(now, make_ack(5 * kMss, milliseconds(40), true, bw, 10 * kMss));
+  }
+  EXPECT_EQ(bbr.bandwidth_estimate().bps(), bw.bps());
+  EXPECT_EQ(bbr.min_rtt_estimate(), milliseconds(40));
+}
+
+TEST(Bbr, AppLimitedSamplesDoNotInflateEstimate) {
+  Bbr bbr(BbrConfig{});
+  SimTime now{milliseconds(0)};
+  const auto bw = DataRate::megabits_per_second(5.0);
+  for (int round = 0; round < 4; ++round) {
+    now += milliseconds(40);
+    bbr.on_ack(now, make_ack(5 * kMss, milliseconds(40), true, bw, 10 * kMss));
+  }
+  AckSample limited = make_ack(kMss, milliseconds(40), true,
+                               DataRate::megabits_per_second(2.0), kMss);
+  limited.is_app_limited = true;
+  now += milliseconds(40);
+  bbr.on_ack(now, limited);
+  // The lower app-limited sample must not *replace* the real estimate
+  // within the window.
+  EXPECT_EQ(bbr.bandwidth_estimate().bps(), bw.bps());
+}
+
+TEST(Bbr, LossDoesNotCollapseTheModel) {
+  Bbr bbr(BbrConfig{});
+  SimTime now{milliseconds(0)};
+  const auto bw = DataRate::megabits_per_second(10.0);
+  for (int round = 0; round < 6; ++round) {
+    now += milliseconds(50);
+    bbr.on_ack(now, make_ack(10 * kMss, milliseconds(50), true, bw, 30 * kMss));
+  }
+  const auto estimate_before = bbr.bandwidth_estimate();
+  bbr.on_congestion_event(now, 20 * kMss);
+  EXPECT_EQ(bbr.bandwidth_estimate().bps(), estimate_before.bps());
+  // Window bounded to in-flight during recovery, not to a beta fraction.
+  EXPECT_GE(bbr.congestion_window(), 20 * kMss);
+}
+
+TEST(Pacer, DisabledPacerNeverDelays) {
+  Pacer pacer(PacerConfig{.enabled = false});
+  pacer.set_rate(DataRate::kilobits_per_second(1));
+  EXPECT_EQ(pacer.next_send_time(SimTime{seconds(1)}, 100000), SimTime{seconds(1)});
+}
+
+TEST(Pacer, InitialQuantumAllowsBurstOfTen) {
+  Pacer pacer(PacerConfig{.enabled = true,
+                          .initial_quantum_segments = 10,
+                          .refill_quantum_segments = 2,
+                          .segment_bytes = 1000});
+  pacer.set_rate(DataRate::bytes_per_second(100'000));
+  SimTime now{0};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(pacer.next_send_time(now, 1000), now) << i;
+    pacer.on_packet_sent(now, 1000);
+  }
+  // The 11th packet must wait for token refill.
+  EXPECT_GT(pacer.next_send_time(now, 1000), now);
+}
+
+TEST(Pacer, SteadyStatePacesAtRate) {
+  Pacer pacer(PacerConfig{.enabled = true,
+                          .initial_quantum_segments = 1,
+                          .refill_quantum_segments = 2,
+                          .segment_bytes = 1000});
+  pacer.set_rate(DataRate::bytes_per_second(1'000'000));  // 1 ms per kB
+  SimTime now{0};
+  pacer.on_packet_sent(now, 1000);
+  pacer.on_packet_sent(now, 1000);  // deficit now
+  const SimTime release = pacer.next_send_time(now, 1000);
+  EXPECT_GT(release, now);
+  EXPECT_LE(release, now + milliseconds(3));
+}
+
+TEST(Pacer, IdleRestartRegrantsBurst) {
+  Pacer pacer(PacerConfig{.enabled = true,
+                          .initial_quantum_segments = 10,
+                          .refill_quantum_segments = 2,
+                          .segment_bytes = 1000});
+  pacer.set_rate(DataRate::bytes_per_second(10'000));
+  SimTime now{0};
+  for (int i = 0; i < 10; ++i) pacer.on_packet_sent(now, 1000);
+  EXPECT_GT(pacer.next_send_time(now, 1000), now);
+  pacer.on_restart_from_idle(now + seconds(5));
+  EXPECT_EQ(pacer.next_send_time(now + seconds(5), 1000), now + seconds(5));
+}
+
+TEST(BandwidthSampler, MeasuresDeliveryRate) {
+  BandwidthSampler sampler;
+  SimTime t0{0};
+  // Two packets sent back to back, acked 100 ms apart.
+  sampler.on_packet_sent(1, 10'000, t0, 0);
+  sampler.on_packet_sent(2, 10'000, t0 + milliseconds(1), 10'000);
+  const auto s1 = sampler.on_packet_acked(1, t0 + milliseconds(100));
+  ASSERT_TRUE(s1.has_value());
+  // 10 kB delivered over 100 ms = 100 kB/s.
+  EXPECT_NEAR(s1->delivery_rate.bytes_per_second_d(), 100'000.0, 2000.0);
+  const auto s2 = sampler.on_packet_acked(2, t0 + milliseconds(200));
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_NEAR(s2->delivery_rate.bytes_per_second_d(), 100'000.0, 2000.0);
+}
+
+TEST(BandwidthSampler, AppLimitedMarksSubsequentSends) {
+  BandwidthSampler sampler;
+  SimTime t0{0};
+  sampler.on_packet_sent(1, 1000, t0, 0);
+  sampler.on_app_limited();
+  sampler.on_packet_sent(2, 1000, t0 + milliseconds(1), 1000);
+  sampler.on_packet_acked(1, t0 + milliseconds(50));
+  const auto s2 = sampler.on_packet_acked(2, t0 + milliseconds(60));
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_TRUE(s2->is_app_limited);
+}
+
+TEST(BandwidthSampler, UnknownOrLostPacketsYieldNoSample) {
+  BandwidthSampler sampler;
+  EXPECT_FALSE(sampler.on_packet_acked(42, SimTime{seconds(1)}).has_value());
+  sampler.on_packet_sent(1, 1000, SimTime{0}, 0);
+  sampler.on_packet_lost(1);
+  EXPECT_FALSE(sampler.on_packet_acked(1, SimTime{seconds(1)}).has_value());
+}
+
+TEST(WindowedFilter, TracksMaxOverWindow) {
+  WindowedFilter<int, std::uint64_t, Greater<int>> filter(10);
+  filter.update(5, 0);
+  filter.update(8, 2);
+  filter.update(3, 4);
+  EXPECT_EQ(filter.best(), 8);
+  // The 8 expires at tick 13; the 3 remains.
+  filter.advance(14);
+  EXPECT_EQ(filter.best(), 3);
+}
+
+TEST(WindowedFilter, KeepsLastSampleForever) {
+  WindowedFilter<int, std::uint64_t, Less<int>> filter(5);
+  filter.update(7, 0);
+  filter.advance(1000);
+  EXPECT_EQ(filter.best(), 7);
+}
+
+TEST(RttEstimator, FollowsRfc6298) {
+  RttEstimator estimator;
+  EXPECT_EQ(estimator.rto(), RttEstimator::kInitialRto);
+  estimator.on_rtt_sample(milliseconds(100));
+  EXPECT_EQ(estimator.smoothed_rtt(), milliseconds(100));
+  EXPECT_EQ(estimator.rtt_var(), milliseconds(50));
+  estimator.on_rtt_sample(milliseconds(100));
+  EXPECT_EQ(estimator.smoothed_rtt(), milliseconds(100));
+  EXPECT_LT(estimator.rtt_var(), milliseconds(50));
+  EXPECT_GE(estimator.rto(), RttEstimator::kMinRto);
+}
+
+TEST(RttEstimator, MinRttTracksMinimum) {
+  RttEstimator estimator;
+  estimator.on_rtt_sample(milliseconds(80));
+  estimator.on_rtt_sample(milliseconds(40));
+  estimator.on_rtt_sample(milliseconds(120));
+  EXPECT_EQ(estimator.min_rtt(), milliseconds(40));
+  EXPECT_EQ(estimator.latest_rtt(), milliseconds(120));
+}
+
+TEST(Factory, BuildsRequestedController) {
+  const auto cubic = make_congestion_controller(CcKind::kCubic, 10, kMss);
+  EXPECT_EQ(cubic->name(), "cubic");
+  EXPECT_EQ(cubic->congestion_window(), 10 * kMss);
+  const auto bbr = make_congestion_controller(CcKind::kBbr, 32, kMss);
+  EXPECT_EQ(bbr->name(), "bbr");
+  EXPECT_EQ(bbr->congestion_window(), 32 * kMss);
+  EXPECT_EQ(to_string(CcKind::kCubic), "Cubic");
+  EXPECT_EQ(to_string(CcKind::kBbr), "BBRv1");
+}
+
+}  // namespace
+}  // namespace qperc::cc

@@ -1,0 +1,170 @@
+// Core tests: Table-1 protocol configs, trial determinism, video selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/protocol.hpp"
+#include "core/video.hpp"
+#include "net/profile.hpp"
+#include "web/website.hpp"
+
+namespace qperc::core {
+namespace {
+
+TEST(Protocols, Table1Rows) {
+  const auto& protocols = paper_protocols();
+  ASSERT_EQ(protocols.size(), 5u);
+
+  const auto& tcp = protocols[0];
+  EXPECT_EQ(tcp.name, "TCP");
+  EXPECT_EQ(tcp.transport, Transport::kTcp);
+  EXPECT_EQ(tcp.initial_window_segments, 10u);
+  EXPECT_FALSE(tcp.pacing);
+  EXPECT_FALSE(tcp.tuned_buffers);
+  EXPECT_TRUE(tcp.slow_start_after_idle);
+  EXPECT_EQ(tcp.congestion_control, cc::CcKind::kCubic);
+
+  const auto& tcp_plus = protocols[1];
+  EXPECT_EQ(tcp_plus.name, "TCP+");
+  EXPECT_EQ(tcp_plus.initial_window_segments, 32u);
+  EXPECT_TRUE(tcp_plus.pacing);
+  EXPECT_TRUE(tcp_plus.tuned_buffers);
+  EXPECT_FALSE(tcp_plus.slow_start_after_idle);
+
+  EXPECT_EQ(protocols[2].name, "TCP+BBR");
+  EXPECT_EQ(protocols[2].congestion_control, cc::CcKind::kBbr);
+
+  const auto& quic = protocols[3];
+  EXPECT_EQ(quic.name, "QUIC");
+  EXPECT_EQ(quic.transport, Transport::kQuic);
+  EXPECT_EQ(quic.initial_window_segments, 32u);
+  EXPECT_TRUE(quic.pacing);
+  EXPECT_EQ(quic.congestion_control, cc::CcKind::kCubic);
+
+  EXPECT_EQ(protocols[4].name, "QUIC+BBR");
+  EXPECT_EQ(protocols[4].congestion_control, cc::CcKind::kBbr);
+}
+
+TEST(Protocols, LookupByName) {
+  EXPECT_EQ(protocol_by_name("QUIC+BBR").congestion_control, cc::CcKind::kBbr);
+  EXPECT_THROW(static_cast<void>(protocol_by_name("SCTP")), std::invalid_argument);
+}
+
+TEST(Protocols, ConfigConversion) {
+  const auto& tcp_plus = protocol_by_name("TCP+");
+  const auto tcp_config = tcp_plus.tcp_config();
+  EXPECT_EQ(tcp_config.initial_window_segments, 32u);
+  EXPECT_TRUE(tcp_config.pacing);
+  EXPECT_TRUE(tcp_config.tuned_buffers);
+  EXPECT_FALSE(tcp_config.slow_start_after_idle);
+  EXPECT_EQ(tcp_config.handshake_rtts, 2u);
+
+  const auto& quic = protocol_by_name("QUIC");
+  const auto quic_config = quic.quic_config();
+  EXPECT_EQ(quic_config.initial_window_segments, 32u);
+  EXPECT_FALSE(quic_config.zero_rtt);
+}
+
+TEST(Video, TypicalTrialIsClosestToMeanPlt) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[6];
+  const auto video = produce_video(site, protocol_by_name("QUIC"), net::lte_profile(),
+                                   /*runs=*/9, /*base_seed=*/123);
+  EXPECT_EQ(video.runs, 9u);
+  // The selected trial's PLT must lie within the spread around the mean —
+  // verify it is close to the per-condition mean PLT.
+  EXPECT_TRUE(video.metrics.finished);
+  EXPECT_LT(std::fabs(video.metrics.plt_ms() - video.mean_metrics.plt_ms()),
+            video.mean_metrics.plt_ms() * 0.5);
+  EXPECT_FALSE(video.vc_curve.empty());
+}
+
+TEST(Video, DeterministicForSameInputs) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[0];
+  const auto a =
+      produce_video(site, protocol_by_name("TCP"), net::dsl_profile(), 5, 99);
+  const auto b =
+      produce_video(site, protocol_by_name("TCP"), net::dsl_profile(), 5, 99);
+  EXPECT_DOUBLE_EQ(a.metrics.si_ms(), b.metrics.si_ms());
+  EXPECT_DOUBLE_EQ(a.mean_metrics.plt_ms(), b.mean_metrics.plt_ms());
+}
+
+TEST(VideoLibrary, CachesAndIsConsistent) {
+  VideoLibrary library(7, 3);
+  EXPECT_EQ(library.catalog().size(), 36u);
+  const auto& first = library.get("gov.uk", "QUIC", net::NetworkKind::kDsl);
+  const auto& second = library.get("gov.uk", "QUIC", net::NetworkKind::kDsl);
+  EXPECT_EQ(&first, &second);  // cached object, not recomputed
+  EXPECT_EQ(first.site, "gov.uk");
+  EXPECT_EQ(first.protocol, "QUIC");
+}
+
+TEST(VideoLibrary, PrecomputeMatchesLazyCompute) {
+  VideoLibrary lazy(7, 3);
+  VideoLibrary eager(7, 3);
+  eager.precompute({"gov.uk"}, {"TCP", "QUIC"}, {net::NetworkKind::kLte});
+  EXPECT_DOUBLE_EQ(lazy.get("gov.uk", "TCP", net::NetworkKind::kLte).metrics.si_ms(),
+                   eager.get("gov.uk", "TCP", net::NetworkKind::kLte).metrics.si_ms());
+  EXPECT_DOUBLE_EQ(lazy.get("gov.uk", "QUIC", net::NetworkKind::kLte).metrics.si_ms(),
+                   eager.get("gov.uk", "QUIC", net::NetworkKind::kLte).metrics.si_ms());
+}
+
+TEST(VideoLibrary, UnknownSiteThrows) {
+  VideoLibrary library(7, 2);
+  EXPECT_THROW(static_cast<void>(library.site_by_name("not-a-site.test")), std::invalid_argument);
+}
+
+TEST(VideoLibrary, CacheRoundTrips) {
+  const std::string path = "/tmp/qperc_test_cache_roundtrip.cache";
+  VideoLibrary writer(7, 2);
+  const auto& original = writer.get("gov.uk", "QUIC", net::NetworkKind::kDsl);
+  writer.save_cache(path);
+
+  VideoLibrary reader(7, 2);
+  ASSERT_TRUE(reader.load_cache(path));
+  EXPECT_EQ(reader.cached_conditions(), 1u);
+  const auto& loaded = reader.get("gov.uk", "QUIC", net::NetworkKind::kDsl);
+  EXPECT_EQ(loaded.site, original.site);
+  EXPECT_EQ(loaded.protocol, original.protocol);
+  EXPECT_EQ(loaded.runs, original.runs);
+  EXPECT_DOUBLE_EQ(loaded.metrics.si_ms(), original.metrics.si_ms());
+  EXPECT_DOUBLE_EQ(loaded.mean_metrics.plt_ms(), original.mean_metrics.plt_ms());
+  EXPECT_DOUBLE_EQ(loaded.mean_retransmissions, original.mean_retransmissions);
+  ASSERT_EQ(loaded.vc_curve.size(), original.vc_curve.size());
+  for (std::size_t i = 0; i < loaded.vc_curve.size(); ++i) {
+    EXPECT_EQ(loaded.vc_curve[i].time, original.vc_curve[i].time);
+    EXPECT_DOUBLE_EQ(loaded.vc_curve[i].completeness, original.vc_curve[i].completeness);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VideoLibrary, CacheRejectsMismatchedParameters) {
+  const std::string path = "/tmp/qperc_test_cache_mismatch.cache";
+  VideoLibrary writer(7, 2);
+  (void)writer.get("gov.uk", "TCP", net::NetworkKind::kDsl);
+  writer.save_cache(path);
+
+  VideoLibrary other_runs(7, 3);
+  EXPECT_FALSE(other_runs.load_cache(path));
+  VideoLibrary other_seed(8, 2);
+  EXPECT_FALSE(other_seed.load_cache(path));
+  VideoLibrary missing(7, 2);
+  EXPECT_FALSE(missing.load_cache("/tmp/does_not_exist.qperc"));
+  std::remove(path.c_str());
+}
+
+TEST(Http1Baseline, LoadsAndIsSlowerThanQuic) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[1];  // gov.uk
+  const auto h1 = run_trial(site, http1_baseline_protocol(), net::lte_profile(), 5);
+  const auto quic = run_trial(site, protocol_by_name("QUIC"), net::lte_profile(), 5);
+  ASSERT_TRUE(h1.metrics.finished);
+  ASSERT_TRUE(quic.metrics.finished);
+  EXPECT_GT(h1.metrics.si_ms(), quic.metrics.si_ms());
+  EXPECT_EQ(protocol_by_name("TCP-H1").transport, Transport::kTcpH1);
+}
+
+}  // namespace
+}  // namespace qperc::core

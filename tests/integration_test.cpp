@@ -1,0 +1,150 @@
+// Cross-module integration tests reproducing the paper's causal mechanisms.
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "core/video.hpp"
+#include "net/profile.hpp"
+#include "stats/stats.hpp"
+#include "study/rater.hpp"
+#include "web/website.hpp"
+
+namespace qperc {
+namespace {
+
+/// Mean SI over a few seeds for one condition.
+double mean_si_ms(const web::Website& site, const std::string& protocol,
+                  const net::NetworkProfile& profile, int runs = 7) {
+  double sum = 0.0;
+  for (int seed = 1; seed <= runs; ++seed) {
+    const auto result = core::run_trial(site, core::protocol_by_name(protocol), profile,
+                                        static_cast<std::uint64_t>(seed) * 1000 + 7);
+    sum += result.metrics.si_ms();
+  }
+  return sum / runs;
+}
+
+double mean_retx(const web::Website& site, const std::string& protocol,
+                 const net::NetworkProfile& profile, int runs = 7) {
+  double sum = 0.0;
+  for (int seed = 1; seed <= runs; ++seed) {
+    const auto result = core::run_trial(site, core::protocol_by_name(protocol), profile,
+                                        static_cast<std::uint64_t>(seed) * 1000 + 7);
+    sum += static_cast<double>(result.transport.retransmissions);
+  }
+  return sum / runs;
+}
+
+const web::Website& site_named(const std::vector<web::Website>& catalog,
+                               std::string_view name) {
+  for (const auto& site : catalog) {
+    if (site.name == name) return site;
+  }
+  throw std::runtime_error("missing site");
+}
+
+TEST(Integration, QuicBeatsStockTcpOnEveryNetwork) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = site_named(catalog, "gov.uk");
+  for (const auto& profile : net::all_profiles()) {
+    EXPECT_LT(mean_si_ms(site, "QUIC", profile), mean_si_ms(site, "TCP", profile))
+        << profile.name;
+  }
+}
+
+TEST(Integration, TunedTcpBeatsStockTcpOnCleanNetworks) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = site_named(catalog, "wikipedia.org");
+  EXPECT_LT(mean_si_ms(site, "TCP+", net::dsl_profile()),
+            mean_si_ms(site, "TCP", net::dsl_profile()));
+  EXPECT_LT(mean_si_ms(site, "TCP+", net::lte_profile()),
+            mean_si_ms(site, "TCP", net::lte_profile()));
+}
+
+TEST(Integration, QuicBeatsTunedTcpThanksToHandshake) {
+  // Even against TCP+, QUIC keeps its 1-RTT advantage (§4.3).
+  const auto catalog = web::study_catalog(7);
+  const auto& site = site_named(catalog, "gov.uk");
+  EXPECT_LT(mean_si_ms(site, "QUIC", net::lte_profile()),
+            mean_si_ms(site, "TCP+", net::lte_profile()));
+}
+
+TEST(Integration, Da2gcTcpPlusRetransmitsMoreThanStock) {
+  // §4.3: on DA2GC, TCP+ shows ~1.5x (up to 4.8x) the retransmissions of
+  // stock TCP — the IW32 burst overwhelms the slow lossy link.
+  const auto catalog = web::study_catalog(7);
+  const auto& site = site_named(catalog, "gov.uk");
+  const double stock = mean_retx(site, "TCP", net::da2gc_profile());
+  const double tuned = mean_retx(site, "TCP+", net::da2gc_profile());
+  EXPECT_GT(tuned, stock * 1.2);
+}
+
+TEST(Integration, MultiOriginSitesAmplifyQuicAdvantage) {
+  // Each origin costs one handshake, so QUIC's 1-RTT saving multiplies with
+  // the number of contacted servers (the spotify.com effect, §4.4).
+  const auto catalog = web::study_catalog(7);
+  const auto& many_origins = site_named(catalog, "spotify.com");
+  const auto& single_origin = site_named(catalog, "archive.org");
+  const auto& lte = net::lte_profile();
+  const double gain_many =
+      mean_si_ms(many_origins, "TCP+", lte) - mean_si_ms(many_origins, "QUIC", lte);
+  const double gain_single =
+      mean_si_ms(single_origin, "TCP+", lte) - mean_si_ms(single_origin, "QUIC", lte);
+  EXPECT_GT(gain_many, gain_single);
+}
+
+TEST(Integration, PerceivedRatingsTrackNetworkQuality) {
+  // End-to-end: videos produced by the testbed rate best on DSL, worst on
+  // the in-flight networks.
+  core::VideoLibrary library(7, 3);
+  const auto rating_for = [&](net::NetworkKind network, study::Context context) {
+    const auto& video = library.get("gov.uk", "QUIC", network);
+    return study::ideal_rating(video.metrics, context);
+  };
+  const double dsl = rating_for(net::NetworkKind::kDsl, study::Context::kWork);
+  const double lte = rating_for(net::NetworkKind::kLte, study::Context::kWork);
+  const double mss = rating_for(net::NetworkKind::kMss, study::Context::kPlane);
+  EXPECT_GT(dsl, lte);
+  EXPECT_GT(lte, mss);
+  EXPECT_GT(dsl, 50.0);  // good territory
+  EXPECT_LT(mss, 48.0);  // clearly below the fast networks (small site => mild)
+}
+
+TEST(Integration, HandshakeAdvantageVisibleInFvc) {
+  // On LTE (74 ms RTT), QUIC's FVC should lead TCP+'s by roughly one RTT
+  // per dependency level (at least ~60 ms for the root document chain).
+  const auto catalog = web::study_catalog(7);
+  const auto& site = site_named(catalog, "archive.org");
+  double tcp_fvc = 0.0;
+  double quic_fvc = 0.0;
+  for (int seed = 1; seed <= 7; ++seed) {
+    tcp_fvc += core::run_trial(site, core::protocol_by_name("TCP+"), net::lte_profile(),
+                               static_cast<std::uint64_t>(seed))
+                   .metrics.fvc_ms();
+    quic_fvc += core::run_trial(site, core::protocol_by_name("QUIC"), net::lte_profile(),
+                                static_cast<std::uint64_t>(seed))
+                    .metrics.fvc_ms();
+  }
+  EXPECT_GT(tcp_fvc - quic_fvc, 7 * 50.0);
+}
+
+TEST(Integration, ZeroRttAblationFasterStill) {
+  core::ProtocolConfig zero_rtt = core::protocol_by_name("QUIC");
+  zero_rtt.name = "QUIC-0RTT";
+  zero_rtt.zero_rtt = true;
+  const auto catalog = web::study_catalog(7);
+  const auto& site = site_named(catalog, "archive.org");
+  double one_rtt_si = 0.0;
+  double zero_rtt_si = 0.0;
+  for (int seed = 1; seed <= 5; ++seed) {
+    one_rtt_si += core::run_trial(site, core::protocol_by_name("QUIC"), net::lte_profile(),
+                                  static_cast<std::uint64_t>(seed))
+                      .metrics.si_ms();
+    zero_rtt_si += core::run_trial(site, zero_rtt, net::lte_profile(),
+                                   static_cast<std::uint64_t>(seed))
+                       .metrics.si_ms();
+  }
+  EXPECT_LT(zero_rtt_si, one_rtt_si);
+}
+
+}  // namespace
+}  // namespace qperc

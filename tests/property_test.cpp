@@ -1,0 +1,138 @@
+// Parameterized property sweeps: invariants that must hold for every
+// (protocol, network) combination and across loss seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "net/profile.hpp"
+#include "tests/transport_test_util.hpp"
+#include "web/website.hpp"
+
+namespace qperc {
+namespace {
+
+using ProtocolNetwork = std::tuple<std::string, net::NetworkKind>;
+
+class TrialPropertyTest : public ::testing::TestWithParam<ProtocolNetwork> {};
+
+TEST_P(TrialPropertyTest, PageLoadInvariants) {
+  const auto& [protocol_name, network] = GetParam();
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[9];  // w3.org: small, completes quickly everywhere
+  const auto& protocol = core::protocol_by_name(protocol_name);
+  const auto& profile = net::profile_for(network);
+
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const auto result = core::run_trial(site, protocol, profile, seed);
+    ASSERT_TRUE(result.metrics.finished) << protocol_name << " seed " << seed;
+
+    // Metric ordering: FVC <= VC85 <= LVC <= PLT and SI within [FVC, LVC].
+    EXPECT_LE(result.metrics.fvc_ms(), result.metrics.vc85_ms() + 1e-9);
+    EXPECT_LE(result.metrics.vc85_ms(), result.metrics.lvc_ms() + 1e-9);
+    EXPECT_LE(result.metrics.lvc_ms(), result.metrics.plt_ms() + 1e-9);
+    EXPECT_GE(result.metrics.si_ms(), result.metrics.fvc_ms() - 1e-9);
+    EXPECT_LE(result.metrics.si_ms(), result.metrics.lvc_ms() + 1e-9);
+
+    // Physical floor: nothing can complete faster than handshake + one
+    // request/response round trip at the speed of light in the emulation.
+    const double min_rtt_ms = to_millis(profile.min_rtt);
+    const double floor_rtts = protocol.transport == core::Transport::kQuic ? 2.0 : 3.0;
+    EXPECT_GE(result.metrics.plt_ms(), floor_rtts * min_rtt_ms * 0.95);
+
+    // The VC curve ends at 1 and every object completed.
+    ASSERT_FALSE(result.vc_curve.empty());
+    EXPECT_NEAR(result.vc_curve.back().completeness, 1.0, 1e-9);
+    for (const auto time : result.object_complete_at) EXPECT_NE(time, kNoTime);
+
+    // Transport accounting sanity.
+    EXPECT_GT(result.transport.data_packets_sent, 0u);
+    EXPECT_GE(result.transport.bytes_sent, site.total_bytes());
+    EXPECT_LE(result.transport.retransmissions, result.transport.data_packets_sent);
+    if (profile.loss_rate == 0.0 && protocol_name == "TCP") {
+      // Queue drops can still cause retransmissions, but timeouts should be
+      // rare on clean networks.
+      EXPECT_LE(result.transport.timeouts, 3u);
+    }
+  }
+}
+
+std::vector<ProtocolNetwork> all_combinations() {
+  std::vector<ProtocolNetwork> combos;
+  for (const auto& protocol : core::paper_protocols()) {
+    for (const auto& profile : net::all_profiles()) {
+      combos.emplace_back(protocol.name, profile.kind);
+    }
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocolsAllNetworks, TrialPropertyTest,
+                         ::testing::ValuesIn(all_combinations()),
+                         [](const ::testing::TestParamInfo<ProtocolNetwork>& info) {
+                           std::string name = std::get<0>(info.param) + "_" +
+                                              std::string(net::to_string(std::get<1>(info.param)));
+                           for (auto& c : name) {
+                             if (c == '+') c = 'p';
+                           }
+                           return name;
+                         });
+
+class TcpLossSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpLossSweepTest, ReliableDeliveryAcrossLossRates) {
+  // Property: TCP delivers exactly the written bytes for any loss rate.
+  const double loss = GetParam() / 100.0;
+  net::NetworkProfile profile = net::lte_profile();
+  profile.loss_rate = loss;
+  tcp::TcpConfig config;
+  config.tuned_buffers = true;
+  config.initial_window_segments = 32;
+  config.pacing = true;
+  for (std::uint64_t seed : {1u, 2u}) {
+    testutil::TcpHarness harness(profile, config, 120'000, seed);
+    ASSERT_TRUE(harness.run(seconds(600))) << "loss " << loss << " seed " << seed;
+    EXPECT_EQ(harness.delivered, 120'000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossGrid, TcpLossSweepTest, ::testing::Values(0, 1, 3, 6, 10, 15));
+
+class QuicLossSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuicLossSweepTest, ReliableDeliveryAcrossLossRates) {
+  const double loss = GetParam() / 100.0;
+  net::NetworkProfile profile = net::lte_profile();
+  profile.loss_rate = loss;
+  for (std::uint64_t seed : {1u, 2u}) {
+    testutil::QuicHarness harness(profile, quic::QuicConfig{}, 120'000, seed);
+    ASSERT_TRUE(harness.run(3, seconds(600))) << "loss " << loss << " seed " << seed;
+    EXPECT_EQ(harness.bytes_delivered, 3u * 120'000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossGrid, QuicLossSweepTest, ::testing::Values(0, 1, 3, 6, 10, 15));
+
+class IwSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IwSweepTest, ShortTransferTimeDecreasesWithIwOnCleanNetwork) {
+  // Property: on a clean network, a larger IW never makes a short transfer
+  // slower (it saves slow-start round trips).
+  const auto iw = static_cast<std::uint32_t>(GetParam());
+  tcp::TcpConfig small;
+  small.initial_window_segments = 10;
+  tcp::TcpConfig large;
+  large.initial_window_segments = iw;
+  testutil::TcpHarness a(net::lte_profile(), small, 60'000, 4);
+  ASSERT_TRUE(a.run());
+  testutil::TcpHarness b(net::lte_profile(), large, 60'000, 4);
+  ASSERT_TRUE(b.run());
+  EXPECT_LE(b.simulator.now(), a.simulator.now());
+}
+
+INSTANTIATE_TEST_SUITE_P(IwGrid, IwSweepTest, ::testing::Values(10, 16, 32, 64));
+
+}  // namespace
+}  // namespace qperc

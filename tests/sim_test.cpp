@@ -1,0 +1,157 @@
+// Unit tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace qperc::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_in(milliseconds(30), [&] { order.push_back(3); });
+  simulator.schedule_in(milliseconds(10), [&] { order.push_back(1); });
+  simulator.schedule_in(milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_TRUE(simulator.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), SimTime(milliseconds(30)));
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule_in(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingAdvancesClock) {
+  Simulator simulator;
+  SimTime inner_fired{0};
+  simulator.schedule_in(milliseconds(10), [&] {
+    simulator.schedule_in(milliseconds(5), [&] { inner_fired = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_EQ(inner_fired, SimTime(milliseconds(15)));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId id = simulator.schedule_in(milliseconds(10), [&] { fired = true; });
+  simulator.cancel(id);
+  simulator.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator simulator;
+  simulator.cancel(EventId{9999});
+  EXPECT_TRUE(simulator.run());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_in(milliseconds(10), [&] { ++fired; });
+  simulator.schedule_in(milliseconds(30), [&] { ++fired; });
+  simulator.run_until(SimTime(milliseconds(20)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.now(), SimTime(milliseconds(20)));
+  simulator.run_until(SimTime(milliseconds(40)));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtBoundary) {
+  Simulator simulator;
+  bool fired = false;
+  simulator.schedule_in(milliseconds(20), [&] { fired = true; });
+  simulator.run_until(SimTime(milliseconds(20)));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventCapStopsRunawayLoops) {
+  Simulator simulator;
+  std::function<void()> loop = [&] { simulator.schedule_in(SimDuration::zero(), loop); };
+  simulator.schedule_in(SimDuration::zero(), loop);
+  EXPECT_FALSE(simulator.run(1000));
+  EXPECT_GE(simulator.events_processed(), 1000u);
+}
+
+TEST(Simulator, RequestStopEndsRun) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_in(milliseconds(1), [&] {
+    ++fired;
+    simulator.request_stop();
+  });
+  simulator.schedule_in(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(simulator.run());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, PastDeadlinesClampToNow) {
+  Simulator simulator;
+  simulator.schedule_in(milliseconds(10), [&] {
+    bool fired = false;
+    simulator.schedule_at(SimTime(milliseconds(5)), [&] { fired = true; });
+    // The past-dated event must still run, at the current time.
+  });
+  EXPECT_TRUE(simulator.run());
+  EXPECT_EQ(simulator.now(), SimTime(milliseconds(10)));
+}
+
+TEST(Timer, FiresOnceAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  Timer timer(simulator, [&] { ++fired; });
+  timer.set_in(milliseconds(10));
+  EXPECT_TRUE(timer.is_armed());
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.is_armed());
+}
+
+TEST(Timer, ReArmReplacesDeadline) {
+  Simulator simulator;
+  std::vector<SimTime> fire_times;
+  Timer timer(simulator, [&] { fire_times.push_back(simulator.now()); });
+  timer.set_in(milliseconds(10));
+  timer.set_in(milliseconds(25));
+  simulator.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], SimTime(milliseconds(25)));
+}
+
+TEST(Timer, CancelDisarms) {
+  Simulator simulator;
+  int fired = 0;
+  Timer timer(simulator, [&] { ++fired; });
+  timer.set_in(milliseconds(10));
+  timer.cancel();
+  EXPECT_FALSE(timer.is_armed());
+  simulator.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CanReArmInsideCallback) {
+  Simulator simulator;
+  int fired = 0;
+  Timer* handle = nullptr;
+  Timer timer(simulator, [&] {
+    if (++fired < 3) handle->set_in(milliseconds(10));
+  });
+  handle = &timer;
+  timer.set_in(milliseconds(10));
+  simulator.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(simulator.now(), SimTime(milliseconds(30)));
+}
+
+}  // namespace
+}  // namespace qperc::sim

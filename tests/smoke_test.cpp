@@ -1,0 +1,37 @@
+// End-to-end smoke tests: a full page load through every protocol on every
+// network completes and produces sane metrics.
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "net/profile.hpp"
+#include "web/website.hpp"
+
+namespace qperc {
+namespace {
+
+TEST(Smoke, EveryProtocolLoadsASmallSiteOnDsl) {
+  const auto catalog = web::study_catalog(7);
+  const web::Website& site = catalog[6];  // apache.org: small
+  for (const auto& protocol : core::paper_protocols()) {
+    const auto result = core::run_trial(site, protocol, net::dsl_profile(), 42);
+    EXPECT_TRUE(result.metrics.finished) << protocol.name;
+    EXPECT_GT(result.metrics.plt_ms(), 0.0) << protocol.name;
+    EXPECT_LT(result.metrics.plt_ms(), 30'000.0) << protocol.name;
+    EXPECT_LE(result.metrics.fvc_ms(), result.metrics.plt_ms()) << protocol.name;
+  }
+}
+
+TEST(Smoke, EveryNetworkCompletesWithQuic) {
+  const auto catalog = web::study_catalog(7);
+  const web::Website& site = catalog[6];
+  const auto& quic = core::protocol_by_name("QUIC");
+  for (const auto& profile : net::all_profiles()) {
+    const auto result = core::run_trial(site, quic, profile, 43);
+    EXPECT_TRUE(result.metrics.finished) << profile.name;
+    EXPECT_GT(result.metrics.plt_ms(), to_millis(profile.min_rtt)) << profile.name;
+  }
+}
+
+}  // namespace
+}  // namespace qperc

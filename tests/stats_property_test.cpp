@@ -1,0 +1,131 @@
+// Parameterized property sweeps over the statistics toolkit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "util/rng.hpp"
+
+namespace qperc::stats {
+namespace {
+
+// ---- Student-t critical values against standard tables --------------------
+
+using TCriticalCase = std::tuple<double /*level*/, double /*df*/, double /*expected*/>;
+
+class TCriticalTest : public ::testing::TestWithParam<TCriticalCase> {};
+
+TEST_P(TCriticalTest, MatchesReferenceTables) {
+  const auto& [level, df, expected] = GetParam();
+  EXPECT_NEAR(student_t_two_sided_critical(level, df), expected, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceTable, TCriticalTest,
+    ::testing::Values(TCriticalCase{0.90, 5, 2.015}, TCriticalCase{0.90, 20, 1.725},
+                      TCriticalCase{0.95, 5, 2.571}, TCriticalCase{0.95, 20, 2.086},
+                      TCriticalCase{0.99, 5, 4.032}, TCriticalCase{0.99, 20, 2.845},
+                      TCriticalCase{0.99, 120, 2.617}));
+
+// ---- CI coverage: the 99% interval should contain the true mean ~99% ------
+
+class CoverageTest : public ::testing::TestWithParam<int /*sample size*/> {};
+
+TEST_P(CoverageTest, ConfidenceIntervalCoversTrueMean) {
+  const int n = GetParam();
+  Rng rng(31 + static_cast<std::uint64_t>(n));
+  constexpr double kTrueMean = 42.0;
+  int covered = 0;
+  constexpr int kTrials = 600;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> sample;
+    sample.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) sample.push_back(rng.normal(kTrueMean, 7.0));
+    const auto ci = mean_confidence_interval(sample, 0.95);
+    covered += ci.lower() <= kTrueMean && kTrueMean <= ci.upper();
+  }
+  const double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_NEAR(coverage, 0.95, 0.03) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, CoverageTest, ::testing::Values(5, 12, 40, 150));
+
+// ---- ANOVA power/size sweep ------------------------------------------------
+
+class AnovaSizeTest : public ::testing::TestWithParam<int /*groups*/> {};
+
+TEST_P(AnovaSizeTest, FalsePositiveRateNearAlpha) {
+  const int k = GetParam();
+  Rng rng(77 + static_cast<std::uint64_t>(k));
+  int rejections = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<std::vector<double>> groups(static_cast<std::size_t>(k));
+    for (auto& group : groups) {
+      for (int i = 0; i < 25; ++i) group.push_back(rng.normal(10.0, 2.0));
+    }
+    rejections += one_way_anova(groups).significant_at(0.05);
+  }
+  const double rate = static_cast<double>(rejections) / kTrials;
+  EXPECT_NEAR(rate, 0.05, 0.035) << k << " groups";
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupCounts, AnovaSizeTest, ::testing::Values(2, 3, 5, 8));
+
+TEST(AnovaPower, DetectsSmallShiftWithEnoughData) {
+  Rng rng(5);
+  std::vector<std::vector<double>> groups(2);
+  for (int i = 0; i < 400; ++i) {
+    groups[0].push_back(rng.normal(10.0, 2.0));
+    groups[1].push_back(rng.normal(11.0, 2.0));  // 0.5 sd shift
+  }
+  EXPECT_TRUE(one_way_anova(groups).significant_at(0.01));
+}
+
+// ---- Pearson under noise ----------------------------------------------------
+
+class PearsonNoiseTest : public ::testing::TestWithParam<double /*noise sd*/> {};
+
+TEST_P(PearsonNoiseTest, AttenuatesWithNoise) {
+  const double noise = GetParam();
+  Rng rng(11);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 3000; ++i) {
+    const double value = rng.normal(0.0, 1.0);
+    x.push_back(value);
+    y.push_back(value + rng.normal(0.0, noise));
+  }
+  const double expected = 1.0 / std::sqrt(1.0 + noise * noise);
+  EXPECT_NEAR(pearson(x, y), expected, 0.05) << "noise " << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, PearsonNoiseTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0));
+
+// ---- Quantiles are order statistics ----------------------------------------
+
+TEST(QuantileProperty, MonotoneInQ) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.lognormal(0.0, 1.0));
+  double previous = -1e300;
+  for (double q = 0.0; q <= 1.0001; q += 0.05) {
+    const double value = quantile(xs, q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(QuantileProperty, BoundsAreMinAndMax) {
+  const std::vector<double> xs = {5.0, -2.0, 8.0, 1.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), -2.0);  // clamped
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 8.0);    // clamped
+}
+
+}  // namespace
+}  // namespace qperc::stats

@@ -1,0 +1,172 @@
+// Unit tests for the statistics toolkit against known reference values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "util/rng.hpp"
+
+namespace qperc::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(sample_variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_variance({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(mean(one), 3.0);
+  EXPECT_DOUBLE_EQ(sample_variance(one), 0.0);
+}
+
+TEST(Descriptive, MedianAndQuantiles) {
+  const std::vector<double> odd = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(even, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(even, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(even, 0.25), 1.75);
+}
+
+TEST(Descriptive, SkewnessAndKurtosisOfSymmetricData) {
+  const std::vector<double> xs = {-2, -1, 0, 1, 2};
+  EXPECT_NEAR(skewness(xs), 0.0, 1e-12);
+  // Uniform-ish discrete data is platykurtic (negative excess kurtosis).
+  EXPECT_LT(excess_kurtosis(xs), 0.0);
+}
+
+TEST(SpecialFunctions, IncompleteBetaKnownValues) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(regularized_incomplete_beta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2,2) = x^2 (3 - 2x).
+  EXPECT_NEAR(regularized_incomplete_beta(2, 2, 0.4), 0.4 * 0.4 * (3 - 0.8), 1e-10);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2, 3, 1.0), 1.0);
+}
+
+TEST(Distributions, StudentTCdf) {
+  // Symmetry and known quantiles: t_{0.975, 10} = 2.228.
+  EXPECT_NEAR(student_t_cdf(0.0, 10), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(2.228, 10), 0.975, 1e-3);
+  EXPECT_NEAR(student_t_cdf(-2.228, 10), 0.025, 1e-3);
+}
+
+TEST(Distributions, StudentTCritical) {
+  EXPECT_NEAR(student_t_two_sided_critical(0.95, 10), 2.228, 5e-3);
+  EXPECT_NEAR(student_t_two_sided_critical(0.99, 30), 2.750, 5e-3);
+  // Large df approaches the normal z-values.
+  EXPECT_NEAR(student_t_two_sided_critical(0.95, 100000), 1.960, 5e-3);
+  EXPECT_NEAR(student_t_two_sided_critical(0.99, 100000), 2.576, 5e-3);
+}
+
+TEST(Distributions, FCdf) {
+  // F(1, d1, d2) medians: for d1=d2, F=1 is near the median.
+  EXPECT_NEAR(f_cdf(1.0, 10, 10), 0.5, 0.02);
+  // Known value: P(F_{2,10} <= 4.103) ~ 0.95.
+  EXPECT_NEAR(f_cdf(4.103, 2, 10), 0.95, 2e-3);
+  EXPECT_DOUBLE_EQ(f_cdf(0.0, 3, 7), 0.0);
+}
+
+TEST(Inference, ConfidenceIntervalKnown) {
+  // n=9, sd=3 => sem=1, t_{0.975,8}=2.306.
+  std::vector<double> xs;
+  // Construct data with mean 10 and sample sd 3: {7,13} x4 + {10}.
+  for (int i = 0; i < 4; ++i) {
+    xs.push_back(10 - 3);
+    xs.push_back(10 + 3);
+  }
+  xs.push_back(10.0);
+  const auto ci = mean_confidence_interval(xs, 0.95);
+  EXPECT_NEAR(ci.center, 10.0, 1e-12);
+  const double sem = sample_stddev(xs) / 3.0;
+  EXPECT_NEAR(ci.half_width, 2.306 * sem, 0.01);
+}
+
+TEST(Inference, ConfidenceIntervalOverlap) {
+  const ConfidenceInterval a{10.0, 2.0};
+  const ConfidenceInterval b{13.0, 1.5};
+  const ConfidenceInterval c{15.0, 1.0};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(Inference, AnovaDetectsDifferentMeans) {
+  const std::vector<std::vector<double>> groups = {
+      {10, 11, 9, 10, 10.5, 9.5}, {14, 15, 13, 14, 14.5, 13.5}, {10, 10.5, 9.5, 10, 11, 9}};
+  const auto result = one_way_anova(groups);
+  EXPECT_GT(result.f_statistic, 10.0);
+  EXPECT_LT(result.p_value, 0.01);
+  EXPECT_TRUE(result.significant_at(0.01));
+}
+
+TEST(Inference, AnovaAcceptsEqualMeans) {
+  Rng rng(7);
+  std::vector<std::vector<double>> groups(3);
+  for (auto& group : groups) {
+    for (int i = 0; i < 40; ++i) group.push_back(rng.normal(50.0, 5.0));
+  }
+  const auto result = one_way_anova(groups);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(Inference, AnovaDegenerateCases) {
+  EXPECT_DOUBLE_EQ(one_way_anova({}).p_value, 1.0);
+  const std::vector<std::vector<double>> single = {{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(one_way_anova(single).p_value, 1.0);
+}
+
+TEST(Correlation, PearsonPerfectAndNone) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+  const std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+}
+
+TEST(Correlation, PearsonKnownValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 3, 2, 5, 4};
+  EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // monotone but nonlinear
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Normality, GaussianLooksNormal) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  EXPECT_TRUE(jarque_bera(xs).looks_normal());
+}
+
+TEST(Normality, HeavyContaminationRejected) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.bernoulli(0.2) ? rng.uniform(-30.0, 30.0) : rng.normal(0.0, 1.0));
+  }
+  EXPECT_FALSE(jarque_bera(xs).looks_normal());
+}
+
+}  // namespace
+}  // namespace qperc::stats

@@ -1,0 +1,377 @@
+// Study-layer tests: rater psychometrics, conformance filter, study drivers.
+#include <gtest/gtest.h>
+
+#include "core/video.hpp"
+#include "stats/stats.hpp"
+#include "study/ab_study.hpp"
+#include "study/conformance.hpp"
+#include "study/participant.hpp"
+#include "study/rater.hpp"
+#include "study/rating_study.hpp"
+
+namespace qperc::study {
+namespace {
+
+browser::PageMetrics metrics_with_si(double si_ms) {
+  browser::PageMetrics metrics;
+  metrics.speed_index = from_seconds(si_ms / 1000.0);
+  metrics.first_visual_change = from_seconds(si_ms / 1000.0 * 0.6);
+  metrics.visual_complete_85 = from_seconds(si_ms / 1000.0 * 1.2);
+  metrics.last_visual_change = from_seconds(si_ms / 1000.0 * 1.5);
+  metrics.page_load_time = from_seconds(si_ms / 1000.0 * 2.0);
+  metrics.finished = true;
+  return metrics;
+}
+
+core::Video video_with_si(double si_ms) {
+  core::Video video;
+  video.metrics = metrics_with_si(si_ms);
+  return video;
+}
+
+Participant attentive_participant() {
+  Participant participant;
+  participant.rating_bias = 0.0;
+  participant.vote_noise_sd = 1.0;
+  participant.observation_noise = 0.01;
+  participant.jnd = 0.08;
+  participant.cheater = false;
+  return participant;
+}
+
+TEST(Rater, PerceivedDurationIncreasesWithSi) {
+  EXPECT_LT(perceived_duration_seconds(metrics_with_si(500)),
+            perceived_duration_seconds(metrics_with_si(5000)));
+}
+
+TEST(Rater, IdealRatingMonotoneDecreasingInSi) {
+  double previous = 1e9;
+  for (const double si : {300.0, 1000.0, 3000.0, 10'000.0, 40'000.0}) {
+    const double rating = ideal_rating(metrics_with_si(si), Context::kWork);
+    EXPECT_LT(rating, previous) << si;
+    previous = rating;
+  }
+}
+
+TEST(Rater, FastLoadsRateGoodSlowLoadsRateBad) {
+  // DSL-like: excellent/good territory.
+  EXPECT_GT(ideal_rating(metrics_with_si(1200), Context::kFreeTime), 50.0);
+  // In-flight network: poor/bad.
+  EXPECT_LT(ideal_rating(metrics_with_si(20'000), Context::kPlane), 40.0);
+  // Scale bounds respected.
+  EXPECT_LE(ideal_rating(metrics_with_si(1), Context::kWork), 70.0);
+  EXPECT_GE(ideal_rating(metrics_with_si(10'000'000), Context::kWork), 10.0);
+}
+
+TEST(Rater, PlaneContextIsMoreLenient) {
+  EXPECT_GT(ideal_rating(metrics_with_si(8000), Context::kPlane),
+            ideal_rating(metrics_with_si(8000), Context::kWork));
+}
+
+TEST(Rater, RateVideoAddsBiasAndClamps) {
+  Rng rng(1);
+  Participant participant = attentive_participant();
+  participant.rating_bias = 200.0;  // absurd bias must clamp at 70
+  EXPECT_DOUBLE_EQ(rate_video(video_with_si(1000), Context::kWork, participant, rng), 70.0);
+}
+
+TEST(Rater, AbVotePrefersClearlyFasterVideo) {
+  Rng rng(2);
+  const Participant participant = attentive_participant();
+  int first_votes = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto vote =
+        ab_vote(video_with_si(1000), video_with_si(2000), participant, rng);
+    first_votes += vote.choice == AbChoice::kFirst;
+  }
+  EXPECT_GT(first_votes, 95);
+}
+
+TEST(Rater, AbVoteMostlyNoDifferenceWhenIdentical) {
+  Rng rng(2);
+  const Participant participant = attentive_participant();
+  int no_diff = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto vote =
+        ab_vote(video_with_si(1500), video_with_si(1500), participant, rng);
+    no_diff += vote.choice == AbChoice::kNoDifference;
+  }
+  EXPECT_GT(no_diff, 90);
+}
+
+TEST(Rater, AbVoteSymmetry) {
+  Rng rng(3);
+  const Participant participant = attentive_participant();
+  int second_votes = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto vote =
+        ab_vote(video_with_si(2000), video_with_si(1000), participant, rng);
+    second_votes += vote.choice == AbChoice::kSecond;
+  }
+  EXPECT_GT(second_votes, 95);
+}
+
+TEST(Rater, ConfidenceHigherForLargerDifferences) {
+  Rng rng(4);
+  const Participant participant = attentive_participant();
+  double confidence_small = 0.0;
+  double confidence_large = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    confidence_small +=
+        ab_vote(video_with_si(1500), video_with_si(1600), participant, rng).confidence;
+    confidence_large +=
+        ab_vote(video_with_si(1000), video_with_si(3000), participant, rng).confidence;
+  }
+  EXPECT_GT(confidence_large, confidence_small);
+}
+
+TEST(Rater, MoreReplaysWhenDifferenceIsSubtle) {
+  Rng rng(5);
+  const Participant participant = attentive_participant();
+  double replays_subtle = 0.0;
+  double replays_obvious = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    replays_subtle += ab_vote(video_with_si(1500), video_with_si(1550), participant, rng).replays;
+    replays_obvious += ab_vote(video_with_si(1000), video_with_si(4000), participant, rng).replays;
+  }
+  EXPECT_GT(replays_subtle, replays_obvious * 2);
+}
+
+TEST(Participants, GroupParamsOrdered) {
+  EXPECT_LT(params_for(Group::kLab).vote_noise_sd,
+            params_for(Group::kMicroworker).vote_noise_sd);
+  EXPECT_LT(params_for(Group::kMicroworker).vote_noise_sd,
+            params_for(Group::kInternet).vote_noise_sd);
+  EXPECT_DOUBLE_EQ(params_for(Group::kLab).cheater_fraction, 0.0);
+  EXPECT_GT(params_for(Group::kInternet).cheater_fraction,
+            params_for(Group::kMicroworker).cheater_fraction);
+}
+
+TEST(Participants, SamplingRespectsGroup) {
+  Rng rng(6);
+  int lab_cheaters = 0;
+  int internet_cheaters = 0;
+  for (int i = 0; i < 500; ++i) {
+    lab_cheaters += sample_participant(Group::kLab, rng).cheater;
+    internet_cheaters += sample_participant(Group::kInternet, rng).cheater;
+  }
+  EXPECT_EQ(lab_cheaters, 0);
+  EXPECT_GT(internet_cheaters, 40);
+}
+
+TEST(Conformance, RuleNamesAndDescriptions) {
+  EXPECT_EQ(rule_name(0), "R1");
+  EXPECT_EQ(rule_name(6), "R7");
+  EXPECT_EQ(rule_description(2), "focus loss > 10 s");
+}
+
+TEST(Conformance, LabIsNeverFiltered) {
+  const auto funnel = simulate_funnel(Group::kLab, StudyKind::kAb, 35, Rng(7));
+  EXPECT_EQ(funnel.initial, 35u);
+  EXPECT_EQ(funnel.final_count(), 35u);
+}
+
+TEST(Conformance, MicroworkerFunnelMatchesTable3Shape) {
+  // Table 3 (A/B): 487 -> 233; (rating): 1563 -> 614. Allow sampling slack.
+  const auto ab = simulate_funnel(Group::kMicroworker, StudyKind::kAb, 487, Rng(8));
+  EXPECT_NEAR(static_cast<double>(ab.final_count()), 233.0, 40.0);
+  // Survivor counts must be non-increasing.
+  std::size_t previous = ab.initial;
+  for (const auto count : ab.after_rule) {
+    EXPECT_LE(count, previous);
+    previous = count;
+  }
+  const auto rating =
+      simulate_funnel(Group::kMicroworker, StudyKind::kRating, 1563, Rng(9));
+  EXPECT_NEAR(static_cast<double>(rating.final_count()), 614.0, 80.0);
+}
+
+TEST(Conformance, R3AndR4RemoveTheMostCrowdResults) {
+  // §4.1: "Focus loss (R3) and voting before the FVC (R4) filtered the most."
+  const auto funnel =
+      simulate_funnel(Group::kMicroworker, StudyKind::kRating, 3000, Rng(10));
+  std::array<std::size_t, kRuleCount> removed{};
+  std::size_t previous = funnel.initial;
+  for (std::size_t rule = 0; rule < kRuleCount; ++rule) {
+    removed[rule] = previous - funnel.after_rule[rule];
+    previous = funnel.after_rule[rule];
+  }
+  const auto max_removed = *std::max_element(removed.begin(), removed.end());
+  EXPECT_TRUE(removed[2] == max_removed || removed[3] == max_removed);
+}
+
+TEST(Conformance, PaperCohortSizes) {
+  EXPECT_EQ(paper_initial_cohort(Group::kLab, StudyKind::kAb), 35u);
+  EXPECT_EQ(paper_initial_cohort(Group::kMicroworker, StudyKind::kAb), 487u);
+  EXPECT_EQ(paper_initial_cohort(Group::kMicroworker, StudyKind::kRating), 1563u);
+  EXPECT_EQ(paper_initial_cohort(Group::kInternet, StudyKind::kRating), 209u);
+}
+
+TEST(AbPairs, MatchFigure4) {
+  const auto& pairs = ab_pairs();
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"TCP+", "TCP"}));
+  EXPECT_EQ(pairs[1], (std::pair<std::string, std::string>{"QUIC", "TCP"}));
+  EXPECT_EQ(pairs[2], (std::pair<std::string, std::string>{"QUIC", "TCP+"}));
+  EXPECT_EQ(pairs[3], (std::pair<std::string, std::string>{"QUIC+BBR", "TCP+BBR"}));
+}
+
+TEST(AbAggregate, SharesSumToOne) {
+  AbAggregate aggregate;
+  aggregate.prefer_first = 10;
+  aggregate.no_difference = 30;
+  aggregate.prefer_second = 10;
+  EXPECT_DOUBLE_EQ(
+      aggregate.share_first() + aggregate.share_no_difference() + aggregate.share_second(),
+      1.0);
+  EXPECT_DOUBLE_EQ(AbAggregate{}.share_first(), 0.0);
+}
+
+// Small end-to-end study runs over a reduced library (lab domains, few runs)
+// keep the suite fast while exercising the full pipeline.
+core::VideoLibrary& small_library() {
+  static core::VideoLibrary library(7, 5);
+  return library;
+}
+
+TEST(AbStudyDriver, RunsAndAggregates) {
+  AbStudyConfig config;
+  config.group = Group::kLab;
+  config.initial_participants = 20;
+  config.videos_per_participant = 28;
+  config.lab_domains_only = true;
+  config.seed = 11;
+  const auto result = run_ab_study(small_library(), config);
+  EXPECT_EQ(result.funnel.final_count(), 20u);
+  std::uint64_t total_votes = 0;
+  for (const auto& [key, cell] : result.cells) total_votes += cell.total();
+  EXPECT_EQ(total_votes, 20u * 28u);
+  EXPECT_GT(result.avg_seconds_per_video, 5.0);
+}
+
+TEST(AbStudyDriver, SlowNetworksGetMoreDecidedVotes) {
+  AbStudyConfig config;
+  config.group = Group::kLab;
+  config.initial_participants = 60;
+  config.videos_per_participant = 28;
+  config.lab_domains_only = true;
+  config.seed = 12;
+  const auto result = run_ab_study(small_library(), config);
+  // Aggregate decided share on DSL vs MSS over all pairs.
+  double decided_dsl = 0.0;
+  double decided_mss = 0.0;
+  double n_dsl = 0.0;
+  double n_mss = 0.0;
+  for (const auto& [key, cell] : result.cells) {
+    if (key.second == net::NetworkKind::kDsl) {
+      decided_dsl += static_cast<double>(cell.prefer_first + cell.prefer_second);
+      n_dsl += static_cast<double>(cell.total());
+    }
+    if (key.second == net::NetworkKind::kMss) {
+      decided_mss += static_cast<double>(cell.prefer_first + cell.prefer_second);
+      n_mss += static_cast<double>(cell.total());
+    }
+  }
+  ASSERT_GT(n_dsl, 0.0);
+  ASSERT_GT(n_mss, 0.0);
+  EXPECT_GT(decided_mss / n_mss, decided_dsl / n_dsl);
+}
+
+TEST(RatingStudyDriver, RunsAndCollectsVotes) {
+  RatingStudyConfig config;
+  config.group = Group::kLab;
+  config.initial_participants = 15;
+  config.lab_domains_only = true;
+  config.seed = 13;
+  const auto result = run_rating_study(small_library(), config);
+  EXPECT_EQ(result.funnel.final_count(), 15u);
+  std::size_t total = 0;
+  for (const auto& [key, votes] : result.votes_by_cell) {
+    total += votes.size();
+    for (const double vote : votes) {
+      EXPECT_GE(vote, 10.0);
+      EXPECT_LE(vote, 70.0);
+    }
+  }
+  EXPECT_EQ(total, 15u * (11 + 11 + 5));
+}
+
+TEST(RatingStudyDriver, PlaneConditionsRatePoor) {
+  RatingStudyConfig config;
+  config.group = Group::kLab;
+  config.initial_participants = 25;
+  config.lab_domains_only = true;
+  config.seed = 14;
+  const auto result = run_rating_study(small_library(), config);
+  std::vector<double> plane_votes;
+  std::vector<double> fast_votes;
+  for (const auto& [key, votes] : result.votes_by_cell) {
+    auto& sink = std::get<2>(key) == Context::kPlane ? plane_votes : fast_votes;
+    sink.insert(sink.end(), votes.begin(), votes.end());
+  }
+  ASSERT_FALSE(plane_votes.empty());
+  ASSERT_FALSE(fast_votes.empty());
+  EXPECT_LT(stats::mean(plane_votes), stats::mean(fast_votes) - 10.0);
+}
+
+TEST(RatingStudyDriver, VotesCorrelateNegativelyWithSpeedIndex) {
+  // Figure-6 property at lab scale: per-site mean votes vs the SI of the
+  // video shown must correlate negatively.
+  RatingStudyConfig config;
+  config.group = Group::kMicroworker;
+  config.initial_participants = 150;
+  config.lab_domains_only = true;
+  config.seed = 15;
+  auto& library = small_library();
+  const auto result = run_rating_study(library, config);
+
+  std::vector<double> si_values;
+  std::vector<double> vote_means;
+  for (const auto& [key, votes] : result.votes_by_site) {
+    const auto& [site, protocol, network, context] = key;
+    if (votes.size() < 5) continue;
+    si_values.push_back(library.get(site, protocol, network).metrics.si_ms());
+    vote_means.push_back(stats::mean(votes));
+  }
+  ASSERT_GT(si_values.size(), 20u);
+  EXPECT_LT(stats::pearson(si_values, vote_means), -0.6);
+}
+
+TEST(AbStudyDriver, ConfidenceTracksNetworkDifficulty) {
+  // Confidence should be higher where differences are easy to spot (slow
+  // networks) than on DSL.
+  AbStudyConfig config;
+  config.group = Group::kLab;
+  config.initial_participants = 40;
+  config.videos_per_participant = 28;
+  config.lab_domains_only = true;
+  config.seed = 16;
+  const auto result = run_ab_study(small_library(), config);
+  double dsl_confidence = 0.0;
+  double mss_confidence = 0.0;
+  double dsl_n = 0.0;
+  double mss_n = 0.0;
+  for (const auto& [key, cell] : result.cells) {
+    if (key.second == net::NetworkKind::kDsl) {
+      dsl_confidence += cell.confidence_sum;
+      dsl_n += static_cast<double>(cell.total());
+    }
+    if (key.second == net::NetworkKind::kMss) {
+      mss_confidence += cell.confidence_sum;
+      mss_n += static_cast<double>(cell.total());
+    }
+  }
+  ASSERT_GT(dsl_n, 0.0);
+  ASSERT_GT(mss_n, 0.0);
+  EXPECT_GT(mss_confidence / mss_n, dsl_confidence / dsl_n);
+}
+
+TEST(NetworksForContext, MatchStudyDesign) {
+  EXPECT_EQ(networks_for_context(Context::kWork),
+            (std::vector<net::NetworkKind>{net::NetworkKind::kDsl, net::NetworkKind::kLte}));
+  EXPECT_EQ(networks_for_context(Context::kPlane),
+            (std::vector<net::NetworkKind>{net::NetworkKind::kDa2gc, net::NetworkKind::kMss}));
+}
+
+}  // namespace
+}  // namespace qperc::study

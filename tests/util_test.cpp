@@ -1,0 +1,177 @@
+// Unit tests for util: RNG determinism/distributions, units, table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qperc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(99);
+  Rng child1 = parent.fork(std::uint64_t{7});
+  parent.next_u64();  // consuming the parent must not change forks
+  // fork() is const and keyed on state; same state+tag gives the same child,
+  // so re-fork from a copy made before consumption.
+  Rng parent2(99);
+  Rng child2 = parent2.fork(std::uint64_t{7});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentTagsDecorrelated) {
+  Rng parent(5);
+  Rng a = parent.fork(std::uint64_t{1});
+  Rng b = parent.fork(std::uint64_t{2});
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StringForkMatchesHashFork) {
+  Rng parent(5);
+  Rng a = parent.fork("uplink-loss");
+  Rng b = parent.fork(fnv1a("uplink-loss"));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(42);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(42);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(42);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(42);
+  for (const double lambda : {0.3, 2.0, 15.0, 80.0}) {
+    double sum = 0.0;
+    constexpr int kN = 5000;
+    for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(lambda));
+    EXPECT_NEAR(sum / kN, lambda, std::max(0.1, lambda * 0.08)) << lambda;
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(42);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.15);
+}
+
+TEST(Units, TransmissionTime) {
+  const auto rate = DataRate::megabits_per_second(8.0);  // 1 MB/s
+  EXPECT_EQ(rate.transmission_time(1'000'000), seconds(1));
+  EXPECT_EQ(rate.transmission_time(500'000), milliseconds(500));
+}
+
+TEST(Units, BytesIn) {
+  const auto rate = DataRate::megabits_per_second(8.0);
+  EXPECT_EQ(rate.bytes_in(seconds(2)), 2'000'000u);
+}
+
+TEST(Units, BdpBytes) {
+  // 25 Mbps x 24 ms = 75 kB (the DSL BDP from Table 2).
+  EXPECT_EQ(bdp_bytes(DataRate::megabits_per_second(25.0), milliseconds(24)), 75'000u);
+}
+
+TEST(Units, FromBytesAndDuration) {
+  const auto rate = DataRate::from_bytes_and_duration(1'000'000, seconds(1));
+  EXPECT_EQ(rate.bps(), 8'000'000u);
+  EXPECT_EQ(DataRate::from_bytes_and_duration(100, SimDuration::zero()).bps(), 0u);
+}
+
+TEST(Units, ZeroRateHasInfiniteTransmissionTime) {
+  EXPECT_EQ(DataRate().transmission_time(1), SimDuration::max());
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(seconds(2)), 2000.0);
+  EXPECT_EQ(from_seconds(0.001), milliseconds(1));
+}
+
+TEST(Table, AlignsColumnsAndRendersCsv) {
+  TextTable table({"a", "bbbb"});
+  table.add_row({"1", "2"});
+  table.add_rule();
+  table.add_row({"333", "4"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("333"), std::string::npos);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,bbbb\n1,2\n333,4\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+  EXPECT_EQ(fmt_ms(24.0), "24 ms");
+}
+
+}  // namespace
+}  // namespace qperc

@@ -1,0 +1,152 @@
+// Website model and study catalog tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "web/website.hpp"
+
+namespace qperc::web {
+namespace {
+
+TEST(Catalog, HasThirtySixSites) {
+  const auto catalog = study_catalog(7);
+  EXPECT_EQ(catalog.size(), 36u);
+  EXPECT_EQ(study_site_specs().size(), 36u);
+}
+
+TEST(Catalog, DeterministicForSeed) {
+  const auto a = study_catalog(7);
+  const auto b = study_catalog(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    ASSERT_EQ(a[i].objects.size(), b[i].objects.size());
+    for (std::size_t j = 0; j < a[i].objects.size(); ++j) {
+      EXPECT_EQ(a[i].objects[j].bytes, b[i].objects[j].bytes);
+      EXPECT_EQ(a[i].objects[j].origin, b[i].objects[j].origin);
+    }
+  }
+}
+
+TEST(Catalog, DifferentSeedsGiveDifferentSites) {
+  const auto a = study_catalog(7);
+  const auto b = study_catalog(8);
+  bool any_different = false;
+  for (std::size_t j = 0; j < a[0].objects.size() && j < b[0].objects.size(); ++j) {
+    any_different |= a[0].objects[j].bytes != b[0].objects[j].bytes;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Catalog, ContainsPaperNamedSites) {
+  const auto catalog = study_catalog(7);
+  std::set<std::string> names;
+  for (const auto& site : catalog) names.insert(site.name);
+  for (const char* required :
+       {"wikipedia.org", "gov.uk", "etsy.com", "demorgen.be", "nytimes.com", "spotify.com",
+        "apache.org", "google.com", "nature.com", "w3.org", "wordpress.com",
+        "gravatar.com"}) {
+    EXPECT_TRUE(names.contains(required)) << required;
+  }
+}
+
+TEST(Catalog, LabDomainsAreInCatalog) {
+  const auto catalog = study_catalog(7);
+  std::set<std::string> names;
+  for (const auto& site : catalog) names.insert(site.name);
+  EXPECT_EQ(lab_study_domains().size(), 5u);
+  for (const auto& domain : lab_study_domains()) EXPECT_TRUE(names.contains(domain));
+}
+
+TEST(Catalog, SpansDiversityAxes) {
+  const auto catalog = study_catalog(7);
+  std::uint64_t min_bytes = UINT64_MAX;
+  std::uint64_t max_bytes = 0;
+  std::size_t min_objects = SIZE_MAX;
+  std::size_t max_objects = 0;
+  std::uint32_t max_origins = 0;
+  for (const auto& site : catalog) {
+    min_bytes = std::min(min_bytes, site.total_bytes());
+    max_bytes = std::max(max_bytes, site.total_bytes());
+    min_objects = std::min(min_objects, site.object_count());
+    max_objects = std::max(max_objects, site.object_count());
+    max_origins = std::max(max_origins, site.contacted_origins());
+  }
+  EXPECT_LT(min_bytes, 300u * 1024);       // small sites exist
+  EXPECT_GT(max_bytes, 3000u * 1024);      // large sites exist
+  EXPECT_LT(min_objects, 20u);
+  EXPECT_GT(max_objects, 120u);
+  EXPECT_GT(max_origins, 15u);             // multi-server nature
+}
+
+TEST(Generator, DependencyGraphIsAcyclicAndValid) {
+  for (const auto& site : study_catalog(3)) {
+    for (const auto& object : site.objects) {
+      if (object.parent >= 0) {
+        // Parents always precede children => acyclic.
+        EXPECT_LT(object.parent, static_cast<std::int32_t>(object.id)) << site.name;
+      }
+      EXPECT_GE(object.discovery_fraction, 0.0);
+      EXPECT_LE(object.discovery_fraction, 1.0);
+      EXPECT_GT(object.bytes, 0u);
+      EXPECT_LT(object.origin, site.origin_count);
+    }
+  }
+}
+
+TEST(Generator, RenderWeightsSumToOne) {
+  for (const auto& site : study_catalog(3)) {
+    double total = 0.0;
+    for (const auto& object : site.objects) total += object.render_weight;
+    EXPECT_NEAR(total, 1.0, 0.02) << site.name;
+  }
+}
+
+TEST(Generator, RootIsHtmlAndBlocking) {
+  for (const auto& site : study_catalog(3)) {
+    ASSERT_FALSE(site.objects.empty());
+    const auto& root = site.objects.front();
+    EXPECT_EQ(root.type, ObjectType::kHtml);
+    EXPECT_EQ(root.parent, -1);
+    EXPECT_TRUE(root.render_blocking);
+    EXPECT_EQ(root.origin, 0u);
+  }
+}
+
+TEST(Generator, TotalBytesNearSpec) {
+  for (std::size_t i = 0; i < study_site_specs().size(); ++i) {
+    const auto& spec = study_site_specs()[i];
+    const auto site = generate_site(spec, Rng(42).fork(spec.name));
+    const double actual_kb = static_cast<double>(site.total_bytes()) / 1024.0;
+    const double spec_kb = static_cast<double>(spec.total_kilobytes);
+    EXPECT_GT(actual_kb, spec_kb * 0.5) << spec.name;
+    EXPECT_LT(actual_kb, spec_kb * 1.7) << spec.name;
+    EXPECT_EQ(site.object_count(), spec.object_count);
+  }
+}
+
+TEST(Generator, SpotifyShapeMatchesPaperProse) {
+  // §4.4: spotify.com is small but contacts many hosts.
+  const auto catalog = study_catalog(7);
+  const auto spotify = std::find_if(catalog.begin(), catalog.end(),
+                                    [](const Website& s) { return s.name == "spotify.com"; });
+  ASSERT_NE(spotify, catalog.end());
+  EXPECT_LT(spotify->total_bytes(), 900u * 1024);
+  EXPECT_GT(spotify->contacted_origins(), 10u);
+  // wordpress.com: few resources, small, < 10 contacted hosts.
+  const auto wordpress = std::find_if(
+      catalog.begin(), catalog.end(), [](const Website& s) { return s.name == "wordpress.com"; });
+  ASSERT_NE(wordpress, catalog.end());
+  EXPECT_LT(wordpress->object_count(), 30u);
+  EXPECT_LE(wordpress->contacted_origins(), 10u);
+}
+
+TEST(ObjectType, Names) {
+  EXPECT_EQ(to_string(ObjectType::kHtml), "html");
+  EXPECT_EQ(to_string(ObjectType::kImage), "image");
+  EXPECT_EQ(to_string(ObjectType::kFont), "font");
+}
+
+}  // namespace
+}  // namespace qperc::web

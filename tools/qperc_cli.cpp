@@ -1,0 +1,274 @@
+// qperc — command-line frontend for the testbed and the user studies.
+//
+//   qperc catalog                       list the 36 study websites
+//   qperc protocols                     list protocol configurations
+//   qperc networks                      list emulated networks
+//   qperc trial    --site S --protocol P --network N [--seed K] [--csv]
+//   qperc video    --site S --protocol P --network N [--runs R] [--seed K]
+//   qperc study    --kind ab|rating [--group lab|uworker|internet]
+//                  [--runs R] [--sites N] [--seed K]
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "core/video.hpp"
+#include "net/profile.hpp"
+#include "stats/stats.hpp"
+#include "study/ab_study.hpp"
+#include "study/rating_study.hpp"
+#include "util/table.hpp"
+#include "web/catalog_io.hpp"
+#include "web/website.hpp"
+
+namespace qperc::cli {
+namespace {
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int usage() {
+  std::cerr
+      << "usage: qperc <command> [flags]\n"
+         "  catalog [--export FILE] [--catalog FILE] | protocols | networks\n"
+         "  trial --site S --protocol P --network N [--seed K] [--csv]\n"
+         "        [--catalog FILE]\n"
+         "  video --site S --protocol P --network N [--runs R] [--seed K]\n"
+         "  study --kind ab|rating [--group lab|uworker|internet] [--runs R]\n"
+         "        [--sites N] [--seed K]\n";
+  return 2;
+}
+
+const net::NetworkProfile& network_by_name(const std::string& name) {
+  for (const auto& profile : net::all_profiles()) {
+    if (profile.name == name) return profile;
+  }
+  throw std::invalid_argument("unknown network '" + name + "' (DSL, LTE, DA2GC, MSS)");
+}
+
+std::vector<web::Website> resolve_catalog(const Args& args) {
+  if (args.has("catalog")) return web::load_catalog(args.get("catalog", ""));
+  return web::study_catalog(args.get_u64("seed", 7));
+}
+
+int cmd_catalog(const Args& args) {
+  const auto catalog = resolve_catalog(args);
+  if (args.has("export")) {
+    web::save_catalog(args.get("export", "catalog.txt"), catalog);
+    std::cout << "wrote " << args.get("export", "catalog.txt") << " (" << catalog.size()
+              << " sites)\n";
+    return 0;
+  }
+  TextTable table({"Site", "objects", "kB", "origins"});
+  for (const auto& site : catalog) {
+    table.add_row({site.name, std::to_string(site.object_count()),
+                   std::to_string(site.total_bytes() / 1024),
+                   std::to_string(site.contacted_origins())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_protocols() {
+  TextTable table({"Protocol", "Transport", "CC", "IW", "Pacing", "Buffers", "RTTs"});
+  const auto add = [&](const core::ProtocolConfig& protocol) {
+    const char* transport = protocol.transport == core::Transport::kQuic ? "gQUIC"
+                            : protocol.transport == core::Transport::kTcpH1
+                                ? "TCP+TLS+H1"
+                                : "TCP+TLS+H2";
+    table.add_row({protocol.name, transport,
+                   std::string(cc::to_string(protocol.congestion_control)),
+                   std::to_string(protocol.initial_window_segments),
+                   protocol.pacing ? "on" : "off",
+                   protocol.tuned_buffers ? "2xBDP" : "autotune",
+                   protocol.transport == core::Transport::kQuic
+                       ? (protocol.zero_rtt ? "0" : "1")
+                       : "2"});
+  };
+  for (const auto& protocol : core::paper_protocols()) add(protocol);
+  add(core::http1_baseline_protocol());
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_networks() {
+  TextTable table({"Network", "Up", "Down", "minRTT", "Loss", "Queue"});
+  for (const auto& profile : net::all_profiles()) {
+    table.add_row({profile.name, fmt_fixed(profile.uplink.megabits(), 3) + " Mbps",
+                   fmt_fixed(profile.downlink.megabits(), 3) + " Mbps",
+                   fmt_ms(to_millis(profile.min_rtt)), fmt_percent(profile.loss_rate),
+                   fmt_ms(to_millis(profile.queue_delay))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_trial(const Args& args) {
+  const auto catalog = resolve_catalog(args);
+  const std::string site_name = args.get("site", "wikipedia.org");
+  const web::Website* site = nullptr;
+  for (const auto& candidate : catalog) {
+    if (candidate.name == site_name) site = &candidate;
+  }
+  if (site == nullptr) {
+    std::cerr << "unknown site '" << site_name << "' — see `qperc catalog`\n";
+    return 2;
+  }
+  const auto& protocol = core::protocol_by_name(args.get("protocol", "QUIC"));
+  const auto& profile = network_by_name(args.get("network", "DSL"));
+  const auto result = core::run_trial(*site, protocol, profile, args.get_u64("seed", 7));
+
+  if (args.has("csv")) {
+    std::cout << "site,protocol,network,seed,fvc_ms,si_ms,vc85_ms,lvc_ms,plt_ms,"
+                 "retransmissions,connections\n"
+              << site->name << ',' << protocol.name << ',' << profile.name << ','
+              << args.get_u64("seed", 7) << ',' << result.metrics.fvc_ms() << ','
+              << result.metrics.si_ms() << ',' << result.metrics.vc85_ms() << ','
+              << result.metrics.lvc_ms() << ',' << result.metrics.plt_ms() << ','
+              << result.transport.retransmissions << ',' << result.connections_opened
+              << '\n';
+    return 0;
+  }
+  TextTable table({"FVC", "SI", "VC85", "LVC", "PLT", "retx", "conns"});
+  table.add_row({fmt_ms(result.metrics.fvc_ms()), fmt_ms(result.metrics.si_ms()),
+                 fmt_ms(result.metrics.vc85_ms()), fmt_ms(result.metrics.lvc_ms()),
+                 fmt_ms(result.metrics.plt_ms()),
+                 std::to_string(result.transport.retransmissions),
+                 std::to_string(result.connections_opened)});
+  std::cout << site->name << " / " << protocol.name << " / " << profile.name << "\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_video(const Args& args) {
+  core::VideoLibrary library(args.get_u64("seed", 7),
+                             static_cast<std::uint32_t>(args.get_u64("runs", 31)));
+  const auto& profile = network_by_name(args.get("network", "DSL"));
+  const auto& video = library.get(args.get("site", "wikipedia.org"),
+                                  args.get("protocol", "QUIC"), profile.kind);
+  std::cout << "typical recording of " << video.site << " / " << video.protocol << " / "
+            << profile.name << " (" << video.runs << " trials)\n";
+  TextTable table({"", "FVC", "SI", "VC85", "LVC", "PLT"});
+  table.add_row({"selected video", fmt_ms(video.metrics.fvc_ms()),
+                 fmt_ms(video.metrics.si_ms()), fmt_ms(video.metrics.vc85_ms()),
+                 fmt_ms(video.metrics.lvc_ms()), fmt_ms(video.metrics.plt_ms())});
+  table.add_row({"condition mean", fmt_ms(video.mean_metrics.fvc_ms()),
+                 fmt_ms(video.mean_metrics.si_ms()), fmt_ms(video.mean_metrics.vc85_ms()),
+                 fmt_ms(video.mean_metrics.lvc_ms()), fmt_ms(video.mean_metrics.plt_ms())});
+  table.print(std::cout);
+  std::cout << "mean retransmissions/trial: " << fmt_fixed(video.mean_retransmissions, 1)
+            << ", VC curve points: " << video.vc_curve.size() << "\n";
+  return 0;
+}
+
+study::Group parse_group(const std::string& name) {
+  if (name == "lab") return study::Group::kLab;
+  if (name == "internet") return study::Group::kInternet;
+  return study::Group::kMicroworker;
+}
+
+int cmd_study(const Args& args) {
+  core::VideoLibrary library(args.get_u64("seed", 7),
+                             static_cast<std::uint32_t>(args.get_u64("runs", 31)));
+  const auto group = parse_group(args.get("group", "uworker"));
+  const std::size_t site_budget = args.get_u64("sites", 36);
+  const bool lab_only = site_budget <= web::lab_study_domains().size();
+
+  if (args.get("kind", "rating") == "ab") {
+    study::AbStudyConfig config;
+    config.group = group;
+    config.lab_domains_only = lab_only;
+    config.seed = args.get_u64("seed", 7);
+    const auto result = study::run_ab_study(library, config);
+    std::cout << "A/B study, " << study::to_string(group) << ": "
+              << result.funnel.initial << " -> " << result.funnel.final_count()
+              << " participants after filtering\n\n";
+    for (std::size_t p = 0; p < study::ab_pairs().size(); ++p) {
+      const auto& [a, b] = study::ab_pairs()[p];
+      TextTable table({"Network", "prefer " + a, "No Diff.", "prefer " + b, "replays"});
+      for (const auto& profile : net::all_profiles()) {
+        const auto it = result.cells.find({p, profile.kind});
+        if (it == result.cells.end()) continue;
+        table.add_row({profile.name, fmt_percent(it->second.share_first()),
+                       fmt_percent(it->second.share_no_difference()),
+                       fmt_percent(it->second.share_second()),
+                       fmt_fixed(it->second.avg_replays(), 2)});
+      }
+      std::cout << a << " vs " << b << "\n";
+      table.print(std::cout);
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  study::RatingStudyConfig config;
+  config.group = group;
+  config.lab_domains_only = lab_only;
+  config.seed = args.get_u64("seed", 7);
+  const auto result = study::run_rating_study(library, config);
+  std::cout << "Rating study, " << study::to_string(group) << ": "
+            << result.funnel.initial << " -> " << result.funnel.final_count()
+            << " participants after filtering\n\n";
+  TextTable table({"Protocol", "Network", "Context", "mean vote ± CI99", "n"});
+  for (const auto& [key, votes] : result.votes_by_cell) {
+    const auto ci = stats::mean_confidence_interval(votes, 0.99);
+    table.add_row({std::get<0>(key), std::string(net::to_string(std::get<1>(key))),
+                   std::string(study::to_string(std::get<2>(key))),
+                   fmt_fixed(ci.center, 1) + " ± " + fmt_fixed(ci.half_width, 1),
+                   std::to_string(votes.size())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace qperc::cli
+
+int main(int argc, char** argv) {
+  using namespace qperc::cli;
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (command == "catalog") return cmd_catalog(args);
+    if (command == "protocols") return cmd_protocols();
+    if (command == "networks") return cmd_networks();
+    if (command == "trial") return cmd_trial(args);
+    if (command == "video") return cmd_video(args);
+    if (command == "study") return cmd_study(args);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
