@@ -12,6 +12,7 @@
 #include "net/profile.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "web/website.hpp"
 
@@ -116,6 +117,30 @@ void BM_PageLoadTrial(benchmark::State& state) {
 }
 // Site 6 = apache.org (small); site 4 = nytimes.com (large). Protocols 0=TCP, 3=QUIC.
 BENCHMARK(BM_PageLoadTrial)->Args({6, 0})->Args({6, 3})->Args({4, 0})->Args({4, 3})
+    ->Unit(benchmark::kMillisecond);
+
+/// Same trial with a counting sink attached: the cost of actually tracing.
+/// Compare against BM_PageLoadTrial to verify the null-sink default stays
+/// zero-cost (one pointer test per hook).
+void BM_PageLoadTrialTraced(benchmark::State& state) {
+  struct CountingSink final : trace::TraceSink {
+    std::uint64_t events = 0;
+    void on_event(const trace::Event&) override { ++events; }
+  };
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[static_cast<std::size_t>(state.range(0))];
+  const auto& protocol =
+      core::paper_protocols()[static_cast<std::size_t>(state.range(1))];
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    CountingSink sink;
+    const auto result = core::run_trial(site, protocol, net::dsl_profile(), seed++, &sink);
+    benchmark::DoNotOptimize(result.metrics.plt_ms());
+    benchmark::DoNotOptimize(sink.events);
+  }
+  state.SetLabel(site.name + " / " + protocol.name + " (traced)");
+}
+BENCHMARK(BM_PageLoadTrialTraced)->Args({6, 0})->Args({6, 3})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

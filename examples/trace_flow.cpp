@@ -1,16 +1,36 @@
-// Dumps a packet-level trace of a small page load — every enqueue, drop,
-// and delivery on the emulated access link — as CSV on stdout.
+// Dumps a qlog-style structured trace of a small page load — handshake,
+// transport, recovery, HTTP, browser, and link events — as JSON Lines on
+// stdout, with an aggregate-counter summary on stderr.
 //
-//   ./trace_flow [site] [protocol] [network] > trace.csv
+//   ./trace_flow [site] [protocol] [network] > trace.jsonl
 #include <iostream>
 
-#include "browser/page_loader.hpp"
 #include "core/protocol.hpp"
-#include "http/session.hpp"
-#include "net/packet_trace.hpp"
+#include "core/trial.hpp"
 #include "net/profile.hpp"
-#include "util/rng.hpp"
+#include "trace/counters.hpp"
+#include "trace/jsonl_sink.hpp"
 #include "web/website.hpp"
+
+namespace {
+
+/// Streams JSONL to `os` while folding every event into TrialCounters.
+class SummarizingSink final : public qperc::trace::TraceSink {
+ public:
+  explicit SummarizingSink(std::ostream& os) : jsonl_(os) {}
+  void on_event(const qperc::trace::Event& event) override {
+    jsonl_.on_event(event);
+    counters_.observe(event);
+  }
+  [[nodiscard]] const qperc::trace::TrialCounters& counters() const { return counters_; }
+  [[nodiscard]] std::uint64_t events_written() const { return jsonl_.events_written(); }
+
+ private:
+  qperc::trace::JsonlSink jsonl_;
+  qperc::trace::TrialCounters counters_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace qperc;
@@ -33,32 +53,19 @@ int main(int argc, char** argv) {
   }
   const auto& protocol = core::protocol_by_name(protocol_name);
 
-  sim::Simulator simulator;
-  Rng rng(42);
-  net::EmulatedNetwork network(simulator, *profile, rng.fork("network"));
-  net::PacketTrace trace(simulator, network);
+  SummarizingSink sink(std::cout);
+  const auto result = core::run_trial(*site, protocol, *profile, /*seed=*/42, &sink);
 
-  browser::PageLoader::SessionFactory factory;
-  if (protocol.transport == core::Transport::kQuic) {
-    const auto config = protocol.quic_config();
-    factory = [&, config](net::ServerId origin) {
-      return http::make_quic_session(simulator, network, origin, config);
-    };
-  } else {
-    const auto config = protocol.tcp_config();
-    factory = [&, config](net::ServerId origin) {
-      return http::make_h2_session(simulator, network, origin, config);
-    };
-  }
-  const auto result =
-      browser::load_page(simulator, *site, std::move(factory), rng.fork("browser"));
-
-  trace.print_csv(std::cout);
-  std::cerr << site->name << " / " << protocol.name << " / " << profile->name
-            << ": PLT " << result.metrics.plt_ms() << " ms, " << trace.records().size()
-            << " packet events, "
-            << trace.count(net::Direction::kDownlink, net::LinkEvent::kDroppedQueueFull) +
-                   trace.count(net::Direction::kDownlink, net::LinkEvent::kDroppedRandomLoss)
-            << " downlink drops\n";
+  const trace::TrialCounters& counters = sink.counters();
+  std::cerr << site->name << " / " << protocol.name << " / " << profile->name << ": PLT "
+            << result.metrics.plt_ms() << " ms, " << sink.events_written() << " events\n"
+            << "handshake: " << counters.handshake_packets << " packets, first completed in "
+            << to_millis(counters.first_handshake_duration) << " ms\n"
+            << "recovery: " << counters.retransmissions << " retransmissions, "
+            << counters.timeouts << " timeouts, " << counters.spurious_losses
+            << " spurious losses\n"
+            << "link: " << counters.link_deliveries << " deliveries, "
+            << counters.queue_drops << " queue drops, " << counters.random_loss_drops
+            << " random-loss drops\n";
   return 0;
 }

@@ -37,6 +37,8 @@ void PageLoader::start() {
 
 void PageLoader::open_connection(std::uint32_t origin) {
   ++connecting_;
+  simulator_.trace_event(trace::EventType::kConnectionOpened, trace::Endpoint::kClient,
+                         /*flow=*/0, origin);
   auto session = session_factory_(net::ServerId{origin});
   session->set_on_established([this] { on_connection_established(); });
   session->start();
@@ -96,6 +98,11 @@ void PageLoader::request_object(std::uint32_t id) {
   ObjectState& state = states_[id];
   if (state.requested) return;
   state.requested = true;
+  if (simulator_.trace() != nullptr) {
+    const web::WebObject& object = site_.objects[id];
+    simulator_.trace_event(trace::EventType::kObjectRequested, trace::Endpoint::kClient,
+                           /*flow=*/0, id, object.bytes, object.origin);
+  }
   dispatch(id);
 }
 
@@ -131,6 +138,10 @@ void PageLoader::on_object_complete(std::uint32_t id) {
   state.complete_at = simulator_.now();
   ++completed_objects_;
   page_load_end_ = std::max(page_load_end_, state.complete_at);
+  if (simulator_.trace() != nullptr) {
+    simulator_.trace_event(trace::EventType::kObjectComplete, trace::Endpoint::kClient,
+                           /*flow=*/0, id, site_.objects[id].bytes, completed_objects_);
+  }
   check_discoveries(id);
 }
 
@@ -192,6 +203,9 @@ PageLoadResult load_page(sim::Simulator& simulator, const web::Website& site,
     const SimTime next = std::min(deadline, simulator.now() + milliseconds(200));
     simulator.run_until(next);
   }
+  simulator.trace_event(trace::EventType::kPageFinished, trace::Endpoint::kClient,
+                        /*flow=*/0, loader.completed_objects(), /*bytes=*/0,
+                        loader.finished() ? 1 : 0);
   return loader.result();
 }
 

@@ -46,6 +46,7 @@ class PageLoader {
   [[nodiscard]] bool finished() const noexcept {
     return completed_objects_ == site_.objects.size();
   }
+  [[nodiscard]] std::size_t completed_objects() const noexcept { return completed_objects_; }
   /// Collects the result; valid any time (finished flag reflects progress).
   [[nodiscard]] PageLoadResult result() const;
 

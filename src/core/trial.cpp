@@ -9,7 +9,14 @@ namespace qperc::core {
 
 browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
                                   const net::NetworkProfile& profile, std::uint64_t seed) {
+  return run_trial(site, protocol, profile, seed, nullptr);
+}
+
+browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
+                                  const net::NetworkProfile& profile, std::uint64_t seed,
+                                  trace::TraceSink* trace) {
   sim::Simulator simulator;
+  simulator.set_trace(trace);
   Rng rng(seed);
   net::EmulatedNetwork network(simulator, profile, rng.fork("network"));
 

@@ -7,6 +7,7 @@
 #include "browser/page_loader.hpp"
 #include "core/protocol.hpp"
 #include "net/profile.hpp"
+#include "trace/trace.hpp"
 #include "web/website.hpp"
 
 namespace qperc::core {
@@ -16,5 +17,14 @@ namespace qperc::core {
                                                 const ProtocolConfig& protocol,
                                                 const net::NetworkProfile& profile,
                                                 std::uint64_t seed);
+
+/// Same trial with a trace sink attached to the simulator for its whole
+/// lifetime (nullptr behaves exactly like the overload above). Tracing never
+/// alters scheduling or RNG draws, so results are bit-identical either way.
+[[nodiscard]] browser::PageLoadResult run_trial(const web::Website& site,
+                                                const ProtocolConfig& protocol,
+                                                const net::NetworkProfile& profile,
+                                                std::uint64_t seed,
+                                                trace::TraceSink* trace);
 
 }  // namespace qperc::core

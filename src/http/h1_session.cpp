@@ -119,6 +119,10 @@ class H1Session final : public Session {
     lane.current = pending.request;
     lane.on_progress = std::move(pending.on_progress);
     lane.request_boundary += pending.request.request_bytes;
+    simulator_.trace_event(trace::EventType::kRequestSubmitted, trace::Endpoint::kClient,
+                           static_cast<std::uint64_t>(lane.connection->flow()),
+                           pending.request.object_id, pending.request.response_body_bytes,
+                           /*value=*/0);
     lane.connection->client_write(pending.request.request_bytes);
   }
 
@@ -127,6 +131,9 @@ class H1Session final : public Session {
     lane.responding = true;
     const std::uint64_t bytes =
         lane.current.response_header_bytes + lane.current.response_body_bytes;
+    simulator_.trace_event(trace::EventType::kResponseStarted, trace::Endpoint::kServer,
+                           static_cast<std::uint64_t>(lane.connection->flow()),
+                           lane.current.object_id, bytes, /*value=*/0);
     simulator_.schedule_in(lane.current.server_think_time, [&lane, bytes] {
       lane.server_target += bytes;
       while (lane.server_written < lane.server_target) {
@@ -149,6 +156,9 @@ class H1Session final : public Session {
     const bool complete = got >= response_bytes;
     if (lane.on_progress) lane.on_progress(lane.current.object_id, body, complete);
     if (complete) {
+      simulator_.trace_event(trace::EventType::kResponseComplete, trace::Endpoint::kClient,
+                             static_cast<std::uint64_t>(lane.connection->flow()),
+                             lane.current.object_id, body, /*value=*/0);
       lane.complete = true;
       lane.busy = false;
       lane.responding = false;

@@ -45,6 +45,9 @@ class H2Session final : public Session {
     const std::uint64_t stream_id = next_stream_id_;
     next_stream_id_ += 2;
     streams_.emplace(stream_id, StreamState{request, std::move(on_progress)});
+    simulator_.trace_event(trace::EventType::kRequestSubmitted, trace::Endpoint::kClient,
+                           static_cast<std::uint64_t>(connection_->flow()),
+                           request.object_id, request.response_body_bytes, stream_id);
 
     // The request headers go onto the shared client->server stream; the
     // server recognizes the request once its last byte arrives.
@@ -95,6 +98,9 @@ class H2Session final : public Session {
       const std::uint64_t response_bytes =
           request.response_header_bytes + request.response_body_bytes;
       const std::uint8_t priority = request.priority;
+      simulator_.trace_event(trace::EventType::kResponseStarted, trace::Endpoint::kServer,
+                             static_cast<std::uint64_t>(connection_->flow()),
+                             request.object_id, response_bytes, pending.stream_id);
       simulator_.schedule_in(request.server_think_time,
                              [this, pending, response_bytes, priority] {
                                active_responses_.push_back(
@@ -164,7 +170,12 @@ class H2Session final : public Session {
         stream.body_delivered > headers ? stream.body_delivered - headers : 0;
     const bool complete = body >= stream.request.response_body_bytes;
     if (stream.complete) return;
-    if (complete) stream.complete = true;
+    if (complete) {
+      stream.complete = true;
+      simulator_.trace_event(trace::EventType::kResponseComplete, trace::Endpoint::kClient,
+                             static_cast<std::uint64_t>(connection_->flow()),
+                             stream.request.object_id, body, stream_id);
+    }
     if (stream.on_progress) stream.on_progress(stream.request.object_id, body, complete);
   }
 

@@ -39,6 +39,9 @@ class QuicHttpSession final : public Session {
     const std::uint64_t stream_id = next_stream_id_;
     next_stream_id_ += 2;
     streams_.emplace(stream_id, StreamState{request, std::move(on_progress)});
+    simulator_.trace_event(trace::EventType::kRequestSubmitted, trace::Endpoint::kClient,
+                           static_cast<std::uint64_t>(connection_->flow()),
+                           request.object_id, request.response_body_bytes, stream_id);
     connection_->client_write_stream(stream_id, request.request_bytes, /*fin=*/true,
                                      request.priority);
   }
@@ -67,6 +70,9 @@ class QuicHttpSession final : public Session {
     const std::uint64_t response_bytes =
         request.response_header_bytes + request.response_body_bytes;
     const std::uint8_t priority = request.priority;
+    simulator_.trace_event(trace::EventType::kResponseStarted, trace::Endpoint::kServer,
+                           static_cast<std::uint64_t>(connection_->flow()),
+                           request.object_id, response_bytes, stream_id);
     simulator_.schedule_in(request.server_think_time,
                            [this, stream_id, response_bytes, priority] {
                              connection_->server_write_stream(stream_id, response_bytes,
@@ -82,7 +88,12 @@ class QuicHttpSession final : public Session {
     const std::uint64_t headers = stream.request.response_header_bytes;
     const std::uint64_t body = bytes > headers ? bytes - headers : 0;
     const bool complete = fin && body >= stream.request.response_body_bytes;
-    if (complete) stream.complete = true;
+    if (complete) {
+      stream.complete = true;
+      simulator_.trace_event(trace::EventType::kResponseComplete, trace::Endpoint::kClient,
+                             static_cast<std::uint64_t>(connection_->flow()),
+                             stream.request.object_id, body, stream_id);
+    }
     if (stream.on_progress) stream.on_progress(stream.request.object_id, body, complete);
   }
 

@@ -15,6 +15,8 @@ EmulatedNetwork::EmulatedNetwork(sim::Simulator& simulator, const NetworkProfile
       simulator_, profile.downlink, one_way, profile.loss_rate,
       profile.downlink_queue_bytes(), rng.fork("downlink-loss"),
       [this](Packet p) { deliver_downlink(std::move(p)); });
+  uplink_->set_trace_direction(0);
+  downlink_->set_trace_direction(1);
 }
 
 void EmulatedNetwork::register_client_flow(FlowId flow, Handler handler) {

@@ -31,6 +31,16 @@ struct LinkStats {
 /// Per-packet lifecycle events a Link can report to an observer.
 enum class LinkEvent { kEnqueued, kDroppedQueueFull, kDroppedRandomLoss, kDelivered };
 
+[[nodiscard]] constexpr trace::EventType to_trace_event(LinkEvent event) noexcept {
+  switch (event) {
+    case LinkEvent::kEnqueued: return trace::EventType::kLinkEnqueued;
+    case LinkEvent::kDroppedQueueFull: return trace::EventType::kLinkDroppedQueueFull;
+    case LinkEvent::kDroppedRandomLoss: return trace::EventType::kLinkDroppedRandomLoss;
+    case LinkEvent::kDelivered: return trace::EventType::kLinkDelivered;
+  }
+  return trace::EventType::kLinkEnqueued;  // unreachable with valid input
+}
+
 class Link {
  public:
   using DeliverFn = std::function<void(Packet)>;
@@ -52,6 +62,10 @@ class Link {
   /// Installs a per-packet observer (tracing); pass nullptr to remove.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Direction tag carried in the `value` field of this link's trace events
+  /// (0 = uplink, 1 = downlink); set by the owning EmulatedNetwork.
+  void set_trace_direction(std::uint64_t direction) noexcept { trace_direction_ = direction; }
+
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint64_t queued_bytes() const noexcept { return queued_bytes_; }
   [[nodiscard]] DataRate rate() const noexcept { return rate_; }
@@ -68,9 +82,15 @@ class Link {
   Rng loss_rng_;
   DeliverFn deliver_;
   Observer observer_;
+  std::uint64_t trace_direction_ = 0;
 
   void notify(LinkEvent event, const Packet& packet) {
     if (observer_) observer_(event, packet);
+    if (simulator_.trace() != nullptr) {
+      simulator_.trace_event(to_trace_event(event), trace::Endpoint::kNone,
+                             static_cast<std::uint64_t>(packet.flow), /*id=*/0,
+                             packet.wire_bytes, trace_direction_);
+    }
   }
 
   std::deque<Packet> queue_;

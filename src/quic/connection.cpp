@@ -39,6 +39,12 @@ QuicConnection::QuicConnection(sim::Simulator& simulator, net::EmulatedNetwork& 
         if (callbacks_.on_request_stream) callbacks_.on_request_stream(stream, bytes, fin);
       });
 
+  const auto trace_flow = static_cast<std::uint64_t>(flow_);
+  client_send_->set_trace_context(trace_flow, trace::Endpoint::kClient);
+  server_send_->set_trace_context(trace_flow, trace::Endpoint::kServer);
+  client_receive_->set_trace_context(trace_flow, trace::Endpoint::kClient);
+  server_receive_->set_trace_context(trace_flow, trace::Endpoint::kServer);
+
   network_.register_client_flow(flow_, [this](net::Packet p) { client_on_packet(p); });
   network_.register_server_flow(flow_, [this](net::Packet p) { server_on_packet(p); });
 }
@@ -52,12 +58,16 @@ void QuicConnection::connect() {
   if (chlo_sent_) return;
   chlo_sent_ = true;
   chlo_sent_at_ = simulator_.now();
+  simulator_.trace_event(trace::EventType::kHandshakeStarted, trace::Endpoint::kClient,
+                         static_cast<std::uint64_t>(flow_), config_.zero_rtt ? 0 : 1);
   send_handshake(true, QuicHandshakeStep::kInchoateChlo);
   if (config_.zero_rtt) {
     // Cached server config: crypto completes immediately; the request rides
     // along with the CHLO.
     client_established_ = true;
     client_send_->on_established(SimDuration::zero());
+    simulator_.trace_event(trace::EventType::kHandshakeCompleted, trace::Endpoint::kClient,
+                           static_cast<std::uint64_t>(flow_), /*id=*/0);
     if (callbacks_.on_established) callbacks_.on_established();
     return;
   }
@@ -78,6 +88,10 @@ void QuicConnection::send_handshake(bool from_client, QuicHandshakeStep step) {
     wire.wire_bytes = kHandshakePacketWireBytes;
     wire.payload = std::move(packet);
     ++handshake_stats_.handshake_packets;
+    simulator_.trace_event(trace::EventType::kHandshakePacketSent,
+                           from_client ? trace::Endpoint::kClient : trace::Endpoint::kServer,
+                           static_cast<std::uint64_t>(flow_),
+                           static_cast<std::uint64_t>(step), kHandshakePacketWireBytes);
     if (from_client) {
       network_.client_send(std::move(wire));
     } else {
@@ -90,6 +104,9 @@ void QuicConnection::on_handshake_timeout() {
   if (client_established_) return;
   ++handshake_stats_.handshake_retransmissions;
   hs_backoff_ = std::min(hs_backoff_ + 1, 6u);
+  simulator_.trace_event(trace::EventType::kHandshakeRetransmitted, trace::Endpoint::kClient,
+                         static_cast<std::uint64_t>(flow_), /*id=*/0, /*bytes=*/0,
+                         hs_backoff_);
   rej_received_mask_ = 0;
   send_handshake(true, QuicHandshakeStep::kInchoateChlo);
   handshake_timer_.set_in(kInitialHandshakeTimeout * (1u << hs_backoff_));
@@ -102,6 +119,10 @@ void QuicConnection::establish_client() {
   // Full CHLO completes the handshake and lets encrypted data flow.
   send_handshake(true, QuicHandshakeStep::kFullChlo);
   client_send_->on_established(simulator_.now() - chlo_sent_at_);
+  simulator_.trace_event(
+      trace::EventType::kHandshakeCompleted, trace::Endpoint::kClient,
+      static_cast<std::uint64_t>(flow_), /*id=*/1, /*bytes=*/0,
+      static_cast<std::uint64_t>((simulator_.now() - chlo_sent_at_).count()));
   if (callbacks_.on_established) callbacks_.on_established();
 }
 

@@ -35,6 +35,12 @@ void QuicReceiveSide::on_packet(const QuicPacket& packet) {
     if (pn <= prev->second) duplicate = true;
   }
   const bool out_of_order = pn < largest_received_;
+  if (simulator_.trace() != nullptr) {
+    std::uint64_t payload = 0;
+    for (const auto& frame : packet.frames) payload += frame.length;
+    simulator_.trace_event(trace::EventType::kPacketReceived, trace_endpoint_, trace_flow_,
+                           pn, payload, duplicate ? 1 : 0);
+  }
   if (!duplicate) {
     // Merge pn into ranges: extend neighbours where adjacent.
     auto next = received_.lower_bound(pn);

@@ -36,6 +36,12 @@ class QuicReceiveSide {
   [[nodiscard]] std::uint64_t stream_delivered(std::uint64_t stream_id) const;
   [[nodiscard]] std::size_t ack_range_count() const noexcept { return received_.size(); }
 
+  /// Identifies this side in trace events (set by the owning connection).
+  void set_trace_context(std::uint64_t flow, trace::Endpoint endpoint) noexcept {
+    trace_flow_ = flow;
+    trace_endpoint_ = endpoint;
+  }
+
  private:
   struct RecvStream {
     std::map<std::uint64_t, std::uint64_t> out_of_order;  // [start, end)
@@ -52,6 +58,9 @@ class QuicReceiveSide {
   QuicConfig config_;
   std::function<void()> request_ack_;
   std::function<void(std::uint64_t, std::uint64_t, bool)> on_stream_progress_;
+
+  std::uint64_t trace_flow_ = 0;
+  trace::Endpoint trace_endpoint_ = trace::Endpoint::kNone;
 
   /// Received packet numbers as [first, last] ranges, keyed by first.
   std::map<std::uint64_t, std::uint64_t> received_;

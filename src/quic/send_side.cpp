@@ -51,6 +51,8 @@ QuicPacket QuicSendSide::make_control_packet() {
   packet.packet_number = next_packet_number_++;
   packet.ack_eliciting = false;
   ++stats_.acks_sent;
+  simulator_.trace_event(trace::EventType::kAckSent, trace_endpoint_, trace_flow_,
+                         packet.packet_number);
   return packet;
 }
 
@@ -58,6 +60,8 @@ std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
                                                     bool& is_retransmission) {
   std::vector<StreamFrame> frames;
   is_retransmission = false;
+  bool fc_blocked_seen = false;
+  std::uint64_t fc_blocked_stream = 0;
 
   // Retransmissions take precedence: they unblock the peer's reassembly.
   while (!retransmit_queue_.empty() && budget > kStreamFrameOverhead) {
@@ -91,8 +95,14 @@ std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
         const bool has_fin = stream.fin && !stream.fin_packetized &&
                              stream.next_offset == stream.write_bytes;
         if (!has_data && !has_fin) continue;
-        if (has_data && stream.next_offset >= stream.peer_limit) continue;
-        if (has_data && connection_bytes_sent_ >= peer_connection_limit_) continue;
+        if (has_data && (stream.next_offset >= stream.peer_limit ||
+                         connection_bytes_sent_ >= peer_connection_limit_)) {
+          if (!fc_blocked_seen) {
+            fc_blocked_seen = true;
+            fc_blocked_stream = id;
+          }
+          continue;
+        }
         if (best == nullptr || stream.priority < best->priority) {
           best = &stream;
           best_id = id;
@@ -118,6 +128,23 @@ std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
     }
     budget -= frame.length + kStreamFrameOverhead;
     frames.push_back(frame);
+  }
+
+  // Flow-control stall accounting (trace-only: skipped entirely without a
+  // sink so untraced runs never touch the members).
+  if (simulator_.trace() != nullptr) {
+    if (fc_blocked_seen && !fc_blocked_) {
+      fc_blocked_ = true;
+      fc_blocked_since_ = simulator_.now();
+      simulator_.trace_event(trace::EventType::kStreamBlocked, trace_endpoint_, trace_flow_,
+                             fc_blocked_stream);
+    } else if (!fc_blocked_seen && fc_blocked_) {
+      fc_blocked_ = false;
+      simulator_.trace_event(
+          trace::EventType::kStreamUnblocked, trace_endpoint_, trace_flow_, /*id=*/0,
+          /*bytes=*/0,
+          static_cast<std::uint64_t>((simulator_.now() - fc_blocked_since_).count()));
+    }
   }
   return frames;
 }
@@ -164,6 +191,12 @@ void QuicSendSide::transmit(std::vector<StreamFrame> frames, bool is_retransmiss
   ++stats_.data_packets_sent;
   stats_.bytes_sent += stream_bytes;
   if (is_retransmission) ++stats_.retransmissions;
+  if (simulator_.trace() != nullptr) {
+    simulator_.trace_event(is_retransmission ? trace::EventType::kPacketRetransmitted
+                                             : trace::EventType::kPacketSent,
+                           trace_endpoint_, trace_flow_, pn, payload,
+                           frames.size());
+  }
 
   QuicPacket packet;
   packet.packet_number = pn;
@@ -185,6 +218,15 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
   bool have_rate = false;
 
   for (const auto& [first, last] : packet.ack_ranges) {
+    if (simulator_.trace() != nullptr && !traced_lost_pns_.empty()) {
+      // A packet we declared lost turns out to have been received.
+      auto lost_it = traced_lost_pns_.lower_bound(first);
+      while (lost_it != traced_lost_pns_.end() && *lost_it <= last) {
+        simulator_.trace_event(trace::EventType::kSpuriousLoss, trace_endpoint_, trace_flow_,
+                               *lost_it);
+        lost_it = traced_lost_pns_.erase(lost_it);
+      }
+    }
     auto it = unacked_.lower_bound(first);
     while (it != unacked_.end() && it->first <= last) {
       const std::uint64_t pn = it->first;
@@ -231,6 +273,13 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
   }
   pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
 
+  if (simulator_.trace() != nullptr) {
+    simulator_.trace_event(
+        trace::EventType::kMetricsUpdated, trace_endpoint_, trace_flow_,
+        static_cast<std::uint64_t>(rtt_.smoothed_rtt().count()), bytes_in_flight_,
+        cc_->congestion_window());
+  }
+
   rearm_timer();
   maybe_send();
 }
@@ -257,6 +306,10 @@ void QuicSendSide::enter_recovery_if_needed(std::uint64_t lost_pn) {
   if (lost_pn <= recovery_end_pn_) return;
   recovery_end_pn_ = next_packet_number_;
   ++stats_.congestion_events;
+  if (simulator_.trace() != nullptr) {
+    simulator_.trace_event(trace::EventType::kCongestionEvent, trace_endpoint_, trace_flow_,
+                           lost_pn, bytes_in_flight_);
+  }
   cc_->on_congestion_event(simulator_.now(), bytes_in_flight_);
   pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
 }
@@ -281,6 +334,11 @@ void QuicSendSide::detect_losses(SimTime now) {
       sampler_.on_packet_lost(pn);
       requeue_lost(up);
       largest_lost = pn;
+      if (simulator_.trace() != nullptr) {
+        traced_lost_pns_.insert(pn);
+        simulator_.trace_event(trace::EventType::kPacketLost, trace_endpoint_, trace_flow_,
+                               pn, up.payload_bytes, /*value=*/0);
+      }
       it = unacked_.erase(it);
     } else {
       loss_deadline_ = std::min(loss_deadline_, up.sent_time + loss_delay);
@@ -327,12 +385,23 @@ void QuicSendSide::on_timer() {
   // the congestion window) to elicit an ACK.
   ++pto_backoff_;
   ++stats_.tail_probes;
-  if (pto_backoff_ >= 2) ++stats_.timeouts;
+  simulator_.trace_event(trace::EventType::kTlpFired, trace_endpoint_, trace_flow_,
+                         /*id=*/0, /*bytes=*/0, pto_backoff_);
+  if (pto_backoff_ >= 2) {
+    ++stats_.timeouts;
+    simulator_.trace_event(trace::EventType::kRtoFired, trace_endpoint_, trace_flow_,
+                           /*id=*/0, /*bytes=*/0, pto_backoff_);
+  }
   if (!unacked_.empty()) {
     auto it = unacked_.begin();
     UnackedPacket up = std::move(it->second);
     bytes_in_flight_ -= up.payload_bytes;
     sampler_.on_packet_lost(it->first);
+    if (simulator_.trace() != nullptr) {
+      traced_lost_pns_.insert(it->first);
+      simulator_.trace_event(trace::EventType::kPacketLost, trace_endpoint_, trace_flow_,
+                             it->first, up.payload_bytes, /*value=*/1);
+    }
     unacked_.erase(it);
     requeue_lost(up);
     bool is_retx = false;

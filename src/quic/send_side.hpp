@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "cc/bandwidth_sampler.hpp"
 #include "cc/congestion_controller.hpp"
@@ -56,6 +57,12 @@ class QuicSendSide {
   [[nodiscard]] const cc::RttEstimator& rtt() const noexcept { return rtt_; }
   [[nodiscard]] const cc::CongestionController& controller() const { return *cc_; }
   [[nodiscard]] std::uint64_t bytes_in_flight() const noexcept { return bytes_in_flight_; }
+
+  /// Identifies this side in trace events (set by the owning connection).
+  void set_trace_context(std::uint64_t flow, trace::Endpoint endpoint) noexcept {
+    trace_flow_ = flow;
+    trace_endpoint_ = endpoint;
+  }
 
  private:
   struct SendStream {
@@ -119,6 +126,14 @@ class QuicSendSide {
   std::uint32_t pto_backoff_ = 0;
 
   sim::Timer send_timer_;
+
+  // Trace-only state (touched exclusively when a sink is attached, so
+  // untraced runs are bit-identical).
+  std::uint64_t trace_flow_ = 0;
+  trace::Endpoint trace_endpoint_ = trace::Endpoint::kNone;
+  std::set<std::uint64_t> traced_lost_pns_;  // declared lost; ack later = spurious
+  bool fc_blocked_ = false;                  // inside a flow-control stall
+  SimTime fc_blocked_since_{0};
 };
 
 }  // namespace qperc::quic

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "util/time.hpp"
 
 namespace qperc::sim {
@@ -50,6 +51,23 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
   [[nodiscard]] std::size_t pending_events() const;
 
+  /// Attaches (or detaches, with nullptr) the trace sink all layers report
+  /// to. The sink must outlive every traced component; the default (no sink)
+  /// reduces every instrumentation hook to one pointer test.
+  void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
+  [[nodiscard]] trace::TraceSink* trace() const noexcept { return trace_; }
+
+  /// Emits one trace event stamped with now(). No-op without a sink — but
+  /// callers on hot paths should still guard with `if (trace())` so argument
+  /// computation is skipped too.
+  void trace_event(trace::EventType type, trace::Endpoint endpoint = trace::Endpoint::kNone,
+                   std::uint64_t flow = 0, std::uint64_t id = 0, std::uint64_t bytes = 0,
+                   std::uint64_t value = 0) {
+    if (trace_ != nullptr) {
+      trace_->on_event(trace::Event{now_, type, endpoint, flow, id, bytes, value});
+    }
+  }
+
   static constexpr std::uint64_t kDefaultEventCap = 500'000'000;
 
  private:
@@ -70,6 +88,7 @@ class Simulator {
   bool step();
 
   SimTime now_{0};
+  trace::TraceSink* trace_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t events_processed_ = 0;

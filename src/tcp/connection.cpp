@@ -65,6 +65,12 @@ TcpConnection::TcpConnection(sim::Simulator& simulator, net::EmulatedNetwork& ne
         if (callbacks_.on_request_bytes) callbacks_.on_request_bytes(total);
       });
 
+  const auto trace_flow = static_cast<std::uint64_t>(flow_);
+  client_sender_->set_trace_context(trace_flow, trace::Endpoint::kClient);
+  server_sender_->set_trace_context(trace_flow, trace::Endpoint::kServer);
+  client_receiver_->set_trace_context(trace_flow, trace::Endpoint::kClient);
+  server_receiver_->set_trace_context(trace_flow, trace::Endpoint::kServer);
+
   network_.register_client_flow(flow_, [this](net::Packet p) { client_on_packet(p); });
   network_.register_server_flow(flow_, [this](net::Packet p) { server_on_packet(p); });
 }
@@ -77,6 +83,8 @@ TcpConnection::~TcpConnection() {
 void TcpConnection::connect() {
   if (client_hs_ != ClientHsState::kIdle) return;
   syn_sent_at_ = simulator_.now();
+  simulator_.trace_event(trace::EventType::kHandshakeStarted, trace::Endpoint::kClient,
+                         static_cast<std::uint64_t>(flow_), config_.handshake_rtts);
   switch (config_.handshake_rtts) {
     case 0:
       // TFO + TLS early-data (repeat visit with cached cookie/ticket): the
@@ -117,6 +125,10 @@ void TcpConnection::send_handshake(bool from_client, HandshakeStep step) {
     packet.wire_bytes = wire;
     packet.payload = std::move(segment);
     ++handshake_stats_.handshake_packets;
+    simulator_.trace_event(trace::EventType::kHandshakePacketSent,
+                           from_client ? trace::Endpoint::kClient : trace::Endpoint::kServer,
+                           static_cast<std::uint64_t>(flow_),
+                           static_cast<std::uint64_t>(step), wire);
     if (from_client) {
       network_.client_send(std::move(packet));
     } else {
@@ -162,6 +174,9 @@ void TcpConnection::on_client_handshake_timeout() {
     if (!client_heard_from_server_) {
       ++handshake_stats_.handshake_retransmissions;
       hs_backoff_ = std::min(hs_backoff_ + 1, 6u);
+      simulator_.trace_event(trace::EventType::kHandshakeRetransmitted,
+                             trace::Endpoint::kClient, static_cast<std::uint64_t>(flow_),
+                             /*id=*/0, /*bytes=*/0, hs_backoff_);
       send_handshake(true, HandshakeStep::kClientHello);
       client_hs_timer_.set_in(client_handshake_rto() * (1u << hs_backoff_));
     }
@@ -169,6 +184,9 @@ void TcpConnection::on_client_handshake_timeout() {
   }
   ++handshake_stats_.handshake_retransmissions;
   hs_backoff_ = std::min(hs_backoff_ + 1, 6u);
+  simulator_.trace_event(trace::EventType::kHandshakeRetransmitted, trace::Endpoint::kClient,
+                         static_cast<std::uint64_t>(flow_), /*id=*/0, /*bytes=*/0,
+                         hs_backoff_);
   if (client_hs_ == ClientHsState::kSynSent) {
     send_handshake(true, HandshakeStep::kSyn);
     client_hs_timer_.set_in(kInitialHandshakeTimeout * (1u << hs_backoff_));
@@ -212,6 +230,10 @@ void TcpConnection::complete_client_handshake() {
   // The peer's initial advertised window: what the server's request-side
   // receiver can take.
   client_sender_->on_established(server_receiver_->rwnd_limit(), client_hs_rtt_);
+  simulator_.trace_event(
+      trace::EventType::kHandshakeCompleted, trace::Endpoint::kClient,
+      static_cast<std::uint64_t>(flow_), config_.handshake_rtts, /*bytes=*/0,
+      static_cast<std::uint64_t>((simulator_.now() - syn_sent_at_).count()));
   if (callbacks_.on_established) callbacks_.on_established();
 }
 
@@ -272,7 +294,12 @@ void TcpConnection::client_emit(TcpSegment segment) {
   packet.dest_server = server_;
   packet.wire_bytes =
       segment.has_data ? segment.payload_bytes + kTcpHeaderBytes : kBareAckBytes;
-  if (!segment.has_data) ++handshake_stats_.acks_sent;
+  if (!segment.has_data) {
+    ++handshake_stats_.acks_sent;
+    simulator_.trace_event(trace::EventType::kAckSent, trace::Endpoint::kClient,
+                           static_cast<std::uint64_t>(flow_), segment.cumulative_ack,
+                           kBareAckBytes);
+  }
   packet.payload = std::make_shared<const TcpSegment>(std::move(segment));
   network_.client_send(std::move(packet));
 }
@@ -284,7 +311,12 @@ void TcpConnection::server_emit(TcpSegment segment) {
   packet.dest_server = server_;
   packet.wire_bytes =
       segment.has_data ? segment.payload_bytes + kTcpHeaderBytes : kBareAckBytes;
-  if (!segment.has_data) ++handshake_stats_.acks_sent;
+  if (!segment.has_data) {
+    ++handshake_stats_.acks_sent;
+    simulator_.trace_event(trace::EventType::kAckSent, trace::Endpoint::kServer,
+                           static_cast<std::uint64_t>(flow_), segment.cumulative_ack,
+                           kBareAckBytes);
+  }
   packet.payload = std::make_shared<const TcpSegment>(std::move(segment));
   network_.server_send(std::move(packet));
 }

@@ -42,6 +42,10 @@ void TcpReceiver::autotune(std::uint64_t newly_delivered) {
 }
 
 void TcpReceiver::on_data(std::uint64_t seq, std::uint32_t payload_bytes) {
+  if (simulator_.trace() != nullptr) {
+    simulator_.trace_event(trace::EventType::kPacketReceived, trace_endpoint_, trace_flow_,
+                           seq, payload_bytes, /*value=*/seq + payload_bytes <= rcv_nxt_);
+  }
   const std::uint64_t end = seq + payload_bytes;
   if (end <= rcv_nxt_) {
     // Spurious retransmission of fully delivered data: re-ACK immediately so

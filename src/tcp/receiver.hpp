@@ -39,6 +39,12 @@ class TcpReceiver {
   [[nodiscard]] std::uint64_t advertised_window() const;
   [[nodiscard]] std::uint64_t rwnd_limit() const noexcept { return rwnd_limit_; }
 
+  /// Identifies this receiver in trace events (set by the owning connection).
+  void set_trace_context(std::uint64_t flow, trace::Endpoint endpoint) noexcept {
+    trace_flow_ = flow;
+    trace_endpoint_ = endpoint;
+  }
+
  private:
   void schedule_ack(bool immediate);
   void autotune(std::uint64_t newly_delivered);
@@ -47,6 +53,9 @@ class TcpReceiver {
   TcpConfig config_;
   std::function<void()> send_ack_now_;
   std::function<void(std::uint64_t)> on_delivered_;
+
+  std::uint64_t trace_flow_ = 0;
+  trace::Endpoint trace_endpoint_ = trace::Endpoint::kNone;
 
   std::uint64_t rcv_nxt_ = 0;
   /// Out-of-order ranges [start, end), non-overlapping, above rcv_nxt_.

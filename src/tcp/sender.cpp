@@ -114,6 +114,7 @@ void TcpSender::transmit(SegmentRecord& record, bool is_retransmission) {
   record.last_sent = now;
   record.packet_id = next_packet_id_++;
   record.lost = false;
+  record.lost_by_rto = false;
   if (!record.outstanding) {
     record.outstanding = true;
     outstanding_bytes_ += len;
@@ -128,6 +129,12 @@ void TcpSender::transmit(SegmentRecord& record, bool is_retransmission) {
   ++stats_.data_packets_sent;
   stats_.bytes_sent += len;
   if (is_retransmission) ++stats_.retransmissions;
+  if (simulator_.trace() != nullptr) {
+    simulator_.trace_event(is_retransmission ? trace::EventType::kPacketRetransmitted
+                                             : trace::EventType::kPacketSent,
+                           trace_endpoint_, trace_flow_, record.start, len,
+                           record.transmissions);
+  }
 
   TcpSegment segment;
   segment.has_data = true;
@@ -145,6 +152,11 @@ void TcpSender::mark_delivered(SegmentRecord& record, SimTime now,
   if (record.delivered_counted) return;
   record.delivered_counted = true;
   const auto len = record.end - record.start;
+  if (record.lost && simulator_.trace() != nullptr) {
+    // Declared lost but the original transmission was delivered after all.
+    simulator_.trace_event(trace::EventType::kSpuriousLoss, trace_endpoint_, trace_flow_,
+                           record.start, len, record.lost_by_rto ? 1 : 0);
+  }
   newly_delivered += len;
   stats_.bytes_delivered += len;
   if (record.outstanding) {
@@ -239,6 +251,13 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
   }
   pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
 
+  if (simulator_.trace() != nullptr) {
+    simulator_.trace_event(
+        trace::EventType::kMetricsUpdated, trace_endpoint_, trace_flow_,
+        static_cast<std::uint64_t>(rtt_.smoothed_rtt().count()), outstanding_bytes_,
+        cc_->congestion_window());
+  }
+
   rearm_retransmission_timer();
 
   if (cum_advanced && on_writable_ && writable_bytes() > 0) on_writable_();
@@ -257,10 +276,15 @@ void TcpSender::detect_losses(SimTime newest_delivered_sent_time) {
     if (record.sacked || record.lost || !record.outstanding) continue;
     if (record.last_sent + reorder_window < newest_delivered_sent_time) {
       record.lost = true;
+      record.lost_by_rto = false;
       record.outstanding = false;
       outstanding_bytes_ -= record.end - record.start;
       sampler_.on_packet_lost(record.packet_id);
       any_lost = true;
+      if (simulator_.trace() != nullptr) {
+        simulator_.trace_event(trace::EventType::kPacketLost, trace_endpoint_, trace_flow_,
+                               record.start, record.end - record.start, /*value=*/0);
+      }
     }
   }
   if (any_lost) enter_recovery_if_needed();
@@ -270,6 +294,10 @@ void TcpSender::enter_recovery_if_needed() {
   if (highest_cum_ack_ < recovery_point_) return;  // already in this episode
   recovery_point_ = next_seq_;
   ++stats_.congestion_events;
+  if (simulator_.trace() != nullptr) {
+    simulator_.trace_event(trace::EventType::kCongestionEvent, trace_endpoint_, trace_flow_,
+                           /*id=*/0, outstanding_bytes_, /*value=*/0);
+  }
   cc_->on_congestion_event(simulator_.now(), outstanding_bytes_);
   pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
 }
@@ -302,6 +330,7 @@ void TcpSender::on_retransmission_timer() {
     // Probe with the highest outstanding segment to elicit a SACK.
     tlp_fired_this_episode_ = true;
     ++stats_.tail_probes;
+    simulator_.trace_event(trace::EventType::kTlpFired, trace_endpoint_, trace_flow_);
     SegmentRecord* tail = nullptr;
     for (auto& [start, record] : segments_) {
       if (record.outstanding && !record.sacked) tail = &record;
@@ -317,14 +346,21 @@ void TcpSender::on_retransmission_timer() {
   // Full RTO: collapse the pipe, mark everything unacked as lost.
   ++stats_.timeouts;
   rto_backoff_ = std::min(rto_backoff_ + 1, 10u);
+  simulator_.trace_event(trace::EventType::kRtoFired, trace_endpoint_, trace_flow_,
+                         /*id=*/0, /*bytes=*/0, rto_backoff_);
   for (auto& [start, record] : segments_) {
     if (record.sacked || record.lost) continue;
     record.lost = true;
+    record.lost_by_rto = true;
     if (record.outstanding) {
       record.outstanding = false;
       outstanding_bytes_ -= record.end - record.start;
     }
     sampler_.on_packet_lost(record.packet_id);
+    if (simulator_.trace() != nullptr) {
+      simulator_.trace_event(trace::EventType::kPacketLost, trace_endpoint_, trace_flow_,
+                             record.start, record.end - record.start, /*value=*/1);
+    }
   }
   recovery_point_ = next_seq_;
   cc_->on_retransmission_timeout();

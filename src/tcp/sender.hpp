@@ -60,6 +60,12 @@ class TcpSender {
     return highest_cum_ack_ == app_bytes_total_;
   }
 
+  /// Identifies this sender in trace events (set by the owning connection).
+  void set_trace_context(std::uint64_t flow, trace::Endpoint endpoint) noexcept {
+    trace_flow_ = flow;
+    trace_endpoint_ = endpoint;
+  }
+
  private:
   struct SegmentRecord {
     std::uint64_t start = 0;
@@ -69,6 +75,7 @@ class TcpSender {
     std::uint64_t packet_id = 0;  // latest transmission, for rate sampling
     bool sacked = false;
     bool lost = false;         // detected lost, awaiting retransmission
+    bool lost_by_rto = false;  // `lost` came from an RTO, not RACK/SACK
     bool outstanding = false;  // counted in the pipe
     bool delivered_counted = false;
   };
@@ -90,6 +97,9 @@ class TcpSender {
   TcpConfig config_;
   SendFn send_segment_;
   std::function<void()> on_writable_;
+
+  std::uint64_t trace_flow_ = 0;
+  trace::Endpoint trace_endpoint_ = trace::Endpoint::kNone;
 
   std::unique_ptr<cc::CongestionController> cc_;
   cc::Pacer pacer_;

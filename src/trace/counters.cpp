@@ -1,0 +1,103 @@
+#include "trace/counters.hpp"
+
+#include <algorithm>
+
+namespace qperc::trace {
+
+void TrialCounters::observe(const Event& event) {
+  switch (event.type) {
+    case EventType::kHandshakeStarted:
+      ++handshakes_started;
+      break;
+    case EventType::kHandshakePacketSent:
+      ++handshake_packets;
+      break;
+    case EventType::kHandshakeRetransmitted:
+      ++handshake_retransmissions;
+      break;
+    case EventType::kHandshakeCompleted:
+      if (handshakes_completed == 0) {
+        first_handshake_duration = SimDuration{static_cast<std::int64_t>(event.value)};
+      }
+      ++handshakes_completed;
+      break;
+    case EventType::kPacketSent:
+      ++packets_sent;
+      break;
+    case EventType::kPacketReceived:
+      ++packets_received;
+      break;
+    case EventType::kAckSent:
+      ++acks_sent;
+      break;
+    case EventType::kStreamBlocked:
+      break;
+    case EventType::kStreamUnblocked:
+      stream_blocked_time += SimDuration{static_cast<std::int64_t>(event.value)};
+      break;
+    case EventType::kPacketLost:
+      ++packets_lost;
+      break;
+    case EventType::kPacketRetransmitted:
+      ++packets_sent;  // a retransmission is also a transmission
+      ++retransmissions;
+      break;
+    case EventType::kRtoFired:
+      ++timeouts;
+      break;
+    case EventType::kTlpFired:
+      ++tail_probes;
+      break;
+    case EventType::kCongestionEvent:
+      ++congestion_events;
+      break;
+    case EventType::kSpuriousLoss:
+      ++spurious_losses;
+      if (event.value != 0) ++spurious_rtos;
+      break;
+    case EventType::kMetricsUpdated:
+      ++cwnd_samples;
+      last_cwnd_bytes = event.value;
+      max_cwnd_bytes = std::max(max_cwnd_bytes, event.value);
+      max_bytes_in_flight = std::max(max_bytes_in_flight, event.bytes);
+      sum_bytes_in_flight += event.bytes;
+      break;
+    case EventType::kRequestSubmitted:
+      ++requests_submitted;
+      break;
+    case EventType::kResponseStarted:
+      break;
+    case EventType::kResponseComplete:
+      ++responses_completed;
+      break;
+    case EventType::kConnectionOpened:
+      ++connections_opened;
+      break;
+    case EventType::kObjectRequested:
+      break;
+    case EventType::kObjectComplete:
+      ++objects_completed;
+      break;
+    case EventType::kPageFinished:
+      break;
+    case EventType::kLinkEnqueued:
+      break;
+    case EventType::kLinkDroppedQueueFull:
+      ++queue_drops;
+      break;
+    case EventType::kLinkDroppedRandomLoss:
+      ++random_loss_drops;
+      break;
+    case EventType::kLinkDelivered:
+      ++link_deliveries;
+      break;
+  }
+}
+
+TrialCounters compute_counters(std::span<const Event> events) {
+  TrialCounters counters;
+  for (const Event& event : events) counters.observe(event);
+  return counters;
+}
+
+}  // namespace qperc::trace

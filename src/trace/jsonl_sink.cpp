@@ -1,0 +1,19 @@
+#include "trace/jsonl_sink.hpp"
+
+namespace qperc::trace {
+
+void JsonlSink::on_event(const Event& event) {
+  // All values are enum names or unsigned integers, so no JSON escaping is
+  // ever required; keys are emitted in a fixed order.
+  os_ << "{\"time_ns\":" << event.time.count()                    //
+      << ",\"category\":\"" << to_string(event.category()) << '"'  //
+      << ",\"event\":\"" << to_string(event.type) << '"'           //
+      << ",\"endpoint\":\"" << to_string(event.endpoint) << '"'    //
+      << ",\"flow\":" << event.flow                                //
+      << ",\"id\":" << event.id                                    //
+      << ",\"bytes\":" << event.bytes                              //
+      << ",\"value\":" << event.value << "}\n";
+  ++events_written_;
+}
+
+}  // namespace qperc::trace

@@ -1,0 +1,28 @@
+// JSON Lines sink: one self-contained JSON object per event, in emission
+// order — the `qperc trial --trace out.jsonl` export format. Schema
+// reference: EXPERIMENTS.md, "Tracing & debugging a trial".
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "trace/trace.hpp"
+
+namespace qperc::trace {
+
+class JsonlSink final : public TraceSink {
+ public:
+  /// The stream must outlive the sink; nothing is buffered beyond the
+  /// stream's own buffering.
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+
+  void on_event(const Event& event) override;
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept { return events_written_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t events_written_ = 0;
+};
+
+}  // namespace qperc::trace

@@ -1,0 +1,27 @@
+#include "trace/memory_sink.hpp"
+
+#include <algorithm>
+
+namespace qperc::trace {
+
+std::size_t MemorySink::count(EventType type) const {
+  return static_cast<std::size_t>(std::count_if(
+      events_.begin(), events_.end(), [type](const Event& e) { return e.type == type; }));
+}
+
+std::vector<Event> MemorySink::of_type(EventType type) const {
+  std::vector<Event> out;
+  for (const Event& event : events_) {
+    if (event.type == type) out.push_back(event);
+  }
+  return out;
+}
+
+const Event* MemorySink::first(EventType type) const {
+  for (const Event& event : events_) {
+    if (event.type == type) return &event;
+  }
+  return nullptr;
+}
+
+}  // namespace qperc::trace

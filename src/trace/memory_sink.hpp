@@ -1,0 +1,28 @@
+// In-memory sink: stores every event for post-run queries. This is what
+// tests use to assert mechanism-level facts about a trial.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace qperc::trace {
+
+class MemorySink final : public TraceSink {
+ public:
+  void on_event(const Event& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t count(EventType type) const;
+  /// Events of one type, in emission order.
+  [[nodiscard]] std::vector<Event> of_type(EventType type) const;
+  /// Earliest event of `type`, or nullptr when none was recorded.
+  [[nodiscard]] const Event* first(EventType type) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace qperc::trace

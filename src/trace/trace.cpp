@@ -1,0 +1,96 @@
+#include "trace/trace.hpp"
+
+namespace qperc::trace {
+
+Category category_of(EventType type) noexcept {
+  switch (type) {
+    case EventType::kHandshakeStarted:
+    case EventType::kHandshakePacketSent:
+    case EventType::kHandshakeRetransmitted:
+    case EventType::kHandshakeCompleted:
+    case EventType::kPacketSent:
+    case EventType::kPacketReceived:
+    case EventType::kAckSent:
+    case EventType::kStreamBlocked:
+    case EventType::kStreamUnblocked:
+      return Category::kTransport;
+    case EventType::kPacketLost:
+    case EventType::kPacketRetransmitted:
+    case EventType::kRtoFired:
+    case EventType::kTlpFired:
+    case EventType::kCongestionEvent:
+    case EventType::kSpuriousLoss:
+    case EventType::kMetricsUpdated:
+      return Category::kRecovery;
+    case EventType::kRequestSubmitted:
+    case EventType::kResponseStarted:
+    case EventType::kResponseComplete:
+      return Category::kHttp;
+    case EventType::kConnectionOpened:
+    case EventType::kObjectRequested:
+    case EventType::kObjectComplete:
+    case EventType::kPageFinished:
+      return Category::kBrowser;
+    case EventType::kLinkEnqueued:
+    case EventType::kLinkDroppedQueueFull:
+    case EventType::kLinkDroppedRandomLoss:
+    case EventType::kLinkDelivered:
+      return Category::kNet;
+  }
+  return Category::kTransport;  // unreachable with valid input
+}
+
+std::string_view to_string(Category category) noexcept {
+  switch (category) {
+    case Category::kTransport: return "transport";
+    case Category::kRecovery: return "recovery";
+    case Category::kHttp: return "http";
+    case Category::kBrowser: return "browser";
+    case Category::kNet: return "net";
+  }
+  return "?";
+}
+
+std::string_view to_string(Endpoint endpoint) noexcept {
+  switch (endpoint) {
+    case Endpoint::kNone: return "none";
+    case Endpoint::kClient: return "client";
+    case Endpoint::kServer: return "server";
+  }
+  return "?";
+}
+
+std::string_view to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kHandshakeStarted: return "handshake_started";
+    case EventType::kHandshakePacketSent: return "handshake_packet_sent";
+    case EventType::kHandshakeRetransmitted: return "handshake_retransmitted";
+    case EventType::kHandshakeCompleted: return "handshake_completed";
+    case EventType::kPacketSent: return "packet_sent";
+    case EventType::kPacketReceived: return "packet_received";
+    case EventType::kAckSent: return "ack_sent";
+    case EventType::kStreamBlocked: return "stream_blocked";
+    case EventType::kStreamUnblocked: return "stream_unblocked";
+    case EventType::kPacketLost: return "packet_lost";
+    case EventType::kPacketRetransmitted: return "packet_retransmitted";
+    case EventType::kRtoFired: return "rto_fired";
+    case EventType::kTlpFired: return "tlp_fired";
+    case EventType::kCongestionEvent: return "congestion_event";
+    case EventType::kSpuriousLoss: return "spurious_loss";
+    case EventType::kMetricsUpdated: return "metrics_updated";
+    case EventType::kRequestSubmitted: return "request_submitted";
+    case EventType::kResponseStarted: return "response_started";
+    case EventType::kResponseComplete: return "response_complete";
+    case EventType::kConnectionOpened: return "connection_opened";
+    case EventType::kObjectRequested: return "object_requested";
+    case EventType::kObjectComplete: return "object_complete";
+    case EventType::kPageFinished: return "page_finished";
+    case EventType::kLinkEnqueued: return "link_enqueued";
+    case EventType::kLinkDroppedQueueFull: return "link_dropped_queue_full";
+    case EventType::kLinkDroppedRandomLoss: return "link_dropped_random_loss";
+    case EventType::kLinkDelivered: return "link_delivered";
+  }
+  return "?";
+}
+
+}  // namespace qperc::trace

@@ -4,12 +4,15 @@
 //   qperc protocols                     list protocol configurations
 //   qperc networks                      list emulated networks
 //   qperc trial    --site S --protocol P --network N [--seed K] [--csv]
+//                  [--trace out.jsonl]
 //   qperc video    --site S --protocol P --network N [--runs R] [--seed K]
 //   qperc study    --kind ab|rating [--group lab|uworker|internet]
 //                  [--runs R] [--sites N] [--seed K]
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +23,8 @@
 #include "stats/stats.hpp"
 #include "study/ab_study.hpp"
 #include "study/rating_study.hpp"
+#include "trace/counters.hpp"
+#include "trace/jsonl_sink.hpp"
 #include "util/table.hpp"
 #include "web/catalog_io.hpp"
 #include "web/website.hpp"
@@ -62,7 +67,7 @@ int usage() {
       << "usage: qperc <command> [flags]\n"
          "  catalog [--export FILE] [--catalog FILE] | protocols | networks\n"
          "  trial --site S --protocol P --network N [--seed K] [--csv]\n"
-         "        [--catalog FILE]\n"
+         "        [--catalog FILE] [--trace out.jsonl]\n"
          "  video --site S --protocol P --network N [--runs R] [--seed K]\n"
          "  study --kind ab|rating [--group lab|uworker|internet] [--runs R]\n"
          "        [--sites N] [--seed K]\n";
@@ -146,7 +151,52 @@ int cmd_trial(const Args& args) {
   }
   const auto& protocol = core::protocol_by_name(args.get("protocol", "QUIC"));
   const auto& profile = network_by_name(args.get("network", "DSL"));
-  const auto result = core::run_trial(*site, protocol, profile, args.get_u64("seed", 7));
+
+  // --trace: stream qlog-style events to a JSON Lines file while also
+  // folding them into the aggregate counters printed after the trial.
+  struct TracingSink final : trace::TraceSink {
+    explicit TracingSink(std::ostream& os) : jsonl(os) {}
+    void on_event(const trace::Event& event) override {
+      jsonl.on_event(event);
+      counters.observe(event);
+    }
+    trace::JsonlSink jsonl;
+    trace::TrialCounters counters;
+  };
+  std::ofstream trace_file;
+  std::unique_ptr<TracingSink> sink;
+  if (args.has("trace")) {
+    const std::string path = args.get("trace", "trace.jsonl");
+    if (path == "true") {  // bare `--trace`: the parser's boolean-flag value
+      std::cerr << "--trace requires an output path, e.g. --trace out.jsonl\n";
+      return 2;
+    }
+    trace_file.open(path);
+    if (!trace_file) {
+      std::cerr << "cannot open trace file '" << path << "'\n";
+      return 2;
+    }
+    sink = std::make_unique<TracingSink>(trace_file);
+  }
+
+  const auto result = core::run_trial(*site, protocol, profile, args.get_u64("seed", 7),
+                                      sink ? sink.get() : nullptr);
+
+  if (sink) {
+    trace_file.flush();
+    const trace::TrialCounters& counters = sink->counters;
+    std::cerr << "trace: wrote " << sink->jsonl.events_written() << " events to "
+              << args.get("trace", "trace.jsonl") << "\n"
+              << "trace: handshakes " << counters.handshakes_completed << "/"
+              << counters.handshakes_started << " (first "
+              << fmt_ms(to_millis(counters.first_handshake_duration)) << ")"
+              << ", packets sent " << counters.packets_sent << ", retransmissions "
+              << counters.retransmissions << ", timeouts " << counters.timeouts
+              << ", spurious losses " << counters.spurious_losses << "\n"
+              << "trace: queue drops " << counters.queue_drops << ", random-loss drops "
+              << counters.random_loss_drops << ", max cwnd " << counters.max_cwnd_bytes
+              << " B, max in-flight " << counters.max_bytes_in_flight << " B\n";
+  }
 
   if (args.has("csv")) {
     std::cout << "site,protocol,network,seed,fvc_ms,si_ms,vc85_ms,lvc_ms,plt_ms,"
