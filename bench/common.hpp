@@ -6,6 +6,7 @@
 //   QPERC_RUNS    trials per condition      (default 31, the paper's floor)
 //   QPERC_SITES   websites used             (default 36, all)
 //   QPERC_SEED    master seed               (default 7)
+//   QPERC_JOBS    campaign worker threads   (default 0 = all hardware threads)
 #pragma once
 
 #include <cstdint>
@@ -17,6 +18,9 @@
 
 #include "core/video.hpp"
 #include "net/profile.hpp"
+#include "runner/campaign.hpp"
+#include "runner/campaign_runner.hpp"
+#include "runner/result_store.hpp"
 #include "study/participant.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +38,9 @@ inline std::uint32_t runs_per_condition() {
 }
 inline std::size_t site_budget() {
   return static_cast<std::size_t>(env_u64("QPERC_SITES", 36));
+}
+inline unsigned campaign_jobs() {
+  return static_cast<unsigned>(env_u64("QPERC_JOBS", 0));  // 0 = all hardware threads
 }
 
 /// The site names used by a bench, truncated to the QPERC_SITES budget
@@ -79,13 +86,18 @@ inline std::string cache_path() {
          std::to_string(runs_per_condition()) + ".cache";
 }
 
-/// A video library backed by the on-disk cache; `precompute_all` fills (and
-/// persists) everything the study benches need so the grid is simulated at
-/// most once per (seed, runs) pair across the whole bench suite.
+/// A video library backed by the campaign runner's durable ResultStore;
+/// `precompute_all` runs everything the study benches need as a resumable
+/// campaign, so the grid is simulated at most once per (seed, runs) pair
+/// across the whole bench suite — and an interrupted bench resumes from the
+/// store's last checkpoint instead of restarting.
 class CachedLibrary {
  public:
-  CachedLibrary() : library_(master_seed(), runs_per_condition()) {
-    loaded_ = library_.load_cache(cache_path());
+  CachedLibrary()
+      : library_(master_seed(), runs_per_condition()),
+        store_(cache_path(), master_seed(), runs_per_condition()) {
+    loaded_ = store_.load();
+    runner::adopt_results(store_, library_);
   }
 
   core::VideoLibrary& get() { return library_; }
@@ -93,9 +105,20 @@ class CachedLibrary {
   void precompute(const std::vector<std::string>& sites,
                   const std::vector<std::string>& protocols,
                   const std::vector<net::NetworkKind>& networks) {
-    const std::size_t before = library_.cached_conditions();
-    library_.precompute(sites, protocols, networks);
-    if (library_.cached_conditions() != before) library_.save_cache(cache_path());
+    runner::CampaignSpec spec;
+    spec.sites = sites;
+    spec.protocols = protocols;
+    spec.networks = networks;
+    spec.runs = runs_per_condition();
+    spec.seed = master_seed();
+    runner::CampaignOptions options;
+    options.jobs = campaign_jobs();
+    const auto report = runner::run_campaign(spec, store_, options);
+    for (const auto& failure : report.failures) {
+      std::cerr << "precompute failed: " << failure.task.site << "/"
+                << failure.task.protocol << ": " << failure.message << "\n";
+    }
+    runner::adopt_results(store_, library_);
   }
 
   void precompute_all() {
@@ -106,6 +129,7 @@ class CachedLibrary {
 
  private:
   core::VideoLibrary library_;
+  runner::ResultStore store_;
   bool loaded_ = false;
 };
 

@@ -1,21 +1,30 @@
 #include "core/video.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
+#include "runner/executor.hpp"
 #include "util/rng.hpp"
 
 namespace qperc::core {
 
+std::uint64_t condition_base_seed(std::uint64_t catalog_seed, std::string_view site,
+                                  std::string_view protocol, net::NetworkKind network) {
+  const Rng seeder(catalog_seed);
+  return seeder.fork(site)
+      .fork(protocol)
+      .fork(static_cast<std::uint64_t>(network))
+      .next_u64();
+}
+
 Video produce_video(const web::Website& site, const ProtocolConfig& protocol,
                     const net::NetworkProfile& profile, std::uint32_t runs,
-                    std::uint64_t base_seed) {
+                    std::uint64_t base_seed, trace::TraceSink* trace) {
   Video video;
   video.site = site.name;
   video.protocol = protocol.name;
@@ -27,7 +36,7 @@ Video produce_video(const web::Website& site, const ProtocolConfig& protocol,
   results.reserve(runs);
   for (std::uint32_t run = 0; run < runs; ++run) {
     Rng run_rng = seeder.fork(run + 1);
-    results.push_back(run_trial(site, protocol, profile, run_rng.next_u64()));
+    results.push_back(run_trial(site, protocol, profile, run_rng.next_u64(), trace));
   }
 
   // Per-condition means of every metric.
@@ -84,14 +93,15 @@ const Video& VideoLibrary::get(const std::string& site_name,
   const web::Website& site = site_by_name(site_name);
   const ProtocolConfig& protocol = protocol_by_name(protocol_name);
   const net::NetworkProfile& profile = net::profile_for(network);
-  const Rng seeder(catalog_seed_);
   const std::uint64_t base_seed =
-      seeder.fork(site_name)
-          .fork(protocol_name)
-          .fork(static_cast<std::uint64_t>(network))
-          .next_u64();
+      condition_base_seed(catalog_seed_, site_name, protocol_name, network);
   return cache_.emplace(key, produce_video(site, protocol, profile, runs_, base_seed))
       .first->second;
+}
+
+bool VideoLibrary::insert(Video video) {
+  const Key key{video.site, video.protocol, static_cast<int>(video.network)};
+  return cache_.emplace(key, std::move(video)).second;
 }
 
 void VideoLibrary::precompute(const std::vector<std::string>& sites,
@@ -113,40 +123,41 @@ void VideoLibrary::precompute(const std::vector<std::string>& sites,
   }
   if (tasks.empty()) return;
 
-  const unsigned workers =
-      std::max(1u, std::min<unsigned>(std::thread::hardware_concurrency(),
-                                      static_cast<unsigned>(tasks.size())));
+  // Each task writes into its own index-keyed slot, so the cache contents
+  // are independent of the worker count; seeds come from the condition
+  // identity alone.
   std::vector<Video> videos(tasks.size());
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t index = next.fetch_add(1);
-        if (index >= tasks.size()) return;
-        const Task& task = tasks[index];
-        const web::Website& site = site_by_name(task.site);
-        const ProtocolConfig& protocol = protocol_by_name(task.protocol);
-        const net::NetworkProfile& profile = net::profile_for(task.network);
-        const Rng seeder(catalog_seed_);
-        const std::uint64_t base_seed =
-            seeder.fork(task.site)
-                .fork(task.protocol)
-                .fork(static_cast<std::uint64_t>(task.network))
-                .next_u64();
-        videos[index] = produce_video(site, protocol, profile, runs_, base_seed);
-      }
-    });
-  }
-  for (auto& thread : pool) thread.join();
+  const runner::Executor executor;
+  const auto failures = executor.run(tasks.size(), [&](std::size_t index) {
+    const Task& task = tasks[index];
+    const web::Website& site = site_by_name(task.site);
+    const ProtocolConfig& protocol = protocol_by_name(task.protocol);
+    const net::NetworkProfile& profile = net::profile_for(task.network);
+    const std::uint64_t base_seed =
+        condition_base_seed(catalog_seed_, task.site, task.protocol, task.network);
+    videos[index] = produce_video(site, protocol, profile, runs_, base_seed);
+  });
+
+  // Cache every completed condition before surfacing any failure, so a bad
+  // condition does not discard the finished work of the others.
+  std::size_t next_failure = 0;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (next_failure < failures.size() && failures[next_failure].index == i) {
+      ++next_failure;
+      continue;
+    }
     const Key key{tasks[i].site, tasks[i].protocol, static_cast<int>(tasks[i].network)};
     cache_.emplace(key, std::move(videos[i]));
   }
+  if (!failures.empty()) std::rethrow_exception(failures.front().error);
 }
 
 namespace {
+
+constexpr const char* kCacheMagic = "qperc-video-cache-v1";
+/// Sanity cap when parsing: no recorded VC curve comes close to this many
+/// samples, so a larger count only ever means a corrupt file.
+constexpr std::size_t kMaxCurvePoints = 1'000'000;
 
 void write_metrics(std::ostream& os, const browser::PageMetrics& metrics) {
   os << metrics.first_visual_change.count() << ' ' << metrics.speed_index.count() << ' '
@@ -173,6 +184,41 @@ browser::PageMetrics read_metrics(std::istream& is) {
 
 }  // namespace
 
+void write_video_record(std::ostream& os, const Video& video) {
+  os.precision(17);
+  os << video.site << ' ' << video.protocol << ' ' << static_cast<int>(video.network)
+     << ' ' << video.runs << ' ' << video.mean_retransmissions << ' ';
+  write_metrics(os, video.metrics);
+  os << ' ';
+  write_metrics(os, video.mean_metrics);
+  os << ' ' << video.vc_curve.size();
+  for (const auto& sample : video.vc_curve) {
+    os << ' ' << sample.time.count() << ' ' << sample.completeness;
+  }
+}
+
+bool read_video_record(std::istream& is, Video& video) {
+  int network = 0;
+  std::size_t curve_points = 0;
+  is >> video.site >> video.protocol >> network >> video.runs >>
+      video.mean_retransmissions;
+  if (!is || network < 0 || network > static_cast<int>(net::NetworkKind::kMss)) {
+    return false;
+  }
+  video.network = static_cast<net::NetworkKind>(network);
+  video.metrics = read_metrics(is);
+  video.mean_metrics = read_metrics(is);
+  is >> curve_points;
+  if (!is || curve_points > kMaxCurvePoints) return false;
+  video.vc_curve.resize(curve_points);
+  for (auto& sample : video.vc_curve) {
+    std::int64_t time = 0;
+    is >> time >> sample.completeness;
+    sample.time = SimTime{time};
+  }
+  return static_cast<bool>(is);
+}
+
 bool VideoLibrary::load_cache(const std::string& path) {
   std::ifstream in(path);
   if (!in) return false;
@@ -181,50 +227,43 @@ bool VideoLibrary::load_cache(const std::string& path) {
   std::uint32_t runs = 0;
   std::size_t count = 0;
   in >> magic >> seed >> runs >> count;
-  if (magic != "qperc-video-cache-v1" || seed != catalog_seed_ || runs != runs_) {
+  if (!in || magic != kCacheMagic || seed != catalog_seed_ || runs != runs_) {
     return false;
   }
+  // Parse into a staging map first: a truncated or corrupt file must not
+  // leave partially-loaded entries in the live cache, which precompute
+  // would then treat as valid and never recompute.
+  std::map<Key, Video> staged;
   for (std::size_t i = 0; i < count; ++i) {
     Video video;
-    int network = 0;
-    std::size_t curve_points = 0;
-    in >> video.site >> video.protocol >> network >> video.runs >>
-        video.mean_retransmissions;
-    video.network = static_cast<net::NetworkKind>(network);
-    video.metrics = read_metrics(in);
-    video.mean_metrics = read_metrics(in);
-    in >> curve_points;
-    video.vc_curve.resize(curve_points);
-    for (auto& sample : video.vc_curve) {
-      std::int64_t time = 0;
-      in >> time >> sample.completeness;
-      sample.time = SimTime{time};
-    }
-    if (!in) return false;
-    const Key key{video.site, video.protocol, network};
-    cache_.insert_or_assign(key, std::move(video));
+    if (!read_video_record(in, video)) return false;
+    const Key key{video.site, video.protocol, static_cast<int>(video.network)};
+    staged.insert_or_assign(key, std::move(video));
   }
+  for (auto& [key, video] : staged) cache_.insert_or_assign(key, std::move(video));
   return true;
 }
 
 void VideoLibrary::save_cache(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return;
-  out << "qperc-video-cache-v1 " << catalog_seed_ << ' ' << runs_ << ' ' << cache_.size()
-      << '\n';
-  out.precision(17);
-  for (const auto& [key, video] : cache_) {
-    out << video.site << ' ' << video.protocol << ' ' << static_cast<int>(video.network)
-        << ' ' << video.runs << ' ' << video.mean_retransmissions << ' ';
-    write_metrics(out, video.metrics);
-    out << ' ';
-    write_metrics(out, video.mean_metrics);
-    out << ' ' << video.vc_curve.size();
-    for (const auto& sample : video.vc_curve) {
-      out << ' ' << sample.time.count() << ' ' << sample.completeness;
+  // Write to a sibling temp file and rename into place: an interrupted run
+  // can never leave a half-written cache that poisons later runs.
+  const std::string temp_path = path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::trunc);
+    if (!out) return;
+    out << kCacheMagic << ' ' << catalog_seed_ << ' ' << runs_ << ' ' << cache_.size()
+        << '\n';
+    for (const auto& [key, video] : cache_) {
+      write_video_record(out, video);
+      out << '\n';
     }
-    out << '\n';
+    out.flush();
+    if (!out) {
+      std::remove(temp_path.c_str());
+      return;
+    }
   }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) std::remove(temp_path.c_str());
 }
 
 }  // namespace qperc::core

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -32,10 +34,31 @@ struct Video {
   std::uint32_t runs = 0;
 };
 
+/// The per-condition trial seed: a pure function of the master seed and the
+/// condition's identity — never of thread, shard, or completion order. Every
+/// execution path (VideoLibrary::get, precompute, the campaign runner) uses
+/// this one derivation, which is what makes their results bit-identical.
+[[nodiscard]] std::uint64_t condition_base_seed(std::uint64_t catalog_seed,
+                                                std::string_view site,
+                                                std::string_view protocol,
+                                                net::NetworkKind network);
+
 /// Records `runs` trials and picks the typical one (closest-to-mean PLT).
+/// An optional trace sink observes every trial's event stream (aggregate
+/// counters, debugging); tracing never alters scheduling or RNG draws, so
+/// the returned Video is bit-identical with or without it.
 [[nodiscard]] Video produce_video(const web::Website& site, const ProtocolConfig& protocol,
                                   const net::NetworkProfile& profile, std::uint32_t runs,
-                                  std::uint64_t base_seed);
+                                  std::uint64_t base_seed,
+                                  trace::TraceSink* trace = nullptr);
+
+/// Serializes one Video as a single whitespace-separated line (no trailing
+/// newline) — the record format shared by the VideoLibrary cache and the
+/// campaign runner's ResultStore.
+void write_video_record(std::ostream& os, const Video& video);
+/// Parses one Video written by write_video_record. Returns false (contents
+/// of `video` unspecified) when the stream ends early or a field is invalid.
+[[nodiscard]] bool read_video_record(std::istream& is, Video& video);
 
 /// Lazily computes and caches videos for the whole study grid; the cache is
 /// what both user studies draw their stimuli from.
@@ -45,13 +68,22 @@ class VideoLibrary {
   VideoLibrary(std::uint64_t catalog_seed, std::uint32_t runs);
 
   [[nodiscard]] const std::vector<web::Website>& catalog() const { return catalog_; }
+  [[nodiscard]] std::uint64_t catalog_seed() const noexcept { return catalog_seed_; }
   [[nodiscard]] std::uint32_t runs() const noexcept { return runs_; }
 
   /// Fetches (computing on first use) the video for a condition.
   const Video& get(const std::string& site_name, const std::string& protocol_name,
                    net::NetworkKind network);
 
-  /// Precomputes a set of conditions in parallel across hardware threads.
+  /// Adopts an externally produced video (e.g. from a runner::ResultStore).
+  /// Returns false and keeps the existing entry when the condition is
+  /// already cached.
+  bool insert(Video video);
+
+  /// Precomputes a set of conditions in parallel (runner::Executor, one
+  /// worker per hardware thread). Results are identical to sequential
+  /// get() calls. If a condition fails, the remaining conditions still
+  /// complete and are cached; the first failure is then rethrown.
   void precompute(const std::vector<std::string>& sites,
                   const std::vector<std::string>& protocols,
                   const std::vector<net::NetworkKind>& networks);
@@ -59,10 +91,13 @@ class VideoLibrary {
   [[nodiscard]] const web::Website& site_by_name(const std::string& name) const;
 
   /// Loads previously saved videos; returns false (and leaves the cache
-  /// untouched) when the file is missing or was produced with a different
-  /// (seed, runs) pair.
+  /// untouched — a truncated or corrupt file never contributes partial
+  /// entries) when the file is missing, malformed, or was produced with a
+  /// different (seed, runs) pair.
   bool load_cache(const std::string& path);
-  /// Persists every cached video for reuse by later runs.
+  /// Persists every cached video for reuse by later runs. The write is
+  /// atomic (temp file + rename), so an interrupted run cannot leave a
+  /// corrupt cache behind.
   void save_cache(const std::string& path) const;
   [[nodiscard]] std::size_t cached_conditions() const { return cache_.size(); }
 

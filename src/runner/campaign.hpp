@@ -1,0 +1,61 @@
+// CampaignSpec: a declarative description of the paper's experiment grid
+// (§3's sites × protocols × networks × ≥31 runs) plus the execution knobs
+// that do NOT affect results — sharding for multi-process fan-out.
+//
+// Determinism contract: the grid enumeration order is fixed (site-major,
+// then protocol, then network) and every task carries a base seed derived
+// from the task's identity alone (core::condition_base_seed — the same
+// derivation VideoLibrary::get uses), never from thread or shard identity.
+// Two campaigns over the same spec therefore produce bit-identical results
+// for every task, regardless of --jobs, --shard, interruption, or resume.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/profile.hpp"
+
+namespace qperc::runner {
+
+/// One cell of the grid: a (site, protocol, network) condition to be
+/// simulated `runs` times from `base_seed`.
+struct CampaignTask {
+  /// Position in the full (unsharded) grid; stable across shards.
+  std::size_t grid_index = 0;
+  std::string site;
+  std::string protocol;
+  net::NetworkKind network = net::NetworkKind::kDsl;
+  /// Derived from (seed, site, protocol, network) only.
+  std::uint64_t base_seed = 0;
+};
+
+struct CampaignSpec {
+  std::vector<std::string> sites;
+  std::vector<std::string> protocols;
+  std::vector<net::NetworkKind> networks;
+  /// Trials per condition (the paper records at least 31).
+  std::uint32_t runs = 31;
+  /// Master seed: keys the site catalog and every task's base seed.
+  std::uint64_t seed = 7;
+  /// `--shard i/n`: this process executes grid cells with
+  /// grid_index % shard_count == shard_index. Results stay bit-identical
+  /// per cell; shard stores can be merged afterwards.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+
+  /// Cells in the full grid across all shards.
+  [[nodiscard]] std::size_t grid_size() const {
+    return sites.size() * protocols.size() * networks.size();
+  }
+
+  /// Throws std::invalid_argument on an empty grid dimension, runs == 0,
+  /// or an out-of-range shard.
+  void validate() const;
+
+  /// Enumerates this shard's tasks in deterministic grid order.
+  [[nodiscard]] std::vector<CampaignTask> tasks() const;
+};
+
+}  // namespace qperc::runner

@@ -94,6 +94,41 @@ void TrialCounters::observe(const Event& event) {
   }
 }
 
+void TrialCounters::merge(const TrialCounters& other) {
+  handshakes_started += other.handshakes_started;
+  handshakes_completed += other.handshakes_completed;
+  handshake_packets += other.handshake_packets;
+  handshake_retransmissions += other.handshake_retransmissions;
+  if (other.first_handshake_duration.count() != 0 &&
+      (first_handshake_duration.count() == 0 ||
+       other.first_handshake_duration < first_handshake_duration)) {
+    first_handshake_duration = other.first_handshake_duration;
+  }
+  packets_sent += other.packets_sent;
+  packets_received += other.packets_received;
+  acks_sent += other.acks_sent;
+  retransmissions += other.retransmissions;
+  packets_lost += other.packets_lost;
+  timeouts += other.timeouts;
+  tail_probes += other.tail_probes;
+  congestion_events += other.congestion_events;
+  spurious_losses += other.spurious_losses;
+  spurious_rtos += other.spurious_rtos;
+  cwnd_samples += other.cwnd_samples;
+  max_cwnd_bytes = std::max(max_cwnd_bytes, other.max_cwnd_bytes);
+  last_cwnd_bytes = std::max(last_cwnd_bytes, other.last_cwnd_bytes);
+  max_bytes_in_flight = std::max(max_bytes_in_flight, other.max_bytes_in_flight);
+  sum_bytes_in_flight += other.sum_bytes_in_flight;
+  stream_blocked_time += other.stream_blocked_time;
+  queue_drops += other.queue_drops;
+  random_loss_drops += other.random_loss_drops;
+  link_deliveries += other.link_deliveries;
+  requests_submitted += other.requests_submitted;
+  responses_completed += other.responses_completed;
+  connections_opened += other.connections_opened;
+  objects_completed += other.objects_completed;
+}
+
 TrialCounters compute_counters(std::span<const Event> events) {
   TrialCounters counters;
   for (const Event& event : events) counters.observe(event);

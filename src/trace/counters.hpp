@@ -57,6 +57,14 @@ struct TrialCounters {
   /// Folds one event into the aggregates.
   void observe(const Event& event);
 
+  /// Folds another counter set into this one (campaign-wide aggregation
+  /// across trials). Counts and sums add, max_* fields take the maximum,
+  /// and first_handshake_duration keeps the minimum non-zero value — all
+  /// order-independent, so a merged total does not depend on task
+  /// completion order. last_cwnd_bytes has no cross-trial meaning and
+  /// keeps the larger value.
+  void merge(const TrialCounters& other);
+
   [[nodiscard]] double mean_bytes_in_flight() const {
     return cwnd_samples == 0
                ? 0.0

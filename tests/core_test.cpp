@@ -3,6 +3,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/protocol.hpp"
 #include "core/video.hpp"
@@ -153,6 +156,82 @@ TEST(VideoLibrary, CacheRejectsMismatchedParameters) {
   VideoLibrary missing(7, 2);
   EXPECT_FALSE(missing.load_cache("/tmp/does_not_exist.qperc"));
   std::remove(path.c_str());
+}
+
+TEST(VideoLibrary, CorruptOrTruncatedCacheLeavesLibraryUntouched) {
+  const std::string path = "/tmp/qperc_test_cache_corrupt.cache";
+  VideoLibrary writer(7, 2);
+  (void)writer.get("gov.uk", "QUIC", net::NetworkKind::kDsl);
+  (void)writer.get("gov.uk", "TCP", net::NetworkKind::kLte);
+  writer.save_cache(path);
+
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    good = buffer.str();
+  }
+  ASSERT_FALSE(good.empty());
+
+  // Truncate mid-record: load_cache must fail WITHOUT leaving the partial
+  // prefix in the cache (the old implementation kept whatever parsed).
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << good.substr(0, good.size() / 2);
+  }
+  VideoLibrary truncated_reader(7, 2);
+  (void)truncated_reader.get("wikipedia.org", "QUIC", net::NetworkKind::kDsl);
+  EXPECT_FALSE(truncated_reader.load_cache(path));
+  EXPECT_EQ(truncated_reader.cached_conditions(), 1u);  // only the precomputed one
+
+  // Corrupt a numeric field in the first record (the v1 format has no
+  // checksum, so only in-band parse failures are detectable).
+  std::string corrupt = good;
+  const auto payload = corrupt.find('\n') + 1;
+  const auto digit = corrupt.find_first_of("0123456789", payload);
+  ASSERT_NE(digit, std::string::npos);
+  corrupt[digit] = 'x';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+  VideoLibrary corrupt_reader(7, 2);
+  EXPECT_FALSE(corrupt_reader.load_cache(path));
+  EXPECT_EQ(corrupt_reader.cached_conditions(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(VideoLibrary, SaveCacheIsAtomic) {
+  const std::string path = "/tmp/qperc_test_cache_atomic.cache";
+  VideoLibrary writer(7, 2);
+  (void)writer.get("gov.uk", "QUIC", net::NetworkKind::kDsl);
+  writer.save_cache(path);
+  // The temp file used for the atomic rename never survives.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  VideoLibrary reader(7, 2);
+  EXPECT_TRUE(reader.load_cache(path));
+  std::remove(path.c_str());
+}
+
+TEST(VideoLibrary, PrecomputeReportsFailureAfterCachingTheRest) {
+  VideoLibrary library(7, 2);
+  // The old thread loop called std::terminate on a throwing condition;
+  // now the good conditions are cached and the failure surfaces as an
+  // exception after the batch completes.
+  EXPECT_THROW(library.precompute({"gov.uk", "not-a-site.test"}, {"QUIC"},
+                                  {net::NetworkKind::kDsl}),
+               std::invalid_argument);
+  EXPECT_EQ(library.cached_conditions(), 1u);
+  EXPECT_EQ(library.get("gov.uk", "QUIC", net::NetworkKind::kDsl).site, "gov.uk");
+}
+
+TEST(Video, ConditionBaseSeedIsStableAndDistinct) {
+  const auto seed = condition_base_seed(7, "gov.uk", "QUIC", net::NetworkKind::kDsl);
+  EXPECT_EQ(seed, condition_base_seed(7, "gov.uk", "QUIC", net::NetworkKind::kDsl));
+  EXPECT_NE(seed, condition_base_seed(8, "gov.uk", "QUIC", net::NetworkKind::kDsl));
+  EXPECT_NE(seed, condition_base_seed(7, "gov.uk", "TCP", net::NetworkKind::kDsl));
+  EXPECT_NE(seed, condition_base_seed(7, "gov.uk", "QUIC", net::NetworkKind::kLte));
 }
 
 TEST(Http1Baseline, LoadsAndIsSlowerThanQuic) {

@@ -8,8 +8,13 @@
 //   qperc video    --site S --protocol P --network N [--runs R] [--seed K]
 //   qperc study    --kind ab|rating [--group lab|uworker|internet]
 //                  [--runs R] [--sites N] [--seed K]
+//   qperc campaign run|status|export    the full experiment grid as a
+//                  durable, resumable, parallel campaign (src/runner)
+#include <charconv>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -20,6 +25,9 @@
 #include "core/trial.hpp"
 #include "core/video.hpp"
 #include "net/profile.hpp"
+#include "runner/campaign.hpp"
+#include "runner/campaign_runner.hpp"
+#include "runner/result_store.hpp"
 #include "stats/stats.hpp"
 #include "study/ab_study.hpp"
 #include "study/rating_study.hpp"
@@ -32,14 +40,28 @@
 namespace qperc::cli {
 namespace {
 
-/// Minimal --flag value parser; flags may appear in any order.
+/// --flag value parser; flags may appear in any order. Each command hands
+/// over its accepted flag names: an unknown flag, a stray positional
+/// argument, or (via get_u64) a non-numeric value is a hard error instead
+/// of being silently ignored or parsed as 0.
 class Args {
  public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
+  Args(int argc, char** argv, int first, std::string command,
+       std::initializer_list<std::string_view> allowed)
+      : command_(std::move(command)) {
+    for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) continue;
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected argument '" + key + "' for 'qperc " +
+                                    command_ + "'");
+      }
       key = key.substr(2);
+      bool known = false;
+      for (const auto candidate : allowed) known = known || candidate == key;
+      if (!known) {
+        throw std::invalid_argument("unknown flag --" + key + " for 'qperc " + command_ +
+                                    "' (see `qperc` usage)");
+      }
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
@@ -54,11 +76,20 @@ class Args {
   }
   [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    std::uint64_t value = 0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      throw std::invalid_argument("--" + key + " expects a non-negative integer, got '" +
+                                  text + "'");
+    }
+    return value;
   }
   [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
 
  private:
+  std::string command_;
   std::map<std::string, std::string> values_;
 };
 
@@ -70,7 +101,14 @@ int usage() {
          "        [--catalog FILE] [--trace out.jsonl]\n"
          "  video --site S --protocol P --network N [--runs R] [--seed K]\n"
          "  study --kind ab|rating [--group lab|uworker|internet] [--runs R]\n"
-         "        [--sites N] [--seed K]\n";
+         "        [--sites N] [--seed K]\n"
+         "  campaign run    [--jobs J] [--shard I/N] [--resume] [--out DIR]\n"
+         "                  [--sites N] [--runs R] [--seed K] [--protocols A,B]\n"
+         "                  [--networks A,B] [--checkpoint-every N] [--max-tasks N]\n"
+         "                  [--retries N] [--no-counters] [--quiet]\n"
+         "  campaign status [--out DIR] [--sites N] [--runs R] [--seed K]\n"
+         "                  [--protocols A,B] [--networks A,B]\n"
+         "  campaign export [--out DIR] [--runs R] [--seed K]\n";
   return 2;
 }
 
@@ -301,6 +339,250 @@ int cmd_study(const Args& args) {
   return 0;
 }
 
+// --- qperc campaign ---------------------------------------------------------
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(std::move(current));
+  return parts;
+}
+
+/// Builds the grid spec shared by campaign run/status/export: the default
+/// is the full paper grid (all sites x 5 protocols x 4 networks).
+runner::CampaignSpec spec_from_args(const Args& args) {
+  runner::CampaignSpec spec;
+  spec.seed = args.get_u64("seed", 7);
+  spec.runs = static_cast<std::uint32_t>(args.get_u64("runs", 31));
+
+  const std::size_t site_budget = args.get_u64("sites", 36);
+  for (const auto& site : web::study_catalog(spec.seed)) {
+    if (spec.sites.size() >= site_budget) break;
+    spec.sites.push_back(site.name);
+  }
+
+  if (args.has("protocols")) {
+    for (const auto& name : split_csv(args.get("protocols", ""))) {
+      spec.protocols.push_back(core::protocol_by_name(name).name);  // validates
+    }
+  } else {
+    for (const auto& protocol : core::paper_protocols()) {
+      spec.protocols.push_back(protocol.name);
+    }
+  }
+
+  if (args.has("networks")) {
+    for (const auto& name : split_csv(args.get("networks", ""))) {
+      spec.networks.push_back(network_by_name(name).kind);
+    }
+  } else {
+    for (const auto& profile : net::all_profiles()) spec.networks.push_back(profile.kind);
+  }
+
+  if (args.has("shard")) {
+    const std::string shard = args.get("shard", "0/1");
+    const auto slash = shard.find('/');
+    bool ok = slash != std::string::npos;
+    if (ok) {
+      try {
+        spec.shard_index = static_cast<unsigned>(std::stoul(shard.substr(0, slash)));
+        spec.shard_count = static_cast<unsigned>(std::stoul(shard.substr(slash + 1)));
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      throw std::invalid_argument("--shard expects I/N (e.g. --shard 0/4), got '" +
+                                  shard + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string store_file_name(const runner::CampaignSpec& spec) {
+  std::string name =
+      "campaign_seed" + std::to_string(spec.seed) + "_runs" + std::to_string(spec.runs);
+  if (spec.shard_count > 1) {
+    name += "_shard" + std::to_string(spec.shard_index) + "of" +
+            std::to_string(spec.shard_count);
+  }
+  return name + ".qcr";
+}
+
+/// All checkpoint files in `out_dir` for this (seed, runs) pair — the
+/// unsharded store plus any shard stores, so status/export see the merged
+/// progress of a multi-process fan-out.
+std::vector<std::string> store_files(const std::string& out_dir,
+                                     const runner::CampaignSpec& spec) {
+  const std::string prefix =
+      "campaign_seed" + std::to_string(spec.seed) + "_runs" + std::to_string(spec.runs);
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(out_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && name.ends_with(".qcr")) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::map<runner::ResultStore::Key, core::Video> merged_results(
+    const std::string& out_dir, const runner::CampaignSpec& spec) {
+  std::map<runner::ResultStore::Key, core::Video> merged;
+  for (const auto& file : store_files(out_dir, spec)) {
+    runner::ResultStore store(file, spec.seed, spec.runs);
+    if (!store.load()) {
+      std::cerr << "campaign: skipping unreadable or mismatched checkpoint " << file
+                << "\n";
+      continue;
+    }
+    store.for_each([&](const core::Video& video) {
+      merged.insert_or_assign(
+          runner::ResultStore::Key{video.site, video.protocol,
+                                   static_cast<int>(video.network)},
+          video);
+    });
+  }
+  return merged;
+}
+
+int cmd_campaign_run(const Args& args) {
+  const auto spec = spec_from_args(args);
+  const std::string out_dir = args.get("out", "out/campaign");
+  std::filesystem::create_directories(out_dir);
+
+  runner::ResultStore store(out_dir + "/" + store_file_name(spec), spec.seed, spec.runs,
+                            args.get_u64("checkpoint-every", 25));
+  if (args.has("resume")) {
+    if (store.load()) {
+      std::cerr << "campaign: resuming — " << store.size()
+                << " conditions already checkpointed in " << store.path() << "\n";
+    } else {
+      std::cerr << "campaign: no usable checkpoint at " << store.path()
+                << ", starting fresh\n";
+    }
+  }
+
+  runner::CampaignOptions options;
+  options.jobs = static_cast<unsigned>(args.get_u64("jobs", 0));
+  options.max_attempts = static_cast<unsigned>(args.get_u64("retries", 1)) + 1;
+  options.max_tasks = args.get_u64("max-tasks", 0);
+  options.collect_counters = !args.has("no-counters");
+  if (!args.has("quiet")) {
+    options.on_progress = [](const runner::CampaignProgress& progress) {
+      std::cerr << "\rcampaign: " << progress.completed << "/" << progress.pending
+                << " conditions (" << progress.skipped << " resumed), "
+                << fmt_fixed(progress.tasks_per_second, 2) << "/s, ETA "
+                << fmt_fixed(progress.eta_seconds, 0) << " s, packets "
+                << progress.counters.packets_sent << ", retx "
+                << progress.counters.retransmissions << "   " << std::flush;
+    };
+  }
+
+  const auto report = runner::run_campaign(spec, store, options);
+  if (options.on_progress) std::cerr << "\n";
+
+  std::cerr << "campaign: " << report.total << " conditions in shard (grid "
+            << spec.grid_size() << "), " << report.skipped << " resumed, "
+            << report.executed << " executed, " << report.failures.size() << " failed in "
+            << fmt_fixed(report.elapsed_seconds, 1) << " s\n";
+  if (options.collect_counters) {
+    std::cerr << "campaign: totals — packets sent " << report.counters.packets_sent
+              << ", retransmissions " << report.counters.retransmissions << ", timeouts "
+              << report.counters.timeouts << ", handshakes "
+              << report.counters.handshakes_completed << ", queue drops "
+              << report.counters.queue_drops << "\n";
+  }
+  for (const auto& failure : report.failures) {
+    std::cerr << "campaign: FAILED " << failure.task.site << "/" << failure.task.protocol
+              << "/" << net::to_string(failure.task.network) << " after "
+              << failure.attempts << " attempt(s): " << failure.message << "\n";
+  }
+  std::cerr << "campaign: results in " << store.path() << "\n";
+  return report.failures.empty() ? 0 : 1;
+}
+
+int cmd_campaign_status(const Args& args) {
+  const auto spec = spec_from_args(args);
+  const std::string out_dir = args.get("out", "out/campaign");
+  const auto files = store_files(out_dir, spec);
+  const auto merged = merged_results(out_dir, spec);
+
+  std::cout << "campaign store: " << out_dir << " (" << files.size()
+            << " checkpoint file(s), seed " << spec.seed << ", runs " << spec.runs
+            << ")\n";
+  std::cout << "completed: " << merged.size() << " / " << spec.grid_size()
+            << " conditions\n";
+
+  TextTable table({"Network", "completed", "of"});
+  for (const auto kind : spec.networks) {
+    std::size_t done = 0;
+    for (const auto& [key, video] : merged) {
+      if (std::get<2>(key) == static_cast<int>(kind)) ++done;
+    }
+    table.add_row({std::string(net::to_string(kind)), std::to_string(done),
+                   std::to_string(spec.sites.size() * spec.protocols.size())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_campaign_export(const Args& args) {
+  const auto spec = spec_from_args(args);
+  const auto merged = merged_results(args.get("out", "out/campaign"), spec);
+
+  std::cout << "site,protocol,network,runs,fvc_ms,si_ms,vc85_ms,lvc_ms,plt_ms,"
+               "mean_fvc_ms,mean_si_ms,mean_vc85_ms,mean_lvc_ms,mean_plt_ms,"
+               "mean_retransmissions,vc_points\n";
+  std::cout.precision(17);
+  for (const auto& [key, video] : merged) {
+    std::cout << video.site << ',' << video.protocol << ','
+              << net::to_string(video.network) << ',' << video.runs << ','
+              << video.metrics.fvc_ms() << ',' << video.metrics.si_ms() << ','
+              << video.metrics.vc85_ms() << ',' << video.metrics.lvc_ms() << ','
+              << video.metrics.plt_ms() << ',' << video.mean_metrics.fvc_ms() << ','
+              << video.mean_metrics.si_ms() << ',' << video.mean_metrics.vc85_ms() << ','
+              << video.mean_metrics.lvc_ms() << ',' << video.mean_metrics.plt_ms() << ','
+              << video.mean_retransmissions << ',' << video.vc_curve.size() << '\n';
+  }
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  if (sub == "run") {
+    return cmd_campaign_run(Args(argc, argv, 3, "campaign run",
+                                 {"jobs", "shard", "resume", "out", "sites", "runs",
+                                  "seed", "protocols", "networks", "checkpoint-every",
+                                  "max-tasks", "retries", "no-counters", "quiet"}));
+  }
+  if (sub == "status") {
+    return cmd_campaign_status(Args(argc, argv, 3, "campaign status",
+                                    {"out", "sites", "runs", "seed", "protocols",
+                                     "networks", "shard"}));
+  }
+  if (sub == "export") {
+    return cmd_campaign_export(Args(argc, argv, 3, "campaign export",
+                                    {"out", "sites", "runs", "seed", "protocols",
+                                     "networks", "shard"}));
+  }
+  std::cerr << "unknown campaign subcommand '" << sub << "' (run|status|export)\n";
+  return usage();
+}
+
 }  // namespace
 }  // namespace qperc::cli
 
@@ -308,17 +590,35 @@ int main(int argc, char** argv) {
   using namespace qperc::cli;
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args(argc, argv);
   try {
-    if (command == "catalog") return cmd_catalog(args);
-    if (command == "protocols") return cmd_protocols();
-    if (command == "networks") return cmd_networks();
-    if (command == "trial") return cmd_trial(args);
-    if (command == "video") return cmd_video(args);
-    if (command == "study") return cmd_study(args);
+    if (command == "catalog") {
+      return cmd_catalog(Args(argc, argv, 2, "catalog", {"export", "catalog", "seed"}));
+    }
+    if (command == "protocols") {
+      static_cast<void>(Args(argc, argv, 2, "protocols", {}));
+      return cmd_protocols();
+    }
+    if (command == "networks") {
+      static_cast<void>(Args(argc, argv, 2, "networks", {}));
+      return cmd_networks();
+    }
+    if (command == "trial") {
+      return cmd_trial(Args(argc, argv, 2, "trial",
+                            {"site", "protocol", "network", "seed", "csv", "catalog",
+                             "trace"}));
+    }
+    if (command == "video") {
+      return cmd_video(
+          Args(argc, argv, 2, "video", {"site", "protocol", "network", "runs", "seed"}));
+    }
+    if (command == "study") {
+      return cmd_study(
+          Args(argc, argv, 2, "study", {"kind", "group", "runs", "sites", "seed"}));
+    }
+    if (command == "campaign") return cmd_campaign(argc, argv);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
-    return 1;
+    return 2;  // all bad input exits 2, same as usage()
   }
   return usage();
 }
