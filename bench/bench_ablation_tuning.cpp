@@ -18,7 +18,7 @@ double mean_si(const web::Website& site, const core::ProtocolConfig& protocol,
                const net::NetworkProfile& profile, std::uint32_t runs) {
   double sum = 0.0;
   for (std::uint32_t seed = 1; seed <= runs; ++seed) {
-    sum += core::run_trial(site, protocol, profile, seed * 7919).metrics.si_ms();
+    sum += core::run_trial(core::TrialSpec(site, protocol, profile, seed * 7919)).metrics.si_ms();
   }
   return sum / runs;
 }
@@ -107,7 +107,8 @@ int main() {
   const auto mean_vc85 = [&](const core::ProtocolConfig& protocol) {
     double sum = 0.0;
     for (std::uint32_t seed = 1; seed <= runs; ++seed) {
-      sum += core::run_trial(*single_origin, protocol, net::da2gc_profile(), seed * 104729)
+      sum += core::run_trial(core::TrialSpec(*single_origin, protocol, net::da2gc_profile(),
+                                             seed * 104729))
                  .metrics.vc85_ms();
     }
     return sum / runs;

@@ -23,7 +23,8 @@ double mean_si(const web::Website& site, const core::ProtocolConfig& protocol,
                const net::NetworkProfile& profile, std::uint32_t runs) {
   double sum = 0.0;
   for (std::uint32_t seed = 1; seed <= runs; ++seed) {
-    sum += core::run_trial(site, protocol, profile, seed * 40'503 + 11).metrics.si_ms();
+    sum += core::run_trial(core::TrialSpec(site, protocol, profile, seed * 40'503 + 11))
+               .metrics.si_ms();
   }
   return sum / runs;
 }
@@ -33,7 +34,7 @@ double mean_retx(const web::Website& site, const core::ProtocolConfig& protocol,
   double sum = 0.0;
   for (std::uint32_t seed = 1; seed <= runs; ++seed) {
     sum += static_cast<double>(
-        core::run_trial(site, protocol, profile, seed * 40'503 + 11)
+        core::run_trial(core::TrialSpec(site, protocol, profile, seed * 40'503 + 11))
             .transport.retransmissions);
   }
   return sum / runs;

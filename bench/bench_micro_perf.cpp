@@ -1,7 +1,31 @@
 // Microbenchmarks (google-benchmark): raw performance of the simulation
-// substrate — event scheduling, congestion-controller updates, RNG, link
-// emulation, metric computation, and a full page-load trial per stack.
+// substrate — event scheduling, timer re-arm, congestion-controller updates,
+// RNG, link emulation, metric computation, and a full page-load trial per
+// stack.
+//
+// Two modes:
+//   * default: the usual google-benchmark CLI (--benchmark_filter=...),
+//   * --qperc_json PATH [--qperc_iters N]: runs the fixed scheduler/timer/
+//     page-load measurement suite and writes the machine-readable
+//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v1) that
+//     scripts/bench_baseline.sh diffs against the checked-in numbers.
+//     N scales the iteration counts (default 100; 1 = smoke test).
+//
+// The binary interposes global operator new/delete with a counting shim so
+// allocations per trial / per scheduled event are part of the baseline: the
+// slab event store's "zero allocation steady state" claim is measured, not
+// asserted.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
 
 #include "browser/metrics.hpp"
 #include "cc/bbr.hpp"
@@ -16,8 +40,39 @@
 #include "util/rng.hpp"
 #include "web/website.hpp"
 
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// GCC pairs the replaced operator new (malloc) with the replaced operator
+// delete (free) just fine at runtime, but its mismatched-new-delete analysis
+// does not model user replacements; silence it for the interposer only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
 namespace qperc {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double elapsed_ns(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
 
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -32,6 +87,37 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+/// The RTO/TLP/delayed-ACK pattern: one timer re-armed over and over. The
+/// slab scheduler reschedules the existing slot in place, so this must be a
+/// small constant cost with zero allocations and bounded queue depth.
+void BM_TimerReArm(benchmark::State& state) {
+  sim::Simulator simulator;
+  std::uint64_t fired = 0;
+  sim::Timer timer(simulator, [&fired] { ++fired; });
+  int i = 0;
+  for (auto _ : state) {
+    timer.set_in(milliseconds(10));
+    if ((++i & 63) == 0) simulator.run_until(simulator.now() + milliseconds(1));
+    benchmark::DoNotOptimize(timer.deadline());
+  }
+  timer.cancel();
+  simulator.run();
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_TimerReArm);
+
+void BM_SimulatorCancel(benchmark::State& state) {
+  sim::Simulator simulator;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    const sim::EventId id = simulator.schedule_in(seconds(1), [&counter] { ++counter; });
+    simulator.cancel(id);
+  }
+  simulator.run();
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_SimulatorCancel);
 
 void BM_RngNextU64(benchmark::State& state) {
   Rng rng(42);
@@ -110,7 +196,8 @@ void BM_PageLoadTrial(benchmark::State& state) {
       core::paper_protocols()[static_cast<std::size_t>(state.range(1))];
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    const auto result = core::run_trial(site, protocol, net::dsl_profile(), seed++);
+    const auto result =
+        core::run_trial(core::TrialSpec(site, protocol, net::dsl_profile(), seed++));
     benchmark::DoNotOptimize(result.metrics.plt_ms());
   }
   state.SetLabel(site.name + " / " + protocol.name);
@@ -134,7 +221,8 @@ void BM_PageLoadTrialTraced(benchmark::State& state) {
   std::uint64_t seed = 1;
   for (auto _ : state) {
     CountingSink sink;
-    const auto result = core::run_trial(site, protocol, net::dsl_profile(), seed++, &sink);
+    const auto result = core::run_trial(
+        core::TrialSpec(site, protocol, net::dsl_profile(), seed++).with_trace(&sink));
     benchmark::DoNotOptimize(result.metrics.plt_ms());
     benchmark::DoNotOptimize(sink.events);
   }
@@ -143,7 +231,188 @@ void BM_PageLoadTrialTraced(benchmark::State& state) {
 BENCHMARK(BM_PageLoadTrialTraced)->Args({6, 0})->Args({6, 3})
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --qperc_json mode: the fixed measurement suite behind BENCH_micro.json.
+
+struct MicroResults {
+  double ns_per_schedule = 0;
+  double ns_per_rearm = 0;
+  double scheduler_events_per_sec = 0;
+  std::uint64_t scheduler_allocs_steady_state = 0;
+  std::uint64_t rearm_queue_depth_max = 0;
+  double ns_per_page_load_trial = 0;
+  std::uint64_t allocations_per_trial = 0;
+  std::uint64_t events_per_trial = 0;
+};
+
+/// Cost of schedule_in alone (drain excluded), plus steady-state allocation
+/// count over the whole timed region — must be 0 for the slab store.
+void measure_scheduler(MicroResults& out, int scale) {
+  constexpr int kBatch = 10'000;
+  const int rounds = 20 * scale;
+  sim::Simulator simulator;
+  std::uint64_t counter = 0;
+  // Warm-up round grows the slab and queue to their high-water marks.
+  for (int i = 0; i < kBatch; ++i)
+    simulator.schedule_in(microseconds(i), [&counter] { ++counter; });
+  simulator.run();
+  const std::uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  double schedule_ns = 0;
+  double total_ns = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kBatch; ++i)
+      simulator.schedule_in(microseconds(i), [&counter] { ++counter; });
+    const auto t1 = Clock::now();
+    simulator.run();
+    const auto t2 = Clock::now();
+    schedule_ns += elapsed_ns(t0, t1);
+    total_ns += elapsed_ns(t0, t2);
+  }
+  const double events = static_cast<double>(kBatch) * rounds;
+  out.ns_per_schedule = schedule_ns / events;
+  out.scheduler_events_per_sec = events / (total_ns * 1e-9);
+  out.scheduler_allocs_steady_state =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+}
+
+void measure_rearm(MicroResults& out, int scale) {
+  constexpr int kBatch = 10'000;
+  const int rounds = 20 * scale;
+  sim::Simulator simulator;
+  std::uint64_t fired = 0;
+  sim::Timer timer(simulator, [&fired] { ++fired; });
+  timer.set_in(milliseconds(10));
+  simulator.run_until(simulator.now() + milliseconds(1));
+  double rearm_ns = 0;
+  std::uint64_t max_depth = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kBatch; ++i) timer.set_in(milliseconds(10));
+    const auto t1 = Clock::now();
+    rearm_ns += elapsed_ns(t0, t1);
+    max_depth = std::max<std::uint64_t>(max_depth, simulator.queue_depth());
+    simulator.run_until(simulator.now() + milliseconds(1));
+  }
+  out.ns_per_rearm = rearm_ns / (static_cast<double>(kBatch) * rounds);
+  out.rearm_queue_depth_max = max_depth;
+}
+
+void measure_trial(MicroResults& out, int scale) {
+  const auto catalog = web::study_catalog(7);
+  const web::Website* site = nullptr;
+  for (const auto& candidate : catalog) {
+    if (candidate.name == "apache.org") site = &candidate;
+  }
+  const auto& protocol = core::protocol_by_name("QUIC");
+  // Warm-up.
+  benchmark::DoNotOptimize(
+      core::run_trial(core::TrialSpec(*site, protocol, net::dsl_profile(), 1)));
+  const int rounds = 5 * scale;
+  const std::uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  double total_ns = 0;
+  std::uint64_t seed = 2;
+  for (int r = 0; r < rounds; ++r) {
+    core::TrialSpec spec(*site, protocol, net::dsl_profile(), seed++);
+    const auto t0 = Clock::now();
+    const auto result = core::run_trial(spec);
+    const auto t1 = Clock::now();
+    total_ns += elapsed_ns(t0, t1);
+    benchmark::DoNotOptimize(result.metrics.plt_ms());
+  }
+  out.ns_per_page_load_trial = total_ns / rounds;
+  out.allocations_per_trial =
+      (g_allocations.load(std::memory_order_relaxed) - allocs_before) /
+      static_cast<std::uint64_t>(rounds);
+}
+
+/// Events fired by the fixed (apache.org, QUIC, DSL, seed 1) trial — a cheap
+/// canary: if scheduling behaviour drifts, this number moves and the
+/// baseline diff flags it even when timings are noisy.
+std::uint64_t probe_events_per_trial() {
+  const auto catalog = web::study_catalog(7);
+  const web::Website* site = nullptr;
+  for (const auto& candidate : catalog) {
+    if (candidate.name == "apache.org") site = &candidate;
+  }
+  struct CountingSink final : trace::TraceSink {
+    std::uint64_t events = 0;
+    void on_event(const trace::Event&) override { ++events; }
+  } sink;
+  const auto result = core::run_trial(
+      core::TrialSpec(*site, core::protocol_by_name("QUIC"), net::dsl_profile(), 1)
+          .with_trace(&sink));
+  benchmark::DoNotOptimize(result.metrics.plt_ms());
+  return sink.events;
+}
+
+int run_json_mode(const std::string& path, int scale) {
+  MicroResults results;
+  measure_scheduler(results, scale);
+  measure_rearm(results, scale);
+  measure_trial(results, scale);
+  results.events_per_trial = probe_events_per_trial();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench_micro_perf: cannot write '" << path << "'\n";
+    return 2;
+  }
+  out.precision(3);
+  out << std::fixed;
+  out << "{\n"
+      << "  \"schema\": \"qperc-bench-micro-v1\",\n"
+      << "  \"iters_scale\": " << scale << ",\n"
+      << "  \"metrics\": {\n"
+      << "    \"ns_per_schedule\": " << results.ns_per_schedule << ",\n"
+      << "    \"ns_per_rearm\": " << results.ns_per_rearm << ",\n"
+      << "    \"scheduler_events_per_sec\": " << results.scheduler_events_per_sec << ",\n"
+      << "    \"scheduler_allocs_steady_state\": " << results.scheduler_allocs_steady_state
+      << ",\n"
+      << "    \"rearm_queue_depth_max\": " << results.rearm_queue_depth_max << ",\n"
+      << "    \"ns_per_page_load_trial\": " << results.ns_per_page_load_trial << ",\n"
+      << "    \"allocations_per_trial\": " << results.allocations_per_trial << ",\n"
+      << "    \"trace_events_per_trial\": " << results.events_per_trial << "\n"
+      << "  }\n"
+      << "}\n";
+  out.flush();
+  std::cerr << "bench_micro_perf: wrote " << path
+            << " (ns/schedule " << results.ns_per_schedule << ", ns/re-arm "
+            << results.ns_per_rearm << ", allocs/trial " << results.allocations_per_trial
+            << ", steady-state scheduler allocs " << results.scheduler_allocs_steady_state
+            << ")\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace qperc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int scale = 100;
+  // Strip --qperc_* flags before handing argv to google-benchmark.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--qperc_json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--qperc_json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--qperc_json="));
+    } else if (arg == "--qperc_iters" && i + 1 < argc) {
+      scale = std::atoi(argv[++i]);
+    } else if (arg.rfind("--qperc_iters=", 0) == 0) {
+      scale = std::atoi(arg.c_str() + std::strlen("--qperc_iters="));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!json_path.empty()) {
+    return qperc::run_json_mode(json_path, scale < 1 ? 1 : scale);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   // 3. Run one trial per protocol configuration and print the visual metrics.
   TextTable table({"Protocol", "FVC", "SI", "VC85", "LVC", "PLT", "retx", "conns"});
   for (const auto& protocol : core::paper_protocols()) {
-    const auto result = core::run_trial(*site, protocol, *profile, /*seed=*/42);
+    const auto result = core::run_trial(core::TrialSpec(*site, protocol, *profile, /*seed=*/42));
     table.add_row({protocol.name, fmt_ms(result.metrics.fvc_ms()),
                    fmt_ms(result.metrics.si_ms()), fmt_ms(result.metrics.vc85_ms()),
                    fmt_ms(result.metrics.lvc_ms()), fmt_ms(result.metrics.plt_ms()),

@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
   const auto& protocol = core::protocol_by_name(protocol_name);
 
   SummarizingSink sink(std::cout);
-  const auto result = core::run_trial(*site, protocol, *profile, /*seed=*/42, &sink);
+  const auto result =
+      core::run_trial(core::TrialSpec(*site, protocol, *profile, /*seed=*/42).with_trace(&sink));
 
   const trace::TrialCounters& counters = sink.counters();
   std::cerr << site->name << " / " << protocol.name << " / " << profile->name << ": PLT "

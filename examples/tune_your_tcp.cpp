@@ -17,7 +17,8 @@ double mean_si(const qperc::web::Website& site, const qperc::core::ProtocolConfi
   double sum = 0.0;
   constexpr int kRuns = 15;
   for (int seed = 1; seed <= kRuns; ++seed) {
-    sum += qperc::core::run_trial(site, p, profile, static_cast<std::uint64_t>(seed) * 31)
+    sum += qperc::core::run_trial(
+               qperc::core::TrialSpec(site, p, profile, static_cast<std::uint64_t>(seed) * 31))
                .metrics.si_ms();
   }
   return sum / kRuns;

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Runs bench_micro_perf in JSON mode and compares the emitted metrics
+# against the checked-in baseline (BENCH_micro.json at the repo root).
+#
+#   scripts/bench_baseline.sh [--bench PATH] [--smoke] [--update] [--tolerance PCT]
+#
+#   (default)    run full iterations, diff against BENCH_micro.json:
+#                timing metrics must be within --tolerance percent (default
+#                200 — machines vary; regressions we care about are 2x+),
+#                invariant metrics (steady-state allocations, re-arm queue
+#                depth) must match exactly.
+#   --smoke      run at 1 iteration and only validate the JSON schema
+#                (qperc-bench-micro-v1 with every expected metric present
+#                and finite). Registered as the `bench_smoke` ctest.
+#   --update     run full iterations and rewrite BENCH_micro.json.
+#   --bench PATH path to the bench_micro_perf binary
+#                (default: build/bench/bench_micro_perf).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root" || exit 2
+
+bench="build/bench/bench_micro_perf"
+mode="compare"
+tolerance=200
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --bench) bench="$2"; shift 2 ;;
+    --smoke) mode="smoke"; shift ;;
+    --update) mode="update"; shift ;;
+    --tolerance) tolerance="$2"; shift 2 ;;
+    *) echo "bench_baseline: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -x "$bench" ]; then
+  echo "bench_baseline: benchmark binary not found: $bench (build first)" >&2
+  exit 2
+fi
+
+out="$(mktemp /tmp/qperc_bench_micro.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+
+if [ "$mode" = "smoke" ]; then
+  "$bench" --qperc_json "$out" --qperc_iters 1 > /dev/null || exit 1
+else
+  "$bench" --qperc_json "$out" > /dev/null || exit 1
+fi
+
+if [ "$mode" = "update" ]; then
+  cp "$out" BENCH_micro.json
+  echo "bench_baseline: wrote BENCH_micro.json"
+  exit 0
+fi
+
+baseline="BENCH_micro.json"
+if [ "$mode" = "compare" ] && [ ! -f "$baseline" ]; then
+  echo "bench_baseline: missing $baseline (run with --update to create it)" >&2
+  exit 1
+fi
+
+MODE="$mode" TOLERANCE="$tolerance" BASELINE="$baseline" python3 - "$out" <<'PY'
+import json, math, os, sys
+
+METRICS = [
+    "ns_per_schedule",
+    "ns_per_rearm",
+    "scheduler_events_per_sec",
+    "scheduler_allocs_steady_state",
+    "rearm_queue_depth_max",
+    "ns_per_page_load_trial",
+    "allocations_per_trial",
+    "trace_events_per_trial",
+]
+# Hard invariants of the slab scheduler, not machine-dependent timings:
+# compared exactly regardless of --tolerance.
+EXACT = ["scheduler_allocs_steady_state", "rearm_queue_depth_max"]
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "qperc-bench-micro-v1":
+        sys.exit(f"bench_baseline: bad schema in {path}: {doc.get('schema')!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        sys.exit(f"bench_baseline: {path} has no metrics object")
+    for key in METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            sys.exit(f"bench_baseline: {path} metric {key} missing or not finite: {value!r}")
+    return metrics
+
+current = load(sys.argv[1])
+if os.environ["MODE"] == "smoke":
+    print("bench_baseline: smoke OK (schema qperc-bench-micro-v1, "
+          f"{len(METRICS)} metrics present)")
+    sys.exit(0)
+
+baseline = load(os.environ["BASELINE"])
+tolerance = float(os.environ["TOLERANCE"])
+failed = False
+for key in METRICS:
+    base, cur = baseline[key], current[key]
+    if key in EXACT:
+        ok = cur <= base if key == "rearm_queue_depth_max" else cur == base
+        verdict = "exact"
+    else:
+        delta = abs(cur - base) / base * 100.0 if base else 0.0
+        ok = delta <= tolerance
+        verdict = f"{delta:+.1f}% vs ±{tolerance:.0f}%"
+    status = "ok" if ok else "FAIL"
+    print(f"bench_baseline: {status:4s} {key:32s} baseline={base:<14g} current={cur:<14g} ({verdict})")
+    failed |= not ok
+
+sys.exit(1 if failed else 0)
+PY
+status=$?
+if [ "$status" -eq 0 ] && [ "$mode" = "compare" ]; then
+  echo "bench_baseline: OK"
+fi
+exit "$status"

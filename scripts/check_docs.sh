@@ -78,6 +78,19 @@ $(inline_tokens "$doc")
 EOF
 done
 
+# Required sections: docs that other docs/scripts point readers at must not
+# silently disappear in a refactor.
+require_section() {
+  if ! grep -qE "^##? $2\$" "$1" 2>/dev/null; then
+    echo "check_docs: $1 missing required section: '$2'"
+    fail=1
+  fi
+}
+require_section ARCHITECTURE.md "Simulator internals"
+require_section ARCHITECTURE.md "Determinism contract"
+require_section EXPERIMENTS.md "Benchmarking qperc"
+require_section EXPERIMENTS.md "Running the grid as a campaign"
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
   exit 1

@@ -195,13 +195,16 @@ PageLoadResult PageLoader::result() const {
 
 PageLoadResult load_page(sim::Simulator& simulator, const web::Website& site,
                          PageLoader::SessionFactory factory, Rng rng,
-                         SimDuration time_cap) {
+                         SimDuration time_cap, std::uint64_t max_events) {
   PageLoader loader(simulator, site, std::move(factory), rng);
   loader.start();
   const SimTime deadline = simulator.now() + time_cap;
+  const std::uint64_t events_at_start = simulator.events_processed();
   while (!loader.finished() && simulator.now() < deadline) {
+    const std::uint64_t spent = simulator.events_processed() - events_at_start;
+    if (spent >= max_events) break;  // event budget exhausted: report progress so far
     const SimTime next = std::min(deadline, simulator.now() + milliseconds(200));
-    simulator.run_until(next);
+    simulator.run_until(next, max_events - spent);
   }
   simulator.trace_event(trace::EventType::kPageFinished, trace::Endpoint::kClient,
                         /*flow=*/0, loader.completed_objects(), /*bytes=*/0,

@@ -93,10 +93,15 @@ class PageLoader {
   SimTime page_load_end_{0};
 };
 
+/// Default virtual-time safety cap for load_page.
+inline constexpr SimDuration kDefaultLoadTimeCap = seconds(180);
+
 /// Convenience: run one page load to completion (with a virtual-time safety
-/// cap) and return the result.
-[[nodiscard]] PageLoadResult load_page(sim::Simulator& simulator, const web::Website& site,
-                                       PageLoader::SessionFactory factory, Rng rng = Rng(0),
-                                       SimDuration time_cap = seconds(180));
+/// cap and a simulator-event budget) and return the result. The load stops
+/// early if `max_events` simulator events fire before the page finishes.
+[[nodiscard]] PageLoadResult load_page(
+    sim::Simulator& simulator, const web::Website& site, PageLoader::SessionFactory factory,
+    Rng rng = Rng(0), SimDuration time_cap = kDefaultLoadTimeCap,
+    std::uint64_t max_events = sim::Simulator::kDefaultEventCap);
 
 }  // namespace qperc::browser

@@ -1,5 +1,7 @@
 #include "core/trial.hpp"
 
+#include <stdexcept>
+
 #include "http/session.hpp"
 #include "net/emulated_network.hpp"
 #include "sim/simulator.hpp"
@@ -7,19 +9,16 @@
 
 namespace qperc::core {
 
-browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
-                                  const net::NetworkProfile& profile, std::uint64_t seed) {
-  return run_trial(site, protocol, profile, seed, nullptr);
-}
+browser::PageLoadResult run_trial(const TrialSpec& spec) {
+  if (spec.site == nullptr) throw std::invalid_argument("TrialSpec: site is null");
+  if (spec.protocol == nullptr) throw std::invalid_argument("TrialSpec: protocol is null");
 
-browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
-                                  const net::NetworkProfile& profile, std::uint64_t seed,
-                                  trace::TraceSink* trace) {
   sim::Simulator simulator;
-  simulator.set_trace(trace);
-  Rng rng(seed);
-  net::EmulatedNetwork network(simulator, profile, rng.fork("network"));
+  simulator.set_trace(spec.trace);
+  Rng rng(spec.seed);
+  net::EmulatedNetwork network(simulator, spec.profile, rng.fork("network"));
 
+  const ProtocolConfig& protocol = *spec.protocol;
   browser::PageLoader::SessionFactory factory;
   switch (protocol.transport) {
     case Transport::kTcp: {
@@ -44,7 +43,27 @@ browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig
       break;
     }
   }
-  return browser::load_page(simulator, site, std::move(factory), rng.fork("browser"));
+  return browser::load_page(simulator, *spec.site, std::move(factory),
+                            rng.fork("browser"), browser::kDefaultLoadTimeCap,
+                            spec.max_events);
 }
+
+// The shims forward through the TrialSpec entry point; suppress their own
+// deprecation inside this translation unit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
+                                  const net::NetworkProfile& profile, std::uint64_t seed) {
+  return run_trial(TrialSpec(site, protocol, profile, seed));
+}
+
+browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
+                                  const net::NetworkProfile& profile, std::uint64_t seed,
+                                  trace::TraceSink* trace) {
+  return run_trial(TrialSpec(site, protocol, profile, seed).with_trace(trace));
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace qperc::core

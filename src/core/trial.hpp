@@ -7,24 +7,68 @@
 #include "browser/page_loader.hpp"
 #include "core/protocol.hpp"
 #include "net/profile.hpp"
+#include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 #include "web/website.hpp"
 
 namespace qperc::core {
 
-/// Runs a single page load. Deterministic in (site, protocol, profile, seed).
-[[nodiscard]] browser::PageLoadResult run_trial(const web::Website& site,
-                                                const ProtocolConfig& protocol,
-                                                const net::NetworkProfile& profile,
-                                                std::uint64_t seed);
+/// Everything that defines one trial. A TrialSpec is the single entry point
+/// into the simulator; it replaced a growing set of run_trial overloads so
+/// new knobs (trace sinks, event budgets, ...) extend this struct instead of
+/// multiplying signatures.
+///
+/// `site` and `protocol` are borrowed (the catalog and the protocol table
+/// outlive every trial); `profile` is stored by value because the profile
+/// factories return temporaries. Results are deterministic in
+/// (site, protocol, profile, seed) — trace and max_events never alter
+/// scheduling or RNG draws.
+struct TrialSpec {
+  const web::Website* site = nullptr;
+  const ProtocolConfig* protocol = nullptr;
+  net::NetworkProfile profile{};
+  std::uint64_t seed = 0;
+  /// Optional trace sink attached to the simulator for the trial's lifetime;
+  /// nullptr (the default) keeps every instrumentation hook a pointer test.
+  trace::TraceSink* trace = nullptr;
+  /// Hard cap on simulator events for this trial (a runaway guard the
+  /// campaign runner can tighten); the page load stops when it is exhausted.
+  std::uint64_t max_events = sim::Simulator::kDefaultEventCap;
 
-/// Same trial with a trace sink attached to the simulator for its whole
-/// lifetime (nullptr behaves exactly like the overload above). Tracing never
-/// alters scheduling or RNG draws, so results are bit-identical either way.
-[[nodiscard]] browser::PageLoadResult run_trial(const web::Website& site,
-                                                const ProtocolConfig& protocol,
-                                                const net::NetworkProfile& profile,
-                                                std::uint64_t seed,
-                                                trace::TraceSink* trace);
+  TrialSpec() = default;
+  TrialSpec(const web::Website& site_ref, const ProtocolConfig& protocol_ref,
+            net::NetworkProfile profile_value, std::uint64_t trial_seed)
+      : site(&site_ref),
+        protocol(&protocol_ref),
+        profile(std::move(profile_value)),
+        seed(trial_seed) {}
+
+  /// Fluent option setters, so call sites read as one expression:
+  ///   run_trial(TrialSpec(site, protocol, profile, seed).with_trace(&sink))
+  TrialSpec&& with_trace(trace::TraceSink* sink) && {
+    trace = sink;
+    return std::move(*this);
+  }
+  TrialSpec&& with_max_events(std::uint64_t cap) && {
+    max_events = cap;
+    return std::move(*this);
+  }
+};
+
+/// Runs a single page load as described by `spec`.
+/// Throws std::invalid_argument if `spec.site` or `spec.protocol` is null.
+[[nodiscard]] browser::PageLoadResult run_trial(const TrialSpec& spec);
+
+/// Deprecated shims for the pre-TrialSpec overload set; thin forwards kept
+/// for one release.
+[[deprecated("use run_trial(const TrialSpec&)")]] [[nodiscard]] browser::PageLoadResult
+run_trial(const web::Website& site, const ProtocolConfig& protocol,
+          const net::NetworkProfile& profile, std::uint64_t seed);
+
+[[deprecated("use run_trial(const TrialSpec&) with .with_trace()")]] [[nodiscard]] browser::
+    PageLoadResult
+    run_trial(const web::Website& site, const ProtocolConfig& protocol,
+              const net::NetworkProfile& profile, std::uint64_t seed,
+              trace::TraceSink* trace);
 
 }  // namespace qperc::core

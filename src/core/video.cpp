@@ -36,7 +36,8 @@ Video produce_video(const web::Website& site, const ProtocolConfig& protocol,
   results.reserve(runs);
   for (std::uint32_t run = 0; run < runs; ++run) {
     Rng run_rng = seeder.fork(run + 1);
-    results.push_back(run_trial(site, protocol, profile, run_rng.next_u64(), trace));
+    results.push_back(
+        run_trial(TrialSpec(site, protocol, profile, run_rng.next_u64()).with_trace(trace)));
   }
 
   // Per-condition means of every metric.

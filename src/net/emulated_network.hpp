@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -13,13 +12,16 @@
 #include "net/packet.hpp"
 #include "net/profile.hpp"
 #include "sim/simulator.hpp"
+#include "util/function.hpp"
 #include "util/rng.hpp"
 
 namespace qperc::net {
 
 class EmulatedNetwork {
  public:
-  using Handler = std::function<void(Packet)>;
+  /// Flow handlers share Link::DeliverFn's small-buffer callable type, so
+  /// the sim layer has a single callable vocabulary (see util/function.hpp).
+  using Handler = Link::DeliverFn;
 
   EmulatedNetwork(sim::Simulator& simulator, const NetworkProfile& profile, Rng rng);
 

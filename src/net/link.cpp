@@ -36,8 +36,7 @@ void Link::start_serialization() {
     return;
   }
   serializing_ = true;
-  const Packet packet = std::move(queue_.front());
-  queue_.pop_front();
+  const Packet packet = queue_.pop_front();
   const SimDuration wire_time = rate_.transmission_time(packet.wire_bytes);
   simulator_.schedule_in(wire_time, [this, packet]() mutable {
     queued_bytes_ -= packet.wire_bytes;

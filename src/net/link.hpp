@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/function.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -43,8 +43,11 @@ enum class LinkEvent { kEnqueued, kDroppedQueueFull, kDroppedRandomLoss, kDelive
 
 class Link {
  public:
-  using DeliverFn = std::function<void(Packet)>;
-  using Observer = std::function<void(LinkEvent, const Packet&)>;
+  // Same small-buffer callable vocabulary as Simulator::Callback: a delivery
+  // hook captures at most a couple of pointers, so installing and invoking
+  // one never allocates.
+  using DeliverFn = SmallFunction<void(Packet)>;
+  using Observer = SmallFunction<void(LinkEvent, const Packet&)>;
 
   /// `queue_capacity_bytes` bounds the droptail queue (excluding the packet
   /// currently being serialized). `loss_rate` is applied per packet after the
@@ -93,7 +96,10 @@ class Link {
     }
   }
 
-  std::deque<Packet> queue_;
+  /// Droptail queue over a reused slab: once the ring has grown to the
+  /// episode's high-water mark, enqueue/dequeue recycle the same packet
+  /// descriptors instead of churning deque blocks.
+  RingBuffer<Packet> queue_;
   std::uint64_t queued_bytes_ = 0;
   bool serializing_ = false;
   LinkStats stats_;

@@ -5,11 +5,40 @@
 
 namespace qperc::sim {
 
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNilSlot;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t index) noexcept {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;
+  slot.live = false;
+  ++slot.generation;  // invalidates outstanding ids and queue records
+  slot.next_free = free_head_;
+  free_head_ = index;
+  --live_slots_;
+}
+
 EventId Simulator::schedule_at(SimTime t, Callback fn) {
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{std::max(t, now_), next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return EventId{id};
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  const SimTime when = std::max(t, now_);
+  slot.fn = std::move(fn);
+  slot.deadline = when;
+  slot.seq = next_seq_++;
+  slot.queued_time = when;
+  slot.queued_seq = slot.seq;
+  slot.live = true;
+  ++live_slots_;
+  queue_.push(QueueEntry{when, slot.seq, index, slot.generation});
+  return make_id(index, slot.generation);
 }
 
 EventId Simulator::schedule_in(SimDuration d, Callback fn) {
@@ -18,24 +47,73 @@ EventId Simulator::schedule_in(SimDuration d, Callback fn) {
 
 void Simulator::cancel(EventId id) {
   const auto raw = static_cast<std::uint64_t>(id);
-  if (callbacks_.erase(raw) > 0) cancelled_.insert(raw);
+  const auto index = static_cast<std::uint32_t>(raw >> 32);
+  const auto generation = static_cast<std::uint32_t>(raw);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation) return;
+  release_slot(index);
 }
 
-bool Simulator::step() {
+bool Simulator::reschedule(EventId id, SimTime t) {
+  const auto raw = static_cast<std::uint64_t>(id);
+  const auto index = static_cast<std::uint32_t>(raw >> 32);
+  const auto generation = static_cast<std::uint32_t>(raw);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation) return false;
+  const SimTime when = std::max(t, now_);
+  slot.deadline = when;
+  // A fresh seq keeps the FIFO tie-break identical to cancel+schedule, which
+  // is what preserves bit-exact event order across the two implementations.
+  slot.seq = next_seq_++;
+  if (when < slot.queued_time) {
+    // Deadline moved earlier: the tracked queue record would surface too
+    // late, so push a current one now; the old record becomes garbage.
+    slot.queued_time = when;
+    slot.queued_seq = slot.seq;
+    queue_.push(QueueEntry{when, slot.seq, index, slot.generation});
+  }
+  // Deadline moved later (or to the same time with a new FIFO rank): defer.
+  // The tracked record still surfaces first; normalize_top() re-enqueues it
+  // at the new position before any later event can run, so ordering is
+  // unchanged while the queue holds at most one extra record per timer.
+  return true;
+}
+
+bool Simulator::normalize_top() {
   while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    if (const auto erased = cancelled_.erase(ev.id); erased > 0) continue;
-    const auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // defensive; should not happen
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.time;
-    ++events_processed_;
-    fn();
+    const QueueEntry entry = queue_.top();
+    Slot& slot = slots_[entry.slot];
+    if (!slot.live || slot.generation != entry.generation ||
+        entry.time != slot.queued_time || entry.seq != slot.queued_seq) {
+      queue_.pop();  // cancelled, fired, or superseded by an earlier re-arm
+      continue;
+    }
+    if (slot.deadline != entry.time || slot.seq != entry.seq) {
+      // Deferred re-arm: move the tracked record to the current deadline.
+      queue_.pop();
+      slot.queued_time = slot.deadline;
+      slot.queued_seq = slot.seq;
+      queue_.push(QueueEntry{slot.deadline, slot.seq, entry.slot, slot.generation});
+      continue;
+    }
     return true;
   }
   return false;
+}
+
+bool Simulator::step() {
+  if (!normalize_top()) return false;
+  const QueueEntry entry = queue_.top();
+  queue_.pop();
+  Slot& slot = slots_[entry.slot];
+  now_ = entry.time;
+  Callback fn = std::move(slot.fn);
+  release_slot(entry.slot);  // before fn(): the callback may reuse the slot
+  ++events_processed_;
+  fn();
+  return true;
 }
 
 bool Simulator::run(std::uint64_t max_events) {
@@ -43,23 +121,14 @@ bool Simulator::run(std::uint64_t max_events) {
   for (std::uint64_t fired = 0; fired < max_events; ++fired) {
     if (stop_requested_ || !step()) return true;
   }
-  return queue_.empty();
+  return !normalize_top();
 }
 
 bool Simulator::run_until(SimTime t, std::uint64_t max_events) {
   stop_requested_ = false;
   for (std::uint64_t fired = 0; fired < max_events; ++fired) {
     if (stop_requested_) return true;
-    // Peek through cancelled entries to find the next live event time.
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (cancelled_.erase(top.id) > 0) {
-        queue_.pop();
-        continue;
-      }
-      break;
-    }
-    if (queue_.empty() || queue_.top().time > t) {
+    if (!normalize_top() || queue_.top().time > t) {
       now_ = std::max(now_, t);
       return true;
     }
@@ -71,17 +140,15 @@ bool Simulator::run_until(SimTime t, std::uint64_t max_events) {
   return false;
 }
 
-std::size_t Simulator::pending_events() const { return callbacks_.size(); }
-
 Timer::Timer(Simulator& simulator, Simulator::Callback on_fire)
     : simulator_(simulator), on_fire_(std::move(on_fire)) {}
 
 Timer::~Timer() { cancel(); }
 
 void Timer::set_at(SimTime deadline) {
-  cancel();
-  armed_ = true;
   deadline_ = deadline;
+  if (armed_ && simulator_.reschedule(pending_, deadline)) return;
+  armed_ = true;
   pending_ = simulator_.schedule_at(deadline, [this] {
     armed_ = false;
     on_fire_();

@@ -4,26 +4,39 @@
 // emulators, and the page loader all schedule callbacks against it. Events at
 // equal timestamps run in FIFO scheduling order, which keeps runs bit-exact
 // reproducible.
+//
+// Storage design (see ARCHITECTURE.md "Simulator internals" for diagrams):
+// events live in a generation-counted slab — a vector of slots threaded with
+// a free list. The callback is stored inline in the slot via SmallFunction,
+// so the steady state performs no heap allocation: scheduling pops a free
+// slot, cancelling bumps the slot's generation (O(1), no side containers),
+// and the priority queue holds only plain {time, seq, slot, generation}
+// records whose staleness is detected lazily when they surface. Timer re-arms
+// update the owning slot in place instead of cancel+schedule, so the heap is
+// not touched at all when a deadline only moves later (the common RTO /
+// delayed-ACK pattern).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "util/function.hpp"
 #include "util/time.hpp"
 
 namespace qperc::sim {
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Encodes {slot index, slot generation}; value 0 is never a live event.
 enum class EventId : std::uint64_t {};
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// The callable vocabulary of the whole sim layer (links and network flow
+  /// handlers use the same template): small captures stay inline, so
+  /// scheduling them never allocates.
+  using Callback = SmallFunction<void()>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -35,8 +48,17 @@ class Simulator {
   EventId schedule_at(SimTime t, Callback fn);
   /// Schedules `fn` to run `d` after now().
   EventId schedule_in(SimDuration d, Callback fn);
-  /// Cancels a pending event; cancelling an already-fired or unknown id is a no-op.
+  /// Cancels a pending event; cancelling an already-fired or unknown id is a
+  /// no-op. O(1): the slot's generation is bumped and any queue records that
+  /// still reference the old generation are skipped when they surface.
   void cancel(EventId id);
+  /// Moves a pending event to a new deadline, keeping its callback and id.
+  /// Equivalent to cancel+schedule for ordering purposes (the event takes a
+  /// fresh position in the FIFO tie-break order), but reuses the slot and, if
+  /// the deadline does not move earlier, defers the queue update until the
+  /// old record surfaces. Returns false if `id` no longer names a pending
+  /// event (already fired or cancelled); the caller must then schedule anew.
+  bool reschedule(EventId id, SimTime t);
 
   /// Runs until the queue is empty or `max_events` have fired.
   /// Returns false if the event cap stopped the run (a runaway guard).
@@ -49,7 +71,13 @@ class Simulator {
   void request_stop() noexcept { stop_requested_ = true; }
 
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
-  [[nodiscard]] std::size_t pending_events() const;
+  /// Number of live (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_slots_; }
+  /// Queue records including stale ones awaiting lazy removal; tests assert
+  /// this stays bounded under timer churn.
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+  /// Slab capacity (high-water mark of concurrently pending events).
+  [[nodiscard]] std::size_t slab_slots() const noexcept { return slots_.size(); }
 
   /// Attaches (or detaches, with nullptr) the trace sink all layers report
   /// to. The sink must outlive every traced component; the default (no sink)
@@ -71,31 +99,56 @@ class Simulator {
   static constexpr std::uint64_t kDefaultEventCap = 500'000'000;
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  /// One slab entry. A slot is live between schedule and fire/cancel; freed
+  /// slots are chained through `next_free` and their generation is bumped so
+  /// stale ids and queue records can never resurrect them.
+  struct Slot {
+    Callback fn;
+    SimTime deadline{0};      // when the event actually fires
+    std::uint64_t seq = 0;    // FIFO tie-break rank of the latest (re)arm
+    SimTime queued_time{0};   // the queue record currently tracking this slot
+    std::uint64_t queued_seq = 0;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+
+  struct QueueEntry {
     SimTime time;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint64_t id;
-    // Callbacks live in a side map so the heap stays cheap to move.
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+  struct EntryLater {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  /// Pops and runs the next non-cancelled event; returns false when empty.
+  [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t generation) noexcept {
+    return EventId{(static_cast<std::uint64_t>(slot) << 32) | generation};
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index) noexcept;
+  /// Drops stale queue records and re-enqueues deferred re-arms until the top
+  /// of the queue is a live, current event. Returns false when none remains.
+  bool normalize_top();
+  /// Pops and runs the next live event; returns false when the queue is empty.
   bool step();
 
   SimTime now_{0};
   trace::TraceSink* trace_ = nullptr;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t events_processed_ = 0;
+  std::size_t live_slots_ = 0;
+  std::uint32_t free_head_ = kNilSlot;
   bool stop_requested_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryLater> queue_;
 };
 
 /// A re-armable one-shot timer bound to a Simulator.
@@ -104,6 +157,10 @@ class Simulator {
 /// any pending deadline, cancel() disarms. The callback is fixed at
 /// construction; Timer must outlive any armed deadline (stacks own their
 /// timers, and the simulator never outlives the stacks in our harness).
+///
+/// Re-arming an armed timer reschedules its existing event slot in place —
+/// no allocation, no slot churn, and no queue growth when the deadline moves
+/// later (the dominant pattern: every ACK pushes the RTO further out).
 class Timer {
  public:
   Timer(Simulator& simulator, Simulator::Callback on_fire);

@@ -1,0 +1,156 @@
+// SmallFunction: the one callable vocabulary of the simulation layer.
+//
+// A move-only type-erased callable with inline small-buffer storage and a
+// heap fallback. Simulator callbacks, link delivery hooks, and network flow
+// handlers all capture a couple of pointers plus at most a Packet descriptor,
+// so with the default 48-byte buffer the hot path never touches the heap —
+// the property the zero-allocation scheduling core is built on (std::function
+// gives no such guarantee and allocates for >2-word captures on libstdc++).
+//
+// Differences from std::function, on purpose:
+//   * move-only: callbacks are scheduled once and consumed once; requiring
+//     copyability would forbid move-only captures and buy nothing,
+//   * no target()/target_type(): nothing in the simulator inspects callables,
+//   * invoking an empty SmallFunction is undefined (checked by assert), not
+//     std::bad_function_call — empty callbacks are a programming error here.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qperc {
+
+inline constexpr std::size_t kSmallFunctionInlineBytes = 48;
+
+template <class Signature, std::size_t InlineBytes = kSmallFunctionInlineBytes>
+class SmallFunction;  // primary template left undefined
+
+template <class R, class... Args, std::size_t InlineBytes>
+class SmallFunction<R(Args...), InlineBytes> {
+ public:
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  SmallFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (fits_inline<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+      ops_ = &kInlineOps<Decayed>;
+    } else {
+      auto* heap = new Decayed(std::forward<F>(fn));
+      std::memcpy(storage_, &heap, sizeof(heap));
+      ops_ = &kHeapOps<Decayed>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking an empty SmallFunction");
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Move-constructs the callable into `to` and destroys the one in `from`.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  /// Heap fallback requires only that the callable be movable; the inline
+  /// path additionally needs a nothrow move so relocation can stay noexcept.
+  template <class F>
+  static constexpr bool fits_inline = sizeof(F) <= InlineBytes &&
+                                      alignof(F) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<F>;
+
+  template <class F>
+  [[nodiscard]] static F* inline_target(void* storage) noexcept {
+    return std::launder(reinterpret_cast<F*>(storage));
+  }
+
+  template <class F>
+  [[nodiscard]] static F* heap_target(void* storage) noexcept {
+    F* target = nullptr;
+    std::memcpy(&target, storage, sizeof(target));
+    return target;
+  }
+
+  template <class F>
+  static constexpr Ops kInlineOps{
+      [](void* storage, Args&&... args) -> R {
+        return (*inline_target<F>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept {
+        F* source = inline_target<F>(from);
+        ::new (to) F(std::move(*source));
+        source->~F();
+      },
+      [](void* storage) noexcept { inline_target<F>(storage)->~F(); },
+  };
+
+  template <class F>
+  static constexpr Ops kHeapOps{
+      [](void* storage, Args&&... args) -> R {
+        return (*heap_target<F>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept { std::memcpy(to, from, sizeof(F*)); },
+      [](void* storage) noexcept { delete heap_target<F>(storage); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+template <class Sig, std::size_t N>
+[[nodiscard]] inline bool operator==(const SmallFunction<Sig, N>& fn,
+                                     std::nullptr_t) noexcept {
+  return !static_cast<bool>(fn);
+}
+
+}  // namespace qperc

@@ -1,0 +1,64 @@
+// A minimal grow-only FIFO ring over a contiguous slab.
+//
+// std::deque allocates and frees fixed-size blocks as the queue breathes, so
+// a bottleneck link that oscillates between empty and full keeps hitting the
+// allocator. This ring doubles its slab on overflow and then never gives the
+// capacity back: after warm-up, push/pop are pointer arithmetic only. That is
+// exactly the behaviour the zero-allocation steady state of the simulator
+// needs from the link queues.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace qperc {
+
+template <class T>
+class RingBuffer {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slab_.size(); }
+
+  void push_back(T value) {
+    if (size_ == slab_.size()) grow();
+    slab_[(head_ + size_) & (slab_.size() - 1)] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() noexcept { return slab_[head_]; }
+
+  T pop_front() {
+    T value = std::move(slab_[head_]);
+    head_ = (head_ + 1) & (slab_.size() - 1);
+    --size_;
+    return value;
+  }
+
+  void clear() noexcept {
+    // Popped elements are moved-from but alive; drop them all at once.
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    // Power-of-two capacity keeps the index wrap a mask instead of a modulo.
+    const std::size_t next = slab_.empty() ? kInitialCapacity : slab_.size() * 2;
+    std::vector<T> bigger(next);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(slab_[(head_ + i) & (slab_.size() - 1)]);
+    }
+    slab_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  std::vector<T> slab_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace qperc

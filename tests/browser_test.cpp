@@ -102,7 +102,7 @@ web::Website tiny_site() {
 TEST(PageLoader, LoadsTinySiteAndOrdersMetrics) {
   const auto site = tiny_site();
   const auto& protocol = core::protocol_by_name("QUIC");
-  const auto result = core::run_trial(site, protocol, net::dsl_profile(), 5);
+  const auto result = core::run_trial(core::TrialSpec(site, protocol, net::dsl_profile(), 5));
   ASSERT_TRUE(result.metrics.finished);
   EXPECT_GT(result.metrics.fvc_ms(), 0.0);
   EXPECT_LE(result.metrics.fvc_ms(), result.metrics.vc85_ms());
@@ -115,7 +115,7 @@ TEST(PageLoader, LoadsTinySiteAndOrdersMetrics) {
 TEST(PageLoader, VcCurveIsMonotoneAndEndsAtOne) {
   const auto site = tiny_site();
   const auto& protocol = core::protocol_by_name("TCP");
-  const auto result = core::run_trial(site, protocol, net::lte_profile(), 5);
+  const auto result = core::run_trial(core::TrialSpec(site, protocol, net::lte_profile(), 5));
   ASSERT_TRUE(result.metrics.finished);
   ASSERT_FALSE(result.vc_curve.empty());
   for (std::size_t i = 1; i < result.vc_curve.size(); ++i) {
@@ -129,7 +129,7 @@ TEST(PageLoader, DependentObjectStartsAfterParentProgress) {
   // The image (discovered at 80% of HTML) cannot complete before the HTML.
   const auto site = tiny_site();
   const auto& protocol = core::protocol_by_name("TCP");
-  const auto result = core::run_trial(site, protocol, net::lte_profile(), 6);
+  const auto result = core::run_trial(core::TrialSpec(site, protocol, net::lte_profile(), 6));
   ASSERT_TRUE(result.metrics.finished);
   EXPECT_GT(result.object_complete_at[2], result.object_complete_at[0] / 2);
 }
@@ -138,7 +138,7 @@ TEST(PageLoader, FirstPaintGatedOnBlockingCss) {
   // FVC must not precede the blocking CSS completion.
   const auto site = tiny_site();
   const auto& protocol = core::protocol_by_name("TCP+");
-  const auto result = core::run_trial(site, protocol, net::dsl_profile(), 9);
+  const auto result = core::run_trial(core::TrialSpec(site, protocol, net::dsl_profile(), 9));
   ASSERT_TRUE(result.metrics.finished);
   const SimTime css_done = result.object_complete_at[1];
   EXPECT_GE(SimDuration{result.metrics.first_visual_change}, SimDuration{css_done});
@@ -151,8 +151,8 @@ TEST(PageLoader, MoreOriginsMeansMoreConnections) {
   const auto& many = *std::find_if(catalog.begin(), catalog.end(),
                                    [](const auto& s) { return s.name == "spotify.com"; });
   const auto& protocol = core::protocol_by_name("QUIC");
-  const auto r_small = core::run_trial(small, protocol, net::dsl_profile(), 3);
-  const auto r_many = core::run_trial(many, protocol, net::dsl_profile(), 3);
+  const auto r_small = core::run_trial(core::TrialSpec(small, protocol, net::dsl_profile(), 3));
+  const auto r_many = core::run_trial(core::TrialSpec(many, protocol, net::dsl_profile(), 3));
   EXPECT_EQ(r_small.connections_opened, small.contacted_origins());
   EXPECT_EQ(r_many.connections_opened, many.contacted_origins());
   EXPECT_GT(r_many.connections_opened, r_small.connections_opened);
@@ -176,8 +176,8 @@ TEST(RenderModel, DeferredTailExtendsPltButNotSi) {
   with_tail.objects.push_back(beacon);
 
   const auto& protocol = core::protocol_by_name("TCP+");
-  const auto base = core::run_trial(site, protocol, net::dsl_profile(), 21);
-  const auto tailed = core::run_trial(with_tail, protocol, net::dsl_profile(), 21);
+  const auto base = core::run_trial(core::TrialSpec(site, protocol, net::dsl_profile(), 21));
+  const auto tailed = core::run_trial(core::TrialSpec(with_tail, protocol, net::dsl_profile(), 21));
   ASSERT_TRUE(base.metrics.finished);
   ASSERT_TRUE(tailed.metrics.finished);
   EXPECT_GT(tailed.metrics.plt_ms(), base.metrics.plt_ms() + 1'500.0);
@@ -193,7 +193,7 @@ TEST(RenderModel, StudyCatalogDecouplesPltFromLvc) {
   int plt_beyond_lvc = 0;
   int tested = 0;
   for (std::size_t i = 0; i < catalog.size(); i += 4) {  // sample every 4th site
-    const auto result = core::run_trial(catalog[i], protocol, net::dsl_profile(), 5);
+    const auto result = core::run_trial(core::TrialSpec(catalog[i], protocol, net::dsl_profile(), 5));
     if (!result.metrics.finished) continue;
     ++tested;
     if (result.metrics.plt_ms() > result.metrics.lvc_ms() * 1.10) ++plt_beyond_lvc;
@@ -208,7 +208,7 @@ TEST(PageLoader, ConnectionPoolCapsConcurrentHandshakes) {
   const auto& many = *std::find_if(catalog.begin(), catalog.end(),
                                    [](const auto& s) { return s.name == "cnn.com"; });
   const auto& protocol = core::protocol_by_name("QUIC");
-  const auto result = core::run_trial(many, protocol, net::dsl_profile(), 8);
+  const auto result = core::run_trial(core::TrialSpec(many, protocol, net::dsl_profile(), 8));
   ASSERT_TRUE(result.metrics.finished);
   EXPECT_EQ(result.connections_opened, many.contacted_origins());
 }
@@ -216,8 +216,8 @@ TEST(PageLoader, ConnectionPoolCapsConcurrentHandshakes) {
 TEST(PageLoader, DeterministicForSameSeed) {
   const auto catalog = web::study_catalog(7);
   const auto& protocol = core::protocol_by_name("QUIC+BBR");
-  const auto a = core::run_trial(catalog[6], protocol, net::mss_profile(), 77);
-  const auto b = core::run_trial(catalog[6], protocol, net::mss_profile(), 77);
+  const auto a = core::run_trial(core::TrialSpec(catalog[6], protocol, net::mss_profile(), 77));
+  const auto b = core::run_trial(core::TrialSpec(catalog[6], protocol, net::mss_profile(), 77));
   EXPECT_DOUBLE_EQ(a.metrics.plt_ms(), b.metrics.plt_ms());
   EXPECT_DOUBLE_EQ(a.metrics.si_ms(), b.metrics.si_ms());
   EXPECT_EQ(a.transport.retransmissions, b.transport.retransmissions);
@@ -226,8 +226,8 @@ TEST(PageLoader, DeterministicForSameSeed) {
 TEST(PageLoader, DifferentSeedsDifferOnLossyNetworks) {
   const auto catalog = web::study_catalog(7);
   const auto& protocol = core::protocol_by_name("QUIC");
-  const auto a = core::run_trial(catalog[6], protocol, net::mss_profile(), 1);
-  const auto b = core::run_trial(catalog[6], protocol, net::mss_profile(), 2);
+  const auto a = core::run_trial(core::TrialSpec(catalog[6], protocol, net::mss_profile(), 1));
+  const auto b = core::run_trial(core::TrialSpec(catalog[6], protocol, net::mss_profile(), 2));
   EXPECT_NE(a.metrics.plt_ms(), b.metrics.plt_ms());
 }
 

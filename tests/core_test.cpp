@@ -234,11 +234,53 @@ TEST(Video, ConditionBaseSeedIsStableAndDistinct) {
   EXPECT_NE(seed, condition_base_seed(7, "gov.uk", "QUIC", net::NetworkKind::kLte));
 }
 
+TEST(TrialSpec, RejectsMissingSiteOrProtocol) {
+  const auto catalog = web::study_catalog(7);
+  TrialSpec no_site;
+  no_site.protocol = &protocol_by_name("TCP");
+  no_site.profile = net::dsl_profile();
+  EXPECT_THROW(static_cast<void>(run_trial(no_site)), std::invalid_argument);
+
+  TrialSpec no_protocol;
+  no_protocol.site = &catalog[0];
+  no_protocol.profile = net::dsl_profile();
+  EXPECT_THROW(static_cast<void>(run_trial(no_protocol)), std::invalid_argument);
+}
+
+TEST(TrialSpec, MaxEventsCapsTheTrial) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[0];
+  const auto full =
+      run_trial(TrialSpec(site, protocol_by_name("QUIC"), net::lte_profile(), 42));
+  ASSERT_TRUE(full.metrics.finished);
+  // A budget far below the ~hundreds of thousands of events a page load
+  // needs must stop the trial early (and not hang or throw).
+  const auto capped = run_trial(TrialSpec(site, protocol_by_name("QUIC"), net::lte_profile(), 42)
+                                    .with_max_events(500));
+  EXPECT_FALSE(capped.metrics.finished);
+}
+
+TEST(TrialSpec, DeprecatedShimsMatchSpecOverload) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[2];
+  const auto& protocol = protocol_by_name("TCP+");
+  const auto profile = net::lte_profile();
+  const auto via_spec = run_trial(TrialSpec(site, protocol, profile, 77));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto via_shim = run_trial(site, protocol, profile, 77);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(via_spec.metrics.speed_index, via_shim.metrics.speed_index);
+  EXPECT_EQ(via_spec.metrics.page_load_time, via_shim.metrics.page_load_time);
+  EXPECT_EQ(via_spec.transport.retransmissions, via_shim.transport.retransmissions);
+  EXPECT_EQ(via_spec.connections_opened, via_shim.connections_opened);
+}
+
 TEST(Http1Baseline, LoadsAndIsSlowerThanQuic) {
   const auto catalog = web::study_catalog(7);
   const auto& site = catalog[1];  // gov.uk
-  const auto h1 = run_trial(site, http1_baseline_protocol(), net::lte_profile(), 5);
-  const auto quic = run_trial(site, protocol_by_name("QUIC"), net::lte_profile(), 5);
+  const auto h1 = run_trial(TrialSpec(site, http1_baseline_protocol(), net::lte_profile(), 5));
+  const auto quic = run_trial(TrialSpec(site, protocol_by_name("QUIC"), net::lte_profile(), 5));
   ASSERT_TRUE(h1.metrics.finished);
   ASSERT_TRUE(quic.metrics.finished);
   EXPECT_GT(h1.metrics.si_ms(), quic.metrics.si_ms());

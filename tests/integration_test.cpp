@@ -16,8 +16,7 @@ double mean_si_ms(const web::Website& site, const std::string& protocol,
                   const net::NetworkProfile& profile, int runs = 7) {
   double sum = 0.0;
   for (int seed = 1; seed <= runs; ++seed) {
-    const auto result = core::run_trial(site, core::protocol_by_name(protocol), profile,
-                                        static_cast<std::uint64_t>(seed) * 1000 + 7);
+    const auto result = core::run_trial(core::TrialSpec(site, core::protocol_by_name(protocol), profile, static_cast<std::uint64_t>(seed) * 1000 + 7));
     sum += result.metrics.si_ms();
   }
   return sum / runs;
@@ -27,8 +26,7 @@ double mean_retx(const web::Website& site, const std::string& protocol,
                  const net::NetworkProfile& profile, int runs = 7) {
   double sum = 0.0;
   for (int seed = 1; seed <= runs; ++seed) {
-    const auto result = core::run_trial(site, core::protocol_by_name(protocol), profile,
-                                        static_cast<std::uint64_t>(seed) * 1000 + 7);
+    const auto result = core::run_trial(core::TrialSpec(site, core::protocol_by_name(protocol), profile, static_cast<std::uint64_t>(seed) * 1000 + 7));
     sum += static_cast<double>(result.transport.retransmissions);
   }
   return sum / runs;
@@ -117,11 +115,9 @@ TEST(Integration, HandshakeAdvantageVisibleInFvc) {
   double tcp_fvc = 0.0;
   double quic_fvc = 0.0;
   for (int seed = 1; seed <= 7; ++seed) {
-    tcp_fvc += core::run_trial(site, core::protocol_by_name("TCP+"), net::lte_profile(),
-                               static_cast<std::uint64_t>(seed))
+    tcp_fvc += core::run_trial(core::TrialSpec(site, core::protocol_by_name("TCP+"), net::lte_profile(), static_cast<std::uint64_t>(seed)))
                    .metrics.fvc_ms();
-    quic_fvc += core::run_trial(site, core::protocol_by_name("QUIC"), net::lte_profile(),
-                                static_cast<std::uint64_t>(seed))
+    quic_fvc += core::run_trial(core::TrialSpec(site, core::protocol_by_name("QUIC"), net::lte_profile(), static_cast<std::uint64_t>(seed)))
                     .metrics.fvc_ms();
   }
   EXPECT_GT(tcp_fvc - quic_fvc, 7 * 50.0);
@@ -136,11 +132,9 @@ TEST(Integration, ZeroRttAblationFasterStill) {
   double one_rtt_si = 0.0;
   double zero_rtt_si = 0.0;
   for (int seed = 1; seed <= 5; ++seed) {
-    one_rtt_si += core::run_trial(site, core::protocol_by_name("QUIC"), net::lte_profile(),
-                                  static_cast<std::uint64_t>(seed))
+    one_rtt_si += core::run_trial(core::TrialSpec(site, core::protocol_by_name("QUIC"), net::lte_profile(), static_cast<std::uint64_t>(seed)))
                       .metrics.si_ms();
-    zero_rtt_si += core::run_trial(site, zero_rtt, net::lte_profile(),
-                                   static_cast<std::uint64_t>(seed))
+    zero_rtt_si += core::run_trial(core::TrialSpec(site, zero_rtt, net::lte_profile(), static_cast<std::uint64_t>(seed)))
                        .metrics.si_ms();
   }
   EXPECT_LT(zero_rtt_si, one_rtt_si);

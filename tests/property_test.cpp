@@ -26,7 +26,7 @@ TEST_P(TrialPropertyTest, PageLoadInvariants) {
   const auto& profile = net::profile_for(network);
 
   for (std::uint64_t seed : {11u, 22u, 33u}) {
-    const auto result = core::run_trial(site, protocol, profile, seed);
+    const auto result = core::run_trial(core::TrialSpec(site, protocol, profile, seed));
     ASSERT_TRUE(result.metrics.finished) << protocol_name << " seed " << seed;
 
     // Metric ordering: FVC <= VC85 <= LVC <= PLT and SI within [FVC, LVC].

@@ -14,7 +14,7 @@ TEST(Smoke, EveryProtocolLoadsASmallSiteOnDsl) {
   const auto catalog = web::study_catalog(7);
   const web::Website& site = catalog[6];  // apache.org: small
   for (const auto& protocol : core::paper_protocols()) {
-    const auto result = core::run_trial(site, protocol, net::dsl_profile(), 42);
+    const auto result = core::run_trial(core::TrialSpec(site, protocol, net::dsl_profile(), 42));
     EXPECT_TRUE(result.metrics.finished) << protocol.name;
     EXPECT_GT(result.metrics.plt_ms(), 0.0) << protocol.name;
     EXPECT_LT(result.metrics.plt_ms(), 30'000.0) << protocol.name;
@@ -27,7 +27,7 @@ TEST(Smoke, EveryNetworkCompletesWithQuic) {
   const web::Website& site = catalog[6];
   const auto& quic = core::protocol_by_name("QUIC");
   for (const auto& profile : net::all_profiles()) {
-    const auto result = core::run_trial(site, quic, profile, 43);
+    const auto result = core::run_trial(core::TrialSpec(site, quic, profile, 43));
     EXPECT_TRUE(result.metrics.finished) << profile.name;
     EXPECT_GT(result.metrics.plt_ms(), to_millis(profile.min_rtt)) << profile.name;
   }

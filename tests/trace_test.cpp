@@ -49,9 +49,7 @@ TEST(TraceModel, EveryEventTypeHasCategoryAndName) {
 
 TEST(TracedTrial, QuicEventsAreCausallyOrdered) {
   trace::MemorySink sink;
-  const auto result = core::run_trial(site_by_name("apache.org"),
-                                      core::protocol_by_name("QUIC"), net::mss_profile(),
-                                      /*seed=*/3, &sink);
+  const auto result = core::run_trial(core::TrialSpec(site_by_name("apache.org"), core::protocol_by_name("QUIC"), net::mss_profile(), /*seed=*/3).with_trace(&sink));
   ASSERT_TRUE(result.metrics.finished);
   ASSERT_FALSE(sink.events().empty());
 
@@ -117,8 +115,7 @@ TEST(TracedTrial, CountersEqualTransportStats) {
   for (const char* protocol : {"TCP", "QUIC"}) {
     trace::MemorySink sink;
     const auto result =
-        core::run_trial(site_by_name("apache.org"), core::protocol_by_name(protocol),
-                        net::mss_profile(), /*seed=*/11, &sink);
+        core::run_trial(core::TrialSpec(site_by_name("apache.org"), core::protocol_by_name(protocol), net::mss_profile(), /*seed=*/11).with_trace(&sink));
     const auto counters = trace::compute_counters(sink.events());
     SCOPED_TRACE(protocol);
     expect_counters_match(result.transport, counters);
@@ -137,10 +134,10 @@ TEST(TracedTrial, NullSinkIsBitExact) {
   const auto& protocol = core::protocol_by_name("QUIC");
   const auto& profile = net::da2gc_profile();
 
-  const auto untraced = core::run_trial(site, protocol, profile, /*seed=*/5);
+  const auto untraced = core::run_trial(core::TrialSpec(site, protocol, profile, /*seed=*/5));
   trace::MemorySink sink;
-  const auto traced = core::run_trial(site, protocol, profile, /*seed=*/5, &sink);
-  const auto untraced_again = core::run_trial(site, protocol, profile, /*seed=*/5, nullptr);
+  const auto traced = core::run_trial(core::TrialSpec(site, protocol, profile, /*seed=*/5).with_trace(&sink));
+  const auto untraced_again = core::run_trial(core::TrialSpec(site, protocol, profile, /*seed=*/5).with_trace(nullptr));
 
   EXPECT_FALSE(sink.events().empty());
   for (const auto* other : {&traced, &untraced_again}) {
@@ -174,8 +171,7 @@ TEST(TracedTrial, QuicHandshakeSavesOneRtt) {
 
   const auto first_handshake_ns = [&](const char* protocol) {
     trace::MemorySink sink;
-    (void)core::run_trial(site_by_name("apache.org"), core::protocol_by_name(protocol),
-                          profile, /*seed=*/7, &sink);
+    (void)core::run_trial(core::TrialSpec(site_by_name("apache.org"), core::protocol_by_name(protocol), profile, /*seed=*/7).with_trace(&sink));
     const auto* done = sink.first(trace::EventType::kHandshakeCompleted);
     EXPECT_NE(done, nullptr);
     return done == nullptr ? 0.0 : static_cast<double>(done->value);
@@ -197,8 +193,7 @@ TEST(TracedTrial, QuicHandshakeSavesOneRtt) {
 TEST(JsonlSink, EmitsOneValidObjectPerEvent) {
   std::ostringstream out;
   trace::JsonlSink sink(out);
-  (void)core::run_trial(site_by_name("apache.org"), core::protocol_by_name("QUIC"),
-                        net::dsl_profile(), /*seed=*/7, &sink);
+  (void)core::run_trial(core::TrialSpec(site_by_name("apache.org"), core::protocol_by_name("QUIC"), net::dsl_profile(), /*seed=*/7).with_trace(&sink));
   ASSERT_GT(sink.events_written(), 0u);
 
   std::istringstream lines(out.str());

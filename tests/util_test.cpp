@@ -1,10 +1,15 @@
-// Unit tests for util: RNG determinism/distributions, units, table printer.
+// Unit tests for util: RNG determinism/distributions, units, table printer,
+// SmallFunction callbacks, ring buffer.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
 #include <sstream>
 #include <vector>
 
+#include "util/function.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/time.hpp"
@@ -171,6 +176,89 @@ TEST(Table, Formatters) {
   EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
   EXPECT_EQ(fmt_ms(24.0), "24 ms");
+}
+
+TEST(SmallFunction, InvokesInlineCallable) {
+  int hits = 0;
+  SmallFunction<void()> fn([&hits] { ++hits; });
+  ASSERT_TRUE(fn);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, EmptyAndNullptrStates) {
+  SmallFunction<void()> fn;
+  EXPECT_FALSE(fn);
+  EXPECT_TRUE(fn == nullptr);
+  fn = [] {};
+  EXPECT_TRUE(fn);
+  EXPECT_TRUE(fn != nullptr);
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+}
+
+TEST(SmallFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFunction<void()> a([&hits] { ++hits; });
+  SmallFunction<void()> b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty by contract
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFunction, SupportsMoveOnlyCaptures) {
+  auto owned = std::make_unique<int>(41);
+  SmallFunction<int()> fn([owned = std::move(owned)] { return *owned + 1; });
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(SmallFunction, LargeCapturesFallBackToHeap) {
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, well past the inline buffer
+  big[0] = 7;
+  big[31] = 35;
+  SmallFunction<std::uint64_t()> fn([big] { return big[0] + big[31]; });
+  EXPECT_EQ(fn(), 42u);
+  SmallFunction<std::uint64_t()> moved(std::move(fn));
+  EXPECT_EQ(moved(), 42u);
+}
+
+TEST(SmallFunction, PassesArgumentsAndReturnsValues) {
+  SmallFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(20, 22), 42);
+}
+
+TEST(RingBuffer, FifoOrderAcrossGrowth) {
+  RingBuffer<int> buffer;
+  for (int i = 0; i < 100; ++i) buffer.push_back(i);
+  EXPECT_EQ(buffer.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(buffer.pop_front(), i);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBuffer, WrapsAroundWithoutReordering) {
+  RingBuffer<int> buffer;
+  int next_in = 0;
+  int next_out = 0;
+  // Interleave pushes and pops so head/tail wrap the slab repeatedly.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) buffer.push_back(next_in++);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(buffer.pop_front(), next_out++);
+  }
+  while (!buffer.empty()) EXPECT_EQ(buffer.pop_front(), next_out++);
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBuffer, ClearEmptiesAndStaysUsable) {
+  RingBuffer<std::unique_ptr<int>> buffer;
+  buffer.push_back(std::make_unique<int>(1));
+  buffer.push_back(std::make_unique<int>(2));
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  buffer.push_back(std::make_unique<int>(3));
+  EXPECT_EQ(*buffer.front(), 3);
+  EXPECT_EQ(*buffer.pop_front(), 3);
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include "core/video.hpp"
 #include "net/profile.hpp"
 #include "runner/campaign.hpp"
+#include "sim/simulator.hpp"
 #include "runner/campaign_runner.hpp"
 #include "runner/result_store.hpp"
 #include "stats/stats.hpp"
@@ -98,7 +99,7 @@ int usage() {
       << "usage: qperc <command> [flags]\n"
          "  catalog [--export FILE] [--catalog FILE] | protocols | networks\n"
          "  trial --site S --protocol P --network N [--seed K] [--csv]\n"
-         "        [--catalog FILE] [--trace out.jsonl]\n"
+         "        [--catalog FILE] [--trace out.jsonl] [--max-events N]\n"
          "  video --site S --protocol P --network N [--runs R] [--seed K]\n"
          "  study --kind ab|rating [--group lab|uworker|internet] [--runs R]\n"
          "        [--sites N] [--seed K]\n"
@@ -217,8 +218,11 @@ int cmd_trial(const Args& args) {
     sink = std::make_unique<TracingSink>(trace_file);
   }
 
-  const auto result = core::run_trial(*site, protocol, profile, args.get_u64("seed", 7),
-                                      sink ? sink.get() : nullptr);
+  const auto result = core::run_trial(
+      core::TrialSpec(*site, protocol, profile, args.get_u64("seed", 7))
+          .with_trace(sink ? sink.get() : nullptr)
+          .with_max_events(
+              args.get_u64("max-events", sim::Simulator::kDefaultEventCap)));
 
   if (sink) {
     trace_file.flush();
@@ -255,6 +259,9 @@ int cmd_trial(const Args& args) {
                  std::to_string(result.connections_opened)});
   std::cout << site->name << " / " << protocol.name << " / " << profile.name << "\n";
   table.print(std::cout);
+  if (!result.metrics.finished) {
+    std::cout << "(load did not finish within the event/time budget; metrics are partial)\n";
+  }
   return 0;
 }
 
@@ -605,7 +612,7 @@ int main(int argc, char** argv) {
     if (command == "trial") {
       return cmd_trial(Args(argc, argv, 2, "trial",
                             {"site", "protocol", "network", "seed", "csv", "catalog",
-                             "trace"}));
+                             "trace", "max-events"}));
     }
     if (command == "video") {
       return cmd_video(
