@@ -88,8 +88,11 @@ require_section() {
 }
 require_section ARCHITECTURE.md "Simulator internals"
 require_section ARCHITECTURE.md "Determinism contract"
+require_section ARCHITECTURE.md "Correctness tooling"
 require_section EXPERIMENTS.md "Benchmarking qperc"
 require_section EXPERIMENTS.md "Running the grid as a campaign"
+# (the argument is an ERE fragment, so the parens are escaped)
+require_section EXPERIMENTS.md 'The CI gate \(`scripts/ci_gate.sh`\)'
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# The full correctness gate, chaining every static and dynamic check in
+# dependency order:
+#
+#   1. determinism lint   scripts/lint_determinism.py --self-test
+#   2. clang-tidy         scripts/run_clang_tidy.sh (skips if not installed)
+#   3. sanitizer matrix   scripts/sanitize_matrix.sh (ASan+UBSan, TSan,
+#                         release-with-invariants)
+#   4. bench smoke        scripts/bench_baseline.sh --smoke on a -Werror
+#                         release build
+#
+#   scripts/ci_gate.sh [--jobs N] [--skip STAGE[,STAGE...]]
+#
+# Stages run in order; the first failure stops the gate. Registered as the
+# opt-in `ci_gate` ctest via -DQPERC_ENABLE_CI_GATE=ON (see EXPERIMENTS.md);
+# opt-in because the matrix rebuilds the tree several times over.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root" || exit 2
+
+jobs="$(nproc 2>/dev/null || echo 1)"
+skip=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs) jobs="$2"; shift 2 ;;
+    --skip) skip="$2"; shift 2 ;;
+    *) echo "ci_gate: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+skipped() { case ",$skip," in *",$1,"*) return 0 ;; *) return 1 ;; esac; }
+
+stage() {
+  name="$1"
+  shift
+  if skipped "$name"; then
+    echo "ci_gate: ---- $name: SKIP (requested) ----"
+    return 0
+  fi
+  echo "ci_gate: ---- $name ----"
+  if ! "$@"; then
+    echo "ci_gate: $name FAILED" >&2
+    exit 1
+  fi
+}
+
+stage lint scripts/lint_determinism.py --self-test
+stage tidy scripts/run_clang_tidy.sh --jobs "$jobs"
+stage sanitize scripts/sanitize_matrix.sh --jobs "$jobs"
+
+bench_stage() {
+  # Gate builds keep -Werror at its default ON: a warning-clean tree is part
+  # of the contract (use -DQPERC_WERROR=OFF locally as the escape hatch).
+  build_dir="build-gate-release"
+  cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE=Release -DQPERC_WERROR=ON > /dev/null || return 1
+  cmake --build "$build_dir" -j "$jobs" > /dev/null || return 1
+  scripts/bench_baseline.sh --smoke --bench "$build_dir/bench/bench_micro_perf" || return 1
+  rm -rf "$build_dir"
+}
+stage bench bench_stage
+
+echo "ci_gate: OK"

@@ -1,0 +1,387 @@
+#!/usr/bin/env python3
+"""Determinism lint for the qperc simulator core.
+
+Every qperc result (Table 1 orderings, golden bit-exactness, campaign
+ResultStore checksums) depends on the simulator being perfectly
+deterministic: same seed, same bytes, on every run and every machine. This
+linter statically bans the ways nondeterminism usually sneaks into C++
+simulation code. It scans src/ (headers and sources) and fails on:
+
+  random-device             std::random_device (hardware entropy)
+  libc-rand                 rand()/srand()/random()/drand48() (global hidden
+                            state, implementation-defined sequences)
+  wall-clock                std::chrono::{system,steady,high_resolution}_clock,
+                            time()/clock()/gettimeofday()/clock_gettime() —
+                            wall time must never reach simulation state
+  unordered-container       std::unordered_{map,set,multimap,multiset}:
+                            iteration order is hash-seed- and
+                            libstdc++-version-dependent, and quietly reaches
+                            the event schedule (use std::map / sorted vectors)
+  pointer-keyed-container   std::map/std::set keyed by a pointer: ASLR makes
+                            the iteration order differ between runs
+  uninitialized-pod-member  a scalar (int/bool/float/pointer/SimTime) member
+                            of a struct/class in protocol-state directories
+                            (sim/net/tcp/quic/cc/browser) with no initializer:
+                            reads of indeterminate values are UB and
+                            run-to-run nondeterministic
+
+Legitimate uses are annotated inline and must give a reason:
+
+    std::chrono::steady_clock::now();  // qperc-lint: allow(wall-clock) ETA display only
+    // qperc-lint: allow(unordered-container) order never escapes: commutative sum
+    std::unordered_map<K, V> cache_;
+
+(the annotation covers its own line or the line directly below it). A
+file-wide waiver is spelled `// qperc-lint: allow-file(<rule>) <reason>`.
+
+Usage:
+    scripts/lint_determinism.py                # scan src/
+    scripts/lint_determinism.py --self-test    # prove each rule fires, then scan
+    scripts/lint_determinism.py --list-rules
+    scripts/lint_determinism.py FILE...        # scan specific files
+
+Exit status: 0 clean, 1 findings, 2 usage/self-test failure.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Directories (under --root) whose structs hold protocol/simulation state;
+# the uninitialized-POD rule applies only here.
+STATE_DIRS = ("src/sim", "src/net", "src/tcp", "src/quic", "src/cc", "src/browser")
+
+SCALAR_TYPE = (
+    r"(?:std::)?(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t|bool|char|short|int|"
+    r"long(?:\s+long)?|unsigned(?:\s+(?:int|long|char|short))?|float|double|"
+    r"SimTime|SimDuration)"
+)
+
+# rule id -> (regex on comment/string-stripped code, human explanation)
+PATTERN_RULES = {
+    "random-device": (
+        re.compile(r"std::random_device"),
+        "hardware entropy source; derive all randomness from qperc::Rng seeds",
+    ),
+    "libc-rand": (
+        re.compile(r"(?<![\w.:>])(?:s?rand|random|[ejlmn]rand48|drand48)\s*\("),
+        "libc RNG with hidden global state; use qperc::Rng",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+            r"|(?<![\w.:>])(?:time|clock|gettimeofday|clock_gettime)\s*\("
+        ),
+        "wall-clock time; simulation code must use sim::Simulator::now()",
+    ),
+    "unordered-container": (
+        re.compile(r"std::unordered_(?:multi)?(?:map|set)"),
+        "hash-order iteration is nondeterministic; use std::map/std::set or sorted vectors",
+    ),
+    "pointer-keyed-container": (
+        re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+(?:<[^<>]*>)?\s*\*"),
+        "pointer keys order by address (ASLR-dependent); key by a stable id",
+    ),
+}
+
+STRUCTURAL_RULES = {
+    "uninitialized-pod-member": (
+        "scalar struct/class member without an initializer in protocol-state code "
+        "(indeterminate reads are UB and nondeterministic); add `= ...` or `{}`",
+    ),
+}
+
+ALL_RULES = {**{k: v[1] for k, v in PATTERN_RULES.items()},
+             **{k: v[0] for k, v in STRUCTURAL_RULES.items()}}
+
+ALLOW_RE = re.compile(r"qperc-lint:\s*allow\(([\w-]+)\)\s*(\S.*)?$")
+ALLOW_FILE_RE = re.compile(r"qperc-lint:\s*allow-file\(([\w-]+)\)\s*(\S.*)?$")
+
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:" + SCALAR_TYPE + r")(?:\s+|\s*\*\s*)"
+    r"(\w+)(?:\s*\[[^\]]*\])?\s*;\s*$"
+)
+POINTER_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?[\w:]+(?:<[^;{}]*>)?\s*\*\s*(\w+)\s*;\s*$"
+)
+RECORD_INTRO_RE = re.compile(r"\b(?:struct|class|union)\s+\w+[^;{]*$|\b(?:struct|class|union)\s*$")
+
+
+class Finding:
+    def __init__(self, path, line, rule, text):
+        self.path, self.line, self.rule, self.text = path, line, rule, text
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.text.strip()}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments, string and char literals, preserving line structure.
+
+    Keeps the matched spans' lengths (newlines intact) so line numbers and
+    column positions survive for reporting.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            out.append(c)  # digit separator (10'000) or suffix, not a char literal
+            i += 1
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            body = "".join(ch if ch == "\n" else " " for ch in text[i + 1 : j - 1])
+            out.append(quote + body + (quote if j <= n else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_allows(raw_lines):
+    """Returns ({line_no: {rules}}, {file_wide_rules}); 1-based line numbers.
+
+    An inline allow covers its own line and the next line (so annotations can
+    sit above long declarations). Annotations without a reason are themselves
+    findings — the waiver must say why.
+    """
+    inline, file_wide, bad = {}, set(), []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            if not m.group(2):
+                bad.append((idx, "allow-file(%s) annotation is missing a reason" % m.group(1)))
+            file_wide.add(m.group(1))
+            continue
+        m = ALLOW_RE.search(line)
+        if m:
+            if not m.group(2):
+                bad.append((idx, "allow(%s) annotation is missing a reason" % m.group(1)))
+            inline.setdefault(idx, set()).add(m.group(1))
+            inline.setdefault(idx + 1, set()).add(m.group(1))
+    return inline, file_wide, bad
+
+
+def record_context_lines(stripped):
+    """Heuristically marks which lines sit directly inside a struct/class body.
+
+    Tracks a stack of brace contexts; a `{` opens a *record* context when the
+    preceding declaration text introduces a struct/class/union and is not a
+    function definition (no trailing `)`), otherwise a code/initializer
+    context. Member declarations are only flagged in record contexts whose
+    innermost frame is a record (not inside member function bodies).
+    """
+    in_record = set()
+    stack = []  # True = record body, False = any other brace scope
+    decl_start = 0
+    line_no = 1
+    for i, ch in enumerate(stripped):
+        if stack and stack[-1]:
+            in_record.add(line_no)
+        if ch == "\n":
+            line_no += 1
+        elif ch == "{":
+            # Classify by the last statement fragment before the brace:
+            # `struct X {` opens a record; `int f() {` or `= {` does not, and
+            # `enum class X {` is an enum, not a record of members.
+            intro = stripped[decl_start:i]
+            frag = re.split(r"[;{}]", intro)[-1].strip()
+            is_record = bool(re.search(r"\b(struct|class|union)\b", frag)) and not frag.endswith(")")
+            if re.search(r"\benum\b", frag):
+                is_record = False
+            stack.append(is_record)
+            decl_start = i + 1
+        elif ch == "}":
+            if stack:
+                stack.pop()
+            decl_start = i + 1
+        elif ch == ";":
+            decl_start = i + 1
+    return in_record
+
+
+def lint_file(path, rel=None, state_scope=None):
+    """Lints one file; returns a list of Findings. `rel` is the reported path."""
+    rel = rel or path
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError as e:
+        return [Finding(rel, 0, "io-error", str(e))]
+
+    raw_lines = text.splitlines()
+    stripped = strip_comments_and_strings(text)
+    stripped_lines = stripped.splitlines()
+    inline_allows, file_allows, bad_annotations = collect_allows(raw_lines)
+
+    findings = [Finding(rel, ln, "bad-annotation", msg) for ln, msg in bad_annotations]
+
+    def allowed(rule, line_no):
+        return rule in file_allows or rule in inline_allows.get(line_no, set())
+
+    for rule, (regex, _why) in PATTERN_RULES.items():
+        for idx, line in enumerate(stripped_lines, start=1):
+            if regex.search(line) and not allowed(rule, idx):
+                findings.append(Finding(rel, idx, rule, raw_lines[idx - 1]))
+
+    in_state_scope = state_scope if state_scope is not None else any(
+        rel.replace(os.sep, "/").startswith(d + "/") for d in STATE_DIRS)
+    if in_state_scope:
+        record_lines = record_context_lines(stripped)
+        rule = "uninitialized-pod-member"
+        for idx, line in enumerate(stripped_lines, start=1):
+            if idx not in record_lines:
+                continue
+            if "static" in line or "constexpr" in line or "using " in line:
+                continue
+            if MEMBER_DECL_RE.match(line) or POINTER_MEMBER_RE.match(line):
+                if not allowed(rule, idx):
+                    findings.append(Finding(rel, idx, rule, raw_lines[idx - 1]))
+    return findings
+
+
+def iter_source_files(root):
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                full = os.path.join(dirpath, name)
+                yield full, os.path.relpath(full, root)
+
+
+# ---------------------------------------------------------------------------
+# Self-test: one minimal violating snippet per rule, plus allowlist checks.
+# Written to a temp dir and linted exactly like real sources; the ctest runs
+# with --self-test so a regression that silences a rule fails loudly.
+
+SELF_TEST_SNIPPETS = {
+    "random-device": "#include <random>\nstd::random_device rd;\n",
+    "libc-rand": "int f() { return rand(); }\n",
+    "wall-clock": "#include <chrono>\nauto t = std::chrono::steady_clock::now();\n",
+    "unordered-container": "#include <unordered_map>\nstd::unordered_map<int, int> m;\n",
+    "pointer-keyed-container": "#include <map>\nstruct S;\nstd::map<S*, int> by_ptr;\n",
+    "uninitialized-pod-member": "struct State {\n  int cwnd;\n};\n",
+}
+
+SELF_TEST_CLEAN = """\
+#include <map>
+struct State {
+  int cwnd = 0;
+  double gain{1.0};
+  std::map<int, int> ordered;
+};
+"""
+
+SELF_TEST_ALLOWED = """\
+#include <unordered_map>
+// qperc-lint: allow(unordered-container) self-test: order never escapes
+std::unordered_map<int, int> cache;
+"""
+
+
+def run_self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="qperc-lint-selftest-") as tmp:
+        for rule, snippet in SELF_TEST_SNIPPETS.items():
+            path = os.path.join(tmp, rule.replace("-", "_") + ".hpp")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(snippet)
+            got = lint_file(path, rel="src/sim/" + os.path.basename(path), state_scope=True)
+            if not any(f.rule == rule for f in got):
+                failures.append(f"rule {rule} did not fire on its violation snippet")
+            unexpected = [f for f in got if f.rule != rule]
+            if unexpected:
+                failures.append(f"rule {rule} snippet raised extra findings: "
+                                + "; ".join(map(str, unexpected)))
+
+        clean = os.path.join(tmp, "clean.hpp")
+        with open(clean, "w", encoding="utf-8") as fh:
+            fh.write(SELF_TEST_CLEAN)
+        got = lint_file(clean, rel="src/sim/clean.hpp", state_scope=True)
+        if got:
+            failures.append("clean snippet raised findings: " + "; ".join(map(str, got)))
+
+        allowed = os.path.join(tmp, "allowed.hpp")
+        with open(allowed, "w", encoding="utf-8") as fh:
+            fh.write(SELF_TEST_ALLOWED)
+        got = lint_file(allowed, rel="src/sim/allowed.hpp", state_scope=True)
+        if got:
+            failures.append("allow() annotation did not suppress: " + "; ".join(map(str, got)))
+
+        noreason = os.path.join(tmp, "noreason.hpp")
+        with open(noreason, "w", encoding="utf-8") as fh:
+            fh.write("// qperc-lint: allow(wall-clock)\nint x = 0;\n")
+        got = lint_file(noreason, rel="src/sim/noreason.hpp", state_scope=True)
+        if not any(f.rule == "bad-annotation" for f in got):
+            failures.append("reason-less allow() annotation was not reported")
+
+    for line in failures:
+        print(f"lint_determinism: self-test FAILED: {line}", file=sys.stderr)
+    return not failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="specific files to lint (default: <root>/src)")
+    parser.add_argument("--root", default=os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir),
+                        help="repository root (default: the script's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a synthetic violation before scanning")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(ALL_RULES):
+            print(f"{rule:26s} {ALL_RULES[rule]}")
+        return 0
+
+    if args.self_test and not run_self_test():
+        return 2
+
+    root = os.path.abspath(args.root)
+    findings = []
+    if args.files:
+        for path in args.files:
+            findings.extend(lint_file(path, rel=os.path.relpath(os.path.abspath(path), root)))
+        scanned = len(args.files)
+    else:
+        scanned = 0
+        for full, rel in iter_source_files(root):
+            findings.extend(lint_file(full, rel=rel))
+            scanned += 1
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_determinism: FAILED ({len(findings)} finding(s) in {scanned} file(s))")
+        return 1
+    suffix = " (self-test passed)" if args.self_test else ""
+    print(f"lint_determinism: OK ({scanned} file(s) clean{suffix})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

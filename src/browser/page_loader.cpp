@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "util/check.hpp"
+
 namespace qperc::browser {
 namespace {
 
@@ -26,9 +28,28 @@ PageLoader::PageLoader(sim::Simulator& simulator, const web::Website& site,
     if (object.parent < 0) {
       roots_.push_back(object.id);
     } else {
+      // Always-on: an out-of-range parent id would index past the children_
+      // vector; a corrupt catalog must not become memory corruption.
+      QPERC_CHECK_LT(static_cast<std::size_t>(object.parent), site.objects.size())
+          << "object references a parent outside the site catalog";
       children_[static_cast<std::size_t>(object.parent)].push_back(object.id);
     }
   }
+#if QPERC_INVARIANTS_ENABLED
+  // The discovery graph must be a DAG: walking parent links from any object
+  // has to reach a root within |objects| steps, or there is a cycle and the
+  // load would deadlock waiting for an object to discover itself.
+  for (const auto& object : site.objects) {
+    std::int64_t cursor = object.parent;
+    std::size_t steps = 0;
+    while (cursor >= 0) {
+      QPERC_DCHECK_LT(steps, site.objects.size())
+          << "cycle in the object dependency graph";
+      cursor = site.objects[static_cast<std::size_t>(cursor)].parent;
+      ++steps;
+    }
+  }
+#endif
 }
 
 void PageLoader::start() {
@@ -95,6 +116,10 @@ void PageLoader::submit_to_session(http::Session& session, std::uint32_t id) {
 }
 
 void PageLoader::request_object(std::uint32_t id) {
+  const web::WebObject& requested = site_.objects[id];
+  QPERC_DCHECK(requested.parent < 0 ||
+               states_[static_cast<std::size_t>(requested.parent)].requested)
+      << "object requested before its discovering parent";
   ObjectState& state = states_[id];
   if (state.requested) return;
   state.requested = true;
@@ -134,9 +159,13 @@ void PageLoader::check_discoveries(std::uint32_t parent_id) {
 
 void PageLoader::on_object_complete(std::uint32_t id) {
   ObjectState& state = states_[id];
+  QPERC_DCHECK(!state.complete) << "object completed twice";
+  QPERC_DCHECK_GE(state.body_delivered, site_.objects[id].bytes)
+      << "object completed before its body was fully delivered";
   state.complete = true;
   state.complete_at = simulator_.now();
   ++completed_objects_;
+  QPERC_DCHECK_LE(completed_objects_, site_.objects.size());
   page_load_end_ = std::max(page_load_end_, state.complete_at);
   if (simulator_.trace() != nullptr) {
     simulator_.trace_event(trace::EventType::kObjectComplete, trace::Endpoint::kClient,

@@ -5,8 +5,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "browser/metrics.hpp"
@@ -79,12 +79,14 @@ class PageLoader {
   SessionFactory session_factory_;
   Rng rng_;
 
-  std::unordered_map<std::uint32_t, std::unique_ptr<http::Session>> sessions_;
+  /// Ordered by origin id: result() iterates to aggregate transport stats,
+  /// so the order must be deterministic (see scripts/lint_determinism.py).
+  std::map<std::uint32_t, std::unique_ptr<http::Session>> sessions_;
   std::size_t connecting_ = 0;
   /// Origins waiting for a connection-pool slot, FIFO; per-origin object
   /// queues waiting for their session to exist.
   std::vector<std::uint32_t> waiting_origins_;
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> queued_objects_;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> queued_objects_;
   std::vector<ObjectState> states_;
   /// children_by_parent_[p] lists object ids discovered while p loads.
   std::vector<std::vector<std::uint32_t>> children_;

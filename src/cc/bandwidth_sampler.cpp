@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace qperc::cc {
 
 void BandwidthSampler::on_packet_sent(std::uint64_t packet_id, std::uint64_t bytes,
@@ -11,6 +13,8 @@ void BandwidthSampler::on_packet_sent(std::uint64_t packet_id, std::uint64_t byt
     delivered_time_ = now;
     first_sent_time_ = now;
   }
+  QPERC_DCHECK(!in_flight_.contains(packet_id))
+      << "packet ids must be unique per transmission";
   in_flight_[packet_id] = SendState{
       .sent_time = now,
       .delivered_at_send = delivered_bytes_,
@@ -18,6 +22,7 @@ void BandwidthSampler::on_packet_sent(std::uint64_t packet_id, std::uint64_t byt
       .bytes = bytes,
       .app_limited = app_limited_until_delivered_ > delivered_bytes_,
   };
+  in_flight_bytes_ += bytes;
 }
 
 std::optional<RateSample> BandwidthSampler::on_packet_acked(std::uint64_t packet_id,
@@ -26,8 +31,11 @@ std::optional<RateSample> BandwidthSampler::on_packet_acked(std::uint64_t packet
   if (it == in_flight_.end()) return std::nullopt;
   const SendState state = it->second;
   in_flight_.erase(it);
+  QPERC_DCHECK_GE(in_flight_bytes_, state.bytes);
+  in_flight_bytes_ -= state.bytes;
 
   delivered_bytes_ += state.bytes;
+  QPERC_DCHECK_GE(now, delivered_time_) << "delivery clock must be monotone";
   delivered_time_ = now;
 
   // Rate over the ACK interval, guarded against division by ~zero: use the
@@ -44,12 +52,16 @@ std::optional<RateSample> BandwidthSampler::on_packet_acked(std::uint64_t packet
   };
 }
 
-void BandwidthSampler::on_packet_lost(std::uint64_t packet_id) { in_flight_.erase(packet_id); }
+void BandwidthSampler::on_packet_lost(std::uint64_t packet_id) {
+  const auto it = in_flight_.find(packet_id);
+  if (it == in_flight_.end()) return;
+  QPERC_DCHECK_GE(in_flight_bytes_, it->second.bytes);
+  in_flight_bytes_ -= it->second.bytes;
+  in_flight_.erase(it);
+}
 
 void BandwidthSampler::on_app_limited() {
-  std::uint64_t outstanding = 0;
-  for (const auto& [id, state] : in_flight_) outstanding += state.bytes;
-  app_limited_until_delivered_ = delivered_bytes_ + outstanding;
+  app_limited_until_delivered_ = delivered_bytes_ + in_flight_bytes_;
 }
 
 }  // namespace qperc::cc

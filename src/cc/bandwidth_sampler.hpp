@@ -4,8 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "util/time.hpp"
 #include "util/units.hpp"
@@ -51,7 +51,10 @@ class BandwidthSampler {
   SimTime delivered_time_{0};
   SimTime first_sent_time_{0};
   std::uint64_t app_limited_until_delivered_ = 0;
-  std::unordered_map<std::uint64_t, SendState> in_flight_;
+  /// Running sum of in_flight_ payload bytes, so on_app_limited never
+  /// iterates (and the container never needs hash order).
+  std::uint64_t in_flight_bytes_ = 0;
+  std::map<std::uint64_t, SendState> in_flight_;
 };
 
 }  // namespace qperc::cc

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "util/check.hpp"
+
 namespace qperc::cc {
 namespace {
 
@@ -172,6 +174,7 @@ void Bbr::on_restart_after_idle() {
 std::uint64_t Bbr::congestion_window() const {
   // Recovery ends implicitly as soon as on_ack raises the window again; the
   // flag is cleared lazily there.
+  QPERC_DCHECK_GE(cwnd_bytes_, config_.mss) << "cwnd collapsed below one MSS";
   return cwnd_bytes_;
 }
 

@@ -62,8 +62,8 @@ class Bbr final : public CongestionController {
   SimDuration min_rtt_{SimDuration::max()};
   SimTime min_rtt_timestamp_{0};
 
-  double pacing_gain_;
-  double cwnd_gain_;
+  double pacing_gain_ = 1.0;  // set by the constructor
+  double cwnd_gain_ = 1.0;    // set by the constructor
 
   // Full-pipe detection (exit STARTUP after 3 rounds without 25% growth).
   DataRate full_bw_;
@@ -78,7 +78,7 @@ class Bbr final : public CongestionController {
   SimTime probe_rtt_done_at_{kNoTime};
   bool probe_rtt_round_seen_ = false;
 
-  std::uint64_t cwnd_bytes_;
+  std::uint64_t cwnd_bytes_ = 0;  // set by the constructor
   std::uint64_t prior_cwnd_bytes_ = 0;
   bool in_recovery_ = false;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace qperc::cc {
 
 Bbr2::Bbr2(Bbr2Config config)
@@ -216,7 +218,10 @@ void Bbr2::on_retransmission_timeout() {
 
 void Bbr2::on_restart_after_idle() {}
 
-std::uint64_t Bbr2::congestion_window() const { return cwnd_bytes_; }
+std::uint64_t Bbr2::congestion_window() const {
+  QPERC_DCHECK_GE(cwnd_bytes_, config_.mss) << "cwnd collapsed below one MSS";
+  return cwnd_bytes_;
+}
 
 DataRate Bbr2::pacing_rate(SimDuration smoothed_rtt) const {
   if (max_bw_.empty() || min_rtt_ == SimDuration::max()) {

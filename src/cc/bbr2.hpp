@@ -80,8 +80,8 @@ class Bbr2 final : public CongestionController {
   SimDuration min_rtt_{SimDuration::max()};
   SimTime min_rtt_timestamp_{0};
 
-  double pacing_gain_;
-  double cwnd_gain_;
+  double pacing_gain_ = 1.0;  // set by the constructor
+  double cwnd_gain_ = 1.0;    // set by the constructor
 
   DataRate full_bw_;
   std::uint32_t full_bw_rounds_ = 0;
@@ -101,7 +101,7 @@ class Bbr2 final : public CongestionController {
   bool probe_rtt_inflight_reached_ = false;
   std::uint64_t prior_cwnd_bytes_ = 0;
 
-  std::uint64_t cwnd_bytes_;
+  std::uint64_t cwnd_bytes_ = 0;  // set by the constructor
 };
 
 }  // namespace qperc::cc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace qperc::cc {
 
 Pacer::Pacer(PacerConfig config)
@@ -31,6 +33,7 @@ SimTime Pacer::next_send_time(SimTime now, std::uint32_t bytes) const {
 
 void Pacer::on_packet_sent(SimTime now, std::uint32_t bytes) {
   if (!config_.enabled) return;
+  QPERC_DCHECK_GE(now, last_update_) << "pacer clock moved backwards";
   token_bytes_ = tokens_at(now) - static_cast<double>(bytes);
   last_update_ = now;
 }

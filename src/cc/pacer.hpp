@@ -43,7 +43,7 @@ class Pacer {
 
   PacerConfig config_;
   DataRate rate_;
-  double token_bytes_;
+  double token_bytes_ = 0.0;  // set by the constructor
   SimTime last_update_{0};
 };
 

@@ -6,6 +6,8 @@
 
 #include "cc/congestion_controller.hpp"
 
+#include "util/check.hpp"
+
 namespace qperc::cc {
 
 struct RenoConfig {
@@ -28,7 +30,10 @@ class Reno final : public CongestionController {
   void on_retransmission_timeout() override;
   void on_restart_after_idle() override;
 
-  [[nodiscard]] std::uint64_t congestion_window() const override { return cwnd_bytes_; }
+  [[nodiscard]] std::uint64_t congestion_window() const override {
+    QPERC_DCHECK_GE(cwnd_bytes_, config_.mss) << "cwnd collapsed below one MSS";
+    return cwnd_bytes_;
+  }
   [[nodiscard]] DataRate pacing_rate(SimDuration smoothed_rtt) const override;
   [[nodiscard]] bool in_slow_start() const override { return cwnd_bytes_ < ssthresh_bytes_; }
   [[nodiscard]] std::string_view name() const override { return "reno"; }
@@ -36,8 +41,8 @@ class Reno final : public CongestionController {
 
  private:
   RenoConfig config_;
-  std::uint64_t cwnd_bytes_;
-  std::uint64_t ssthresh_bytes_;
+  std::uint64_t cwnd_bytes_ = 0;      // set by the constructor
+  std::uint64_t ssthresh_bytes_ = 0;  // set by the constructor
   std::uint64_t ack_accumulator_ = 0;  // bytes acked towards the next +1 MSS
 };
 

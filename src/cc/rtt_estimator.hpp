@@ -5,6 +5,8 @@
 
 #include "util/time.hpp"
 
+#include "util/check.hpp"
+
 namespace qperc::cc {
 
 class RttEstimator {
@@ -15,6 +17,7 @@ class RttEstimator {
   static constexpr SimDuration kInitialRto = seconds(1);
 
   void on_rtt_sample(SimDuration rtt) {
+    QPERC_DCHECK_GT(rtt.count(), 0) << "RTT samples must be strictly positive";
     latest_ = rtt;
     min_rtt_ = has_sample_ ? std::min(min_rtt_, rtt) : rtt;
     if (!has_sample_) {

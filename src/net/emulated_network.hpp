@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
@@ -56,8 +56,10 @@ class EmulatedNetwork {
   NetworkProfile profile_;
   std::unique_ptr<Link> uplink_;
   std::unique_ptr<Link> downlink_;
-  std::unordered_map<std::uint64_t, Handler> client_flows_;
-  std::unordered_map<std::uint64_t, Handler> server_flows_;
+  /// Keyed lookups only today, but ordered anyway: a future iteration (e.g.
+  /// broadcasting link state to all flows) must not inherit hash order.
+  std::map<std::uint64_t, Handler> client_flows_;
+  std::map<std::uint64_t, Handler> server_flows_;
   std::uint64_t next_flow_id_ = 1;
 };
 

@@ -79,9 +79,9 @@ class Link {
 
   sim::Simulator& simulator_;
   DataRate rate_;
-  SimDuration propagation_delay_;
-  double loss_rate_;
-  std::uint64_t queue_capacity_bytes_;
+  SimDuration propagation_delay_{0};       // set by the constructor
+  double loss_rate_ = 0.0;                 // set by the constructor
+  std::uint64_t queue_capacity_bytes_ = 0; // set by the constructor
   Rng loss_rng_;
   DeliverFn deliver_;
   Observer observer_;

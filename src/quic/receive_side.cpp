@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace qperc::quic {
 namespace {
 
@@ -60,6 +62,18 @@ void QuicReceiveSide::on_packet(const QuicPacket& packet) {
       received_[pn] = pn;
     }
     largest_received_ = std::max(largest_received_, pn);
+    // The merge must leave ranges sorted, disjoint, and non-adjacent around
+    // the insertion point (adjacent ranges should have coalesced).
+    const auto cur = --received_.upper_bound(pn);
+    QPERC_DCHECK_LE(cur->first, cur->second);
+    if (cur != received_.begin()) {
+      QPERC_DCHECK_GT(cur->first, std::prev(cur)->second + 1)
+          << "received packet ranges failed to coalesce";
+    }
+    if (const auto after = std::next(cur); after != received_.end()) {
+      QPERC_DCHECK_GT(after->first, cur->second + 1)
+          << "received packet ranges failed to coalesce";
+    }
   }
 
   if (!duplicate) {
@@ -121,6 +135,10 @@ void QuicReceiveSide::on_stream_frame(const StreamFrame& frame) {
     }
   }
 
+  QPERC_DCHECK_GE(stream.contiguous, before) << "stream reassembly moved backwards";
+  QPERC_DCHECK(stream.out_of_order.empty() ||
+               stream.out_of_order.begin()->first > stream.contiguous)
+      << "out-of-order stream data at or below the contiguous mark";
   const std::uint64_t progress = stream.contiguous - before;
   connection_consumed_ += progress;
   maybe_update_windows(frame.stream_id, stream);
@@ -135,15 +153,26 @@ void QuicReceiveSide::on_stream_frame(const StreamFrame& frame) {
 void QuicReceiveSide::maybe_update_windows(std::uint64_t stream_id, RecvStream& stream) {
   // The application consumes delivered bytes instantly; grant more credit
   // once half the window is used (gQUIC's session/stream flow controllers).
+  QPERC_DCHECK_LE(stream.contiguous, stream.advertised_limit)
+      << "peer wrote past the advertised stream flow-control limit";
+  QPERC_DCHECK_LE(connection_consumed_, connection_advertised_)
+      << "peer wrote past the advertised connection flow-control limit";
   if (stream.advertised_limit - stream.contiguous <
       config_.stream_flow_window_bytes / 2) {
+    // Credit grants only ever move the limit forward.
+    const std::uint64_t prior = stream.advertised_limit;
     stream.advertised_limit = stream.contiguous + config_.stream_flow_window_bytes;
+    QPERC_DCHECK_GE(stream.advertised_limit, prior)
+        << "stream flow-control limit moved backwards";
     pending_window_updates_.push_back(WindowUpdate{stream_id, stream.advertised_limit});
   }
   if (connection_advertised_ - connection_consumed_ <
       config_.connection_flow_window_bytes / 2) {
+    const std::uint64_t prior = connection_advertised_;
     connection_advertised_ =
         connection_consumed_ + config_.connection_flow_window_bytes;
+    QPERC_DCHECK_GE(connection_advertised_, prior)
+        << "connection flow-control limit moved backwards";
     pending_window_updates_.push_back(WindowUpdate{0, connection_advertised_});
   }
 }
@@ -152,9 +181,15 @@ void QuicReceiveSide::fill_ack(QuicPacket& packet) {
   if (received_.empty() && pending_window_updates_.empty()) return;
   packet.has_ack = !received_.empty();
   packet.ack_ranges.clear();
-  // Newest ranges first, capped at the configured range budget.
+  // Newest ranges first, capped at the configured range budget. The emitted
+  // frame must be sorted (descending) and non-overlapping — the sender-side
+  // loss detector indexes unacked packets by these ranges.
   for (auto it = received_.rbegin();
        it != received_.rend() && packet.ack_ranges.size() < config_.max_ack_ranges; ++it) {
+    QPERC_DCHECK_LE(it->first, it->second);
+    QPERC_DCHECK(packet.ack_ranges.empty() ||
+                 it->second < packet.ack_ranges.back().first)
+        << "emitted ACK ranges overlap";
     packet.ack_ranges.emplace_back(it->first, it->second);
   }
   packet.window_updates = std::move(pending_window_updates_);

@@ -71,7 +71,7 @@ class QuicReceiveSide {
   std::map<std::uint64_t, RecvStream> streams_;
   std::vector<WindowUpdate> pending_window_updates_;
   std::uint64_t connection_consumed_ = 0;
-  std::uint64_t connection_advertised_;
+  std::uint64_t connection_advertised_ = 0;  // set by the constructor
 };
 
 }  // namespace qperc::quic

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace qperc::quic {
 namespace {
 
@@ -28,6 +30,7 @@ QuicSendSide::QuicSendSide(sim::Simulator& simulator, const QuicConfig& config, 
       send_timer_(simulator, [this] { maybe_send(); }) {}
 
 void QuicSendSide::on_established(SimDuration handshake_rtt) {
+  QPERC_DCHECK(!established_) << "QUIC send side established twice";
   established_ = true;
   if (handshake_rtt > SimDuration::zero()) rtt_.on_rtt_sample(handshake_rtt);
   pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
@@ -112,6 +115,11 @@ std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
     if (best == nullptr) break;
     last_served_stream_ = best_id;
 
+    QPERC_DCHECK_LE(best->next_offset, best->write_bytes);
+    QPERC_DCHECK_LT(best->next_offset, best->peer_limit)
+        << "serving a stream past its flow-control limit";
+    QPERC_DCHECK_LT(connection_bytes_sent_, peer_connection_limit_)
+        << "serving past the connection flow-control limit";
     const std::uint64_t cap = std::min(
         {static_cast<std::uint64_t>(budget - kStreamFrameOverhead),
          best->write_bytes - best->next_offset, best->peer_limit - best->next_offset,
@@ -152,6 +160,8 @@ std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
 void QuicSendSide::maybe_send() {
   if (!established_) return;
   while (true) {
+    QPERC_DCHECK_GE(cc_->congestion_window(), config_.max_payload_bytes)
+        << "congestion window collapsed below one packet";
     if (bytes_in_flight_ >= cc_->congestion_window()) return;
 
     // Pacing gate, using a full-sized packet as the release unit.
@@ -183,6 +193,11 @@ void QuicSendSide::transmit(std::vector<StreamFrame> frames, bool is_retransmiss
   }
 
   const std::uint64_t pn = next_packet_number_++;
+  // Packet numbers are never reused and strictly grow within the space —
+  // the property that removes TCP's retransmission ambiguity.
+  QPERC_DCHECK(unacked_.empty() || pn > unacked_.rbegin()->first)
+      << "packet number space not monotone";
+  QPERC_DCHECK_GT(pn, largest_acked_);
   sampler_.on_packet_sent(pn, stream_bytes, now, bytes_in_flight_);
   cc_->on_packet_sent(now, bytes_in_flight_, payload);
   pacer_.on_packet_sent(now, payload + kQuicOverheadBytes + kUdpIpOverheadBytes);
@@ -210,6 +225,11 @@ void QuicSendSide::transmit(std::vector<StreamFrame> frames, bool is_retransmiss
 
 void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
   if (!packet.has_ack || !established_) return;
+  // Always-on: acknowledging a packet number we never allocated means the
+  // packet-number space is corrupt and all delivery accounting is garbage.
+  QPERC_CHECK(packet.ack_ranges.empty() ||
+              packet.ack_ranges.front().second < next_packet_number_)
+      << "peer acknowledged a packet number that was never sent";
   const SimTime now = simulator_.now();
 
   std::uint64_t newly_acked = 0;
@@ -217,7 +237,16 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
   cc::RateSample best_rate{};
   bool have_rate = false;
 
+  std::uint64_t prev_range_first = 0;
+  bool first_range = true;
   for (const auto& [first, last] : packet.ack_ranges) {
+    // Ranges arrive newest-first: each [first, last] must be well-formed and
+    // sit strictly below the previous range (sorted, non-overlapping).
+    QPERC_DCHECK_LE(first, last) << "inverted ACK range";
+    QPERC_DCHECK(first_range || last < prev_range_first)
+        << "ACK ranges out of order or overlapping";
+    prev_range_first = first;
+    first_range = false;
     if (simulator_.trace() != nullptr && !traced_lost_pns_.empty()) {
       // A packet we declared lost turns out to have been received.
       auto lost_it = traced_lost_pns_.lower_bound(first);
@@ -233,6 +262,7 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
       UnackedPacket& up = it->second;
       newly_acked += up.stream_bytes;
       stats_.bytes_delivered += up.stream_bytes;
+      QPERC_DCHECK_GE(bytes_in_flight_, up.payload_bytes);
       bytes_in_flight_ -= up.payload_bytes;
       if (pn > largest_acked_) {
         largest_acked_ = pn;
@@ -330,6 +360,7 @@ void QuicSendSide::detect_losses(SimTime now) {
     const bool threshold_lost = largest_acked_ - pn >= kPacketReorderThreshold;
     const bool time_lost = up.sent_time + loss_delay <= now;
     if (threshold_lost || time_lost) {
+      QPERC_DCHECK_GE(bytes_in_flight_, up.payload_bytes);
       bytes_in_flight_ -= up.payload_bytes;
       sampler_.on_packet_lost(pn);
       requeue_lost(up);
@@ -395,6 +426,7 @@ void QuicSendSide::on_timer() {
   if (!unacked_.empty()) {
     auto it = unacked_.begin();
     UnackedPacket up = std::move(it->second);
+    QPERC_DCHECK_GE(bytes_in_flight_, up.payload_bytes);
     bytes_in_flight_ -= up.payload_bytes;
     sampler_.on_packet_lost(it->first);
     if (simulator_.trace() != nullptr) {

@@ -71,7 +71,7 @@ class QuicSendSide {
     std::uint64_t next_offset = 0;   // first-transmission progress
     bool fin = false;
     bool fin_packetized = false;
-    std::uint64_t peer_limit;        // MAX_STREAM_DATA from the peer
+    std::uint64_t peer_limit = 0;    // MAX_STREAM_DATA (set by the constructor)
     explicit SendStream(std::uint64_t limit) : peer_limit(limit) {}
   };
 
@@ -114,7 +114,7 @@ class QuicSendSide {
   std::map<std::uint64_t, UnackedPacket> unacked_;
   std::uint64_t bytes_in_flight_ = 0;
 
-  std::uint64_t peer_connection_limit_;
+  std::uint64_t peer_connection_limit_ = 0;  // set by the constructor
   std::uint64_t connection_bytes_sent_ = 0;
 
   std::uint64_t recovery_end_pn_ = 0;

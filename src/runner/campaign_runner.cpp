@@ -1,5 +1,6 @@
 #include "runner/campaign_runner.hpp"
 
+// qperc-lint: allow-file(wall-clock) operator-facing progress/ETA display only; wall time never reaches trial results or the event schedule
 #include <mutex>
 #include <stdexcept>
 #include <utility>

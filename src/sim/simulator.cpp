@@ -3,21 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace qperc::sim {
 
 std::uint32_t Simulator::acquire_slot() {
   if (free_head_ != kNilSlot) {
     const std::uint32_t index = free_head_;
+    QPERC_DCHECK(!slots_[index].live) << "free list handed out a live slot";
     free_head_ = slots_[index].next_free;
     slots_[index].next_free = kNilSlot;
     return index;
   }
+  QPERC_CHECK_LT(slots_.size(), kNilSlot) << "event slab exhausted the 32-bit slot space";
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
 void Simulator::release_slot(std::uint32_t index) noexcept {
   Slot& slot = slots_[index];
+  QPERC_DCHECK(slot.live) << "double release of event slot";
+  QPERC_DCHECK_GT(live_slots_, 0u);
+  // Generation wrap would resurrect stale EventIds/queue records for this
+  // slot; at one bump per release this needs 4 billion cancels on a single
+  // slot, but the corruption would be silent, so it is guarded.
+  QPERC_DCHECK_NE(slot.generation, 0xffffffffu);
   slot.fn = nullptr;
   slot.live = false;
   ++slot.generation;  // invalidates outstanding ids and queue records
@@ -108,6 +118,12 @@ bool Simulator::step() {
   const QueueEntry entry = queue_.top();
   queue_.pop();
   Slot& slot = slots_[entry.slot];
+  // The heap property is what keeps virtual time monotone; a violation here
+  // means event ordering (and therefore every result) is corrupt.
+  QPERC_CHECK_GE(entry.time, now_) << "event queue surfaced an event in the past";
+  QPERC_DCHECK(slot.live);
+  QPERC_DCHECK_EQ(slot.generation, entry.generation);
+  QPERC_DCHECK_EQ(slot.deadline.count(), entry.time.count());
   now_ = entry.time;
   Callback fn = std::move(slot.fn);
   release_slot(entry.slot);  // before fn(): the callback may reuse the slot

@@ -116,10 +116,10 @@ class Simulator {
   };
 
   struct QueueEntry {
-    SimTime time;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint32_t slot;
-    std::uint32_t generation;
+    SimTime time{0};
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal timestamps
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
   };
   struct EntryLater {
     bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {

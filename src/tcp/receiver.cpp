@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace qperc::tcp {
 namespace {
 
@@ -90,6 +92,11 @@ void TcpReceiver::on_data(std::uint64_t seq, std::uint32_t payload_bytes) {
     recency_.insert(recency_.begin(), new_start);
   }
 
+  QPERC_DCHECK_GE(rcv_nxt_, old_rcv_nxt) << "RCV.NXT moved backwards";
+  QPERC_DCHECK(ooo_ranges_.empty() || ooo_ranges_.begin()->first > rcv_nxt_)
+      << "out-of-order range at or below RCV.NXT survived absorption";
+  QPERC_DCHECK_EQ(recency_.size(), ooo_ranges_.size())
+      << "SACK recency list out of sync with the range set";
   if (rcv_nxt_ > old_rcv_nxt) {
     autotune(rcv_nxt_ - old_rcv_nxt);
     on_delivered_(rcv_nxt_);
@@ -120,8 +127,13 @@ void TcpReceiver::fill_ack(TcpSegment& segment) {
     if (segment.sack_blocks.size() >= kMaxSackBlocks) break;
     const auto it = ooo_ranges_.find(start);
     if (it == ooo_ranges_.end()) continue;
+    // Every advertised block must be a real, non-empty range strictly above
+    // the cumulative ACK; blocks are disjoint because ooo_ranges_ is.
+    QPERC_DCHECK_LT(it->first, it->second);
+    QPERC_DCHECK_GT(it->first, segment.cumulative_ack);
     segment.sack_blocks.push_back(SackBlock{it->first, it->second});
   }
+  QPERC_DCHECK_LE(segment.receive_window_bytes, rwnd_limit_);
   full_packets_since_ack_ = 0;
   delayed_ack_timer_.cancel();
 }

@@ -64,8 +64,8 @@ class TcpReceiver {
   /// SACK block selection.
   std::vector<std::uint64_t> recency_;
 
-  std::uint64_t rwnd_limit_;
-  bool autotuning_;
+  std::uint64_t rwnd_limit_ = 0;   // set by the constructor
+  bool autotuning_ = false;        // set by the constructor
   std::uint64_t autotune_delivered_marker_ = 0;
 
   std::uint32_t full_packets_since_ack_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/packet.hpp"
+#include "util/check.hpp"
 
 namespace qperc::tcp {
 namespace {
@@ -27,6 +28,7 @@ TcpSender::TcpSender(sim::Simulator& simulator, const TcpConfig& config,
       send_timer_(simulator, [this] { maybe_send(); }) {}
 
 void TcpSender::on_established(std::uint64_t initial_peer_rwnd, SimDuration handshake_rtt) {
+  QPERC_DCHECK(!established_) << "TCP sender established twice";
   established_ = true;
   peer_rwnd_ = initial_peer_rwnd;
   if (handshake_rtt > SimDuration::zero()) rtt_.on_rtt_sample(handshake_rtt);
@@ -66,8 +68,11 @@ TcpSender::SegmentRecord* TcpSender::next_lost_segment() {
 
 void TcpSender::maybe_send() {
   if (!established_) return;
+  QPERC_DCHECK_LE(highest_cum_ack_, next_seq_) << "SND.UNA ran past SND.NXT";
+  QPERC_DCHECK_LE(next_seq_, app_bytes_total_);
   while (true) {
     const std::uint64_t cwnd = cc_->congestion_window();
+    QPERC_DCHECK_GE(cwnd, config_.mss) << "congestion window collapsed below 1 MSS";
     if (outstanding_bytes_ >= cwnd) return;  // window full; ACK clock will resume
 
     SegmentRecord* candidate = next_lost_segment();
@@ -108,6 +113,8 @@ void TcpSender::maybe_send() {
 
 void TcpSender::transmit(SegmentRecord& record, bool is_retransmission) {
   const SimTime now = simulator_.now();
+  QPERC_DCHECK_LT(record.start, record.end) << "empty TCP segment packetized";
+  QPERC_DCHECK_GE(now, last_send_time_) << "send timestamps must be monotone";
   const auto len = record.end - record.start;
 
   record.transmissions += 1;
@@ -161,6 +168,7 @@ void TcpSender::mark_delivered(SegmentRecord& record, SimTime now,
   stats_.bytes_delivered += len;
   if (record.outstanding) {
     record.outstanding = false;
+    QPERC_DCHECK_GE(outstanding_bytes_, len);
     outstanding_bytes_ -= len;
   }
   if (record.transmissions == 1 && now > record.last_sent) {
@@ -175,6 +183,11 @@ void TcpSender::mark_delivered(SegmentRecord& record, SimTime now,
 
 void TcpSender::on_ack_received(const TcpSegment& segment) {
   if (!segment.has_ack || !established_) return;
+  // Always-on: an ACK for bytes that were never sent means sequence-space
+  // corruption somewhere in the stack; every byte count downstream of here
+  // would be garbage.
+  QPERC_CHECK_LE(segment.cumulative_ack, next_seq_)
+      << "peer acknowledged bytes beyond SND.NXT";
   const SimTime now = simulator_.now();
   peer_rwnd_ = segment.receive_window_bytes;
 
@@ -212,6 +225,8 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
 
   // Selective acknowledgments.
   for (const auto& block : segment.sack_blocks) {
+    QPERC_DCHECK_LT(block.start, block.end) << "empty SACK block";
+    QPERC_DCHECK_LE(block.end, next_seq_) << "SACK block beyond SND.NXT";
     for (auto it = segments_.lower_bound(block.start);
          it != segments_.end() && it->second.end <= block.end; ++it) {
       SegmentRecord& record = it->second;
@@ -227,6 +242,8 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
   if (newest_sent_time > rack_newest_sent_time_) rack_newest_sent_time_ = newest_sent_time;
 
   detect_losses(rack_newest_sent_time_);
+  QPERC_DCHECK_LE(outstanding_bytes_, next_seq_ - highest_cum_ack_)
+      << "pipe exceeds un-acknowledged sequence range";
 
   // Congestion-controller update.
   bool round_ended = false;
@@ -278,6 +295,7 @@ void TcpSender::detect_losses(SimTime newest_delivered_sent_time) {
       record.lost = true;
       record.lost_by_rto = false;
       record.outstanding = false;
+      QPERC_DCHECK_GE(outstanding_bytes_, record.end - record.start);
       outstanding_bytes_ -= record.end - record.start;
       sampler_.on_packet_lost(record.packet_id);
       any_lost = true;
@@ -354,6 +372,7 @@ void TcpSender::on_retransmission_timer() {
     record.lost_by_rto = true;
     if (record.outstanding) {
       record.outstanding = false;
+      QPERC_DCHECK_GE(outstanding_bytes_, record.end - record.start);
       outstanding_bytes_ -= record.end - record.start;
     }
     sampler_.on_packet_lost(record.packet_id);

@@ -109,7 +109,7 @@ class TcpSender {
 
   bool established_ = false;
   std::uint64_t app_bytes_total_ = 0;  // bytes the app has written
-  std::uint64_t send_buffer_bytes_;
+  std::uint64_t send_buffer_bytes_ = 0;  // set by the constructor
   std::uint64_t next_seq_ = 0;         // next new byte to packetize
   std::uint64_t highest_cum_ack_ = 0;  // snd_una
   std::uint64_t peer_rwnd_ = 0;

@@ -1,0 +1,31 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qperc::check {
+namespace {
+
+ViolationHandler g_handler = &abort_handler;
+
+}  // namespace
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  ViolationHandler previous = g_handler;
+  g_handler = handler != nullptr ? handler : &abort_handler;
+  return previous;
+}
+
+void abort_handler(const char* /*file*/, int /*line*/, const char* /*expr*/,
+                   const std::string& message) {
+  std::fprintf(stderr, "qperc invariant violation: %s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void report_violation(const char* file, int line, const char* expr,
+                      const std::string& message) {
+  g_handler(file, line, expr, message);
+}
+
+}  // namespace qperc::check

@@ -1,0 +1,183 @@
+// Runtime invariant checking for the simulator core.
+//
+// Two tiers, mirroring the usual CHECK/DCHECK split:
+//
+//   * QPERC_CHECK(cond)        — always compiled, in every build type. For
+//     invariants whose violation means the simulation state is corrupt and
+//     any result derived from it is science-invalidating garbage (e.g. a
+//     peer acknowledging bytes that were never sent).
+//   * QPERC_DCHECK(cond)       — compiled only when invariants are enabled:
+//     Debug builds, or any build configured with -DQPERC_ENABLE_INVARIANTS=ON.
+//     In release builds without the option the condition is NOT evaluated
+//     (a true no-op: side effects in the expression do not run), so hot
+//     paths stay at production speed and golden timings stay bit-exact.
+//
+// Comparison forms (QPERC_CHECK_EQ/NE/LT/LE/GT/GE and the QPERC_DCHECK_*
+// twins) print both operand values on failure. Every macro accepts a
+// streamed trailing message:
+//
+//   QPERC_CHECK_LE(highest_cum_ack_, next_seq_) << "SND.UNA ran past SND.NXT";
+//
+// A violation formats "file:line: QPERC_CHECK(expr) failed: a vs b — msg"
+// and calls the installed violation handler. The default handler writes to
+// stderr and aborts; tests install a counting handler via
+// set_violation_handler() to observe violations without dying (see
+// tests/check_test.cpp). A handler that returns lets execution continue past
+// the failed check — acceptable only in tests.
+//
+// A translation unit may define QPERC_FORCE_DISABLE_INVARIANTS before
+// including this header to get the release no-op QPERC_DCHECK regardless of
+// build flags (used by the release-semantics tests).
+#pragma once
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace qperc::check {
+
+/// Receives one formatted violation. `file`/`line`/`expr` locate the failed
+/// macro; `message` is the fully formatted report (location, expression,
+/// operand values, streamed details). May return, in which case execution
+/// continues past the check.
+using ViolationHandler = void (*)(const char* file, int line, const char* expr,
+                                  const std::string& message);
+
+/// Installs `handler` process-wide and returns the previous one (never
+/// nullptr; pass the return value back to restore). Not thread-safe against
+/// concurrent violations — install handlers at test setup time only.
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// The stderr-and-abort default.
+[[noreturn]] void abort_handler(const char* file, int line, const char* expr,
+                                const std::string& message);
+
+/// Dispatches one violation to the installed handler.
+void report_violation(const char* file, int line, const char* expr,
+                      const std::string& message);
+
+/// Prints a value for a failure message. Falls back for types without an
+/// ostream operator<<: chrono durations print their tick count, anything
+/// else prints a placeholder — the check itself never fails to format.
+template <class T>
+void print_value(std::ostream& os, const T& value) {
+  // Durations first, normalized to nanosecond ticks: libstdc++ gained
+  // chrono operator<< at different versions, so relying on it would make
+  // failure text toolchain-dependent.
+  if constexpr (requires { std::chrono::duration_cast<std::chrono::nanoseconds>(value); }) {
+    os << std::chrono::duration_cast<std::chrono::nanoseconds>(value).count() << "ns";
+  } else if constexpr (requires { os << value; }) {
+    os << value;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Accumulates the failure report plus any streamed user message, then fires
+/// the handler from its destructor (so the streamed details are included).
+class Failure {
+ public:
+  Failure(const char* file, int line, const char* expr) : file_(file), line_(line), expr_(expr) {
+    stream_ << file << ":" << line << ": " << expr << " failed";
+  }
+  template <class A, class B>
+  Failure(const char* file, int line, const char* expr, const A& a, const B& b)
+      : Failure(file, line, expr) {
+    stream_ << ": ";
+    print_value(stream_, a);
+    stream_ << " vs ";
+    print_value(stream_, b);
+  }
+  Failure(const Failure&) = delete;
+  Failure& operator=(const Failure&) = delete;
+  ~Failure() { report_violation(file_, line_, expr_, stream_.str()); }
+
+  template <class T>
+  Failure& operator<<(const T& value) {
+    if (!message_started_) {
+      stream_ << " — ";
+      message_started_ = true;
+    }
+    print_value(stream_, value);
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  bool message_started_ = false;
+  std::ostringstream stream_;
+};
+
+/// glog-style voidifier: `&` binds looser than `<<`, so the whole streamed
+/// failure expression collapses to void inside the ternary below.
+struct Voidify {
+  // const ref so both a bare `Failure(...)` prvalue and the `Failure&` that
+  // operator<< returns bind; the temporary still reports at full-expression
+  // end, after any streamed message.
+  void operator&(const Failure&) const noexcept {}
+};
+
+}  // namespace qperc::check
+
+// Always-on invariants. The Failure temporary lives to the end of the full
+// expression, collecting any streamed message before its destructor reports.
+#define QPERC_CHECK(cond)                        \
+  (__builtin_expect(static_cast<bool>(cond), 1)) \
+      ? (void)0                                  \
+      : ::qperc::check::Voidify() &              \
+            ::qperc::check::Failure(__FILE__, __LINE__, "QPERC_CHECK(" #cond ")")
+
+#define QPERC_CHECK_OP_IMPL(macro_name, op, a, b)                                     \
+  (__builtin_expect(static_cast<bool>((a)op(b)), 1))                                  \
+      ? (void)0                                                                       \
+      : ::qperc::check::Voidify() &                                                   \
+            ::qperc::check::Failure(__FILE__, __LINE__,                               \
+                                    macro_name "(" #a ", " #b ")", (a), (b))
+
+#define QPERC_CHECK_EQ(a, b) QPERC_CHECK_OP_IMPL("QPERC_CHECK_EQ", ==, a, b)
+#define QPERC_CHECK_NE(a, b) QPERC_CHECK_OP_IMPL("QPERC_CHECK_NE", !=, a, b)
+#define QPERC_CHECK_LT(a, b) QPERC_CHECK_OP_IMPL("QPERC_CHECK_LT", <, a, b)
+#define QPERC_CHECK_LE(a, b) QPERC_CHECK_OP_IMPL("QPERC_CHECK_LE", <=, a, b)
+#define QPERC_CHECK_GT(a, b) QPERC_CHECK_OP_IMPL("QPERC_CHECK_GT", >, a, b)
+#define QPERC_CHECK_GE(a, b) QPERC_CHECK_OP_IMPL("QPERC_CHECK_GE", >=, a, b)
+
+// Debug-tier invariants: active in Debug builds or with
+// -DQPERC_ENABLE_INVARIANTS=ON; otherwise compiled to nothing (the condition
+// is parsed — names stay checked and "used" — but never evaluated).
+#if defined(QPERC_FORCE_DISABLE_INVARIANTS)
+#define QPERC_INVARIANTS_ENABLED 0
+#elif defined(QPERC_ENABLE_INVARIANTS) || !defined(NDEBUG)
+#define QPERC_INVARIANTS_ENABLED 1
+#else
+#define QPERC_INVARIANTS_ENABLED 0
+#endif
+
+#if QPERC_INVARIANTS_ENABLED
+#define QPERC_DCHECK(cond) QPERC_CHECK(cond)
+#define QPERC_DCHECK_EQ(a, b) QPERC_CHECK_EQ(a, b)
+#define QPERC_DCHECK_NE(a, b) QPERC_CHECK_NE(a, b)
+#define QPERC_DCHECK_LT(a, b) QPERC_CHECK_LT(a, b)
+#define QPERC_DCHECK_LE(a, b) QPERC_CHECK_LE(a, b)
+#define QPERC_DCHECK_GT(a, b) QPERC_CHECK_GT(a, b)
+#define QPERC_DCHECK_GE(a, b) QPERC_CHECK_GE(a, b)
+#else
+// `while (false)` keeps the expression compiled (typos and unused-variable
+// warnings still surface) but never evaluated — the documented no-op.
+#define QPERC_DCHECK(cond) \
+  while (false) QPERC_CHECK(cond)
+#define QPERC_DCHECK_EQ(a, b) \
+  while (false) QPERC_CHECK_EQ(a, b)
+#define QPERC_DCHECK_NE(a, b) \
+  while (false) QPERC_CHECK_NE(a, b)
+#define QPERC_DCHECK_LT(a, b) \
+  while (false) QPERC_CHECK_LT(a, b)
+#define QPERC_DCHECK_LE(a, b) \
+  while (false) QPERC_CHECK_LE(a, b)
+#define QPERC_DCHECK_GT(a, b) \
+  while (false) QPERC_CHECK_GT(a, b)
+#define QPERC_DCHECK_GE(a, b) \
+  while (false) QPERC_CHECK_GE(a, b)
+#endif

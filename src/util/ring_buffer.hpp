@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace qperc {
 
 template <class T>
@@ -27,9 +29,13 @@ class RingBuffer {
     ++size_;
   }
 
-  [[nodiscard]] T& front() noexcept { return slab_[head_]; }
+  [[nodiscard]] T& front() noexcept {
+    QPERC_DCHECK(!empty()) << "front() on an empty RingBuffer";
+    return slab_[head_];
+  }
 
   T pop_front() {
+    QPERC_DCHECK(!empty()) << "pop_front() on an empty RingBuffer";
     T value = std::move(slab_[head_]);
     head_ = (head_ + 1) & (slab_.size() - 1);
     --size_;
@@ -52,6 +58,9 @@ class RingBuffer {
     }
     slab_ = std::move(bigger);
     head_ = 0;
+    // The wrap mask only works while the capacity stays a power of two.
+    QPERC_DCHECK_EQ(slab_.size() & (slab_.size() - 1), 0u);
+    QPERC_DCHECK_LE(size_, slab_.size());
   }
 
   static constexpr std::size_t kInitialCapacity = 16;

@@ -1,0 +1,50 @@
+// Release-build semantics of QPERC_DCHECK, independent of how this test
+// binary itself was configured: QPERC_FORCE_DISABLE_INVARIANTS gives this TU
+// the exact no-op expansion a release build (without
+// -DQPERC_ENABLE_INVARIANTS=ON) compiles everywhere. The contract under
+// test: the condition is never evaluated — side effects must not run — so
+// hot-path DCHECKs cost nothing and cannot perturb golden timings.
+#define QPERC_FORCE_DISABLE_INVARIANTS 1
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qperc {
+namespace {
+
+static_assert(QPERC_INVARIANTS_ENABLED == 0,
+              "QPERC_FORCE_DISABLE_INVARIANTS must force the no-op expansion");
+
+TEST(CheckRelease, DcheckDoesNotEvaluateItsCondition) {
+  int evaluations = 0;
+  QPERC_DCHECK(++evaluations > 0);
+  QPERC_DCHECK(++evaluations > 0) << "streamed message is also dead";
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckRelease, DcheckComparisonsDoNotEvaluateOperands) {
+  int lhs_evals = 0;
+  int rhs_evals = 0;
+  QPERC_DCHECK_EQ(++lhs_evals, ++rhs_evals);
+  QPERC_DCHECK_LT(++lhs_evals, 10);
+  QPERC_DCHECK_GE(10, ++rhs_evals);
+  EXPECT_EQ(lhs_evals, 0);
+  EXPECT_EQ(rhs_evals, 0);
+}
+
+TEST(CheckRelease, DcheckNeverFiresEvenWhenFalse) {
+  bool fired = false;
+  const auto previous = check::set_violation_handler(
+      +[](const char*, int, const char*, const std::string&) {});
+  QPERC_DCHECK(false) << "must not reach the handler";
+  QPERC_DCHECK_EQ(1, 2);
+  check::set_violation_handler(previous);
+  EXPECT_FALSE(fired);
+
+  // QPERC_CHECK stays active in every build type, including this forced-
+  // release TU — only the DCHECK tier compiles out.
+  QPERC_CHECK(true);
+}
+
+}  // namespace
+}  // namespace qperc
