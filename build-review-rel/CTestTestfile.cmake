@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review-rel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(check_docs "/root/repo/scripts/check_docs.sh")
+set_tests_properties(check_docs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;59;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(lint_determinism "/root/repo/scripts/lint_determinism.py" "--self-test")
+set_tests_properties(lint_determinism PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(campaign_e2e "/root/repo/scripts/campaign_e2e.sh" "/root/repo/build-review-rel/tools/qperc")
+set_tests_properties(campaign_e2e PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;77;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke "/root/repo/scripts/bench_baseline.sh" "--smoke" "--bench" "/root/repo/build-review-rel/bench/bench_micro_perf")
+set_tests_properties(bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")
+subdirs("tools")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_retx.dir/bench_ablation_retx.cpp.o"
+  "CMakeFiles/bench_ablation_retx.dir/bench_ablation_retx.cpp.o.d"
+  "bench_ablation_retx"
+  "bench_ablation_retx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_future.dir/bench_ext_future.cpp.o"
+  "CMakeFiles/bench_ext_future.dir/bench_ext_future.cpp.o.d"
+  "bench_ext_future"
+  "bench_ext_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

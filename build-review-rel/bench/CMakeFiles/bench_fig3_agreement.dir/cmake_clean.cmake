@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_agreement.dir/bench_fig3_agreement.cpp.o"
+  "CMakeFiles/bench_fig3_agreement.dir/bench_fig3_agreement.cpp.o.d"
+  "bench_fig3_agreement"
+  "bench_fig3_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ab_votes.dir/bench_fig4_ab_votes.cpp.o"
+  "CMakeFiles/bench_fig4_ab_votes.dir/bench_fig4_ab_votes.cpp.o.d"
+  "bench_fig4_ab_votes"
+  "bench_fig4_ab_votes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ab_votes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ratings.dir/bench_fig5_ratings.cpp.o"
+  "CMakeFiles/bench_fig5_ratings.dir/bench_fig5_ratings.cpp.o.d"
+  "bench_fig5_ratings"
+  "bench_fig5_ratings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ratings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

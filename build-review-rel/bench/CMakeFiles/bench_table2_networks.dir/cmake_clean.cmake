@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_networks.dir/bench_table2_networks.cpp.o"
+  "CMakeFiles/bench_table2_networks.dir/bench_table2_networks.cpp.o.d"
+  "bench_table2_networks"
+  "bench_table2_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

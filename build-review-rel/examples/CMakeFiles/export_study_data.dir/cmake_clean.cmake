@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_study_data.dir/export_study_data.cpp.o"
+  "CMakeFiles/export_study_data.dir/export_study_data.cpp.o.d"
+  "export_study_data"
+  "export_study_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_study_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

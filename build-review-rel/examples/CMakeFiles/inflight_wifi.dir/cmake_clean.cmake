@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflight_wifi.dir/inflight_wifi.cpp.o"
+  "CMakeFiles/inflight_wifi.dir/inflight_wifi.cpp.o.d"
+  "inflight_wifi"
+  "inflight_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflight_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_load_race.dir/page_load_race.cpp.o"
+  "CMakeFiles/page_load_race.dir/page_load_race.cpp.o.d"
+  "page_load_race"
+  "page_load_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_load_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

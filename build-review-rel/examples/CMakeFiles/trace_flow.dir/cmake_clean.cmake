@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_flow.dir/trace_flow.cpp.o"
+  "CMakeFiles/trace_flow.dir/trace_flow.cpp.o.d"
+  "trace_flow"
+  "trace_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_your_tcp.dir/tune_your_tcp.cpp.o"
+  "CMakeFiles/tune_your_tcp.dir/tune_your_tcp.cpp.o.d"
+  "tune_your_tcp"
+  "tune_your_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_your_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

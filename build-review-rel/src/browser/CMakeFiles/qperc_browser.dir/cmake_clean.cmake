@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_browser.dir/metrics.cpp.o"
+  "CMakeFiles/qperc_browser.dir/metrics.cpp.o.d"
+  "CMakeFiles/qperc_browser.dir/page_loader.cpp.o"
+  "CMakeFiles/qperc_browser.dir/page_loader.cpp.o.d"
+  "libqperc_browser.a"
+  "libqperc_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

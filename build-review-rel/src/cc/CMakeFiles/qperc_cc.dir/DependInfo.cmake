@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/bandwidth_sampler.cpp" "src/cc/CMakeFiles/qperc_cc.dir/bandwidth_sampler.cpp.o" "gcc" "src/cc/CMakeFiles/qperc_cc.dir/bandwidth_sampler.cpp.o.d"
+  "/root/repo/src/cc/bbr.cpp" "src/cc/CMakeFiles/qperc_cc.dir/bbr.cpp.o" "gcc" "src/cc/CMakeFiles/qperc_cc.dir/bbr.cpp.o.d"
+  "/root/repo/src/cc/bbr2.cpp" "src/cc/CMakeFiles/qperc_cc.dir/bbr2.cpp.o" "gcc" "src/cc/CMakeFiles/qperc_cc.dir/bbr2.cpp.o.d"
+  "/root/repo/src/cc/cubic.cpp" "src/cc/CMakeFiles/qperc_cc.dir/cubic.cpp.o" "gcc" "src/cc/CMakeFiles/qperc_cc.dir/cubic.cpp.o.d"
+  "/root/repo/src/cc/factory.cpp" "src/cc/CMakeFiles/qperc_cc.dir/factory.cpp.o" "gcc" "src/cc/CMakeFiles/qperc_cc.dir/factory.cpp.o.d"
+  "/root/repo/src/cc/pacer.cpp" "src/cc/CMakeFiles/qperc_cc.dir/pacer.cpp.o" "gcc" "src/cc/CMakeFiles/qperc_cc.dir/pacer.cpp.o.d"
+  "/root/repo/src/cc/reno.cpp" "src/cc/CMakeFiles/qperc_cc.dir/reno.cpp.o" "gcc" "src/cc/CMakeFiles/qperc_cc.dir/reno.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review-rel/src/util/CMakeFiles/qperc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_cc.dir/bandwidth_sampler.cpp.o"
+  "CMakeFiles/qperc_cc.dir/bandwidth_sampler.cpp.o.d"
+  "CMakeFiles/qperc_cc.dir/bbr.cpp.o"
+  "CMakeFiles/qperc_cc.dir/bbr.cpp.o.d"
+  "CMakeFiles/qperc_cc.dir/bbr2.cpp.o"
+  "CMakeFiles/qperc_cc.dir/bbr2.cpp.o.d"
+  "CMakeFiles/qperc_cc.dir/cubic.cpp.o"
+  "CMakeFiles/qperc_cc.dir/cubic.cpp.o.d"
+  "CMakeFiles/qperc_cc.dir/factory.cpp.o"
+  "CMakeFiles/qperc_cc.dir/factory.cpp.o.d"
+  "CMakeFiles/qperc_cc.dir/pacer.cpp.o"
+  "CMakeFiles/qperc_cc.dir/pacer.cpp.o.d"
+  "CMakeFiles/qperc_cc.dir/reno.cpp.o"
+  "CMakeFiles/qperc_cc.dir/reno.cpp.o.d"
+  "libqperc_cc.a"
+  "libqperc_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_core.dir/protocol.cpp.o"
+  "CMakeFiles/qperc_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/qperc_core.dir/trial.cpp.o"
+  "CMakeFiles/qperc_core.dir/trial.cpp.o.d"
+  "CMakeFiles/qperc_core.dir/video.cpp.o"
+  "CMakeFiles/qperc_core.dir/video.cpp.o.d"
+  "libqperc_core.a"
+  "libqperc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

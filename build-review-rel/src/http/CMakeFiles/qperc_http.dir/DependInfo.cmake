@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/h1_session.cpp" "src/http/CMakeFiles/qperc_http.dir/h1_session.cpp.o" "gcc" "src/http/CMakeFiles/qperc_http.dir/h1_session.cpp.o.d"
+  "/root/repo/src/http/h2_session.cpp" "src/http/CMakeFiles/qperc_http.dir/h2_session.cpp.o" "gcc" "src/http/CMakeFiles/qperc_http.dir/h2_session.cpp.o.d"
+  "/root/repo/src/http/quic_session.cpp" "src/http/CMakeFiles/qperc_http.dir/quic_session.cpp.o" "gcc" "src/http/CMakeFiles/qperc_http.dir/quic_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review-rel/src/tcp/CMakeFiles/qperc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/quic/CMakeFiles/qperc_quic.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/net/CMakeFiles/qperc_net.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/sim/CMakeFiles/qperc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/util/CMakeFiles/qperc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/trace/CMakeFiles/qperc_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/cc/CMakeFiles/qperc_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_http.dir/h1_session.cpp.o"
+  "CMakeFiles/qperc_http.dir/h1_session.cpp.o.d"
+  "CMakeFiles/qperc_http.dir/h2_session.cpp.o"
+  "CMakeFiles/qperc_http.dir/h2_session.cpp.o.d"
+  "CMakeFiles/qperc_http.dir/quic_session.cpp.o"
+  "CMakeFiles/qperc_http.dir/quic_session.cpp.o.d"
+  "libqperc_http.a"
+  "libqperc_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

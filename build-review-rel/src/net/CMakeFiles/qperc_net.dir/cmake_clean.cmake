@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_net.dir/emulated_network.cpp.o"
+  "CMakeFiles/qperc_net.dir/emulated_network.cpp.o.d"
+  "CMakeFiles/qperc_net.dir/link.cpp.o"
+  "CMakeFiles/qperc_net.dir/link.cpp.o.d"
+  "CMakeFiles/qperc_net.dir/packet_trace.cpp.o"
+  "CMakeFiles/qperc_net.dir/packet_trace.cpp.o.d"
+  "CMakeFiles/qperc_net.dir/profile.cpp.o"
+  "CMakeFiles/qperc_net.dir/profile.cpp.o.d"
+  "libqperc_net.a"
+  "libqperc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

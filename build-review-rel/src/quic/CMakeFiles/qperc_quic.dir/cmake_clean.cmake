@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_quic.dir/connection.cpp.o"
+  "CMakeFiles/qperc_quic.dir/connection.cpp.o.d"
+  "CMakeFiles/qperc_quic.dir/receive_side.cpp.o"
+  "CMakeFiles/qperc_quic.dir/receive_side.cpp.o.d"
+  "CMakeFiles/qperc_quic.dir/send_side.cpp.o"
+  "CMakeFiles/qperc_quic.dir/send_side.cpp.o.d"
+  "libqperc_quic.a"
+  "libqperc_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_runner.dir/campaign.cpp.o"
+  "CMakeFiles/qperc_runner.dir/campaign.cpp.o.d"
+  "CMakeFiles/qperc_runner.dir/campaign_runner.cpp.o"
+  "CMakeFiles/qperc_runner.dir/campaign_runner.cpp.o.d"
+  "CMakeFiles/qperc_runner.dir/result_store.cpp.o"
+  "CMakeFiles/qperc_runner.dir/result_store.cpp.o.d"
+  "libqperc_runner.a"
+  "libqperc_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

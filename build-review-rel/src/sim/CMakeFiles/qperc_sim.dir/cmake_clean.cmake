@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/qperc_sim.dir/simulator.cpp.o.d"
+  "libqperc_sim.a"
+  "libqperc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qperc_sim.
+# This may be replaced when dependencies are built.

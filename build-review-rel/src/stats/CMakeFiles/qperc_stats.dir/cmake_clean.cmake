@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_stats.dir/stats.cpp.o"
+  "CMakeFiles/qperc_stats.dir/stats.cpp.o.d"
+  "libqperc_stats.a"
+  "libqperc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_study.dir/ab_study.cpp.o"
+  "CMakeFiles/qperc_study.dir/ab_study.cpp.o.d"
+  "CMakeFiles/qperc_study.dir/conformance.cpp.o"
+  "CMakeFiles/qperc_study.dir/conformance.cpp.o.d"
+  "CMakeFiles/qperc_study.dir/participant.cpp.o"
+  "CMakeFiles/qperc_study.dir/participant.cpp.o.d"
+  "CMakeFiles/qperc_study.dir/rater.cpp.o"
+  "CMakeFiles/qperc_study.dir/rater.cpp.o.d"
+  "CMakeFiles/qperc_study.dir/rating_study.cpp.o"
+  "CMakeFiles/qperc_study.dir/rating_study.cpp.o.d"
+  "libqperc_study.a"
+  "libqperc_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

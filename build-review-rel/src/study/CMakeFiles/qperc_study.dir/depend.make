@@ -1,0 +1,2 @@
+# Empty dependencies file for qperc_study.
+# This may be replaced when dependencies are built.

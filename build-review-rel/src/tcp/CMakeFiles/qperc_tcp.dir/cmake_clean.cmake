@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_tcp.dir/connection.cpp.o"
+  "CMakeFiles/qperc_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/qperc_tcp.dir/receiver.cpp.o"
+  "CMakeFiles/qperc_tcp.dir/receiver.cpp.o.d"
+  "CMakeFiles/qperc_tcp.dir/sender.cpp.o"
+  "CMakeFiles/qperc_tcp.dir/sender.cpp.o.d"
+  "libqperc_tcp.a"
+  "libqperc_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

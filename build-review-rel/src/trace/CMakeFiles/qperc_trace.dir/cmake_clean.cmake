@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_trace.dir/counters.cpp.o"
+  "CMakeFiles/qperc_trace.dir/counters.cpp.o.d"
+  "CMakeFiles/qperc_trace.dir/jsonl_sink.cpp.o"
+  "CMakeFiles/qperc_trace.dir/jsonl_sink.cpp.o.d"
+  "CMakeFiles/qperc_trace.dir/memory_sink.cpp.o"
+  "CMakeFiles/qperc_trace.dir/memory_sink.cpp.o.d"
+  "CMakeFiles/qperc_trace.dir/trace.cpp.o"
+  "CMakeFiles/qperc_trace.dir/trace.cpp.o.d"
+  "libqperc_trace.a"
+  "libqperc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

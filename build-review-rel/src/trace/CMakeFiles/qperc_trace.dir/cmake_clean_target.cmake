@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqperc_trace.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_util.dir/check.cpp.o"
+  "CMakeFiles/qperc_util.dir/check.cpp.o.d"
+  "CMakeFiles/qperc_util.dir/rng.cpp.o"
+  "CMakeFiles/qperc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/qperc_util.dir/table.cpp.o"
+  "CMakeFiles/qperc_util.dir/table.cpp.o.d"
+  "libqperc_util.a"
+  "libqperc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

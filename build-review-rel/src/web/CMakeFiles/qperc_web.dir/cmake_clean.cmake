@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc_web.dir/catalog_io.cpp.o"
+  "CMakeFiles/qperc_web.dir/catalog_io.cpp.o.d"
+  "CMakeFiles/qperc_web.dir/website.cpp.o"
+  "CMakeFiles/qperc_web.dir/website.cpp.o.d"
+  "libqperc_web.a"
+  "libqperc_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_browser.dir/browser_test.cpp.o"
+  "CMakeFiles/test_browser.dir/browser_test.cpp.o.d"
+  "test_browser"
+  "test_browser.pdb"
+  "test_browser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

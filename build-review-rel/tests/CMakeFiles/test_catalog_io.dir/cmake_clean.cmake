@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_io.dir/catalog_io_test.cpp.o"
+  "CMakeFiles/test_catalog_io.dir/catalog_io_test.cpp.o.d"
+  "test_catalog_io"
+  "test_catalog_io.pdb"
+  "test_catalog_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc2.dir/cc2_test.cpp.o"
+  "CMakeFiles/test_cc2.dir/cc2_test.cpp.o.d"
+  "test_cc2"
+  "test_cc2.pdb"
+  "test_cc2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/check_release_test.cpp" "tests/CMakeFiles/test_check.dir/check_release_test.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check_release_test.cpp.o.d"
+  "/root/repo/tests/check_test.cpp" "tests/CMakeFiles/test_check.dir/check_test.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review-rel/src/runner/CMakeFiles/qperc_runner.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/core/CMakeFiles/qperc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/study/CMakeFiles/qperc_study.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/browser/CMakeFiles/qperc_browser.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/http/CMakeFiles/qperc_http.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/web/CMakeFiles/qperc_web.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/tcp/CMakeFiles/qperc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/quic/CMakeFiles/qperc_quic.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/cc/CMakeFiles/qperc_cc.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/net/CMakeFiles/qperc_net.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/stats/CMakeFiles/qperc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/sim/CMakeFiles/qperc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/util/CMakeFiles/qperc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review-rel/src/trace/CMakeFiles/qperc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

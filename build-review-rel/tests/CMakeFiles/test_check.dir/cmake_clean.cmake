@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check.dir/check_release_test.cpp.o"
+  "CMakeFiles/test_check.dir/check_release_test.cpp.o.d"
+  "CMakeFiles/test_check.dir/check_test.cpp.o"
+  "CMakeFiles/test_check.dir/check_test.cpp.o.d"
+  "test_check"
+  "test_check.pdb"
+  "test_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_loss.dir/quic_loss_test.cpp.o"
+  "CMakeFiles/test_quic_loss.dir/quic_loss_test.cpp.o.d"
+  "test_quic_loss"
+  "test_quic_loss.pdb"
+  "test_quic_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

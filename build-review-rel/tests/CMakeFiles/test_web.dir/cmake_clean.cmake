@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_web.dir/web_test.cpp.o"
+  "CMakeFiles/test_web.dir/web_test.cpp.o.d"
+  "test_web"
+  "test_web.pdb"
+  "test_web[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

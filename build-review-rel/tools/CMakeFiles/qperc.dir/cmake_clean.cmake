@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qperc.dir/qperc_cli.cpp.o"
+  "CMakeFiles/qperc.dir/qperc_cli.cpp.o.d"
+  "qperc"
+  "qperc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qperc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("trace")
+subdirs("sim")
+subdirs("stats")
+subdirs("net")
+subdirs("cc")
+subdirs("tcp")
+subdirs("quic")
+subdirs("http")
+subdirs("web")
+subdirs("browser")
+subdirs("study")
+subdirs("core")
+subdirs("runner")

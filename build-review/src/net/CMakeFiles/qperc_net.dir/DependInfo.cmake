@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/emulated_network.cpp" "src/net/CMakeFiles/qperc_net.dir/emulated_network.cpp.o" "gcc" "src/net/CMakeFiles/qperc_net.dir/emulated_network.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/qperc_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/qperc_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/packet_trace.cpp" "src/net/CMakeFiles/qperc_net.dir/packet_trace.cpp.o" "gcc" "src/net/CMakeFiles/qperc_net.dir/packet_trace.cpp.o.d"
+  "/root/repo/src/net/profile.cpp" "src/net/CMakeFiles/qperc_net.dir/profile.cpp.o" "gcc" "src/net/CMakeFiles/qperc_net.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/qperc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/qperc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/qperc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

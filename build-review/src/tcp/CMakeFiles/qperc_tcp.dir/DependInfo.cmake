@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/connection.cpp" "src/tcp/CMakeFiles/qperc_tcp.dir/connection.cpp.o" "gcc" "src/tcp/CMakeFiles/qperc_tcp.dir/connection.cpp.o.d"
+  "/root/repo/src/tcp/receiver.cpp" "src/tcp/CMakeFiles/qperc_tcp.dir/receiver.cpp.o" "gcc" "src/tcp/CMakeFiles/qperc_tcp.dir/receiver.cpp.o.d"
+  "/root/repo/src/tcp/sender.cpp" "src/tcp/CMakeFiles/qperc_tcp.dir/sender.cpp.o" "gcc" "src/tcp/CMakeFiles/qperc_tcp.dir/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/cc/CMakeFiles/qperc_cc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/qperc_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/qperc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/qperc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/qperc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

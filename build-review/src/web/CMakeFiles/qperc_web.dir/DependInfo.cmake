@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/catalog_io.cpp" "src/web/CMakeFiles/qperc_web.dir/catalog_io.cpp.o" "gcc" "src/web/CMakeFiles/qperc_web.dir/catalog_io.cpp.o.d"
+  "/root/repo/src/web/website.cpp" "src/web/CMakeFiles/qperc_web.dir/website.cpp.o" "gcc" "src/web/CMakeFiles/qperc_web.dir/website.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/qperc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

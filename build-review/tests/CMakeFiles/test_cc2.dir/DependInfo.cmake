@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cc2_test.cpp" "tests/CMakeFiles/test_cc2.dir/cc2_test.cpp.o" "gcc" "tests/CMakeFiles/test_cc2.dir/cc2_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/runner/CMakeFiles/qperc_runner.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/qperc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/study/CMakeFiles/qperc_study.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/browser/CMakeFiles/qperc_browser.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/http/CMakeFiles/qperc_http.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/web/CMakeFiles/qperc_web.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tcp/CMakeFiles/qperc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quic/CMakeFiles/qperc_quic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cc/CMakeFiles/qperc_cc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/qperc_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/qperc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/qperc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/qperc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/qperc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

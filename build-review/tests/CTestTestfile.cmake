@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build-review/tests/test_check[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-review/tests/test_util[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-review/tests/test_stats_property[1]_include.cmake")
+include("/root/repo/build-review/tests/test_net[1]_include.cmake")
+include("/root/repo/build-review/tests/test_wire[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cc[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cc2[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_quic[1]_include.cmake")
+include("/root/repo/build-review/tests/test_quic_loss[1]_include.cmake")
+include("/root/repo/build-review/tests/test_http[1]_include.cmake")
+include("/root/repo/build-review/tests/test_web[1]_include.cmake")
+include("/root/repo/build-review/tests/test_catalog_io[1]_include.cmake")
+include("/root/repo/build-review/tests/test_browser[1]_include.cmake")
+include("/root/repo/build-review/tests/test_study[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_golden[1]_include.cmake")
+include("/root/repo/build-review/tests/test_runner[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_property[1]_include.cmake")
