@@ -231,6 +231,32 @@ void BM_PageLoadTrialTraced(benchmark::State& state) {
 BENCHMARK(BM_PageLoadTrialTraced)->Args({6, 0})->Args({6, 3})
     ->Unit(benchmark::kMillisecond);
 
+/// Same trial through a heavily impaired link (reordering + duplication +
+/// Gilbert–Elliott bursts). Compare against BM_PageLoadTrial for the cost of
+/// the impairment stage — and note the impairment-free path stays on the
+/// exact pre-impairment RNG/branch sequence (goldens are bit-exact).
+void BM_PageLoadTrialImpaired(benchmark::State& state) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[static_cast<std::size_t>(state.range(0))];
+  const auto& protocol =
+      core::paper_protocols()[static_cast<std::size_t>(state.range(1))];
+  net::NetworkProfile profile = net::dsl_profile();
+  profile.impairments.reorder_rate = 0.2;
+  profile.impairments.reorder_delay_min = milliseconds(1);
+  profile.impairments.reorder_delay_max = milliseconds(30);
+  profile.impairments.duplicate_rate = 0.1;
+  profile.impairments.gilbert_elliott = net::GilbertElliott{
+      .enter_bad = 0.02, .exit_bad = 0.3, .loss_good = 0.0, .loss_bad = 0.4};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto result = core::run_trial(core::TrialSpec(site, protocol, profile, seed++));
+    benchmark::DoNotOptimize(result.metrics.plt_ms());
+  }
+  state.SetLabel(site.name + " / " + protocol.name + " (impaired)");
+}
+BENCHMARK(BM_PageLoadTrialImpaired)->Args({6, 0})->Args({6, 3})
+    ->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // --qperc_json mode: the fixed measurement suite behind BENCH_micro.json.
 

@@ -91,6 +91,7 @@ require_section ARCHITECTURE.md "Determinism contract"
 require_section ARCHITECTURE.md "Correctness tooling"
 require_section EXPERIMENTS.md "Benchmarking qperc"
 require_section EXPERIMENTS.md "Running the grid as a campaign"
+require_section EXPERIMENTS.md "Impairment & torture testing"
 # (the argument is an ERE fragment, so the parens are escaped)
 require_section EXPERIMENTS.md 'The CI gate \(`scripts/ci_gate.sh`\)'
 

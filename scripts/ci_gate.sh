@@ -6,7 +6,10 @@
 #   2. clang-tidy         scripts/run_clang_tidy.sh (skips if not installed)
 #   3. sanitizer matrix   scripts/sanitize_matrix.sh (ASan+UBSan, TSan,
 #                         release-with-invariants)
-#   4. bench smoke        scripts/bench_baseline.sh --smoke on a -Werror
+#   4. torture smoke      `qperc torture --seed 1 --grid small` on a Release
+#                         build (impairment sweep: liveness + invariants +
+#                         byte conservation)
+#   5. bench smoke        scripts/bench_baseline.sh --smoke on a -Werror
 #                         release build
 #
 #   scripts/ci_gate.sh [--jobs N] [--skip STAGE[,STAGE...]]
@@ -48,6 +51,17 @@ stage() {
 stage lint scripts/lint_determinism.py --self-test
 stage tidy scripts/run_clang_tidy.sh --jobs "$jobs"
 stage sanitize scripts/sanitize_matrix.sh --jobs "$jobs"
+
+torture_stage() {
+  # Impairment torture sweep on a Release build: the small grid must finish
+  # with zero CHECK violations, zero hung trials, and exact byte conservation.
+  build_dir="build-gate-torture"
+  cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE=Release -DQPERC_WERROR=ON > /dev/null || return 1
+  cmake --build "$build_dir" -j "$jobs" --target qperc > /dev/null || return 1
+  "$build_dir/tools/qperc" torture --seed 1 --grid small || return 1
+  rm -rf "$build_dir"
+}
+stage torture torture_stage
 
 bench_stage() {
   # Gate builds keep -Werror at its default ON: a warning-clean tree is part

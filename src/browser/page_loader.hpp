@@ -25,6 +25,11 @@ struct PageLoadResult {
   net::TransportStats transport;
   /// Completion time per object id (kNoTime when unfinished).
   std::vector<SimTime> object_complete_at;
+  /// Body bytes the HTTP layer reported delivered per object id. Conservation
+  /// invariant (torture harness): exactly `object.bytes` for complete objects,
+  /// at most that for incomplete ones — transport duplicates must never
+  /// double-count.
+  std::vector<std::uint64_t> object_body_delivered;
   std::uint32_t connections_opened = 0;
 };
 

@@ -12,6 +12,7 @@ namespace qperc::core {
 browser::PageLoadResult run_trial(const TrialSpec& spec) {
   if (spec.site == nullptr) throw std::invalid_argument("TrialSpec: site is null");
   if (spec.protocol == nullptr) throw std::invalid_argument("TrialSpec: protocol is null");
+  spec.profile.validate();
 
   sim::Simulator simulator;
   simulator.set_trace(spec.trace);

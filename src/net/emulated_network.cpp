@@ -17,6 +17,10 @@ EmulatedNetwork::EmulatedNetwork(sim::Simulator& simulator, const NetworkProfile
       [this](Packet p) { deliver_downlink(std::move(p)); });
   uplink_->set_trace_direction(0);
   downlink_->set_trace_direction(1);
+  if (profile.impairments.any()) {
+    uplink_->set_impairments(profile.impairments);
+    downlink_->set_impairments(profile.impairments);
+  }
 }
 
 void EmulatedNetwork::register_client_flow(FlowId flow, Handler handler) {

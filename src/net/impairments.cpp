@@ -1,0 +1,52 @@
+#include "net/impairments.hpp"
+
+#include <stdexcept>
+
+namespace qperc::net {
+namespace {
+
+void require_probability(double p, const char* field) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string(field) + " must be in [0, 1], got " +
+                                std::to_string(p));
+  }
+}
+
+}  // namespace
+
+void LinkImpairments::validate() const {
+  require_probability(reorder_rate, "reorder_rate");
+  require_probability(duplicate_rate, "duplicate_rate");
+  require_probability(gilbert_elliott.enter_bad, "gilbert_elliott.enter_bad");
+  require_probability(gilbert_elliott.exit_bad, "gilbert_elliott.exit_bad");
+  require_probability(gilbert_elliott.loss_good, "gilbert_elliott.loss_good");
+  require_probability(gilbert_elliott.loss_bad, "gilbert_elliott.loss_bad");
+  if (reorder_delay_min < SimDuration::zero()) {
+    throw std::invalid_argument("reorder_delay_min must be >= 0");
+  }
+  if (reorder_delay_max < reorder_delay_min) {
+    throw std::invalid_argument("reorder_delay_max must be >= reorder_delay_min");
+  }
+  if (reordering_enabled() && reorder_delay_max <= SimDuration::zero()) {
+    throw std::invalid_argument(
+        "reorder_rate > 0 requires a positive reorder_delay_max jitter window");
+  }
+  if (gilbert_elliott.enabled() && gilbert_elliott.exit_bad <= 0.0) {
+    throw std::invalid_argument(
+        "gilbert_elliott.enter_bad > 0 requires exit_bad > 0 (the bad state must be "
+        "escapable, or the link degrades permanently)");
+  }
+  if (outage_duration < SimDuration::zero()) {
+    throw std::invalid_argument("outage_duration must be >= 0");
+  }
+  if (outage_start != kNoTime && outage_start < SimTime::zero()) {
+    throw std::invalid_argument("outage_start must be >= 0");
+  }
+  if (outage_interval != SimDuration::zero() && outage_interval <= outage_duration) {
+    throw std::invalid_argument(
+        "outage_interval must exceed outage_duration (the link must come back up "
+        "between flaps)");
+  }
+}
+
+}  // namespace qperc::net

@@ -1,0 +1,100 @@
+// Composable link impairments beyond droptail + Bernoulli loss.
+//
+// Each impairment models a pathology the paper's Mahimahi testbed could not
+// reproduce but real access networks exhibit (cf. Kakhki et al. and the
+// H2-vs-H3 QoE benchmarks in PAPERS.md, where protocol orderings flip under
+// reordering and bursty loss):
+//
+//   * reordering  — a fraction of packets picks up extra delay jitter after
+//     serialization, overtaking later packets (delay-jitter model with a
+//     configurable window),
+//   * duplication — a fraction of packets is delivered twice,
+//   * Gilbert–Elliott loss — a two-state Markov chain (good/bad) with
+//     per-state loss probabilities, producing correlated loss bursts on top
+//     of the profile's independent Bernoulli stage,
+//   * outages    — timed windows during which the link delivers nothing
+//     (one-shot, or periodic "flaps").
+//
+// All randomness draws from the owning Link's seeded Rng, and a disabled
+// impairment performs no draws at all, so impairment-free profiles stay
+// bit-exact against their goldens and the determinism lint stays green.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace qperc::net {
+
+/// Two-state Markov (Gilbert–Elliott) loss model. The chain advances one
+/// step per packet reaching the loss stage; each state applies its own loss
+/// probability. Disabled (no transitions, no draws) until `enter_bad > 0`.
+struct GilbertElliott {
+  /// P(good -> bad) per packet.
+  double enter_bad = 0.0;
+  /// P(bad -> good) per packet.
+  double exit_bad = 0.0;
+  /// Loss probability while in the good state (usually 0).
+  double loss_good = 0.0;
+  /// Loss probability while in the bad state (the burst).
+  double loss_bad = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return enter_bad > 0.0; }
+
+  friend bool operator==(const GilbertElliott&, const GilbertElliott&) = default;
+};
+
+/// Per-direction impairment configuration, applied by Link after the
+/// serialization stage. Default-constructed == everything off.
+struct LinkImpairments {
+  /// Probability that a packet picks up extra delay in
+  /// [reorder_delay_min, reorder_delay_max] on top of the propagation delay.
+  double reorder_rate = 0.0;
+  SimDuration reorder_delay_min{0};
+  SimDuration reorder_delay_max{0};
+
+  /// Probability that a delivered packet arrives twice. The copy trails the
+  /// original by an independent draw from the reorder jitter window when one
+  /// is configured, otherwise it arrives back-to-back.
+  double duplicate_rate = 0.0;
+
+  GilbertElliott gilbert_elliott{};
+
+  /// First outage window opens at this simulation time (kNoTime = never).
+  SimTime outage_start = kNoTime;
+  /// Length of each outage window.
+  SimDuration outage_duration{0};
+  /// Interval between outage starts; zero means a single (one-shot) outage,
+  /// otherwise the link flaps with this period. Must exceed outage_duration.
+  SimDuration outage_interval{0};
+
+  [[nodiscard]] bool reordering_enabled() const noexcept { return reorder_rate > 0.0; }
+  [[nodiscard]] bool duplication_enabled() const noexcept { return duplicate_rate > 0.0; }
+  [[nodiscard]] bool outages_enabled() const noexcept {
+    return outage_start != kNoTime && outage_duration > SimDuration::zero();
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return reordering_enabled() || duplication_enabled() || gilbert_elliott.enabled() ||
+           outages_enabled();
+  }
+
+  /// True when `now` falls inside an outage window.
+  [[nodiscard]] bool in_outage(SimTime now) const noexcept {
+    if (!outages_enabled() || now < outage_start) return false;
+    if (outage_interval <= SimDuration::zero()) {
+      return now < outage_start + outage_duration;
+    }
+    const auto since = (now - outage_start).count() % outage_interval.count();
+    return SimDuration{since} < outage_duration;
+  }
+
+  /// Throws std::invalid_argument naming the offending field when any value
+  /// is out of range (probabilities outside [0,1], inverted jitter window,
+  /// an outage interval shorter than the outage itself, ...).
+  void validate() const;
+
+  friend bool operator==(const LinkImpairments&, const LinkImpairments&) = default;
+};
+
+}  // namespace qperc::net

@@ -30,6 +30,31 @@ void Link::send(Packet packet) {
   if (!serializing_) start_serialization();
 }
 
+bool Link::bursty_loss() {
+  const GilbertElliott& ge = impairments_.gilbert_elliott;
+  if (!ge.enabled()) return false;
+  if (ge_bad_) {
+    if (loss_rng_.bernoulli(ge.exit_bad)) ge_bad_ = false;
+  } else {
+    if (loss_rng_.bernoulli(ge.enter_bad)) ge_bad_ = true;
+  }
+  return loss_rng_.bernoulli(ge_bad_ ? ge.loss_bad : ge.loss_good);
+}
+
+SimDuration Link::jitter_draw() {
+  return SimDuration{loss_rng_.uniform_int(impairments_.reorder_delay_min.count(),
+                                           impairments_.reorder_delay_max.count())};
+}
+
+void Link::schedule_delivery(const Packet& packet, SimDuration delay) {
+  simulator_.schedule_in(delay, [this, packet]() mutable {
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += packet.wire_bytes;
+    notify(LinkEvent::kDelivered, packet);
+    deliver_(std::move(packet));
+  });
+}
+
 void Link::start_serialization() {
   if (queue_.empty()) {
     serializing_ = false;
@@ -41,17 +66,39 @@ void Link::start_serialization() {
   simulator_.schedule_in(wire_time, [this, packet]() mutable {
     queued_bytes_ -= packet.wire_bytes;
     // Random loss models the lossy wireless segment beyond the bottleneck;
-    // the packet has already consumed its serialization slot.
+    // the packet has already consumed its serialization slot. This stays the
+    // first (and, with impairments off, only) draw so impairment-free
+    // profiles keep their exact RNG stream and golden traces.
     if (loss_rng_.bernoulli(loss_rate_)) {
       ++stats_.drops_random_loss;
       notify(LinkEvent::kDroppedRandomLoss, packet);
+    } else if (impairments_.in_outage(simulator_.now())) {
+      ++stats_.drops_outage;
+      notify(LinkEvent::kDroppedOutage, packet);
+    } else if (bursty_loss()) {
+      ++stats_.drops_burst_loss;
+      notify(LinkEvent::kDroppedBurstLoss, packet);
     } else {
-      simulator_.schedule_in(propagation_delay_, [this, packet = std::move(packet)]() mutable {
-        ++stats_.packets_delivered;
-        stats_.bytes_delivered += packet.wire_bytes;
-        notify(LinkEvent::kDelivered, packet);
-        deliver_(std::move(packet));
-      });
+      SimDuration delay = propagation_delay_;
+      if (impairments_.reordering_enabled() &&
+          loss_rng_.bernoulli(impairments_.reorder_rate)) {
+        const SimDuration extra = jitter_draw();
+        delay += extra;
+        ++stats_.reordered;
+        notify(LinkEvent::kReordered, packet, static_cast<std::uint64_t>(extra.count()));
+      }
+      schedule_delivery(packet, delay);
+      if (impairments_.duplication_enabled() &&
+          loss_rng_.bernoulli(impairments_.duplicate_rate)) {
+        ++stats_.duplicates;
+        notify(LinkEvent::kDuplicated, packet);
+        // The copy trails the original; with no jitter window configured it
+        // lands at the same instant but after the original in FIFO order.
+        const SimDuration lag = impairments_.reorder_delay_max > SimDuration::zero()
+                                    ? jitter_draw()
+                                    : SimDuration::zero();
+        schedule_delivery(packet, delay + lag);
+      }
     }
     start_serialization();
   });

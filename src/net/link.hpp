@@ -1,14 +1,19 @@
 // One-directional emulated link: droptail queue -> serialization at a fixed
-// rate -> propagation delay -> Bernoulli random loss.
+// rate -> propagation delay -> Bernoulli random loss -> optional impairments
+// (Gilbert–Elliott bursty loss, timed outages, reordering jitter, duplication).
 //
 // This mirrors the Mahimahi link shells the paper's testbed is built from:
 // a byte-accurate bottleneck with a queue sized in milliseconds (Table 2:
 // 200 ms everywhere except DSL's 12 ms) plus an independent random-loss
-// stage for the in-flight networks.
+// stage for the in-flight networks. The impairment stage (see
+// net/impairments.hpp) extends that vocabulary to the pathologies Mahimahi
+// could not emulate; with impairments disabled the link performs exactly the
+// same RNG draws as before, so goldens stay bit-exact.
 #pragma once
 
 #include <cstdint>
 
+#include "net/impairments.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "util/function.hpp"
@@ -25,11 +30,24 @@ struct LinkStats {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t drops_random_loss = 0;
   std::uint64_t drops_queue_full = 0;
+  std::uint64_t drops_burst_loss = 0;  // Gilbert–Elliott correlated loss
+  std::uint64_t drops_outage = 0;      // packet hit a timed outage window
+  std::uint64_t duplicates = 0;        // extra copies scheduled for delivery
+  std::uint64_t reordered = 0;         // packets given extra delay jitter
   std::uint64_t max_queue_bytes = 0;
 };
 
 /// Per-packet lifecycle events a Link can report to an observer.
-enum class LinkEvent { kEnqueued, kDroppedQueueFull, kDroppedRandomLoss, kDelivered };
+enum class LinkEvent {
+  kEnqueued,
+  kDroppedQueueFull,
+  kDroppedRandomLoss,
+  kDelivered,
+  kDroppedBurstLoss,
+  kDroppedOutage,
+  kDuplicated,
+  kReordered,
+};
 
 [[nodiscard]] constexpr trace::EventType to_trace_event(LinkEvent event) noexcept {
   switch (event) {
@@ -37,6 +55,10 @@ enum class LinkEvent { kEnqueued, kDroppedQueueFull, kDroppedRandomLoss, kDelive
     case LinkEvent::kDroppedQueueFull: return trace::EventType::kLinkDroppedQueueFull;
     case LinkEvent::kDroppedRandomLoss: return trace::EventType::kLinkDroppedRandomLoss;
     case LinkEvent::kDelivered: return trace::EventType::kLinkDelivered;
+    case LinkEvent::kDroppedBurstLoss: return trace::EventType::kLinkDroppedBurstLoss;
+    case LinkEvent::kDroppedOutage: return trace::EventType::kLinkDroppedOutage;
+    case LinkEvent::kDuplicated: return trace::EventType::kLinkDuplicated;
+    case LinkEvent::kReordered: return trace::EventType::kLinkReordered;
   }
   return trace::EventType::kLinkEnqueued;  // unreachable with valid input
 }
@@ -62,6 +84,14 @@ class Link {
   /// Offers a packet to the link; it is queued, dropped (tail-drop), or lost.
   void send(Packet packet);
 
+  /// Installs the impairment configuration (validated). Safe to call before
+  /// any traffic; changing it mid-flight only affects future packets.
+  void set_impairments(const LinkImpairments& impairments) {
+    impairments.validate();
+    impairments_ = impairments;
+  }
+  [[nodiscard]] const LinkImpairments& impairments() const noexcept { return impairments_; }
+
   /// Installs a per-packet observer (tracing); pass nullptr to remove.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
@@ -76,6 +106,12 @@ class Link {
 
  private:
   void start_serialization();
+  void schedule_delivery(const Packet& packet, SimDuration delay);
+  /// Advances the Gilbert–Elliott chain one step and draws the state's loss
+  /// probability. No draws at all while the model is disabled.
+  bool bursty_loss();
+  /// Uniform draw from the configured reorder jitter window.
+  SimDuration jitter_draw();
 
   sim::Simulator& simulator_;
   DataRate rate_;
@@ -86,12 +122,14 @@ class Link {
   DeliverFn deliver_;
   Observer observer_;
   std::uint64_t trace_direction_ = 0;
+  LinkImpairments impairments_{};
+  bool ge_bad_ = false;  // Gilbert–Elliott chain state
 
-  void notify(LinkEvent event, const Packet& packet) {
+  void notify(LinkEvent event, const Packet& packet, std::uint64_t id = 0) {
     if (observer_) observer_(event, packet);
     if (simulator_.trace() != nullptr) {
       simulator_.trace_event(to_trace_event(event), trace::Endpoint::kNone,
-                             static_cast<std::uint64_t>(packet.flow), /*id=*/0,
+                             static_cast<std::uint64_t>(packet.flow), id,
                              packet.wire_bytes, trace_direction_);
     }
   }

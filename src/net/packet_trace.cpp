@@ -52,6 +52,10 @@ std::string_view to_string(LinkEvent event) {
     case LinkEvent::kDroppedQueueFull: return "drop_queue";
     case LinkEvent::kDroppedRandomLoss: return "drop_loss";
     case LinkEvent::kDelivered: return "delivered";
+    case LinkEvent::kDroppedBurstLoss: return "drop_burst";
+    case LinkEvent::kDroppedOutage: return "drop_outage";
+    case LinkEvent::kDuplicated: return "duplicated";
+    case LinkEvent::kReordered: return "reordered";
   }
   return "?";
 }

@@ -24,6 +24,25 @@ std::string_view to_string(NetworkKind kind) {
   return "?";
 }
 
+void NetworkProfile::validate() const {
+  const std::string label = name.empty() ? std::string(to_string(kind)) : name;
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("invalid network profile '" + label + "': " + what);
+  };
+  if (uplink.is_zero()) fail("uplink bandwidth must be > 0");
+  if (downlink.is_zero()) fail("downlink bandwidth must be > 0");
+  if (!(loss_rate >= 0.0 && loss_rate <= 1.0)) {
+    fail("loss_rate must be in [0, 1], got " + std::to_string(loss_rate));
+  }
+  if (min_rtt < SimDuration::zero()) fail("min_rtt must be >= 0");
+  if (queue_delay <= SimDuration::zero()) fail("queue_delay must be > 0");
+  try {
+    impairments.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+}
+
 std::uint64_t NetworkProfile::uplink_queue_bytes() const {
   // Access uplinks are notoriously over-buffered (modem bufferbloat); the
   // ms-sized droptail models the *downlink* bottleneck the paper tunes.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "net/impairments.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
@@ -27,6 +28,16 @@ struct NetworkProfile {
   /// Random loss probability, applied independently per direction.
   double loss_rate = 0.0;
   SimDuration queue_delay{0};
+  /// Optional impairment layer, applied identically to both directions
+  /// (reordering, duplication, bursty loss, outages). Default: all off,
+  /// which reproduces the paper's Mahimahi conditions exactly.
+  LinkImpairments impairments{};
+
+  /// Throws std::invalid_argument with an actionable message when any field
+  /// is out of range (non-positive bandwidth, loss outside [0,1], negative
+  /// delays, invalid impairments). Called by run_trial and the CLI before a
+  /// profile reaches the simulator.
+  void validate() const;
 
   /// Droptail capacity of the given direction's queue in bytes
   /// (rate x queue delay, floored at two MTUs so tiny links stay usable).

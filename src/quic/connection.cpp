@@ -1,5 +1,6 @@
 #include "quic/connection.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace qperc::quic {
@@ -118,7 +119,10 @@ void QuicConnection::establish_client() {
   handshake_timer_.cancel();
   // Full CHLO completes the handshake and lets encrypted data flow.
   send_handshake(true, QuicHandshakeStep::kFullChlo);
-  client_send_->on_established(simulator_.now() - chlo_sent_at_);
+  // A genuine round-trip measurement (the 0-RTT path passes the zero sentinel
+  // in connect() and never reaches here); clamp to one tick so a zero-delay
+  // profile still seeds the RTT estimator with a strictly positive sample.
+  client_send_->on_established(std::max(simulator_.now() - chlo_sent_at_, SimDuration{1}));
   simulator_.trace_event(
       trace::EventType::kHandshakeCompleted, trace::Endpoint::kClient,
       static_cast<std::uint64_t>(flow_), /*id=*/1, /*bytes=*/0,
@@ -130,7 +134,9 @@ void QuicConnection::establish_server() {
   if (server_established_) return;
   server_established_ = true;
   const SimDuration rtt =
-      rej_sent_at_ > SimTime{0} ? simulator_.now() - rej_sent_at_ : SimDuration::zero();
+      rej_sent_at_ > SimTime{0}
+          ? std::max(simulator_.now() - rej_sent_at_, SimDuration{1})
+          : SimDuration::zero();
   server_send_->on_established(rtt);
 }
 

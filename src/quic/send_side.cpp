@@ -266,7 +266,9 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
       bytes_in_flight_ -= up.payload_bytes;
       if (pn > largest_acked_) {
         largest_acked_ = pn;
-        rtt_sample = now - up.sent_time;
+        // Clamp to one tick: a zero-delay profile can acknowledge in the
+        // sending instant, and RttEstimator requires positive samples.
+        rtt_sample = std::max(now - up.sent_time, SimDuration{1});
       }
       if (const auto sample = sampler_.on_packet_acked(pn, now)) {
         if (!have_rate || sample->delivery_rate > best_rate.delivery_rate) {

@@ -1,0 +1,285 @@
+#include "runner/torture.hpp"
+
+#include <exception>
+#include <ostream>
+#include <utility>
+
+#include "browser/page_loader.hpp"
+#include "core/protocol.hpp"
+#include "http/session.hpp"
+#include "net/emulated_network.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "web/website.hpp"
+
+namespace qperc::runner {
+namespace {
+
+/// Trials run sequentially, so a plain counter under the process-global
+/// violation handler is race-free.
+std::uint64_t g_violations = 0;
+
+void counting_handler(const char* /*file*/, int /*line*/, const char* /*expr*/,
+                      const std::string& /*message*/) {
+  ++g_violations;
+}
+
+/// Restores the previous handler even when a trial throws.
+class HandlerGuard {
+ public:
+  HandlerGuard() : previous_(check::set_violation_handler(&counting_handler)) {}
+  ~HandlerGuard() { check::set_violation_handler(previous_); }
+  HandlerGuard(const HandlerGuard&) = delete;
+  HandlerGuard& operator=(const HandlerGuard&) = delete;
+
+ private:
+  check::ViolationHandler previous_;
+};
+
+/// Virtual-time cap per torture trial. Shorter than the study cap: heavily
+/// impaired loads legitimately outlive any deadline (counted as incomplete,
+/// not failed), and liveness is guarded by the event budget, not the clock.
+constexpr SimDuration kTortureTimeCap = seconds(90);
+
+struct TrialOutcome {
+  browser::PageLoadResult result;
+  bool budget_exhausted = false;
+  bool deadlocked = false;
+};
+
+TrialOutcome run_torture_trial(const web::Website& site, const core::ProtocolConfig& protocol,
+                               const net::NetworkProfile& profile, std::uint64_t seed,
+                               std::uint64_t max_events) {
+  profile.validate();
+  sim::Simulator simulator;
+  Rng rng(seed);
+  net::EmulatedNetwork network(simulator, profile, rng.fork("network"));
+
+  browser::PageLoader::SessionFactory factory;
+  switch (protocol.transport) {
+    case core::Transport::kTcp: {
+      const tcp::TcpConfig config = protocol.tcp_config();
+      factory = [&simulator, &network, config](net::ServerId origin) {
+        return http::make_h2_session(simulator, network, origin, config);
+      };
+      break;
+    }
+    case core::Transport::kQuic: {
+      const quic::QuicConfig config = protocol.quic_config();
+      factory = [&simulator, &network, config](net::ServerId origin) {
+        return http::make_quic_session(simulator, network, origin, config);
+      };
+      break;
+    }
+    case core::Transport::kTcpH1: {
+      const tcp::TcpConfig config = protocol.tcp_config();
+      factory = [&simulator, &network, config](net::ServerId origin) {
+        return http::make_h1_session(simulator, network, origin, config);
+      };
+      break;
+    }
+  }
+
+  // Mirrors browser::load_page, but keeps the simulator visible so the
+  // harness can tell the three ways a trial can stop short apart: time cap
+  // (fine), event-budget exhaustion (hung), empty queue with an unfinished
+  // page (deadlock — every recovery timer has been dropped).
+  browser::PageLoader loader(simulator, site, std::move(factory), rng.fork("browser"));
+  loader.start();
+  TrialOutcome outcome;
+  const SimTime deadline = simulator.now() + kTortureTimeCap;
+  const std::uint64_t events_at_start = simulator.events_processed();
+  while (!loader.finished() && simulator.now() < deadline) {
+    const std::uint64_t spent = simulator.events_processed() - events_at_start;
+    if (spent >= max_events) {
+      outcome.budget_exhausted = true;
+      break;
+    }
+    if (simulator.pending_events() == 0) {
+      outcome.deadlocked = true;
+      break;
+    }
+    const SimTime next = std::min(deadline, simulator.now() + milliseconds(200));
+    simulator.run_until(next, max_events - spent);
+  }
+  outcome.result = loader.result();
+  return outcome;
+}
+
+void add_failure(TortureReport& report, std::size_t cap, std::string line) {
+  if (report.failures.size() < cap) report.failures.push_back(std::move(line));
+}
+
+}  // namespace
+
+TortureGrid parse_torture_grid(std::string_view name) {
+  if (name == "small") return TortureGrid::kSmall;
+  if (name == "full") return TortureGrid::kFull;
+  throw std::invalid_argument("unknown torture grid '" + std::string(name) +
+                              "' (expected 'small' or 'full')");
+}
+
+std::vector<TortureScenario> torture_scenarios(const net::NetworkProfile& base) {
+  std::vector<TortureScenario> scenarios;
+  const auto derive = [&](std::string name, auto mutate) {
+    net::NetworkProfile profile = base;
+    profile.name = std::string(base.name) + "/" + name;
+    mutate(profile.impairments);
+    profile.validate();
+    scenarios.push_back(TortureScenario{std::move(name), std::move(profile)});
+  };
+
+  derive("reorder-heavy", [](net::LinkImpairments& imp) {
+    imp.reorder_rate = 0.35;
+    imp.reorder_delay_min = milliseconds(2);
+    imp.reorder_delay_max = milliseconds(40);
+  });
+  derive("duplicate-storm", [](net::LinkImpairments& imp) { imp.duplicate_rate = 0.3; });
+  derive("ge-burst", [](net::LinkImpairments& imp) {
+    imp.gilbert_elliott = net::GilbertElliott{
+        .enter_bad = 0.03, .exit_bad = 0.25, .loss_good = 0.0, .loss_bad = 0.5};
+  });
+  derive("flapping", [](net::LinkImpairments& imp) {
+    imp.outage_start = SimTime{seconds(1)};
+    imp.outage_duration = milliseconds(300);
+    imp.outage_interval = seconds(3);
+  });
+  derive("kitchen-sink", [](net::LinkImpairments& imp) {
+    imp.reorder_rate = 0.2;
+    imp.reorder_delay_min = milliseconds(1);
+    imp.reorder_delay_max = milliseconds(50);
+    imp.duplicate_rate = 0.1;
+    imp.gilbert_elliott = net::GilbertElliott{
+        .enter_bad = 0.02, .exit_bad = 0.3, .loss_good = 0.0, .loss_bad = 0.4};
+    imp.outage_start = SimTime{seconds(2)};
+    imp.outage_duration = milliseconds(250);
+    imp.outage_interval = seconds(5);
+  });
+  return scenarios;
+}
+
+net::NetworkProfile zero_delay_profile() {
+  net::NetworkProfile profile;
+  profile.kind = net::NetworkKind::kDsl;
+  profile.name = "zero-delay";
+  // Fast enough that a full MTU serializes in under one nanosecond tick:
+  // delivery, ACK, and RTT sample all land in the sending instant.
+  profile.uplink = DataRate::bits_per_second(100'000'000'000'000ULL);
+  profile.downlink = DataRate::bits_per_second(100'000'000'000'000ULL);
+  profile.min_rtt = SimDuration::zero();
+  profile.loss_rate = 0.0;
+  profile.queue_delay = milliseconds(1);
+  profile.validate();
+  return profile;
+}
+
+TortureReport run_torture(const TortureOptions& options, std::ostream* progress) {
+  const bool small = options.grid == TortureGrid::kSmall;
+  const auto catalog = web::study_catalog(options.seed);
+
+  std::vector<const web::Website*> sites;
+  if (small) {
+    for (const std::size_t index : {std::size_t{0}, std::size_t{9}, std::size_t{19},
+                                    std::size_t{29}}) {
+      sites.push_back(&catalog.at(index));
+    }
+  } else {
+    for (const auto& site : catalog) sites.push_back(&site);
+  }
+
+  std::vector<const core::ProtocolConfig*> protocols;
+  if (small) {
+    // One representative per stack; the full grid covers every Table-1 row.
+    const core::ProtocolConfig* tcp = nullptr;
+    const core::ProtocolConfig* quic = nullptr;
+    for (const auto& protocol : core::paper_protocols()) {
+      if (tcp == nullptr && protocol.transport == core::Transport::kTcp) tcp = &protocol;
+      if (quic == nullptr && protocol.transport == core::Transport::kQuic) quic = &protocol;
+    }
+    protocols = {tcp, quic};
+  } else {
+    for (const auto& protocol : core::paper_protocols()) protocols.push_back(&protocol);
+    protocols.push_back(&core::http1_baseline_protocol());
+  }
+
+  std::vector<TortureScenario> scenarios;
+  if (small) {
+    for (const auto& scenario : torture_scenarios(net::dsl_profile())) {
+      scenarios.push_back(scenario);
+    }
+    for (const auto& scenario : torture_scenarios(net::mss_profile())) {
+      scenarios.push_back(scenario);
+    }
+  } else {
+    for (const auto& base : net::all_profiles()) {
+      for (const auto& scenario : torture_scenarios(base)) scenarios.push_back(scenario);
+    }
+  }
+  scenarios.push_back(TortureScenario{"zero-delay", zero_delay_profile()});
+
+  TortureReport report;
+  HandlerGuard handler_guard;
+  for (const auto& scenario : scenarios) {
+    for (const auto* protocol : protocols) {
+      const std::uint64_t violations_before_row = report.check_violations;
+      const std::uint64_t hung_before_row = report.hung_trials;
+      for (const auto* site : sites) {
+        const std::string label = scenario.profile.name + "|" + scenario.name + "|" +
+                                  protocol->name + "|" + site->name;
+        const std::uint64_t seed =
+            fnv1a(label) ^ (options.seed * 0x9E3779B97F4A7C15ULL);
+        ++report.trials;
+        g_violations = 0;
+        try {
+          const TrialOutcome outcome = run_torture_trial(
+              *site, *protocol, scenario.profile, seed, options.max_events_per_trial);
+          if (g_violations != 0) {
+            report.check_violations += g_violations;
+            add_failure(report, options.max_failures_reported,
+                        label + ": " + std::to_string(g_violations) + " CHECK violation(s)");
+          }
+          if (outcome.budget_exhausted || outcome.deadlocked) {
+            ++report.hung_trials;
+            if (outcome.deadlocked) ++report.deadlocks;
+            add_failure(report, options.max_failures_reported,
+                        label + (outcome.deadlocked
+                                     ? ": DEADLOCK (empty event queue, page unfinished)"
+                                     : ": HUNG (event budget exhausted)"));
+          } else if (!outcome.result.metrics.finished) {
+            ++report.incomplete_pages;
+          }
+          for (const auto& object : site->objects) {
+            const std::uint64_t delivered = outcome.result.object_body_delivered[object.id];
+            const bool complete =
+                outcome.result.object_complete_at[object.id] != kNoTime;
+            if (delivered > object.bytes || (complete && delivered != object.bytes)) {
+              ++report.conservation_failures;
+              add_failure(report, options.max_failures_reported,
+                          label + ": object " + std::to_string(object.id) + " delivered " +
+                              std::to_string(delivered) + " of " +
+                              std::to_string(object.bytes) + " bytes" +
+                              (complete ? " (complete)" : ""));
+            }
+          }
+        } catch (const std::exception& e) {
+          report.check_violations += g_violations;
+          ++report.exceptions;
+          add_failure(report, options.max_failures_reported, label + ": exception: " + e.what());
+        }
+      }
+      if (progress != nullptr) {
+        *progress << "torture: " << scenario.profile.name << " x " << protocol->name << " x "
+                  << sites.size() << " sites";
+        if (report.check_violations != violations_before_row ||
+            report.hung_trials != hung_before_row) {
+          *progress << "  [FAILURES]";
+        }
+        *progress << "\n";
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace qperc::runner

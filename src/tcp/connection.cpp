@@ -201,7 +201,9 @@ void TcpConnection::client_handshake_packet(const TcpSegment& segment) {
   switch (segment.handshake) {
     case HandshakeStep::kSynAck:
       if (client_hs_ == ClientHsState::kSynSent) {
-        client_hs_rtt_ = simulator_.now() - syn_sent_at_;
+        // Clamped to one tick so a zero-delay profile still yields a valid
+        // (strictly positive) seed sample for the RTT estimator.
+        client_hs_rtt_ = std::max(simulator_.now() - syn_sent_at_, SimDuration{1});
         client_hs_ = ClientHsState::kHelloSent;
         send_handshake(true, HandshakeStep::kClientHello);
         client_hs_timer_.set_in(client_handshake_rto());
@@ -225,7 +227,7 @@ void TcpConnection::complete_client_handshake() {
   client_hs_timer_.cancel();
   // One-round-trip handshakes sample the RTT from CH -> server flight.
   if (client_hs_rtt_ == SimDuration::zero() && config_.handshake_rtts == 1) {
-    client_hs_rtt_ = simulator_.now() - syn_sent_at_;
+    client_hs_rtt_ = std::max(simulator_.now() - syn_sent_at_, SimDuration{1});
   }
   // The peer's initial advertised window: what the server's request-side
   // receiver can take.

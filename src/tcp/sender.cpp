@@ -171,9 +171,11 @@ void TcpSender::mark_delivered(SegmentRecord& record, SimTime now,
     QPERC_DCHECK_GE(outstanding_bytes_, len);
     outstanding_bytes_ -= len;
   }
-  if (record.transmissions == 1 && now > record.last_sent) {
+  if (record.transmissions == 1 && now >= record.last_sent) {
     // Karn's rule: only never-retransmitted segments produce RTT samples.
-    rtt_sample = std::max(rtt_sample, now - record.last_sent);
+    // Clamp to one tick: a zero-delay profile can deliver and acknowledge in
+    // the same instant, and RttEstimator requires strictly positive samples.
+    rtt_sample = std::max({rtt_sample, now - record.last_sent, SimDuration{1}});
   }
   if (record.last_sent > newest_delivered_sent_time) {
     newest_delivered_sent_time = record.last_sent;
@@ -189,7 +191,14 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
   QPERC_CHECK_LE(segment.cumulative_ack, next_seq_)
       << "peer acknowledged bytes beyond SND.NXT";
   const SimTime now = simulator_.now();
-  peer_rwnd_ = segment.receive_window_bytes;
+  // Window update rule (RFC 9293 §3.10.7.4 flavour): only segments at or
+  // beyond the current cumulative ACK may change the send window. Under
+  // reordering, a stale ACK arriving late would otherwise shrink peer_rwnd_
+  // below what the receiver has since advertised and stall the sender — with
+  // no zero-window probe to recover, a permanent deadlock.
+  if (segment.cumulative_ack >= highest_cum_ack_) {
+    peer_rwnd_ = segment.receive_window_bytes;
+  }
 
   std::uint64_t newly_delivered = 0;
   SimDuration rtt_sample{0};

@@ -91,6 +91,18 @@ void TrialCounters::observe(const Event& event) {
     case EventType::kLinkDelivered:
       ++link_deliveries;
       break;
+    case EventType::kLinkDroppedBurstLoss:
+      ++burst_loss_drops;
+      break;
+    case EventType::kLinkDroppedOutage:
+      ++outage_drops;
+      break;
+    case EventType::kLinkDuplicated:
+      ++link_duplicates;
+      break;
+    case EventType::kLinkReordered:
+      ++link_reorders;
+      break;
   }
 }
 
@@ -123,6 +135,10 @@ void TrialCounters::merge(const TrialCounters& other) {
   queue_drops += other.queue_drops;
   random_loss_drops += other.random_loss_drops;
   link_deliveries += other.link_deliveries;
+  burst_loss_drops += other.burst_loss_drops;
+  outage_drops += other.outage_drops;
+  link_duplicates += other.link_duplicates;
+  link_reorders += other.link_reorders;
   requests_submitted += other.requests_submitted;
   responses_completed += other.responses_completed;
   connections_opened += other.connections_opened;

@@ -47,6 +47,10 @@ struct TrialCounters {
   std::uint64_t queue_drops = 0;
   std::uint64_t random_loss_drops = 0;
   std::uint64_t link_deliveries = 0;
+  std::uint64_t burst_loss_drops = 0;  // Gilbert–Elliott correlated loss
+  std::uint64_t outage_drops = 0;      // packets dropped during a link outage
+  std::uint64_t link_duplicates = 0;   // extra copies delivered by duplication
+  std::uint64_t link_reorders = 0;     // packets given extra reordering delay
 
   // http / browser
   std::uint64_t requests_submitted = 0;

@@ -35,6 +35,10 @@ Category category_of(EventType type) noexcept {
     case EventType::kLinkDroppedQueueFull:
     case EventType::kLinkDroppedRandomLoss:
     case EventType::kLinkDelivered:
+    case EventType::kLinkDroppedBurstLoss:
+    case EventType::kLinkDroppedOutage:
+    case EventType::kLinkDuplicated:
+    case EventType::kLinkReordered:
       return Category::kNet;
   }
   return Category::kTransport;  // unreachable with valid input
@@ -89,6 +93,10 @@ std::string_view to_string(EventType type) noexcept {
     case EventType::kLinkDroppedQueueFull: return "link_dropped_queue_full";
     case EventType::kLinkDroppedRandomLoss: return "link_dropped_random_loss";
     case EventType::kLinkDelivered: return "link_delivered";
+    case EventType::kLinkDroppedBurstLoss: return "link_dropped_burst_loss";
+    case EventType::kLinkDroppedOutage: return "link_dropped_outage";
+    case EventType::kLinkDuplicated: return "link_duplicated";
+    case EventType::kLinkReordered: return "link_reordered";
   }
   return "?";
 }

@@ -58,6 +58,10 @@ enum class EventType : std::uint8_t {
   kLinkDroppedQueueFull,
   kLinkDroppedRandomLoss,
   kLinkDelivered,
+  kLinkDroppedBurstLoss,    // Gilbert–Elliott correlated loss
+  kLinkDroppedOutage,       // link was down (outage/flap window)
+  kLinkDuplicated,          // a second copy was scheduled for delivery
+  kLinkReordered,           // id = extra delay applied (ns)
 };
 
 [[nodiscard]] Category category_of(EventType type) noexcept;

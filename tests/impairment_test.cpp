@@ -1,0 +1,283 @@
+// Unit tests for the link impairment layer (net/impairments.hpp): profile
+// validation, Gilbert–Elliott bursts, outage windows, reordering jitter,
+// duplication, and the bit-exactness contract for impairment-free profiles.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/impairments.hpp"
+#include "net/link.hpp"
+#include "net/profile.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace qperc::net {
+namespace {
+
+Packet make_packet(std::uint32_t bytes, std::uint64_t flow = 1) {
+  Packet packet;
+  packet.flow = FlowId{flow};
+  packet.dest_server = ServerId{0};
+  packet.wire_bytes = bytes;
+  return packet;
+}
+
+/// Sends `count` numbered packets through a link with the given impairments
+/// and returns (flow id, delivery time) pairs in delivery order.
+struct ImpairedRun {
+  std::vector<std::uint64_t> order;
+  std::vector<SimTime> times;
+  LinkStats stats;
+};
+
+ImpairedRun run_impaired(const LinkImpairments& impairments, int count,
+                         double loss_rate = 0.0, std::uint64_t seed = 1) {
+  sim::Simulator simulator;
+  ImpairedRun run;
+  Link link(simulator, DataRate::megabits_per_second(8.0), milliseconds(5), loss_rate,
+            /*queue_capacity_bytes=*/10'000'000, Rng(seed), [&](Packet p) {
+              run.order.push_back(static_cast<std::uint64_t>(p.flow));
+              run.times.push_back(simulator.now());
+            });
+  link.set_impairments(impairments);
+  for (int i = 0; i < count; ++i) link.send(make_packet(1000, 100 + i));
+  simulator.run();
+  run.stats = link.stats();
+  return run;
+}
+
+// ---------------------------------------------------------------- validation
+
+TEST(ImpairmentValidation, DefaultConfigurationIsValidAndOff) {
+  const LinkImpairments impairments;
+  EXPECT_FALSE(impairments.any());
+  EXPECT_NO_THROW(impairments.validate());
+}
+
+TEST(ImpairmentValidation, RejectsOutOfRangeProbabilities) {
+  for (double bad : {-0.1, 1.5}) {
+    LinkImpairments imp;
+    imp.reorder_rate = bad;
+    EXPECT_THROW(imp.validate(), std::invalid_argument) << bad;
+    imp = LinkImpairments{};
+    imp.duplicate_rate = bad;
+    EXPECT_THROW(imp.validate(), std::invalid_argument) << bad;
+    imp = LinkImpairments{};
+    imp.gilbert_elliott.enter_bad = bad;
+    EXPECT_THROW(imp.validate(), std::invalid_argument) << bad;
+    imp = LinkImpairments{};
+    imp.gilbert_elliott.enter_bad = 0.1;
+    imp.gilbert_elliott.exit_bad = 0.5;
+    imp.gilbert_elliott.loss_bad = bad;
+    EXPECT_THROW(imp.validate(), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ImpairmentValidation, RejectsInvertedOrMissingJitterWindow) {
+  LinkImpairments imp;
+  imp.reorder_rate = 0.2;
+  // Enabled reordering with a zero-width window is a configuration error.
+  EXPECT_THROW(imp.validate(), std::invalid_argument);
+  imp.reorder_delay_min = milliseconds(10);
+  imp.reorder_delay_max = milliseconds(5);
+  EXPECT_THROW(imp.validate(), std::invalid_argument);
+  imp.reorder_delay_max = milliseconds(20);
+  EXPECT_NO_THROW(imp.validate());
+}
+
+TEST(ImpairmentValidation, RejectsInescapableBadState) {
+  LinkImpairments imp;
+  imp.gilbert_elliott.enter_bad = 0.1;
+  imp.gilbert_elliott.exit_bad = 0.0;
+  EXPECT_THROW(imp.validate(), std::invalid_argument);
+}
+
+TEST(ImpairmentValidation, RejectsFlapIntervalShorterThanOutage) {
+  LinkImpairments imp;
+  imp.outage_start = SimTime{seconds(1)};
+  imp.outage_duration = milliseconds(500);
+  imp.outage_interval = milliseconds(400);
+  EXPECT_THROW(imp.validate(), std::invalid_argument);
+  imp.outage_interval = milliseconds(600);
+  EXPECT_NO_THROW(imp.validate());
+}
+
+TEST(ProfileValidation, AcceptsAllBuiltinProfiles) {
+  for (const auto& profile : all_profiles()) EXPECT_NO_THROW(profile.validate());
+}
+
+TEST(ProfileValidation, RejectsZeroBandwidth) {
+  NetworkProfile profile = dsl_profile();
+  profile.uplink = DataRate::bits_per_second(0);
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+  profile = dsl_profile();
+  profile.downlink = DataRate::bits_per_second(0);
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+}
+
+TEST(ProfileValidation, RejectsOutOfRangeLoss) {
+  NetworkProfile profile = dsl_profile();
+  profile.loss_rate = -0.01;
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+  profile.loss_rate = 1.01;
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+}
+
+TEST(ProfileValidation, RejectsNegativeRttAndZeroQueue) {
+  NetworkProfile profile = dsl_profile();
+  profile.min_rtt = -milliseconds(1);
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+  profile = dsl_profile();
+  profile.queue_delay = SimDuration::zero();
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+}
+
+TEST(ProfileValidation, MessageNamesTheProfileAndField) {
+  NetworkProfile profile = dsl_profile();
+  profile.loss_rate = -1.0;
+  try {
+    profile.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(profile.name), std::string::npos) << what;
+    EXPECT_NE(what.find("loss_rate"), std::string::npos) << what;
+  }
+}
+
+TEST(ProfileValidation, RejectsInvalidImpairments) {
+  NetworkProfile profile = dsl_profile();
+  profile.impairments.duplicate_rate = 2.0;
+  EXPECT_THROW(profile.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- behavior
+
+TEST(Impairments, DisabledImpairmentsAreBitExactWithBaseline) {
+  // Same seed, same lossy link, one with an explicitly installed (but fully
+  // disabled) impairment config: the RNG streams — and therefore every
+  // delivery time — must match exactly.
+  sim::Simulator baseline_sim;
+  std::vector<SimTime> baseline;
+  Link baseline_link(baseline_sim, DataRate::megabits_per_second(4.0), milliseconds(7),
+                     0.2, 1'000'000, Rng(42),
+                     [&](Packet) { baseline.push_back(baseline_sim.now()); });
+  for (int i = 0; i < 200; ++i) baseline_link.send(make_packet(1200));
+  baseline_sim.run();
+
+  sim::Simulator impaired_sim;
+  std::vector<SimTime> impaired;
+  Link impaired_link(impaired_sim, DataRate::megabits_per_second(4.0), milliseconds(7),
+                     0.2, 1'000'000, Rng(42),
+                     [&](Packet) { impaired.push_back(impaired_sim.now()); });
+  impaired_link.set_impairments(LinkImpairments{});
+  for (int i = 0; i < 200; ++i) impaired_link.send(make_packet(1200));
+  impaired_sim.run();
+
+  EXPECT_EQ(baseline, impaired);
+  EXPECT_EQ(baseline_link.stats().drops_random_loss, impaired_link.stats().drops_random_loss);
+}
+
+TEST(Impairments, ReorderingDeliversOutOfOrderButComplete) {
+  LinkImpairments imp;
+  imp.reorder_rate = 0.5;
+  imp.reorder_delay_min = milliseconds(2);
+  imp.reorder_delay_max = milliseconds(30);
+  const ImpairedRun run = run_impaired(imp, 100);
+  ASSERT_EQ(run.order.size(), 100u);  // nothing lost, nothing duplicated
+  EXPECT_GT(run.stats.reordered, 0u);
+  // At least one packet overtook a lower-numbered one.
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < run.order.size(); ++i) {
+    if (run.order[i] < run.order[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(Impairments, DuplicationDeliversEveryPacketExactlyTwice) {
+  LinkImpairments imp;
+  imp.duplicate_rate = 1.0;
+  const ImpairedRun run = run_impaired(imp, 50);
+  EXPECT_EQ(run.order.size(), 100u);
+  EXPECT_EQ(run.stats.duplicates, 50u);
+  EXPECT_EQ(run.stats.packets_delivered, 100u);
+  // With no jitter window the copy trails its original immediately.
+  for (std::size_t i = 0; i < run.order.size(); i += 2) {
+    EXPECT_EQ(run.order[i], run.order[i + 1]);
+  }
+}
+
+TEST(Impairments, GilbertElliottProducesCorrelatedBursts) {
+  LinkImpairments imp;
+  imp.gilbert_elliott =
+      GilbertElliott{.enter_bad = 0.05, .exit_bad = 0.2, .loss_good = 0.0, .loss_bad = 1.0};
+  const ImpairedRun run = run_impaired(imp, 2000);
+  EXPECT_GT(run.stats.drops_burst_loss, 0u);
+  EXPECT_EQ(run.stats.drops_random_loss, 0u);
+  EXPECT_EQ(run.order.size() + run.stats.drops_burst_loss, 2000u);
+  // loss_bad = 1 means every loss sits inside a bad-state burst; with
+  // enter=0.05/exit=0.2 the expected bad-state fraction is 20%, so losses
+  // must be a substantial minority — and bursty, not isolated: at least one
+  // run of consecutive flow-id gaps longer than 1.
+  EXPECT_GT(run.stats.drops_burst_loss, 100u);
+  EXPECT_LT(run.stats.drops_burst_loss, 1000u);
+  bool burst_of_two = false;
+  for (std::size_t i = 1; i < run.order.size(); ++i) {
+    if (run.order[i] >= run.order[i - 1] + 3) burst_of_two = true;  // >= 2 lost in a row
+  }
+  EXPECT_TRUE(burst_of_two);
+}
+
+TEST(Impairments, OneShotOutageDropsOnlyInsideWindow) {
+  LinkImpairments imp;
+  imp.outage_start = SimTime{milliseconds(20)};
+  imp.outage_duration = milliseconds(10);
+
+  sim::Simulator simulator;
+  std::vector<SimTime> deliveries;
+  Link link(simulator, DataRate::megabits_per_second(80.0), SimDuration::zero(), 0.0,
+            10'000'000, Rng(1), [&](Packet) { deliveries.push_back(simulator.now()); });
+  link.set_impairments(imp);
+  // One 1000-byte packet every millisecond for 50 ms; serialization is
+  // 0.1 ms, so each packet clears the loss stage just after its send time.
+  for (int i = 0; i < 50; ++i) {
+    simulator.schedule_at(SimTime{milliseconds(i)}, [&link] { link.send(make_packet(1000)); });
+  }
+  simulator.run();
+  EXPECT_EQ(link.stats().drops_outage, 10u);  // sends at 20..29 ms
+  EXPECT_EQ(deliveries.size(), 40u);
+}
+
+TEST(Impairments, PeriodicFlapsRepeatTheOutage) {
+  LinkImpairments imp;
+  imp.outage_start = SimTime{milliseconds(10)};
+  imp.outage_duration = milliseconds(5);
+  imp.outage_interval = milliseconds(20);  // down at [10,15), [30,35), [50,55) ...
+  EXPECT_FALSE(imp.in_outage(SimTime{milliseconds(9)}));
+  EXPECT_TRUE(imp.in_outage(SimTime{milliseconds(10)}));
+  EXPECT_TRUE(imp.in_outage(SimTime{milliseconds(14)}));
+  EXPECT_FALSE(imp.in_outage(SimTime{milliseconds(15)}));
+  EXPECT_TRUE(imp.in_outage(SimTime{milliseconds(31)}));
+  EXPECT_FALSE(imp.in_outage(SimTime{milliseconds(45)}));
+  EXPECT_TRUE(imp.in_outage(SimTime{milliseconds(52)}));
+}
+
+TEST(Impairments, ImpairedRunsAreDeterministicInTheSeed) {
+  LinkImpairments imp;
+  imp.reorder_rate = 0.3;
+  imp.reorder_delay_min = milliseconds(1);
+  imp.reorder_delay_max = milliseconds(25);
+  imp.duplicate_rate = 0.2;
+  imp.gilbert_elliott =
+      GilbertElliott{.enter_bad = 0.02, .exit_bad = 0.3, .loss_good = 0.0, .loss_bad = 0.6};
+  const ImpairedRun a = run_impaired(imp, 500, 0.01, 7);
+  const ImpairedRun b = run_impaired(imp, 500, 0.01, 7);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.times, b.times);
+  const ImpairedRun c = run_impaired(imp, 500, 0.01, 8);
+  EXPECT_NE(a.times, c.times);  // a different seed must actually change draws
+}
+
+}  // namespace
+}  // namespace qperc::net

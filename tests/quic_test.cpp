@@ -2,6 +2,7 @@
 // reliability under loss, flow control.
 #include <gtest/gtest.h>
 
+#include "net/impairments.hpp"
 #include "tests/transport_test_util.hpp"
 
 namespace qperc::quic {
@@ -206,6 +207,53 @@ TEST(QuicFlowControl, WindowUpdatesFlowBack) {
 TEST(QuicStats, RetransmissionsUnderLoss) {
   QuicHarness harness(net::da2gc_profile(), default_config(), 150'000, 5);
   ASSERT_TRUE(harness.run(1, seconds(300)));
+  EXPECT_GT(harness.connection->stats().retransmissions, 0u);
+}
+
+// --- Impairment-layer regressions (bugs flushed out by `qperc torture`) ---
+
+TEST(QuicImpairment, DuplicateStormDeliversStreamBytesExactlyOnce) {
+  net::NetworkProfile profile = net::dsl_profile();
+  profile.impairments.duplicate_rate = 0.4;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    QuicHarness harness(profile, default_config(), 120'000, seed);
+    ASSERT_TRUE(harness.run(2)) << "seed " << seed;
+    // Byte-exact on both streams: the receive side's duplicate tracking
+    // (receive_side.cpp) must discard every link-level copy.
+    EXPECT_EQ(harness.bytes_delivered, 240'000u) << "seed " << seed;
+    EXPECT_GT(harness.network->downlink_stats().duplicates, 0u) << "seed " << seed;
+  }
+}
+
+// The paper's ACK-range-capacity mechanism (§4.3): with max_ack_ranges
+// pinned far below the holes heavy reordering opens, ACK frames can never
+// describe the full receive state. The send side must still retire every
+// in-flight packet — the capped ACK must not strand packets in flight.
+TEST(QuicImpairment, ReorderingBeyondAckRangeCapRetiresAllPackets) {
+  QuicConfig config = default_config();
+  config.max_ack_ranges = 2;
+  net::NetworkProfile profile = net::dsl_profile();
+  profile.impairments.reorder_rate = 0.4;
+  profile.impairments.reorder_delay_min = milliseconds(2);
+  profile.impairments.reorder_delay_max = milliseconds(60);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    QuicHarness harness(profile, config, 400'000, seed);
+    ASSERT_TRUE(harness.run(1, seconds(240))) << "seed " << seed;
+    EXPECT_EQ(harness.bytes_delivered, 400'000u) << "seed " << seed;
+    EXPECT_GT(harness.network->downlink_stats().reordered, 0u) << "seed " << seed;
+  }
+}
+
+TEST(QuicImpairment, SurvivesGilbertElliottBurstsAndFlaps) {
+  net::NetworkProfile profile = net::lte_profile();
+  profile.impairments.gilbert_elliott = net::GilbertElliott{
+      .enter_bad = 0.02, .exit_bad = 0.3, .loss_good = 0.0, .loss_bad = 0.5};
+  profile.impairments.outage_start = SimTime{milliseconds(500)};
+  profile.impairments.outage_duration = milliseconds(200);
+  profile.impairments.outage_interval = seconds(2);
+  QuicHarness harness(profile, default_config(), 120'000, 3);
+  ASSERT_TRUE(harness.run(1, seconds(240)));
+  EXPECT_EQ(harness.bytes_delivered, 120'000u);
   EXPECT_GT(harness.connection->stats().retransmissions, 0u);
 }
 

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <vector>
 
+#include "net/impairments.hpp"
+#include "tcp/sender.hpp"
 #include "tests/transport_test_util.hpp"
 
 namespace qperc::tcp {
@@ -265,6 +268,88 @@ TEST(TcpIdleRestart, StockCollapsesWindowAfterIdle) {
   const SimDuration with_restart = run_with(true);
   const SimDuration without_restart = run_with(false);
   EXPECT_LT(without_restart, with_restart);
+}
+
+// --- Impairment-layer regressions (bugs flushed out by `qperc torture`) ---
+
+// Regression: on_ack_received used to take the receive window from *every*
+// ACK. Under reordering, a stale ACK (older cumulative ack, smaller window)
+// arriving after a newer one rolled peer_rwnd_ back; with nothing in flight
+// and no zero-window probe, the sender never transmitted again — a permanent
+// deadlock the torture harness reported as "empty event queue, page
+// unfinished". Windows must only come from segments at/beyond SND.UNA.
+TEST(TcpImpairment, StaleZeroWindowAckFromReorderingCannotStallSender) {
+  sim::Simulator simulator;
+  std::vector<TcpSegment> sent;
+  TcpSender sender(simulator, TcpConfig{}, /*send_buffer_bytes=*/1 << 20,
+                   [&](TcpSegment segment) { sent.push_back(segment); });
+  sender.on_established(/*initial_peer_rwnd=*/2920, milliseconds(20));
+  sender.write(2920);
+  // A short window: long enough for the (unpaced) transmissions, well short
+  // of the ~2x srtt tail-loss probe.
+  simulator.run_until(simulator.now() + milliseconds(1));
+  ASSERT_EQ(sent.size(), 2u);  // two MSS-sized segments fill the window
+
+  TcpSegment fresh;  // acknowledges everything, re-opens a wide window
+  fresh.has_ack = true;
+  fresh.cumulative_ack = 2920;
+  fresh.receive_window_bytes = 64 * 1024;
+  sender.on_ack_received(fresh);
+  ASSERT_TRUE(sender.all_acked());
+
+  TcpSegment stale;  // the reordered older ACK, advertising the old window
+  stale.has_ack = true;
+  stale.cumulative_ack = 1460;
+  stale.receive_window_bytes = 0;
+  sender.on_ack_received(stale);
+
+  // New application data must still go out: the stale zero window is ignored.
+  sender.write(1460);
+  simulator.run_until(simulator.now() + milliseconds(1));
+  EXPECT_EQ(sent.size(), 3u);
+}
+
+TEST(TcpImpairment, DuplicateStormDeliversBytesExactlyOnce) {
+  net::NetworkProfile profile = net::dsl_profile();
+  profile.impairments.duplicate_rate = 0.4;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    TcpHarness harness(profile, stock_config(), 150'000, seed);
+    ASSERT_TRUE(harness.run()) << "seed " << seed;
+    // Byte-exact: duplicated segments must never double-count.
+    EXPECT_EQ(harness.delivered, 150'000u) << "seed " << seed;
+    EXPECT_GT(harness.network->downlink_stats().duplicates, 0u) << "seed " << seed;
+  }
+}
+
+// The paper's SACK-capacity mechanism (§4.3): TCP ACKs carry at most
+// kMaxSackBlocks (3) SACK blocks. Heavy reordering opens more holes than
+// that can describe; the sender must still retire every in-flight segment
+// (at worst by spurious retransmission), never wedging on an undescribable
+// scoreboard.
+TEST(TcpImpairment, ReorderingBeyondSackCapacityRetiresEverySegment) {
+  net::NetworkProfile profile = net::dsl_profile();
+  profile.impairments.reorder_rate = 0.4;
+  profile.impairments.reorder_delay_min = milliseconds(2);
+  profile.impairments.reorder_delay_max = milliseconds(60);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    TcpHarness harness(profile, stock_config(), 400'000, seed);
+    ASSERT_TRUE(harness.run(seconds(240))) << "seed " << seed;
+    EXPECT_EQ(harness.delivered, 400'000u) << "seed " << seed;
+    EXPECT_GT(harness.network->downlink_stats().reordered, 0u) << "seed " << seed;
+  }
+}
+
+TEST(TcpImpairment, SurvivesGilbertElliottBurstsAndFlaps) {
+  net::NetworkProfile profile = net::lte_profile();
+  profile.impairments.gilbert_elliott = net::GilbertElliott{
+      .enter_bad = 0.02, .exit_bad = 0.3, .loss_good = 0.0, .loss_bad = 0.5};
+  profile.impairments.outage_start = SimTime{milliseconds(500)};
+  profile.impairments.outage_duration = milliseconds(200);
+  profile.impairments.outage_interval = seconds(2);
+  TcpHarness harness(profile, stock_config(), 120'000, 3);
+  ASSERT_TRUE(harness.run(seconds(240)));
+  EXPECT_EQ(harness.delivered, 120'000u);
+  EXPECT_GT(harness.connection->stats().retransmissions, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+// Torture-harness tests: the small impairment grid must come back clean
+// (liveness, zero CHECK violations, byte conservation), deterministically in
+// the seed, and the degenerate zero-delay profile must not trip the RTT
+// estimator's positivity invariant on either stack.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/torture.hpp"
+#include "tests/transport_test_util.hpp"
+#include "util/check.hpp"
+
+namespace qperc::runner {
+namespace {
+
+TEST(TortureGridParse, AcceptsKnownGridsRejectsOthers) {
+  EXPECT_EQ(parse_torture_grid("small"), TortureGrid::kSmall);
+  EXPECT_EQ(parse_torture_grid("full"), TortureGrid::kFull);
+  EXPECT_THROW(static_cast<void>(parse_torture_grid("medium")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_torture_grid("")), std::invalid_argument);
+}
+
+TEST(TortureScenarios, CoverEveryImpairmentFamily) {
+  const auto scenarios = torture_scenarios(net::dsl_profile());
+  ASSERT_EQ(scenarios.size(), 5u);
+  bool reorder = false, duplicate = false, burst = false, outage = false, combined = false;
+  for (const auto& scenario : scenarios) {
+    const net::LinkImpairments& imp = scenario.profile.impairments;
+    EXPECT_TRUE(imp.any()) << scenario.name;
+    reorder |= imp.reordering_enabled() && !imp.duplication_enabled();
+    duplicate |= imp.duplication_enabled() && !imp.reordering_enabled();
+    burst |= imp.gilbert_elliott.enabled() && !imp.outages_enabled();
+    outage |= imp.outages_enabled() && !imp.gilbert_elliott.enabled();
+    combined |= imp.reordering_enabled() && imp.duplication_enabled() &&
+                imp.gilbert_elliott.enabled() && imp.outages_enabled();
+  }
+  EXPECT_TRUE(reorder && duplicate && burst && outage && combined);
+}
+
+// The torture_smoke gate in-process: the same sweep `qperc torture --seed 1
+// --grid small` runs, with the same pass criteria.
+TEST(TortureSmoke, SmallGridRunsCleanAndDeterministically) {
+  TortureOptions options;
+  options.seed = 1;
+  options.grid = TortureGrid::kSmall;
+  std::ostringstream progress;
+  const TortureReport first = run_torture(options, &progress);
+  EXPECT_TRUE(first.ok()) << [&] {
+    std::string all;
+    for (const auto& failure : first.failures) all += failure + "\n";
+    return all;
+  }();
+  EXPECT_EQ(first.check_violations, 0u);
+  EXPECT_EQ(first.hung_trials, 0u);
+  EXPECT_EQ(first.deadlocks, 0u);
+  EXPECT_EQ(first.conservation_failures, 0u);
+  EXPECT_EQ(first.exceptions, 0u);
+  // 2 bases x 5 impairment scenarios + zero-delay, x 2 protocols x 4 sites.
+  EXPECT_EQ(first.trials, 88u);
+  EXPECT_FALSE(progress.str().empty());
+
+  const TortureReport second = run_torture(options);
+  EXPECT_EQ(second.trials, first.trials);
+  EXPECT_EQ(second.incomplete_pages, first.incomplete_pages);
+}
+
+// Regression (RttEstimator positivity): a zero-propagation, near-instant
+// serialization profile acknowledges data in the sending instant. Before the
+// ≥1-tick clamps in tcp/{sender,connection} and quic/{send_side,connection},
+// an invariant build aborted here on `rtt > 0` and release builds silently
+// discarded every handshake sample.
+struct ViolationCount {
+  static void handler(const char*, int, const char*, const std::string&) { ++count(); }
+  static std::uint64_t& count() {
+    static std::uint64_t n = 0;
+    return n;
+  }
+};
+
+TEST(TortureZeroDelay, TcpCompletesWithoutRttViolations) {
+  ViolationCount::count() = 0;
+  const auto saved = check::set_violation_handler(&ViolationCount::handler);
+  {
+    testutil::TcpHarness harness(zero_delay_profile(), tcp::TcpConfig{}, 100'000);
+    EXPECT_TRUE(harness.run());
+    EXPECT_EQ(harness.delivered, 100'000u);
+    // Every sample reached the estimator: srtt is primed and positive.
+    EXPECT_GT(harness.connection->server_sender().rtt().smoothed_rtt().count(), 0);
+  }
+  check::set_violation_handler(saved);
+  EXPECT_EQ(ViolationCount::count(), 0u);
+}
+
+TEST(TortureZeroDelay, QuicCompletesWithoutRttViolations) {
+  ViolationCount::count() = 0;
+  const auto saved = check::set_violation_handler(&ViolationCount::handler);
+  {
+    testutil::QuicHarness harness(zero_delay_profile(), quic::QuicConfig{}, 100'000);
+    EXPECT_TRUE(harness.run(2));
+    EXPECT_EQ(harness.bytes_delivered, 200'000u);
+  }
+  check::set_violation_handler(saved);
+  EXPECT_EQ(ViolationCount::count(), 0u);
+}
+
+}  // namespace
+}  // namespace qperc::runner

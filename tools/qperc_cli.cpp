@@ -29,6 +29,7 @@
 #include "sim/simulator.hpp"
 #include "runner/campaign_runner.hpp"
 #include "runner/result_store.hpp"
+#include "runner/torture.hpp"
 #include "stats/stats.hpp"
 #include "study/ab_study.hpp"
 #include "study/rating_study.hpp"
@@ -87,6 +88,17 @@ class Args {
     }
     return value;
   }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      throw std::invalid_argument("--" + key + " expects a number, got '" + text + "'");
+    }
+    return value;
+  }
   [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
 
  private:
@@ -100,6 +112,11 @@ int usage() {
          "  catalog [--export FILE] [--catalog FILE] | protocols | networks\n"
          "  trial --site S --protocol P --network N [--seed K] [--csv]\n"
          "        [--catalog FILE] [--trace out.jsonl] [--max-events N]\n"
+         "        [--loss P] [--uplink-mbps M] [--downlink-mbps M] [--rtt-ms T]\n"
+         "        [--queue-ms T] [--reorder-rate P --reorder-min-ms T --reorder-max-ms T]\n"
+         "        [--dup-rate P] [--ge-enter P --ge-exit P --ge-loss-good P --ge-loss-bad P]\n"
+         "        [--outage-start-ms T --outage-ms T [--outage-interval-ms T]]\n"
+         "  torture [--seed K] [--grid small|full] [--max-events N] [--quiet]\n"
          "  video --site S --protocol P --network N [--runs R] [--seed K]\n"
          "  study --kind ab|rating [--group lab|uworker|internet] [--runs R]\n"
          "        [--sites N] [--seed K]\n"
@@ -123,6 +140,53 @@ const net::NetworkProfile& network_by_name(const std::string& name) {
 std::vector<web::Website> resolve_catalog(const Args& args) {
   if (args.has("catalog")) return web::load_catalog(args.get("catalog", ""));
   return web::study_catalog(args.get_u64("seed", 7));
+}
+
+/// Applies the profile/impairment override flags shared by `trial`, then
+/// validates so an out-of-range value (negative loss, zero bandwidth, ...)
+/// fails here with an actionable message instead of misbehaving in the sim.
+net::NetworkProfile apply_profile_overrides(net::NetworkProfile profile, const Args& args) {
+  if (args.has("loss")) profile.loss_rate = args.get_double("loss", 0.0);
+  if (args.has("uplink-mbps")) {
+    profile.uplink = DataRate::megabits_per_second(args.get_double("uplink-mbps", 0.0));
+  }
+  if (args.has("downlink-mbps")) {
+    profile.downlink = DataRate::megabits_per_second(args.get_double("downlink-mbps", 0.0));
+  }
+  if (args.has("rtt-ms")) {
+    profile.min_rtt = from_seconds(args.get_double("rtt-ms", 0.0) / 1e3);
+  }
+  if (args.has("queue-ms")) {
+    profile.queue_delay = from_seconds(args.get_double("queue-ms", 0.0) / 1e3);
+  }
+  net::LinkImpairments& imp = profile.impairments;
+  if (args.has("reorder-rate")) imp.reorder_rate = args.get_double("reorder-rate", 0.0);
+  if (args.has("reorder-min-ms")) {
+    imp.reorder_delay_min = from_seconds(args.get_double("reorder-min-ms", 0.0) / 1e3);
+  }
+  if (args.has("reorder-max-ms")) {
+    imp.reorder_delay_max = from_seconds(args.get_double("reorder-max-ms", 0.0) / 1e3);
+  }
+  if (args.has("dup-rate")) imp.duplicate_rate = args.get_double("dup-rate", 0.0);
+  if (args.has("ge-enter")) imp.gilbert_elliott.enter_bad = args.get_double("ge-enter", 0.0);
+  if (args.has("ge-exit")) imp.gilbert_elliott.exit_bad = args.get_double("ge-exit", 0.0);
+  if (args.has("ge-loss-good")) {
+    imp.gilbert_elliott.loss_good = args.get_double("ge-loss-good", 0.0);
+  }
+  if (args.has("ge-loss-bad")) {
+    imp.gilbert_elliott.loss_bad = args.get_double("ge-loss-bad", 0.0);
+  }
+  if (args.has("outage-start-ms")) {
+    imp.outage_start = SimTime{from_seconds(args.get_double("outage-start-ms", 0.0) / 1e3)};
+  }
+  if (args.has("outage-ms")) {
+    imp.outage_duration = from_seconds(args.get_double("outage-ms", 0.0) / 1e3);
+  }
+  if (args.has("outage-interval-ms")) {
+    imp.outage_interval = from_seconds(args.get_double("outage-interval-ms", 0.0) / 1e3);
+  }
+  profile.validate();
+  return profile;
 }
 
 int cmd_catalog(const Args& args) {
@@ -189,7 +253,8 @@ int cmd_trial(const Args& args) {
     return 2;
   }
   const auto& protocol = core::protocol_by_name(args.get("protocol", "QUIC"));
-  const auto& profile = network_by_name(args.get("network", "DSL"));
+  const net::NetworkProfile profile =
+      apply_profile_overrides(network_by_name(args.get("network", "DSL")), args);
 
   // --trace: stream qlog-style events to a JSON Lines file while also
   // folding them into the aggregate counters printed after the trial.
@@ -567,6 +632,23 @@ int cmd_campaign_export(const Args& args) {
   return 0;
 }
 
+int cmd_torture(const Args& args) {
+  runner::TortureOptions options;
+  options.seed = args.get_u64("seed", 1);
+  options.grid = runner::parse_torture_grid(args.get("grid", "small"));
+  options.max_events_per_trial = args.get_u64("max-events", options.max_events_per_trial);
+  const auto report =
+      runner::run_torture(options, args.has("quiet") ? nullptr : &std::cerr);
+  std::cout << "torture: " << report.trials << " trials, " << report.check_violations
+            << " CHECK violations, " << report.hung_trials << " hung ("
+            << report.deadlocks << " deadlocked), " << report.conservation_failures
+            << " conservation failures, " << report.exceptions << " exceptions, "
+            << report.incomplete_pages << " incomplete pages (time cap, legal)\n";
+  for (const auto& failure : report.failures) std::cout << "  " << failure << "\n";
+  std::cout << (report.ok() ? "torture: OK\n" : "torture: FAILED\n");
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string sub = argv[2];
@@ -612,7 +694,15 @@ int main(int argc, char** argv) {
     if (command == "trial") {
       return cmd_trial(Args(argc, argv, 2, "trial",
                             {"site", "protocol", "network", "seed", "csv", "catalog",
-                             "trace", "max-events"}));
+                             "trace", "max-events", "loss", "uplink-mbps",
+                             "downlink-mbps", "rtt-ms", "queue-ms", "reorder-rate",
+                             "reorder-min-ms", "reorder-max-ms", "dup-rate", "ge-enter",
+                             "ge-exit", "ge-loss-good", "ge-loss-bad", "outage-start-ms",
+                             "outage-ms", "outage-interval-ms"}));
+    }
+    if (command == "torture") {
+      return cmd_torture(
+          Args(argc, argv, 2, "torture", {"seed", "grid", "max-events", "quiet"}));
     }
     if (command == "video") {
       return cmd_video(
