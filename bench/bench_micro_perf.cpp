@@ -7,24 +7,22 @@
 //   * default: the usual google-benchmark CLI (--benchmark_filter=...),
 //   * --qperc_json PATH [--qperc_iters N]: runs the fixed scheduler/timer/
 //     page-load measurement suite and writes the machine-readable
-//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v1) that
+//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v2) that
 //     scripts/bench_baseline.sh diffs against the checked-in numbers.
 //     N scales the iteration counts (default 100; 1 = smoke test).
 //
-// The binary interposes global operator new/delete with a counting shim so
-// allocations per trial / per scheduled event are part of the baseline: the
-// slab event store's "zero allocation steady state" claim is measured, not
-// asserted.
+// The binary interposes global operator new/delete with a counting shim
+// (util/alloc_interpose.hpp) so allocations per trial / per scheduled event
+// are part of the baseline: the slab event store's and trial arena's "zero
+// allocation steady state" claims are measured, not asserted.
 #include <benchmark/benchmark.h>
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <new>
 #include <string>
 
 #include "browser/metrics.hpp"
@@ -32,38 +30,15 @@
 #include "cc/cubic.hpp"
 #include "core/protocol.hpp"
 #include "core/trial.hpp"
+#include "core/trial_context.hpp"
 #include "net/link.hpp"
 #include "net/profile.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
 #include "trace/trace.hpp"
+#include "util/alloc_interpose.hpp"
 #include "util/rng.hpp"
 #include "web/website.hpp"
-
-namespace {
-std::atomic<std::uint64_t> g_allocations{0};
-}  // namespace
-
-// GCC pairs the replaced operator new (malloc) with the replaced operator
-// delete (free) just fine at runtime, but its mismatched-new-delete analysis
-// does not model user replacements; silence it for the interposer only.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-
-#pragma GCC diagnostic pop
 
 namespace qperc {
 namespace {
@@ -267,6 +242,7 @@ struct MicroResults {
   std::uint64_t scheduler_allocs_steady_state = 0;
   std::uint64_t rearm_queue_depth_max = 0;
   double ns_per_page_load_trial = 0;
+  double trials_per_sec = 0;
   std::uint64_t allocations_per_trial = 0;
   std::uint64_t events_per_trial = 0;
 };
@@ -282,7 +258,7 @@ void measure_scheduler(MicroResults& out, int scale) {
   for (int i = 0; i < kBatch; ++i)
     simulator.schedule_in(microseconds(i), [&counter] { ++counter; });
   simulator.run();
-  const std::uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t allocs_before = qperc::heap_allocations();
   double schedule_ns = 0;
   double total_ns = 0;
   for (int r = 0; r < rounds; ++r) {
@@ -299,7 +275,7 @@ void measure_scheduler(MicroResults& out, int scale) {
   out.ns_per_schedule = schedule_ns / events;
   out.scheduler_events_per_sec = events / (total_ns * 1e-9);
   out.scheduler_allocs_steady_state =
-      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+      qperc::heap_allocations() - allocs_before;
 }
 
 void measure_rearm(MicroResults& out, int scale) {
@@ -324,6 +300,9 @@ void measure_rearm(MicroResults& out, int scale) {
   out.rearm_queue_depth_max = max_depth;
 }
 
+/// Steady-state trial throughput through a reused TrialContext: warm-up
+/// trials grow the arena and container capacities to their high-water marks,
+/// then a timed batch measures ns/trial, trials/sec, and allocations/trial.
 void measure_trial(MicroResults& out, int scale) {
   const auto catalog = web::study_catalog(7);
   const web::Website* site = nullptr;
@@ -331,24 +310,29 @@ void measure_trial(MicroResults& out, int scale) {
     if (candidate.name == "apache.org") site = &candidate;
   }
   const auto& protocol = core::protocol_by_name("QUIC");
-  // Warm-up.
-  benchmark::DoNotOptimize(
-      core::run_trial(core::TrialSpec(*site, protocol, net::dsl_profile(), 1)));
-  const int rounds = 5 * scale;
-  const std::uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
-  double total_ns = 0;
-  std::uint64_t seed = 2;
+  const net::NetworkProfile profile = net::dsl_profile();
+  core::TrialContext context;
+  // Warm-up: first trial allocates arena blocks, later trials settle any
+  // capacity growth driven by seed-dependent schedules.
+  std::uint64_t seed = 1;
+  for (int i = 0; i < 3; ++i) {
+    benchmark::DoNotOptimize(
+        context.run(core::TrialSpec(*site, protocol, profile, seed++)));
+  }
+  const int rounds = 100 * scale;
+  const std::uint64_t allocs_before = qperc::heap_allocations();
+  const auto t0 = Clock::now();
   for (int r = 0; r < rounds; ++r) {
-    core::TrialSpec spec(*site, protocol, net::dsl_profile(), seed++);
-    const auto t0 = Clock::now();
-    const auto result = core::run_trial(spec);
-    const auto t1 = Clock::now();
-    total_ns += elapsed_ns(t0, t1);
+    const auto result =
+        context.run(core::TrialSpec(*site, protocol, profile, seed++));
     benchmark::DoNotOptimize(result.metrics.plt_ms());
   }
+  const auto t1 = Clock::now();
+  const double total_ns = elapsed_ns(t0, t1);
   out.ns_per_page_load_trial = total_ns / rounds;
+  out.trials_per_sec = rounds / (total_ns * 1e-9);
   out.allocations_per_trial =
-      (g_allocations.load(std::memory_order_relaxed) - allocs_before) /
+      (qperc::heap_allocations() - allocs_before) /
       static_cast<std::uint64_t>(rounds);
 }
 
@@ -387,7 +371,7 @@ int run_json_mode(const std::string& path, int scale) {
   out.precision(3);
   out << std::fixed;
   out << "{\n"
-      << "  \"schema\": \"qperc-bench-micro-v1\",\n"
+      << "  \"schema\": \"qperc-bench-micro-v2\",\n"
       << "  \"iters_scale\": " << scale << ",\n"
       << "  \"metrics\": {\n"
       << "    \"ns_per_schedule\": " << results.ns_per_schedule << ",\n"
@@ -397,6 +381,7 @@ int run_json_mode(const std::string& path, int scale) {
       << ",\n"
       << "    \"rearm_queue_depth_max\": " << results.rearm_queue_depth_max << ",\n"
       << "    \"ns_per_page_load_trial\": " << results.ns_per_page_load_trial << ",\n"
+      << "    \"trials_per_sec\": " << results.trials_per_sec << ",\n"
       << "    \"allocations_per_trial\": " << results.allocations_per_trial << ",\n"
       << "    \"trace_events_per_trial\": " << results.events_per_trial << "\n"
       << "  }\n"
@@ -404,7 +389,8 @@ int run_json_mode(const std::string& path, int scale) {
   out.flush();
   std::cerr << "bench_micro_perf: wrote " << path
             << " (ns/schedule " << results.ns_per_schedule << ", ns/re-arm "
-            << results.ns_per_rearm << ", allocs/trial " << results.allocations_per_trial
+            << results.ns_per_rearm << ", trials/sec " << results.trials_per_sec
+            << ", allocs/trial " << results.allocations_per_trial
             << ", steady-state scheduler allocs " << results.scheduler_allocs_steady_state
             << ")\n";
   return 0;

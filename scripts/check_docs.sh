@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Lints the top-level docs against the tree: every inline-code reference to a
 # file, CLI flag, or QPERC_* environment variable in README.md /
-# ARCHITECTURE.md / EXPERIMENTS.md must point at something that exists.
+# ARCHITECTURE.md / EXPERIMENTS.md / docs/PERFORMANCE.md must point at
+# something that exists.
 # Registered as the `check_docs` ctest; run it directly from anywhere:
 #
 #   scripts/check_docs.sh
@@ -20,7 +21,7 @@ set -u
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root" || exit 2
 
-docs="README.md ARCHITECTURE.md EXPERIMENTS.md"
+docs="README.md ARCHITECTURE.md EXPERIMENTS.md docs/PERFORMANCE.md"
 fail=0
 
 # Prints the inline-backtick tokens of $1 that sit outside ``` fences.
@@ -90,10 +91,15 @@ require_section ARCHITECTURE.md "Simulator internals"
 require_section ARCHITECTURE.md "Determinism contract"
 require_section ARCHITECTURE.md "Correctness tooling"
 require_section EXPERIMENTS.md "Benchmarking qperc"
+require_section EXPERIMENTS.md "Measuring throughput"
 require_section EXPERIMENTS.md "Running the grid as a campaign"
 require_section EXPERIMENTS.md "Impairment & torture testing"
 # (the argument is an ERE fragment, so the parens are escaped)
 require_section EXPERIMENTS.md 'The CI gate \(`scripts/ci_gate.sh`\)'
+require_section docs/PERFORMANCE.md "Memory model"
+require_section docs/PERFORMANCE.md "Hot-path allocation rules"
+require_section docs/PERFORMANCE.md 'The bench baseline \(`BENCH_micro.json`\)'
+require_section docs/PERFORMANCE.md "Measuring throughput"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

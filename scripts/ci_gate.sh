@@ -11,6 +11,10 @@
 #                         byte conservation)
 #   5. bench smoke        scripts/bench_baseline.sh --smoke on a -Werror
 #                         release build
+#   6. alloc ratchet      scripts/bench_baseline.sh --ratchet on the same
+#                         build: allocations/trial and the other machine-
+#                         independent invariants must not regress past
+#                         BENCH_micro.json (timings are ignored)
 #
 #   scripts/ci_gate.sh [--jobs N] [--skip STAGE[,STAGE...]]
 #
@@ -70,8 +74,23 @@ bench_stage() {
   cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE=Release -DQPERC_WERROR=ON > /dev/null || return 1
   cmake --build "$build_dir" -j "$jobs" > /dev/null || return 1
   scripts/bench_baseline.sh --smoke --bench "$build_dir/bench/bench_micro_perf" || return 1
-  rm -rf "$build_dir"
+  # Keep the build for the ratchet stage; the last stage that uses it cleans up.
 }
 stage bench bench_stage
+
+ratchet_stage() {
+  # Allocation ratchet: the machine-independent invariants in BENCH_micro.json
+  # (allocations/trial, steady-state scheduler allocs, re-arm queue depth)
+  # must not regress. A new allocation on the trial hot path fails here even
+  # on a CI box whose timings are useless.
+  build_dir="build-gate-release"
+  if [ ! -x "$build_dir/bench/bench_micro_perf" ]; then
+    cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE=Release -DQPERC_WERROR=ON > /dev/null || return 1
+    cmake --build "$build_dir" -j "$jobs" > /dev/null || return 1
+  fi
+  scripts/bench_baseline.sh --ratchet --bench "$build_dir/bench/bench_micro_perf" || return 1
+  rm -rf "$build_dir"
+}
+stage ratchet ratchet_stage
 
 echo "ci_gate: OK"

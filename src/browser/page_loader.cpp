@@ -21,7 +21,15 @@ PageLoader::PageLoader(sim::Simulator& simulator, const web::Website& site,
     : simulator_(simulator),
       site_(site),
       session_factory_(std::move(session_factory)),
-      rng_(rng) {
+      rng_(rng),
+      sessions_(ArenaAllocator<std::pair<const std::uint32_t, std::unique_ptr<http::Session>>>(
+          simulator.arena())),
+      waiting_origins_(ArenaAllocator<std::uint32_t>(simulator.arena())),
+      queued_objects_(ArenaAllocator<std::pair<const std::uint32_t, ArenaVec<std::uint32_t>>>(
+          simulator.arena())),
+      states_(ArenaAllocator<ObjectState>(simulator.arena())),
+      children_(ArenaAllocator<ArenaVec<std::uint32_t>>(simulator.arena())),
+      roots_(ArenaAllocator<std::uint32_t>(simulator.arena())) {
   states_.resize(site.objects.size());
   children_.resize(site.objects.size());
   for (const auto& object : site.objects) {
@@ -32,7 +40,8 @@ PageLoader::PageLoader(sim::Simulator& simulator, const web::Website& site,
       // vector; a corrupt catalog must not become memory corruption.
       QPERC_CHECK_LT(static_cast<std::size_t>(object.parent), site.objects.size())
           << "object references a parent outside the site catalog";
-      children_[static_cast<std::size_t>(object.parent)].push_back(object.id);
+      children_[static_cast<std::size_t>(object.parent)].push_back(simulator.arena(),
+                                                                   object.id);
     }
   }
 #if QPERC_INVARIANTS_ENABLED
@@ -89,7 +98,7 @@ void PageLoader::dispatch(std::uint32_t id) {
   // No session yet: queue the object; the first object for an origin also
   // claims a connection-pool slot (or joins the wait list).
   const bool origin_pending = queued_objects_.contains(origin);
-  queued_objects_[origin].push_back(id);
+  queued_objects_[origin].push_back(simulator_.arena(), id);
   if (origin_pending) return;
   if (connecting_ < kMaxConcurrentConnecting) {
     open_connection(origin);  // flushes this origin's queue
@@ -199,7 +208,11 @@ PageLoadResult PageLoader::result() const {
   }
 
   // Render events: weights realize at completion, but never before first paint.
-  std::map<SimTime, double> weight_at;
+  // Scratch map from the trial arena: result() runs once per trial and its
+  // node churn would otherwise be the hot path's last heap consumer.
+  std::map<SimTime, double, std::less<SimTime>,
+           ArenaAllocator<std::pair<const SimTime, double>>>
+      weight_at{ArenaAllocator<std::pair<const SimTime, double>>(simulator_.arena())};
   double total_weight = 0.0;
   for (const auto& object : site_.objects) {
     total_weight += object.render_weight;

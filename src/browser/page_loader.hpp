@@ -14,6 +14,7 @@
 #include "net/emulated_network.hpp"
 #include "net/transport_stats.hpp"
 #include "sim/simulator.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "web/website.hpp"
 
@@ -86,16 +87,23 @@ class PageLoader {
 
   /// Ordered by origin id: result() iterates to aggregate transport stats,
   /// so the order must be deterministic (see scripts/lint_determinism.py).
-  std::map<std::uint32_t, std::unique_ptr<http::Session>> sessions_;
+  /// All loader bookkeeping draws from the trial arena; the session objects
+  /// themselves are the only per-origin heap allocations (their destructors
+  /// still run when the map is destroyed — only node memory is arena-owned).
+  std::map<std::uint32_t, std::unique_ptr<http::Session>, std::less<std::uint32_t>,
+           ArenaAllocator<std::pair<const std::uint32_t, std::unique_ptr<http::Session>>>>
+      sessions_;
   std::size_t connecting_ = 0;
   /// Origins waiting for a connection-pool slot, FIFO; per-origin object
   /// queues waiting for their session to exist.
-  std::vector<std::uint32_t> waiting_origins_;
-  std::map<std::uint32_t, std::vector<std::uint32_t>> queued_objects_;
-  std::vector<ObjectState> states_;
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> waiting_origins_;
+  std::map<std::uint32_t, ArenaVec<std::uint32_t>, std::less<std::uint32_t>,
+           ArenaAllocator<std::pair<const std::uint32_t, ArenaVec<std::uint32_t>>>>
+      queued_objects_;
+  std::vector<ObjectState, ArenaAllocator<ObjectState>> states_;
   /// children_by_parent_[p] lists object ids discovered while p loads.
-  std::vector<std::vector<std::uint32_t>> children_;
-  std::vector<std::uint32_t> roots_;
+  std::vector<ArenaVec<std::uint32_t>, ArenaAllocator<ArenaVec<std::uint32_t>>> children_;
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> roots_;
   std::size_t completed_objects_ = 0;
   SimTime page_load_end_{0};
 };

@@ -25,11 +25,11 @@ void BandwidthSampler::on_packet_sent(std::uint64_t packet_id, std::uint64_t byt
   in_flight_bytes_ += bytes;
 }
 
-std::optional<RateSample> BandwidthSampler::on_packet_acked(std::uint64_t packet_id,
-                                                            SimTime now) {
+bool BandwidthSampler::ack_bookkeeping(std::uint64_t packet_id, SimTime now,
+                                       SendState& state) {
   const auto it = in_flight_.find(packet_id);
-  if (it == in_flight_.end()) return std::nullopt;
-  const SendState state = it->second;
+  if (it == in_flight_.end()) return false;
+  state = it->second;
   in_flight_.erase(it);
   QPERC_DCHECK_GE(in_flight_bytes_, state.bytes);
   in_flight_bytes_ -= state.bytes;
@@ -37,6 +37,13 @@ std::optional<RateSample> BandwidthSampler::on_packet_acked(std::uint64_t packet
   delivered_bytes_ += state.bytes;
   QPERC_DCHECK_GE(now, delivered_time_) << "delivery clock must be monotone";
   delivered_time_ = now;
+  return true;
+}
+
+std::optional<RateSample> BandwidthSampler::on_packet_acked(std::uint64_t packet_id,
+                                                            SimTime now) {
+  SendState state;
+  if (!ack_bookkeeping(packet_id, now, state)) return std::nullopt;
 
   // Rate over the ACK interval, guarded against division by ~zero: use the
   // longer of the ack elapsed and the send elapsed intervals (standard
@@ -50,6 +57,17 @@ std::optional<RateSample> BandwidthSampler::on_packet_acked(std::uint64_t packet
       .delivery_rate = DataRate::from_bytes_and_duration(delivered_in_interval, interval),
       .is_app_limited = state.app_limited,
   };
+}
+
+bool BandwidthSampler::on_packet_acked_no_sample(std::uint64_t packet_id, SimTime now) {
+  SendState state;
+  if (!ack_bookkeeping(packet_id, now, state)) return false;
+  // Mirror on_packet_acked's sample condition without the division: callers
+  // branch on "a sample existed" (it gates the controller's on_ack), so the
+  // two entry points must agree exactly.
+  const SimDuration ack_elapsed = now - state.delivered_time_at_send;
+  const SimDuration send_elapsed = state.sent_time - state.delivered_time_at_send;
+  return std::max(ack_elapsed, send_elapsed) > SimDuration::zero();
 }
 
 void BandwidthSampler::on_packet_lost(std::uint64_t packet_id) {

@@ -4,9 +4,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
@@ -20,6 +21,11 @@ struct RateSample {
 
 class BandwidthSampler {
  public:
+  /// Per-packet send state lives in `arena` (the trial arena in production,
+  /// a test-local arena in unit tests): one packet sent = zero heap
+  /// allocations. The arena must outlive the sampler.
+  explicit BandwidthSampler(Arena& arena) : in_flight_(arena) {}
+
   /// Records state at send time. `packet_id` is any unique per-packet key
   /// (TCP uses the segment's end sequence, QUIC its packet number).
   void on_packet_sent(std::uint64_t packet_id, std::uint64_t bytes, SimTime now,
@@ -28,6 +34,13 @@ class BandwidthSampler {
   /// Produces a rate sample for an acked packet; nullopt if unknown (e.g.
   /// already sampled or spuriously retransmitted).
   std::optional<RateSample> on_packet_acked(std::uint64_t packet_id, SimTime now);
+
+  /// The byte/clock accounting of on_packet_acked without the rate
+  /// arithmetic, for transports whose controller never reads delivery rates
+  /// (see CongestionController::uses_delivery_rate). Returns exactly
+  /// on_packet_acked's has_value() so callers can keep identical control
+  /// flow.
+  bool on_packet_acked_no_sample(std::uint64_t packet_id, SimTime now);
 
   /// Forgets a lost packet's state.
   void on_packet_lost(std::uint64_t packet_id);
@@ -47,6 +60,10 @@ class BandwidthSampler {
     bool app_limited = false;
   };
 
+  /// Shared ACK bookkeeping: retires the packet and advances the delivery
+  /// clock. False when the packet is unknown.
+  bool ack_bookkeeping(std::uint64_t packet_id, SimTime now, SendState& state);
+
   std::uint64_t delivered_bytes_ = 0;
   SimTime delivered_time_{0};
   SimTime first_sent_time_{0};
@@ -54,7 +71,9 @@ class BandwidthSampler {
   /// Running sum of in_flight_ payload bytes, so on_app_limited never
   /// iterates (and the container never needs hash order).
   std::uint64_t in_flight_bytes_ = 0;
-  std::map<std::uint64_t, SendState> in_flight_;
+  /// Keyed by packet id; flat storage on the trial arena (ordering and
+  /// iteration are those of a plain std::map, so results are unchanged).
+  FlatMap<std::uint64_t, SendState> in_flight_;
 };
 
 }  // namespace qperc::cc

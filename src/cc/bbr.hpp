@@ -39,6 +39,7 @@ class Bbr final : public CongestionController {
   [[nodiscard]] std::uint64_t congestion_window() const override;
   [[nodiscard]] DataRate pacing_rate(SimDuration smoothed_rtt) const override;
   [[nodiscard]] bool in_slow_start() const override { return mode_ == Mode::kStartup; }
+  [[nodiscard]] bool uses_delivery_rate() const noexcept override { return true; }
   [[nodiscard]] std::string_view name() const override { return "bbr"; }
 
   enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };

@@ -53,6 +53,11 @@ class CongestionController {
   virtual void on_restart_after_idle() = 0;
 
   [[nodiscard]] virtual std::uint64_t congestion_window() const = 0;
+  /// True when the controller consumes AckSample::delivery_rate (the BBR
+  /// family). Transports use this to skip the per-ACK delivery-rate
+  /// arithmetic entirely for loss-based controllers, which never read it —
+  /// the sampler still does its byte accounting either way.
+  [[nodiscard]] virtual bool uses_delivery_rate() const noexcept = 0;
   /// Desired pacing rate given the transport's smoothed RTT; ignored when the
   /// configuration disables pacing (stock TCP).
   [[nodiscard]] virtual DataRate pacing_rate(SimDuration smoothed_rtt) const = 0;

@@ -44,6 +44,7 @@ class Cubic final : public CongestionController {
   }
   [[nodiscard]] DataRate pacing_rate(SimDuration smoothed_rtt) const override;
   [[nodiscard]] bool in_slow_start() const override { return cwnd_bytes_ < ssthresh_bytes_; }
+  [[nodiscard]] bool uses_delivery_rate() const noexcept override { return false; }
   [[nodiscard]] std::string_view name() const override { return "cubic"; }
 
   [[nodiscard]] std::uint64_t ssthresh() const noexcept { return ssthresh_bytes_; }

@@ -1,52 +1,14 @@
 #include "core/trial.hpp"
 
-#include <stdexcept>
-
-#include "http/session.hpp"
-#include "net/emulated_network.hpp"
-#include "sim/simulator.hpp"
-#include "util/rng.hpp"
+#include "core/trial_context.hpp"
 
 namespace qperc::core {
 
 browser::PageLoadResult run_trial(const TrialSpec& spec) {
-  if (spec.site == nullptr) throw std::invalid_argument("TrialSpec: site is null");
-  if (spec.protocol == nullptr) throw std::invalid_argument("TrialSpec: protocol is null");
-  spec.profile.validate();
-
-  sim::Simulator simulator;
-  simulator.set_trace(spec.trace);
-  Rng rng(spec.seed);
-  net::EmulatedNetwork network(simulator, spec.profile, rng.fork("network"));
-
-  const ProtocolConfig& protocol = *spec.protocol;
-  browser::PageLoader::SessionFactory factory;
-  switch (protocol.transport) {
-    case Transport::kTcp: {
-      const tcp::TcpConfig config = protocol.tcp_config();
-      factory = [&simulator, &network, config](net::ServerId origin) {
-        return http::make_h2_session(simulator, network, origin, config);
-      };
-      break;
-    }
-    case Transport::kQuic: {
-      const quic::QuicConfig config = protocol.quic_config();
-      factory = [&simulator, &network, config](net::ServerId origin) {
-        return http::make_quic_session(simulator, network, origin, config);
-      };
-      break;
-    }
-    case Transport::kTcpH1: {
-      const tcp::TcpConfig config = protocol.tcp_config();
-      factory = [&simulator, &network, config](net::ServerId origin) {
-        return http::make_h1_session(simulator, network, origin, config);
-      };
-      break;
-    }
-  }
-  return browser::load_page(simulator, *spec.site, std::move(factory),
-                            rng.fork("browser"), browser::kDefaultLoadTimeCap,
-                            spec.max_events);
+  // One-shot context: identical behavior to context reuse (reset() on a
+  // fresh simulator is a no-op), so there is exactly one trial code path.
+  TrialContext context;
+  return context.run(spec);
 }
 
 // The shims forward through the TrialSpec entry point; suppress their own

@@ -1,0 +1,54 @@
+#include "core/trial_context.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "http/session.hpp"
+#include "net/emulated_network.hpp"
+#include "util/rng.hpp"
+
+namespace qperc::core {
+
+browser::PageLoadResult TrialContext::run(const TrialSpec& spec) {
+  if (spec.site == nullptr) throw std::invalid_argument("TrialSpec: site is null");
+  if (spec.protocol == nullptr) throw std::invalid_argument("TrialSpec: protocol is null");
+  spec.profile.validate();
+
+  // Discard the previous trial (arena blocks and container capacity are
+  // kept) before any of this trial's state is built.
+  simulator_.reset();
+  simulator_.set_trace(spec.trace);
+  Rng rng(spec.seed);
+  net::EmulatedNetwork network(simulator_, spec.profile, rng.fork("network"));
+
+  const ProtocolConfig& protocol = *spec.protocol;
+  browser::PageLoader::SessionFactory factory;
+  switch (protocol.transport) {
+    case Transport::kTcp: {
+      const tcp::TcpConfig config = protocol.tcp_config();
+      factory = [this, &network, config](net::ServerId origin) {
+        return http::make_h2_session(simulator_, network, origin, config);
+      };
+      break;
+    }
+    case Transport::kQuic: {
+      const quic::QuicConfig config = protocol.quic_config();
+      factory = [this, &network, config](net::ServerId origin) {
+        return http::make_quic_session(simulator_, network, origin, config);
+      };
+      break;
+    }
+    case Transport::kTcpH1: {
+      const tcp::TcpConfig config = protocol.tcp_config();
+      factory = [this, &network, config](net::ServerId origin) {
+        return http::make_h1_session(simulator_, network, origin, config);
+      };
+      break;
+    }
+  }
+  return browser::load_page(simulator_, *spec.site, std::move(factory),
+                            rng.fork("browser"), browser::kDefaultLoadTimeCap,
+                            spec.max_events);
+}
+
+}  // namespace qperc::core

@@ -1,0 +1,50 @@
+// Reusable trial executor: one Simulator (and its arena) recycled across
+// many page-load trials.
+//
+// A fresh Simulator per trial is correct but wasteful: the event slab, the
+// priority queue's backing store, and the arena's block chain are all
+// rebuilt from nothing, so every trial pays the same cold-start heap
+// traffic. A TrialContext runs trials back to back against one Simulator,
+// calling Simulator::reset() between them — capacity (vectors) and memory
+// (arena blocks) survive, so a steady-state trial performs only a handful
+// of heap allocations (the per-origin session objects and the result
+// copy-out; see docs/PERFORMANCE.md for the budget and the rules).
+//
+// reset() is bit-exact with a fresh simulator: cleared containers regrow
+// through the identical push_back sequence, slot 0 is acquired first either
+// way, and the arena hands out addresses that no surviving object can see.
+// The campaign golden checksums and the trial goldens hold with or without
+// context reuse.
+#pragma once
+
+#include "browser/page_loader.hpp"
+#include "core/trial.hpp"
+#include "sim/simulator.hpp"
+
+namespace qperc::core {
+
+class TrialContext {
+ public:
+  TrialContext() = default;
+  TrialContext(const TrialContext&) = delete;
+  TrialContext& operator=(const TrialContext&) = delete;
+
+  /// Runs one trial (same contract as the free run_trial). The previous
+  /// trial's simulator state is discarded; its arena blocks and container
+  /// capacity are reused. Throws std::invalid_argument on a null site or
+  /// protocol.
+  [[nodiscard]] browser::PageLoadResult run(const TrialSpec& spec);
+
+  /// The context's simulator — observable between runs (events processed,
+  /// arena footprint) and usable by benches that want finer control.
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  /// Steady-state arena footprint: bytes owned by the trial arena's blocks.
+  [[nodiscard]] std::size_t arena_bytes_reserved() const noexcept {
+    return simulator_.arena().bytes_reserved();
+  }
+
+ private:
+  sim::Simulator simulator_;
+};
+
+}  // namespace qperc::core

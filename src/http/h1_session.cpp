@@ -8,6 +8,7 @@
 
 #include "http/session.hpp"
 #include "tcp/connection.hpp"
+#include "util/arena.hpp"
 
 namespace qperc::http {
 namespace {
@@ -18,7 +19,12 @@ class H1Session final : public Session {
  public:
   H1Session(sim::Simulator& simulator, net::EmulatedNetwork& network, net::ServerId server,
             const tcp::TcpConfig& config)
-      : simulator_(simulator), network_(network), server_(server), config_(config) {}
+      : simulator_(simulator),
+        network_(network),
+        server_(server),
+        config_(config),
+        lanes_(ArenaAllocator<std::unique_ptr<Lane>>(simulator.arena())),
+        pending_(ArenaAllocator<PendingRequest>(simulator.arena())) {}
 
   void start() override {
     if (lanes_.empty()) open_lane();
@@ -31,13 +37,13 @@ class H1Session final : public Session {
 
   [[nodiscard]] net::TransportStats stats() const override {
     net::TransportStats total;
-    for (const auto& lane : lanes_) total += lane->connection->stats();
+    for (const auto& lane : lanes_) total += lane->connection.stats();
     return total;
   }
 
   [[nodiscard]] bool established() const override { return any_established_; }
 
-  void set_on_established(std::function<void()> cb) override {
+  void set_on_established(SmallFunction<void()> cb) override {
     on_established_ = std::move(cb);
     if (any_established_ && on_established_) on_established_();
   }
@@ -49,9 +55,33 @@ class H1Session final : public Session {
   };
 
   /// One keep-alive connection carrying sequential request/response
-  /// exchanges (no pipelining).
+  /// exchanges (no pipelining). The connection lives inline; its callbacks
+  /// capture the lane's (heap-stable) address and fire post-construction.
   struct Lane {
-    std::unique_ptr<tcp::TcpConnection> connection;
+    explicit Lane(H1Session& session)
+        : connection(session.simulator_, session.network_, session.server_, session.config_,
+                     tcp::TcpConnection::Callbacks{
+                         .on_established = [&session] { session.note_established(); },
+                         .on_request_bytes =
+                             [this, &session](std::uint64_t total) {
+                               session.server_side(*this, total);
+                             },
+                         .on_response_bytes =
+                             [this, &session](std::uint64_t total) {
+                               session.client_side(*this, total);
+                             },
+                     }) {
+      connection.set_server_on_writable([this] {
+        while (server_written < server_target) {
+          const std::uint64_t accepted =
+              connection.server_write(server_target - server_written);
+          if (accepted == 0) break;
+          server_written += accepted;
+        }
+      });
+    }
+
+    tcp::TcpConnection connection;
     bool busy = false;
     bool responding = false;
 
@@ -68,34 +98,16 @@ class H1Session final : public Session {
     std::uint64_t server_written = 0;
   };
 
+  void note_established() {
+    if (!any_established_) {
+      any_established_ = true;
+      if (on_established_) on_established_();
+    }
+  }
+
   void open_lane() {
-    auto lane = std::make_unique<Lane>();
-    Lane* raw = lane.get();
-    lane->connection = std::make_unique<tcp::TcpConnection>(
-        simulator_, network_, server_, config_,
-        tcp::TcpConnection::Callbacks{
-            .on_established =
-                [this] {
-                  if (!any_established_) {
-                    any_established_ = true;
-                    if (on_established_) on_established_();
-                  }
-                },
-            .on_request_bytes =
-                [this, raw](std::uint64_t total) { server_side(*raw, total); },
-            .on_response_bytes =
-                [this, raw](std::uint64_t total) { client_side(*raw, total); },
-        });
-    lane->connection->set_server_on_writable([raw] {
-      while (raw->server_written < raw->server_target) {
-        const std::uint64_t accepted =
-            raw->connection->server_write(raw->server_target - raw->server_written);
-        if (accepted == 0) break;
-        raw->server_written += accepted;
-      }
-    });
-    lane->connection->connect();
-    lanes_.push_back(std::move(lane));
+    lanes_.push_back(std::make_unique<Lane>(*this));
+    lanes_.back()->connection.connect();
   }
 
   void pump() {
@@ -120,10 +132,10 @@ class H1Session final : public Session {
     lane.on_progress = std::move(pending.on_progress);
     lane.request_boundary += pending.request.request_bytes;
     simulator_.trace_event(trace::EventType::kRequestSubmitted, trace::Endpoint::kClient,
-                           static_cast<std::uint64_t>(lane.connection->flow()),
+                           static_cast<std::uint64_t>(lane.connection.flow()),
                            pending.request.object_id, pending.request.response_body_bytes,
                            /*value=*/0);
-    lane.connection->client_write(pending.request.request_bytes);
+    lane.connection.client_write(pending.request.request_bytes);
   }
 
   void server_side(Lane& lane, std::uint64_t total) {
@@ -132,13 +144,13 @@ class H1Session final : public Session {
     const std::uint64_t bytes =
         lane.current.response_header_bytes + lane.current.response_body_bytes;
     simulator_.trace_event(trace::EventType::kResponseStarted, trace::Endpoint::kServer,
-                           static_cast<std::uint64_t>(lane.connection->flow()),
+                           static_cast<std::uint64_t>(lane.connection.flow()),
                            lane.current.object_id, bytes, /*value=*/0);
     simulator_.schedule_in(lane.current.server_think_time, [&lane, bytes] {
       lane.server_target += bytes;
       while (lane.server_written < lane.server_target) {
         const std::uint64_t accepted =
-            lane.connection->server_write(lane.server_target - lane.server_written);
+            lane.connection.server_write(lane.server_target - lane.server_written);
         if (accepted == 0) break;
         lane.server_written += accepted;
       }
@@ -157,7 +169,7 @@ class H1Session final : public Session {
     if (lane.on_progress) lane.on_progress(lane.current.object_id, body, complete);
     if (complete) {
       simulator_.trace_event(trace::EventType::kResponseComplete, trace::Endpoint::kClient,
-                             static_cast<std::uint64_t>(lane.connection->flow()),
+                             static_cast<std::uint64_t>(lane.connection.flow()),
                              lane.current.object_id, body, /*value=*/0);
       lane.complete = true;
       lane.busy = false;
@@ -171,10 +183,10 @@ class H1Session final : public Session {
   net::EmulatedNetwork& network_;
   net::ServerId server_;
   tcp::TcpConfig config_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
-  std::deque<PendingRequest> pending_;
+  std::vector<std::unique_ptr<Lane>, ArenaAllocator<std::unique_ptr<Lane>>> lanes_;
+  std::deque<PendingRequest, ArenaAllocator<PendingRequest>> pending_;
   bool any_established_ = false;
-  std::function<void()> on_established_;
+  SmallFunction<void()> on_established_;
 };
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "http/session.hpp"
 #include "tcp/connection.hpp"
+#include "util/arena.hpp"
 
 namespace qperc::http {
 namespace {
@@ -24,41 +25,47 @@ class H2Session final : public Session {
  public:
   H2Session(sim::Simulator& simulator, net::EmulatedNetwork& network, net::ServerId server,
             const tcp::TcpConfig& config)
-      : simulator_(simulator) {
-    connection_ = std::make_unique<tcp::TcpConnection>(
-        simulator, network, server, config,
-        tcp::TcpConnection::Callbacks{
-            .on_established =
-                [this] {
-                  established_ = true;
-                  if (on_established_) on_established_();
-                },
-            .on_request_bytes = [this](std::uint64_t total) { server_on_request_bytes(total); },
-            .on_response_bytes = [this](std::uint64_t total) { client_on_response_bytes(total); },
-        });
-    connection_->set_server_on_writable([this] { pump_responses(); });
+      : simulator_(simulator),
+        connection_(simulator, network, server, config,
+                    tcp::TcpConnection::Callbacks{
+                        .on_established =
+                            [this] {
+                              established_ = true;
+                              if (on_established_) on_established_();
+                            },
+                        .on_request_bytes =
+                            [this](std::uint64_t total) { server_on_request_bytes(total); },
+                        .on_response_bytes =
+                            [this](std::uint64_t total) { client_on_response_bytes(total); },
+                    }),
+        streams_(ArenaAllocator<std::pair<const std::uint64_t, StreamState>>(
+            simulator.arena())),
+        pending_requests_(ArenaAllocator<PendingRequest>(simulator.arena())),
+        active_responses_(ArenaAllocator<ActiveResponse>(simulator.arena())),
+        wire_frames_(ArenaAllocator<WireFrame>(simulator.arena())) {
+    connection_.set_server_on_writable([this] { pump_responses(); });
   }
 
-  void start() override { connection_->connect(); }
+  void start() override { connection_.connect(); }
 
   void submit(const Request& request, ProgressFn on_progress) override {
     const std::uint64_t stream_id = next_stream_id_;
     next_stream_id_ += 2;
     streams_.emplace(stream_id, StreamState{request, std::move(on_progress)});
     simulator_.trace_event(trace::EventType::kRequestSubmitted, trace::Endpoint::kClient,
-                           static_cast<std::uint64_t>(connection_->flow()),
+                           static_cast<std::uint64_t>(connection_.flow()),
                            request.object_id, request.response_body_bytes, stream_id);
 
     // The request headers go onto the shared client->server stream; the
     // server recognizes the request once its last byte arrives.
     request_bytes_written_ += request.request_bytes;
     pending_requests_.push_back(PendingRequest{request_bytes_written_, stream_id});
-    connection_->client_write(request.request_bytes);
+    connection_.client_write(request.request_bytes);
   }
 
-  [[nodiscard]] net::TransportStats stats() const override { return connection_->stats(); }
+  [[nodiscard]] net::TransportStats stats() const override { return connection_.stats(); }
   [[nodiscard]] bool established() const override { return established_; }
-  void set_on_established(std::function<void()> cb) override {
+  void set_on_established(SmallFunction<void()> cb) override {
     on_established_ = std::move(cb);
     if (established_ && on_established_) on_established_();
   }
@@ -99,7 +106,7 @@ class H2Session final : public Session {
           request.response_header_bytes + request.response_body_bytes;
       const std::uint8_t priority = request.priority;
       simulator_.trace_event(trace::EventType::kResponseStarted, trace::Endpoint::kServer,
-                             static_cast<std::uint64_t>(connection_->flow()),
+                             static_cast<std::uint64_t>(connection_.flow()),
                              request.object_id, response_bytes, pending.stream_id);
       simulator_.schedule_in(request.server_think_time,
                              [this, pending, response_bytes, priority] {
@@ -125,14 +132,14 @@ class H2Session final : public Session {
 
   void pump_responses() {
     while (!active_responses_.empty()) {
-      const std::uint64_t room = connection_->server_writable();
+      const std::uint64_t room = connection_.server_writable();
       if (room == 0) return;  // resumed by on_writable
       const auto index = pick_response();
       if (!index) return;
       ActiveResponse& response = active_responses_[*index];
       const std::uint64_t frame = std::min({kMaxFrameBytes, response.remaining_bytes, room});
       if (frame == 0) return;
-      connection_->server_write(frame);
+      connection_.server_write(frame);
       wire_frames_.push_back(WireFrame{response.stream_id, frame});
       response.remaining_bytes -= frame;
       if (response.remaining_bytes == 0) {
@@ -173,27 +180,31 @@ class H2Session final : public Session {
     if (complete) {
       stream.complete = true;
       simulator_.trace_event(trace::EventType::kResponseComplete, trace::Endpoint::kClient,
-                             static_cast<std::uint64_t>(connection_->flow()),
+                             static_cast<std::uint64_t>(connection_.flow()),
                              stream.request.object_id, body, stream_id);
     }
     if (stream.on_progress) stream.on_progress(stream.request.object_id, body, complete);
   }
 
   sim::Simulator& simulator_;
-  std::unique_ptr<tcp::TcpConnection> connection_;
+  // Inline connection plus arena-backed bookkeeping: steady-state request
+  // submission and response framing never touch the global heap.
+  tcp::TcpConnection connection_;
   bool established_ = false;
-  std::function<void()> on_established_;
+  SmallFunction<void()> on_established_;
 
   std::uint64_t next_stream_id_ = 1;
-  std::map<std::uint64_t, StreamState> streams_;
+  std::map<std::uint64_t, StreamState, std::less<std::uint64_t>,
+           ArenaAllocator<std::pair<const std::uint64_t, StreamState>>>
+      streams_;
 
   std::uint64_t request_bytes_written_ = 0;
-  std::deque<PendingRequest> pending_requests_;
+  std::deque<PendingRequest, ArenaAllocator<PendingRequest>> pending_requests_;
 
-  std::vector<ActiveResponse> active_responses_;
+  std::vector<ActiveResponse, ArenaAllocator<ActiveResponse>> active_responses_;
   std::uint64_t next_arrival_order_ = 0;
 
-  std::deque<WireFrame> wire_frames_;
+  std::deque<WireFrame, ArenaAllocator<WireFrame>> wire_frames_;
   std::uint64_t wire_consumed_ = 0;
 };
 

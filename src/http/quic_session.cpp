@@ -5,6 +5,7 @@
 
 #include "http/session.hpp"
 #include "quic/connection.hpp"
+#include "util/arena.hpp"
 
 namespace qperc::http {
 namespace {
@@ -13,42 +14,42 @@ class QuicHttpSession final : public Session {
  public:
   QuicHttpSession(sim::Simulator& simulator, net::EmulatedNetwork& network,
                   net::ServerId server, const quic::QuicConfig& config)
-      : simulator_(simulator) {
-    connection_ = std::make_unique<quic::QuicConnection>(
-        simulator, network, server, config,
-        quic::QuicConnection::Callbacks{
-            .on_established =
-                [this] {
-                  established_ = true;
-                  if (on_established_) on_established_();
-                },
-            .on_request_stream =
-                [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
-                  server_on_request(stream, bytes, fin);
-                },
-            .on_response_stream =
-                [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
-                  client_on_response(stream, bytes, fin);
-                },
-        });
-  }
+      : simulator_(simulator),
+        connection_(simulator, network, server, config,
+                    quic::QuicConnection::Callbacks{
+                        .on_established =
+                            [this] {
+                              established_ = true;
+                              if (on_established_) on_established_();
+                            },
+                        .on_request_stream =
+                            [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
+                              server_on_request(stream, bytes, fin);
+                            },
+                        .on_response_stream =
+                            [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
+                              client_on_response(stream, bytes, fin);
+                            },
+                    }),
+        streams_(ArenaAllocator<std::pair<const std::uint64_t, StreamState>>(
+            simulator.arena())) {}
 
-  void start() override { connection_->connect(); }
+  void start() override { connection_.connect(); }
 
   void submit(const Request& request, ProgressFn on_progress) override {
     const std::uint64_t stream_id = next_stream_id_;
     next_stream_id_ += 2;
     streams_.emplace(stream_id, StreamState{request, std::move(on_progress)});
     simulator_.trace_event(trace::EventType::kRequestSubmitted, trace::Endpoint::kClient,
-                           static_cast<std::uint64_t>(connection_->flow()),
+                           static_cast<std::uint64_t>(connection_.flow()),
                            request.object_id, request.response_body_bytes, stream_id);
-    connection_->client_write_stream(stream_id, request.request_bytes, /*fin=*/true,
+    connection_.client_write_stream(stream_id, request.request_bytes, /*fin=*/true,
                                      request.priority);
   }
 
-  [[nodiscard]] net::TransportStats stats() const override { return connection_->stats(); }
+  [[nodiscard]] net::TransportStats stats() const override { return connection_.stats(); }
   [[nodiscard]] bool established() const override { return established_; }
-  void set_on_established(std::function<void()> cb) override {
+  void set_on_established(SmallFunction<void()> cb) override {
     on_established_ = std::move(cb);
     if (established_ && on_established_) on_established_();
   }
@@ -71,11 +72,11 @@ class QuicHttpSession final : public Session {
         request.response_header_bytes + request.response_body_bytes;
     const std::uint8_t priority = request.priority;
     simulator_.trace_event(trace::EventType::kResponseStarted, trace::Endpoint::kServer,
-                           static_cast<std::uint64_t>(connection_->flow()),
+                           static_cast<std::uint64_t>(connection_.flow()),
                            request.object_id, response_bytes, stream_id);
     simulator_.schedule_in(request.server_think_time,
                            [this, stream_id, response_bytes, priority] {
-                             connection_->server_write_stream(stream_id, response_bytes,
+                             connection_.server_write_stream(stream_id, response_bytes,
                                                               /*fin=*/true, priority);
                            });
   }
@@ -91,18 +92,21 @@ class QuicHttpSession final : public Session {
     if (complete) {
       stream.complete = true;
       simulator_.trace_event(trace::EventType::kResponseComplete, trace::Endpoint::kClient,
-                             static_cast<std::uint64_t>(connection_->flow()),
+                             static_cast<std::uint64_t>(connection_.flow()),
                              stream.request.object_id, body, stream_id);
     }
     if (stream.on_progress) stream.on_progress(stream.request.object_id, body, complete);
   }
 
   sim::Simulator& simulator_;
-  std::unique_ptr<quic::QuicConnection> connection_;
+  // Inline connection plus arena-backed stream table (see docs/PERFORMANCE.md).
+  quic::QuicConnection connection_;
   bool established_ = false;
-  std::function<void()> on_established_;
+  SmallFunction<void()> on_established_;
   std::uint64_t next_stream_id_ = 5;
-  std::map<std::uint64_t, StreamState> streams_;
+  std::map<std::uint64_t, StreamState, std::less<std::uint64_t>,
+           ArenaAllocator<std::pair<const std::uint64_t, StreamState>>>
+      streams_;
 };
 
 }  // namespace

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "net/emulated_network.hpp"
@@ -37,8 +36,10 @@ class Session {
  public:
   /// Progress report: body bytes of `object_id` delivered in order so far;
   /// `complete` fires exactly once, when the full body has arrived.
+  /// SmallFunction (move-only, inline storage): progress callbacks fire per
+  /// delivered frame and capture only a loader pointer plus an object id.
   using ProgressFn =
-      std::function<void(std::uint32_t object_id, std::uint64_t body_bytes, bool complete)>;
+      SmallFunction<void(std::uint32_t object_id, std::uint64_t body_bytes, bool complete)>;
 
   virtual ~Session() = default;
 
@@ -50,7 +51,7 @@ class Session {
   [[nodiscard]] virtual bool established() const = 0;
   /// Invoked once when the transport handshake completes (the browser uses
   /// this to pace its connection pool).
-  virtual void set_on_established(std::function<void()> cb) = 0;
+  virtual void set_on_established(SmallFunction<void()> cb) = 0;
 };
 
 /// HTTP/2 over TCP+TLS per Table 1's TCP rows.

@@ -6,20 +6,23 @@ namespace qperc::net {
 
 EmulatedNetwork::EmulatedNetwork(sim::Simulator& simulator, const NetworkProfile& profile,
                                  Rng rng)
-    : simulator_(simulator), profile_(profile) {
-  const SimDuration one_way = profile.min_rtt / 2;
-  uplink_ = std::make_unique<Link>(
-      simulator_, profile.uplink, one_way, profile.loss_rate, profile.uplink_queue_bytes(),
-      rng.fork("uplink-loss"), [this](Packet p) { deliver_uplink(std::move(p)); });
-  downlink_ = std::make_unique<Link>(
-      simulator_, profile.downlink, one_way, profile.loss_rate,
-      profile.downlink_queue_bytes(), rng.fork("downlink-loss"),
-      [this](Packet p) { deliver_downlink(std::move(p)); });
-  uplink_->set_trace_direction(0);
-  downlink_->set_trace_direction(1);
+    : simulator_(simulator),
+      profile_(profile),
+      uplink_(simulator, profile.uplink, profile.min_rtt / 2, profile.loss_rate,
+              profile.uplink_queue_bytes(), rng.fork("uplink-loss"),
+              [this](Packet p) { deliver_uplink(std::move(p)); }),
+      downlink_(simulator, profile.downlink, profile.min_rtt / 2, profile.loss_rate,
+                profile.downlink_queue_bytes(), rng.fork("downlink-loss"),
+                [this](Packet p) { deliver_downlink(std::move(p)); }),
+      client_flows_(ArenaAllocator<std::pair<const std::uint64_t, Handler>>(
+          simulator.arena())),
+      server_flows_(ArenaAllocator<std::pair<const std::uint64_t, Handler>>(
+          simulator.arena())) {
+  uplink_.set_trace_direction(0);
+  downlink_.set_trace_direction(1);
   if (profile.impairments.any()) {
-    uplink_->set_impairments(profile.impairments);
-    downlink_->set_impairments(profile.impairments);
+    uplink_.set_impairments(profile.impairments);
+    downlink_.set_impairments(profile.impairments);
   }
 }
 
@@ -39,9 +42,9 @@ void EmulatedNetwork::unregister_server_flow(FlowId flow) {
   server_flows_.erase(static_cast<std::uint64_t>(flow));
 }
 
-void EmulatedNetwork::client_send(Packet packet) { uplink_->send(std::move(packet)); }
+void EmulatedNetwork::client_send(Packet packet) { uplink_.send(std::move(packet)); }
 
-void EmulatedNetwork::server_send(Packet packet) { downlink_->send(std::move(packet)); }
+void EmulatedNetwork::server_send(Packet packet) { downlink_.send(std::move(packet)); }
 
 void EmulatedNetwork::deliver_uplink(Packet packet) {
   if (const auto it = server_flows_.find(static_cast<std::uint64_t>(packet.flow));

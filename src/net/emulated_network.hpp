@@ -6,12 +6,13 @@
 
 #include <cstdint>
 #include <map>
-#include <memory>
+#include <utility>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/profile.hpp"
 #include "sim/simulator.hpp"
+#include "util/arena.hpp"
 #include "util/function.hpp"
 #include "util/rng.hpp"
 
@@ -40,11 +41,11 @@ class EmulatedNetwork {
   /// Sends a packet from a server back to the client of `packet.flow`.
   void server_send(Packet packet);
 
-  [[nodiscard]] const LinkStats& uplink_stats() const { return uplink_->stats(); }
-  [[nodiscard]] const LinkStats& downlink_stats() const { return downlink_->stats(); }
+  [[nodiscard]] const LinkStats& uplink_stats() const { return uplink_.stats(); }
+  [[nodiscard]] const LinkStats& downlink_stats() const { return downlink_.stats(); }
   /// Direct link access (observers/tracing).
-  [[nodiscard]] Link& uplink() { return *uplink_; }
-  [[nodiscard]] Link& downlink() { return *downlink_; }
+  [[nodiscard]] Link& uplink() { return uplink_; }
+  [[nodiscard]] Link& downlink() { return downlink_; }
   [[nodiscard]] const NetworkProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] FlowId allocate_flow_id() noexcept { return FlowId{next_flow_id_++}; }
 
@@ -54,12 +55,20 @@ class EmulatedNetwork {
 
   sim::Simulator& simulator_;
   NetworkProfile profile_;
-  std::unique_ptr<Link> uplink_;
-  std::unique_ptr<Link> downlink_;
+  // Both links live inline (no per-trial heap traffic); their delivery hooks
+  // capture `this` only and fire well after construction completes.
+  Link uplink_;
+  Link downlink_;
   /// Keyed lookups only today, but ordered anyway: a future iteration (e.g.
   /// broadcasting link state to all flows) must not inherit hash order.
-  std::map<std::uint64_t, Handler> client_flows_;
-  std::map<std::uint64_t, Handler> server_flows_;
+  /// Node storage comes from the trial arena: registration/unregistration
+  /// churn is a pointer bump, reclaimed wholesale at Simulator::reset().
+  std::map<std::uint64_t, Handler, std::less<std::uint64_t>,
+           ArenaAllocator<std::pair<const std::uint64_t, Handler>>>
+      client_flows_;
+  std::map<std::uint64_t, Handler, std::less<std::uint64_t>,
+           ArenaAllocator<std::pair<const std::uint64_t, Handler>>>
+      server_flows_;
   std::uint64_t next_flow_id_ = 1;
 };
 

@@ -100,13 +100,40 @@ class Link {
   void set_trace_direction(std::uint64_t direction) noexcept { trace_direction_ = direction; }
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::uint64_t queued_bytes() const noexcept { return queued_bytes_; }
+  /// Bytes queued or serializing as of now(). On the arithmetic fast path the
+  /// decrement for a finished serialization is applied lazily, so this sums
+  /// the not-yet-drained completions on the fly.
+  [[nodiscard]] std::uint64_t queued_bytes() const noexcept {
+    std::uint64_t done = 0;
+    for (std::size_t i = 0; i < completions_.size(); ++i) {
+      const PendingDone& c = completions_.at(i);
+      if (c.done <= simulator_.now()) done += c.wire_bytes;
+    }
+    return queued_bytes_ - done;
+  }
   [[nodiscard]] DataRate rate() const noexcept { return rate_; }
   [[nodiscard]] SimDuration propagation_delay() const noexcept { return propagation_delay_; }
 
  private:
+  /// A serialization the fast path has accounted for arithmetically but whose
+  /// queue-occupancy decrement has not been applied yet.
+  struct PendingDone {
+    SimTime done{0};
+    std::uint64_t wire_bytes = 0;
+  };
+
+  void send_fast(Packet&& packet);
+  void send_traced(Packet&& packet);
+  /// Applies the queue-occupancy decrements for fast-path serializations that
+  /// finished at or before now() (the accessor above uses the same rule).
+  void drain_completed();
+  /// Runs the loss/impairment decision chain for a packet whose serialization
+  /// ends at `done`, scheduling delivery events as appropriate. RNG draw
+  /// order is the serialization (FIFO) order on both paths, so the two paths
+  /// consume an identical stream.
+  void decide_fate(const Packet& packet, SimTime done);
   void start_serialization();
-  void schedule_delivery(const Packet& packet, SimDuration delay);
+  void schedule_delivery_at(const Packet& packet, SimTime when);
   /// Advances the Gilbert–Elliott chain one step and draws the state's loss
   /// probability. No draws at all while the model is disabled.
   bool bursty_loss();
@@ -136,10 +163,16 @@ class Link {
 
   /// Droptail queue over a reused slab: once the ring has grown to the
   /// episode's high-water mark, enqueue/dequeue recycle the same packet
-  /// descriptors instead of churning deque blocks.
+  /// descriptors instead of churning deque blocks. Only the traced (slow)
+  /// path stores packets here; the fast path is purely arithmetic.
   RingBuffer<Packet> queue_;
   std::uint64_t queued_bytes_ = 0;
   bool serializing_ = false;
+  /// When the serializer finishes its current backlog. Shared by both paths
+  /// so a link stays byte-accurate across an observer attach/detach.
+  SimTime busy_until_{0};
+  /// Fast-path serializations whose queued_bytes_ decrement is still pending.
+  RingBuffer<PendingDone> completions_;
   LinkStats stats_;
 };
 

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 namespace qperc::net {
 
@@ -13,23 +12,22 @@ enum class ServerId : std::uint32_t {};
 
 /// Base class for protocol payloads. The network layer treats payloads as
 /// opaque freight; TCP and QUIC derive their segment/packet types from this
-/// and cast back on delivery (each flow knows its own protocol).
-struct Payload {
-  Payload() = default;
-  Payload(const Payload&) = default;
-  Payload& operator=(const Payload&) = default;
-  virtual ~Payload() = default;
-};
+/// and cast back on delivery (each flow knows its own protocol). Payloads are
+/// trivially destructible by design — they live in the simulator's trial
+/// arena (sim::Simulator::arena()) and are reclaimed wholesale at reset, so
+/// the base is deliberately non-polymorphic: no vtable, no destructor hook.
+struct Payload {};
 
 /// A packet on the emulated wire. Copyable: queueing inside links copies the
-/// descriptor while the payload is shared immutable state.
+/// descriptor while the payload is immutable state owned by the simulator
+/// arena, valid until the end of the current trial (never across resets).
 struct Packet {
   FlowId flow{0};
   ServerId dest_server{0};
   /// Total size on the wire, including all header overhead; this is what the
   /// link serializes and the queue counts.
   std::uint32_t wire_bytes = 0;
-  std::shared_ptr<const Payload> payload;
+  const Payload* payload = nullptr;
 };
 
 /// Ethernet-ish MTU used to size queues and segments.

@@ -22,29 +22,28 @@ QuicConnection::QuicConnection(sim::Simulator& simulator, net::EmulatedNetwork& 
       config_(config),
       callbacks_(std::move(callbacks)),
       flow_(network.allocate_flow_id()),
+      client_send_(simulator_, config_, [this](QuicPacket p) { emit(true, std::move(p)); }),
+      server_send_(simulator_, config_, [this](QuicPacket p) { emit(false, std::move(p)); }),
+      client_receive_(
+          simulator_, config_, [this] { emit(true, client_send_.make_control_packet()); },
+          [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
+            if (callbacks_.on_response_stream) {
+              callbacks_.on_response_stream(stream, bytes, fin);
+            }
+          }),
+      server_receive_(
+          simulator_, config_, [this] { emit(false, server_send_.make_control_packet()); },
+          [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
+            if (callbacks_.on_request_stream) {
+              callbacks_.on_request_stream(stream, bytes, fin);
+            }
+          }),
       handshake_timer_(simulator, [this] { on_handshake_timeout(); }) {
-  client_send_ = std::make_unique<QuicSendSide>(
-      simulator_, config_, [this](QuicPacket p) { emit(true, std::move(p)); });
-  server_send_ = std::make_unique<QuicSendSide>(
-      simulator_, config_, [this](QuicPacket p) { emit(false, std::move(p)); });
-  client_receive_ = std::make_unique<QuicReceiveSide>(
-      simulator_, config_,
-      [this] { emit(true, client_send_->make_control_packet()); },
-      [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
-        if (callbacks_.on_response_stream) callbacks_.on_response_stream(stream, bytes, fin);
-      });
-  server_receive_ = std::make_unique<QuicReceiveSide>(
-      simulator_, config_,
-      [this] { emit(false, server_send_->make_control_packet()); },
-      [this](std::uint64_t stream, std::uint64_t bytes, bool fin) {
-        if (callbacks_.on_request_stream) callbacks_.on_request_stream(stream, bytes, fin);
-      });
-
   const auto trace_flow = static_cast<std::uint64_t>(flow_);
-  client_send_->set_trace_context(trace_flow, trace::Endpoint::kClient);
-  server_send_->set_trace_context(trace_flow, trace::Endpoint::kServer);
-  client_receive_->set_trace_context(trace_flow, trace::Endpoint::kClient);
-  server_receive_->set_trace_context(trace_flow, trace::Endpoint::kServer);
+  client_send_.set_trace_context(trace_flow, trace::Endpoint::kClient);
+  server_send_.set_trace_context(trace_flow, trace::Endpoint::kServer);
+  client_receive_.set_trace_context(trace_flow, trace::Endpoint::kClient);
+  server_receive_.set_trace_context(trace_flow, trace::Endpoint::kServer);
 
   network_.register_client_flow(flow_, [this](net::Packet p) { client_on_packet(p); });
   network_.register_server_flow(flow_, [this](net::Packet p) { server_on_packet(p); });
@@ -66,7 +65,7 @@ void QuicConnection::connect() {
     // Cached server config: crypto completes immediately; the request rides
     // along with the CHLO.
     client_established_ = true;
-    client_send_->on_established(SimDuration::zero());
+    client_send_.on_established(SimDuration::zero());
     simulator_.trace_event(trace::EventType::kHandshakeCompleted, trace::Endpoint::kClient,
                            static_cast<std::uint64_t>(flow_), /*id=*/0);
     if (callbacks_.on_established) callbacks_.on_established();
@@ -79,7 +78,7 @@ void QuicConnection::send_handshake(bool from_client, QuicHandshakeStep step) {
   const std::uint8_t flight_size =
       step == QuicHandshakeStep::kRej ? kRejFlightSize : std::uint8_t{1};
   for (std::uint8_t i = 0; i < flight_size; ++i) {
-    auto packet = std::make_shared<QuicPacket>();
+    auto* packet = simulator_.arena().create<QuicPacket>();
     packet->handshake = step;
     packet->flight_index = i;
     packet->flight_size = flight_size;
@@ -87,7 +86,7 @@ void QuicConnection::send_handshake(bool from_client, QuicHandshakeStep step) {
     wire.flow = flow_;
     wire.dest_server = server_;
     wire.wire_bytes = kHandshakePacketWireBytes;
-    wire.payload = std::move(packet);
+    wire.payload = packet;
     ++handshake_stats_.handshake_packets;
     simulator_.trace_event(trace::EventType::kHandshakePacketSent,
                            from_client ? trace::Endpoint::kClient : trace::Endpoint::kServer,
@@ -122,7 +121,7 @@ void QuicConnection::establish_client() {
   // A genuine round-trip measurement (the 0-RTT path passes the zero sentinel
   // in connect() and never reaches here); clamp to one tick so a zero-delay
   // profile still seeds the RTT estimator with a strictly positive sample.
-  client_send_->on_established(std::max(simulator_.now() - chlo_sent_at_, SimDuration{1}));
+  client_send_.on_established(std::max(simulator_.now() - chlo_sent_at_, SimDuration{1}));
   simulator_.trace_event(
       trace::EventType::kHandshakeCompleted, trace::Endpoint::kClient,
       static_cast<std::uint64_t>(flow_), /*id=*/1, /*bytes=*/0,
@@ -137,7 +136,7 @@ void QuicConnection::establish_server() {
       rej_sent_at_ > SimTime{0}
           ? std::max(simulator_.now() - rej_sent_at_, SimDuration{1})
           : SimDuration::zero();
-  server_send_->on_established(rtt);
+  server_send_.on_established(rtt);
 }
 
 void QuicConnection::client_on_packet(const net::Packet& wire) {
@@ -150,10 +149,10 @@ void QuicConnection::client_on_packet(const net::Packet& wire) {
   }
   if (packet.handshake != QuicHandshakeStep::kNone) return;
   if (packet.has_ack || !packet.window_updates.empty()) {
-    client_send_->on_ack_frame(packet);
-    client_send_->on_window_updates(packet);
+    client_send_.on_ack_frame(packet);
+    client_send_.on_window_updates(packet);
   }
-  client_receive_->on_packet(packet);
+  client_receive_.on_packet(packet);
 }
 
 void QuicConnection::server_on_packet(const net::Packet& wire) {
@@ -170,18 +169,18 @@ void QuicConnection::server_on_packet(const net::Packet& wire) {
   // Data implies the client completed the handshake (0-RTT or reordering).
   establish_server();
   if (packet.has_ack || !packet.window_updates.empty()) {
-    server_send_->on_ack_frame(packet);
-    server_send_->on_window_updates(packet);
+    server_send_.on_ack_frame(packet);
+    server_send_.on_window_updates(packet);
   }
-  server_receive_->on_packet(packet);
+  server_receive_.on_packet(packet);
 }
 
 void QuicConnection::emit(bool from_client, QuicPacket packet) {
   // Piggyback current ACK state of the emitting endpoint.
   if (from_client) {
-    client_receive_->fill_ack(packet);
+    client_receive_.fill_ack(packet);
   } else {
-    server_receive_->fill_ack(packet);
+    server_receive_.fill_ack(packet);
   }
   std::uint32_t payload = 0;
   for (const auto& frame : packet.frames) payload += frame.length + kStreamFrameOverhead;
@@ -193,7 +192,7 @@ void QuicConnection::emit(bool from_client, QuicPacket packet) {
   wire.flow = flow_;
   wire.dest_server = server_;
   wire.wire_bytes = payload + kQuicOverheadBytes + kUdpIpOverheadBytes;
-  wire.payload = std::make_shared<const QuicPacket>(std::move(packet));
+  wire.payload = simulator_.arena().create<QuicPacket>(std::move(packet));
   if (from_client) {
     network_.client_send(std::move(wire));
   } else {
@@ -203,8 +202,8 @@ void QuicConnection::emit(bool from_client, QuicPacket packet) {
 
 net::TransportStats QuicConnection::stats() const {
   net::TransportStats total = handshake_stats_;
-  total += client_send_->stats();
-  total += server_send_->stats();
+  total += client_send_.stats();
+  total += server_send_.stats();
   return total;
 }
 

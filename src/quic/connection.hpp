@@ -7,8 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 
 #include "net/emulated_network.hpp"
 #include "net/transport_stats.hpp"
@@ -22,11 +20,11 @@ namespace qperc::quic {
 class QuicConnection {
  public:
   struct Callbacks {
-    std::function<void()> on_established;
+    SmallFunction<void()> on_established;
     /// Server side: request-stream progress (stream, contiguous bytes, fin).
-    std::function<void(std::uint64_t, std::uint64_t, bool)> on_request_stream;
+    SmallFunction<void(std::uint64_t, std::uint64_t, bool)> on_request_stream;
     /// Client side: response-stream progress.
-    std::function<void(std::uint64_t, std::uint64_t, bool)> on_response_stream;
+    SmallFunction<void(std::uint64_t, std::uint64_t, bool)> on_response_stream;
   };
 
   QuicConnection(sim::Simulator& simulator, net::EmulatedNetwork& network,
@@ -42,16 +40,16 @@ class QuicConnection {
   /// establishment; data flows once the handshake completes.
   void client_write_stream(std::uint64_t stream_id, std::uint64_t bytes, bool fin,
                            std::uint8_t priority) {
-    client_send_->write_stream(stream_id, bytes, fin, priority);
+    client_send_.write_stream(stream_id, bytes, fin, priority);
   }
   /// Server -> client stream write (responses).
   void server_write_stream(std::uint64_t stream_id, std::uint64_t bytes, bool fin,
                            std::uint8_t priority) {
-    server_send_->write_stream(stream_id, bytes, fin, priority);
+    server_send_.write_stream(stream_id, bytes, fin, priority);
   }
 
-  [[nodiscard]] const QuicSendSide& server_send_side() const { return *server_send_; }
-  [[nodiscard]] const QuicSendSide& client_send_side() const { return *client_send_; }
+  [[nodiscard]] const QuicSendSide& server_send_side() const { return server_send_; }
+  [[nodiscard]] const QuicSendSide& client_send_side() const { return client_send_; }
   [[nodiscard]] net::TransportStats stats() const;
   [[nodiscard]] net::FlowId flow() const noexcept { return flow_; }
 
@@ -71,10 +69,13 @@ class QuicConnection {
   Callbacks callbacks_;
   net::FlowId flow_;
 
-  std::unique_ptr<QuicSendSide> client_send_;
-  std::unique_ptr<QuicSendSide> server_send_;
-  std::unique_ptr<QuicReceiveSide> client_receive_;
-  std::unique_ptr<QuicReceiveSide> server_receive_;
+  // All four sides live inline: one allocation per connection keeps the
+  // per-trial budget in docs/PERFORMANCE.md honest. Their callbacks capture
+  // `this` only and fire well after construction completes.
+  QuicSendSide client_send_;
+  QuicSendSide server_send_;
+  QuicReceiveSide client_receive_;
+  QuicReceiveSide server_receive_;
 
   bool chlo_sent_ = false;
   bool client_established_ = false;

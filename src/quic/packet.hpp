@@ -2,10 +2,10 @@
 #pragma once
 
 #include <cstdint>
-#include <utility>
-#include <vector>
+#include <type_traits>
 
 #include "net/packet.hpp"
+#include "util/arena.hpp"
 
 namespace qperc::quic {
 
@@ -29,6 +29,14 @@ struct WindowUpdate {
   std::uint64_t limit = 0;
 };
 
+/// One acknowledged packet-number range [first, second] (inclusive). Member
+/// names match the std::pair this used to be; a plain aggregate is trivially
+/// copyable (std::pair is not), which ArenaVec storage requires.
+struct AckRange {
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+};
+
 /// Per-packet overheads: short header + AEAD tag (~30 B) plus UDP/IP (28 B).
 inline constexpr std::uint32_t kQuicOverheadBytes = 30;
 inline constexpr std::uint32_t kUdpIpOverheadBytes = 28;
@@ -37,6 +45,9 @@ inline constexpr std::uint32_t kStreamFrameOverhead = 8;
 /// Wire size of a padded handshake packet.
 inline constexpr std::uint32_t kHandshakePacketWireBytes = 1392;
 
+/// Frame lists are ArenaVecs over the trial arena, which makes the packet
+/// trivially destructible (an arena requirement) and move-only; building a
+/// packet allocates nothing beyond arena bumps.
 struct QuicPacket final : net::Payload {
   QuicHandshakeStep handshake = QuicHandshakeStep::kNone;
   std::uint8_t flight_index = 0;
@@ -44,13 +55,15 @@ struct QuicPacket final : net::Payload {
 
   std::uint64_t packet_number = 0;
   bool ack_eliciting = false;
-  std::vector<StreamFrame> frames;
+  ArenaVec<StreamFrame> frames;
 
   bool has_ack = false;
   /// Received packet-number ranges [first, last], newest first, <= 256.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> ack_ranges;
+  ArenaVec<AckRange> ack_ranges;
 
-  std::vector<WindowUpdate> window_updates;
+  ArenaVec<WindowUpdate> window_updates;
 };
+static_assert(std::is_trivially_destructible_v<QuicPacket>,
+              "QuicPacket lives in the trial arena");
 
 }  // namespace qperc::quic

@@ -12,13 +12,16 @@ constexpr SimDuration kAckDelay = milliseconds(25);
 }  // namespace
 
 QuicReceiveSide::QuicReceiveSide(
-    sim::Simulator& simulator, const QuicConfig& config, std::function<void()> request_ack,
-    std::function<void(std::uint64_t, std::uint64_t, bool)> on_stream_progress)
+    sim::Simulator& simulator, const QuicConfig& config, SmallFunction<void()> request_ack,
+    SmallFunction<void(std::uint64_t, std::uint64_t, bool)> on_stream_progress)
     : simulator_(simulator),
       config_(config),
       request_ack_(std::move(request_ack)),
       on_stream_progress_(std::move(on_stream_progress)),
+      received_(ArenaAllocator<std::pair<const std::uint64_t, std::uint64_t>>(
+          simulator.arena())),
       delayed_ack_timer_(simulator, [this] { request_ack_(); }),
+      streams_(simulator.arena()),
       connection_advertised_(config.connection_flow_window_bytes) {}
 
 std::uint64_t QuicReceiveSide::stream_delivered(std::uint64_t stream_id) const {
@@ -93,7 +96,7 @@ void QuicReceiveSide::on_packet(const QuicPacket& packet) {
 }
 
 void QuicReceiveSide::on_stream_frame(const StreamFrame& frame) {
-  auto& stream = streams_[frame.stream_id];
+  auto& stream = streams_.try_emplace(frame.stream_id, simulator_.arena()).first->second;
   if (stream.advertised_limit == 0) {
     stream.advertised_limit = config_.stream_flow_window_bytes;
   }
@@ -164,7 +167,8 @@ void QuicReceiveSide::maybe_update_windows(std::uint64_t stream_id, RecvStream& 
     stream.advertised_limit = stream.contiguous + config_.stream_flow_window_bytes;
     QPERC_DCHECK_GE(stream.advertised_limit, prior)
         << "stream flow-control limit moved backwards";
-    pending_window_updates_.push_back(WindowUpdate{stream_id, stream.advertised_limit});
+    pending_window_updates_.push_back(simulator_.arena(),
+                                      WindowUpdate{stream_id, stream.advertised_limit});
   }
   if (connection_advertised_ - connection_consumed_ <
       config_.connection_flow_window_bytes / 2) {
@@ -173,7 +177,8 @@ void QuicReceiveSide::maybe_update_windows(std::uint64_t stream_id, RecvStream& 
         connection_consumed_ + config_.connection_flow_window_bytes;
     QPERC_DCHECK_GE(connection_advertised_, prior)
         << "connection flow-control limit moved backwards";
-    pending_window_updates_.push_back(WindowUpdate{0, connection_advertised_});
+    pending_window_updates_.push_back(simulator_.arena(),
+                                      WindowUpdate{0, connection_advertised_});
   }
 }
 
@@ -190,9 +195,11 @@ void QuicReceiveSide::fill_ack(QuicPacket& packet) {
     QPERC_DCHECK(packet.ack_ranges.empty() ||
                  it->second < packet.ack_ranges.back().first)
         << "emitted ACK ranges overlap";
-    packet.ack_ranges.emplace_back(it->first, it->second);
+    packet.ack_ranges.emplace_back(simulator_.arena(), it->first, it->second);
   }
-  packet.window_updates = std::move(pending_window_updates_);
+  for (const WindowUpdate& update : pending_window_updates_) {
+    packet.window_updates.push_back(simulator_.arena(), update);
+  }
   pending_window_updates_.clear();
   ack_eliciting_since_ack_ = 0;
   delayed_ack_timer_.cancel();

@@ -5,13 +5,14 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
-#include <vector>
+#include <utility>
 
 #include "quic/config.hpp"
 #include "quic/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 
 namespace qperc::quic {
 
@@ -21,8 +22,8 @@ class QuicReceiveSide {
   /// `on_stream_progress(stream, contiguous_bytes, fin_complete)` reports
   /// per-stream in-order delivery to the application.
   QuicReceiveSide(sim::Simulator& simulator, const QuicConfig& config,
-                  std::function<void()> request_ack,
-                  std::function<void(std::uint64_t, std::uint64_t, bool)> on_stream_progress);
+                  SmallFunction<void()> request_ack,
+                  SmallFunction<void(std::uint64_t, std::uint64_t, bool)> on_stream_progress);
   QuicReceiveSide(const QuicReceiveSide&) = delete;
   QuicReceiveSide& operator=(const QuicReceiveSide&) = delete;
 
@@ -44,7 +45,13 @@ class QuicReceiveSide {
 
  private:
   struct RecvStream {
-    std::map<std::uint64_t, std::uint64_t> out_of_order;  // [start, end)
+    explicit RecvStream(Arena& arena)
+        : out_of_order(
+              ArenaAllocator<std::pair<const std::uint64_t, std::uint64_t>>(arena)) {}
+    /// Reassembly ranges [start, end); nodes come from the trial arena.
+    std::map<std::uint64_t, std::uint64_t, std::less<std::uint64_t>,
+             ArenaAllocator<std::pair<const std::uint64_t, std::uint64_t>>>
+        out_of_order;
     std::uint64_t contiguous = 0;
     std::uint64_t fin_offset = std::uint64_t(-1);
     bool fin_signaled = false;
@@ -56,20 +63,25 @@ class QuicReceiveSide {
 
   sim::Simulator& simulator_;
   QuicConfig config_;
-  std::function<void()> request_ack_;
-  std::function<void(std::uint64_t, std::uint64_t, bool)> on_stream_progress_;
+  SmallFunction<void()> request_ack_;
+  SmallFunction<void(std::uint64_t, std::uint64_t, bool)> on_stream_progress_;
 
   std::uint64_t trace_flow_ = 0;
   trace::Endpoint trace_endpoint_ = trace::Endpoint::kNone;
 
   /// Received packet numbers as [first, last] ranges, keyed by first.
-  std::map<std::uint64_t, std::uint64_t> received_;
+  std::map<std::uint64_t, std::uint64_t, std::less<std::uint64_t>,
+           ArenaAllocator<std::pair<const std::uint64_t, std::uint64_t>>>
+      received_;
   std::uint64_t largest_received_ = 0;
   std::uint32_t ack_eliciting_since_ack_ = 0;
   sim::Timer delayed_ack_timer_;
 
-  std::map<std::uint64_t, RecvStream> streams_;
-  std::vector<WindowUpdate> pending_window_updates_;
+  /// Flat per-stream table: iteration order matches std::map, storage is
+  /// arena-backed, and the per-frame try_emplace is a binary search over a
+  /// contiguous slab instead of an rb-tree descent.
+  FlatMap<std::uint64_t, RecvStream> streams_;
+  ArenaVec<WindowUpdate> pending_window_updates_;
   std::uint64_t connection_consumed_ = 0;
   std::uint64_t connection_advertised_ = 0;  // set by the constructor
 };

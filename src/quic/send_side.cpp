@@ -25,9 +25,16 @@ QuicSendSide::QuicSendSide(sim::Simulator& simulator, const QuicConfig& config, 
                              .initial_quantum_segments = 10,
                              .refill_quantum_segments = 2,
                              .segment_bytes = config.max_payload_bytes}),
+      sampler_(simulator.arena()),
+      streams_(simulator.arena()),
+      retransmit_queue_(ArenaAllocator<StreamFrame>(simulator.arena())),
+      unacked_(simulator.arena()),
       peer_connection_limit_(config.connection_flow_window_bytes),
       loss_or_pto_timer_(simulator, [this] { on_timer(); }),
-      send_timer_(simulator, [this] { maybe_send(); }) {}
+      send_timer_(simulator, [this] { maybe_send(); }),
+      traced_lost_pns_(ArenaAllocator<std::uint64_t>(simulator.arena())) {
+  cc_wants_rate_ = cc_->uses_delivery_rate();
+}
 
 void QuicSendSide::on_established(SimDuration handshake_rtt) {
   QPERC_DCHECK(!established_) << "QUIC send side established twice";
@@ -42,9 +49,11 @@ void QuicSendSide::write_stream(std::uint64_t stream_id, std::uint64_t bytes, bo
   auto [it, inserted] =
       streams_.try_emplace(stream_id, SendStream{config_.stream_flow_window_bytes});
   SendStream& stream = it->second;
+  const bool was_pending = stream_pending(stream);  // fresh streams start idle
   stream.priority = priority;
   stream.write_bytes += bytes;
   if (fin) stream.fin = true;
+  if (!was_pending && stream_pending(stream)) ++pending_streams_;
   if (bytes_in_flight_ == 0) pacer_.on_restart_from_idle(simulator_.now());
   maybe_send();
 }
@@ -59,10 +68,22 @@ QuicPacket QuicSendSide::make_control_packet() {
   return packet;
 }
 
-std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
-                                                    bool& is_retransmission) {
-  std::vector<StreamFrame> frames;
+ArenaVec<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
+                                                 bool& is_retransmission) {
+  ArenaVec<StreamFrame> frames;
   is_retransmission = false;
+  // Nothing queued and no stream with unsent data or FIN: skip the scan.
+  // With a trace sink attached the scan still runs so the flow-control
+  // stall bookkeeping below sees every transition.
+  if (retransmit_queue_.empty() && pending_streams_ == 0 &&
+      simulator_.trace() == nullptr) {
+#if QPERC_INVARIANTS_ENABLED
+    for (const auto& [id, stream] : streams_) {
+      QPERC_DCHECK(!stream_pending(stream)) << "pending_streams_ undercounts";
+    }
+#endif
+    return frames;
+  }
   bool fc_blocked_seen = false;
   std::uint64_t fc_blocked_stream = 0;
 
@@ -82,7 +103,7 @@ std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
       retransmit_queue_.pop_front();
     }
     budget -= std::min(budget, take + kStreamFrameOverhead);
-    frames.push_back(frame);
+    frames.push_back(simulator_.arena(), frame);
     is_retransmission = true;
   }
 
@@ -134,8 +155,14 @@ std::vector<StreamFrame> QuicSendSide::build_frames(std::uint32_t budget,
       frame.fin = true;
       best->fin_packetized = true;
     }
+    if (!stream_pending(*best)) {
+      // The scan only picks pending streams, so serving one dry is the only
+      // way the count drops.
+      QPERC_DCHECK_GT(pending_streams_, 0u);
+      --pending_streams_;
+    }
     budget -= frame.length + kStreamFrameOverhead;
-    frames.push_back(frame);
+    frames.push_back(simulator_.arena(), frame);
   }
 
   // Flow-control stall accounting (trace-only: skipped entirely without a
@@ -183,7 +210,7 @@ void QuicSendSide::maybe_send() {
   }
 }
 
-void QuicSendSide::transmit(std::vector<StreamFrame> frames, bool is_retransmission) {
+void QuicSendSide::transmit(ArenaVec<StreamFrame> frames, bool is_retransmission) {
   const SimTime now = simulator_.now();
   std::uint32_t payload = 0;
   std::uint64_t stream_bytes = 0;
@@ -195,7 +222,7 @@ void QuicSendSide::transmit(std::vector<StreamFrame> frames, bool is_retransmiss
   const std::uint64_t pn = next_packet_number_++;
   // Packet numbers are never reused and strictly grow within the space —
   // the property that removes TCP's retransmission ambiguity.
-  QPERC_DCHECK(unacked_.empty() || pn > unacked_.rbegin()->first)
+  QPERC_DCHECK(unacked_.empty() || pn > unacked_.back_key())
       << "packet number space not monotone";
   QPERC_DCHECK_GT(pn, largest_acked_);
   sampler_.on_packet_sent(pn, stream_bytes, now, bytes_in_flight_);
@@ -216,8 +243,10 @@ void QuicSendSide::transmit(std::vector<StreamFrame> frames, bool is_retransmiss
   QuicPacket packet;
   packet.packet_number = pn;
   packet.ack_eliciting = true;
-  packet.frames = frames;
-  unacked_[pn] = UnackedPacket{now, payload, stream_bytes, std::move(frames)};
+  // The retransmission record views the same arena-owned frame buffer the
+  // wire packet carries; no copy, and the view survives the packet.
+  unacked_[pn] = UnackedPacket{now, payload, stream_bytes, frames.data(), frames.size()};
+  packet.frames = std::move(frames);
 
   emit_(std::move(packet));
   rearm_timer();
@@ -270,7 +299,11 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
         // sending instant, and RttEstimator requires positive samples.
         rtt_sample = std::max(now - up.sent_time, SimDuration{1});
       }
-      if (const auto sample = sampler_.on_packet_acked(pn, now)) {
+      if (!cc_wants_rate_) {
+        // Loss-based controller: same bookkeeping and same have_rate gate,
+        // minus the rate arithmetic nobody reads.
+        have_rate |= sampler_.on_packet_acked_no_sample(pn, now);
+      } else if (const auto sample = sampler_.on_packet_acked(pn, now)) {
         if (!have_rate || sample->delivery_rate > best_rate.delivery_rate) {
           best_rate = *sample;
         }
@@ -328,7 +361,8 @@ void QuicSendSide::on_window_updates(const QuicPacket& packet) {
 }
 
 void QuicSendSide::requeue_lost(UnackedPacket& packet) {
-  for (const auto& frame : packet.frames) {
+  for (std::uint32_t i = 0; i < packet.frame_count; ++i) {
+    const StreamFrame& frame = packet.frames[i];
     if (frame.length == 0 && !frame.fin) continue;
     retransmit_queue_.push_back(frame);
   }

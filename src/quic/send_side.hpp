@@ -12,10 +12,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <map>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "cc/bandwidth_sampler.hpp"
 #include "cc/congestion_controller.hpp"
@@ -25,13 +24,16 @@
 #include "quic/config.hpp"
 #include "quic/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_map.hpp"
 
 namespace qperc::quic {
 
 class QuicSendSide {
  public:
   /// Emits a data packet; the connection piggybacks ACK state and routes it.
-  using EmitFn = std::function<void(QuicPacket)>;
+  /// SmallFunction, not std::function: the capture is a connection pointer,
+  /// and the packet-emit path runs hundreds of times per trial.
+  using EmitFn = SmallFunction<void(QuicPacket)>;
 
   QuicSendSide(sim::Simulator& simulator, const QuicConfig& config, EmitFn emit);
   QuicSendSide(const QuicSendSide&) = delete;
@@ -79,14 +81,26 @@ class QuicSendSide {
     SimTime sent_time{0};
     std::uint32_t payload_bytes = 0;  // counted against the window
     std::uint64_t stream_bytes = 0;
-    std::vector<StreamFrame> frames;
+    /// View of the transmitted packet's frame list. The storage is arena-
+    /// owned (immutable, trial lifetime), so the view stays valid across
+    /// map erases and outlives the wire packet itself.
+    const StreamFrame* frames = nullptr;
+    std::uint32_t frame_count = 0;
   };
+
+  /// A stream the scheduling scan could pick: unsent data, or an unsent FIN.
+  /// Must match build_frames' has_data/has_fin tests exactly — the
+  /// pending_streams_ counter gates the whole scan.
+  [[nodiscard]] static bool stream_pending(const SendStream& stream) noexcept {
+    return stream.next_offset < stream.write_bytes ||
+           (stream.fin && !stream.fin_packetized);
+  }
 
   void maybe_send();
   /// Assembles the next data packet; empty frames vector == nothing to send.
-  [[nodiscard]] std::vector<StreamFrame> build_frames(std::uint32_t budget,
-                                                      bool& is_retransmission);
-  void transmit(std::vector<StreamFrame> frames, bool is_retransmission);
+  [[nodiscard]] ArenaVec<StreamFrame> build_frames(std::uint32_t budget,
+                                                   bool& is_retransmission);
+  void transmit(ArenaVec<StreamFrame> frames, bool is_retransmission);
   void detect_losses(SimTime now);
   void requeue_lost(UnackedPacket& packet);
   void enter_recovery_if_needed(std::uint64_t lost_pn);
@@ -99,19 +113,31 @@ class QuicSendSide {
   EmitFn emit_;
 
   std::unique_ptr<cc::CongestionController> cc_;
+  /// Cached cc_->uses_delivery_rate(): selects the sampler ack entry point
+  /// without a virtual call per acked packet.
+  bool cc_wants_rate_ = false;
   cc::Pacer pacer_;
   cc::RttEstimator rtt_;
   cc::BandwidthSampler sampler_;
   net::TransportStats stats_;
 
   bool established_ = false;
-  std::map<std::uint64_t, SendStream> streams_;
+  // Hot-path containers draw their storage from the trial arena and lay the
+  // entries out flat in key order: identical iteration order to std::map,
+  // zero heap traffic, and no rb-tree pointer chasing per entry (see
+  // docs/PERFORMANCE.md and util/flat_map.hpp).
+  FlatMap<std::uint64_t, SendStream> streams_;
+  /// Streams with unsent data or an un-packetized FIN. Maintained at the two
+  /// mutation sites (write_stream, build_frames' serve step) so build_frames
+  /// can skip its scheduling scan when there is provably nothing to send —
+  /// the common steady state between ACKs.
+  std::size_t pending_streams_ = 0;
   std::uint64_t last_served_stream_ = 0;
-  std::deque<StreamFrame> retransmit_queue_;
+  std::deque<StreamFrame, ArenaAllocator<StreamFrame>> retransmit_queue_;
 
   std::uint64_t next_packet_number_ = 1;
   std::uint64_t largest_acked_ = 0;
-  std::map<std::uint64_t, UnackedPacket> unacked_;
+  FlatMap<std::uint64_t, UnackedPacket> unacked_;
   std::uint64_t bytes_in_flight_ = 0;
 
   std::uint64_t peer_connection_limit_ = 0;  // set by the constructor
@@ -131,7 +157,8 @@ class QuicSendSide {
   // untraced runs are bit-identical).
   std::uint64_t trace_flow_ = 0;
   trace::Endpoint trace_endpoint_ = trace::Endpoint::kNone;
-  std::set<std::uint64_t> traced_lost_pns_;  // declared lost; ack later = spurious
+  std::set<std::uint64_t, std::less<std::uint64_t>, ArenaAllocator<std::uint64_t>>
+      traced_lost_pns_;  // declared lost; ack later = spurious
   bool fc_blocked_ = false;                  // inside a flow-control stall
   SimTime fc_blocked_since_{0};
 };

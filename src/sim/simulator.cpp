@@ -101,11 +101,11 @@ bool Simulator::normalize_top() {
       continue;
     }
     if (slot.deadline != entry.time || slot.seq != entry.seq) {
-      // Deferred re-arm: move the tracked record to the current deadline.
-      queue_.pop();
+      // Deferred re-arm: move the tracked record to the current deadline
+      // (replace_top = pop+push fused into one sift-down).
       slot.queued_time = slot.deadline;
       slot.queued_seq = slot.seq;
-      queue_.push(QueueEntry{slot.deadline, slot.seq, entry.slot, slot.generation});
+      queue_.replace_top(QueueEntry{slot.deadline, slot.seq, entry.slot, slot.generation});
       continue;
     }
     return true;
@@ -130,6 +130,22 @@ bool Simulator::step() {
   ++events_processed_;
   fn();
   return true;
+}
+
+void Simulator::reset() noexcept {
+  // clear() keeps vector capacity on both containers, and the emptied slab
+  // regrows through the same push_back sequence as a cold start — slot 0 is
+  // handed out first either way — so a reset simulator is indistinguishable
+  // from a fresh one to every client, including the FIFO tie-break order.
+  queue_.clear();
+  slots_.clear();  // destroys callbacks (releasing any heap-fallback captures)
+  arena_.reset();
+  now_ = SimTime{0};
+  next_seq_ = 0;
+  events_processed_ = 0;
+  live_slots_ = 0;
+  free_head_ = kNilSlot;
+  stop_requested_ = false;
 }
 
 bool Simulator::run(std::uint64_t max_events) {

@@ -12,6 +12,17 @@ constexpr std::uint32_t kClientHelloWireBytes = 350;
 constexpr std::array<std::uint32_t, 3> kServerFlightWireBytes = {1500, 1500, 1360};
 constexpr SimDuration kInitialHandshakeTimeout = seconds(1);
 
+std::uint64_t client_rwnd_for(const net::NetworkProfile& profile, const TcpConfig& config) {
+  return config.tuned_buffers ? tuned_rwnd_bytes(profile.downlink_bdp_bytes())
+                              : config.autotune_initial_rwnd_bytes;
+}
+
+std::uint64_t server_rwnd_for(const net::NetworkProfile& profile, const TcpConfig& config) {
+  const std::uint64_t up_bdp =
+      std::max<std::uint64_t>(bdp_bytes(profile.uplink, profile.min_rtt), 4 * net::kMtuBytes);
+  return config.tuned_buffers ? tuned_rwnd_bytes(up_bdp) : config.autotune_initial_rwnd_bytes;
+}
+
 }  // namespace
 
 TcpConnection::TcpConnection(sim::Simulator& simulator, net::EmulatedNetwork& network,
@@ -23,53 +34,38 @@ TcpConnection::TcpConnection(sim::Simulator& simulator, net::EmulatedNetwork& ne
       config_(config),
       callbacks_(std::move(callbacks)),
       flow_(network.allocate_flow_id()),
+      // Send buffers: large enough to never starve the congestion window,
+      // small enough that the HTTP/2 scheduler (not the socket) decides
+      // interleaving.
+      client_sender_(simulator_, config_, /*sndbuf_bytes=*/256 * 1024,
+                     [this](TcpSegment s) { client_emit(std::move(s)); }),
+      server_sender_(simulator_, config_,
+                     tuned_rwnd_bytes(network.profile().downlink_bdp_bytes()) + 64 * 1024,
+                     [this](TcpSegment s) { server_emit(std::move(s)); }),
+      client_receiver_(
+          simulator_, config_, client_rwnd_for(network.profile(), config),
+          [this] {
+            TcpSegment ack;
+            client_emit(std::move(ack));
+          },
+          [this](std::uint64_t total) {
+            if (callbacks_.on_response_bytes) callbacks_.on_response_bytes(total);
+          }),
+      server_receiver_(
+          simulator_, config_, server_rwnd_for(network.profile(), config),
+          [this] {
+            TcpSegment ack;
+            server_emit(std::move(ack));
+          },
+          [this](std::uint64_t total) {
+            if (callbacks_.on_request_bytes) callbacks_.on_request_bytes(total);
+          }),
       client_hs_timer_(simulator, [this] { on_client_handshake_timeout(); }) {
-  const auto& profile = network_.profile();
-  const std::uint64_t down_bdp = profile.downlink_bdp_bytes();
-  const std::uint64_t up_bdp =
-      std::max<std::uint64_t>(bdp_bytes(profile.uplink, profile.min_rtt), 4 * net::kMtuBytes);
-
-  const std::uint64_t client_rwnd = config.tuned_buffers
-                                        ? tuned_rwnd_bytes(down_bdp)
-                                        : config.autotune_initial_rwnd_bytes;
-  const std::uint64_t server_rwnd = config.tuned_buffers
-                                        ? tuned_rwnd_bytes(up_bdp)
-                                        : config.autotune_initial_rwnd_bytes;
-
-  // Send buffers: large enough to never starve the congestion window, small
-  // enough that the HTTP/2 scheduler (not the socket) decides interleaving.
-  const std::uint64_t server_sndbuf = tuned_rwnd_bytes(down_bdp) + 64 * 1024;
-  const std::uint64_t client_sndbuf = 256 * 1024;
-
-  client_sender_ = std::make_unique<TcpSender>(
-      simulator_, config_, client_sndbuf, [this](TcpSegment s) { client_emit(std::move(s)); });
-  server_sender_ = std::make_unique<TcpSender>(
-      simulator_, config_, server_sndbuf, [this](TcpSegment s) { server_emit(std::move(s)); });
-
-  client_receiver_ = std::make_unique<TcpReceiver>(
-      simulator_, config_, client_rwnd,
-      [this] {
-        TcpSegment ack;
-        client_emit(std::move(ack));
-      },
-      [this](std::uint64_t total) {
-        if (callbacks_.on_response_bytes) callbacks_.on_response_bytes(total);
-      });
-  server_receiver_ = std::make_unique<TcpReceiver>(
-      simulator_, config_, server_rwnd,
-      [this] {
-        TcpSegment ack;
-        server_emit(std::move(ack));
-      },
-      [this](std::uint64_t total) {
-        if (callbacks_.on_request_bytes) callbacks_.on_request_bytes(total);
-      });
-
   const auto trace_flow = static_cast<std::uint64_t>(flow_);
-  client_sender_->set_trace_context(trace_flow, trace::Endpoint::kClient);
-  server_sender_->set_trace_context(trace_flow, trace::Endpoint::kServer);
-  client_receiver_->set_trace_context(trace_flow, trace::Endpoint::kClient);
-  server_receiver_->set_trace_context(trace_flow, trace::Endpoint::kServer);
+  client_sender_.set_trace_context(trace_flow, trace::Endpoint::kClient);
+  server_sender_.set_trace_context(trace_flow, trace::Endpoint::kServer);
+  client_receiver_.set_trace_context(trace_flow, trace::Endpoint::kClient);
+  server_receiver_.set_trace_context(trace_flow, trace::Endpoint::kServer);
 
   network_.register_client_flow(flow_, [this](net::Packet p) { client_on_packet(p); });
   network_.register_server_flow(flow_, [this](net::Packet p) { server_on_packet(p); });
@@ -115,7 +111,7 @@ void TcpConnection::connect() {
 
 void TcpConnection::send_handshake(bool from_client, HandshakeStep step) {
   const auto emit = [&](std::uint32_t wire, std::uint8_t index, std::uint8_t flight_size) {
-    auto segment = std::make_shared<TcpSegment>();
+    auto* segment = simulator_.arena().create<TcpSegment>();
     segment->handshake = step;
     segment->flight_index = index;
     segment->flight_size = flight_size;
@@ -123,7 +119,7 @@ void TcpConnection::send_handshake(bool from_client, HandshakeStep step) {
     packet.flow = flow_;
     packet.dest_server = server_;
     packet.wire_bytes = wire;
-    packet.payload = std::move(segment);
+    packet.payload = segment;
     ++handshake_stats_.handshake_packets;
     simulator_.trace_event(trace::EventType::kHandshakePacketSent,
                            from_client ? trace::Endpoint::kClient : trace::Endpoint::kServer,
@@ -231,7 +227,7 @@ void TcpConnection::complete_client_handshake() {
   }
   // The peer's initial advertised window: what the server's request-side
   // receiver can take.
-  client_sender_->on_established(server_receiver_->rwnd_limit(), client_hs_rtt_);
+  client_sender_.on_established(server_receiver_.rwnd_limit(), client_hs_rtt_);
   simulator_.trace_event(
       trace::EventType::kHandshakeCompleted, trace::Endpoint::kClient,
       static_cast<std::uint64_t>(flow_), config_.handshake_rtts, /*bytes=*/0,
@@ -251,7 +247,7 @@ void TcpConnection::server_handshake_packet(const TcpSegment& segment) {
       if (first) {
         server_established_ = true;
         const SimDuration rtt = simulator_.now() - syn_ack_sent_at_;
-        server_sender_->on_established(client_receiver_->rwnd_limit(),
+        server_sender_.on_established(client_receiver_.rwnd_limit(),
                                        syn_ack_sent_at_ > SimTime{0} ? rtt : SimDuration{0});
       }
       // Always answer (duplicate CH means the flight was lost).
@@ -270,8 +266,8 @@ void TcpConnection::client_on_packet(const net::Packet& packet) {
     client_handshake_packet(segment);
     return;
   }
-  if (segment.has_ack) client_sender_->on_ack_received(segment);
-  if (segment.has_data) client_receiver_->on_data(segment.seq, segment.payload_bytes);
+  if (segment.has_ack) client_sender_.on_ack_received(segment);
+  if (segment.has_data) client_receiver_.on_data(segment.seq, segment.payload_bytes);
 }
 
 void TcpConnection::server_on_packet(const net::Packet& packet) {
@@ -283,14 +279,14 @@ void TcpConnection::server_on_packet(const net::Packet& packet) {
   if (!server_established_) {
     // 0-RTT early data arriving before (or instead of) a crypto flight.
     server_established_ = true;
-    server_sender_->on_established(client_receiver_->rwnd_limit(), SimDuration::zero());
+    server_sender_.on_established(client_receiver_.rwnd_limit(), SimDuration::zero());
   }
-  if (segment.has_ack) server_sender_->on_ack_received(segment);
-  if (segment.has_data) server_receiver_->on_data(segment.seq, segment.payload_bytes);
+  if (segment.has_ack) server_sender_.on_ack_received(segment);
+  if (segment.has_data) server_receiver_.on_data(segment.seq, segment.payload_bytes);
 }
 
 void TcpConnection::client_emit(TcpSegment segment) {
-  client_receiver_->fill_ack(segment);
+  client_receiver_.fill_ack(segment);
   net::Packet packet;
   packet.flow = flow_;
   packet.dest_server = server_;
@@ -302,12 +298,12 @@ void TcpConnection::client_emit(TcpSegment segment) {
                            static_cast<std::uint64_t>(flow_), segment.cumulative_ack,
                            kBareAckBytes);
   }
-  packet.payload = std::make_shared<const TcpSegment>(std::move(segment));
+  packet.payload = simulator_.arena().create<TcpSegment>(segment);
   network_.client_send(std::move(packet));
 }
 
 void TcpConnection::server_emit(TcpSegment segment) {
-  server_receiver_->fill_ack(segment);
+  server_receiver_.fill_ack(segment);
   net::Packet packet;
   packet.flow = flow_;
   packet.dest_server = server_;
@@ -319,14 +315,14 @@ void TcpConnection::server_emit(TcpSegment segment) {
                            static_cast<std::uint64_t>(flow_), segment.cumulative_ack,
                            kBareAckBytes);
   }
-  packet.payload = std::make_shared<const TcpSegment>(std::move(segment));
+  packet.payload = simulator_.arena().create<TcpSegment>(segment);
   network_.server_send(std::move(packet));
 }
 
 net::TransportStats TcpConnection::stats() const {
   net::TransportStats total = handshake_stats_;
-  total += client_sender_->stats();
-  total += server_sender_->stats();
+  total += client_sender_.stats();
+  total += server_sender_.stats();
   return total;
 }
 

@@ -11,8 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 
 #include "net/emulated_network.hpp"
 #include "net/transport_stats.hpp"
@@ -28,11 +26,11 @@ class TcpConnection {
  public:
   struct Callbacks {
     /// Client-side handshake completion: the request may now flow.
-    std::function<void()> on_established;
+    SmallFunction<void()> on_established;
     /// Server side: total in-order client->server bytes delivered so far.
-    std::function<void(std::uint64_t)> on_request_bytes;
+    SmallFunction<void(std::uint64_t)> on_request_bytes;
     /// Client side: total in-order server->client bytes delivered so far.
-    std::function<void(std::uint64_t)> on_response_bytes;
+    SmallFunction<void(std::uint64_t)> on_response_bytes;
   };
 
   TcpConnection(sim::Simulator& simulator, net::EmulatedNetwork& network,
@@ -48,22 +46,22 @@ class TcpConnection {
 
   /// Client -> server stream (requests). Bytes may be written before the
   /// handshake completes; they are buffered and flushed on establishment.
-  std::uint64_t client_write(std::uint64_t bytes) { return client_sender_->write(bytes); }
+  std::uint64_t client_write(std::uint64_t bytes) { return client_sender_.write(bytes); }
   [[nodiscard]] std::uint64_t client_writable() const {
-    return client_sender_->writable_bytes();
+    return client_sender_.writable_bytes();
   }
 
   /// Server -> client stream (responses).
-  std::uint64_t server_write(std::uint64_t bytes) { return server_sender_->write(bytes); }
+  std::uint64_t server_write(std::uint64_t bytes) { return server_sender_.write(bytes); }
   [[nodiscard]] std::uint64_t server_writable() const {
-    return server_sender_->writable_bytes();
+    return server_sender_.writable_bytes();
   }
-  void set_server_on_writable(std::function<void()> cb) {
-    server_sender_->set_on_writable(std::move(cb));
+  void set_server_on_writable(SmallFunction<void()> cb) {
+    server_sender_.set_on_writable(std::move(cb));
   }
 
-  [[nodiscard]] const TcpSender& server_sender() const { return *server_sender_; }
-  [[nodiscard]] const TcpSender& client_sender() const { return *client_sender_; }
+  [[nodiscard]] const TcpSender& server_sender() const { return server_sender_; }
+  [[nodiscard]] const TcpSender& client_sender() const { return client_sender_; }
   /// Combined counters of both directions plus handshake traffic.
   [[nodiscard]] net::TransportStats stats() const;
   [[nodiscard]] net::FlowId flow() const noexcept { return flow_; }
@@ -89,10 +87,14 @@ class TcpConnection {
   Callbacks callbacks_;
   net::FlowId flow_;
 
-  std::unique_ptr<TcpSender> client_sender_;
-  std::unique_ptr<TcpSender> server_sender_;
-  std::unique_ptr<TcpReceiver> client_receiver_;  // receives responses
-  std::unique_ptr<TcpReceiver> server_receiver_;  // receives requests
+  // Both directions live inline: a connection is one allocation, which is
+  // what keeps the per-trial budget in docs/PERFORMANCE.md honest. Their
+  // callbacks capture `this` only, so construction order is safe (they are
+  // invoked well after the constructor returns).
+  TcpSender client_sender_;
+  TcpSender server_sender_;
+  TcpReceiver client_receiver_;  // receives responses
+  TcpReceiver server_receiver_;  // receives requests
 
   ClientHsState client_hs_ = ClientHsState::kIdle;
   bool client_established_ = false;

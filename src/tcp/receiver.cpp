@@ -13,12 +13,15 @@ constexpr SimDuration kDelayedAckTimeout = milliseconds(40);
 }  // namespace
 
 TcpReceiver::TcpReceiver(sim::Simulator& simulator, const TcpConfig& config,
-                         std::uint64_t rwnd_limit_bytes, std::function<void()> send_ack_now,
-                         std::function<void(std::uint64_t)> on_delivered)
+                         std::uint64_t rwnd_limit_bytes, SmallFunction<void()> send_ack_now,
+                         SmallFunction<void(std::uint64_t)> on_delivered)
     : simulator_(simulator),
       config_(config),
       send_ack_now_(std::move(send_ack_now)),
       on_delivered_(std::move(on_delivered)),
+      ooo_ranges_(ArenaAllocator<std::pair<const std::uint64_t, std::uint64_t>>(
+          simulator.arena())),
+      recency_(ArenaAllocator<std::uint64_t>(simulator.arena())),
       rwnd_limit_(rwnd_limit_bytes),
       autotuning_(!config.tuned_buffers),
       delayed_ack_timer_(simulator, [this] { send_ack_now_(); }) {}
@@ -122,16 +125,16 @@ void TcpReceiver::fill_ack(TcpSegment& segment) {
   segment.has_ack = true;
   segment.cumulative_ack = rcv_nxt_;
   segment.receive_window_bytes = advertised_window();
-  segment.sack_blocks.clear();
+  segment.sack_count = 0;
   for (const std::uint64_t start : recency_) {
-    if (segment.sack_blocks.size() >= kMaxSackBlocks) break;
+    if (segment.sack_count >= kMaxSackBlocks) break;
     const auto it = ooo_ranges_.find(start);
     if (it == ooo_ranges_.end()) continue;
     // Every advertised block must be a real, non-empty range strictly above
     // the cumulative ACK; blocks are disjoint because ooo_ranges_ is.
     QPERC_DCHECK_LT(it->first, it->second);
     QPERC_DCHECK_GT(it->first, segment.cumulative_ack);
-    segment.sack_blocks.push_back(SackBlock{it->first, it->second});
+    segment.sack_blocks[segment.sack_count++] = SackBlock{it->first, it->second};
   }
   QPERC_DCHECK_LE(segment.receive_window_bytes, rwnd_limit_);
   full_packets_since_ack_ = 0;

@@ -7,13 +7,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <vector>
 
 #include "sim/simulator.hpp"
 #include "tcp/config.hpp"
 #include "tcp/segment.hpp"
+#include "util/arena.hpp"
 
 namespace qperc::tcp {
 
@@ -23,8 +23,8 @@ class TcpReceiver {
   /// current_ack(); `on_delivered(total)` reports in-order delivery progress
   /// to the application (HTTP layer).
   TcpReceiver(sim::Simulator& simulator, const TcpConfig& config,
-              std::uint64_t rwnd_limit_bytes, std::function<void()> send_ack_now,
-              std::function<void(std::uint64_t)> on_delivered);
+              std::uint64_t rwnd_limit_bytes, SmallFunction<void()> send_ack_now,
+              SmallFunction<void(std::uint64_t)> on_delivered);
 
   TcpReceiver(const TcpReceiver&) = delete;
   TcpReceiver& operator=(const TcpReceiver&) = delete;
@@ -51,18 +51,21 @@ class TcpReceiver {
 
   sim::Simulator& simulator_;
   TcpConfig config_;
-  std::function<void()> send_ack_now_;
-  std::function<void(std::uint64_t)> on_delivered_;
+  SmallFunction<void()> send_ack_now_;
+  SmallFunction<void(std::uint64_t)> on_delivered_;
 
   std::uint64_t trace_flow_ = 0;
   trace::Endpoint trace_endpoint_ = trace::Endpoint::kNone;
 
   std::uint64_t rcv_nxt_ = 0;
   /// Out-of-order ranges [start, end), non-overlapping, above rcv_nxt_.
-  std::map<std::uint64_t, std::uint64_t> ooo_ranges_;
+  /// Arena-backed nodes: reassembly churn under loss stays heap-free.
+  std::map<std::uint64_t, std::uint64_t, std::less<std::uint64_t>,
+           ArenaAllocator<std::pair<const std::uint64_t, std::uint64_t>>>
+      ooo_ranges_;
   /// Range starts ordered by update recency (most recent first) for RFC 2018
   /// SACK block selection.
-  std::vector<std::uint64_t> recency_;
+  std::vector<std::uint64_t, ArenaAllocator<std::uint64_t>> recency_;
 
   std::uint64_t rwnd_limit_ = 0;   // set by the constructor
   bool autotuning_ = false;        // set by the constructor

@@ -1,8 +1,10 @@
 // On-the-wire TCP segment representation for the emulated network.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <span>
+#include <type_traits>
 
 #include "net/packet.hpp"
 
@@ -46,10 +48,20 @@ struct TcpSegment final : net::Payload {
   std::uint32_t payload_bytes = 0;
 
   // Acknowledgment part (piggybacked on every segment once established).
+  // SACK blocks are stored inline (the option-space cap makes them tiny),
+  // which keeps the segment trivially destructible so it can live in the
+  // trial arena.
   bool has_ack = false;
+  std::uint8_t sack_count = 0;
   std::uint64_t cumulative_ack = 0;
-  std::vector<SackBlock> sack_blocks;
+  SackBlock sack_blocks[kMaxSackBlocks];
   std::uint64_t receive_window_bytes = 0;
+
+  [[nodiscard]] std::span<const SackBlock> sacks() const noexcept {
+    return {sack_blocks, sack_count};
+  }
 };
+static_assert(std::is_trivially_destructible_v<TcpSegment>,
+              "TcpSegment lives in the trial arena");
 
 }  // namespace qperc::tcp

@@ -23,9 +23,14 @@ TcpSender::TcpSender(sim::Simulator& simulator, const TcpConfig& config,
                              .initial_quantum_segments = 10,
                              .refill_quantum_segments = 2,
                              .segment_bytes = static_cast<std::uint32_t>(config.mss)}),
+      sampler_(simulator.arena()),
       send_buffer_bytes_(send_buffer_bytes),
+      segments_(ArenaAllocator<std::pair<const std::uint64_t, SegmentRecord>>(
+          simulator.arena())),
       retx_timer_(simulator, [this] { on_retransmission_timer(); }),
-      send_timer_(simulator, [this] { maybe_send(); }) {}
+      send_timer_(simulator, [this] { maybe_send(); }) {
+  cc_wants_rate_ = cc_->uses_delivery_rate();
+}
 
 void TcpSender::on_established(std::uint64_t initial_peer_rwnd, SimDuration handshake_rtt) {
   QPERC_DCHECK(!established_) << "TCP sender established twice";
@@ -210,7 +215,11 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
   cc::RateSample best_rate_sample{};
   bool have_rate_sample = false;
   const auto consider_rate_sample = [&](std::uint64_t packet_id) {
-    if (const auto sample = sampler_.on_packet_acked(packet_id, now)) {
+    if (!cc_wants_rate_) {
+      // Loss-based controller: same bookkeeping and same have_rate gate,
+      // minus the rate arithmetic nobody reads.
+      have_rate_sample |= sampler_.on_packet_acked_no_sample(packet_id, now);
+    } else if (const auto sample = sampler_.on_packet_acked(packet_id, now)) {
       if (!have_rate_sample ||
           sample->delivery_rate > best_rate_sample.delivery_rate) {
         best_rate_sample = *sample;
@@ -233,7 +242,7 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
   }
 
   // Selective acknowledgments.
-  for (const auto& block : segment.sack_blocks) {
+  for (const auto& block : segment.sacks()) {
     QPERC_DCHECK_LT(block.start, block.end) << "empty SACK block";
     QPERC_DCHECK_LE(block.end, next_seq_) << "SACK block beyond SND.NXT";
     for (auto it = segments_.lower_bound(block.start);

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 
@@ -19,14 +18,17 @@
 #include "sim/simulator.hpp"
 #include "tcp/config.hpp"
 #include "tcp/segment.hpp"
+#include "util/arena.hpp"
 
 namespace qperc::tcp {
 
 class TcpSender {
  public:
   /// `send_segment` hands a fully built data segment (without ACK fields —
-  /// the connection piggybacks those) to the wire.
-  using SendFn = std::function<void(TcpSegment)>;
+  /// the connection piggybacks those) to the wire. SmallFunction, not
+  /// std::function: the capture is a connection pointer, and the segment-emit
+  /// path runs hundreds of times per trial.
+  using SendFn = SmallFunction<void(TcpSegment)>;
 
   TcpSender(sim::Simulator& simulator, const TcpConfig& config,
             std::uint64_t send_buffer_bytes, SendFn send_segment);
@@ -43,7 +45,7 @@ class TcpSender {
   /// (bounded by the send buffer); the rest must wait for on_writable.
   std::uint64_t write(std::uint64_t bytes);
   [[nodiscard]] std::uint64_t writable_bytes() const;
-  void set_on_writable(std::function<void()> cb) { on_writable_ = std::move(cb); }
+  void set_on_writable(SmallFunction<void()> cb) { on_writable_ = std::move(cb); }
 
   /// Processes the acknowledgment fields of an incoming segment.
   void on_ack_received(const TcpSegment& segment);
@@ -96,12 +98,15 @@ class TcpSender {
   sim::Simulator& simulator_;
   TcpConfig config_;
   SendFn send_segment_;
-  std::function<void()> on_writable_;
+  SmallFunction<void()> on_writable_;
 
   std::uint64_t trace_flow_ = 0;
   trace::Endpoint trace_endpoint_ = trace::Endpoint::kNone;
 
   std::unique_ptr<cc::CongestionController> cc_;
+  /// Cached cc_->uses_delivery_rate(): selects the sampler ack entry point
+  /// without a virtual call per acked segment.
+  bool cc_wants_rate_ = false;
   cc::Pacer pacer_;
   cc::RttEstimator rtt_;
   cc::BandwidthSampler sampler_;
@@ -114,7 +119,12 @@ class TcpSender {
   std::uint64_t highest_cum_ack_ = 0;  // snd_una
   std::uint64_t peer_rwnd_ = 0;
   std::uint64_t outstanding_bytes_ = 0;  // the SACK "pipe"
-  std::map<std::uint64_t, SegmentRecord> segments_;  // keyed by start seq
+  /// Keyed by start seq. Nodes come from the trial arena: insert/erase churn
+  /// during recovery never touches the heap (ordering and iteration are those
+  /// of a plain std::map, so results are unchanged).
+  std::map<std::uint64_t, SegmentRecord, std::less<std::uint64_t>,
+           ArenaAllocator<std::pair<const std::uint64_t, SegmentRecord>>>
+      segments_;
 
   std::uint64_t next_packet_id_ = 1;
   SimTime last_send_time_{0};

@@ -1,0 +1,66 @@
+// Counting replacement for global operator new/delete.
+//
+// Include this header in EXACTLY ONE translation unit of a binary (usually
+// the file holding main()): replacement allocation functions must be
+// non-inline, so a second inclusion in the same binary is an ODR violation
+// the linker will reject. The shim is how the repo's "allocation-free hot
+// path" claims stay measured rather than asserted — bench_micro_perf, the
+// `qperc bench throughput` subcommand, and tests/alloc_test.cpp all count
+// with it (see docs/PERFORMANCE.md).
+//
+// Counting is a single relaxed atomic increment per allocation: cheap enough
+// to leave on for whole-binary baselines, and thread-safe so campaign worker
+// threads do not race the counter.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace qperc {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_heap_allocations{0};
+}  // namespace detail
+
+/// Global heap allocations observed since process start (monotonic).
+/// Subtract two readings to count a region's allocations.
+[[nodiscard]] inline std::uint64_t heap_allocations() noexcept {
+  return detail::g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace qperc
+
+// GCC pairs the replaced operator new (malloc) with the replaced operator
+// delete (free) just fine at runtime, but its mismatched-new-delete analysis
+// does not model user replacements; silence it for the interposer only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  qperc::detail::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  qperc::detail::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size) {
+  qperc::detail::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  qperc::detail::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop

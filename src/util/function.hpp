@@ -53,7 +53,7 @@ class SmallFunction<R(Args...), InlineBytes> {
 
   SmallFunction(SmallFunction&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
-      ops_->relocate(other.storage_, storage_);
+      relocate_from(other);
       other.ops_ = nullptr;
     }
   }
@@ -63,7 +63,7 @@ class SmallFunction<R(Args...), InlineBytes> {
       reset();
       ops_ = other.ops_;
       if (ops_ != nullptr) {
-        ops_->relocate(other.storage_, storage_);
+        relocate_from(other);
         other.ops_ = nullptr;
       }
     }
@@ -91,6 +91,9 @@ class SmallFunction<R(Args...), InlineBytes> {
   struct Ops {
     R (*invoke)(void* storage, Args&&... args);
     /// Move-constructs the callable into `to` and destroys the one in `from`.
+    /// nullptr means the callable is trivially relocatable: moving is a raw
+    /// byte copy and destruction a no-op — the fast path for the pointer-only
+    /// captures the scheduler shuffles on every event dispatch.
     void (*relocate)(void* from, void* to) noexcept;
     void (*destroy)(void* storage) noexcept;
   };
@@ -115,16 +118,23 @@ class SmallFunction<R(Args...), InlineBytes> {
   }
 
   template <class F>
+  static constexpr bool trivially_relocatable =
+      std::is_trivially_copyable_v<F> && std::is_trivially_destructible_v<F>;
+
+  template <class F>
   static constexpr Ops kInlineOps{
       [](void* storage, Args&&... args) -> R {
         return (*inline_target<F>(storage))(std::forward<Args>(args)...);
       },
-      [](void* from, void* to) noexcept {
-        F* source = inline_target<F>(from);
-        ::new (to) F(std::move(*source));
-        source->~F();
-      },
-      [](void* storage) noexcept { inline_target<F>(storage)->~F(); },
+      trivially_relocatable<F> ? nullptr
+                               : +[](void* from, void* to) noexcept {
+                                   F* source = inline_target<F>(from);
+                                   ::new (to) F(std::move(*source));
+                                   source->~F();
+                                 },
+      trivially_relocatable<F>
+          ? nullptr
+          : +[](void* storage) noexcept { inline_target<F>(storage)->~F(); },
   };
 
   template <class F>
@@ -136,9 +146,17 @@ class SmallFunction<R(Args...), InlineBytes> {
       [](void* storage) noexcept { delete heap_target<F>(storage); },
   };
 
+  void relocate_from(SmallFunction& other) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, InlineBytes);
+    }
+  }
+
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(storage_);
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
       ops_ = nullptr;
     }
   }

@@ -34,6 +34,12 @@ class RingBuffer {
     return slab_[head_];
   }
 
+  /// Element `i` positions behind the front (0 = front).
+  [[nodiscard]] const T& at(std::size_t i) const noexcept {
+    QPERC_DCHECK_LT(i, size_) << "RingBuffer::at out of range";
+    return slab_[(head_ + i) & (slab_.size() - 1)];
+  }
+
   T pop_front() {
     QPERC_DCHECK(!empty()) << "pop_front() on an empty RingBuffer";
     T value = std::move(slab_[head_]);

@@ -1,0 +1,93 @@
+// Steady-state allocation budget of the page-load hot path, measured with
+// the counting operator new/delete shim (util/alloc_interpose.hpp — this
+// test binary's one and only TU, as the shim requires).
+//
+// A reused TrialContext must run trials with a bounded, small number of heap
+// allocations: the event slab, the trial arena, and the flat containers keep
+// their storage across Simulator::reset(), so the only per-trial heap traffic
+// left is the per-origin session objects and the result copy-out. The budget
+// below (kMaxAllocationsPerTrial) is the ratcheted contract documented in
+// docs/PERFORMANCE.md and recorded in BENCH_micro.json; raising it needs a
+// PERFORMANCE.md update, not just a bigger constant.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/trial.hpp"
+#include "core/trial_context.hpp"
+#include "net/profile.hpp"
+#include "util/alloc_interpose.hpp"
+#include "web/website.hpp"
+
+namespace qperc {
+namespace {
+
+/// Hard ceiling on heap allocations per steady-state trial, both stacks.
+/// BENCH_micro.json currently records 18 for the QUIC reference condition;
+/// the gap to 50 is headroom for legitimate feature work, not noise.
+constexpr std::uint64_t kMaxAllocationsPerTrial = 50;
+
+/// Trials measured after warm-up. Small enough for a debug-build ctest,
+/// large enough that a per-trial leak of even one allocation is visible.
+constexpr int kMeasuredTrials = 50;
+constexpr int kWarmupTrials = 3;
+
+const web::Website& site_by_name(const std::vector<web::Website>& catalog,
+                                 const std::string& name) {
+  for (const auto& site : catalog) {
+    if (site.name == name) return site;
+  }
+  throw std::runtime_error("site not in catalog: " + name);
+}
+
+std::uint64_t steady_state_allocs_per_trial(const std::string& protocol_name) {
+  const auto catalog = web::study_catalog(7);
+  const web::Website& site = site_by_name(catalog, "apache.org");
+  const auto& protocol = core::protocol_by_name(protocol_name);
+  const net::NetworkProfile profile = net::dsl_profile();
+
+  core::TrialContext context;
+  std::uint64_t seed = 1;
+  // Warm-up grows arena blocks and container capacities to their high-water
+  // marks; the timed region below is the steady state users and benches see.
+  for (int i = 0; i < kWarmupTrials; ++i) {
+    const auto result = context.run(core::TrialSpec(site, protocol, profile, seed++));
+    EXPECT_TRUE(result.metrics.finished);
+  }
+
+  const std::uint64_t before = heap_allocations();
+  for (int i = 0; i < kMeasuredTrials; ++i) {
+    const auto result = context.run(core::TrialSpec(site, protocol, profile, seed++));
+    EXPECT_TRUE(result.metrics.finished);
+  }
+  return (heap_allocations() - before) / kMeasuredTrials;
+}
+
+TEST(AllocBudget, QuicSteadyStateTrialStaysInBudget) {
+  const std::uint64_t allocs = steady_state_allocs_per_trial("QUIC");
+  EXPECT_LE(allocs, kMaxAllocationsPerTrial)
+      << "QUIC steady-state trial allocates more than the documented budget; "
+         "see docs/PERFORMANCE.md before raising kMaxAllocationsPerTrial";
+}
+
+TEST(AllocBudget, TcpSteadyStateTrialStaysInBudget) {
+  const std::uint64_t allocs = steady_state_allocs_per_trial("TCP");
+  EXPECT_LE(allocs, kMaxAllocationsPerTrial)
+      << "TCP steady-state trial allocates more than the documented budget; "
+         "see docs/PERFORMANCE.md before raising kMaxAllocationsPerTrial";
+}
+
+/// The counting shim itself: a heap allocation visibly moves the counter.
+TEST(AllocBudget, InterposerCountsAllocations) {
+  const std::uint64_t before = heap_allocations();
+  auto* p = new std::uint64_t(42);
+  EXPECT_GT(heap_allocations(), before);
+  delete p;
+}
+
+}  // namespace
+}  // namespace qperc

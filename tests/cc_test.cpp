@@ -10,6 +10,7 @@
 #include "cc/pacer.hpp"
 #include "cc/rtt_estimator.hpp"
 #include "cc/windowed_filter.hpp"
+#include "util/arena.hpp"
 
 namespace qperc::cc {
 namespace {
@@ -245,7 +246,8 @@ TEST(Pacer, IdleRestartRegrantsBurst) {
 }
 
 TEST(BandwidthSampler, MeasuresDeliveryRate) {
-  BandwidthSampler sampler;
+  Arena arena;
+  BandwidthSampler sampler(arena);
   SimTime t0{0};
   // Two packets sent back to back, acked 100 ms apart.
   sampler.on_packet_sent(1, 10'000, t0, 0);
@@ -260,7 +262,8 @@ TEST(BandwidthSampler, MeasuresDeliveryRate) {
 }
 
 TEST(BandwidthSampler, AppLimitedMarksSubsequentSends) {
-  BandwidthSampler sampler;
+  Arena arena;
+  BandwidthSampler sampler(arena);
   SimTime t0{0};
   sampler.on_packet_sent(1, 1000, t0, 0);
   sampler.on_app_limited();
@@ -272,7 +275,8 @@ TEST(BandwidthSampler, AppLimitedMarksSubsequentSends) {
 }
 
 TEST(BandwidthSampler, UnknownOrLostPacketsYieldNoSample) {
-  BandwidthSampler sampler;
+  Arena arena;
+  BandwidthSampler sampler(arena);
   EXPECT_FALSE(sampler.on_packet_acked(42, SimTime{seconds(1)}).has_value());
   sampler.on_packet_sent(1, 1000, SimTime{0}, 0);
   sampler.on_packet_lost(1);

@@ -119,7 +119,7 @@ TEST(CheckInvariants, QuicSendSideRejectsAckOfUnsentPacket) {
 
   quic::QuicPacket forged;
   forged.has_ack = true;
-  forged.ack_ranges.emplace_back(5, 9);  // nothing was ever sent
+  forged.ack_ranges.emplace_back(simulator.arena(), 5u, 9u);  // nothing was ever sent
   send_side.on_ack_frame(forged);
   ASSERT_GE(g_violations, 1);
   EXPECT_NE(g_messages[0].find("never sent"), std::string::npos);

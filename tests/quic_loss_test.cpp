@@ -24,7 +24,9 @@ struct SenderHarness {
   void ack(std::initializer_list<std::pair<std::uint64_t, std::uint64_t>> ranges) {
     QuicPacket ack_packet;
     ack_packet.has_ack = true;
-    for (const auto& range : ranges) ack_packet.ack_ranges.emplace_back(range);
+    for (const auto& range : ranges) {
+      ack_packet.ack_ranges.emplace_back(simulator.arena(), range.first, range.second);
+    }
     sender.on_ack_frame(ack_packet);
   }
 
@@ -156,7 +158,7 @@ TEST(QuicSendSide, WindowUpdatesUnblockStreams) {
   EXPECT_LE(sent_bytes, 4'000u);  // blocked at the stream window
 
   QuicPacket update;
-  update.window_updates.push_back(WindowUpdate{5, 20'000});
+  update.window_updates.push_back(harness.simulator.arena(), WindowUpdate{5, 20'000});
   harness.sender.on_window_updates(update);
   harness.simulator.run_until(harness.simulator.now() + milliseconds(50));
   sent_bytes = 0;

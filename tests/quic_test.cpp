@@ -159,8 +159,8 @@ TEST(QuicReceiveSide, ReassemblesStreamsIndependently) {
   QuicPacket p1;
   p1.packet_number = 1;
   p1.ack_eliciting = true;
-  p1.frames.push_back(StreamFrame{5, 0, 1000, false});
-  p1.frames.push_back(StreamFrame{7, 500, 500, true});  // stream 7 has a hole
+  p1.frames.push_back(simulator.arena(), StreamFrame{5, 0, 1000, false});
+  p1.frames.push_back(simulator.arena(), StreamFrame{7, 500, 500, true});  // stream 7 has a hole
   receiver.on_packet(p1);
   EXPECT_EQ(progress[5].bytes, 1000u);
   EXPECT_EQ(progress.count(7), 0u);  // no contiguous progress yet
@@ -168,7 +168,7 @@ TEST(QuicReceiveSide, ReassemblesStreamsIndependently) {
   QuicPacket p2;
   p2.packet_number = 2;
   p2.ack_eliciting = true;
-  p2.frames.push_back(StreamFrame{7, 0, 500, false});  // fill stream 7's hole
+  p2.frames.push_back(simulator.arena(), StreamFrame{7, 0, 500, false});  // fill stream 7's hole
   receiver.on_packet(p2);
   EXPECT_EQ(progress[7].bytes, 1000u);
   EXPECT_TRUE(progress[7].fin);
@@ -186,7 +186,7 @@ TEST(QuicReceiveSide, DuplicatePacketsIgnored) {
   QuicPacket packet;
   packet.packet_number = 1;
   packet.ack_eliciting = true;
-  packet.frames.push_back(StreamFrame{5, 0, 1000, false});
+  packet.frames.push_back(simulator.arena(), StreamFrame{5, 0, 1000, false});
   receiver.on_packet(packet);
   receiver.on_packet(packet);  // duplicate
   EXPECT_EQ(delivered, 1000u);

@@ -135,7 +135,7 @@ TEST(TcpSackLimit, ReceiverAdvertisesAtMostThreeBlocks) {
     receiver.on_data(10'000 * (i + 1), 1'000);
   }
   receiver.fill_ack(last_ack);
-  EXPECT_EQ(last_ack.sack_blocks.size(), 3u);
+  EXPECT_EQ(last_ack.sacks().size(), 3u);
   EXPECT_EQ(last_ack.cumulative_ack, 0u);
   // Most recently received range first (RFC 2018).
   EXPECT_EQ(last_ack.sack_blocks[0].start, 50'000u);

@@ -10,7 +10,10 @@
 //                  [--runs R] [--sites N] [--seed K]
 //   qperc campaign run|status|export    the full experiment grid as a
 //                  durable, resumable, parallel campaign (src/runner)
+//   qperc bench throughput              steady-state trial throughput through
+//                  a reused TrialContext (trials/sec, allocations/trial)
 #include <charconv>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +26,7 @@
 
 #include "core/protocol.hpp"
 #include "core/trial.hpp"
+#include "core/trial_context.hpp"
 #include "core/video.hpp"
 #include "net/profile.hpp"
 #include "runner/campaign.hpp"
@@ -35,6 +39,9 @@
 #include "study/rating_study.hpp"
 #include "trace/counters.hpp"
 #include "trace/jsonl_sink.hpp"
+// The one TU of this binary holding the counting operator new/delete shim:
+// `bench throughput` reports measured allocations/trial, not estimates.
+#include "util/alloc_interpose.hpp"
 #include "util/table.hpp"
 #include "web/catalog_io.hpp"
 #include "web/website.hpp"
@@ -126,7 +133,9 @@ int usage() {
          "                  [--retries N] [--no-counters] [--quiet]\n"
          "  campaign status [--out DIR] [--sites N] [--runs R] [--seed K]\n"
          "                  [--protocols A,B] [--networks A,B]\n"
-         "  campaign export [--out DIR] [--runs R] [--seed K]\n";
+         "  campaign export [--out DIR] [--runs R] [--seed K]\n"
+         "  bench throughput [--site S] [--protocol P] [--network N] [--trials N]\n"
+         "                  [--warmup N] [--seed K] [--catalog FILE]\n";
   return 2;
 }
 
@@ -649,6 +658,77 @@ int cmd_torture(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+/// Steady-state page-load throughput: runs one (site, protocol, network)
+/// condition back to back through a reused TrialContext and reports
+/// trials/sec, microseconds/trial, and heap allocations/trial — the same
+/// numbers BENCH_micro.json ratchets, but on any condition and without
+/// google-benchmark (see docs/PERFORMANCE.md "Measuring throughput").
+int cmd_bench_throughput(const Args& args) {
+  const auto catalog = resolve_catalog(args);
+  const std::string site_name = args.get("site", "apache.org");
+  const web::Website* site = nullptr;
+  for (const auto& candidate : catalog) {
+    if (candidate.name == site_name) site = &candidate;
+  }
+  if (site == nullptr) {
+    std::cerr << "unknown site '" << site_name << "' — see `qperc catalog`\n";
+    return 2;
+  }
+  const auto& protocol = core::protocol_by_name(args.get("protocol", "QUIC"));
+  const net::NetworkProfile& profile = network_by_name(args.get("network", "DSL"));
+  const std::uint64_t trials = args.get_u64("trials", 2000);
+  const std::uint64_t warmup = args.get_u64("warmup", 3);
+  if (trials == 0) {
+    std::cerr << "--trials must be at least 1\n";
+    return 2;
+  }
+  std::uint64_t seed = args.get_u64("seed", 1);
+
+  core::TrialContext context;
+  // Warm-up trials grow the arena blocks and container capacities to their
+  // high-water marks so the timed region measures the steady state.
+  for (std::uint64_t i = 0; i < warmup; ++i) {
+    static_cast<void>(context.run(core::TrialSpec(*site, protocol, profile, seed++)));
+  }
+
+  const std::uint64_t allocs_before = heap_allocations();
+  double plt_sum_ms = 0.0;
+  std::uint64_t events = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    const auto result = context.run(core::TrialSpec(*site, protocol, profile, seed++));
+    plt_sum_ms += result.metrics.plt_ms();
+    events += context.simulator().events_processed();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double total_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  const double dt = static_cast<double>(trials);
+  const std::uint64_t allocs = heap_allocations() - allocs_before;
+
+  std::cout << "bench throughput: " << site->name << " / " << protocol.name << " / "
+            << profile.name << " (" << trials << " trials, " << warmup << " warm-up)\n";
+  TextTable table({"trials/sec", "us/trial", "allocs/trial", "events/trial", "mean PLT"});
+  table.add_row({fmt_fixed(dt / (total_ns * 1e-9), 1), fmt_fixed(total_ns / dt / 1e3, 1),
+                 fmt_fixed(static_cast<double>(allocs) / dt, 2),
+                 fmt_fixed(static_cast<double>(events) / dt, 1),
+                 fmt_ms(plt_sum_ms / dt)});
+  table.print(std::cout);
+  std::cout << "arena bytes reserved: " << context.arena_bytes_reserved() << "\n";
+  return 0;
+}
+
+int cmd_bench(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  if (sub == "throughput") {
+    return cmd_bench_throughput(
+        Args(argc, argv, 3, "bench throughput",
+             {"site", "protocol", "network", "trials", "warmup", "seed", "catalog"}));
+  }
+  std::cerr << "unknown bench subcommand '" << sub << "' (throughput)\n";
+  return usage();
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string sub = argv[2];
@@ -713,6 +793,7 @@ int main(int argc, char** argv) {
           Args(argc, argv, 2, "study", {"kind", "group", "runs", "sites", "seed"}));
     }
     if (command == "campaign") return cmd_campaign(argc, argv);
+    if (command == "bench") return cmd_bench(argc, argv);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 2;  // all bad input exits 2, same as usage()
