@@ -7,7 +7,7 @@
 //   * default: the usual google-benchmark CLI (--benchmark_filter=...),
 //   * --qperc_json PATH [--qperc_iters N]: runs the fixed scheduler/timer/
 //     page-load measurement suite and writes the machine-readable
-//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v2) that
+//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v3) that
 //     scripts/bench_baseline.sh diffs against the checked-in numbers.
 //     N scales the iteration counts (default 100; 1 = smoke test).
 //
@@ -31,8 +31,10 @@
 #include "core/protocol.hpp"
 #include "core/trial.hpp"
 #include "core/trial_context.hpp"
+#include "core/video.hpp"
 #include "net/link.hpp"
 #include "net/profile.hpp"
+#include "population/population_study.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
 #include "trace/trace.hpp"
@@ -232,6 +234,42 @@ void BM_PageLoadTrialImpaired(benchmark::State& state) {
 BENCHMARK(BM_PageLoadTrialImpaired)->Args({6, 0})->Args({6, 3})
     ->Unit(benchmark::kMillisecond);
 
+/// Shared warm stimulus cache for the population-study benchmark: the
+/// per-condition trial cost is paid once and amortised, so the measurement
+/// isolates the streaming engine itself (trait sampling, funnel, rater,
+/// accumulator folds).
+core::VideoLibrary& population_library() {
+  static core::VideoLibrary library(7, 2);
+  return library;
+}
+
+population::StudySpec population_spec(std::uint64_t participants) {
+  population::StudySpec spec;
+  spec.kind = qperc::study::StudyKind::kRating;
+  spec.group = qperc::study::Group::kMicroworker;
+  spec.participants = participants;
+  spec.seed = 7;
+  spec.sites = 5;
+  spec.video_runs = 2;
+  return spec;
+}
+
+/// End-to-end streaming study throughput per worker thread. range(0) is the
+/// participant count; single job so the number is a per-core rate.
+void BM_PopulationStudy(benchmark::State& state) {
+  auto& library = population_library();
+  const auto spec = population_spec(static_cast<std::uint64_t>(state.range(0)));
+  population::RunOptions options;
+  options.jobs = 1;
+  for (auto _ : state) {
+    const auto report = population::run_streaming_study(library, spec, options);
+    benchmark::DoNotOptimize(report.accumulator.votes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("participants/iter=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PopulationStudy)->Arg(1 << 12)->Arg(1 << 14)->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // --qperc_json mode: the fixed measurement suite behind BENCH_micro.json.
 
@@ -245,6 +283,8 @@ struct MicroResults {
   double trials_per_sec = 0;
   std::uint64_t allocations_per_trial = 0;
   std::uint64_t events_per_trial = 0;
+  double participants_per_sec = 0;
+  double bytes_per_participant = 0;
 };
 
 /// Cost of schedule_in alone (drain excluded), plus steady-state allocation
@@ -336,6 +376,31 @@ void measure_trial(MicroResults& out, int scale) {
       static_cast<std::uint64_t>(rounds);
 }
 
+/// Single-core streaming-study rate and marginal heap traffic. A warm-up run
+/// settles the stimulus cache and every reusable buffer; the timed run then
+/// measures participants/sec and heap bytes per participant — the population
+/// engine's O(1)-memory claim as a ratcheted number (near zero: only
+/// per-round bookkeeping remains on the heap).
+void measure_population(MicroResults& out, int scale) {
+  auto& library = population_library();
+  population::RunOptions options;
+  options.jobs = 1;
+  const std::uint64_t participants =
+      1000ULL * static_cast<std::uint64_t>(scale < 20 ? scale : 20);
+  (void)population::run_streaming_study(library, population_spec(participants), options);
+  const std::uint64_t bytes_before = qperc::heap_bytes_allocated();
+  const auto t0 = Clock::now();
+  const auto report =
+      population::run_streaming_study(library, population_spec(participants), options);
+  const auto t1 = Clock::now();
+  benchmark::DoNotOptimize(report.accumulator.votes);
+  const double total_ns = elapsed_ns(t0, t1);
+  out.participants_per_sec = static_cast<double>(participants) / (total_ns * 1e-9);
+  out.bytes_per_participant =
+      static_cast<double>(qperc::heap_bytes_allocated() - bytes_before) /
+      static_cast<double>(participants);
+}
+
 /// Events fired by the fixed (apache.org, QUIC, DSL, seed 1) trial — a cheap
 /// canary: if scheduling behaviour drifts, this number moves and the
 /// baseline diff flags it even when timings are noisy.
@@ -361,6 +426,7 @@ int run_json_mode(const std::string& path, int scale) {
   measure_scheduler(results, scale);
   measure_rearm(results, scale);
   measure_trial(results, scale);
+  measure_population(results, scale);
   results.events_per_trial = probe_events_per_trial();
 
   std::ofstream out(path, std::ios::trunc);
@@ -371,7 +437,7 @@ int run_json_mode(const std::string& path, int scale) {
   out.precision(3);
   out << std::fixed;
   out << "{\n"
-      << "  \"schema\": \"qperc-bench-micro-v2\",\n"
+      << "  \"schema\": \"qperc-bench-micro-v3\",\n"
       << "  \"iters_scale\": " << scale << ",\n"
       << "  \"metrics\": {\n"
       << "    \"ns_per_schedule\": " << results.ns_per_schedule << ",\n"
@@ -383,7 +449,9 @@ int run_json_mode(const std::string& path, int scale) {
       << "    \"ns_per_page_load_trial\": " << results.ns_per_page_load_trial << ",\n"
       << "    \"trials_per_sec\": " << results.trials_per_sec << ",\n"
       << "    \"allocations_per_trial\": " << results.allocations_per_trial << ",\n"
-      << "    \"trace_events_per_trial\": " << results.events_per_trial << "\n"
+      << "    \"trace_events_per_trial\": " << results.events_per_trial << ",\n"
+      << "    \"participants_per_sec\": " << results.participants_per_sec << ",\n"
+      << "    \"bytes_per_participant\": " << results.bytes_per_participant << "\n"
       << "  }\n"
       << "}\n";
   out.flush();
@@ -392,7 +460,8 @@ int run_json_mode(const std::string& path, int scale) {
             << results.ns_per_rearm << ", trials/sec " << results.trials_per_sec
             << ", allocs/trial " << results.allocations_per_trial
             << ", steady-state scheduler allocs " << results.scheduler_allocs_steady_state
-            << ")\n";
+            << ", participants/sec " << results.participants_per_sec
+            << ", B/participant " << results.bytes_per_participant << ")\n";
   return 0;
 }
 

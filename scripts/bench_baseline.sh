@@ -10,7 +10,7 @@
 #                invariant metrics (steady-state allocations, re-arm queue
 #                depth) must match exactly.
 #   --smoke      run at 1 iteration and only validate the JSON schema
-#                (qperc-bench-micro-v2 with every expected metric present
+#                (qperc-bench-micro-v3 with every expected metric present
 #                and finite). Registered as the `bench_smoke` ctest.
 #   --ratchet    run full iterations but compare only the machine-independent
 #                invariants (steady-state scheduler allocations exactly;
@@ -78,20 +78,25 @@ METRICS = [
     "trials_per_sec",
     "allocations_per_trial",
     "trace_events_per_trial",
+    "participants_per_sec",
+    "bytes_per_participant",
 ]
 # Hard invariants — allocation counts and queue-depth bounds, not
 # machine-dependent timings: compared exactly regardless of --tolerance.
 # allocations_per_trial is a ratchet: lower than baseline is fine (re-run
 # with --update to bank the improvement), higher fails.
 EXACT = ["scheduler_allocs_steady_state", "rearm_queue_depth_max",
-         "allocations_per_trial"]
+         "allocations_per_trial", "bytes_per_participant"]
 # Ratcheted upper bounds (current <= baseline passes) vs strict equality.
-RATCHET = {"rearm_queue_depth_max", "allocations_per_trial"}
+# bytes_per_participant guards the population engine's O(1)-memory contract:
+# heap traffic per streamed participant may shrink but never grow.
+RATCHET = {"rearm_queue_depth_max", "allocations_per_trial",
+           "bytes_per_participant"}
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "qperc-bench-micro-v2":
+    if doc.get("schema") != "qperc-bench-micro-v3":
         sys.exit(f"bench_baseline: bad schema in {path}: {doc.get('schema')!r}")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -104,7 +109,7 @@ def load(path):
 
 current = load(sys.argv[1])
 if os.environ["MODE"] == "smoke":
-    print("bench_baseline: smoke OK (schema qperc-bench-micro-v2, "
+    print("bench_baseline: smoke OK (schema qperc-bench-micro-v3, "
           f"{len(METRICS)} metrics present)")
     sys.exit(0)
 

@@ -11,7 +11,11 @@
 #                         byte conservation)
 #   5. bench smoke        scripts/bench_baseline.sh --smoke on a -Werror
 #                         release build
-#   6. alloc ratchet      scripts/bench_baseline.sh --ratchet on the same
+#   6. study e2e          scripts/study_e2e.sh on the same build: streaming
+#                         studies must export byte-identical results across
+#                         job counts, checkpoint/kill/resume cycles, and
+#                         shard splits merged in any order
+#   7. alloc ratchet      scripts/bench_baseline.sh --ratchet on the same
 #                         build: allocations/trial and the other machine-
 #                         independent invariants must not regress past
 #                         BENCH_micro.json (timings are ignored)
@@ -77,6 +81,19 @@ bench_stage() {
   # Keep the build for the ratchet stage; the last stage that uses it cleans up.
 }
 stage bench bench_stage
+
+study_stage() {
+  # Streaming-study end-to-end on the same release build: byte-identical
+  # exports across job counts, checkpoint/kill/resume, and shard merges.
+  build_dir="build-gate-release"
+  if [ ! -x "$build_dir/tools/qperc" ]; then
+    cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE=Release -DQPERC_WERROR=ON > /dev/null || return 1
+    cmake --build "$build_dir" -j "$jobs" > /dev/null || return 1
+  fi
+  scripts/study_e2e.sh "$build_dir/tools/qperc" || return 1
+  # Keep the build for the ratchet stage; the last stage that uses it cleans up.
+}
+stage study study_stage
 
 ratchet_stage() {
   # Allocation ratchet: the machine-independent invariants in BENCH_micro.json

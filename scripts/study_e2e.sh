@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end exercise of `qperc study run` / `qperc study report`, the
+# population-scale streaming pipeline: job count must not change the exported
+# bytes, interrupt-then-resume must land on the uninterrupted bytes, shard
+# splits merged by `study report` must land on the unsharded bytes, and the
+# CLI must reject malformed invocations.
+#
+#   usage: study_e2e.sh /path/to/qperc
+set -euo pipefail
+
+QPERC=${1:?usage: study_e2e.sh /path/to/qperc}
+WORKDIR=$(mktemp -d /tmp/qperc_study_e2e.XXXXXX)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# A tiny grid: 2 sites x 2 runs keeps stimulus production to a few dozen
+# trials; 2000 participants over 64-participant blocks still crosses many
+# block/round boundaries.
+SPEC=(--kind rating --group uworker --participants 2000 --seed 7 --sites 2 --runs 2)
+
+echo "== reference: uninterrupted --jobs 1 run"
+"$QPERC" study run "${SPEC[@]}" --jobs 1 --block-size 64 \
+  --out "$WORKDIR/ref" --export "$WORKDIR/ref.txt" --quiet > /dev/null
+
+echo "== parallel run must export byte-identical results"
+"$QPERC" study run "${SPEC[@]}" --jobs 4 --block-size 64 \
+  --out "$WORKDIR/par" --export "$WORKDIR/par.txt" --quiet > /dev/null
+cmp "$WORKDIR/ref.txt" "$WORKDIR/par.txt"
+
+echo "== interrupt after 10 of 32 blocks, then --resume the rest"
+"$QPERC" study run "${SPEC[@]}" --jobs 2 --block-size 64 --checkpoint-every 2 \
+  --max-blocks 10 --out "$WORKDIR/resume" --quiet 2>&1 | grep -q "continue with --resume"
+"$QPERC" study run "${SPEC[@]}" --jobs 2 --block-size 64 --resume \
+  --out "$WORKDIR/resume" --export "$WORKDIR/resume.txt" --quiet > /dev/null
+cmp "$WORKDIR/ref.txt" "$WORKDIR/resume.txt"
+
+echo "== shard halves merge to the reference bytes"
+"$QPERC" study run "${SPEC[@]}" --shard 1/2 --jobs 2 --block-size 64 \
+  --out "$WORKDIR/shards" --quiet > /dev/null
+"$QPERC" study run "${SPEC[@]}" --shard 0/2 --jobs 1 --block-size 64 \
+  --out "$WORKDIR/shards" --quiet > /dev/null
+"$QPERC" study report "${SPEC[@]}" --out "$WORKDIR/shards" \
+  --export "$WORKDIR/shards.txt" > /dev/null
+cmp "$WORKDIR/ref.txt" "$WORKDIR/shards.txt"
+
+echo "== report refuses an incomplete shard set"
+"$QPERC" study run "${SPEC[@]}" --shard 0/3 --jobs 1 --block-size 64 \
+  --out "$WORKDIR/partial" --quiet > /dev/null
+if "$QPERC" study report "${SPEC[@]}" --out "$WORKDIR/partial" > /dev/null 2>&1; then
+  echo "FAIL: report accepted a missing shard" >&2; exit 1
+fi
+
+echo "== malformed invocations are rejected"
+if "$QPERC" study run --definitely-not-a-flag 2>/dev/null; then
+  echo "FAIL: unknown flag was accepted" >&2; exit 1
+fi
+if "$QPERC" study run --participants banana 2>/dev/null; then
+  echo "FAIL: non-numeric --participants was accepted" >&2; exit 1
+fi
+if "$QPERC" study run --shard nonsense 2>/dev/null; then
+  echo "FAIL: malformed --shard was accepted" >&2; exit 1
+fi
+if "$QPERC" study run --participants 0 2>/dev/null; then
+  echo "FAIL: zero --participants was accepted" >&2; exit 1
+fi
+
+echo "study_e2e: OK"

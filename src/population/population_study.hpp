@@ -1,0 +1,186 @@
+// Population-scale streaming studies.
+//
+// The batch studies in src/study materialise every vote (std::map of
+// std::vector<double>), which caps them at cohort sizes the paper actually
+// recruited. This subsystem answers the scaling question the paper leaves
+// open — what effects WOULD a much larger cohort resolve? — by rebuilding
+// the same pipeline (participant traits -> R1..R7 conformance funnel ->
+// rater model -> per-cell aggregation) as a stream:
+//
+//   * Participants are never stored. Each one is generated on the fly from
+//     an identity-derived RNG stream (study::participant_stream): a pure
+//     function of (seed, participant_id), so the draws do not depend on
+//     thread, shard, block size, or enumeration order.
+//   * Votes fold into fixed-size accumulators (stats::ExactMoments — integer
+//     fixed-point count/sum/sum-of-squares). Memory is O(cells), not O(N).
+//   * Stimuli are the cached per-condition Videos of core::VideoLibrary;
+//     the trial simulation cost is paid once per condition and amortised
+//     over every participant.
+//
+// Determinism contract: the accumulated numbers — and therefore the bytes
+// of write_report — are a pure function of the StudySpec. Job count, block
+// size, shard layout, checkpoint/resume cycles, and merge order never change
+// them, because every per-cell statistic is integer arithmetic (commutative
+// and associative exactly, not merely to rounding). Tests assert byte
+// identity across --jobs 1 vs 8 and across shard splits merged in any order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/video.hpp"
+#include "net/profile.hpp"
+#include "stats/streaming.hpp"
+#include "study/conformance.hpp"
+#include "study/participant.hpp"
+
+namespace qperc::population {
+
+/// Everything that determines the study's results. Execution knobs (jobs,
+/// sharding, checkpointing) live in RunOptions and never affect the numbers.
+struct StudySpec {
+  study::StudyKind kind = study::StudyKind::kRating;
+  study::Group group = study::Group::kMicroworker;
+  std::uint64_t participants = 0;
+  std::uint64_t seed = 7;
+  /// Stimulus site budget: <= 5 restricts to the lab's five domains,
+  /// otherwise the first `sites` catalog entries (the paper grid is 36).
+  std::size_t sites = 36;
+  /// Trials per cached condition video (the paper records >= 31). Part of
+  /// the identity: the CLI builds the VideoLibrary from (seed, video_runs),
+  /// so checkpoints taken against different stimuli refuse to mix.
+  std::uint32_t video_runs = 31;
+  /// Rating study: videos per context block (paper: 11+11+5).
+  std::size_t videos_work = 11;
+  std::size_t videos_free_time = 11;
+  std::size_t videos_plane = 5;
+  /// A/B study: video pairs per participant (paper: 26 for the crowd).
+  std::size_t videos_ab = 26;
+
+  /// Throws std::invalid_argument with an actionable message.
+  void validate() const;
+  /// Stable identity hash; checkpoints refuse to resume a different study.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// One rating cell (protocol, network, context) — one bar of Figure 5,
+/// streamed. The label fields are fixed by the layout; only `votes` counts.
+struct RatingCell {
+  std::string protocol;
+  net::NetworkKind network = net::NetworkKind::kDsl;
+  study::Context context = study::Context::kWork;
+  stats::ExactMoments votes;
+};
+
+/// One A/B cell (pair, network) — one bar group of Figure 4, streamed.
+/// Integer-only state so merges are exact.
+struct AbCell {
+  std::size_t pair_index = 0;
+  net::NetworkKind network = net::NetworkKind::kDsl;
+  std::uint64_t prefer_first = 0;
+  std::uint64_t no_difference = 0;
+  std::uint64_t prefer_second = 0;
+  std::uint64_t replays = 0;
+  /// Sum of per-vote confidence, quantised at stats::ExactMoments::kScale.
+  std::int64_t confidence_q = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return prefer_first + no_difference + prefer_second;
+  }
+};
+
+/// The whole study state: O(1) in the participant count. Merging is plain
+/// integer addition per field, so it is commutative and associative exactly
+/// — any grouping of blocks into shards, merged in any order, produces the
+/// same bits (mirroring core::TrialCounters::merge).
+struct Accumulator {
+  std::uint64_t participants = 0;
+  std::uint64_t survivors = 0;
+  std::uint64_t votes = 0;
+  std::array<std::uint64_t, study::kRuleCount> removed_at{};
+  /// Seconds spent per video across all shown videos.
+  stats::ExactMoments seconds;
+  /// Rating layout: context-major, then protocol, then network; empty for
+  /// A/B studies. Use make_accumulator for the canonical layout.
+  std::vector<RatingCell> rating_cells;
+  /// A/B layout: pair-major, then network; empty for rating studies.
+  std::vector<AbCell> ab_cells;
+
+  /// Requires an identical cell layout (same spec kind).
+  void merge(const Accumulator& other);
+  /// Zeroes all counts, keeping the cell layout (for buffer reuse).
+  void reset_counts();
+};
+
+/// Builds the empty accumulator with the canonical cell layout for a study
+/// kind. All accumulators that ever merge must come from this function.
+[[nodiscard]] Accumulator make_accumulator(study::StudyKind kind);
+
+/// Throttled progress snapshot for operator display.
+struct Progress {
+  /// Participants owned by this shard.
+  std::uint64_t participants_total = 0;
+  /// Processed so far, including blocks restored from a checkpoint.
+  std::uint64_t participants_done = 0;
+  std::uint64_t resumed_participants = 0;
+  double elapsed_seconds = 0.0;
+  /// Fresh-work rate this run (resumed blocks excluded).
+  double participants_per_second = 0.0;
+  double eta_seconds = 0.0;
+};
+
+/// Execution knobs. None of these change the accumulated numbers.
+struct RunOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  unsigned jobs = 0;
+  /// This process handles blocks with index % shard_count == shard_index.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  /// Participants per work block (the unit of scheduling and checkpointing).
+  std::uint64_t block_size = 8192;
+  /// Stop after this many fresh blocks (0 = run to completion). Gives tests
+  /// a deterministic "interrupted" state, like campaign --max-tasks.
+  std::uint64_t max_blocks = 0;
+  /// Durable checkpoint file; empty = no durability.
+  std::string checkpoint_path;
+  /// Blocks between automatic checkpoints.
+  std::uint64_t checkpoint_every_blocks = 64;
+  /// Load an existing checkpoint (same spec fingerprint + shard geometry)
+  /// and continue; without this an existing file is overwritten.
+  bool resume = false;
+  std::function<void(const Progress&)> on_progress;
+
+  void validate() const;
+};
+
+struct Report {
+  Accumulator accumulator;
+  /// Blocks this shard owns / has completed (cumulative, incl. resumed).
+  std::uint64_t owned_blocks = 0;
+  std::uint64_t blocks_done = 0;
+  std::uint64_t resumed_blocks = 0;
+  double elapsed_seconds = 0.0;
+  [[nodiscard]] bool complete() const { return blocks_done == owned_blocks; }
+};
+
+/// Runs (this shard of) the streaming study against a shared video library.
+/// The library is warmed (precompute) on entry; workers then only read the
+/// cached stimuli. Throws on invalid spec/options or unwritable checkpoint.
+Report run_streaming_study(core::VideoLibrary& library, const StudySpec& spec,
+                           const RunOptions& options = {});
+
+/// Canonical machine-readable export — the bytes the determinism tests
+/// compare. Integer accumulator state is printed verbatim; derived
+/// statistics (means, CIs, Welch tests, minimum detectable effects) at full
+/// precision, so equal state implies equal bytes.
+void write_report(std::ostream& os, const StudySpec& spec, const Accumulator& acc);
+
+/// Short identifier tokens used in reports and checkpoint filenames.
+[[nodiscard]] std::string_view kind_token(study::StudyKind kind);
+[[nodiscard]] std::string_view context_token(study::Context context);
+
+}  // namespace qperc::population

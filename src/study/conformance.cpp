@@ -68,8 +68,17 @@ FunnelResult simulate_funnel(Group group, StudyKind kind, std::size_t initial, R
   result.initial = initial;
   std::array<std::size_t, kRuleCount> removed_at{};
   for (std::size_t i = 0; i < initial; ++i) {
-    Participant participant = sample_participant(group, rng);
-    if (const auto rule = sample_violation(kind, participant, rng)) ++removed_at[*rule];
+    // Identity-derived stream: participant i's traits and violations are a
+    // pure function of (rng state, i), never of how many draws earlier
+    // participants consumed. A shared sequential stream here would make
+    // every participant's outcome depend on the processing order — the
+    // shard-layout bug the streaming engine's determinism tests guard
+    // against (see participant_stream).
+    Rng participant_rng = rng.fork(i + 1);
+    Participant participant = sample_participant(group, participant_rng);
+    if (const auto rule = sample_violation(kind, participant, participant_rng)) {
+      ++removed_at[*rule];
+    }
   }
   std::size_t survivors = initial;
   for (std::size_t rule = 0; rule < kRuleCount; ++rule) {

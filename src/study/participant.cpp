@@ -91,4 +91,8 @@ Participant sample_participant(Group group, Rng& rng) {
   return participant;
 }
 
+Rng participant_stream(std::uint64_t study_seed, std::uint64_t participant_id) {
+  return Rng(study_seed).fork("participant").fork(participant_id);
+}
+
 }  // namespace qperc::study

@@ -66,4 +66,14 @@ struct Participant {
 
 [[nodiscard]] Participant sample_participant(Group group, Rng& rng);
 
+/// Identity-derived per-participant RNG stream: a pure function of
+/// (study_seed, participant_id), never of thread, shard, or enumeration
+/// order — the same trick as core::condition_base_seed. Every execution
+/// layout (sequential loop, worker pool, multi-process shards) that samples
+/// participant `id` from this stream observes the same traits, violations,
+/// and votes, which is what makes population-scale results bit-identical
+/// regardless of how the work was partitioned.
+[[nodiscard]] Rng participant_stream(std::uint64_t study_seed,
+                                     std::uint64_t participant_id);
+
 }  // namespace qperc::study

@@ -22,12 +22,21 @@ namespace qperc {
 
 namespace detail {
 inline std::atomic<std::uint64_t> g_heap_allocations{0};
+inline std::atomic<std::uint64_t> g_heap_bytes{0};
 }  // namespace detail
 
 /// Global heap allocations observed since process start (monotonic).
 /// Subtract two readings to count a region's allocations.
 [[nodiscard]] inline std::uint64_t heap_allocations() noexcept {
   return detail::g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+/// Bytes requested from the heap since process start (monotonic; requested
+/// sizes, not allocator-rounded ones). Subtract two readings to bound a
+/// region's allocation volume — how the bytes_per_participant bench metric
+/// and the population study's O(1)-memory budget test are measured.
+[[nodiscard]] inline std::uint64_t heap_bytes_allocated() noexcept {
+  return detail::g_heap_bytes.load(std::memory_order_relaxed);
 }
 
 }  // namespace qperc
@@ -40,20 +49,24 @@ inline std::atomic<std::uint64_t> g_heap_allocations{0};
 
 void* operator new(std::size_t size) {
   qperc::detail::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  qperc::detail::g_heap_bytes.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
   qperc::detail::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  qperc::detail::g_heap_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size);
 }
 void* operator new[](std::size_t size) {
   qperc::detail::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  qperc::detail::g_heap_bytes.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
   qperc::detail::g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  qperc::detail::g_heap_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size);
 }
 void operator delete(void* p) noexcept { std::free(p); }

@@ -1,0 +1,292 @@
+// Determinism and memory contracts of the population-scale streaming study
+// engine: byte-identical exports across job counts, shard layouts (merged in
+// any order), block sizes, and checkpoint/resume cycles; O(1) memory in the
+// participant count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/video.hpp"
+#include "population/checkpoint.hpp"
+#include "population/population_study.hpp"
+// Own binary: this TU holds the counting operator new/delete shim (one TU
+// per binary), so the O(1)-memory claim is measured, not asserted.
+#include "util/alloc_interpose.hpp"
+
+namespace qperc::population {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+constexpr std::uint32_t kRuns = 2;  // cheap stimuli; identity only needs consistency
+
+/// One shared library across all tests: stimulus production (the expensive
+/// part) happens once; every run then streams against the warm cache.
+core::VideoLibrary& shared_library() {
+  static core::VideoLibrary library(kSeed, kRuns);
+  return library;
+}
+
+StudySpec small_spec(study::StudyKind kind, std::uint64_t participants) {
+  StudySpec spec;
+  spec.kind = kind;
+  spec.group = study::Group::kMicroworker;
+  spec.participants = participants;
+  spec.seed = kSeed;
+  spec.sites = 5;  // lab domains
+  spec.video_runs = kRuns;
+  return spec;
+}
+
+std::string report_bytes(const StudySpec& spec, const Accumulator& acc) {
+  std::ostringstream os;
+  write_report(os, spec, acc);
+  return os.str();
+}
+
+Report run(const StudySpec& spec, RunOptions options) {
+  return run_streaming_study(shared_library(), spec, options);
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(PopulationStudy, RatingExportIsByteIdenticalAcrossJobCounts) {
+  const StudySpec spec = small_spec(study::StudyKind::kRating, 1500);
+  RunOptions one;
+  one.jobs = 1;
+  one.block_size = 128;
+  RunOptions four;
+  four.jobs = 4;
+  four.block_size = 128;
+  const auto a = run(spec, one);
+  const auto b = run(spec, four);
+  EXPECT_TRUE(a.complete());
+  EXPECT_TRUE(b.complete());
+  EXPECT_EQ(report_bytes(spec, a.accumulator), report_bytes(spec, b.accumulator));
+}
+
+TEST(PopulationStudy, AbExportIsByteIdenticalAcrossJobCounts) {
+  const StudySpec spec = small_spec(study::StudyKind::kAb, 900);
+  RunOptions one;
+  one.jobs = 1;
+  one.block_size = 64;
+  RunOptions three;
+  three.jobs = 3;
+  three.block_size = 64;
+  const auto a = run(spec, one);
+  const auto b = run(spec, three);
+  EXPECT_EQ(report_bytes(spec, a.accumulator), report_bytes(spec, b.accumulator));
+}
+
+TEST(PopulationStudy, ShardSplitsMergeToTheUnshardedBytesInAnyOrder) {
+  const StudySpec spec = small_spec(study::StudyKind::kRating, 2000);
+  RunOptions whole;
+  whole.jobs = 2;
+  whole.block_size = 128;
+  const auto reference = run(spec, whole);
+  const std::string expected = report_bytes(spec, reference.accumulator);
+
+  // Three shards, each with a DIFFERENT block size than the reference run —
+  // participant identity, not work partitioning, determines every draw.
+  std::vector<Accumulator> shards;
+  for (unsigned i = 0; i < 3; ++i) {
+    RunOptions options;
+    options.jobs = 2;
+    options.shard_index = i;
+    options.shard_count = 3;
+    options.block_size = 64;
+    const auto report = run(spec, options);
+    EXPECT_TRUE(report.complete());
+    shards.push_back(report.accumulator);
+  }
+  for (const auto& order : {std::vector<std::size_t>{0, 1, 2}, {2, 0, 1}, {1, 2, 0}}) {
+    Accumulator merged = make_accumulator(spec.kind);
+    for (const std::size_t i : order) merged.merge(shards[i]);
+    EXPECT_EQ(report_bytes(spec, merged), expected);
+  }
+}
+
+TEST(PopulationStudy, FunnelAndVoteTotalsAreConsistent) {
+  const StudySpec spec = small_spec(study::StudyKind::kRating, 1200);
+  RunOptions options;
+  options.jobs = 2;
+  options.block_size = 100;
+  const auto report = run(spec, options);
+  const Accumulator& acc = report.accumulator;
+  EXPECT_EQ(acc.participants, spec.participants);
+  std::uint64_t removed = 0;
+  for (const std::uint64_t count : acc.removed_at) removed += count;
+  EXPECT_EQ(acc.survivors + removed, acc.participants);
+  // Every survivor rates the full 11+11+5 context blocks (pools are larger
+  // than the per-context budget), with one seconds sample per vote.
+  EXPECT_EQ(acc.votes, acc.survivors * (11 + 11 + 5));
+  EXPECT_EQ(acc.seconds.count(), acc.votes);
+  std::uint64_t cell_votes = 0;
+  for (const auto& cell : acc.rating_cells) cell_votes += cell.votes.count();
+  EXPECT_EQ(cell_votes, acc.votes);
+  // Votes live on the paper's 10..70 scale.
+  for (const auto& cell : acc.rating_cells) {
+    if (cell.votes.count() == 0) continue;
+    EXPECT_GE(cell.votes.mean(), 10.0);
+    EXPECT_LE(cell.votes.mean(), 70.0);
+  }
+}
+
+TEST(PopulationStudy, ResumedRunMatchesUninterruptedBytes) {
+  const StudySpec spec = small_spec(study::StudyKind::kRating, 1600);
+  const std::string checkpoint = temp_path("qperc_pop_resume.qps");
+  std::remove(checkpoint.c_str());
+
+  RunOptions uninterrupted;
+  uninterrupted.jobs = 2;
+  uninterrupted.block_size = 64;
+  const auto reference = run(spec, uninterrupted);
+
+  // First leg: stop deterministically after 10 of 25 blocks.
+  RunOptions first;
+  first.jobs = 2;
+  first.block_size = 64;
+  first.checkpoint_path = checkpoint;
+  first.checkpoint_every_blocks = 4;
+  first.max_blocks = 10;
+  const auto partial = run(spec, first);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_EQ(partial.blocks_done, 10u);
+
+  // Second leg resumes from the durable file and finishes.
+  RunOptions second;
+  second.jobs = 3;  // a different job count must not matter
+  second.block_size = 64;
+  second.checkpoint_path = checkpoint;
+  second.resume = true;
+  const auto resumed = run(spec, second);
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed.resumed_blocks, 10u);
+  EXPECT_EQ(report_bytes(spec, resumed.accumulator),
+            report_bytes(spec, reference.accumulator));
+  std::remove(checkpoint.c_str());
+}
+
+TEST(PopulationStudy, CheckpointRoundTripsAndRejectsCorruption) {
+  const StudySpec spec = small_spec(study::StudyKind::kAb, 500);
+  RunOptions options;
+  options.jobs = 1;
+  options.block_size = 50;
+  const auto report = run(spec, options);
+
+  const std::string path = temp_path("qperc_pop_store.qps");
+  const StudyStore store(path, spec.fingerprint(), 0, 1, options.block_size);
+  store.save(report.accumulator, report.blocks_done);
+
+  Accumulator loaded = make_accumulator(spec.kind);
+  std::uint64_t blocks_done = 0;
+  ASSERT_TRUE(store.load(loaded, blocks_done));
+  EXPECT_EQ(blocks_done, report.blocks_done);
+  EXPECT_EQ(report_bytes(spec, loaded), report_bytes(spec, report.accumulator));
+
+  // A different study identity refuses to resume this file.
+  StudySpec other = spec;
+  other.seed = kSeed + 1;
+  const StudyStore mismatched(path, other.fingerprint(), 0, 1, options.block_size);
+  Accumulator scratch = make_accumulator(spec.kind);
+  EXPECT_FALSE(mismatched.load(scratch, blocks_done));
+  // A different shard geometry refuses too.
+  const StudyStore other_geometry(path, spec.fingerprint(), 0, 2, options.block_size);
+  EXPECT_FALSE(other_geometry.load(scratch, blocks_done));
+
+  // Flipping one payload byte breaks the checksum.
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  const auto digit = contents.find_first_of("0123456789", contents.find('\n'));
+  ASSERT_NE(digit, std::string::npos);
+  contents[digit] = contents[digit] == '9' ? '8' : '9';
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+  EXPECT_FALSE(store.load(scratch, blocks_done));
+  EXPECT_FALSE(read_shard(path, make_accumulator(spec.kind)).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PopulationStudy, MemoryIsConstantInTheParticipantCount) {
+  // Warm everything once (library cache, static pools, allocator pools).
+  RunOptions warmup;
+  warmup.jobs = 1;
+  run(small_spec(study::StudyKind::kRating, 256), warmup);
+
+  const auto measure = [&](std::uint64_t participants) {
+    RunOptions options;
+    options.jobs = 1;  // inline: no per-round thread stacks in the measurement
+    options.block_size = 256;
+    const std::uint64_t bytes_before = heap_bytes_allocated();
+    const std::uint64_t allocs_before = heap_allocations();
+    const auto report = run(small_spec(study::StudyKind::kRating, participants), options);
+    EXPECT_TRUE(report.complete());
+    return std::pair{heap_bytes_allocated() - bytes_before,
+                     heap_allocations() - allocs_before};
+  };
+
+  const auto [small_bytes, small_allocs] = measure(1024);
+  const auto [large_bytes, large_allocs] = measure(4096);
+
+  // 4x the participants must not cost 4x the memory: the per-participant
+  // marginal allocation stays under a few bytes (scratch buffers and
+  // accumulators are reused; only per-round bookkeeping remains).
+  const double marginal_bytes =
+      large_bytes > small_bytes
+          ? static_cast<double>(large_bytes - small_bytes) / (4096.0 - 1024.0)
+          : 0.0;
+  EXPECT_LT(marginal_bytes, 64.0)
+      << "small run: " << small_bytes << " B, large run: " << large_bytes << " B";
+  const double marginal_allocs =
+      large_allocs > small_allocs
+          ? static_cast<double>(large_allocs - small_allocs) / (4096.0 - 1024.0)
+          : 0.0;
+  EXPECT_LT(marginal_allocs, 1.0)
+      << "small run: " << small_allocs << " allocs, large run: " << large_allocs;
+}
+
+TEST(PopulationStudy, SpecAndOptionsValidateInput) {
+  StudySpec spec = small_spec(study::StudyKind::kRating, 0);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.participants = 10;
+  spec.videos_work = spec.videos_free_time = spec.videos_plane = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  RunOptions options;
+  options.shard_index = 2;
+  options.shard_count = 2;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.shard_index = 0;
+  options.block_size = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(PopulationStudy, FingerprintSeparatesSpecs) {
+  const StudySpec a = small_spec(study::StudyKind::kRating, 1000);
+  StudySpec b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.participants = 1001;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  StudySpec c = a;
+  c.kind = study::StudyKind::kAb;
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  StudySpec d = a;
+  d.group = study::Group::kInternet;
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+}  // namespace
+}  // namespace qperc::population

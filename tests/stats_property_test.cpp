@@ -1,11 +1,14 @@
 // Parameterized property sweeps over the statistics toolkit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <tuple>
 #include <vector>
 
 #include "stats/stats.hpp"
+#include "stats/streaming.hpp"
 #include "util/rng.hpp"
 
 namespace qperc::stats {
@@ -125,6 +128,178 @@ TEST(QuantileProperty, BoundsAreMinAndMax) {
   EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 8.0);
   EXPECT_DOUBLE_EQ(quantile(xs, -0.5), -2.0);  // clamped
   EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 8.0);    // clamped
+}
+
+
+// ---- Streaming accumulators vs the batch toolkit ---------------------------
+//
+// Satellite contract for the population engine: Welford/Chan must agree with
+// the batch formulas to floating-point tolerance under any merge grouping,
+// and ExactMoments must agree bit-for-bit with itself under ANY merge order
+// (its integer state is what makes sharded studies byte-identical).
+
+std::vector<double> random_sample(Rng& rng, std::size_t n, double mean, double sd) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.normal(mean, sd));
+  return xs;
+}
+
+class StreamingAgreementTest : public ::testing::TestWithParam<std::uint64_t /*seed*/> {};
+
+TEST_P(StreamingAgreementTest, WelfordMatchesBatchMoments) {
+  Rng rng(GetParam());
+  const auto xs = random_sample(rng, 1000 + GetParam() * 37 % 500, 40.0, 9.0);
+  Welford w;
+  for (const double x : xs) w.push(x);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_NEAR(w.mean(), mean(xs), 1e-9 * std::fabs(mean(xs)) + 1e-12);
+  EXPECT_NEAR(w.sample_variance(), sample_variance(xs),
+              1e-9 * sample_variance(xs) + 1e-12);
+  const auto batch_ci = mean_confidence_interval(xs, 0.99);
+  const auto stream_ci = mean_confidence_interval(w, 0.99);
+  EXPECT_NEAR(stream_ci.center, batch_ci.center, 1e-9);
+  EXPECT_NEAR(stream_ci.half_width, batch_ci.half_width, 1e-9);
+}
+
+TEST_P(StreamingAgreementTest, WelfordMergeIsOrderIndependentToTolerance) {
+  Rng rng(GetParam() * 977 + 5);
+  const auto xs = random_sample(rng, 700, -3.0, 2.5);
+  // Chunk, then merge in several groupings/orders; all must agree with the
+  // single-stream result to rounding tolerance (the documented contract).
+  const std::size_t chunk_sizes[] = {1, 7, 64, 211};
+  Welford sequential;
+  for (const double x : xs) sequential.push(x);
+  for (const std::size_t chunk : chunk_sizes) {
+    std::vector<Welford> parts;
+    for (std::size_t begin = 0; begin < xs.size(); begin += chunk) {
+      Welford part;
+      for (std::size_t i = begin; i < std::min(xs.size(), begin + chunk); ++i) {
+        part.push(xs[i]);
+      }
+      parts.push_back(part);
+    }
+    Welford forward;
+    for (const auto& part : parts) forward.merge(part);
+    Welford backward;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) backward.merge(*it);
+    for (const Welford* merged : {&forward, &backward}) {
+      EXPECT_EQ(merged->count(), sequential.count());
+      EXPECT_NEAR(merged->mean(), sequential.mean(), 1e-10);
+      EXPECT_NEAR(merged->sample_variance(), sequential.sample_variance(),
+                  1e-9 * sequential.sample_variance() + 1e-12);
+    }
+  }
+}
+
+TEST_P(StreamingAgreementTest, ExactMomentsMergeIsBitExactInAnyOrder) {
+  Rng rng(GetParam() * 31 + 11);
+  const auto xs = random_sample(rng, 600, 40.0, 12.0);  // vote-scale data
+  ExactMoments sequential;
+  for (const double x : xs) sequential.push(x);
+  for (const std::size_t chunk : {3UL, 50UL, 199UL}) {
+    std::vector<ExactMoments> parts;
+    for (std::size_t begin = 0; begin < xs.size(); begin += chunk) {
+      ExactMoments part;
+      for (std::size_t i = begin; i < std::min(xs.size(), begin + chunk); ++i) {
+        part.push(xs[i]);
+      }
+      parts.push_back(part);
+    }
+    // Forward, reverse, and odd-even interleaved merge orders: the integer
+    // state must be IDENTICAL, not merely close.
+    std::vector<std::vector<std::size_t>> orders;
+    std::vector<std::size_t> forward(parts.size());
+    std::iota(forward.begin(), forward.end(), std::size_t{0});
+    orders.push_back(forward);
+    orders.emplace_back(forward.rbegin(), forward.rend());
+    std::vector<std::size_t> interleaved;
+    for (std::size_t i = 0; i < parts.size(); i += 2) interleaved.push_back(i);
+    for (std::size_t i = 1; i < parts.size(); i += 2) interleaved.push_back(i);
+    orders.push_back(interleaved);
+    for (const auto& order : orders) {
+      ExactMoments merged;
+      for (const std::size_t i : order) merged.merge(parts[i]);
+      EXPECT_EQ(merged.count(), sequential.count());
+      EXPECT_EQ(merged.sum_q(), sequential.sum_q());
+      EXPECT_EQ(merged.sumsq_hi(), sequential.sumsq_hi());
+      EXPECT_EQ(merged.sumsq_lo(), sequential.sumsq_lo());
+      // Identical integer state implies identical derived doubles.
+      EXPECT_EQ(merged.mean(), sequential.mean());
+      EXPECT_EQ(merged.sample_variance(), sequential.sample_variance());
+    }
+  }
+}
+
+TEST_P(StreamingAgreementTest, ExactMomentsMatchesBatchWithinQuantization) {
+  Rng rng(GetParam() * 131 + 7);
+  const auto xs = random_sample(rng, 900, 37.0, 11.0);
+  ExactMoments m;
+  for (const double x : xs) m.push(x);
+  // Per-observation quantization error is <= 2^-21; means and variances of
+  // vote-scale data inherit it far below reporting precision.
+  EXPECT_NEAR(m.mean(), mean(xs), 1e-5);
+  EXPECT_NEAR(m.sample_variance(), sample_variance(xs), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingAgreementTest,
+                         ::testing::Values(1, 2, 3, 17, 4242));
+
+// ---- Streaming inference helpers -------------------------------------------
+
+TEST(StreamingInference, WelchDetectsAShiftAndAcceptsANullShift) {
+  Rng rng(99);
+  Welford a;
+  Welford b;
+  Welford c;
+  for (int i = 0; i < 4000; ++i) {
+    a.push(rng.normal(50.0, 10.0));
+    b.push(rng.normal(51.5, 10.0));
+    c.push(rng.normal(50.0, 10.0));
+  }
+  const auto shifted = welch_t_test(a, b);
+  EXPECT_LT(shifted.p_value, 1e-6);
+  EXPECT_NEAR(shifted.difference, -1.5, 0.7);
+  EXPECT_TRUE(shifted.significant_at(0.01));
+  const auto null = welch_t_test(a, c);
+  EXPECT_GT(null.p_value, 0.01);
+}
+
+TEST(StreamingInference, NormalQuantileInvertsTheNormalCdf) {
+  for (double p = 0.001; p < 0.9995; p += 0.0007) {
+    const double x = normal_quantile(p);
+    const double cdf = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(cdf, p, 1e-8) << "p=" << p;
+  }
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+}
+
+TEST(StreamingInference, MinDetectableEffectShrinksAsRootN) {
+  const double var = 144.0;
+  const double mde35 = min_detectable_effect(var, 35, var, 35, 0.05, 0.8);
+  const double mde3500 = min_detectable_effect(var, 3500, var, 3500, 0.05, 0.8);
+  EXPECT_GT(mde35, 0.0);
+  // 100x the sample => 10x smaller detectable effect.
+  EXPECT_NEAR(mde35 / mde3500, 10.0, 1e-6);
+  // Reference value: (1.96 + 0.8416) * sqrt(2 * 144 / 35) ~= 8.036.
+  EXPECT_NEAR(mde35, 8.036, 0.01);
+}
+
+TEST(StreamingInference, TwoProportionZAndWilsonBehave)
+{
+  const auto detect = two_proportion_z_test(600, 1000, 400, 1000);
+  EXPECT_NEAR(detect.difference, 0.2, 1e-12);
+  EXPECT_LT(detect.p_value, 1e-6);
+  const auto null = two_proportion_z_test(500, 1000, 505, 1000);
+  EXPECT_GT(null.p_value, 0.5);
+  const auto wilson = wilson_interval(30, 100, 0.95);
+  EXPECT_GT(wilson.center, 0.0);
+  EXPECT_LT(wilson.upper(), 1.0);
+  EXPECT_GE(wilson.lower(), 0.0);
+  // The interval covers the observed share.
+  EXPECT_LE(wilson.lower(), 0.30);
+  EXPECT_GE(wilson.upper(), 0.30);
 }
 
 }  // namespace

@@ -373,5 +373,34 @@ TEST(NetworksForContext, MatchStudyDesign) {
             (std::vector<net::NetworkKind>{net::NetworkKind::kDa2gc, net::NetworkKind::kMss}));
 }
 
+TEST(Conformance, FunnelDrawsAreIdentityDerivedNotOrderDependent) {
+  // Regression for the streaming rebuild: each participant's traits and
+  // violation draws come from rng.fork(i + 1) — a pure function of the
+  // funnel seed and the participant's index — never from how many draws
+  // earlier participants consumed. Recomputing the removal tallies by
+  // visiting the indices in REVERSE order must reproduce simulate_funnel's
+  // counts exactly.
+  const Rng base(8);
+  const auto funnel = simulate_funnel(Group::kMicroworker, StudyKind::kRating, 400, base);
+  std::array<std::size_t, kRuleCount> expected_removed{};
+  std::size_t previous = funnel.initial;
+  for (std::size_t rule = 0; rule < kRuleCount; ++rule) {
+    expected_removed[rule] = previous - funnel.after_rule[rule];
+    previous = funnel.after_rule[rule];
+  }
+
+  std::array<std::size_t, kRuleCount> reversed_removed{};
+  for (std::size_t i = 400; i-- > 0;) {
+    Rng participant_rng = base.fork(i + 1);
+    const Participant participant =
+        sample_participant(Group::kMicroworker, participant_rng);
+    if (const auto rule =
+            sample_violation(StudyKind::kRating, participant, participant_rng)) {
+      ++reversed_removed[*rule];
+    }
+  }
+  EXPECT_EQ(reversed_removed, expected_removed);
+}
+
 }  // namespace
 }  // namespace qperc::study

@@ -29,12 +29,15 @@
 #include "core/trial_context.hpp"
 #include "core/video.hpp"
 #include "net/profile.hpp"
+#include "population/checkpoint.hpp"
+#include "population/population_study.hpp"
 #include "runner/campaign.hpp"
 #include "sim/simulator.hpp"
 #include "runner/campaign_runner.hpp"
 #include "runner/result_store.hpp"
 #include "runner/torture.hpp"
 #include "stats/stats.hpp"
+#include "stats/streaming.hpp"
 #include "study/ab_study.hpp"
 #include "study/rating_study.hpp"
 #include "trace/counters.hpp"
@@ -127,6 +130,13 @@ int usage() {
          "  video --site S --protocol P --network N [--runs R] [--seed K]\n"
          "  study --kind ab|rating [--group lab|uworker|internet] [--runs R]\n"
          "        [--sites N] [--seed K]\n"
+         "  study run    [--kind ab|rating] [--group G] [--participants N] [--jobs J]\n"
+         "               [--shard I/N] [--resume] [--out DIR] [--export FILE]\n"
+         "               [--seed K] [--sites N] [--runs R] [--block-size B]\n"
+         "               [--max-blocks N] [--checkpoint-every N] [--videos-work N]\n"
+         "               [--videos-free N] [--videos-plane N] [--videos-ab N] [--quiet]\n"
+         "  study report [--kind ab|rating] [--group G] [--participants N] [--out DIR]\n"
+         "               [--export FILE] [--seed K] [--sites N] [--runs R]\n"
          "  campaign run    [--jobs J] [--shard I/N] [--resume] [--out DIR]\n"
          "                  [--sites N] [--runs R] [--seed K] [--protocols A,B]\n"
          "                  [--networks A,B] [--checkpoint-every N] [--max-tasks N]\n"
@@ -417,6 +427,282 @@ int cmd_study(const Args& args) {
                    std::to_string(votes.size())});
   }
   table.print(std::cout);
+  return 0;
+}
+
+// --- qperc study run/report (population-scale streaming studies) ------------
+
+population::StudySpec population_spec_from_args(const Args& args) {
+  population::StudySpec spec;
+  spec.kind = args.get("kind", "rating") == "ab" ? study::StudyKind::kAb
+                                                 : study::StudyKind::kRating;
+  spec.group = parse_group(args.get("group", "uworker"));
+  spec.participants = args.get_u64("participants", 10000);
+  spec.seed = args.get_u64("seed", 7);
+  spec.sites = args.get_u64("sites", 36);
+  spec.video_runs = static_cast<std::uint32_t>(args.get_u64("runs", 31));
+  spec.videos_work = args.get_u64("videos-work", 11);
+  spec.videos_free_time = args.get_u64("videos-free", 11);
+  spec.videos_plane = args.get_u64("videos-plane", 5);
+  spec.videos_ab = args.get_u64("videos-ab", 26);
+  spec.validate();
+  return spec;
+}
+
+/// Checkpoint/export file name for one shard of a streaming study; the
+/// identity-bearing fields keep different studies in one --out directory
+/// from colliding, mirroring campaign's store_file_name.
+std::string population_file_name(const population::StudySpec& spec, unsigned shard_index,
+                                 unsigned shard_count) {
+  std::string name = "population_seed" + std::to_string(spec.seed) + "_" +
+                     std::string(population::kind_token(spec.kind)) + "_" +
+                     std::string(study::to_string(spec.group)) + "_n" +
+                     std::to_string(spec.participants);
+  if (shard_count > 1) {
+    name += "_shard" + std::to_string(shard_index) + "of" + std::to_string(shard_count);
+  }
+  return name + ".qps";
+}
+
+/// Blocks a shard owns under the engine's modulo distribution.
+std::uint64_t population_owned_blocks(std::uint64_t participants, std::uint64_t block_size,
+                                      unsigned shard_index, unsigned shard_count) {
+  const std::uint64_t total = (participants + block_size - 1) / block_size;
+  if (total <= shard_index) return 0;
+  return (total - shard_index + shard_count - 1) / shard_count;
+}
+
+void write_population_export(const std::string& path, const population::StudySpec& spec,
+                             const population::Accumulator& acc) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write export file " + path);
+  population::write_report(out, spec, acc);
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing export file " + path);
+}
+
+/// Human-readable summary: funnel, per-cell means with CI99, and — the
+/// scaling payoff — the QUIC-vs-TCP effect with the minimum detectable
+/// rating gap at the paper's lab size and at crowd/population scale.
+void print_population_summary(const population::StudySpec& spec,
+                              const population::Accumulator& acc) {
+  std::cout << (spec.kind == study::StudyKind::kAb ? "A/B" : "Rating")
+            << " study (streaming), " << study::to_string(spec.group) << ": "
+            << acc.participants << " -> " << acc.survivors
+            << " participants after filtering, " << acc.votes << " votes\n\n";
+
+  if (spec.kind == study::StudyKind::kRating) {
+    TextTable table({"Protocol", "Network", "Context", "mean vote ± CI99", "n"});
+    for (const auto& cell : acc.rating_cells) {
+      const auto ci = stats::mean_confidence_interval(cell.votes, 0.99);
+      table.add_row({cell.protocol, std::string(net::to_string(cell.network)),
+                     std::string(study::to_string(cell.context)),
+                     fmt_fixed(ci.center, 2) + " ± " + fmt_fixed(ci.half_width, 2),
+                     std::to_string(cell.votes.count())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nQUIC vs TCP rating effect (Welch t; MDE at alpha=0.05, power=0.8)\n";
+    TextTable effects({"Context", "Network", "diff", "p", "MDE n=35", "MDE n=10k",
+                       "MDE n=10M"});
+    for (const auto& quic : acc.rating_cells) {
+      if (quic.protocol != "QUIC") continue;
+      for (const auto& tcp : acc.rating_cells) {
+        if (tcp.protocol != "TCP" || tcp.network != quic.network ||
+            tcp.context != quic.context) {
+          continue;
+        }
+        const auto test = stats::welch_t_test(quic.votes, tcp.votes);
+        const auto mde = [&](std::uint64_t n) {
+          return fmt_fixed(
+              stats::min_detectable_effect(quic.votes.sample_variance(), n,
+                                           tcp.votes.sample_variance(), n, 0.05, 0.8),
+              3);
+        };
+        effects.add_row({std::string(study::to_string(quic.context)),
+                         std::string(net::to_string(quic.network)),
+                         fmt_fixed(test.difference, 3), fmt_fixed(test.p_value, 4),
+                         mde(35), mde(10000), mde(10000000)});
+      }
+    }
+    effects.print(std::cout);
+    return;
+  }
+
+  for (std::size_t p = 0; p < study::ab_pairs().size(); ++p) {
+    const auto& [a, b] = study::ab_pairs()[p];
+    TextTable table({"Network", "prefer " + a, "No Diff.", "prefer " + b, "n"});
+    for (const auto& cell : acc.ab_cells) {
+      if (cell.pair_index != p || cell.total() == 0) continue;
+      const auto total = static_cast<double>(cell.total());
+      table.add_row({std::string(net::to_string(cell.network)),
+                     fmt_percent(static_cast<double>(cell.prefer_first) / total),
+                     fmt_percent(static_cast<double>(cell.no_difference) / total),
+                     fmt_percent(static_cast<double>(cell.prefer_second) / total),
+                     std::to_string(cell.total())});
+    }
+    std::cout << a << " vs " << b << "\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+int cmd_study_run(const Args& args) {
+  const auto spec = population_spec_from_args(args);
+
+  population::RunOptions options;
+  options.jobs = static_cast<unsigned>(args.get_u64("jobs", 0));
+  options.block_size = args.get_u64("block-size", 8192);
+  options.max_blocks = args.get_u64("max-blocks", 0);
+  options.checkpoint_every_blocks = args.get_u64("checkpoint-every", 64);
+  options.resume = args.has("resume");
+  if (args.has("shard")) {
+    const std::string shard = args.get("shard", "0/1");
+    const auto slash = shard.find('/');
+    bool ok = slash != std::string::npos;
+    if (ok) {
+      try {
+        options.shard_index = static_cast<unsigned>(std::stoul(shard.substr(0, slash)));
+        options.shard_count = static_cast<unsigned>(std::stoul(shard.substr(slash + 1)));
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      throw std::invalid_argument("--shard expects I/N (e.g. --shard 0/4), got '" +
+                                  shard + "'");
+    }
+  }
+  const std::string out_dir = args.get("out", "out/study");
+  std::filesystem::create_directories(out_dir);
+  options.checkpoint_path =
+      out_dir + "/" + population_file_name(spec, options.shard_index, options.shard_count);
+
+  if (!args.has("quiet")) {
+    options.on_progress = [](const population::Progress& progress) {
+      std::cerr << "\rstudy: " << progress.participants_done << "/"
+                << progress.participants_total << " participants ("
+                << progress.resumed_participants << " resumed), "
+                << fmt_fixed(progress.participants_per_second, 0) << "/s, ETA "
+                << fmt_fixed(progress.eta_seconds, 0) << " s   " << std::flush;
+    };
+  }
+
+  core::VideoLibrary library(spec.seed, spec.video_runs);
+  // Stimulus production dominates cold-start cost (the whole grid is
+  // simulated once); persist the condition cache so reruns, resumes, and
+  // sibling shards pay it only once per (seed, runs).
+  const std::string cache_path = out_dir + "/videos_seed" + std::to_string(spec.seed) +
+                                 "_runs" + std::to_string(spec.video_runs) + ".qvc";
+  if (library.load_cache(cache_path)) {
+    std::cerr << "study: reusing " << library.cached_conditions()
+              << " cached condition videos from " << cache_path << "\n";
+  }
+  const std::size_t cached_before = library.cached_conditions();
+  const auto report = population::run_streaming_study(library, spec, options);
+  if (options.on_progress) std::cerr << "\n";
+  if (library.cached_conditions() != cached_before) library.save_cache(cache_path);
+
+  std::cerr << "study: " << report.blocks_done << "/" << report.owned_blocks
+            << " blocks (" << report.resumed_blocks << " resumed), "
+            << report.accumulator.participants << " participants, "
+            << report.accumulator.votes << " votes in "
+            << fmt_fixed(report.elapsed_seconds, 1) << " s\n";
+  std::cerr << "study: checkpoint in " << options.checkpoint_path << "\n";
+  if (!report.complete()) {
+    std::cerr << "study: shard incomplete — continue with --resume\n";
+    return 0;
+  }
+  if (args.has("export")) {
+    const std::string path = args.get("export", "study_report.txt");
+    write_population_export(path, spec, report.accumulator);
+    std::cerr << "study: report exported to " << path << "\n";
+  }
+  if (options.shard_count == 1) {
+    print_population_summary(spec, report.accumulator);
+  } else {
+    std::cerr << "study: shard " << options.shard_index << "/" << options.shard_count
+              << " done — merge with `qperc study report`\n";
+  }
+  return 0;
+}
+
+int cmd_study_report(const Args& args) {
+  const auto spec = population_spec_from_args(args);
+  const std::string out_dir = args.get("out", "out/study");
+  const auto layout = population::make_accumulator(spec.kind);
+
+  // Candidate shard files share the identity prefix (any shard geometry).
+  std::string prefix = population_file_name(spec, 0, 1);
+  prefix.resize(prefix.size() - 4);  // strip ".qps"
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(out_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && name.ends_with(".qps")) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "study: no checkpoints matching " << out_dir << "/" << prefix
+              << "*.qps — run `qperc study run` first\n";
+    return 1;
+  }
+
+  auto merged = population::make_accumulator(spec.kind);
+  std::vector<bool> shard_seen;
+  unsigned shard_count = 0;
+  bool all_complete = true;
+  for (const auto& file : files) {
+    const auto shard = population::read_shard(file, layout);
+    if (!shard || shard->fingerprint != spec.fingerprint()) {
+      std::cerr << "study: skipping unreadable or mismatched checkpoint " << file << "\n";
+      continue;
+    }
+    if (shard_count == 0) {
+      shard_count = shard->shard_count;
+      shard_seen.assign(shard_count, false);
+    }
+    if (shard->shard_count != shard_count) {
+      std::cerr << "study: " << file << " uses a different shard split ("
+                << shard->shard_count << " vs " << shard_count << ") — refusing to mix\n";
+      return 1;
+    }
+    shard_seen[shard->shard_index] = true;
+    const std::uint64_t owned = population_owned_blocks(
+        spec.participants, shard->block_size, shard->shard_index, shard->shard_count);
+    if (shard->blocks_done < owned) {
+      std::cerr << "study: shard " << shard->shard_index << "/" << shard_count
+                << " incomplete (" << shard->blocks_done << "/" << owned
+                << " blocks) in " << file << "\n";
+      all_complete = false;
+    }
+    merged.merge(shard->accumulator);
+  }
+  if (shard_count == 0) {
+    std::cerr << "study: no usable checkpoints for this spec in " << out_dir << "\n";
+    return 1;
+  }
+  for (unsigned i = 0; i < shard_count; ++i) {
+    if (!shard_seen[i]) {
+      std::cerr << "study: shard " << i << "/" << shard_count << " missing from "
+                << out_dir << "\n";
+      all_complete = false;
+    }
+  }
+  if (!all_complete) {
+    std::cerr << "study: incomplete — finish the missing shards before reporting\n";
+    return 1;
+  }
+
+  if (args.has("export")) {
+    const std::string path = args.get("export", "study_report.txt");
+    write_population_export(path, spec, merged);
+    std::cerr << "study: report exported to " << path << "\n";
+  }
+  print_population_summary(spec, merged);
   return 0;
 }
 
@@ -789,6 +1075,19 @@ int main(int argc, char** argv) {
           Args(argc, argv, 2, "video", {"site", "protocol", "network", "runs", "seed"}));
     }
     if (command == "study") {
+      if (argc >= 3 && std::string_view(argv[2]) == "run") {
+        return cmd_study_run(Args(
+            argc, argv, 3, "study run",
+            {"kind", "group", "participants", "seed", "sites", "runs", "videos-work",
+             "videos-free", "videos-plane", "videos-ab", "jobs", "shard", "block-size",
+             "max-blocks", "checkpoint-every", "resume", "out", "export", "quiet"}));
+      }
+      if (argc >= 3 && std::string_view(argv[2]) == "report") {
+        return cmd_study_report(
+            Args(argc, argv, 3, "study report",
+                 {"kind", "group", "participants", "seed", "sites", "runs", "videos-work",
+                  "videos-free", "videos-plane", "videos-ab", "out", "export"}));
+      }
       return cmd_study(
           Args(argc, argv, 2, "study", {"kind", "group", "runs", "sites", "seed"}));
     }
