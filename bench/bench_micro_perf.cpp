@@ -7,7 +7,7 @@
 //   * default: the usual google-benchmark CLI (--benchmark_filter=...),
 //   * --qperc_json PATH [--qperc_iters N]: runs the fixed scheduler/timer/
 //     page-load measurement suite and writes the machine-readable
-//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v3) that
+//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v4) that
 //     scripts/bench_baseline.sh diffs against the checked-in numbers.
 //     N scales the iteration counts (default 100; 1 = smoke test).
 //
@@ -32,6 +32,7 @@
 #include "core/trial.hpp"
 #include "core/trial_context.hpp"
 #include "core/video.hpp"
+#include "net/contention.hpp"
 #include "net/link.hpp"
 #include "net/profile.hpp"
 #include "population/population_study.hpp"
@@ -234,6 +235,32 @@ void BM_PageLoadTrialImpaired(benchmark::State& state) {
 BENCHMARK(BM_PageLoadTrialImpaired)->Args({6, 0})->Args({6, 3})
     ->Unit(benchmark::kMillisecond);
 
+/// The page load sharing its bottleneck with a 16-flow cubic crowd: the
+/// multi-endpoint network, the cross-traffic sources, and a droptail queue
+/// under sustained pressure. Compare against BM_PageLoadTrial for the cost
+/// of contention; the contention-free path is unaffected (bit-exact goldens).
+void BM_MultiFlowTrial(benchmark::State& state) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[static_cast<std::size_t>(state.range(0))];
+  const auto& protocol =
+      core::paper_protocols()[static_cast<std::size_t>(state.range(1))];
+  net::ContentionConfig contention;
+  contention.flows = static_cast<std::uint32_t>(state.range(2));
+  contention.mix = net::CrossMix::kCubic;
+  core::TrialContext context;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto result = context.run(
+        core::TrialSpec(site, protocol, net::dsl_profile(), seed++)
+            .with_contention(contention));
+    benchmark::DoNotOptimize(result.metrics.plt_ms());
+  }
+  state.SetLabel(site.name + " / " + protocol.name + " / " +
+                 std::to_string(contention.flows) + " flows");
+}
+BENCHMARK(BM_MultiFlowTrial)->Args({6, 3, 4})->Args({6, 3, 16})
+    ->Unit(benchmark::kMillisecond);
+
 /// Shared warm stimulus cache for the population-study benchmark: the
 /// per-condition trial cost is paid once and amortised, so the measurement
 /// isolates the streaming engine itself (trait sampling, funnel, rater,
@@ -280,6 +307,7 @@ struct MicroResults {
   std::uint64_t scheduler_allocs_steady_state = 0;
   std::uint64_t rearm_queue_depth_max = 0;
   double ns_per_page_load_trial = 0;
+  double ns_per_multiflow_trial = 0;
   double trials_per_sec = 0;
   std::uint64_t allocations_per_trial = 0;
   std::uint64_t events_per_trial = 0;
@@ -376,6 +404,40 @@ void measure_trial(MicroResults& out, int scale) {
       static_cast<std::uint64_t>(rounds);
 }
 
+/// Steady-state cost of the contended 16-flow cubic cell through the same
+/// reused TrialContext. Contended trials simulate a bottleneck under
+/// sustained queue pressure, so each one is orders of magnitude more work
+/// than the clean page load above — fewer rounds keep the suite fast.
+void measure_multiflow_trial(MicroResults& out, int scale) {
+  const auto catalog = web::study_catalog(7);
+  const web::Website* site = nullptr;
+  for (const auto& candidate : catalog) {
+    if (candidate.name == "apache.org") site = &candidate;
+  }
+  const auto& protocol = core::protocol_by_name("QUIC");
+  const net::NetworkProfile profile = net::dsl_profile();
+  net::ContentionConfig contention;
+  contention.flows = 16;
+  contention.mix = net::CrossMix::kCubic;
+  core::TrialContext context;
+  std::uint64_t seed = 1;
+  for (int i = 0; i < 3; ++i) {
+    benchmark::DoNotOptimize(
+        context.run(core::TrialSpec(*site, protocol, profile, seed++)
+                        .with_contention(contention)));
+  }
+  const int rounds = 5 * scale;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    const auto result =
+        context.run(core::TrialSpec(*site, protocol, profile, seed++)
+                        .with_contention(contention));
+    benchmark::DoNotOptimize(result.metrics.plt_ms());
+  }
+  const auto t1 = Clock::now();
+  out.ns_per_multiflow_trial = elapsed_ns(t0, t1) / rounds;
+}
+
 /// Single-core streaming-study rate and marginal heap traffic. A warm-up run
 /// settles the stimulus cache and every reusable buffer; the timed run then
 /// measures participants/sec and heap bytes per participant — the population
@@ -426,6 +488,7 @@ int run_json_mode(const std::string& path, int scale) {
   measure_scheduler(results, scale);
   measure_rearm(results, scale);
   measure_trial(results, scale);
+  measure_multiflow_trial(results, scale);
   measure_population(results, scale);
   results.events_per_trial = probe_events_per_trial();
 
@@ -437,7 +500,7 @@ int run_json_mode(const std::string& path, int scale) {
   out.precision(3);
   out << std::fixed;
   out << "{\n"
-      << "  \"schema\": \"qperc-bench-micro-v3\",\n"
+      << "  \"schema\": \"qperc-bench-micro-v4\",\n"
       << "  \"iters_scale\": " << scale << ",\n"
       << "  \"metrics\": {\n"
       << "    \"ns_per_schedule\": " << results.ns_per_schedule << ",\n"
@@ -447,6 +510,7 @@ int run_json_mode(const std::string& path, int scale) {
       << ",\n"
       << "    \"rearm_queue_depth_max\": " << results.rearm_queue_depth_max << ",\n"
       << "    \"ns_per_page_load_trial\": " << results.ns_per_page_load_trial << ",\n"
+      << "    \"ns_per_multiflow_trial\": " << results.ns_per_multiflow_trial << ",\n"
       << "    \"trials_per_sec\": " << results.trials_per_sec << ",\n"
       << "    \"allocations_per_trial\": " << results.allocations_per_trial << ",\n"
       << "    \"trace_events_per_trial\": " << results.events_per_trial << ",\n"

@@ -10,7 +10,7 @@
 #                invariant metrics (steady-state allocations, re-arm queue
 #                depth) must match exactly.
 #   --smoke      run at 1 iteration and only validate the JSON schema
-#                (qperc-bench-micro-v3 with every expected metric present
+#                (qperc-bench-micro-v4 with every expected metric present
 #                and finite). Registered as the `bench_smoke` ctest.
 #   --ratchet    run full iterations but compare only the machine-independent
 #                invariants (steady-state scheduler allocations exactly;
@@ -75,6 +75,7 @@ METRICS = [
     "scheduler_allocs_steady_state",
     "rearm_queue_depth_max",
     "ns_per_page_load_trial",
+    "ns_per_multiflow_trial",
     "trials_per_sec",
     "allocations_per_trial",
     "trace_events_per_trial",
@@ -96,7 +97,7 @@ RATCHET = {"rearm_queue_depth_max", "allocations_per_trial",
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "qperc-bench-micro-v3":
+    if doc.get("schema") != "qperc-bench-micro-v4":
         sys.exit(f"bench_baseline: bad schema in {path}: {doc.get('schema')!r}")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -109,7 +110,7 @@ def load(path):
 
 current = load(sys.argv[1])
 if os.environ["MODE"] == "smoke":
-    print("bench_baseline: smoke OK (schema qperc-bench-micro-v3, "
+    print("bench_baseline: smoke OK (schema qperc-bench-micro-v4, "
           f"{len(METRICS)} metrics present)")
     sys.exit(0)
 

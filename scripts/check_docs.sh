@@ -91,10 +91,12 @@ require_section ARCHITECTURE.md "Simulator internals"
 require_section ARCHITECTURE.md "Determinism contract"
 require_section ARCHITECTURE.md "Correctness tooling"
 require_section ARCHITECTURE.md 'Population-scale streaming studies \(`src/population`\)'
+require_section ARCHITECTURE.md "Shared-bottleneck contention & fairness"
 require_section EXPERIMENTS.md "Benchmarking qperc"
 require_section EXPERIMENTS.md "Measuring throughput"
 require_section EXPERIMENTS.md "Running the grid as a campaign"
 require_section EXPERIMENTS.md "Population-scale studies"
+require_section EXPERIMENTS.md "Contention & fairness"
 require_section EXPERIMENTS.md "Impairment & torture testing"
 # (the argument is an ERE fragment, so the parens are escaped)
 require_section EXPERIMENTS.md 'The CI gate \(`scripts/ci_gate.sh`\)'

@@ -15,7 +15,11 @@
 #                         studies must export byte-identical results across
 #                         job counts, checkpoint/kill/resume cycles, and
 #                         shard splits merged in any order
-#   7. alloc ratchet      scripts/bench_baseline.sh --ratchet on the same
+#   7. fairness smoke     scripts/fairness_smoke.sh on the same build: the
+#                         contention grid must export byte-identical results
+#                         across job counts, interrupt/resume, and shard
+#                         merges
+#   8. alloc ratchet      scripts/bench_baseline.sh --ratchet on the same
 #                         build: allocations/trial and the other machine-
 #                         independent invariants must not regress past
 #                         BENCH_micro.json (timings are ignored)
@@ -94,6 +98,19 @@ study_stage() {
   # Keep the build for the ratchet stage; the last stage that uses it cleans up.
 }
 stage study study_stage
+
+fairness_stage() {
+  # Contention-grid end-to-end on the same release build: byte-identical
+  # exports across job counts, interrupt/resume, and shard merges.
+  build_dir="build-gate-release"
+  if [ ! -x "$build_dir/tools/qperc" ]; then
+    cmake -S . -B "$build_dir" -DCMAKE_BUILD_TYPE=Release -DQPERC_WERROR=ON > /dev/null || return 1
+    cmake --build "$build_dir" -j "$jobs" > /dev/null || return 1
+  fi
+  scripts/fairness_smoke.sh "$build_dir/tools/qperc" || return 1
+  # Keep the build for the ratchet stage; the last stage that uses it cleans up.
+}
+stage fairness fairness_stage
 
 ratchet_stage() {
   # Allocation ratchet: the machine-independent invariants in BENCH_micro.json

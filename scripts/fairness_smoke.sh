@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end exercise of `qperc fairness`, the shared-bottleneck contention
+# grid: job count must not change the exported bytes, a deterministic
+# interrupt (--max-cells) followed by --resume must land on the one-shot
+# bytes, shard halves merged by --report must land on the unsharded bytes,
+# and the CLI must reject malformed invocations.
+#
+#   usage: fairness_smoke.sh /path/to/qperc
+set -euo pipefail
+
+QPERC=${1:?usage: fairness_smoke.sh /path/to/qperc}
+WORKDIR=$(mktemp -d /tmp/qperc_fairness_smoke.XXXXXX)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# A tiny grid (2 sites x {0,2} flows x {cubic,mixed} = 8 cells, 2 runs each)
+# that still covers the contended and the flows=0 baseline paths.
+SPEC=(--sites wikipedia.org,apache.org --protocols QUIC --networks DSL
+      --flows 0,2 --mix cubic,mixed --runs 2 --seed 7)
+
+echo "== reference: uninterrupted --jobs 1 run"
+"$QPERC" fairness "${SPEC[@]}" --jobs 1 \
+  --out "$WORKDIR/ref" --export "$WORKDIR/ref.txt" --quiet > /dev/null
+test -s "$WORKDIR/ref.txt"
+
+echo "== parallel run must export byte-identical results"
+"$QPERC" fairness "${SPEC[@]}" --jobs 4 \
+  --out "$WORKDIR/par" --export "$WORKDIR/par.txt" --quiet > /dev/null
+cmp "$WORKDIR/ref.txt" "$WORKDIR/par.txt"
+
+echo "== interrupt after 3 of 8 cells, then --resume the rest"
+"$QPERC" fairness "${SPEC[@]}" --jobs 1 --checkpoint-every 1 --max-cells 3 \
+  --out "$WORKDIR/resume" --quiet > /dev/null
+"$QPERC" fairness "${SPEC[@]}" --jobs 2 --resume \
+  --out "$WORKDIR/resume" --export "$WORKDIR/resume.txt" --quiet \
+  > /dev/null 2> "$WORKDIR/resume.log"
+grep -q "resuming — 3 cells" "$WORKDIR/resume.log"
+cmp "$WORKDIR/ref.txt" "$WORKDIR/resume.txt"
+
+echo "== shard halves merge to the reference bytes"
+"$QPERC" fairness "${SPEC[@]}" --shard 1/2 --jobs 2 \
+  --out "$WORKDIR/shards" --quiet > /dev/null
+"$QPERC" fairness "${SPEC[@]}" --shard 0/2 --jobs 1 \
+  --out "$WORKDIR/shards" --quiet > /dev/null
+"$QPERC" fairness "${SPEC[@]}" --report --out "$WORKDIR/shards" \
+  --export "$WORKDIR/shards.txt" --quiet > /dev/null
+cmp "$WORKDIR/ref.txt" "$WORKDIR/shards.txt"
+
+echo "== report refuses an incomplete shard set"
+"$QPERC" fairness "${SPEC[@]}" --shard 0/3 --jobs 1 \
+  --out "$WORKDIR/partial" --quiet > /dev/null
+if "$QPERC" fairness "${SPEC[@]}" --report --out "$WORKDIR/partial" \
+    > /dev/null 2>&1; then
+  echo "FAIL: report accepted a missing shard" >&2; exit 1
+fi
+
+echo "== malformed invocations are rejected"
+if "$QPERC" fairness --definitely-not-a-flag 2>/dev/null; then
+  echo "FAIL: unknown flag was accepted" >&2; exit 1
+fi
+if "$QPERC" fairness --flows banana 2>/dev/null; then
+  echo "FAIL: non-numeric --flows was accepted" >&2; exit 1
+fi
+if "$QPERC" fairness --mix warp 2>/dev/null; then
+  echo "FAIL: unknown --mix was accepted" >&2; exit 1
+fi
+if "$QPERC" fairness --shard nonsense 2>/dev/null; then
+  echo "FAIL: malformed --shard was accepted" >&2; exit 1
+fi
+if "$QPERC" fairness --runs 0 2>/dev/null; then
+  echo "FAIL: zero --runs was accepted" >&2; exit 1
+fi
+
+echo "fairness_smoke: OK"

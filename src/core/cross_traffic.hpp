@@ -1,0 +1,91 @@
+// Seeded on-off bulk-transfer cross-traffic: the load generator that turns a
+// single-user trial into a shared-bottleneck contention experiment without
+// dragging in a second browser stack.
+//
+// Each CrossTrafficSource is one long-lived HTTP session (H2-over-TCP with
+// the configured congestion controller, or gQUIC) behind its own access-link
+// endpoint, repeatedly fetching fixed-size bursts with seeded exponential
+// idle gaps — the on-off shape of the fairness literature's dumbbell
+// experiments. CrossTraffic owns N of them, arena-placed so the per-trial
+// allocation budget holds, and reports per-flow goodput for Jain's index.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "http/session.hpp"
+#include "net/contention.hpp"
+#include "net/emulated_network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace qperc::core {
+
+/// One bulk-transfer flow: session lifecycle, on-off burst schedule, and the
+/// delivered-byte counters the fairness report reads.
+class CrossTrafficSource {
+ public:
+  /// Binds a session to the network's *current* flow endpoint (the caller
+  /// brackets construction with EmulatedNetwork::set_flow_endpoint).
+  CrossTrafficSource(sim::Simulator& simulator, net::EmulatedNetwork& network,
+                     const net::ContentionConfig& config, std::uint32_t index, Rng rng);
+  CrossTrafficSource(const CrossTrafficSource&) = delete;
+  CrossTrafficSource& operator=(const CrossTrafficSource&) = delete;
+
+  /// Schedules the handshake + first burst at `at`.
+  void start(SimTime at);
+
+  [[nodiscard]] std::string_view protocol_label() const noexcept { return label_; }
+  [[nodiscard]] std::uint64_t bytes_delivered() const noexcept {
+    return completed_bytes_ + current_burst_delivered_;
+  }
+  [[nodiscard]] SimTime started_at() const noexcept { return started_at_; }
+  /// Delivered bytes / elapsed time since start(), in bits per second;
+  /// 0 before the flow starts.
+  [[nodiscard]] double goodput_bps(SimTime now) const noexcept;
+  [[nodiscard]] net::TransportStats transport_stats() const { return session_->stats(); }
+
+ private:
+  void begin();
+  void submit_burst();
+  void on_progress(std::uint64_t body_bytes, bool complete);
+
+  sim::Simulator& simulator_;
+  net::ContentionConfig config_;
+  std::uint32_t index_ = 0;
+  std::string_view label_;
+  std::unique_ptr<http::Session> session_;
+  Rng rng_;  // idle-gap draws only; forked per flow, so order-independent
+  std::uint32_t bursts_started_ = 0;
+  std::uint64_t burst_bytes_ = 0;  // resolved: config burst or the continuous elephant
+  std::uint64_t completed_bytes_ = 0;
+  std::uint64_t current_burst_delivered_ = 0;
+  SimTime started_at_{0};
+  bool started_ = false;
+};
+
+/// The full cross-traffic population of one trial: creates one access-link
+/// endpoint plus one source per configured flow (arena-placed; destructors
+/// run here because Arena::reset never does) and schedules the staggered
+/// starts. Construct *before* the page load begins so its start events sort
+/// ahead of the browser's at t=0.
+class CrossTraffic {
+ public:
+  CrossTraffic(sim::Simulator& simulator, net::EmulatedNetwork& network,
+               const net::ContentionConfig& config, Rng rng);
+  ~CrossTraffic();
+  CrossTraffic(const CrossTraffic&) = delete;
+  CrossTraffic& operator=(const CrossTraffic&) = delete;
+
+  [[nodiscard]] std::uint32_t flow_count() const noexcept { return count_; }
+  [[nodiscard]] const CrossTrafficSource& source(std::uint32_t i) const {
+    return *sources_[i];
+  }
+
+ private:
+  CrossTrafficSource** sources_ = nullptr;  // arena array of arena-placed sources
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace qperc::core

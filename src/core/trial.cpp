@@ -11,22 +11,4 @@ browser::PageLoadResult run_trial(const TrialSpec& spec) {
   return context.run(spec);
 }
 
-// The shims forward through the TrialSpec entry point; suppress their own
-// deprecation inside this translation unit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
-                                  const net::NetworkProfile& profile, std::uint64_t seed) {
-  return run_trial(TrialSpec(site, protocol, profile, seed));
-}
-
-browser::PageLoadResult run_trial(const web::Website& site, const ProtocolConfig& protocol,
-                                  const net::NetworkProfile& profile, std::uint64_t seed,
-                                  trace::TraceSink* trace) {
-  return run_trial(TrialSpec(site, protocol, profile, seed).with_trace(trace));
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace qperc::core

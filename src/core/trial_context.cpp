@@ -1,25 +1,39 @@
 #include "core/trial_context.hpp"
 
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "core/cross_traffic.hpp"
 #include "http/session.hpp"
 #include "net/emulated_network.hpp"
 #include "util/rng.hpp"
 
 namespace qperc::core {
 
-browser::PageLoadResult TrialContext::run(const TrialSpec& spec) {
+browser::PageLoadResult TrialContext::run(const TrialSpec& spec,
+                                          ContentionOutcome* contention) {
   if (spec.site == nullptr) throw std::invalid_argument("TrialSpec: site is null");
   if (spec.protocol == nullptr) throw std::invalid_argument("TrialSpec: protocol is null");
   spec.profile.validate();
+  spec.contention.validate();
 
   // Discard the previous trial (arena blocks and container capacity are
   // kept) before any of this trial's state is built.
   simulator_.reset();
   simulator_.set_trace(spec.trace);
   Rng rng(spec.seed);
-  net::EmulatedNetwork network(simulator_, spec.profile, rng.fork("network"));
+  net::EmulatedNetwork network(simulator_, spec.profile, rng.fork("network"),
+                               spec.contention);
+
+  // Cross traffic is created before the page load so its flow ids, endpoints,
+  // and t=0 start events all precede the browser's — and not at all when
+  // contention is disabled, keeping the single-flow path draw-for-draw
+  // identical to the paper topology.
+  std::optional<CrossTraffic> cross;
+  if (spec.contention.enabled()) {
+    cross.emplace(simulator_, network, spec.contention, rng.fork("contention"));
+  }
 
   const ProtocolConfig& protocol = *spec.protocol;
   browser::PageLoader::SessionFactory factory;
@@ -46,9 +60,30 @@ browser::PageLoadResult TrialContext::run(const TrialSpec& spec) {
       break;
     }
   }
-  return browser::load_page(simulator_, *spec.site, std::move(factory),
-                            rng.fork("browser"), browser::kDefaultLoadTimeCap,
-                            spec.max_events);
+  browser::PageLoadResult result = browser::load_page(
+      simulator_, *spec.site, std::move(factory), rng.fork("browser"),
+      browser::kDefaultLoadTimeCap, spec.max_events);
+
+  if (contention != nullptr && cross.has_value()) {
+    const SimTime end = simulator_.now();
+    contention->flows.clear();
+    contention->flows.reserve(cross->flow_count());
+    for (std::uint32_t i = 0; i < cross->flow_count(); ++i) {
+      const CrossTrafficSource& source = cross->source(i);
+      ContentionOutcome::Flow flow;
+      flow.protocol = source.protocol_label();
+      flow.bytes_delivered = source.bytes_delivered();
+      flow.goodput_bps = source.goodput_bps(end);
+      flow.retransmissions = source.transport_stats().retransmissions;
+      contention->flows.push_back(flow);
+    }
+    contention->peak_queue_bytes = network.downlink_stats().max_queue_bytes;
+    contention->queue_capacity_bytes = network.downlink().queue_capacity_bytes();
+    contention->queue_drops = network.downlink_stats().drops_queue_full +
+                              network.uplink_stats().drops_queue_full;
+    contention->measured = end - SimTime{0};
+  }
+  return result;
 }
 
 }  // namespace qperc::core

@@ -33,7 +33,13 @@ class TrialContext {
   /// trial's simulator state is discarded; its arena blocks and container
   /// capacity are reused. Throws std::invalid_argument on a null site or
   /// protocol.
-  [[nodiscard]] browser::PageLoadResult run(const TrialSpec& spec);
+  [[nodiscard]] browser::PageLoadResult run(const TrialSpec& spec) {
+    return run(spec, nullptr);
+  }
+  /// Same, additionally filling `contention` (when non-null and the spec
+  /// enables contention) with per-flow goodputs and bottleneck-queue facts.
+  [[nodiscard]] browser::PageLoadResult run(const TrialSpec& spec,
+                                            ContentionOutcome* contention);
 
   /// The context's simulator — observable between runs (events processed,
   /// arena footprint) and usable by benches that want finer control.

@@ -1,0 +1,51 @@
+#include "net/contention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace qperc::net {
+
+std::string_view to_string(CrossMix mix) {
+  switch (mix) {
+    case CrossMix::kCubic: return "cubic";
+    case CrossMix::kReno: return "reno";
+    case CrossMix::kBbr: return "bbr";
+    case CrossMix::kQuic: return "quic";
+    case CrossMix::kMixed: return "mixed";
+  }
+  return "cubic";  // unreachable with valid input
+}
+
+CrossMix parse_cross_mix(std::string_view text) {
+  if (text == "cubic") return CrossMix::kCubic;
+  if (text == "reno") return CrossMix::kReno;
+  if (text == "bbr") return CrossMix::kBbr;
+  if (text == "quic") return CrossMix::kQuic;
+  if (text == "mixed") return CrossMix::kMixed;
+  throw std::invalid_argument("unknown cross-traffic mix: '" + std::string(text) +
+                              "' (expected cubic|reno|bbr|quic|mixed)");
+}
+
+void ContentionConfig::validate() const {
+  if (flows > 4096) {
+    throw std::invalid_argument("ContentionConfig: flows " + std::to_string(flows) +
+                                " out of range (max 4096)");
+  }
+  if (start_stagger < SimDuration::zero()) {
+    throw std::invalid_argument("ContentionConfig: start_stagger must be >= 0");
+  }
+  if (off_time < SimDuration::zero()) {
+    throw std::invalid_argument("ContentionConfig: off_time must be >= 0");
+  }
+  if (!std::isfinite(access_rate_scale) || access_rate_scale < 1.0) {
+    throw std::invalid_argument(
+        "ContentionConfig: access_rate_scale must be finite and >= 1 "
+        "(access links must not be the bottleneck)");
+  }
+  if (access_delay < SimDuration::zero()) {
+    throw std::invalid_argument("ContentionConfig: access_delay must be >= 0");
+  }
+}
+
+}  // namespace qperc::net

@@ -1,0 +1,60 @@
+// Shared-bottleneck contention: the knobs that turn a private-link trial
+// into a dumbbell experiment (ROADMAP: "does QUIC's perceptual advantage
+// survive 16 TCP Cubic flows on the same queue?").
+//
+// A ContentionConfig describes N seeded on-off bulk-transfer cross-traffic
+// flows, each behind its own access-link pair, all feeding the one droptail
+// bottleneck the browser shares. The default (flows == 0) is the paper's
+// single-user topology and is guaranteed to perform zero extra RNG draws —
+// single-flow goldens stay bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace qperc::net {
+
+/// Protocol mix of the cross-traffic sources.
+enum class CrossMix {
+  kCubic,  // TCP Cubic bulk transfers (the classic fairness adversary)
+  kReno,   // TCP Reno bulk transfers
+  kBbr,    // TCP BBR bulk transfers
+  kQuic,   // gQUIC bulk transfers
+  kMixed,  // alternating TCP Cubic / gQUIC by flow index
+};
+
+[[nodiscard]] std::string_view to_string(CrossMix mix);
+/// Parses "cubic" | "reno" | "bbr" | "quic" | "mixed"; throws
+/// std::invalid_argument with the offending token otherwise.
+[[nodiscard]] CrossMix parse_cross_mix(std::string_view text);
+
+struct ContentionConfig {
+  /// Number of competing bulk-transfer flows. 0 disables contention entirely
+  /// (no endpoints, no extra RNG forks — the single-flow topology).
+  std::uint32_t flows = 0;
+  CrossMix mix = CrossMix::kCubic;
+  /// Flow i starts its transfer at i * start_stagger.
+  SimDuration start_stagger{0};
+  /// Bytes per on-burst. 0 means one continuous backlogged transfer for the
+  /// whole trial (the classic long-lived elephant).
+  std::uint64_t burst_bytes = 0;
+  /// Mean idle gap between bursts; each gap is drawn from a seeded
+  /// exponential with this mean (0 = back-to-back bursts). Ignored while
+  /// burst_bytes == 0.
+  SimDuration off_time{0};
+  /// Access-link rate = scale x the bottleneck rate of the same direction,
+  /// so access links shape RTT but never become the constraint.
+  double access_rate_scale = 4.0;
+  /// One-way propagation delay of each access link.
+  SimDuration access_delay{milliseconds(1)};
+
+  [[nodiscard]] bool enabled() const noexcept { return flows > 0; }
+
+  /// Throws std::invalid_argument with an actionable message when any field
+  /// is out of range. Called by TrialContext and the CLI.
+  void validate() const;
+};
+
+}  // namespace qperc::net

@@ -113,6 +113,11 @@ class Link {
   }
   [[nodiscard]] DataRate rate() const noexcept { return rate_; }
   [[nodiscard]] SimDuration propagation_delay() const noexcept { return propagation_delay_; }
+  /// Droptail capacity (the fairness report pairs this with
+  /// `stats().max_queue_bytes` to report peak occupancy).
+  [[nodiscard]] std::uint64_t queue_capacity_bytes() const noexcept {
+    return queue_capacity_bytes_;
+  }
 
  private:
   /// A serialization the fast path has accounted for arithmetically but whose

@@ -1,10 +1,12 @@
 #include "runner/torture.hpp"
 
 #include <exception>
+#include <optional>
 #include <ostream>
 #include <utility>
 
 #include "browser/page_loader.hpp"
+#include "core/cross_traffic.hpp"
 #include "core/protocol.hpp"
 #include "http/session.hpp"
 #include "net/emulated_network.hpp"
@@ -49,12 +51,21 @@ struct TrialOutcome {
 };
 
 TrialOutcome run_torture_trial(const web::Website& site, const core::ProtocolConfig& protocol,
-                               const net::NetworkProfile& profile, std::uint64_t seed,
+                               const net::NetworkProfile& profile,
+                               const net::ContentionConfig& contention, std::uint64_t seed,
                                std::uint64_t max_events) {
   profile.validate();
+  contention.validate();
   sim::Simulator simulator;
   Rng rng(seed);
-  net::EmulatedNetwork network(simulator, profile, rng.fork("network"));
+  net::EmulatedNetwork network(simulator, profile, rng.fork("network"), contention);
+
+  // Same ordering as TrialContext::run: cross traffic first, so its flow
+  // ids, endpoints, and start events all precede the browser's.
+  std::optional<core::CrossTraffic> cross;
+  if (contention.enabled()) {
+    cross.emplace(simulator, network, contention, rng.fork("contention"));
+  }
 
   browser::PageLoader::SessionFactory factory;
   switch (protocol.transport) {
@@ -159,6 +170,45 @@ std::vector<TortureScenario> torture_scenarios(const net::NetworkProfile& base) 
   return scenarios;
 }
 
+std::vector<TortureScenario> contention_scenarios(const net::NetworkProfile& base) {
+  std::vector<TortureScenario> scenarios;
+
+  // 8 cubic bulk flows saturating an otherwise clean bottleneck: droptail
+  // pressure, sustained queue-full drops, and heavy page retransmissions.
+  {
+    TortureScenario scenario;
+    scenario.name = "contended-8cubic";
+    scenario.profile = base;
+    scenario.profile.name = std::string(base.name) + "/" + scenario.name;
+    scenario.contention.flows = 8;
+    scenario.contention.mix = net::CrossMix::kCubic;
+    scenario.profile.validate();
+    scenario.contention.validate();
+    scenarios.push_back(std::move(scenario));
+  }
+
+  // Reordering layered over a mixed TCP/QUIC on-off crowd: loss recovery,
+  // reorder buffers, and endpoint demux all churn at once.
+  {
+    TortureScenario scenario;
+    scenario.name = "reorder-contended";
+    scenario.profile = base;
+    scenario.profile.name = std::string(base.name) + "/" + scenario.name;
+    scenario.profile.impairments.reorder_rate = 0.35;
+    scenario.profile.impairments.reorder_delay_min = milliseconds(2);
+    scenario.profile.impairments.reorder_delay_max = milliseconds(40);
+    scenario.contention.flows = 4;
+    scenario.contention.mix = net::CrossMix::kMixed;
+    scenario.contention.start_stagger = milliseconds(250);
+    scenario.contention.burst_bytes = 256 * 1024;
+    scenario.contention.off_time = milliseconds(100);
+    scenario.profile.validate();
+    scenario.contention.validate();
+    scenarios.push_back(std::move(scenario));
+  }
+  return scenarios;
+}
+
 net::NetworkProfile zero_delay_profile() {
   net::NetworkProfile profile;
   profile.kind = net::NetworkKind::kDsl;
@@ -217,6 +267,14 @@ TortureReport run_torture(const TortureOptions& options, std::ostream* progress)
     }
   }
   scenarios.push_back(TortureScenario{"zero-delay", zero_delay_profile()});
+  for (const auto& scenario : contention_scenarios(net::dsl_profile())) {
+    scenarios.push_back(scenario);
+  }
+  if (!small) {
+    for (const auto& scenario : contention_scenarios(net::lte_profile())) {
+      scenarios.push_back(scenario);
+    }
+  }
 
   TortureReport report;
   HandlerGuard handler_guard;
@@ -232,8 +290,9 @@ TortureReport run_torture(const TortureOptions& options, std::ostream* progress)
         ++report.trials;
         g_violations = 0;
         try {
-          const TrialOutcome outcome = run_torture_trial(
-              *site, *protocol, scenario.profile, seed, options.max_events_per_trial);
+          const TrialOutcome outcome =
+              run_torture_trial(*site, *protocol, scenario.profile, scenario.contention,
+                                seed, options.max_events_per_trial);
           if (g_violations != 0) {
             report.check_violations += g_violations;
             add_failure(report, options.max_failures_reported,

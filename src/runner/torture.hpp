@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/contention.hpp"
 #include "net/profile.hpp"
 
 namespace qperc::runner {
@@ -33,14 +34,22 @@ enum class TortureGrid { kSmall, kFull };
 [[nodiscard]] TortureGrid parse_torture_grid(std::string_view name);
 
 /// One cell of the impairment axis: a full profile (base network + the
-/// impairment layer under test).
+/// impairment layer under test), optionally with cross-traffic contention
+/// sharing the bottleneck (exercises the multi-endpoint network under the
+/// same liveness/invariant/conservation assertions).
 struct TortureScenario {
   std::string name;
   net::NetworkProfile profile;
+  net::ContentionConfig contention{};
 };
 
 /// The impairment scenarios layered over one base network profile.
 [[nodiscard]] std::vector<TortureScenario> torture_scenarios(const net::NetworkProfile& base);
+
+/// Shared-bottleneck contention cells layered over one base profile: a
+/// saturating cubic crowd and a reordering+mixed-on-off combination.
+[[nodiscard]] std::vector<TortureScenario> contention_scenarios(
+    const net::NetworkProfile& base);
 
 /// Degenerate profile with zero propagation delay and (near-)instant
 /// serialization: every RTT sample collapses toward 0 ticks (the

@@ -258,6 +258,18 @@ double spearman(std::span<const double> x, std::span<const double> y) {
   return pearson(rx, ry);
 }
 
+double jain_fairness_index(std::span<const double> xs) {
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (double x : xs) {
+    if (x < 0.0) x = 0.0;
+    sum += x;
+    sumsq += x * x;
+  }
+  if (xs.empty() || sumsq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sumsq);
+}
+
 NormalityResult jarque_bera(std::span<const double> xs) {
   NormalityResult result;
   const std::size_t n = xs.size();

@@ -28,6 +28,12 @@ namespace qperc::stats {
 [[nodiscard]] double skewness(std::span<const double> xs);
 [[nodiscard]] double excess_kurtosis(std::span<const double> xs);
 
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over per-flow allocations:
+/// 1 when all flows get equal shares, 1/n when one flow takes everything.
+/// Degenerate inputs (empty, or every x == 0) return 1.0 — "nothing to share"
+/// is read as fair. Negative allocations are invalid and clamped to 0.
+[[nodiscard]] double jain_fairness_index(std::span<const double> xs);
+
 // ---- Special functions ----------------------------------------------------
 
 /// Regularized incomplete beta function I_x(a, b).

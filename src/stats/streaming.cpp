@@ -137,6 +137,24 @@ ConfidenceInterval mean_confidence_interval(const ExactMoments& m, double level)
   return moments_confidence_interval(m.mean(), m.sample_variance(), m.count(), level);
 }
 
+void JainAccumulator::push(double x) {
+  if (x < 0.0) x = 0.0;  // same clamp as the batch helper
+  ++n_;
+  sum_ += x;
+  sumsq_ += x * x;
+}
+
+void JainAccumulator::merge(const JainAccumulator& other) {
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sumsq_ += other.sumsq_;
+}
+
+double JainAccumulator::index() const {
+  if (n_ == 0 || sumsq_ == 0.0) return 1.0;
+  return sum_ * sum_ / (static_cast<double>(n_) * sumsq_);
+}
+
 TwoSampleResult welch_t_test(double mean_a, double var_a, std::uint64_t n_a, double mean_b,
                              double var_b, std::uint64_t n_b) {
   TwoSampleResult result;

@@ -92,6 +92,29 @@ class ExactMoments {
   std::uint64_t sumsq_lo_ = 0;
 };
 
+// ---- Streaming Jain's fairness index ---------------------------------------
+
+/// Folds per-flow allocations into the three sums Jain's index needs
+/// (n, sum x, sum x^2). merge() is plain addition, so shard-local
+/// accumulators combine in any grouping or order and index() matches the
+/// batch stats::jain_fairness_index on the same data up to floating-point
+/// associativity of the sums (bit-exact when merged in stream order).
+class JainAccumulator {
+ public:
+  void push(double x);
+  void merge(const JainAccumulator& other);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  /// Same degenerate-input convention as stats::jain_fairness_index:
+  /// empty or all-zero streams are "nothing to share" and index 1.
+  [[nodiscard]] double index() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+};
+
 // ---- Inference from streamed moments ---------------------------------------
 
 /// Student-t confidence interval for a mean given streamed moments; matches

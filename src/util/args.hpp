@@ -1,0 +1,121 @@
+// Shared --flag parsing for the qperc subcommands (trial, campaign, torture,
+// study, fairness, bench). One hardened implementation instead of five ad-hoc
+// loops: an unknown flag, a stray positional argument, a malformed number, or
+// a bad --shard I/N is a thrown std::invalid_argument, which main() turns
+// into exit code 2 — bad input is never silently ignored or parsed as 0.
+#pragma once
+
+#include <charconv>
+#include <initializer_list>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qperc {
+
+/// --flag value parser; flags may appear in any order. Each command hands
+/// over its accepted flag names: an unknown flag, a stray positional
+/// argument, or (via get_u64) a non-numeric value is a hard error instead
+/// of being silently ignored or parsed as 0.
+class Args {
+ public:
+  Args(int argc, char** argv, int first, std::string command,
+       std::initializer_list<std::string_view> allowed)
+      : command_(std::move(command)) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected argument '" + key + "' for 'qperc " +
+                                    command_ + "'");
+      }
+      key = key.substr(2);
+      bool known = false;
+      for (const auto candidate : allowed) known = known || candidate == key;
+      if (!known) {
+        throw std::invalid_argument("unknown flag --" + key + " for 'qperc " + command_ +
+                                    "' (see `qperc` usage)");
+      }
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    std::uint64_t value = 0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      throw std::invalid_argument("--" + key + " expects a non-negative integer, got '" +
+                                  text + "'");
+    }
+    return value;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size()) {
+      throw std::invalid_argument("--" + key + " expects a number, got '" + text + "'");
+    }
+    return value;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+};
+
+/// Splits "A,B,C" into {"A","B","C"}, dropping empty fields.
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(std::move(current));
+  return parts;
+}
+
+/// Applies a `--shard I/N` flag (if present) to the given shard geometry.
+/// Throws on anything that is not two integers separated by '/'.
+inline void apply_shard_flag(const Args& args, unsigned& shard_index,
+                             unsigned& shard_count) {
+  if (!args.has("shard")) return;
+  const std::string shard = args.get("shard", "0/1");
+  const auto slash = shard.find('/');
+  bool ok = slash != std::string::npos;
+  if (ok) {
+    try {
+      shard_index = static_cast<unsigned>(std::stoul(shard.substr(0, slash)));
+      shard_count = static_cast<unsigned>(std::stoul(shard.substr(slash + 1)));
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    throw std::invalid_argument("--shard expects I/N (e.g. --shard 0/4), got '" + shard +
+                                "'");
+  }
+}
+
+}  // namespace qperc

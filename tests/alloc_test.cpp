@@ -19,6 +19,7 @@
 #include "core/protocol.hpp"
 #include "core/trial.hpp"
 #include "core/trial_context.hpp"
+#include "net/contention.hpp"
 #include "net/profile.hpp"
 #include "util/alloc_interpose.hpp"
 #include "web/website.hpp"
@@ -44,7 +45,8 @@ const web::Website& site_by_name(const std::vector<web::Website>& catalog,
   throw std::runtime_error("site not in catalog: " + name);
 }
 
-std::uint64_t steady_state_allocs_per_trial(const std::string& protocol_name) {
+std::uint64_t steady_state_allocs_per_trial(const std::string& protocol_name,
+                                            const net::ContentionConfig& contention = {}) {
   const auto catalog = web::study_catalog(7);
   const web::Website& site = site_by_name(catalog, "apache.org");
   const auto& protocol = core::protocol_by_name(protocol_name);
@@ -55,13 +57,15 @@ std::uint64_t steady_state_allocs_per_trial(const std::string& protocol_name) {
   // Warm-up grows arena blocks and container capacities to their high-water
   // marks; the timed region below is the steady state users and benches see.
   for (int i = 0; i < kWarmupTrials; ++i) {
-    const auto result = context.run(core::TrialSpec(site, protocol, profile, seed++));
+    const auto result = context.run(
+        core::TrialSpec(site, protocol, profile, seed++).with_contention(contention));
     EXPECT_TRUE(result.metrics.finished);
   }
 
   const std::uint64_t before = heap_allocations();
   for (int i = 0; i < kMeasuredTrials; ++i) {
-    const auto result = context.run(core::TrialSpec(site, protocol, profile, seed++));
+    const auto result = context.run(
+        core::TrialSpec(site, protocol, profile, seed++).with_contention(contention));
     EXPECT_TRUE(result.metrics.finished);
   }
   return (heap_allocations() - before) / kMeasuredTrials;
@@ -79,6 +83,25 @@ TEST(AllocBudget, TcpSteadyStateTrialStaysInBudget) {
   EXPECT_LE(allocs, kMaxAllocationsPerTrial)
       << "TCP steady-state trial allocates more than the documented budget; "
          "see docs/PERFORMANCE.md before raising kMaxAllocationsPerTrial";
+}
+
+/// The multi-flow path keeps the same discipline: endpoints, access links,
+/// and the cross-traffic sources live in the per-trial arena, so the only
+/// extra steady-state heap traffic is the one session object per cross flow
+/// (heap for the same reason the page's per-origin sessions are). The budget
+/// therefore scales linearly in the flow count on top of the single-flow
+/// ceiling; see docs/PERFORMANCE.md before loosening either constant.
+constexpr std::uint32_t kBudgetFlows = 16;
+constexpr std::uint64_t kMaxAllocationsPerFlow = 6;
+
+TEST(AllocBudget, MultiFlowSteadyStateTrialStaysInBudget) {
+  net::ContentionConfig contention;
+  contention.flows = kBudgetFlows;
+  contention.mix = net::CrossMix::kMixed;  // covers both cross-session stacks
+  const std::uint64_t allocs = steady_state_allocs_per_trial("QUIC", contention);
+  EXPECT_LE(allocs, kMaxAllocationsPerTrial + kBudgetFlows * kMaxAllocationsPerFlow)
+      << "contended steady-state trial allocates more than the documented "
+         "budget; see docs/PERFORMANCE.md before raising the constants";
 }
 
 /// The counting shim itself: a heap allocation visibly moves the counter.

@@ -260,20 +260,24 @@ TEST(TrialSpec, MaxEventsCapsTheTrial) {
   EXPECT_FALSE(capped.metrics.finished);
 }
 
-TEST(TrialSpec, DeprecatedShimsMatchSpecOverload) {
+TEST(TrialSpec, ExplicitlyDisabledContentionMatchesDefault) {
+  // TrialSpec is the single construction path now that the deprecated
+  // run_trial shims are gone; an explicit flows=0 contention config must be
+  // indistinguishable from the default spec (zero extra RNG draws).
   const auto catalog = web::study_catalog(7);
   const auto& site = catalog[2];
   const auto& protocol = protocol_by_name("TCP+");
   const auto profile = net::lte_profile();
-  const auto via_spec = run_trial(TrialSpec(site, protocol, profile, 77));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto via_shim = run_trial(site, protocol, profile, 77);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(via_spec.metrics.speed_index, via_shim.metrics.speed_index);
-  EXPECT_EQ(via_spec.metrics.page_load_time, via_shim.metrics.page_load_time);
-  EXPECT_EQ(via_spec.transport.retransmissions, via_shim.transport.retransmissions);
-  EXPECT_EQ(via_spec.connections_opened, via_shim.connections_opened);
+  const auto by_default = run_trial(TrialSpec(site, protocol, profile, 77));
+  net::ContentionConfig disabled;
+  disabled.flows = 0;
+  disabled.mix = net::CrossMix::kMixed;  // ignored while flows == 0
+  const auto explicit_off =
+      run_trial(TrialSpec(site, protocol, profile, 77).with_contention(disabled));
+  EXPECT_EQ(by_default.metrics.speed_index, explicit_off.metrics.speed_index);
+  EXPECT_EQ(by_default.metrics.page_load_time, explicit_off.metrics.page_load_time);
+  EXPECT_EQ(by_default.transport.retransmissions, explicit_off.transport.retransmissions);
+  EXPECT_EQ(by_default.connections_opened, explicit_off.connections_opened);
 }
 
 TEST(Http1Baseline, LoadsAndIsSlowerThanQuic) {

@@ -56,8 +56,9 @@ TEST(TortureSmoke, SmallGridRunsCleanAndDeterministically) {
   EXPECT_EQ(first.deadlocks, 0u);
   EXPECT_EQ(first.conservation_failures, 0u);
   EXPECT_EQ(first.exceptions, 0u);
-  // 2 bases x 5 impairment scenarios + zero-delay, x 2 protocols x 4 sites.
-  EXPECT_EQ(first.trials, 88u);
+  // 2 bases x 5 impairment scenarios + zero-delay, x 2 protocols x 4 sites,
+  // plus the DSL contention pair (contended-8cubic, reorder-contended).
+  EXPECT_EQ(first.trials, 104u);
   EXPECT_FALSE(progress.str().empty());
 
   const TortureReport second = run_torture(options);

@@ -10,6 +10,8 @@
 //                  [--runs R] [--sites N] [--seed K]
 //   qperc campaign run|status|export    the full experiment grid as a
 //                  durable, resumable, parallel campaign (src/runner)
+//   qperc fairness --flows N --mix M    multi-flow contention cells: per-flow
+//                  goodput, Jain's index, queue occupancy, QoE under load
 //   qperc bench throughput              steady-state trial throughput through
 //                  a reused TrialContext (trials/sec, allocations/trial)
 #include <charconv>
@@ -17,7 +19,6 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
-#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "runner/campaign.hpp"
 #include "sim/simulator.hpp"
 #include "runner/campaign_runner.hpp"
+#include "runner/fairness.hpp"
 #include "runner/result_store.hpp"
 #include "runner/torture.hpp"
 #include "stats/stats.hpp"
@@ -45,76 +47,13 @@
 // The one TU of this binary holding the counting operator new/delete shim:
 // `bench throughput` reports measured allocations/trial, not estimates.
 #include "util/alloc_interpose.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 #include "web/catalog_io.hpp"
 #include "web/website.hpp"
 
 namespace qperc::cli {
 namespace {
-
-/// --flag value parser; flags may appear in any order. Each command hands
-/// over its accepted flag names: an unknown flag, a stray positional
-/// argument, or (via get_u64) a non-numeric value is a hard error instead
-/// of being silently ignored or parsed as 0.
-class Args {
- public:
-  Args(int argc, char** argv, int first, std::string command,
-       std::initializer_list<std::string_view> allowed)
-      : command_(std::move(command)) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        throw std::invalid_argument("unexpected argument '" + key + "' for 'qperc " +
-                                    command_ + "'");
-      }
-      key = key.substr(2);
-      bool known = false;
-      for (const auto candidate : allowed) known = known || candidate == key;
-      if (!known) {
-        throw std::invalid_argument("unknown flag --" + key + " for 'qperc " + command_ +
-                                    "' (see `qperc` usage)");
-      }
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "true";
-      }
-    }
-  }
-
-  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    const std::string& text = it->second;
-    std::uint64_t value = 0;
-    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
-    if (ec != std::errc{} || end != text.data() + text.size()) {
-      throw std::invalid_argument("--" + key + " expects a non-negative integer, got '" +
-                                  text + "'");
-    }
-    return value;
-  }
-  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    const std::string& text = it->second;
-    double value = 0.0;
-    const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
-    if (ec != std::errc{} || end != text.data() + text.size()) {
-      throw std::invalid_argument("--" + key + " expects a number, got '" + text + "'");
-    }
-    return value;
-  }
-  [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
-
- private:
-  std::string command_;
-  std::map<std::string, std::string> values_;
-};
 
 int usage() {
   std::cerr
@@ -144,6 +83,12 @@ int usage() {
          "  campaign status [--out DIR] [--sites N] [--runs R] [--seed K]\n"
          "                  [--protocols A,B] [--networks A,B]\n"
          "  campaign export [--out DIR] [--runs R] [--seed K]\n"
+         "  fairness [--sites A,B] [--protocols A,B] [--networks A,B] [--flows N,M]\n"
+         "           [--mix cubic|reno|bbr|quic|mixed,..] [--stagger-ms T,U]\n"
+         "           [--runs R] [--seed K] [--burst-kb N] [--off-ms T] [--jobs J]\n"
+         "           [--shard I/N] [--resume] [--out DIR] [--export FILE]\n"
+         "           [--max-cells N] [--retries N] [--checkpoint-every N]\n"
+         "           [--report] [--quiet]\n"
          "  bench throughput [--site S] [--protocol P] [--network N] [--trials N]\n"
          "                  [--warmup N] [--seed K] [--catalog FILE]\n";
   return 2;
@@ -556,23 +501,7 @@ int cmd_study_run(const Args& args) {
   options.max_blocks = args.get_u64("max-blocks", 0);
   options.checkpoint_every_blocks = args.get_u64("checkpoint-every", 64);
   options.resume = args.has("resume");
-  if (args.has("shard")) {
-    const std::string shard = args.get("shard", "0/1");
-    const auto slash = shard.find('/');
-    bool ok = slash != std::string::npos;
-    if (ok) {
-      try {
-        options.shard_index = static_cast<unsigned>(std::stoul(shard.substr(0, slash)));
-        options.shard_count = static_cast<unsigned>(std::stoul(shard.substr(slash + 1)));
-      } catch (const std::exception&) {
-        ok = false;
-      }
-    }
-    if (!ok) {
-      throw std::invalid_argument("--shard expects I/N (e.g. --shard 0/4), got '" +
-                                  shard + "'");
-    }
-  }
+  apply_shard_flag(args, options.shard_index, options.shard_count);
   const std::string out_dir = args.get("out", "out/study");
   std::filesystem::create_directories(out_dir);
   options.checkpoint_path =
@@ -708,21 +637,6 @@ int cmd_study_report(const Args& args) {
 
 // --- qperc campaign ---------------------------------------------------------
 
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> parts;
-  std::string current;
-  for (const char c : csv) {
-    if (c == ',') {
-      if (!current.empty()) parts.push_back(std::move(current));
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  if (!current.empty()) parts.push_back(std::move(current));
-  return parts;
-}
-
 /// Builds the grid spec shared by campaign run/status/export: the default
 /// is the full paper grid (all sites x 5 protocols x 4 networks).
 runner::CampaignSpec spec_from_args(const Args& args) {
@@ -754,23 +668,7 @@ runner::CampaignSpec spec_from_args(const Args& args) {
     for (const auto& profile : net::all_profiles()) spec.networks.push_back(profile.kind);
   }
 
-  if (args.has("shard")) {
-    const std::string shard = args.get("shard", "0/1");
-    const auto slash = shard.find('/');
-    bool ok = slash != std::string::npos;
-    if (ok) {
-      try {
-        spec.shard_index = static_cast<unsigned>(std::stoul(shard.substr(0, slash)));
-        spec.shard_count = static_cast<unsigned>(std::stoul(shard.substr(slash + 1)));
-      } catch (const std::exception&) {
-        ok = false;
-      }
-    }
-    if (!ok) {
-      throw std::invalid_argument("--shard expects I/N (e.g. --shard 0/4), got '" +
-                                  shard + "'");
-    }
-  }
+  apply_shard_flag(args, spec.shard_index, spec.shard_count);
   spec.validate();
   return spec;
 }
@@ -927,6 +825,243 @@ int cmd_campaign_export(const Args& args) {
   return 0;
 }
 
+// --- qperc fairness ---------------------------------------------------------
+
+std::uint32_t parse_u32_field(const std::string& text, const char* flag) {
+  std::uint32_t value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw std::invalid_argument(std::string("--") + flag +
+                                " expects non-negative integers, got '" + text + "'");
+  }
+  return value;
+}
+
+double parse_double_field(const std::string& text, const char* flag) {
+  double value = 0.0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw std::invalid_argument(std::string("--") + flag + " expects numbers, got '" +
+                                text + "'");
+  }
+  return value;
+}
+
+/// Builds the fairness grid spec shared by run/report/export. The default is
+/// one cell: the first catalog site, QUIC over DSL, 16 cubic cross flows.
+runner::FairnessSpec fairness_spec_from_args(const Args& args) {
+  runner::FairnessSpec spec;
+  spec.seed = args.get_u64("seed", 7);
+  spec.runs = static_cast<std::uint32_t>(args.get_u64("runs", 5));
+
+  const auto catalog = web::study_catalog(spec.seed);
+  if (args.has("sites")) {
+    for (const auto& name : split_csv(args.get("sites", ""))) {
+      bool known = false;
+      for (const auto& site : catalog) known = known || site.name == name;
+      if (!known) {
+        throw std::invalid_argument("unknown site '" + name + "' — see `qperc catalog`");
+      }
+      spec.sites.push_back(name);
+    }
+  } else {
+    spec.sites.push_back(catalog.front().name);
+  }
+
+  if (args.has("protocols")) {
+    for (const auto& name : split_csv(args.get("protocols", ""))) {
+      spec.protocols.push_back(core::protocol_by_name(name).name);  // validates
+    }
+  } else {
+    spec.protocols.emplace_back("QUIC");
+  }
+
+  if (args.has("networks")) {
+    for (const auto& name : split_csv(args.get("networks", ""))) {
+      spec.networks.push_back(network_by_name(name).kind);
+    }
+  } else {
+    spec.networks.push_back(net::NetworkKind::kDsl);
+  }
+
+  for (const auto& text : split_csv(args.get("flows", "16"))) {
+    spec.flow_counts.push_back(parse_u32_field(text, "flows"));
+  }
+  for (const auto& text : split_csv(args.get("mix", "cubic"))) {
+    spec.mixes.push_back(net::parse_cross_mix(text));
+  }
+  for (const auto& text : split_csv(args.get("stagger-ms", "0"))) {
+    spec.staggers.push_back(from_seconds(parse_double_field(text, "stagger-ms") / 1e3));
+  }
+  spec.burst_bytes = args.get_u64("burst-kb", 0) * 1024;
+  spec.off_time = from_seconds(args.get_double("off-ms", 0.0) / 1e3);
+  apply_shard_flag(args, spec.shard_index, spec.shard_count);
+  spec.validate();
+  return spec;
+}
+
+std::string fairness_file_name(const runner::FairnessSpec& spec) {
+  std::string name =
+      "fairness_seed" + std::to_string(spec.seed) + "_runs" + std::to_string(spec.runs);
+  if (spec.shard_count > 1) {
+    name += "_shard" + std::to_string(spec.shard_index) + "of" +
+            std::to_string(spec.shard_count);
+  }
+  return name + ".qfr";
+}
+
+/// All fairness checkpoints in `out_dir` for this (seed, runs) — the
+/// unsharded store plus shard stores; incompatible axes are filtered out by
+/// the fingerprint check inside absorb().
+std::vector<std::string> fairness_files(const std::string& out_dir,
+                                        const runner::FairnessSpec& spec) {
+  const std::string prefix =
+      "fairness_seed" + std::to_string(spec.seed) + "_runs" + std::to_string(spec.runs);
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(out_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && name.ends_with(".qfr")) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Writes the merged cells as canonical record lines (key-sorted, fixed field
+/// order, max_digits10 doubles) — byte-identical for identical grids
+/// regardless of --jobs, shard split, or resume history.
+void write_fairness_export(const std::string& path, const runner::FairnessStore& store) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write export file " + path);
+  store.for_each(
+      [&out](const runner::FairnessCell& cell) { runner::write_fairness_record(out, cell); });
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing export file " + path);
+}
+
+void print_fairness_summary(const runner::FairnessStore& store) {
+  TextTable table({"Site", "Protocol", "Network", "flows", "mix", "stagger", "Jain",
+                   "queue peak", "drops", "PLT", "SI", "page retx"});
+  store.for_each([&table](const runner::FairnessCell& cell) {
+    table.add_row({cell.site, cell.protocol, std::string(net::to_string(cell.network)),
+                   std::to_string(cell.flows), std::string(net::to_string(cell.mix)),
+                   fmt_ms(to_millis(cell.stagger)), fmt_fixed(cell.jain_index, 3),
+                   fmt_percent(cell.mean_queue_peak_frac),
+                   fmt_fixed(cell.mean_queue_drops, 1), fmt_ms(cell.mean_plt_ms),
+                   fmt_ms(cell.mean_si_ms), fmt_fixed(cell.mean_page_retransmissions, 1)});
+  });
+  table.print(std::cout);
+
+  // Per-flow goodput detail when the grid is one contended cell.
+  if (store.size() == 1) {
+    store.for_each([](const runner::FairnessCell& cell) {
+      if (cell.flows == 0) return;
+      std::cout << "\nper-flow goodput (" << cell.flows << " cross flows, mean of "
+                << cell.runs << " runs)\n";
+      TextTable flows({"flow", "goodput"});
+      for (std::size_t i = 0; i < cell.flow_goodput_bps.size(); ++i) {
+        flows.add_row({std::to_string(i),
+                       fmt_fixed(cell.flow_goodput_bps[i] / 1e6, 3) + " Mbps"});
+      }
+      flows.print(std::cout);
+    });
+  }
+}
+
+int cmd_fairness(const Args& args) {
+  const auto spec = fairness_spec_from_args(args);
+  const std::string out_dir = args.get("out", "out/fairness");
+  std::filesystem::create_directories(out_dir);
+
+  // --report: merge every compatible checkpoint in --out and print/export
+  // without running anything (the multi-shard rendezvous).
+  if (args.has("report")) {
+    runner::FairnessStore merged(out_dir + "/.fairness_merge.tmp", spec.seed, spec.runs,
+                                 spec.fingerprint());
+    std::size_t absorbed = 0;
+    for (const auto& file : fairness_files(out_dir, spec)) {
+      if (merged.absorb(file)) {
+        ++absorbed;
+      } else {
+        std::cerr << "fairness: skipping unreadable or mismatched checkpoint " << file
+                  << "\n";
+      }
+    }
+    if (absorbed == 0) {
+      std::cerr << "fairness: no usable checkpoints in " << out_dir
+                << " — run `qperc fairness` first\n";
+      return 1;
+    }
+    std::cerr << "fairness: merged " << merged.size() << "/" << spec.grid_size()
+              << " cells from " << absorbed << " checkpoint(s)\n";
+    if (args.has("export")) {
+      const std::string path = args.get("export", "fairness.txt");
+      write_fairness_export(path, merged);
+      std::cerr << "fairness: exported to " << path << "\n";
+    }
+    print_fairness_summary(merged);
+    return merged.size() == spec.grid_size() ? 0 : 1;
+  }
+
+  runner::FairnessStore store(out_dir + "/" + fairness_file_name(spec), spec.seed,
+                              spec.runs, spec.fingerprint(),
+                              args.get_u64("checkpoint-every", 8));
+  if (args.has("resume")) {
+    if (store.load()) {
+      std::cerr << "fairness: resuming — " << store.size()
+                << " cells already checkpointed in " << store.path() << "\n";
+    } else {
+      std::cerr << "fairness: no usable checkpoint at " << store.path()
+                << ", starting fresh\n";
+    }
+  }
+
+  runner::FairnessOptions options;
+  options.jobs = static_cast<unsigned>(args.get_u64("jobs", 0));
+  options.max_attempts = static_cast<unsigned>(args.get_u64("retries", 1)) + 1;
+  options.max_tasks = args.get_u64("max-cells", 0);
+  if (!args.has("quiet")) {
+    options.on_progress = [](const runner::FairnessProgress& progress) {
+      std::cerr << "\rfairness: " << progress.completed << "/" << progress.pending
+                << " cells (" << progress.skipped << " resumed), ETA "
+                << fmt_fixed(progress.eta_seconds, 0) << " s   " << std::flush;
+    };
+  }
+
+  const auto report = runner::run_fairness(spec, store, options);
+  if (options.on_progress) std::cerr << "\n";
+
+  std::cerr << "fairness: " << report.total << " cells in shard (grid "
+            << spec.grid_size() << "), " << report.skipped << " resumed, "
+            << report.executed << " executed, " << report.failures.size() << " failed in "
+            << fmt_fixed(report.elapsed_seconds, 1) << " s\n";
+  for (const auto& failure : report.failures) {
+    std::cerr << "fairness: FAILED " << failure.task.site << "/" << failure.task.protocol
+              << "/" << net::to_string(failure.task.network) << "/"
+              << failure.task.flows << "x" << net::to_string(failure.task.mix)
+              << " after " << failure.attempts << " attempt(s): " << failure.message
+              << "\n";
+  }
+  std::cerr << "fairness: results in " << store.path() << "\n";
+  if (!report.failures.empty()) return 1;
+
+  if (spec.shard_count > 1) {
+    std::cerr << "fairness: shard " << spec.shard_index << "/" << spec.shard_count
+              << " done — merge with `qperc fairness --report`\n";
+    return 0;
+  }
+  if (args.has("export")) {
+    const std::string path = args.get("export", "fairness.txt");
+    write_fairness_export(path, store);
+    std::cerr << "fairness: exported to " << path << "\n";
+  }
+  if (store.size() == spec.grid_size()) print_fairness_summary(store);
+  return 0;
+}
+
 int cmd_torture(const Args& args) {
   runner::TortureOptions options;
   options.seed = args.get_u64("seed", 1);
@@ -1043,6 +1178,7 @@ int cmd_campaign(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace qperc::cli;
+  using qperc::Args;
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
@@ -1092,6 +1228,13 @@ int main(int argc, char** argv) {
           Args(argc, argv, 2, "study", {"kind", "group", "runs", "sites", "seed"}));
     }
     if (command == "campaign") return cmd_campaign(argc, argv);
+    if (command == "fairness") {
+      return cmd_fairness(
+          Args(argc, argv, 2, "fairness",
+               {"sites", "protocols", "networks", "flows", "mix", "stagger-ms", "runs",
+                "seed", "burst-kb", "off-ms", "jobs", "shard", "resume", "out", "export",
+                "max-cells", "retries", "checkpoint-every", "report", "quiet"}));
+    }
     if (command == "bench") return cmd_bench(argc, argv);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
