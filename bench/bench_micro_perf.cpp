@@ -7,7 +7,7 @@
 //   * default: the usual google-benchmark CLI (--benchmark_filter=...),
 //   * --qperc_json PATH [--qperc_iters N]: runs the fixed scheduler/timer/
 //     page-load measurement suite and writes the machine-readable
-//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v4) that
+//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v5) that
 //     scripts/bench_baseline.sh diffs against the checked-in numbers.
 //     N scales the iteration counts (default 100; 1 = smoke test).
 //
@@ -500,7 +500,7 @@ int run_json_mode(const std::string& path, int scale) {
   out.precision(3);
   out << std::fixed;
   out << "{\n"
-      << "  \"schema\": \"qperc-bench-micro-v4\",\n"
+      << "  \"schema\": \"qperc-bench-micro-v5\",\n"
       << "  \"iters_scale\": " << scale << ",\n"
       << "  \"metrics\": {\n"
       << "    \"ns_per_schedule\": " << results.ns_per_schedule << ",\n"

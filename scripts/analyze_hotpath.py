@@ -1,0 +1,1056 @@
+#!/usr/bin/env python3
+"""Hot-path purity analyzer: a binary-level proof that nothing reachable from
+the trial hot path allocates, reads clocks or the environment, formats
+through iostream/locale, or throws — on every code path, before anything
+runs.
+
+The bench ratchet (scripts/bench_baseline.sh --ratchet) enforces the
+allocation budget *dynamically*: it catches a regression only after the
+benchmark executes, and only on the paths the benchmark happens to exercise.
+This analyzer closes the gap statically. It reads the compiled object files
+(built with `-ffunction-sections -fstack-usage`, which the top-level
+CMakeLists enables for GCC/Clang), reconstructs the whole-program call graph
+from relocation records — no fragile C++ parsing; symbols are demangled with
+c++filt only for reporting and rule matching — and walks reachability from
+the declared hot-path roots:
+
+    qperc::core::TrialContext::run            (the per-trial entry point)
+    qperc::sim::Simulator::run / run_until    (the event loop)
+    (anonymous namespace)::simulate_one       (population-study inner loop)
+    (anonymous namespace)::run_cell           (fairness-grid inner loop)
+
+Call-graph construction (see ARCHITECTURE.md "Static analysis"):
+  * direct edges: every relocation out of a `.text.*` section, attributed to
+    the containing function by symbol-table offset ranges; the disassembly
+    stream classifies each site as a call (call/jmp mnemonics) or an
+    address-taken reference,
+  * virtual calls: constructing an object plants a relocation to the class
+    vtable (`_ZTV*`); the analyzer expands that data reference to edges into
+    every function the vtable slots reference,
+  * function pointers / SmallFunction: storing a callable captures its invoke
+    thunk either as a direct code address or through a static ops table
+    (`SmallFunction::kInlineOps<F>`); both surface as relocations and expand
+    the same way (data references close transitively over data symbols).
+  Known blind spots, by design: callables constructed *outside* the hot
+  region but invoked inside it (e.g. trace sinks attached by the CLI), and
+  anything behind a shared-library boundary other than the recognized sink
+  entry points.
+
+Rules enforced on every reachable function:
+  alloc        operator new/delete, malloc/realloc/free family, and the
+               out-of-line libstdc++ std::string allocation entry points
+  wall-clock   clock_gettime/gettimeofday/time and std::chrono::*_clock::now
+  getenv       getenv/secure_getenv/std::getenv and setenv/putenv
+  locale       std::locale/use_facet/num_put/... and setlocale family
+  iostream     std::basic_ostream & friends, stringstreams, printf/stdio,
+               and raw read/write/open/close
+  throw        __cxa_throw/__cxa_allocate_exception and std::__throw_*
+
+Suppression, in two deliberately different shapes:
+  * QPERC_COLD_PATH (src/util/check.hpp) marks a function as off the hot
+    path; it compiles to `cold,noinline`, which places the function in a
+    `.text.unlikely.*` section — the binary-level marker this analyzer treats
+    as a traversal barrier. Annotate genuinely-cold setup/validation/
+    reporting functions at the source.
+  * scripts/hotpath_allowlist.txt carries reviewed site-level exemptions for
+    the budgeted allocations (per-origin sessions, warm-capacity container
+    growth, result copy-out). Every entry names the rule, a demangled-symbol
+    regex for the function whose body references the banned symbol, and a
+    mandatory reason. Traversal continues past an allowlisted site; only the
+    one banned reference is excused.
+
+The worst-case hot-path stack budget is summed from the compiler's `.su`
+stack-usage records over the hot call graph: the deepest synchronous call
+chain from a root, plus the deepest chain of any indirectly-invoked callback
+(one level of indirection; nested indirection is bounded by the same callback
+term and noted as a blind spot). The result is ratcheted in BENCH_micro.json
+(schema v5, `analyzer.hot_path_stack_bytes`) by ci_gate's analyze stage.
+
+Usage:
+    scripts/analyze_hotpath.py --build-dir build             # full-tree scan
+    scripts/analyze_hotpath.py --build-dir build --ratchet   # + stack ratchet
+    scripts/analyze_hotpath.py --build-dir build --write-baseline
+    scripts/analyze_hotpath.py --self-test                   # fixture proofs
+    scripts/analyze_hotpath.py --list-rules
+
+Exit status: 0 clean, 1 findings or ratchet regression, 2 usage/self-test/
+infrastructure failure (missing objects, unmatched root pattern, malformed
+allowlist).
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+
+# ---------------------------------------------------------------------------
+# Rule tables. C-level sinks match raw symbol names exactly; C++ sinks match
+# the demangled name. A symbol matching any rule is a "banned sink": reaching
+# it from a hot function is a finding unless the referencing site is
+# allowlisted or the walk was already cut by a QPERC_COLD_PATH barrier.
+
+C_SINKS = {
+    "alloc": {
+        "malloc", "calloc", "realloc", "reallocarray", "free", "cfree",
+        "aligned_alloc", "posix_memalign", "memalign", "valloc", "pvalloc",
+        "strdup", "strndup", "asprintf", "vasprintf",
+    },
+    "wall-clock": {
+        "clock_gettime", "gettimeofday", "time", "clock", "times",
+        "timespec_get", "ftime", "nanosleep", "usleep", "sleep",
+    },
+    "getenv": {"getenv", "secure_getenv", "__secure_getenv", "setenv", "unsetenv", "putenv"},
+    "locale": {"setlocale", "uselocale", "newlocale", "duplocale", "freelocale",
+               "localeconv", "nl_langinfo"},
+    "iostream": {
+        "printf", "fprintf", "vfprintf", "dprintf", "sprintf", "vsprintf",
+        "snprintf", "vsnprintf", "puts", "fputs", "fputc", "putc", "putchar",
+        "fwrite", "fread", "fflush", "fopen", "fclose", "fgets", "fscanf",
+        "perror", "write", "read", "open", "close", "lseek",
+    },
+    # Exception ORIGINATION only: __cxa_rethrow (and _Unwind_Resume) merely
+    # propagate an exception that is already in flight — they appear in the
+    # cleanup paths of perfectly pure template machinery and would make the
+    # rule fire on code that never throws first.
+    "throw": {"__cxa_throw", "__cxa_allocate_exception",
+              "__cxa_bad_cast", "__cxa_bad_typeid"},
+}
+
+CXX_SINKS = [
+    ("alloc", r"^operator new"),
+    ("alloc", r"^operator delete"),
+    # Out-of-line libstdc++ string entry points: the operator new they call
+    # lives inside libstdc++.so and is invisible to relocation scanning, so
+    # the entry points themselves are the sinks. _M_dispose (the free side)
+    # counts too: a hot path touching it owned an allocation moments before.
+    ("alloc", r"^std::__cxx11::basic_string<.*>::(?:_M_create|_M_construct|_M_mutate"
+              r"|_M_replace|_M_append|_M_assign|_M_dispose|append|assign|insert"
+              r"|push_back|reserve|resize|operator\+?=)"),
+    ("alloc", r"^std::__cxx11::to_string"),
+    ("wall-clock", r"^std::chrono::_V2::(?:system|steady)_clock::now"),
+    ("getenv", r"^std::getenv"),
+    ("locale", r"^std::(?:locale|use_facet|has_facet|__try_use_facet|ctype"
+               r"|num_put|num_get|numpunct|moneypunct|money_put|money_get)"),
+    ("iostream", r"^std::basic_[io]stream|^std::basic_ios<|^std::ios_base"
+                 r"|^std::basic_(?:string|file|stream)buf|^std::basic_[io]?f?stream"
+                 r"|^std::basic_[io]?stringstream|^std::__ostream_insert"
+                 r"|^std::endl|^std::flush|^std::operator<<|^std::operator>>"
+                 r"|^std::cout$|^std::cerr$|^std::clog$|^std::cin$"),
+    ("throw", r"^std::__throw_"),
+]
+CXX_SINKS = [(rule, re.compile(pattern)) for rule, pattern in CXX_SINKS]
+
+ALL_RULES = ("alloc", "wall-clock", "getenv", "locale", "iostream", "throw")
+
+RULE_HELP = {
+    "alloc": "operator new/delete, malloc family, libstdc++ string growth",
+    "wall-clock": "clock_gettime/gettimeofday/time, std::chrono::*_clock::now",
+    "getenv": "getenv/secure_getenv/std::getenv, setenv/putenv",
+    "locale": "std::locale/facets, setlocale family",
+    "iostream": "ostream/stringstream formatting, printf/stdio, raw read/write",
+    "throw": "__cxa_throw/__cxa_allocate_exception, std::__throw_*",
+}
+
+DEFAULT_ROOTS = [
+    ("trial-context", r"^qperc::core::TrialContext::run\("),
+    ("simulator-run", r"^qperc::sim::Simulator::(?:run|run_until)\("),
+    ("study-participant", r"\(anonymous namespace\)::simulate_one\("),
+    ("fairness-cell", r"\(anonymous namespace\)::run_cell\("),
+]
+
+# Sections whose symbols are traversal barriers: GCC places
+# __attribute__((cold)) functions (QPERC_COLD_PATH) and its own
+# expect-guided out-of-line failure paths in .text.unlikely; .text.startup /
+# .text.exit hold static (de)initializers, which never run inside a trial.
+COLD_SECTION_PREFIXES = (".text.unlikely", ".text.startup", ".text.exit")
+
+# Data sections worth expanding into function edges (vtables, ops tables,
+# jump tables). EH/debug metadata reference code too but only describe it.
+DATA_SECTION_PREFIXES = (".data", ".rodata", ".bss")
+
+RELOC_TARGET_RE = re.compile(r"^(?P<sym>[^+\-]+)(?:(?P<sign>[+\-])0x(?P<add>[0-9a-f]+))?$")
+PC_RELATIVE_TYPES = ("PC32", "PLT32", "GOTPCREL", "GOTPCRELX", "REX_GOTPCRELX", "PC64")
+
+
+def run_cmd(args):
+    proc = subprocess.run(args, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(f"{' '.join(args)} failed: {proc.stderr.strip()}")
+    return proc.stdout
+
+
+class Analysis:
+    """Parsed object facts plus the derived call graph for one set of .o files."""
+
+    def __init__(self):
+        # uid -> dict(section=..., size=..., obj=..., local=bool, func=bool, value=int)
+        self.symbols = {}
+        # (obj_idx, section) -> sorted [(value, size, uid)] of defined symbols
+        self.section_syms = {}
+        # uid -> set of (target_uid_or_name, kind); kind in {"call", "ref"}
+        self.edges = {}
+        # data uid -> set of raw (target, addend, pc_relative, obj_idx) tuples
+        self.data_relocs = {}
+        self.objects = []
+        self.su_bytes = {}        # su_key -> max bytes
+        self.su_dynamic = set()   # su_key with unbounded-dynamic qualifier
+        self.demangled = {}       # raw symbol -> demangled
+        self.aliases = {}         # alias uid -> canonical same-address uid
+
+    def resolve(self, uid):
+        """Canonicalizes same-address symbol aliases (C1/C2 constructors)."""
+        return self.aliases.get(uid, uid)
+
+    # -- symbol identity ----------------------------------------------------
+
+    def uid(self, sym, obj_idx, local):
+        # Local (anonymous-namespace / static) symbols share mangled names
+        # across TUs but are distinct functions; namespace them per object.
+        return f"{sym}@{obj_idx}" if local else sym
+
+    def raw_name(self, uid):
+        return uid.rsplit("@", 1)[0] if "@" in uid else uid
+
+    def dname(self, uid):
+        raw = self.raw_name(uid)
+        return self.demangled.get(raw, raw)
+
+
+def parse_symbol_table(analysis, obj_idx, path):
+    """objdump -t: defined symbols with section, value, size."""
+    out = run_cmd(["objdump", "-t", path])
+    sym_re = re.compile(r"^([0-9a-f]+)\s+(.{7})\s+(\S+)\t([0-9a-f]+)\s+(?:\.hidden\s+)?(\S+)$")
+    for line in out.splitlines():
+        m = sym_re.match(line)
+        if not m:
+            continue
+        value, flags, section, size, name = m.groups()
+        if section in ("*UND*", "*ABS*", "*COM*"):
+            continue
+        is_func = "F" in flags
+        is_obj = "O" in flags
+        if not is_func and not is_obj:
+            # Section symbols and debug labels carry no identity we need.
+            continue
+        local = flags.startswith("l")
+        uid = analysis.uid(name, obj_idx, local)
+        entry = {
+            "section": section,
+            "value": int(value, 16),
+            "size": int(size, 16),
+            "obj": obj_idx,
+            "local": local,
+            "func": is_func,
+        }
+        # Comdat/weak symbols recur across objects with identical bodies;
+        # first definition wins and edge sets merge below.
+        if uid not in analysis.symbols:
+            analysis.symbols[uid] = entry
+        analysis.section_syms.setdefault((obj_idx, section), []).append(
+            (entry["value"], entry["size"], uid))
+    for key in analysis.section_syms:
+        analysis.section_syms[key].sort()
+
+
+def symbol_at(analysis, obj_idx, section, offset):
+    """Resolves (section, offset) to the defined symbol covering offset."""
+    entries = analysis.section_syms.get((obj_idx, section))
+    if not entries:
+        return None
+    best = None
+    for value, size, uid in entries:
+        if value <= offset and (offset < value + size or size == 0):
+            best = uid
+        elif value > offset:
+            break
+    return best
+
+
+def parse_reloc_target(analysis, obj_idx, value, rtype):
+    """Returns (uid-or-raw-symbol, None) or (None, None) for ignorable targets."""
+    m = RELOC_TARGET_RE.match(value)
+    if not m:
+        return None
+    sym = m.group("sym")
+    addend = int(m.group("add") or "0", 16)
+    if m.group("sign") == "-":
+        addend = -addend
+    if any(rtype.endswith(t) for t in PC_RELATIVE_TYPES):
+        addend += 4  # call/lea displacement targets (sym + addend + 4)
+    if sym.startswith(".L"):
+        return None  # local literal/jump-table label without symbol identity
+    if sym.startswith("."):
+        # Section-relative target: resolve to the covering defined symbol.
+        resolved = symbol_at(analysis, obj_idx, sym, addend)
+        if resolved is not None:
+            return resolved
+        # A data section with no covering symbol: treat the section itself as
+        # a data node so its relocations still expand (jump tables).
+        if sym.startswith(DATA_SECTION_PREFIXES):
+            return f"{sym}@sect@{obj_idx}"
+        return None
+    # Direct symbol target: prefer this object's local definition, else the
+    # global name (defined elsewhere or extern).
+    local_uid = f"{sym}@{obj_idx}"
+    if local_uid in analysis.symbols:
+        return local_uid
+    return sym
+
+
+def parse_text_edges(analysis, obj_idx, path):
+    """objdump -dr --no-show-raw-insn: call/ref edges out of text sections."""
+    out = run_cmd(["objdump", "-dr", "--no-show-raw-insn", path])
+    section = None
+    last_mnemonic = ""
+    last_offset = 0
+    insn_re = re.compile(r"^\s+([0-9a-f]+):\t\s*(\S+)")
+    reloc_re = re.compile(r"^\s+([0-9a-f]+):\s+(R_\S+)\t(.+)$")
+    for line in out.splitlines():
+        if line.startswith("Disassembly of section "):
+            section = line[len("Disassembly of section "):].rstrip(":")
+            continue
+        if section is None or not section.startswith(".text"):
+            continue
+        rm = reloc_re.match(line)
+        if rm:
+            _, rtype, value = rm.groups()
+            src = symbol_at(analysis, obj_idx, section, last_offset)
+            if src is None:
+                continue
+            target = parse_reloc_target(analysis, obj_idx, value.strip(), rtype)
+            if target is None or target == src:
+                continue
+            kind = "call" if last_mnemonic.startswith(("call", "jmp")) else "ref"
+            analysis.edges.setdefault(src, set()).add((target, kind))
+            continue
+        im = insn_re.match(line)
+        if im and not line.rstrip().endswith(">:"):
+            last_offset = int(im.group(1), 16)
+            last_mnemonic = im.group(2)
+
+
+def parse_data_relocs(analysis, obj_idx, path):
+    """objdump -r: relocation records of data sections (vtables, ops tables)."""
+    out = run_cmd(["objdump", "-r", path])
+    section = None
+    header_re = re.compile(r"^RELOCATION RECORDS FOR \[(.+)\]:$")
+    reloc_re = re.compile(r"^([0-9a-f]+)\s+(\S+)\s+(.+)$")
+    for line in out.splitlines():
+        hm = header_re.match(line)
+        if hm:
+            name = hm.group(1)
+            section = name if name.startswith(DATA_SECTION_PREFIXES) else None
+            continue
+        if section is None:
+            continue
+        rm = reloc_re.match(line)
+        if not rm:
+            continue
+        offset, rtype, value = rm.groups()
+        offset = int(offset, 16)
+        target = parse_reloc_target(analysis, obj_idx, value.strip(), rtype)
+        if target is None:
+            continue
+        holder = symbol_at(analysis, obj_idx, section, offset)
+        if holder is None:
+            holder = f"{section}@sect@{obj_idx}"
+        analysis.data_relocs.setdefault(holder, set()).add(target)
+
+
+SU_LINE_RE = re.compile(r"^(?P<loc>[^\t]*:\d+:\d+:)(?P<sig>[^\t]+)\t(?P<bytes>\d+)\t(?P<qual>.+)$")
+
+
+def su_key(signature):
+    """Normalizes a function signature to `Qualified::name` (no return type,
+    no parameters) so GCC's .su spellings and c++filt's agree. Overloads
+    collapse to one key; the max stack among them is used (conservative)."""
+    # GCC spells anonymous namespaces `{anonymous}` in .su records; c++filt
+    # says `(anonymous namespace)`. Canonicalize before matching.
+    sig = signature.strip().replace("{anonymous}", "(anonymous namespace)")
+    end = sig.rfind(")")
+    if end != -1:
+        # Find the matching '(' of the final parameter list.
+        depth = 0
+        open_idx = -1
+        for i in range(end, -1, -1):
+            c = sig[i]
+            if c == ")":
+                depth += 1
+            elif c == "(":
+                depth -= 1
+                if depth == 0:
+                    open_idx = i
+                    break
+        if open_idx > 0:
+            prefix = sig[:open_idx].rstrip()
+            # `operator()` keeps its own parens: strip one more group.
+            if prefix.endswith("operator"):
+                prefix = sig[:open_idx].rstrip()
+            sig = prefix
+    # Last whitespace-separated token, where whitespace inside <>/() nesting
+    # does not split (template args, lambda signatures).
+    depth = 0
+    start = 0
+    for i in range(len(sig) - 1, -1, -1):
+        c = sig[i]
+        if c in ">)":
+            depth += 1
+        elif c in "<(":
+            depth -= 1
+        elif c == " " and depth <= 0:
+            start = i + 1
+            break
+    return sig[start:].lstrip("*&")
+
+
+def parse_su_file(analysis, su_path):
+    try:
+        with open(su_path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError:
+        return
+    for line in text.splitlines():
+        m = SU_LINE_RE.match(line)
+        if not m:
+            continue
+        key = su_key(m.group("sig"))
+        size = int(m.group("bytes"))
+        analysis.su_bytes[key] = max(analysis.su_bytes.get(key, 0), size)
+        if "dynamic" in m.group("qual") and "bounded" not in m.group("qual"):
+            analysis.su_dynamic.add(key)
+
+
+def demangle_all(analysis):
+    names = sorted({analysis.raw_name(uid) for uid in analysis.symbols} |
+                   {analysis.raw_name(t) for targets in analysis.edges.values()
+                    for t, _ in targets if "@sect@" not in t} |
+                   {analysis.raw_name(t) for targets in analysis.data_relocs.values()
+                    for t in targets if "@sect@" not in t})
+    if not names:
+        return
+    cxxfilt = shutil.which("c++filt")
+    if cxxfilt is None:
+        analysis.demangled = {n: n for n in names}
+        return
+    proc = subprocess.run([cxxfilt], input="\n".join(names) + "\n",
+                          stdout=subprocess.PIPE, text=True, check=True)
+    demangled = proc.stdout.splitlines()
+    analysis.demangled = dict(zip(names, demangled))
+
+
+def unify_aliases(analysis):
+    """Maps same-address function symbols onto one canonical node.
+
+    GCC emits complete- and base-object constructors (C1/C2 — likewise D1/D2
+    destructors) as two global symbols at the same address in the same
+    section. objdump attributes the section's instructions, and therefore
+    every outgoing edge we parse, to only one of them, while callers
+    elsewhere in the tree may relocate against the other. Without
+    unification the walk reaches the edgeless alias and silently dead-ends —
+    everything a constructor registers (callback tables, timers) would
+    escape analysis. Canonical is whatever symbol_at() picks, i.e. the same
+    symbol edge attribution used."""
+    for (obj_idx, section), entries in analysis.section_syms.items():
+        funcs_by_value = {}
+        for value, _size, uid in entries:
+            entry = analysis.symbols.get(uid)
+            if entry is None or not entry["func"] or entry["obj"] != obj_idx:
+                continue
+            funcs_by_value.setdefault(value, []).append(uid)
+        for value, uids in funcs_by_value.items():
+            if len(uids) < 2:
+                continue
+            canonical = symbol_at(analysis, obj_idx, section, value)
+            for uid in uids:
+                if canonical is not None and uid != canonical:
+                    analysis.aliases[uid] = canonical
+
+
+def prune_atexit_destructor_refs(analysis):
+    """Drops destructor *ref* edges out of functions that call __cxa_atexit.
+
+    The guard-init path of a function-local static takes the address of the
+    object's destructor purely to register it for process exit; that
+    destructor never runs on the hot path. GCC schedules the address load
+    tens of instructions away from the __cxa_atexit call, so this keys on
+    the pair (function calls atexit, function refs a destructor) rather
+    than instruction adjacency. Genuine destruction is a call edge — or an
+    inlined body — and is untouched; a destructor stored into a live
+    callback table would be exotic enough to deserve the manual review this
+    forgoes."""
+    atexit_calls = {("__cxa_atexit", "call"), ("atexit", "call")}
+    for edges in analysis.edges.values():
+        if not (edges & atexit_calls):
+            continue
+        drop = {e for e in edges
+                if e[1] == "ref" and "::~" in analysis.dname(e[0])}
+        edges -= drop
+
+
+def load_objects(paths):
+    analysis = Analysis()
+    for obj_idx, path in enumerate(sorted(paths)):
+        analysis.objects.append(path)
+        parse_symbol_table(analysis, obj_idx, path)
+    unify_aliases(analysis)
+    # Two passes: symbol ranges for every object must exist before edge
+    # attribution (relocations can reference other objects' globals).
+    for obj_idx, path in enumerate(analysis.objects):
+        parse_text_edges(analysis, obj_idx, path)
+        parse_data_relocs(analysis, obj_idx, path)
+        su_path = re.sub(r"\.(?:o|obj)$", ".su", path)
+        if su_path != path:
+            parse_su_file(analysis, su_path)
+    demangle_all(analysis)
+    prune_atexit_destructor_refs(analysis)
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# Allowlist: reviewed site-level exemptions with mandatory reasons.
+
+class AllowEntry:
+    def __init__(self, rules, pattern, reason, line_no):
+        self.rules = rules          # set of rule names, or {"*"}
+        self.pattern = re.compile(pattern)
+        self.pattern_text = pattern
+        self.reason = reason
+        self.line_no = line_no
+        self.hits = 0
+
+    def covers(self, rule, demangled_site):
+        if "*" not in self.rules and rule not in self.rules:
+            return False
+        return bool(self.pattern.search(demangled_site))
+
+
+def load_allowlist(path_or_lines, label="allowlist"):
+    if isinstance(path_or_lines, str):
+        with open(path_or_lines, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        label = path_or_lines
+    else:
+        lines = path_or_lines
+    entries = []
+    for idx, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "#" not in line:
+            raise ValueError(f"{label}:{idx}: allowlist entry has no '# reason' "
+                             f"(every exemption must say why): {line}")
+        body, reason = line.split("#", 1)
+        reason = reason.strip()
+        if not reason:
+            raise ValueError(f"{label}:{idx}: allowlist entry has an empty reason")
+        parts = body.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"{label}:{idx}: expected '<rule(s)> <site-regex>  # reason'")
+        rules = {r.strip() for r in parts[0].split(",")}
+        unknown = rules - set(ALL_RULES) - {"*"}
+        if unknown:
+            raise ValueError(f"{label}:{idx}: unknown rule(s) {sorted(unknown)} "
+                             f"(valid: {', '.join(ALL_RULES)}, or *)")
+        try:
+            entries.append(AllowEntry(rules, parts[1].strip(), reason, idx))
+        except re.error as e:
+            raise ValueError(f"{label}:{idx}: bad regex: {e}") from e
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# The walk.
+
+class Finding:
+    def __init__(self, rule, chain, sink):
+        self.rule = rule
+        self.chain = chain  # list of uids, root first, site last
+        self.sink = sink    # raw banned symbol name
+
+    def render(self, analysis):
+        pretty = [analysis.dname(uid) for uid in self.chain]
+        pretty.append(analysis.demangled.get(self.sink, self.sink))
+        head = f"[{self.rule}] {pretty[-2]} reaches {pretty[-1]}"
+        arrows = "\n".join(f"    {'-> ' if i else '   '}{name}"
+                           for i, name in enumerate(pretty))
+        return head + "\n" + arrows
+
+
+def banned_rule(analysis, uid):
+    raw = analysis.raw_name(uid)
+    if "@sect@" in raw:
+        return None
+    for rule, names in C_SINKS.items():
+        if raw in names:
+            return rule
+    demangled = analysis.demangled.get(raw, raw)
+    for rule, pattern in CXX_SINKS:
+        if pattern.search(demangled):
+            return rule
+    return None
+
+
+def is_cold(analysis, uid):
+    entry = analysis.symbols.get(uid)
+    if entry is None:
+        return False
+    return entry["section"].startswith(COLD_SECTION_PREFIXES)
+
+
+def expand_data_node(analysis, uid, out, seen, depth=0):
+    """Transitively collects function symbols referenced by a data node
+    (vtable -> methods, ops table -> invoke thunks, RTTI chains -> nothing)."""
+    if uid in seen or depth > 4:
+        return
+    seen.add(uid)
+    for target in analysis.data_relocs.get(uid, ()):
+        entry = analysis.symbols.get(target)
+        if entry is not None and entry["func"]:
+            out.add(target)
+        elif entry is not None:
+            expand_data_node(analysis, target, out, seen, depth + 1)
+        elif banned_rule(analysis, target):
+            out.add(target)  # extern banned data (std::cout) still counts
+
+
+class WalkResult:
+    def __init__(self):
+        self.findings = []
+        self.hot = set()            # reachable, traversed functions
+        self.via_ref = set()        # hot functions first reached indirectly
+        self.call_edges = {}        # uid -> set(uid), hot call edges
+        self.cold_barriers = set()  # cold functions that cut the walk
+        self.suppressed = []        # (entry, rule, site_uid, sink)
+        self.parents = {}
+
+
+def walk(analysis, roots, allowlist):
+    result = WalkResult()
+    queue = list(roots)
+    for r in roots:
+        result.parents[r] = None
+        result.hot.add(r)
+
+    def chain_of(uid):
+        chain = []
+        cur = uid
+        while cur is not None:
+            chain.append(cur)
+            cur = result.parents.get(cur)
+        return list(reversed(chain))
+
+    seen_findings = set()
+    while queue:
+        src = queue.pop(0)
+        targets = set(analysis.edges.get(src, ()))
+        # Expand data references into (potential) function targets.
+        expanded = set()
+        for target, kind in sorted(targets):
+            entry = analysis.symbols.get(target)
+            if entry is not None and not entry["func"]:
+                fns = set()
+                expand_data_node(analysis, target, fns, set())
+                for fn in fns:
+                    expanded.add((fn, "ref"))
+            elif entry is None and "@sect@" in target:
+                fns = set()
+                expand_data_node(analysis, target, fns, set())
+                for fn in fns:
+                    expanded.add((fn, "ref"))
+            else:
+                expanded.add((target, kind))
+        for target, kind in sorted(expanded):
+            # Same-address aliases (C1/C2 constructors): follow the node
+            # that actually carries the section's edges.
+            target = analysis.resolve(target)
+            if is_cold(analysis, target):
+                result.cold_barriers.add(target)
+                continue
+            rule = banned_rule(analysis, target)
+            if rule is not None:
+                site_name = analysis.dname(src)
+                hit = next((e for e in allowlist if e.covers(rule, site_name)), None)
+                if hit is not None:
+                    hit.hits += 1
+                    result.suppressed.append((hit, rule, src, analysis.raw_name(target)))
+                    continue
+                key = (rule, src, analysis.raw_name(target))
+                if key not in seen_findings:
+                    seen_findings.add(key)
+                    result.findings.append(
+                        Finding(rule, chain_of(src), analysis.raw_name(target)))
+                continue
+            entry = analysis.symbols.get(target)
+            if entry is None or not entry["func"]:
+                continue  # extern, non-banned: no body to analyze
+            if kind == "call" and src in result.hot:
+                result.call_edges.setdefault(src, set()).add(target)
+            if target not in result.hot:
+                result.hot.add(target)
+                result.parents[target] = src
+                if kind == "ref":
+                    result.via_ref.add(target)
+                queue.append(target)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Stack budget.
+
+class StackReport:
+    def __init__(self):
+        self.root_depth = 0
+        self.root_chain = []
+        self.callback_depth = 0
+        self.callback_chain = []
+        self.total = 0
+        self.matched = 0
+        self.unmatched = 0
+        self.cycles = []
+        self.dynamic = []
+
+
+def stack_budget(analysis, walk_result, roots):
+    report = StackReport()
+    frame = {}
+    for uid in sorted(walk_result.hot):
+        key = su_key(analysis.dname(uid))
+        if key in analysis.su_bytes:
+            frame[uid] = analysis.su_bytes[key]
+            report.matched += 1
+            if key in analysis.su_dynamic:
+                report.dynamic.append(uid)
+        else:
+            frame[uid] = 0
+            report.unmatched += 1
+
+    memo = {}
+    on_stack = set()
+
+    def depth(uid):
+        if uid in memo:
+            return memo[uid]
+        if uid in on_stack:
+            report.cycles.append(uid)
+            return (0, ())
+        on_stack.add(uid)
+        best = (0, ())
+        for nxt in sorted(walk_result.call_edges.get(uid, ())):
+            d, chain = depth(nxt)
+            if d > best[0]:
+                best = (d, chain)
+        on_stack.discard(uid)
+        memo[uid] = (frame[uid] + best[0], (uid,) + best[1])
+        return memo[uid]
+
+    for root in sorted(roots):
+        d, chain = depth(root)
+        if d > report.root_depth:
+            report.root_depth, report.root_chain = d, list(chain)
+    for uid in sorted(walk_result.via_ref):
+        d, chain = depth(uid)
+        if d > report.callback_depth:
+            report.callback_depth, report.callback_chain = d, list(chain)
+    report.total = report.root_depth + report.callback_depth
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Full-tree scan plumbing.
+
+def find_tree_objects(build_dir):
+    objects = []
+    src_root = os.path.join(build_dir, "src")
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        if "CMakeFiles" not in dirpath:
+            continue
+        for name in sorted(filenames):
+            if name.endswith(".o"):
+                objects.append(os.path.join(dirpath, name))
+    return sorted(objects)
+
+
+def resolve_roots(analysis, root_patterns):
+    roots = []
+    problems = []
+    for name, pattern in root_patterns:
+        regex = re.compile(pattern)
+        matched = [analysis.resolve(uid) for uid in sorted(analysis.symbols)
+                   if analysis.symbols[uid]["func"] and regex.search(analysis.dname(uid))
+                   and not is_cold(analysis, uid)]
+        if not matched:
+            problems.append(f"root pattern '{name}' ({pattern}) matched no defined function "
+                            f"— was the hot-path entry point renamed?")
+        roots.extend(matched)
+    return sorted(set(roots)), problems
+
+
+def scan_tree(args):
+    build_dir = os.path.abspath(args.build_dir)
+    objects = find_tree_objects(build_dir)
+    if not objects:
+        print(f"analyze_hotpath: no objects under {build_dir}/src — build first "
+              f"(cmake --build {args.build_dir})", file=sys.stderr)
+        return 2
+    analysis = load_objects(objects)
+    if not analysis.su_bytes:
+        print("analyze_hotpath: no .su stack-usage records next to the objects — "
+              "reconfigure so -fstack-usage is active (a stale build dir predating "
+              "the analyzer flags must be re-created)", file=sys.stderr)
+        return 2
+
+    try:
+        allowlist = load_allowlist(args.allowlist)
+    except (OSError, ValueError) as e:
+        print(f"analyze_hotpath: {e}", file=sys.stderr)
+        return 2
+
+    root_patterns = list(DEFAULT_ROOTS)
+    for extra in args.root:
+        root_patterns.append((f"cli:{extra}", extra))
+    roots, problems = resolve_roots(analysis, root_patterns)
+    if problems:
+        for p in problems:
+            print(f"analyze_hotpath: {p}", file=sys.stderr)
+        return 2
+
+    result = walk(analysis, roots, allowlist)
+    stack = stack_budget(analysis, result, roots)
+
+    print(f"analyze_hotpath: {len(objects)} objects, {len(analysis.symbols)} symbols, "
+          f"{len(roots)} hot-path roots, {len(result.hot)} reachable hot functions, "
+          f"{len(result.cold_barriers)} cold barriers")
+    if args.verbose:
+        for uid in sorted(roots, key=analysis.dname):
+            print(f"  root: {analysis.dname(uid)}")
+        for entry, rule, site, sink in result.suppressed:
+            print(f"  allow[{rule}] {analysis.dname(site)} -> "
+                  f"{analysis.demangled.get(sink, sink)} ({entry.reason})")
+
+    used = {}
+    for entry, _rule, _site, _sink in result.suppressed:
+        used[entry.line_no] = used.get(entry.line_no, 0) + 1
+    print(f"analyze_hotpath: {len(result.suppressed)} banned references excused by "
+          f"{len(used)} allowlist entries")
+    for entry in allowlist:
+        if entry.hits == 0:
+            print(f"analyze_hotpath: WARNING unused allowlist entry "
+                  f"(line {entry.line_no}): {entry.pattern_text}")
+
+    print(f"analyze_hotpath: stack: root chain {stack.root_depth} B + callback chain "
+          f"{stack.callback_depth} B = {stack.total} B "
+          f"({stack.matched} frames matched, {stack.unmatched} without .su records)")
+    if args.verbose:
+        for title, chain in (("root", stack.root_chain), ("callback", stack.callback_chain)):
+            print(f"  deepest {title} chain:")
+            for uid in chain:
+                key = su_key(analysis.dname(uid))
+                print(f"    {analysis.su_bytes.get(key, 0):6d} B  {analysis.dname(uid)}")
+    for uid in stack.dynamic:
+        print(f"analyze_hotpath: WARNING unbounded dynamic stack use in {analysis.dname(uid)}")
+    if stack.cycles:
+        uniq = sorted({analysis.dname(uid) for uid in stack.cycles})
+        print(f"analyze_hotpath: WARNING {len(uniq)} recursion cycle(s) in the hot call "
+              f"graph; each counted once in the budget: {', '.join(uniq[:4])}"
+              + (" ..." if len(uniq) > 4 else ""))
+
+    status = 0
+    if result.findings:
+        print(f"analyze_hotpath: {len(result.findings)} finding(s):")
+        for finding in result.findings[:args.max_findings]:
+            print(finding.render(analysis))
+        if len(result.findings) > args.max_findings:
+            print(f"analyze_hotpath: ... {len(result.findings) - args.max_findings} more "
+                  f"(raise --max-findings)")
+        status = 1
+
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_micro.json")
+    if args.write_baseline:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        doc["schema"] = "qperc-bench-micro-v5"
+        doc.setdefault("analyzer", {})["hot_path_stack_bytes"] = stack.total
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"analyze_hotpath: wrote analyzer.hot_path_stack_bytes={stack.total} "
+              f"to BENCH_micro.json")
+    elif args.ratchet:
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            budget = doc["analyzer"]["hot_path_stack_bytes"]
+        except (OSError, KeyError, json.JSONDecodeError):
+            print("analyze_hotpath: BENCH_micro.json has no analyzer.hot_path_stack_bytes "
+                  "(schema v5) — run scripts/analyze_hotpath.py --build-dir <release-build> "
+                  "--write-baseline to establish the stack budget", file=sys.stderr)
+            return 2
+        verdict = "ok" if stack.total <= budget else "FAIL"
+        print(f"analyze_hotpath: {verdict:4s} hot_path_stack_bytes baseline={budget} "
+              f"current={stack.total} (ratchet)")
+        if stack.total > budget:
+            print("analyze_hotpath: the worst-case hot-path stack grew; shrink the new "
+                  "frames or re-bank deliberately with --write-baseline", file=sys.stderr)
+            status = max(status, 1)
+
+    print("analyze_hotpath: " + ("FAILED" if status else "OK"))
+    return status
+
+
+# ---------------------------------------------------------------------------
+# Self-test over the checked-in fixture tree (tests/analyze). Each fixture is
+# a standalone TU compiled with the same flags as the real build and pushed
+# through the full pipeline; expectations are declared inline:
+#
+#   // analyze-root: <demangled regex>            (at least one per fixture)
+#   // analyze-expect: <rule> <chain substring>
+#   // analyze-expect-clean
+#   // analyze-expect-cold-barrier
+#   // analyze-allow: <rule> <site-regex> # <reason>
+#   // analyze-expect-suppressed: <rule>
+#   // analyze-expect-stack-min: <bytes>
+
+def compile_fixture(path, tmpdir):
+    compiler = shutil.which("g++") or shutil.which("c++") or shutil.which("clang++")
+    if compiler is None:
+        raise RuntimeError("no C++ compiler on PATH for fixture compilation")
+    obj = os.path.join(tmpdir, os.path.basename(path) + ".o")
+    cmd = [compiler, "-std=c++20", "-O2", "-c", "-ffunction-sections", "-fstack-usage",
+           "-I", os.path.join(REPO_ROOT, "src"), "-o", obj, path]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(f"fixture {os.path.basename(path)} failed to compile:\n{proc.stderr}")
+    return obj
+
+
+def run_fixture(path, tmpdir):
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    roots = re.findall(r"//\s*analyze-root:\s*(.+)$", text, re.M)
+    expects = re.findall(r"//\s*analyze-expect:\s*(\S+)\s+(.+)$", text, re.M)
+    expect_clean = bool(re.search(r"//\s*analyze-expect-clean", text))
+    expect_barrier = bool(re.search(r"//\s*analyze-expect-cold-barrier", text))
+    allows = re.findall(r"//\s*analyze-allow:\s*(.+)$", text, re.M)
+    expect_suppressed = re.findall(r"//\s*analyze-expect-suppressed:\s*(\S+)", text)
+    stack_min = re.search(r"//\s*analyze-expect-stack-min:\s*(\d+)", text)
+    if not roots:
+        return [f"{os.path.basename(path)}: fixture declares no analyze-root"]
+
+    failures = []
+    obj = compile_fixture(path, tmpdir)
+    analysis = load_objects([obj])
+    allowlist = load_allowlist(allows, label=os.path.basename(path))
+    resolved, problems = resolve_roots(analysis, [(f"fixture:{r}", r) for r in roots])
+    if problems:
+        return [f"{os.path.basename(path)}: {p}" for p in problems]
+    result = walk(analysis, resolved, allowlist)
+    stack = stack_budget(analysis, result, resolved)
+
+    rendered = [f.render(analysis) for f in result.findings]
+    for rule, substring in expects:
+        hit = any(f.rule == rule and substring in text_r
+                  for f, text_r in zip(result.findings, rendered))
+        if not hit:
+            failures.append(f"{os.path.basename(path)}: expected a [{rule}] finding whose "
+                            f"chain mentions '{substring}'; got:\n" +
+                            ("\n".join(rendered) or "  (no findings)"))
+    if expect_clean and result.findings:
+        failures.append(f"{os.path.basename(path)}: expected a clean result; got:\n" +
+                        "\n".join(rendered))
+    if expect_barrier and not result.cold_barriers:
+        failures.append(f"{os.path.basename(path)}: expected the walk to stop at a "
+                        f"QPERC_COLD_PATH barrier, but none was hit")
+    for rule in expect_suppressed:
+        if not any(r == rule for _e, r, _s, _k in result.suppressed):
+            failures.append(f"{os.path.basename(path)}: expected an allowlist suppression "
+                            f"for rule {rule}")
+    if stack_min:
+        want = int(stack_min.group(1))
+        if stack.total < want:
+            failures.append(f"{os.path.basename(path)}: expected stack budget >= {want} B, "
+                            f"computed {stack.total} B")
+    return failures
+
+
+def run_self_test(fixture_dir):
+    fixtures = sorted(
+        os.path.join(fixture_dir, f) for f in os.listdir(fixture_dir)
+        if f.startswith("fixture_") and f.endswith(".cpp"))
+    if not fixtures:
+        print(f"analyze_hotpath: no fixtures under {fixture_dir}", file=sys.stderr)
+        return False
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="qperc-analyze-selftest-") as tmp:
+        for path in fixtures:
+            try:
+                failures.extend(run_fixture(path, tmp))
+            except (RuntimeError, ValueError) as e:
+                failures.append(str(e))
+    # Allowlist hygiene is part of the proof: entries without reasons must be
+    # rejected, unknown rules must be rejected.
+    try:
+        load_allowlist(["alloc ^foo$"], label="selftest")
+        failures.append("allowlist entry without a reason was accepted")
+    except ValueError:
+        pass
+    try:
+        load_allowlist(["not-a-rule ^foo$ # why"], label="selftest")
+        failures.append("allowlist entry with an unknown rule was accepted")
+    except ValueError:
+        pass
+    for line in failures:
+        print(f"analyze_hotpath: self-test FAILED: {line}", file=sys.stderr)
+    if not failures:
+        print(f"analyze_hotpath: self-test OK ({len(fixtures)} fixtures: every rule "
+              f"fires, cold-path and allowlist suppression hold)")
+    return not failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", help="build directory whose src objects to scan")
+    parser.add_argument("--allowlist",
+                        default=os.path.join(REPO_ROOT, "scripts", "hotpath_allowlist.txt"),
+                        help="reviewed exemption file (default scripts/hotpath_allowlist.txt)")
+    parser.add_argument("--root", action="append", default=[],
+                        help="additional hot-path root (demangled-name regex)")
+    parser.add_argument("--ratchet", action="store_true",
+                        help="compare the stack budget against BENCH_micro.json (schema v5)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="bank the computed stack budget into BENCH_micro.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="compile the tests/analyze fixtures and prove every rule "
+                             "fires and every suppression works")
+    parser.add_argument("--fixture-dir", default=os.path.join(REPO_ROOT, "tests", "analyze"),
+                        help="fixture directory for --self-test")
+    parser.add_argument("--max-findings", type=int, default=25,
+                        help="cap on printed findings (default 25)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print roots, suppressions, and the deepest stack chains")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule:12s} {RULE_HELP[rule]}")
+        return 0
+
+    if args.self_test:
+        if not run_self_test(args.fixture_dir):
+            return 2
+        if args.build_dir is None:
+            return 0
+
+    if args.build_dir is None:
+        parser.error("--build-dir is required unless --self-test/--list-rules")
+    return scan_tree(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

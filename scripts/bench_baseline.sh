@@ -10,14 +10,20 @@
 #                invariant metrics (steady-state allocations, re-arm queue
 #                depth) must match exactly.
 #   --smoke      run at 1 iteration and only validate the JSON schema
-#                (qperc-bench-micro-v4 with every expected metric present
+#                (qperc-bench-micro-v5 with every expected metric present
 #                and finite). Registered as the `bench_smoke` ctest.
 #   --ratchet    run full iterations but compare only the machine-independent
 #                invariants (steady-state scheduler allocations exactly;
 #                allocations_per_trial and rearm_queue_depth_max as ratchets:
 #                current <= baseline). Timings are ignored, so this is safe
 #                for CI boxes of any speed — scripts/ci_gate.sh runs it.
-#   --update     run full iterations and rewrite BENCH_micro.json.
+#                The baseline must also carry the analyzer's ratcheted
+#                hot-path stack budget (analyzer.hot_path_stack_bytes, new in
+#                schema v5); the value itself is enforced by
+#                scripts/analyze_hotpath.py --ratchet against fresh objects.
+#   --update     run full iterations and rewrite the bench-owned parts of
+#                BENCH_micro.json, preserving the analyzer section (owned by
+#                scripts/analyze_hotpath.py --write-baseline).
 #   --bench PATH path to the bench_micro_perf binary
 #                (default: build/bench/bench_micro_perf).
 set -u
@@ -54,8 +60,25 @@ else
 fi
 
 if [ "$mode" = "update" ]; then
-  cp "$out" BENCH_micro.json
-  echo "bench_baseline: wrote BENCH_micro.json"
+  # Merge, don't copy: the analyzer section (hot-path stack budget) is owned
+  # by scripts/analyze_hotpath.py --write-baseline and must survive a bench
+  # re-baseline.
+  python3 - "$out" <<'PY' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+try:
+    with open("BENCH_micro.json") as f:
+        previous = json.load(f)
+except (OSError, ValueError):
+    previous = {}
+if "analyzer" in previous:
+    current["analyzer"] = previous["analyzer"]
+with open("BENCH_micro.json", "w") as f:
+    json.dump(current, f, indent=2)
+    f.write("\n")
+PY
+  echo "bench_baseline: wrote BENCH_micro.json (bench metrics; analyzer section preserved)"
   exit 0
 fi
 
@@ -94,11 +117,18 @@ EXACT = ["scheduler_allocs_steady_state", "rearm_queue_depth_max",
 RATCHET = {"rearm_queue_depth_max", "allocations_per_trial",
            "bytes_per_participant"}
 
-def load(path):
+def load(path, expect_analyzer=False):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "qperc-bench-micro-v4":
-        sys.exit(f"bench_baseline: bad schema in {path}: {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema == "qperc-bench-micro-v4" and expect_analyzer:
+        sys.exit("bench_baseline: BENCH_micro.json is schema v4, which predates the "
+                 "hot-path analyzer. Upgrade the baseline: re-run "
+                 "scripts/bench_baseline.sh --update with a current bench binary, then "
+                 "scripts/analyze_hotpath.py --build-dir <release-build> --write-baseline "
+                 "to bank analyzer.hot_path_stack_bytes.")
+    if schema != "qperc-bench-micro-v5":
+        sys.exit(f"bench_baseline: bad schema in {path}: {schema!r}")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         sys.exit(f"bench_baseline: {path} has no metrics object")
@@ -106,15 +136,24 @@ def load(path):
         value = metrics.get(key)
         if not isinstance(value, (int, float)) or not math.isfinite(value):
             sys.exit(f"bench_baseline: {path} metric {key} missing or not finite: {value!r}")
+    if expect_analyzer:
+        stack = doc.get("analyzer", {}).get("hot_path_stack_bytes")
+        if not isinstance(stack, int) or stack <= 0:
+            sys.exit("bench_baseline: BENCH_micro.json (schema v5) is missing "
+                     "analyzer.hot_path_stack_bytes — run scripts/analyze_hotpath.py "
+                     "--build-dir <release-build> --write-baseline to bank the hot-path "
+                     "stack budget.")
+        print(f"bench_baseline: ok   {'hot_path_stack_bytes':32s} baseline={stack:<14g} "
+              "(enforced by scripts/analyze_hotpath.py --ratchet)")
     return metrics
 
 current = load(sys.argv[1])
 if os.environ["MODE"] == "smoke":
-    print("bench_baseline: smoke OK (schema qperc-bench-micro-v4, "
+    print("bench_baseline: smoke OK (schema qperc-bench-micro-v5, "
           f"{len(METRICS)} metrics present)")
     sys.exit(0)
 
-baseline = load(os.environ["BASELINE"])
+baseline = load(os.environ["BASELINE"], expect_analyzer=True)
 tolerance = float(os.environ["TOLERANCE"])
 ratchet_only = os.environ["MODE"] == "ratchet"
 failed = False

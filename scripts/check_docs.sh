@@ -92,6 +92,7 @@ require_section ARCHITECTURE.md "Determinism contract"
 require_section ARCHITECTURE.md "Correctness tooling"
 require_section ARCHITECTURE.md 'Population-scale streaming studies \(`src/population`\)'
 require_section ARCHITECTURE.md "Shared-bottleneck contention & fairness"
+require_section ARCHITECTURE.md "Static analysis: the hot-path purity analyzer"
 require_section EXPERIMENTS.md "Benchmarking qperc"
 require_section EXPERIMENTS.md "Measuring throughput"
 require_section EXPERIMENTS.md "Running the grid as a campaign"

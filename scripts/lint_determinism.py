@@ -19,11 +19,15 @@ simulation code. It scans src/ (headers and sources) and fails on:
                             the event schedule (use std::map / sorted vectors)
   pointer-keyed-container   std::map/std::set keyed by a pointer: ASLR makes
                             the iteration order differ between runs
+  getenv                    getenv()/std::getenv(): environment reads are
+                            host-dependent and must never feed simulation
+                            state; pass configuration explicitly
   uninitialized-pod-member  a scalar (int/bool/float/pointer/SimTime) member
                             of a struct/class in protocol-state directories
-                            (sim/net/tcp/quic/cc/browser) with no initializer:
-                            reads of indeterminate values are UB and
-                            run-to-run nondeterministic
+                            (sim/net/tcp/quic/cc/browser/core/stats/
+                            population) with no initializer: reads of
+                            indeterminate values are UB and run-to-run
+                            nondeterministic
 
 Legitimate uses are annotated inline and must give a reason:
 
@@ -51,7 +55,8 @@ import tempfile
 
 # Directories (under --root) whose structs hold protocol/simulation state;
 # the uninitialized-POD rule applies only here.
-STATE_DIRS = ("src/sim", "src/net", "src/tcp", "src/quic", "src/cc", "src/browser")
+STATE_DIRS = ("src/sim", "src/net", "src/tcp", "src/quic", "src/cc", "src/browser",
+              "src/core", "src/stats", "src/population")
 
 SCALAR_TYPE = (
     r"(?:std::)?(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t|bool|char|short|int|"
@@ -83,6 +88,11 @@ PATTERN_RULES = {
     "pointer-keyed-container": (
         re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+(?:<[^<>]*>)?\s*\*"),
         "pointer keys order by address (ASLR-dependent); key by a stable id",
+    ),
+    "getenv": (
+        re.compile(r"(?:\bstd::)?\bgetenv\s*\(|\bsecure_getenv\s*\("),
+        "environment reads are host-dependent and must never reach simulation "
+        "state; plumb configuration through explicit parameters/flags",
     ),
 }
 
@@ -283,6 +293,7 @@ SELF_TEST_SNIPPETS = {
     "wall-clock": "#include <chrono>\nauto t = std::chrono::steady_clock::now();\n",
     "unordered-container": "#include <unordered_map>\nstd::unordered_map<int, int> m;\n",
     "pointer-keyed-container": "#include <map>\nstruct S;\nstd::map<S*, int> by_ptr;\n",
+    "getenv": "#include <cstdlib>\nconst char* jobs = std::getenv(\"QPERC_JOBS\");\n",
     "uninitialized-pod-member": "struct State {\n  int cwnd;\n};\n",
 }
 

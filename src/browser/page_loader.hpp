@@ -15,6 +15,7 @@
 #include "net/transport_stats.hpp"
 #include "sim/simulator.hpp"
 #include "util/arena.hpp"
+#include "util/function.hpp"
 #include "util/rng.hpp"
 #include "web/website.hpp"
 
@@ -37,8 +38,12 @@ struct PageLoadResult {
 class PageLoader {
  public:
   /// Creates one HTTP session (H2-over-TCP or gQUIC) for an origin.
+  /// SmallFunction rather than std::function: the factory is built once per
+  /// trial inside TrialContext::run, and a pointer-sized capture set must
+  /// never push a type-erasure allocation onto the hot path (callers capture
+  /// their protocol config by reference; the config outlives the loader).
   using SessionFactory =
-      std::function<std::unique_ptr<http::Session>(net::ServerId origin)>;
+      SmallFunction<std::unique_ptr<http::Session>(net::ServerId origin)>;
 
   /// `rng` drives small behavioural jitter (per-request server think time);
   /// page loads are deterministic in (site, factory config, rng seed).

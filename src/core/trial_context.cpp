@@ -1,20 +1,23 @@
 #include "core/trial_context.hpp"
 
 #include <optional>
-#include <stdexcept>
 #include <utility>
 
 #include "core/cross_traffic.hpp"
 #include "http/session.hpp"
 #include "net/emulated_network.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace qperc::core {
 
 browser::PageLoadResult TrialContext::run(const TrialSpec& spec,
                                           ContentionOutcome* contention) {
-  if (spec.site == nullptr) throw std::invalid_argument("TrialSpec: site is null");
-  if (spec.protocol == nullptr) throw std::invalid_argument("TrialSpec: protocol is null");
+  // Cold throw helpers rather than inline `throw`: run() is a hot-path root
+  // for scripts/analyze_hotpath.py, and an inline throw would plant
+  // __cxa_throw plus a std::string build directly in this function's text.
+  if (spec.site == nullptr) check::throw_invalid_argument("TrialSpec: site is null");
+  if (spec.protocol == nullptr) check::throw_invalid_argument("TrialSpec: protocol is null");
   spec.profile.validate();
   spec.contention.validate();
 
@@ -35,30 +38,31 @@ browser::PageLoadResult TrialContext::run(const TrialSpec& spec,
     cross.emplace(simulator_, network, spec.contention, rng.fork("contention"));
   }
 
+  // The configs are hoisted so the factory lambdas can capture them by
+  // reference: three pointers fit SmallFunction's inline buffer, so building
+  // the factory costs no allocation. Both locals outlive load_page below.
   const ProtocolConfig& protocol = *spec.protocol;
+  const tcp::TcpConfig tcp_config =
+      protocol.transport != Transport::kQuic ? protocol.tcp_config() : tcp::TcpConfig{};
+  const quic::QuicConfig quic_config =
+      protocol.transport == Transport::kQuic ? protocol.quic_config() : quic::QuicConfig{};
   browser::PageLoader::SessionFactory factory;
   switch (protocol.transport) {
-    case Transport::kTcp: {
-      const tcp::TcpConfig config = protocol.tcp_config();
-      factory = [this, &network, config](net::ServerId origin) {
-        return http::make_h2_session(simulator_, network, origin, config);
+    case Transport::kTcp:
+      factory = [this, &network, &tcp_config](net::ServerId origin) {
+        return http::make_h2_session(simulator_, network, origin, tcp_config);
       };
       break;
-    }
-    case Transport::kQuic: {
-      const quic::QuicConfig config = protocol.quic_config();
-      factory = [this, &network, config](net::ServerId origin) {
-        return http::make_quic_session(simulator_, network, origin, config);
+    case Transport::kQuic:
+      factory = [this, &network, &quic_config](net::ServerId origin) {
+        return http::make_quic_session(simulator_, network, origin, quic_config);
       };
       break;
-    }
-    case Transport::kTcpH1: {
-      const tcp::TcpConfig config = protocol.tcp_config();
-      factory = [this, &network, config](net::ServerId origin) {
-        return http::make_h1_session(simulator_, network, origin, config);
+    case Transport::kTcpH1:
+      factory = [this, &network, &tcp_config](net::ServerId origin) {
+        return http::make_h1_session(simulator_, network, origin, tcp_config);
       };
       break;
-    }
   }
   browser::PageLoadResult result = browser::load_page(
       simulator_, *spec.site, std::move(factory), rng.fork("browser"),

@@ -104,8 +104,8 @@ class VideoLibrary {
  private:
   using Key = std::tuple<std::string, std::string, int>;
 
-  std::uint64_t catalog_seed_;
-  std::uint32_t runs_;
+  std::uint64_t catalog_seed_ = 0;
+  std::uint32_t runs_ = 0;
   std::vector<web::Website> catalog_;
   std::map<Key, Video> cache_;
 };

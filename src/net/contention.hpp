@@ -53,7 +53,9 @@ struct ContentionConfig {
   [[nodiscard]] bool enabled() const noexcept { return flows > 0; }
 
   /// Throws std::invalid_argument with an actionable message when any field
-  /// is out of range. Called by TrialContext and the CLI.
+  /// is out of range. Called by TrialContext and the CLI. Not QPERC_COLD_PATH:
+  /// unconditional per-trial callers would inherit the coldness (see
+  /// NetworkProfile::validate).
   void validate() const;
 };
 

@@ -91,7 +91,9 @@ struct LinkImpairments {
 
   /// Throws std::invalid_argument naming the offending field when any value
   /// is out of range (probabilities outside [0,1], inverted jitter window,
-  /// an outage interval shorter than the outage itself, ...).
+  /// an outage interval shorter than the outage itself, ...). Not
+  /// QPERC_COLD_PATH: unconditional per-trial callers would inherit the
+  /// coldness (see NetworkProfile::validate).
   void validate() const;
 
   friend bool operator==(const LinkImpairments&, const LinkImpairments&) = default;

@@ -2,14 +2,34 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "net/packet.hpp"
+#include "util/check.hpp"
 
 namespace qperc::net {
 namespace {
 
 std::uint64_t queue_bytes(DataRate rate, SimDuration delay) {
   return std::max<std::uint64_t>(rate.bytes_in(delay), 2 * kMtuBytes);
+}
+
+// validate() runs per trial on the hot path; the happy path must stay
+// allocation-free (scripts/analyze_hotpath.py proves it statically). All
+// failure formatting — label lookup, concatenation, std::to_string — lives
+// behind these cold noreturn barriers so only a compare-and-branch remains
+// in hot text.
+[[noreturn]] QPERC_COLD_PATH void invalid_profile(const NetworkProfile& profile,
+                                                  const char* what) {
+  const std::string label =
+      profile.name.empty() ? std::string(to_string(profile.kind)) : profile.name;
+  throw std::invalid_argument("invalid network profile '" + label + "': " + what);
+}
+
+[[noreturn]] QPERC_COLD_PATH void invalid_loss_rate(const NetworkProfile& profile) {
+  invalid_profile(profile, ("loss_rate must be in [0, 1], got " +
+                            std::to_string(profile.loss_rate))
+                               .c_str());
 }
 
 }  // namespace
@@ -25,21 +45,15 @@ std::string_view to_string(NetworkKind kind) {
 }
 
 void NetworkProfile::validate() const {
-  const std::string label = name.empty() ? std::string(to_string(kind)) : name;
-  const auto fail = [&](const std::string& what) {
-    throw std::invalid_argument("invalid network profile '" + label + "': " + what);
-  };
-  if (uplink.is_zero()) fail("uplink bandwidth must be > 0");
-  if (downlink.is_zero()) fail("downlink bandwidth must be > 0");
-  if (!(loss_rate >= 0.0 && loss_rate <= 1.0)) {
-    fail("loss_rate must be in [0, 1], got " + std::to_string(loss_rate));
-  }
-  if (min_rtt < SimDuration::zero()) fail("min_rtt must be >= 0");
-  if (queue_delay <= SimDuration::zero()) fail("queue_delay must be > 0");
+  if (uplink.is_zero()) invalid_profile(*this, "uplink bandwidth must be > 0");
+  if (downlink.is_zero()) invalid_profile(*this, "downlink bandwidth must be > 0");
+  if (!(loss_rate >= 0.0 && loss_rate <= 1.0)) invalid_loss_rate(*this);
+  if (min_rtt < SimDuration::zero()) invalid_profile(*this, "min_rtt must be >= 0");
+  if (queue_delay <= SimDuration::zero()) invalid_profile(*this, "queue_delay must be > 0");
   try {
     impairments.validate();
   } catch (const std::invalid_argument& e) {
-    fail(e.what());
+    invalid_profile(*this, e.what());
   }
 }
 

@@ -36,7 +36,10 @@ struct NetworkProfile {
   /// Throws std::invalid_argument with an actionable message when any field
   /// is out of range (non-positive bandwidth, loss outside [0,1], negative
   /// delays, invalid impairments). Called by run_trial and the CLI before a
-  /// profile reaches the simulator.
+  /// profile reaches the simulator. Deliberately NOT QPERC_COLD_PATH: it is
+  /// called unconditionally per trial, and GCC propagates coldness into any
+  /// caller that cannot avoid a cold call — the error branches inside are
+  /// compiler-split into .text.unlikely on their own.
   void validate() const;
 
   /// Droptail capacity of the given direction's queue in bytes

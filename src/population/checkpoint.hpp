@@ -68,10 +68,10 @@ class StudyStore {
 
  private:
   std::string path_;
-  std::uint64_t fingerprint_;
-  unsigned shard_index_;
-  unsigned shard_count_;
-  std::uint64_t block_size_;
+  std::uint64_t fingerprint_ = 0;
+  unsigned shard_index_ = 0;
+  unsigned shard_count_ = 0;
+  std::uint64_t block_size_ = 0;
 };
 
 }  // namespace qperc::population

@@ -67,29 +67,31 @@ TrialOutcome run_torture_trial(const web::Website& site, const core::ProtocolCon
     cross.emplace(simulator, network, contention, rng.fork("contention"));
   }
 
+  // Configs hoisted so the SmallFunction factory captures only references
+  // (see TrialContext::run); both outlive the loader below.
+  const tcp::TcpConfig tcp_config = protocol.transport != core::Transport::kQuic
+                                        ? protocol.tcp_config()
+                                        : tcp::TcpConfig{};
+  const quic::QuicConfig quic_config = protocol.transport == core::Transport::kQuic
+                                           ? protocol.quic_config()
+                                           : quic::QuicConfig{};
   browser::PageLoader::SessionFactory factory;
   switch (protocol.transport) {
-    case core::Transport::kTcp: {
-      const tcp::TcpConfig config = protocol.tcp_config();
-      factory = [&simulator, &network, config](net::ServerId origin) {
-        return http::make_h2_session(simulator, network, origin, config);
+    case core::Transport::kTcp:
+      factory = [&simulator, &network, &tcp_config](net::ServerId origin) {
+        return http::make_h2_session(simulator, network, origin, tcp_config);
       };
       break;
-    }
-    case core::Transport::kQuic: {
-      const quic::QuicConfig config = protocol.quic_config();
-      factory = [&simulator, &network, config](net::ServerId origin) {
-        return http::make_quic_session(simulator, network, origin, config);
+    case core::Transport::kQuic:
+      factory = [&simulator, &network, &quic_config](net::ServerId origin) {
+        return http::make_quic_session(simulator, network, origin, quic_config);
       };
       break;
-    }
-    case core::Transport::kTcpH1: {
-      const tcp::TcpConfig config = protocol.tcp_config();
-      factory = [&simulator, &network, config](net::ServerId origin) {
-        return http::make_h1_session(simulator, network, origin, config);
+    case core::Transport::kTcpH1:
+      factory = [&simulator, &network, &tcp_config](net::ServerId origin) {
+        return http::make_h1_session(simulator, network, origin, tcp_config);
       };
       break;
-    }
   }
 
   // Mirrors browser::load_page, but keeps the simulator visible so the

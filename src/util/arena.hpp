@@ -106,8 +106,11 @@ class Arena {
   };
 
   /// Moves to the next block able to hold `min_bytes`, appending a new one
-  /// (geometric growth) only when the existing chain runs out.
-  void advance_block(std::size_t min_bytes) {
+  /// (geometric growth) only when the existing chain runs out. Cold: steady
+  /// state bumps within warm blocks; this runs only while the chain grows
+  /// during the first trial (and its heap traffic is the ratcheted warm-up
+  /// cost, not a steady-state allocation).
+  QPERC_COLD_PATH void advance_block(std::size_t min_bytes) {
     while (block_ + 1 < blocks_.size()) {
       ++block_;
       offset_ = 0;

@@ -2,8 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace qperc::check {
+
+void throw_invalid_argument(const char* what) { throw std::invalid_argument(what); }
+void throw_out_of_range(const char* what) { throw std::out_of_range(what); }
+void throw_runtime_error(const char* what) { throw std::runtime_error(what); }
 namespace {
 
 ViolationHandler g_handler = &abort_handler;

@@ -35,7 +35,40 @@
 #include <sstream>
 #include <string>
 
+// QPERC_COLD_PATH: marks a function as off the trial hot path.
+//
+// Semantics, enforced by scripts/analyze_hotpath.py: the static analyzer
+// walks the whole-program call graph from the hot-path roots
+// (TrialContext::run, Simulator::run, the study/fairness inner loops) and
+// bans allocation, wall-clock, getenv, locale, iostream, and throw symbols
+// from everything it reaches — except through functions carrying this
+// attribute, which act as traversal barriers. Use it on setup, teardown,
+// validation, and reporting functions that are reachable from hot code but
+// only ever run outside the steady-state loop (or on paths, like invariant
+// failures, where the process is about to die anyway).
+//
+// Mechanically it expands to `cold` + `noinline`: `cold` places the function
+// in a `.text.unlikely.*` section — the recognizable binary-level marker the
+// analyzer keys on — and `noinline` guarantees the call site keeps a direct
+// edge to that marked symbol instead of inlining the body into a hot
+// section. (`cold` also tells the optimizer to favor size and to move the
+// branch out of the hot layout, which is exactly right for these paths.)
+#if defined(__GNUC__) || defined(__clang__)
+#define QPERC_COLD_PATH __attribute__((cold, noinline))
+#else
+#define QPERC_COLD_PATH
+#endif
+
 namespace qperc::check {
+
+/// Cold [[noreturn]] throw helpers for hot-reachable argument validation.
+/// Throwing inline (`throw std::invalid_argument(...)`) plants __cxa_throw
+/// and a std::string construction straight into the caller's text section;
+/// routing the throw through these keeps hot functions free of banned
+/// symbols while preserving the exact exception type and message.
+[[noreturn]] QPERC_COLD_PATH void throw_invalid_argument(const char* what);
+[[noreturn]] QPERC_COLD_PATH void throw_out_of_range(const char* what);
+[[noreturn]] QPERC_COLD_PATH void throw_runtime_error(const char* what);
 
 /// Receives one formatted violation. `file`/`line`/`expr` locate the failed
 /// macro; `message` is the fully formatted report (location, expression,
@@ -50,12 +83,12 @@ using ViolationHandler = void (*)(const char* file, int line, const char* expr,
 ViolationHandler set_violation_handler(ViolationHandler handler);
 
 /// The stderr-and-abort default.
-[[noreturn]] void abort_handler(const char* file, int line, const char* expr,
-                                const std::string& message);
+[[noreturn]] QPERC_COLD_PATH void abort_handler(const char* file, int line, const char* expr,
+                                                const std::string& message);
 
 /// Dispatches one violation to the installed handler.
-void report_violation(const char* file, int line, const char* expr,
-                      const std::string& message);
+QPERC_COLD_PATH void report_violation(const char* file, int line, const char* expr,
+                                      const std::string& message);
 
 /// Prints a value for a failure message. Falls back for types without an
 /// ostream operator<<: chrono durations print their tick count, anything
@@ -76,13 +109,17 @@ void print_value(std::ostream& os, const T& value) {
 
 /// Accumulates the failure report plus any streamed user message, then fires
 /// the handler from its destructor (so the streamed details are included).
+/// Every member is QPERC_COLD_PATH: a Failure only exists on the losing side
+/// of a check, and the iostream/allocation traffic it performs must never be
+/// attributed to the hot function hosting the check.
 class Failure {
  public:
-  Failure(const char* file, int line, const char* expr) : file_(file), line_(line), expr_(expr) {
+  QPERC_COLD_PATH Failure(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {
     stream_ << file << ":" << line << ": " << expr << " failed";
   }
   template <class A, class B>
-  Failure(const char* file, int line, const char* expr, const A& a, const B& b)
+  QPERC_COLD_PATH Failure(const char* file, int line, const char* expr, const A& a, const B& b)
       : Failure(file, line, expr) {
     stream_ << ": ";
     print_value(stream_, a);
@@ -91,10 +128,10 @@ class Failure {
   }
   Failure(const Failure&) = delete;
   Failure& operator=(const Failure&) = delete;
-  ~Failure() { report_violation(file_, line_, expr_, stream_.str()); }
+  QPERC_COLD_PATH ~Failure() { report_violation(file_, line_, expr_, stream_.str()); }
 
   template <class T>
-  Failure& operator<<(const T& value) {
+  QPERC_COLD_PATH Failure& operator<<(const T& value) {
     if (!message_started_) {
       stream_ << " — ";
       message_started_ = true;

@@ -1,0 +1,36 @@
+// The negative fixture: an allocation behind QPERC_COLD_PATH must NOT be a
+// finding. The attribute places grow_table in .text.unlikely.*, which the
+// analyzer treats as a traversal barrier — the walk stops at the call edge
+// and the allocation inside is never visited. The expectations assert both
+// halves: a clean result AND that the barrier was actually exercised (so a
+// regression that silently stops walking altogether cannot pass).
+//
+// analyze-root: ^hot_lookup\(
+// analyze-expect-clean
+// analyze-expect-cold-barrier
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace {
+void escape(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+std::vector<int>& table() {
+  static std::vector<int> instance;
+  return instance;
+}
+
+QPERC_COLD_PATH void grow_table(int value) {
+  table().push_back(value);  // heap growth, excused by the cold annotation
+  escape(table().data());
+}
+}  // namespace
+
+int hot_lookup(int value);
+
+int hot_lookup(int value) {
+  std::vector<int>& t = table();
+  if (t.empty()) grow_table(value);
+  escape(t.data());
+  return t.empty() ? 0 : t.front();
+}

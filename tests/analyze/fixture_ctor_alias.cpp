@@ -1,0 +1,28 @@
+// The C1/C2 constructor-alias hazard: GCC emits the complete-object (C1) and
+// base-object (C2) constructors as two symbols at one address; the call site
+// relocates against C1 while objdump attributes the section's instructions —
+// and so every outgoing edge — to C2. Without same-address alias unification
+// the walk dead-ends at the edgeless C1 node and anything a constructor does
+// (allocate, register callbacks) escapes analysis entirely. This fixture
+// fails closed on that regression: the allocation happens inside the
+// out-of-line constructor body, reachable only through the alias.
+//
+// analyze-root: ^hot_build\(
+// analyze-expect: alloc Widget::Widget
+
+#include <cstddef>
+#include <vector>
+
+struct Widget {
+  __attribute__((noinline)) explicit Widget(int n);
+  std::vector<int> samples;
+};
+
+__attribute__((noinline)) Widget::Widget(int n) {
+  samples.reserve(static_cast<std::size_t>(n));
+}
+
+void hot_build(int n) {
+  Widget w(n);
+  asm volatile("" : : "g"(&w) : "memory");
+}

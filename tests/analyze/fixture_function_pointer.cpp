@@ -1,0 +1,32 @@
+// A function-pointer edge through the repo's own SmallFunction: the hot root
+// stores a lambda in a SmallFunction and hands it to an opaque consumer, so
+// the lambda body is reachable only through SmallFunction's static ops table
+// (kInlineOps<F>). The analyzer must follow the data relocation from the
+// root into the table, out to the invoke thunk, and into the allocation the
+// lambda performs.
+//
+// analyze-root: ^hot_enqueue\(
+// analyze-expect: alloc SmallFunction
+#include <vector>
+
+#include "util/function.hpp"
+
+namespace {
+void escape(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+}  // namespace
+
+__attribute__((noinline)) void consume(qperc::SmallFunction<void()>& fn) {
+  fn();
+  escape(&fn);
+}
+
+void hot_enqueue(int value);
+
+void hot_enqueue(int value) {
+  qperc::SmallFunction<void()> callback = [value]() {
+    std::vector<int> queue;
+    queue.push_back(value);
+    escape(queue.data());
+  };
+  consume(callback);
+}

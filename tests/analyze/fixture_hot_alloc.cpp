@@ -1,0 +1,21 @@
+// A deliberately-allocating hot function: the canonical regression the
+// analyzer exists to catch (a std::vector push on a per-event path). The
+// growth goes through std::vector<int>::_M_realloc_insert — fully inlined
+// here at -O2, leaving a direct relocation to operator new — and the
+// analyzer must surface the chain from the root to the allocation.
+//
+// analyze-root: ^hot_push\(
+// analyze-expect: alloc operator new
+#include <vector>
+
+namespace {
+void escape(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+}  // namespace
+
+void hot_push(int value);
+
+void hot_push(int value) {
+  std::vector<int> samples;
+  samples.push_back(value);
+  escape(samples.data());
+}

@@ -1,0 +1,51 @@
+// Purity rules, one hot function per sink class: wall-clock reads, getenv,
+// locale, iostream formatting, and throwing. Each root reaches exactly one
+// banned entry point; together they prove every non-alloc rule fires.
+//
+// analyze-root: ^hot_clock\(
+// analyze-root: ^hot_env\(
+// analyze-root: ^hot_locale\(
+// analyze-root: ^hot_print\(
+// analyze-root: ^hot_throw\(
+// analyze-expect: wall-clock steady_clock
+// analyze-expect: getenv getenv
+// analyze-expect: locale setlocale
+// analyze-expect: iostream printf
+// analyze-expect: throw __throw_out_of_range
+#include <chrono>
+#include <clocale>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+long hot_clock();
+int hot_env();
+const char* hot_locale();
+void hot_print(int value);
+int hot_throw(std::vector<int>& samples);
+
+long hot_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int hot_env() {
+  const char* jobs = std::getenv("QPERC_JOBS");
+  return jobs != nullptr ? jobs[0] : 0;
+}
+
+const char* hot_locale() {
+  return std::setlocale(LC_NUMERIC, nullptr);
+}
+
+void hot_print(int value) {
+  std::printf("%d\n", value);
+}
+
+int hot_throw(std::vector<int>& samples) {
+  // A literal `throw` statement is inferred cold by GCC and split into a
+  // .text.unlikely clone — which the analyzer rightly treats as a barrier
+  // (the compiler proved the path unlikely). The rule therefore targets the
+  // throwing entry points compilers leave in hot text: libstdc++'s
+  // std::__throw_* helpers behind every checked accessor.
+  return samples.at(3);
+}

@@ -1,0 +1,36 @@
+// Stack-budget fixture: a three-deep noinline call chain whose frames each
+// hold a 2 KiB buffer, so the summed worst-case depth from the root must be
+// at least 6 KiB; the expectation leaves headroom for spill slots and asserts
+// a conservative 4 KiB floor. Proves the .su records are found, matched to
+// demangled symbols, and summed along the deepest call chain.
+//
+// analyze-root: ^hot_outer\(
+// analyze-expect-clean
+// analyze-expect-stack-min: 4096
+
+namespace {
+void escape(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+__attribute__((noinline)) int inner(int value) {
+  char buffer[2048];
+  buffer[0] = static_cast<char>(value);
+  escape(buffer);
+  return buffer[0] + buffer[sizeof(buffer) - 1];
+}
+
+__attribute__((noinline)) int middle(int value) {
+  char buffer[2048];
+  buffer[0] = static_cast<char>(value);
+  escape(buffer);
+  return inner(buffer[0]);
+}
+}  // namespace
+
+int hot_outer(int value);
+
+int hot_outer(int value) {
+  char buffer[2048];
+  buffer[0] = static_cast<char>(value);
+  escape(buffer);
+  return middle(buffer[0]);
+}

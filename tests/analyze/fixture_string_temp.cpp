@@ -1,0 +1,24 @@
+// A hidden std::string temporary: no `new` appears in the source, but
+// constructing the string from a C pointer allocates. Depending on how far
+// the compiler inlines the constructor, the banned reference is either a
+// direct operator new (fully inlined _M_create, as g++ -O2 does here) or one
+// of the out-of-line libstdc++ string entry points the analyzer bans by name
+// (_M_construct/_M_create live in libstdc++.so, where the operator new they
+// call is invisible to relocation scanning). Both spellings are findings.
+//
+// analyze-root: ^hot_label\(
+// analyze-expect: alloc operator new
+#include <cstddef>
+#include <string>
+
+namespace {
+void escape(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+}  // namespace
+
+std::size_t hot_label(const char* name);
+
+std::size_t hot_label(const char* name) {
+  std::string copy(name);  // allocates unless `name` is short — still banned
+  escape(copy.data());
+  return copy.size();
+}

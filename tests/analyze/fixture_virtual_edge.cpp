@@ -1,0 +1,37 @@
+// A virtual-call edge: the hot root constructs a Derived (placement new, so
+// the construction itself does not allocate) and calls through the base
+// pointer. No direct relocation ties the root to Derived::work — the link is
+// the vtable: constructing the object plants a reference to _ZTV*Derived*,
+// and the analyzer expands that data symbol into edges to every slot, which
+// is where the allocation hides.
+//
+// analyze-root: ^hot_dispatch\(
+// analyze-expect: alloc Derived::work
+#include <new>
+#include <vector>
+
+namespace {
+void escape(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+}  // namespace
+
+struct Base {
+  virtual int work(int value) = 0;
+};
+
+struct Derived : Base {
+  int work(int value) override {
+    std::vector<int> scratch;
+    scratch.push_back(value);
+    escape(scratch.data());
+    return static_cast<int>(scratch.size());
+  }
+};
+
+int hot_dispatch(int value);
+
+int hot_dispatch(int value) {
+  alignas(Derived) unsigned char storage[sizeof(Derived)];
+  Base* obj = ::new (storage) Derived();
+  escape(obj);
+  return obj->work(value);
+}
