@@ -7,7 +7,7 @@
 //   * default: the usual google-benchmark CLI (--benchmark_filter=...),
 //   * --qperc_json PATH [--qperc_iters N]: runs the fixed scheduler/timer/
 //     page-load measurement suite and writes the machine-readable
-//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v5) that
+//     BENCH_micro.json perf baseline (schema qperc-bench-micro-v6) that
 //     scripts/bench_baseline.sh diffs against the checked-in numbers.
 //     N scales the iteration counts (default 100; 1 = smoke test).
 //
@@ -235,6 +235,28 @@ void BM_PageLoadTrialImpaired(benchmark::State& state) {
 BENCHMARK(BM_PageLoadTrialImpaired)->Args({6, 0})->Args({6, 3})
     ->Unit(benchmark::kMillisecond);
 
+/// Same trial over an LTE-trace downlink schedule: every serialization end
+/// is a piecewise integral across rate epochs instead of one division.
+/// Compare against BM_PageLoadTrial for the cost of variable-rate links; the
+/// schedule-free path stays on the single-division fast path (bit-exact
+/// goldens).
+void BM_PageLoadTrialScheduled(benchmark::State& state) {
+  const auto catalog = web::study_catalog(7);
+  const auto& site = catalog[static_cast<std::size_t>(state.range(0))];
+  const auto& protocol =
+      core::paper_protocols()[static_cast<std::size_t>(state.range(1))];
+  net::NetworkProfile profile = net::dsl_profile();
+  profile.downlink_schedule = net::RateSchedule::lte_trace(profile.downlink, 11);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto result = core::run_trial(core::TrialSpec(site, protocol, profile, seed++));
+    benchmark::DoNotOptimize(result.metrics.plt_ms());
+  }
+  state.SetLabel(site.name + " / " + protocol.name + " (lte schedule)");
+}
+BENCHMARK(BM_PageLoadTrialScheduled)->Args({6, 0})->Args({6, 3})
+    ->Unit(benchmark::kMillisecond);
+
 /// The page load sharing its bottleneck with a 16-flow cubic crowd: the
 /// multi-endpoint network, the cross-traffic sources, and a droptail queue
 /// under sustained pressure. Compare against BM_PageLoadTrial for the cost
@@ -307,6 +329,7 @@ struct MicroResults {
   std::uint64_t scheduler_allocs_steady_state = 0;
   std::uint64_t rearm_queue_depth_max = 0;
   double ns_per_page_load_trial = 0;
+  double ns_per_scheduled_trial = 0;
   double ns_per_multiflow_trial = 0;
   double trials_per_sec = 0;
   std::uint64_t allocations_per_trial = 0;
@@ -404,6 +427,35 @@ void measure_trial(MicroResults& out, int scale) {
       static_cast<std::uint64_t>(rounds);
 }
 
+/// Steady-state trial cost over an LTE-trace downlink schedule through the
+/// same reused TrialContext: the piecewise serialize_end integration and the
+/// epoch-boundary rate changes priced against the clean page load above.
+void measure_scheduled_trial(MicroResults& out, int scale) {
+  const auto catalog = web::study_catalog(7);
+  const web::Website* site = nullptr;
+  for (const auto& candidate : catalog) {
+    if (candidate.name == "apache.org") site = &candidate;
+  }
+  const auto& protocol = core::protocol_by_name("QUIC");
+  net::NetworkProfile profile = net::dsl_profile();
+  profile.downlink_schedule = net::RateSchedule::lte_trace(profile.downlink, 11);
+  core::TrialContext context;
+  std::uint64_t seed = 1;
+  for (int i = 0; i < 3; ++i) {
+    benchmark::DoNotOptimize(
+        context.run(core::TrialSpec(*site, protocol, profile, seed++)));
+  }
+  const int rounds = 50 * scale;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    const auto result =
+        context.run(core::TrialSpec(*site, protocol, profile, seed++));
+    benchmark::DoNotOptimize(result.metrics.plt_ms());
+  }
+  const auto t1 = Clock::now();
+  out.ns_per_scheduled_trial = elapsed_ns(t0, t1) / rounds;
+}
+
 /// Steady-state cost of the contended 16-flow cubic cell through the same
 /// reused TrialContext. Contended trials simulate a bottleneck under
 /// sustained queue pressure, so each one is orders of magnitude more work
@@ -488,6 +540,7 @@ int run_json_mode(const std::string& path, int scale) {
   measure_scheduler(results, scale);
   measure_rearm(results, scale);
   measure_trial(results, scale);
+  measure_scheduled_trial(results, scale);
   measure_multiflow_trial(results, scale);
   measure_population(results, scale);
   results.events_per_trial = probe_events_per_trial();
@@ -500,7 +553,7 @@ int run_json_mode(const std::string& path, int scale) {
   out.precision(3);
   out << std::fixed;
   out << "{\n"
-      << "  \"schema\": \"qperc-bench-micro-v5\",\n"
+      << "  \"schema\": \"qperc-bench-micro-v6\",\n"
       << "  \"iters_scale\": " << scale << ",\n"
       << "  \"metrics\": {\n"
       << "    \"ns_per_schedule\": " << results.ns_per_schedule << ",\n"
@@ -510,6 +563,7 @@ int run_json_mode(const std::string& path, int scale) {
       << ",\n"
       << "    \"rearm_queue_depth_max\": " << results.rearm_queue_depth_max << ",\n"
       << "    \"ns_per_page_load_trial\": " << results.ns_per_page_load_trial << ",\n"
+      << "    \"ns_per_scheduled_trial\": " << results.ns_per_scheduled_trial << ",\n"
       << "    \"ns_per_multiflow_trial\": " << results.ns_per_multiflow_trial << ",\n"
       << "    \"trials_per_sec\": " << results.trials_per_sec << ",\n"
       << "    \"allocations_per_trial\": " << results.allocations_per_trial << ",\n"

@@ -874,7 +874,9 @@ def scan_tree(args):
     if args.write_baseline:
         with open(baseline_path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
-        doc["schema"] = "qperc-bench-micro-v5"
+        # The bench metrics own the schema version; only stamp one on a
+        # freshly created file (schema v5 introduced the analyzer section).
+        doc.setdefault("schema", "qperc-bench-micro-v5")
         doc.setdefault("analyzer", {})["hot_path_stack_bytes"] = stack.total
         with open(baseline_path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)

@@ -10,7 +10,7 @@
 #                invariant metrics (steady-state allocations, re-arm queue
 #                depth) must match exactly.
 #   --smoke      run at 1 iteration and only validate the JSON schema
-#                (qperc-bench-micro-v5 with every expected metric present
+#                (qperc-bench-micro-v6 with every expected metric present
 #                and finite). Registered as the `bench_smoke` ctest.
 #   --ratchet    run full iterations but compare only the machine-independent
 #                invariants (steady-state scheduler allocations exactly;
@@ -98,6 +98,7 @@ METRICS = [
     "scheduler_allocs_steady_state",
     "rearm_queue_depth_max",
     "ns_per_page_load_trial",
+    "ns_per_scheduled_trial",
     "ns_per_multiflow_trial",
     "trials_per_sec",
     "allocations_per_trial",
@@ -127,7 +128,12 @@ def load(path, expect_analyzer=False):
                  "scripts/bench_baseline.sh --update with a current bench binary, then "
                  "scripts/analyze_hotpath.py --build-dir <release-build> --write-baseline "
                  "to bank analyzer.hot_path_stack_bytes.")
-    if schema != "qperc-bench-micro-v5":
+    if schema == "qperc-bench-micro-v5":
+        sys.exit("bench_baseline: BENCH_micro.json is schema v5, which predates the "
+                 "ns_per_scheduled_trial metric (variable-rate links). Upgrade the "
+                 "baseline: re-run scripts/bench_baseline.sh --update with a current "
+                 "bench binary (the analyzer section is preserved automatically).")
+    if schema != "qperc-bench-micro-v6":
         sys.exit(f"bench_baseline: bad schema in {path}: {schema!r}")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -149,7 +155,7 @@ def load(path, expect_analyzer=False):
 
 current = load(sys.argv[1])
 if os.environ["MODE"] == "smoke":
-    print("bench_baseline: smoke OK (schema qperc-bench-micro-v5, "
+    print("bench_baseline: smoke OK (schema qperc-bench-micro-v6, "
           f"{len(METRICS)} metrics present)")
     sys.exit(0)
 

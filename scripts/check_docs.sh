@@ -93,12 +93,14 @@ require_section ARCHITECTURE.md "Correctness tooling"
 require_section ARCHITECTURE.md 'Population-scale streaming studies \(`src/population`\)'
 require_section ARCHITECTURE.md "Shared-bottleneck contention & fairness"
 require_section ARCHITECTURE.md "Static analysis: the hot-path purity analyzer"
+require_section ARCHITECTURE.md "The link layer: serialization, schedules, and policing"
 require_section EXPERIMENTS.md "Benchmarking qperc"
 require_section EXPERIMENTS.md "Measuring throughput"
 require_section EXPERIMENTS.md "Running the grid as a campaign"
 require_section EXPERIMENTS.md "Population-scale studies"
 require_section EXPERIMENTS.md "Contention & fairness"
 require_section EXPERIMENTS.md "Impairment & torture testing"
+require_section EXPERIMENTS.md "Variable-rate links & policing"
 # (the argument is an ERE fragment, so the parens are escaped)
 require_section EXPERIMENTS.md 'The CI gate \(`scripts/ci_gate.sh`\)'
 require_section docs/PERFORMANCE.md "Memory model"

@@ -45,6 +45,17 @@ echo "== shard halves merge to the reference bytes"
   --export "$WORKDIR/shards.txt" --quiet > /dev/null
 cmp "$WORKDIR/ref.txt" "$WORKDIR/shards.txt"
 
+echo "== variable-rate (lte-trace) policed cell is byte-identical across --jobs"
+SCHED=(--sites wikipedia.org --protocols QUIC --networks LTE
+       --flows 2 --mix cubic --runs 2 --seed 7
+       --link-trace lte --link-trace-seed 3 --policer-rate-mbps 4 --policer-burst-kb 32)
+"$QPERC" fairness "${SCHED[@]}" --jobs 1 \
+  --out "$WORKDIR/sched1" --export "$WORKDIR/sched1.txt" --quiet > /dev/null
+test -s "$WORKDIR/sched1.txt"
+"$QPERC" fairness "${SCHED[@]}" --jobs 4 \
+  --out "$WORKDIR/sched4" --export "$WORKDIR/sched4.txt" --quiet > /dev/null
+cmp "$WORKDIR/sched1.txt" "$WORKDIR/sched4.txt"
+
 echo "== report refuses an incomplete shard set"
 "$QPERC" fairness "${SPEC[@]}" --shard 0/3 --jobs 1 \
   --out "$WORKDIR/partial" --quiet > /dev/null

@@ -49,6 +49,21 @@ if "$QPERC" study report "${SPEC[@]}" --out "$WORKDIR/partial" > /dev/null 2>&1;
   echo "FAIL: report accepted a missing shard" >&2; exit 1
 fi
 
+echo "== link-condition overlay: tagged outputs, byte-identical across --jobs"
+# A smaller grid: the LTE trace + policer makes each stimulus trial slower.
+COND=(--kind rating --group uworker --participants 512 --seed 7 --sites 1 --runs 2 \
+  --link-trace lte --link-trace-seed 3 --policer-rate-mbps 4 --policer-burst-kb 32)
+"$QPERC" study run "${COND[@]}" --jobs 1 --block-size 64 \
+  --out "$WORKDIR/cond" --export "$WORKDIR/cond1.txt" --quiet > /dev/null
+"$QPERC" study run "${COND[@]}" --jobs 4 --block-size 64 \
+  --out "$WORKDIR/cond" --export "$WORKDIR/cond4.txt" --quiet > /dev/null
+cmp "$WORKDIR/cond1.txt" "$WORKDIR/cond4.txt"
+# The overlay is part of the file identity: conditioned outputs must not
+# collide with (or silently reuse) the unconditioned files of the same spec.
+ls "$WORKDIR/cond" | grep -q "_lte3_pol4000000b32768" || {
+  echo "FAIL: conditioned outputs missing the link-conditions tag" >&2; exit 1
+}
+
 echo "== malformed invocations are rejected"
 if "$QPERC" study run --definitely-not-a-flag 2>/dev/null; then
   echo "FAIL: unknown flag was accepted" >&2; exit 1

@@ -12,6 +12,17 @@ namespace {
 /// cruise phases.
 constexpr std::array<double, 8> kGainCycle = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
 
+// Long-term bandwidth estimation constants, matching Linux tcp_bbr.c /
+// tcp-bbrplus. A sampling interval must span at least kLtIntvlMinRtts round
+// trips and at most four times that; an interval "ends" on a loss event once
+// the loss fraction reaches kLtLossThresh. Two consecutive intervals whose
+// rates agree within 1/8 (or kLtBwDiffBps absolute) mark the link as policed.
+constexpr std::uint64_t kLtIntvlMinRtts = 4;
+constexpr double kLtLossThresh = 50.0 / 256.0;  // ~20% lost
+constexpr std::uint64_t kLtBwDiffBps = 4000;    // 4 Kbit/s
+/// Rounds to trust a long-term estimate before re-probing for fresh capacity.
+constexpr std::uint64_t kLtBwMaxRtts = 48;
+
 }  // namespace
 
 Bbr::Bbr(BbrConfig config)
@@ -25,7 +36,7 @@ std::uint64_t Bbr::bdp(double gain) const {
   if (max_bw_.empty() || min_rtt_ == SimDuration::max()) {
     return config_.initial_window_segments * config_.mss;
   }
-  const double bdp_bytes = max_bw_.best().bytes_per_second_d() * to_seconds(min_rtt_);
+  const double bdp_bytes = bandwidth_estimate().bytes_per_second_d() * to_seconds(min_rtt_);
   return static_cast<std::uint64_t>(bdp_bytes * gain);
 }
 
@@ -33,10 +44,14 @@ void Bbr::on_packet_sent(SimTime /*now*/, std::uint64_t /*bytes_in_flight*/,
                          std::uint64_t /*packet_bytes*/) {}
 
 void Bbr::on_ack(SimTime now, const AckSample& sample) {
+  total_delivered_ += sample.bytes_acked;
+  total_lost_ += sample.bytes_lost;
   if (sample.round_trip_ended) {
     ++round_count_;
     in_recovery_ = false;  // conservation window held for one round after loss
   }
+
+  if (config_.lt_bw_enabled) lt_bw_sampling(now, sample);
 
   if (sample.rtt > SimDuration::zero() &&
       (sample.rtt <= min_rtt_ || now - min_rtt_timestamp_ > config_.min_rtt_window)) {
@@ -111,6 +126,10 @@ void Bbr::enter_probe_bw(SimTime now) {
 }
 
 void Bbr::update_gain_cycle(SimTime now, std::uint64_t bytes_in_flight) {
+  // While the long-term (policed) estimate is in force the gain stays at
+  // 1.0: probing above a policer only manufactures loss (Linux:
+  // bbr_update_cycle_phase bails when lt_use_bw).
+  if (lt_use_bw_) return;
   const SimDuration phase_length = min_rtt_ == SimDuration::max() ? milliseconds(100) : min_rtt_;
   bool advance = now - cycle_start_ > phase_length;
   // Stay in the 1.25 probing phase until it actually inflated the pipe, and
@@ -162,7 +181,19 @@ void Bbr::on_congestion_event(SimTime /*now*/, std::uint64_t bytes_in_flight) {
 
 void Bbr::on_retransmission_timeout() {
   in_recovery_ = true;
+  rto_prior_cwnd_bytes_ = std::max(rto_prior_cwnd_bytes_, cwnd_bytes_);
   cwnd_bytes_ = config_.min_window_segments * config_.mss;
+}
+
+void Bbr::on_spurious_retransmission_timeout() {
+  // The RTO that collapsed cwnd was bogus (the original packet's ACK
+  // arrived): restore the pre-collapse window. The bandwidth/min-RTT model
+  // was never touched, so this is all the undo BBR needs.
+  if (rto_prior_cwnd_bytes_ > 0) {
+    cwnd_bytes_ = std::max(cwnd_bytes_, rto_prior_cwnd_bytes_);
+    rto_prior_cwnd_bytes_ = 0;
+  }
+  in_recovery_ = false;
 }
 
 void Bbr::on_restart_after_idle() {
@@ -186,7 +217,88 @@ DataRate Bbr::pacing_rate(SimDuration smoothed_rtt) const {
         static_cast<double>(config_.initial_window_segments * config_.mss);
     return DataRate::bytes_per_second(initial_bytes / to_seconds(rtt) * pacing_gain_);
   }
-  return max_bw_.best().scaled(pacing_gain_);
+  return bandwidth_estimate().scaled(pacing_gain_);
+}
+
+void Bbr::lt_bw_sampling(SimTime now, const AckSample& sample) {
+  if (lt_use_bw_) {
+    // Trust the long-term estimate for kLtBwMaxRtts rounds of PROBE_BW, then
+    // forget it and probe for fresh capacity (the policer may be gone).
+    if (mode_ == Mode::kProbeBw && sample.round_trip_ended &&
+        ++lt_rtt_cnt_ >= kLtBwMaxRtts) {
+      reset_lt_bw_sampling(now);
+      enter_probe_bw(now);
+    }
+    return;
+  }
+
+  // A policer's bucket refills while the sender is app-limited, so an
+  // interval spanning app-limited time would under-read the policed rate.
+  if (sample.is_app_limited) {
+    reset_lt_bw_sampling_interval(now);
+    return;
+  }
+
+  if (!lt_is_sampling_) {
+    if (sample.bytes_lost == 0) return;  // intervals start at a loss
+    reset_lt_bw_sampling_interval(now);
+    lt_is_sampling_ = true;
+  }
+
+  if (sample.round_trip_ended) ++lt_rtt_cnt_;
+  if (lt_rtt_cnt_ < kLtIntvlMinRtts) return;
+  if (lt_rtt_cnt_ > 4 * kLtIntvlMinRtts) {
+    // Interval too long: rate samples this stale tell us nothing about a
+    // policer's bucket. Restart from scratch.
+    reset_lt_bw_sampling(now);
+    return;
+  }
+
+  if (sample.bytes_lost == 0) return;  // intervals also end at a loss
+
+  const std::uint64_t lost = total_lost_ - lt_last_lost_;
+  const std::uint64_t delivered = total_delivered_ - lt_last_delivered_;
+  if (delivered == 0 ||
+      static_cast<double>(lost) < kLtLossThresh * static_cast<double>(delivered)) {
+    return;  // not lossy enough to look policed
+  }
+
+  const SimDuration span = now - lt_last_stamp_;
+  if (span < milliseconds(1)) return;  // too short for a meaningful rate
+  lt_bw_interval_done(now, DataRate::from_bytes_and_duration(delivered, span));
+}
+
+void Bbr::lt_bw_interval_done(SimTime now, DataRate bw) {
+  if (!lt_bw_.is_zero()) {
+    const std::uint64_t diff =
+        bw > lt_bw_ ? bw.bps() - lt_bw_.bps() : lt_bw_.bps() - bw.bps();
+    if (diff * 8 <= lt_bw_.bps() || diff <= kLtBwDiffBps) {
+      // Two consecutive intervals delivered at the same heavily-lossy rate:
+      // that is a token-bucket policer's signature. Pace at the average and
+      // stop probing above it.
+      lt_bw_ = DataRate::bits_per_second((lt_bw_.bps() + bw.bps()) / 2);
+      lt_use_bw_ = true;
+      pacing_gain_ = 1.0;
+      lt_rtt_cnt_ = 0;
+      return;
+    }
+  }
+  lt_bw_ = bw;
+  reset_lt_bw_sampling_interval(now);
+}
+
+void Bbr::reset_lt_bw_sampling_interval(SimTime now) {
+  lt_last_stamp_ = now;
+  lt_last_delivered_ = total_delivered_;
+  lt_last_lost_ = total_lost_;
+  lt_rtt_cnt_ = 0;
+}
+
+void Bbr::reset_lt_bw_sampling(SimTime now) {
+  lt_bw_ = DataRate{};
+  lt_use_bw_ = false;
+  lt_is_sampling_ = false;
+  reset_lt_bw_sampling_interval(now);
 }
 
 }  // namespace qperc::cc

@@ -1,5 +1,11 @@
 // BBRv1 congestion control (Cardwell et al.), as shipped in Linux 4.9+ and
 // gQUIC at the time of the paper ("BBRv2 was not yet available", §3 fn. 2).
+//
+// Includes Linux BBR's long-term bandwidth ("lt_bw") estimation, the
+// token-bucket-policer detector (cf. tcp-bbrplus): when consecutive sampling
+// intervals show heavy loss at a consistent delivery rate, the link is
+// treated as policed and BBR paces at that long-term rate instead of
+// repeatedly probing into the policer and oscillating through loss.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,8 @@ struct BbrConfig {
   /// Min-RTT filter window; staleness triggers PROBE_RTT.
   SimDuration min_rtt_window = seconds(10);
   SimDuration probe_rtt_duration = milliseconds(200);
+  /// Long-term (policer) bandwidth estimation, on by default as in Linux.
+  bool lt_bw_enabled = true;
 };
 
 class Bbr final : public CongestionController {
@@ -34,6 +42,7 @@ class Bbr final : public CongestionController {
   void on_ack(SimTime now, const AckSample& sample) override;
   void on_congestion_event(SimTime now, std::uint64_t bytes_in_flight) override;
   void on_retransmission_timeout() override;
+  void on_spurious_retransmission_timeout() override;
   void on_restart_after_idle() override;
 
   [[nodiscard]] std::uint64_t congestion_window() const override;
@@ -44,8 +53,14 @@ class Bbr final : public CongestionController {
 
   enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
-  [[nodiscard]] DataRate bandwidth_estimate() const { return max_bw_.best(); }
+  /// The bandwidth the model actually paces from: the long-term (policed)
+  /// estimate while it is in force, the windowed max filter otherwise.
+  [[nodiscard]] DataRate bandwidth_estimate() const {
+    return lt_use_bw_ ? lt_bw_ : max_bw_.best();
+  }
   [[nodiscard]] SimDuration min_rtt_estimate() const noexcept { return min_rtt_; }
+  [[nodiscard]] bool lt_bw_in_use() const noexcept { return lt_use_bw_; }
+  [[nodiscard]] DataRate lt_bw() const noexcept { return lt_bw_; }
 
  private:
   [[nodiscard]] std::uint64_t bdp(double gain) const;
@@ -53,6 +68,10 @@ class Bbr final : public CongestionController {
   void check_full_pipe(const AckSample& sample);
   void update_gain_cycle(SimTime now, std::uint64_t bytes_in_flight);
   void maybe_enter_or_exit_probe_rtt(SimTime now, std::uint64_t bytes_in_flight);
+  void lt_bw_sampling(SimTime now, const AckSample& sample);
+  void lt_bw_interval_done(SimTime now, DataRate bw);
+  void reset_lt_bw_sampling_interval(SimTime now);
+  void reset_lt_bw_sampling(SimTime now);
 
   BbrConfig config_;
   Mode mode_ = Mode::kStartup;
@@ -82,6 +101,23 @@ class Bbr final : public CongestionController {
   std::uint64_t cwnd_bytes_ = 0;  // set by the constructor
   std::uint64_t prior_cwnd_bytes_ = 0;
   bool in_recovery_ = false;
+
+  // Long-term bandwidth (policer) estimation, ported from Linux tcp-bbrplus.
+  // Cumulative delivered/lost totals feed loss-fraction accounting over
+  // sampling intervals bounded in round trips.
+  bool lt_is_sampling_ = false;
+  bool lt_use_bw_ = false;
+  std::uint64_t lt_rtt_cnt_ = 0;
+  DataRate lt_bw_{};
+  SimTime lt_last_stamp_{0};
+  std::uint64_t lt_last_delivered_ = 0;
+  std::uint64_t lt_last_lost_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t total_lost_ = 0;
+
+  /// cwnd at the moment the last RTO collapsed it, for the spurious-RTO
+  /// undo (zero = no collapse outstanding).
+  std::uint64_t rto_prior_cwnd_bytes_ = 0;
 };
 
 }  // namespace qperc::cc

@@ -21,6 +21,10 @@ inline constexpr std::uint64_t kDefaultMss = 1460;
 /// Everything a controller learns from one ACK event.
 struct AckSample {
   std::uint64_t bytes_acked = 0;
+  /// Bytes newly declared lost since the previous ACK event (fast-loss
+  /// detection and timeouts alike). Food for BBR's long-term bandwidth
+  /// (policing) estimator; loss-based controllers ignore it.
+  std::uint64_t bytes_lost = 0;
   /// Most recent RTT measurement; zero when the ACK carried no new sample.
   SimDuration rtt{0};
   /// Smoothed RTT maintained by the transport.
@@ -48,6 +52,12 @@ class CongestionController {
   /// semantics, but both implementations also self-protect.
   virtual void on_congestion_event(SimTime now, std::uint64_t bytes_in_flight) = 0;
   virtual void on_retransmission_timeout() = 0;
+  /// The transport detected that the last retransmission timeout was
+  /// spurious (the original packet's ACK arrived, no retransmission was
+  /// needed): undo the timeout's window collapse, RFC 3522/F-RTO style.
+  /// Default: no-op, the conservative choice for controllers without undo
+  /// state.
+  virtual void on_spurious_retransmission_timeout() {}
   /// Stock Linux TCP collapses to IW after an idle period
   /// (net.ipv4.tcp_slow_start_after_idle=1); TCP+ disables this.
   virtual void on_restart_after_idle() = 0;

@@ -113,10 +113,24 @@ void Cubic::on_congestion_event(SimTime /*now*/, std::uint64_t /*bytes_in_flight
 }
 
 void Cubic::on_retransmission_timeout() {
+  rto_prior_cwnd_bytes_ = std::max(rto_prior_cwnd_bytes_, cwnd_bytes_);
+  rto_prior_ssthresh_bytes_ = std::max(rto_prior_ssthresh_bytes_, ssthresh_bytes_);
   ssthresh_bytes_ = std::max(cwnd_bytes_ / 2, config_.min_window_segments * config_.mss);
   cwnd_bytes_ = config_.min_window_segments * config_.mss;
   epoch_active_ = false;
   ack_credit_bytes_ = 0.0;
+}
+
+void Cubic::on_spurious_retransmission_timeout() {
+  // RFC 3522-style undo: the timeout was bogus (the original packet's ACK
+  // arrived), so restore the window and ssthresh the RTO confiscated.
+  if (rto_prior_cwnd_bytes_ > 0) {
+    cwnd_bytes_ = std::max(cwnd_bytes_, rto_prior_cwnd_bytes_);
+    ssthresh_bytes_ = std::max(ssthresh_bytes_, rto_prior_ssthresh_bytes_);
+    rto_prior_cwnd_bytes_ = 0;
+    rto_prior_ssthresh_bytes_ = 0;
+    epoch_active_ = false;  // re-anchor the cubic epoch at the restored window
+  }
 }
 
 void Cubic::on_restart_after_idle() {

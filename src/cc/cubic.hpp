@@ -36,6 +36,7 @@ class Cubic final : public CongestionController {
   void on_ack(SimTime now, const AckSample& sample) override;
   void on_congestion_event(SimTime now, std::uint64_t bytes_in_flight) override;
   void on_retransmission_timeout() override;
+  void on_spurious_retransmission_timeout() override;
   void on_restart_after_idle() override;
 
   [[nodiscard]] std::uint64_t congestion_window() const override {
@@ -69,6 +70,11 @@ class Cubic final : public CongestionController {
   SimDuration hystart_round_min_rtt_{SimDuration::max()};
   SimDuration hystart_prev_round_min_rtt_{SimDuration::max()};
   std::uint32_t hystart_rtt_samples_ = 0;
+
+  // Window/ssthresh at the moment the last RTO collapsed them, for the
+  // spurious-RTO undo (zero = no collapse outstanding).
+  std::uint64_t rto_prior_cwnd_bytes_ = 0;
+  std::uint64_t rto_prior_ssthresh_bytes_ = 0;
 };
 
 }  // namespace qperc::cc

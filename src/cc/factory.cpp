@@ -18,7 +18,8 @@ std::string_view to_string(CcKind kind) {
 }
 
 std::unique_ptr<CongestionController> make_congestion_controller(
-    CcKind kind, std::uint64_t initial_window_segments, std::uint64_t mss) {
+    CcKind kind, std::uint64_t initial_window_segments, std::uint64_t mss,
+    bool bbr_lt_bw) {
   switch (kind) {
     case CcKind::kCubic: {
       CubicConfig config;
@@ -30,6 +31,7 @@ std::unique_ptr<CongestionController> make_congestion_controller(
       BbrConfig config;
       config.initial_window_segments = initial_window_segments;
       config.mss = mss;
+      config.lt_bw_enabled = bbr_lt_bw;
       return std::make_unique<Bbr>(config);
     }
     case CcKind::kBbr2: {

@@ -11,6 +11,18 @@ Pacer::Pacer(PacerConfig config)
       token_bytes_(static_cast<double>(config.initial_quantum_segments) *
                    config.segment_bytes) {}
 
+void Pacer::set_rate(SimTime now, DataRate rate) {
+  if (rate == rate_) return;
+  if (config_.enabled && now > last_update_) {
+    // Bank what the old rate earned up to this instant, then switch. The
+    // cap inside tokens_at() already bounds the banked credit, so the new
+    // rate starts from a settled balance instead of re-pricing the gap.
+    token_bytes_ = tokens_at(now);
+    last_update_ = now;
+  }
+  rate_ = rate;
+}
+
 double Pacer::tokens_at(SimTime now) const {
   const double cap =
       static_cast<double>(config_.refill_quantum_segments) * config_.segment_bytes;

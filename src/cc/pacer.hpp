@@ -26,7 +26,12 @@ class Pacer {
  public:
   explicit Pacer(PacerConfig config);
 
-  void set_rate(DataRate rate) noexcept { rate_ = rate; }
+  /// Installs a new pacing rate as of `now`. Credit accrued before the
+  /// switch is settled at the *old* rate first: the historical plain-setter
+  /// version applied the new rate retroactively across the whole gap since
+  /// the last send, so a rate upswing after a long stall granted a burst the
+  /// old rate never earned (and a downswing unfairly confiscated credit).
+  void set_rate(SimTime now, DataRate rate);
   [[nodiscard]] DataRate rate() const noexcept { return rate_; }
 
   /// Earliest time `bytes` may leave. Never earlier than `now`.

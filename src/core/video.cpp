@@ -75,8 +75,12 @@ Video produce_video(const web::Website& site, const ProtocolConfig& protocol,
   return video;
 }
 
-VideoLibrary::VideoLibrary(std::uint64_t catalog_seed, std::uint32_t runs)
-    : catalog_seed_(catalog_seed), runs_(runs), catalog_(web::study_catalog(catalog_seed)) {}
+VideoLibrary::VideoLibrary(std::uint64_t catalog_seed, std::uint32_t runs,
+                           net::LinkConditions conditions)
+    : catalog_seed_(catalog_seed),
+      runs_(runs),
+      conditions_(conditions),
+      catalog_(web::study_catalog(catalog_seed)) {}
 
 const web::Website& VideoLibrary::site_by_name(const std::string& name) const {
   for (const auto& site : catalog_) {
@@ -93,7 +97,8 @@ const Video& VideoLibrary::get(const std::string& site_name,
 
   const web::Website& site = site_by_name(site_name);
   const ProtocolConfig& protocol = protocol_by_name(protocol_name);
-  const net::NetworkProfile& profile = net::profile_for(network);
+  net::NetworkProfile profile = net::profile_for(network);
+  conditions_.apply(profile);
   const std::uint64_t base_seed =
       condition_base_seed(catalog_seed_, site_name, protocol_name, network);
   return cache_.emplace(key, produce_video(site, protocol, profile, runs_, base_seed))
@@ -133,7 +138,8 @@ void VideoLibrary::precompute(const std::vector<std::string>& sites,
     const Task& task = tasks[index];
     const web::Website& site = site_by_name(task.site);
     const ProtocolConfig& protocol = protocol_by_name(task.protocol);
-    const net::NetworkProfile& profile = net::profile_for(task.network);
+    net::NetworkProfile profile = net::profile_for(task.network);
+    conditions_.apply(profile);
     const std::uint64_t base_seed =
         condition_base_seed(catalog_seed_, task.site, task.protocol, task.network);
     videos[index] = produce_video(site, protocol, profile, runs_, base_seed);
@@ -155,7 +161,8 @@ void VideoLibrary::precompute(const std::vector<std::string>& sites,
 
 namespace {
 
-constexpr const char* kCacheMagic = "qperc-video-cache-v1";
+// v2 added the LinkConditions token to the header (variable-rate links).
+constexpr const char* kCacheMagic = "qperc-video-cache-v2";
 /// Sanity cap when parsing: no recorded VC curve comes close to this many
 /// samples, so a larger count only ever means a corrupt file.
 constexpr std::size_t kMaxCurvePoints = 1'000'000;
@@ -226,9 +233,18 @@ bool VideoLibrary::load_cache(const std::string& path) {
   std::string magic;
   std::uint64_t seed = 0;
   std::uint32_t runs = 0;
+  std::string trace_kind;
+  std::uint64_t trace_seed = 0;
+  std::uint64_t policer_bps = 0;
+  std::uint64_t policer_burst = 0;
   std::size_t count = 0;
-  in >> magic >> seed >> runs >> count;
-  if (!in || magic != kCacheMagic || seed != catalog_seed_ || runs != runs_) {
+  in >> magic >> seed >> runs >> trace_kind >> trace_seed >> policer_bps >>
+      policer_burst >> count;
+  const std::string cached_conditions = trace_kind + ' ' + std::to_string(trace_seed) +
+                                        ' ' + std::to_string(policer_bps) + ' ' +
+                                        std::to_string(policer_burst);
+  if (!in || magic != kCacheMagic || seed != catalog_seed_ || runs != runs_ ||
+      cached_conditions != conditions_.token()) {
     return false;
   }
   // Parse into a staging map first: a truncated or corrupt file must not
@@ -252,8 +268,8 @@ void VideoLibrary::save_cache(const std::string& path) const {
   {
     std::ofstream out(temp_path, std::ios::trunc);
     if (!out) return;
-    out << kCacheMagic << ' ' << catalog_seed_ << ' ' << runs_ << ' ' << cache_.size()
-        << '\n';
+    out << kCacheMagic << ' ' << catalog_seed_ << ' ' << runs_ << ' '
+        << conditions_.token() << ' ' << cache_.size() << '\n';
     for (const auto& [key, video] : cache_) {
       write_video_record(out, video);
       out << '\n';

@@ -64,12 +64,19 @@ void write_video_record(std::ostream& os, const Video& video);
 /// what both user studies draw their stimuli from.
 class VideoLibrary {
  public:
-  /// `runs` trials per condition (the paper records at least 31).
-  VideoLibrary(std::uint64_t catalog_seed, std::uint32_t runs);
+  /// `runs` trials per condition (the paper records at least 31). An
+  /// optional LinkConditions overlay decorates every condition's profile
+  /// (variable-rate downlink trace, token-bucket policer); it is part of
+  /// the cache identity, so caches never mix conditions.
+  VideoLibrary(std::uint64_t catalog_seed, std::uint32_t runs,
+               net::LinkConditions conditions = {});
 
   [[nodiscard]] const std::vector<web::Website>& catalog() const { return catalog_; }
   [[nodiscard]] std::uint64_t catalog_seed() const noexcept { return catalog_seed_; }
   [[nodiscard]] std::uint32_t runs() const noexcept { return runs_; }
+  [[nodiscard]] const net::LinkConditions& conditions() const noexcept {
+    return conditions_;
+  }
 
   /// Fetches (computing on first use) the video for a condition.
   const Video& get(const std::string& site_name, const std::string& protocol_name,
@@ -106,6 +113,7 @@ class VideoLibrary {
 
   std::uint64_t catalog_seed_ = 0;
   std::uint32_t runs_ = 0;
+  net::LinkConditions conditions_{};
   std::vector<web::Website> catalog_;
   std::map<Key, Video> cache_;
 };

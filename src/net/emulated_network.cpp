@@ -42,6 +42,12 @@ EmulatedNetwork::EmulatedNetwork(sim::Simulator& simulator, const NetworkProfile
     uplink_.set_impairments(profile.impairments);
     downlink_.set_impairments(profile.impairments);
   }
+  // The schedule applies to the bottleneck downlink only: the uplink keeps
+  // its fixed provisioned rate, matching the paper's downlink-bottleneck
+  // testbed and the Mahimahi convention of tracing the downstream direction.
+  if (profile.downlink_schedule.enabled()) {
+    downlink_.set_schedule(profile.downlink_schedule);
+  }
 }
 
 EmulatedNetwork::~EmulatedNetwork() {

@@ -47,6 +47,11 @@ void LinkImpairments::validate() const {
         "outage_interval must exceed outage_duration (the link must come back up "
         "between flaps)");
   }
+  if (policer_enabled() && policer_burst_bytes < 1500) {
+    throw std::invalid_argument(
+        "policer_burst_bytes must be at least one MTU (1500) when policer_rate is "
+        "set, or no full-size packet can ever pass");
+  }
 }
 
 }  // namespace qperc::net

@@ -13,17 +13,25 @@
 //     per-state loss probabilities, producing correlated loss bursts on top
 //     of the profile's independent Bernoulli stage,
 //   * outages    — timed windows during which the link delivers nothing
-//     (one-shot, or periodic "flaps").
+//     (one-shot, or periodic "flaps"),
+//   * policing   — a token-bucket policer applied after serialization: a
+//     carrier-style rate cap that drops (never queues) traffic exceeding
+//     `policer_rate` beyond a `policer_burst_bytes` allowance. Policed loss
+//     arrives without any queueing-delay signature, the exact pathology
+//     BBR's long-term bandwidth estimator (`lt_bw`, see src/cc/bbr.cpp)
+//     exists to detect.
 //
 // All randomness draws from the owning Link's seeded Rng, and a disabled
 // impairment performs no draws at all, so impairment-free profiles stay
 // bit-exact against their goldens and the determinism lint stays green.
+// (The policer is deterministic — it never draws.)
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "util/time.hpp"
+#include "util/units.hpp"
 
 namespace qperc::net {
 
@@ -69,14 +77,22 @@ struct LinkImpairments {
   /// otherwise the link flaps with this period. Must exceed outage_duration.
   SimDuration outage_interval{0};
 
+  /// Token-bucket policer: sustained rate cap (zero = disabled) and the
+  /// burst allowance in bytes. The bucket starts full; tokens refill at
+  /// `policer_rate` and are capped at `policer_burst_bytes`; a packet whose
+  /// wire bytes exceed the available tokens is dropped outright.
+  DataRate policer_rate{};
+  std::uint64_t policer_burst_bytes = 0;
+
   [[nodiscard]] bool reordering_enabled() const noexcept { return reorder_rate > 0.0; }
   [[nodiscard]] bool duplication_enabled() const noexcept { return duplicate_rate > 0.0; }
   [[nodiscard]] bool outages_enabled() const noexcept {
     return outage_start != kNoTime && outage_duration > SimDuration::zero();
   }
+  [[nodiscard]] bool policer_enabled() const noexcept { return !policer_rate.is_zero(); }
   [[nodiscard]] bool any() const noexcept {
     return reordering_enabled() || duplication_enabled() || gilbert_elliott.enabled() ||
-           outages_enabled();
+           outages_enabled() || policer_enabled();
   }
 
   /// True when `now` falls inside an outage window.

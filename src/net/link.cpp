@@ -55,7 +55,7 @@ void Link::send_fast(Packet&& packet) {
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
   notify(LinkEvent::kEnqueued, packet);
   const SimTime start = std::max(simulator_.now(), busy_until_);
-  const SimTime done = start + rate_.transmission_time(packet.wire_bytes);
+  const SimTime done = serialize_end(start, packet.wire_bytes);
   busy_until_ = done;
   completions_.push_back(PendingDone{done, packet.wire_bytes});
   decide_fate(packet, done);
@@ -72,6 +72,41 @@ void Link::send_traced(Packet&& packet) {
   notify(LinkEvent::kEnqueued, packet);
   queue_.push_back(std::move(packet));
   if (!serializing_) start_serialization();
+}
+
+SimTime Link::serialize_end(SimTime start, std::uint64_t wire_bytes) const {
+  if (!schedule_.enabled()) return start + rate_.transmission_time(wire_bytes);
+  // Piecewise integration: serialize as much of the packet as the current
+  // rate span allows, carry the remainder into the next span. The schedule's
+  // rate floor (RateSchedule::kMinRateBps) bounds how many spans one packet
+  // can straddle; the iteration guard below is pure paranoia.
+  SimTime t = start;
+  double remaining = static_cast<double>(wire_bytes);
+  for (int guard = 0; guard < 4096; ++guard) {
+    const DataRate rate = schedule_.rate_at(t);
+    const SimTime boundary = schedule_.next_change_after(t);
+    const SimDuration needed = from_seconds(remaining / rate.bytes_per_second_d());
+    if (boundary == kNoTime || t + needed <= boundary) return t + needed;
+    remaining -= rate.bytes_per_second_d() * to_seconds(boundary - t);
+    if (remaining < 0.0) remaining = 0.0;
+    t = boundary;
+  }
+  return t + from_seconds(remaining / schedule_.rate_at(t).bytes_per_second_d());
+}
+
+bool Link::policed(const Packet& packet, SimTime done) {
+  if (!impairments_.policer_enabled()) return false;
+  const double burst = static_cast<double>(impairments_.policer_burst_bytes);
+  if (done > policer_refilled_) {
+    const double refill = impairments_.policer_rate.bytes_per_second_d() *
+                          to_seconds(done - policer_refilled_);
+    policer_tokens_ = std::min(burst, policer_tokens_ + refill);
+    policer_refilled_ = done;
+  }
+  const double bytes = static_cast<double>(packet.wire_bytes);
+  if (policer_tokens_ < bytes) return true;
+  policer_tokens_ -= bytes;
+  return false;
 }
 
 bool Link::bursty_loss() {
@@ -104,6 +139,13 @@ void Link::decide_fate(const Packet& packet, SimTime done) {
   } else if (bursty_loss()) {
     ++stats_.drops_burst_loss;
     notify(LinkEvent::kDroppedBurstLoss, packet);
+  } else if (policed(packet, done)) {
+    // Policing comes after the stochastic stages so a policed profile keeps
+    // the same loss-RNG stream; the drop itself is deterministic. Dropping
+    // post-serialization (no queueing signature) is exactly the carrier
+    // token-bucket pathology BBR's lt_bw estimator detects.
+    ++stats_.drops_policer;
+    notify(LinkEvent::kDroppedPolicer, packet);
   } else {
     SimDuration delay = propagation_delay_;
     if (impairments_.reordering_enabled() &&
@@ -147,7 +189,7 @@ void Link::start_serialization() {
   // Respect any backlog the fast path accounted for arithmetically, so an
   // observer attaching mid-flight never overlaps two serializations.
   const SimTime done =
-      std::max(simulator_.now(), busy_until_) + rate_.transmission_time(packet.wire_bytes);
+      serialize_end(std::max(simulator_.now(), busy_until_), packet.wire_bytes);
   busy_until_ = done;
   simulator_.schedule_at(done, [this, packet]() mutable {
     queued_bytes_ -= packet.wire_bytes;

@@ -1,6 +1,7 @@
 // One-directional emulated link: droptail queue -> serialization at a fixed
-// rate -> propagation delay -> Bernoulli random loss -> optional impairments
-// (Gilbert–Elliott bursty loss, timed outages, reordering jitter, duplication).
+// or scheduled rate -> propagation delay -> Bernoulli random loss -> optional
+// impairments (Gilbert–Elliott bursty loss, timed outages, token-bucket
+// policing, reordering jitter, duplication).
 //
 // This mirrors the Mahimahi link shells the paper's testbed is built from:
 // a byte-accurate bottleneck with a queue sized in milliseconds (Table 2:
@@ -9,12 +10,22 @@
 // net/impairments.hpp) extends that vocabulary to the pathologies Mahimahi
 // could not emulate; with impairments disabled the link performs exactly the
 // same RNG draws as before, so goldens stay bit-exact.
+//
+// With a RateSchedule installed the serializer's rate varies over time:
+// serialize_end() integrates capacity piecewise across rate boundaries, so a
+// rate change mid-backlog re-derives the busy clock byte-accurately. Both the
+// arithmetic fast path and the event-driven observed path compute completion
+// times through the same serialize_end() off the shared busy_until_ clock,
+// which is what keeps the two paths equivalent under schedules (the PR 3
+// fast/observed contract). A disabled schedule takes the original
+// single-multiply path and is bit-exact with the pre-schedule link.
 #pragma once
 
 #include <cstdint>
 
 #include "net/impairments.hpp"
 #include "net/packet.hpp"
+#include "net/rate_schedule.hpp"
 #include "sim/simulator.hpp"
 #include "util/function.hpp"
 #include "util/ring_buffer.hpp"
@@ -32,6 +43,7 @@ struct LinkStats {
   std::uint64_t drops_queue_full = 0;
   std::uint64_t drops_burst_loss = 0;  // Gilbert–Elliott correlated loss
   std::uint64_t drops_outage = 0;      // packet hit a timed outage window
+  std::uint64_t drops_policer = 0;     // token-bucket policer exhausted
   std::uint64_t duplicates = 0;        // extra copies scheduled for delivery
   std::uint64_t reordered = 0;         // packets given extra delay jitter
   std::uint64_t max_queue_bytes = 0;
@@ -47,6 +59,7 @@ enum class LinkEvent {
   kDroppedOutage,
   kDuplicated,
   kReordered,
+  kDroppedPolicer,
 };
 
 [[nodiscard]] constexpr trace::EventType to_trace_event(LinkEvent event) noexcept {
@@ -59,6 +72,7 @@ enum class LinkEvent {
     case LinkEvent::kDroppedOutage: return trace::EventType::kLinkDroppedOutage;
     case LinkEvent::kDuplicated: return trace::EventType::kLinkDuplicated;
     case LinkEvent::kReordered: return trace::EventType::kLinkReordered;
+    case LinkEvent::kDroppedPolicer: return trace::EventType::kLinkDroppedPolicer;
   }
   return trace::EventType::kLinkEnqueued;  // unreachable with valid input
 }
@@ -85,12 +99,24 @@ class Link {
   void send(Packet packet);
 
   /// Installs the impairment configuration (validated). Safe to call before
-  /// any traffic; changing it mid-flight only affects future packets.
+  /// any traffic; changing it mid-flight only affects future packets. The
+  /// policer's token bucket starts full and refills from this instant.
   void set_impairments(const LinkImpairments& impairments) {
     impairments.validate();
     impairments_ = impairments;
+    policer_tokens_ = static_cast<double>(impairments.policer_burst_bytes);
+    policer_refilled_ = simulator_.now();
   }
   [[nodiscard]] const LinkImpairments& impairments() const noexcept { return impairments_; }
+
+  /// Installs a time-varying serialization-rate schedule (validated). An
+  /// enabled schedule overrides the constructor rate; pass a default
+  /// RateSchedule to return to the fixed rate.
+  void set_schedule(const RateSchedule& schedule) {
+    schedule.validate();
+    schedule_ = schedule;
+  }
+  [[nodiscard]] const RateSchedule& schedule() const noexcept { return schedule_; }
 
   /// Installs a per-packet observer (tracing); pass nullptr to remove.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
@@ -132,6 +158,16 @@ class Link {
   /// Applies the queue-occupancy decrements for fast-path serializations that
   /// finished at or before now() (the accessor above uses the same rule).
   void drain_completed();
+  /// When a serialization starting at `start` finishes. Without a schedule:
+  /// one multiply at the fixed rate (bit-exact with the pre-schedule link).
+  /// With one: piecewise integration across the schedule's rate boundaries,
+  /// so a step mid-packet stretches (or shrinks) the tail of the packet at
+  /// the new rate, byte-accurately. Both serialization paths call this off
+  /// the shared busy clock, which keeps them equivalent under schedules.
+  [[nodiscard]] SimTime serialize_end(SimTime start, std::uint64_t wire_bytes) const;
+  /// Refills the policer bucket up to `done` and consumes or drops. False
+  /// (never polices) when the policer is disabled; no RNG draws either way.
+  bool policed(const Packet& packet, SimTime done);
   /// Runs the loss/impairment decision chain for a packet whose serialization
   /// ends at `done`, scheduling delivery events as appropriate. RNG draw
   /// order is the serialization (FIFO) order on both paths, so the two paths
@@ -156,6 +192,12 @@ class Link {
   std::uint64_t trace_direction_ = 0;
   LinkImpairments impairments_{};
   bool ge_bad_ = false;  // Gilbert–Elliott chain state
+  RateSchedule schedule_{};
+  /// Token-bucket policer state: fractional tokens (bytes) and the time the
+  /// bucket was last refilled. decide_fate() sees packets in serialization
+  /// order on both paths, so refills advance monotonically.
+  double policer_tokens_ = 0.0;
+  SimTime policer_refilled_{0};
 
   void notify(LinkEvent event, const Packet& packet, std::uint64_t id = 0) {
     if (observer_) observer_(event, packet);

@@ -54,6 +54,7 @@ std::string_view to_string(LinkEvent event) {
     case LinkEvent::kDelivered: return "delivered";
     case LinkEvent::kDroppedBurstLoss: return "drop_burst";
     case LinkEvent::kDroppedOutage: return "drop_outage";
+    case LinkEvent::kDroppedPolicer: return "drop_policer";
     case LinkEvent::kDuplicated: return "duplicated";
     case LinkEvent::kReordered: return "reordered";
   }

@@ -52,6 +52,7 @@ void NetworkProfile::validate() const {
   if (queue_delay <= SimDuration::zero()) invalid_profile(*this, "queue_delay must be > 0");
   try {
     impairments.validate();
+    downlink_schedule.validate();
   } catch (const std::invalid_argument& e) {
     invalid_profile(*this, e.what());
   }
@@ -119,6 +120,29 @@ NetworkProfile mss_profile() {
       .loss_rate = 0.06,
       .queue_delay = milliseconds(200),
   };
+}
+
+void LinkConditions::apply(NetworkProfile& profile) const {
+  if (link_trace == RateSchedule::Kind::kLteTrace) {
+    profile.downlink_schedule = RateSchedule::lte_trace(profile.downlink, link_trace_seed);
+  } else if (link_trace == RateSchedule::Kind::kWifiTrace) {
+    profile.downlink_schedule = RateSchedule::wifi_trace(profile.downlink, link_trace_seed);
+  } else if (link_trace == RateSchedule::Kind::kSteps) {
+    throw std::invalid_argument(
+        "link conditions: explicit step schedules cannot be derived per profile; "
+        "use lte or wifi traces");
+  }
+  if (!policer_rate.is_zero()) {
+    profile.impairments.policer_rate = policer_rate;
+    profile.impairments.policer_burst_bytes = policer_burst_bytes;
+  }
+  profile.validate();
+}
+
+std::string LinkConditions::token() const {
+  return std::string(to_string(link_trace)) + ' ' + std::to_string(link_trace_seed) +
+         ' ' + std::to_string(policer_rate.bps()) + ' ' +
+         std::to_string(policer_burst_bytes);
 }
 
 const std::vector<NetworkProfile>& all_profiles() {

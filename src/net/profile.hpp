@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/impairments.hpp"
+#include "net/rate_schedule.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
@@ -29,9 +30,13 @@ struct NetworkProfile {
   double loss_rate = 0.0;
   SimDuration queue_delay{0};
   /// Optional impairment layer, applied identically to both directions
-  /// (reordering, duplication, bursty loss, outages). Default: all off,
-  /// which reproduces the paper's Mahimahi conditions exactly.
+  /// (reordering, duplication, bursty loss, outages, policing). Default: all
+  /// off, which reproduces the paper's Mahimahi conditions exactly.
   LinkImpairments impairments{};
+  /// Optional time-varying capacity for the *downlink* serializer (the
+  /// direction the paper's bottleneck models; the uplink keeps its fixed
+  /// rate). Default: disabled, i.e. the static Table-2 downlink rate.
+  RateSchedule downlink_schedule{};
 
   /// Throws std::invalid_argument with an actionable message when any field
   /// is out of range (non-positive bandwidth, loss outside [0,1], negative
@@ -50,6 +55,28 @@ struct NetworkProfile {
   /// Bandwidth-delay product of the downstream path (used to size "tuned"
   /// socket buffers, Section 3).
   [[nodiscard]] std::uint64_t downlink_bdp_bytes() const;
+};
+
+/// Optional study-wide link-condition overlay on top of a Table-2 profile:
+/// a synthetic variable-rate downlink trace and/or a token-bucket policer.
+/// A value type (not a callback) so study specs can fold it into their
+/// fingerprints and checkpoint/cache files can refuse to mix conditions.
+struct LinkConditions {
+  RateSchedule::Kind link_trace = RateSchedule::Kind::kNone;
+  std::uint64_t link_trace_seed = 1;
+  /// Zero rate disables the policer.
+  DataRate policer_rate{};
+  std::uint64_t policer_burst_bytes = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return link_trace != RateSchedule::Kind::kNone || !policer_rate.is_zero();
+  }
+  /// Decorates `profile` in place (trace schedules derive from the profile's
+  /// own downlink rate) and re-validates it.
+  void apply(NetworkProfile& profile) const;
+  /// Stable identity token for fingerprints and cache headers; empty-string
+  /// equivalent ("none 1 0 0") when nothing is enabled.
+  [[nodiscard]] std::string token() const;
 };
 
 /// DSL: median German household broadband, no artificial loss, 12 ms queue.

@@ -1,0 +1,165 @@
+#include "net/rate_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace qperc::net {
+namespace {
+
+// Epoch granularities for the synthetic traces. LTE capacity moves on the
+// fast-fading timescale (tens of ms); Wi-Fi rate adaptation reacts more
+// slowly (per-aggregate, ~100 ms) but holds a chosen MCS for a while.
+constexpr std::int64_t kLteEpochNs = 50'000'000;    // 50 ms
+constexpr std::int64_t kWifiEpochNs = 100'000'000;  // 100 ms
+constexpr std::uint64_t kLteSlowEpochs = 20;        // ~1 s shadowing scale
+constexpr std::uint64_t kWifiDwellEpochs = 8;       // ~800 ms per MCS dwell
+
+/// SplitMix64 finalizer over a composed counter: the whole "trace file" is
+/// this one pure function of (seed, epoch, lane). No state, no RNG stream.
+[[nodiscard]] std::uint64_t mix(std::uint64_t seed, std::uint64_t epoch,
+                                std::uint64_t lane) noexcept {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (epoch * 3 + lane + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits of the mix.
+[[nodiscard]] double mix01(std::uint64_t seed, std::uint64_t epoch,
+                           std::uint64_t lane) noexcept {
+  return static_cast<double>(mix(seed, epoch, lane) >> 11) * 0x1.0p-53;
+}
+
+[[nodiscard]] DataRate floor_rate(double bps) noexcept {
+  const double floored =
+      std::max(bps, static_cast<double>(RateSchedule::kMinRateBps));
+  return DataRate::bits_per_second(static_cast<std::uint64_t>(floored));
+}
+
+}  // namespace
+
+RateSchedule RateSchedule::steps(const RateStep* begin, std::size_t count) {
+  RateSchedule schedule;
+  schedule.kind_ = Kind::kSteps;
+  schedule.step_count_ = std::min(count, kMaxSteps);
+  for (std::size_t i = 0; i < schedule.step_count_; ++i) schedule.steps_[i] = begin[i];
+  return schedule;
+}
+
+RateSchedule RateSchedule::lte_trace(DataRate base, std::uint64_t seed) {
+  RateSchedule schedule;
+  schedule.kind_ = Kind::kLteTrace;
+  schedule.base_ = base;
+  schedule.seed_ = seed;
+  return schedule;
+}
+
+RateSchedule RateSchedule::wifi_trace(DataRate base, std::uint64_t seed) {
+  RateSchedule schedule;
+  schedule.kind_ = Kind::kWifiTrace;
+  schedule.base_ = base;
+  schedule.seed_ = seed;
+  return schedule;
+}
+
+DataRate RateSchedule::trace_rate(std::uint64_t epoch) const noexcept {
+  const double base = static_cast<double>(base_.bps());
+  if (kind_ == Kind::kLteTrace) {
+    // Slow log-ish shadowing (~1 s) modulated by fast fading (~50 ms): the
+    // product dips below a quarter of base and peaks near double, matching
+    // the shape (not the microstructure) of Mahimahi's Verizon-LTE traces.
+    const double slow = 0.45 + 0.9 * mix01(seed_, epoch / kLteSlowEpochs, 1);
+    const double fast = 0.55 + 0.9 * mix01(seed_, epoch, 2);
+    return floor_rate(base * slow * fast);
+  }
+  // Wi-Fi: dwell on one step of an MCS-like ladder (weighted toward the top
+  // rates), with an occasional deep fade — contention or a far-field client
+  // dragging the BSS down.
+  const std::uint64_t h = mix(seed_, epoch / kWifiDwellEpochs, 3);
+  if (h % 16 == 0) return floor_rate(base * 0.08);
+  static constexpr double kLadder[8] = {1.0, 1.0, 1.0, 0.75, 0.75, 0.5, 0.5, 0.25};
+  return floor_rate(base * kLadder[(h >> 8) % 8]);
+}
+
+DataRate RateSchedule::rate_at(SimTime t) const noexcept {
+  switch (kind_) {
+    case Kind::kNone: return DataRate{};
+    case Kind::kSteps: {
+      DataRate rate = steps_[0].rate;
+      for (std::size_t i = 1; i < step_count_; ++i) {
+        if (SimTime{steps_[i].at} > t) break;
+        rate = steps_[i].rate;
+      }
+      return rate;
+    }
+    case Kind::kLteTrace:
+      return trace_rate(static_cast<std::uint64_t>(t.count() / kLteEpochNs));
+    case Kind::kWifiTrace:
+      return trace_rate(static_cast<std::uint64_t>(t.count() / kWifiEpochNs));
+  }
+  return DataRate{};
+}
+
+SimTime RateSchedule::next_change_after(SimTime t) const noexcept {
+  switch (kind_) {
+    case Kind::kNone: return kNoTime;
+    case Kind::kSteps:
+      for (std::size_t i = 1; i < step_count_; ++i) {
+        if (SimTime{steps_[i].at} > t) return SimTime{steps_[i].at};
+      }
+      return kNoTime;
+    case Kind::kLteTrace:
+      return SimTime{(t.count() / kLteEpochNs + 1) * kLteEpochNs};
+    case Kind::kWifiTrace:
+      return SimTime{(t.count() / kWifiEpochNs + 1) * kWifiEpochNs};
+  }
+  return kNoTime;
+}
+
+double RateSchedule::bytes_through(SimTime until) const {
+  if (!enabled() || until <= SimTime::zero()) return 0.0;
+  double bytes = 0.0;
+  SimTime t{0};
+  while (t < until) {
+    const SimTime boundary = std::min(next_change_after(t), until);
+    bytes += rate_at(t).bytes_per_second_d() * to_seconds(boundary - t);
+    t = boundary;
+  }
+  return bytes;
+}
+
+void RateSchedule::validate() const {
+  switch (kind_) {
+    case Kind::kNone: return;
+    case Kind::kSteps: {
+      if (step_count_ == 0) {
+        throw std::invalid_argument("rate schedule has no steps");
+      }
+      if (steps_[0].at != SimDuration::zero()) {
+        throw std::invalid_argument(
+            "rate schedule must define the rate from t=0 (first step at 0)");
+      }
+      for (std::size_t i = 0; i < step_count_; ++i) {
+        if (steps_[i].rate.is_zero()) {
+          throw std::invalid_argument("rate schedule step " + std::to_string(i) +
+                                      " has zero rate");
+        }
+        if (i > 0 && steps_[i].at <= steps_[i - 1].at) {
+          throw std::invalid_argument(
+              "rate schedule steps must be strictly increasing in time (step " +
+              std::to_string(i) + ")");
+        }
+      }
+      return;
+    }
+    case Kind::kLteTrace:
+    case Kind::kWifiTrace:
+      if (base_.is_zero()) {
+        throw std::invalid_argument("synthetic link trace needs a non-zero base rate");
+      }
+      return;
+  }
+}
+
+}  // namespace qperc::net

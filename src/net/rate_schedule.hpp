@@ -1,0 +1,124 @@
+// Time-varying link capacity: a piecewise-constant rate schedule plus seeded
+// synthetic LTE / Wi-Fi trace generators.
+//
+// The paper's Table-2 profiles are static, but its discussion (and the
+// LTE measurement set in /root/related/) notes that real access links —
+// especially cellular — are not. A RateSchedule lets a Link's serializer
+// change rate at scheduled instants, Mahimahi-style:
+//
+//   * kSteps      — explicit (time, rate) breakpoints, e.g. a 10x rate drop
+//     at t=3s, configured from the CLI (`--rate-schedule 0:25,3000:2.5`),
+//   * kLteTrace   — synthetic cellular capacity: slow (~1 s) shadowing times
+//     fast (~50 ms) fading around the profile's base rate,
+//   * kWifiTrace  — synthetic 802.11 rate adaptation: the link dwells on one
+//     of a discrete MCS-like rate ladder and occasionally deep-fades.
+//
+// Both trace generators are *stateless*: the rate over any epoch is a pure
+// hash of (seed, epoch index), so `rate_at(t)` is O(1), needs no trace file,
+// no stored samples, and no RNG stream — a disabled schedule performs zero
+// draws and zero work, keeping every existing golden bit-exact. The hash is
+// private to the schedule (SplitMix64 over the epoch counter), deliberately
+// independent of the link's loss RNG so enabling a schedule never perturbs
+// loss/impairment draw order.
+//
+// Rates are floored at kMinRate so the serializer's piecewise integration
+// (Link::serialize_end) always terminates in a bounded number of epochs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qperc::net {
+
+/// One breakpoint of an explicit step schedule: from `at` onward the link
+/// serializes at `rate` (until the next step).
+struct RateStep {
+  SimDuration at{0};
+  DataRate rate{};
+
+  friend constexpr bool operator==(const RateStep&, const RateStep&) = default;
+};
+
+class RateSchedule {
+ public:
+  enum class Kind : std::uint8_t { kNone, kSteps, kLteTrace, kWifiTrace };
+
+  /// Explicit step schedules are bounded so a NetworkProfile stays a small,
+  /// allocation-free value type (profiles are copied per trial on the hot
+  /// path). Sixteen breakpoints cover every grid cell and CLI use case; the
+  /// synthetic traces handle "many changes".
+  static constexpr std::size_t kMaxSteps = 16;
+  /// Floor under every generated rate: bounds the number of epochs any one
+  /// packet's serialization can span and keeps transmission_time finite.
+  static constexpr std::uint64_t kMinRateBps = 64'000;
+
+  constexpr RateSchedule() = default;
+
+  /// Explicit breakpoints. The first step must start at t=0 (the schedule
+  /// defines the rate at every instant); steps must be strictly increasing
+  /// in time and carry non-zero rates. Violations are reported by validate().
+  [[nodiscard]] static RateSchedule steps(const RateStep* begin, std::size_t count);
+
+  /// Synthetic cellular capacity around `base` (typically the profile's
+  /// downlink rate), deterministic from `seed`.
+  [[nodiscard]] static RateSchedule lte_trace(DataRate base, std::uint64_t seed);
+
+  /// Synthetic 802.11 rate adaptation around `base`, deterministic from
+  /// `seed`.
+  [[nodiscard]] static RateSchedule wifi_trace(DataRate base, std::uint64_t seed);
+
+  [[nodiscard]] constexpr bool enabled() const noexcept { return kind_ != Kind::kNone; }
+  [[nodiscard]] constexpr Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] constexpr DataRate base_rate() const noexcept { return base_; }
+  [[nodiscard]] constexpr std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] constexpr std::size_t step_count() const noexcept { return step_count_; }
+  [[nodiscard]] constexpr const RateStep& step(std::size_t i) const noexcept {
+    return steps_[i];
+  }
+
+  /// The serialization rate in force at `t`. O(1) for traces, O(steps) for
+  /// step schedules (kMaxSteps is tiny). Never zero for a valid schedule.
+  [[nodiscard]] DataRate rate_at(SimTime t) const noexcept;
+
+  /// The next instant strictly after `t` at which rate_at may change, or
+  /// kNoTime when the rate is constant from `t` on. Link::serialize_end
+  /// integrates capacity piecewise between these boundaries.
+  [[nodiscard]] SimTime next_change_after(SimTime t) const noexcept;
+
+  /// Exact capacity of the schedule over [0, until) in bytes (double to
+  /// avoid overflow on long horizons). The byte-conservation property tests
+  /// compare delivered bytes against this integral.
+  [[nodiscard]] double bytes_through(SimTime until) const;
+
+  /// Throws std::invalid_argument naming the offending field. Mirrors
+  /// LinkImpairments::validate (not QPERC_COLD_PATH for the same reason:
+  /// unconditional per-trial callers would inherit the coldness).
+  void validate() const;
+
+  friend bool operator==(const RateSchedule&, const RateSchedule&) = default;
+
+ private:
+  [[nodiscard]] DataRate trace_rate(std::uint64_t epoch) const noexcept;
+
+  Kind kind_ = Kind::kNone;
+  std::uint64_t seed_ = 0;
+  DataRate base_{};
+  std::size_t step_count_ = 0;
+  std::array<RateStep, kMaxSteps> steps_{};
+};
+
+[[nodiscard]] constexpr const char* to_string(RateSchedule::Kind kind) noexcept {
+  switch (kind) {
+    case RateSchedule::Kind::kNone: return "none";
+    case RateSchedule::Kind::kSteps: return "steps";
+    case RateSchedule::Kind::kLteTrace: return "lte";
+    case RateSchedule::Kind::kWifiTrace: return "wifi";
+  }
+  return "?";
+}
+
+}  // namespace qperc::net

@@ -10,6 +10,9 @@ struct TransportStats {
   std::uint64_t data_packets_sent = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t timeouts = 0;
+  /// Timeouts later proven spurious (original-transmission ACK arrived) and
+  /// undone, F-RTO style.
+  std::uint64_t spurious_timeouts = 0;
   std::uint64_t tail_probes = 0;
   std::uint64_t congestion_events = 0;
   std::uint64_t bytes_sent = 0;
@@ -22,6 +25,7 @@ struct TransportStats {
     data_packets_sent += other.data_packets_sent;
     retransmissions += other.retransmissions;
     timeouts += other.timeouts;
+    spurious_timeouts += other.spurious_timeouts;
     tail_probes += other.tail_probes;
     congestion_events += other.congestion_events;
     bytes_sent += other.bytes_sent;

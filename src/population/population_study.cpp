@@ -235,7 +235,8 @@ std::uint64_t StudySpec::fingerprint() const {
   std::ostringstream os;
   os << "qperc-popstudy " << kind_token(kind) << ' ' << study::to_string(group) << ' '
      << participants << ' ' << seed << ' ' << sites << ' ' << video_runs << ' '
-     << videos_work << ' ' << videos_free_time << ' ' << videos_plane << ' ' << videos_ab;
+     << videos_work << ' ' << videos_free_time << ' ' << videos_plane << ' ' << videos_ab
+     << ' ' << conditions.token();
   return fnv1a(os.str());
 }
 
@@ -331,6 +332,12 @@ Report run_streaming_study(core::VideoLibrary& library, const StudySpec& spec,
                            const RunOptions& options) {
   spec.validate();
   options.validate();
+  if (library.conditions().token() != spec.conditions.token()) {
+    throw std::invalid_argument(
+        "study: the VideoLibrary was built under different link conditions than the "
+        "spec requests (library '" + library.conditions().token() + "' vs spec '" +
+        spec.conditions.token() + "')");
+  }
 
   const Pools pools = build_pools(library, spec);
   EngineContext ctx;

@@ -60,6 +60,11 @@ struct StudySpec {
   std::size_t videos_plane = 5;
   /// A/B study: video pairs per participant (paper: 26 for the crowd).
   std::size_t videos_ab = 26;
+  /// Optional link-condition overlay applied to every condition's profile
+  /// (variable-rate downlink trace, token-bucket policer). Part of the
+  /// identity: the VideoLibrary must be built with the same overlay, and
+  /// checkpoints taken under different conditions refuse to mix.
+  net::LinkConditions conditions{};
 
   /// Throws std::invalid_argument with an actionable message.
   void validate() const;

@@ -16,6 +16,8 @@ struct QuicConfig {
   /// Fresh browser cache => 1-RTT handshake (inchoate CHLO -> REJ -> full
   /// CHLO + request). True enables the 0-RTT ablation (cached server config).
   bool zero_rtt = false;
+  /// BBRv1 long-term (policer) bandwidth sampling, as in Linux tcp_bbr.
+  bool bbr_lt_bw = true;
 
   /// Maximum stream payload per packet (gQUIC's default packet size).
   std::uint32_t max_payload_bytes = 1350;

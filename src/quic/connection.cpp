@@ -74,14 +74,19 @@ void QuicConnection::connect() {
   handshake_timer_.set_in(kInitialHandshakeTimeout);
 }
 
-void QuicConnection::send_handshake(bool from_client, QuicHandshakeStep step) {
+void QuicConnection::send_handshake(bool from_client, QuicHandshakeStep step,
+                                    std::uint8_t have_mask) {
   const std::uint8_t flight_size =
       step == QuicHandshakeStep::kRej ? kRejFlightSize : std::uint8_t{1};
   for (std::uint8_t i = 0; i < flight_size; ++i) {
+    // Selective flight retransmission: skip REJ pieces the client reported
+    // it already holds. (A CHLO *carries* the mask instead.)
+    if (step == QuicHandshakeStep::kRej && (have_mask & (1u << i))) continue;
     auto* packet = simulator_.arena().create<QuicPacket>();
     packet->handshake = step;
     packet->flight_index = i;
     packet->flight_size = flight_size;
+    packet->flight_have_mask = have_mask;
     net::Packet wire;
     wire.flow = flow_;
     wire.dest_server = server_;
@@ -107,8 +112,9 @@ void QuicConnection::on_handshake_timeout() {
   simulator_.trace_event(trace::EventType::kHandshakeRetransmitted, trace::Endpoint::kClient,
                          static_cast<std::uint64_t>(flow_), /*id=*/0, /*bytes=*/0,
                          hs_backoff_);
-  rej_received_mask_ = 0;
-  send_handshake(true, QuicHandshakeStep::kInchoateChlo);
+  // Keep the REJ pieces that already arrived and advertise them, so the
+  // server's answer only carries what is missing.
+  send_handshake(true, QuicHandshakeStep::kInchoateChlo, rej_received_mask_);
   handshake_timer_.set_in(kInitialHandshakeTimeout * (1u << hs_backoff_));
 }
 
@@ -159,7 +165,7 @@ void QuicConnection::server_on_packet(const net::Packet& wire) {
   const auto& packet = static_cast<const QuicPacket&>(*wire.payload);
   if (packet.handshake == QuicHandshakeStep::kInchoateChlo) {
     rej_sent_at_ = simulator_.now();
-    send_handshake(false, QuicHandshakeStep::kRej);
+    send_handshake(false, QuicHandshakeStep::kRej, packet.flight_have_mask);
     return;
   }
   if (packet.handshake == QuicHandshakeStep::kFullChlo) {

@@ -57,7 +57,8 @@ class QuicConnection {
   void client_on_packet(const net::Packet& packet);
   void server_on_packet(const net::Packet& packet);
   void emit(bool from_client, QuicPacket packet);
-  void send_handshake(bool from_client, QuicHandshakeStep step);
+  void send_handshake(bool from_client, QuicHandshakeStep step,
+                      std::uint8_t have_mask = 0);
   void on_handshake_timeout();
   void establish_client();
   void establish_server();

@@ -52,6 +52,10 @@ struct QuicPacket final : net::Payload {
   QuicHandshakeStep handshake = QuicHandshakeStep::kNone;
   std::uint8_t flight_index = 0;
   std::uint8_t flight_size = 1;
+  /// In a retried CHLO: bitmask of REJ-flight pieces already received, so
+  /// the server resends only the missing ones (otherwise a policer bucket
+  /// smaller than the flight livelocks the handshake).
+  std::uint8_t flight_have_mask = 0;
 
   std::uint64_t packet_number = 0;
   bool ack_eliciting = false;

@@ -20,7 +20,7 @@ QuicSendSide::QuicSendSide(sim::Simulator& simulator, const QuicConfig& config, 
       emit_(std::move(emit)),
       cc_(cc::make_congestion_controller(config.congestion_control,
                                          config.initial_window_segments,
-                                         config.max_payload_bytes)),
+                                         config.max_payload_bytes, config.bbr_lt_bw)),
       pacer_(cc::PacerConfig{.enabled = config.pacing,
                              .initial_quantum_segments = 10,
                              .refill_quantum_segments = 2,
@@ -31,6 +31,7 @@ QuicSendSide::QuicSendSide(sim::Simulator& simulator, const QuicConfig& config, 
       unacked_(simulator.arena()),
       peer_connection_limit_(config.connection_flow_window_bytes),
       loss_or_pto_timer_(simulator, [this] { on_timer(); }),
+      pto_lost_pns_(ArenaAllocator<std::uint64_t>(simulator.arena())),
       send_timer_(simulator, [this] { maybe_send(); }),
       traced_lost_pns_(ArenaAllocator<std::uint64_t>(simulator.arena())) {
   cc_wants_rate_ = cc_->uses_delivery_rate();
@@ -40,7 +41,7 @@ void QuicSendSide::on_established(SimDuration handshake_rtt) {
   QPERC_DCHECK(!established_) << "QUIC send side established twice";
   established_ = true;
   if (handshake_rtt > SimDuration::zero()) rtt_.on_rtt_sample(handshake_rtt);
-  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  pacer_.set_rate(simulator_.now(), cc_->pacing_rate(rtt_.smoothed_rtt()));
   maybe_send();
 }
 
@@ -268,6 +269,7 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
 
   std::uint64_t prev_range_first = 0;
   bool first_range = true;
+  bool spurious_pto = false;
   for (const auto& [first, last] : packet.ack_ranges) {
     // Ranges arrive newest-first: each [first, last] must be well-formed and
     // sit strictly below the previous range (sorted, non-overlapping).
@@ -276,6 +278,16 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
         << "ACK ranges out of order or overlapping";
     prev_range_first = first;
     first_range = false;
+    if (!pto_lost_pns_.empty()) {
+      // An acked packet the PTO path declared lost: the probe timeout was
+      // spurious (monotone packet numbers make this unambiguous — the range
+      // can only name the original transmission).
+      auto pto_it = pto_lost_pns_.lower_bound(first);
+      while (pto_it != pto_lost_pns_.end() && *pto_it <= last) {
+        spurious_pto = true;
+        pto_it = pto_lost_pns_.erase(pto_it);
+      }
+    }
     if (simulator_.trace() != nullptr && !traced_lost_pns_.empty()) {
       // A packet we declared lost turns out to have been received.
       auto lost_it = traced_lost_pns_.lower_bound(first);
@@ -315,6 +327,12 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
 
   if (rtt_sample > SimDuration::zero()) rtt_.on_rtt_sample(rtt_sample);
 
+  if (spurious_pto) {
+    pto_backoff_ = 0;
+    ++stats_.spurious_timeouts;
+    cc_->on_spurious_retransmission_timeout();
+  }
+
   detect_losses(now);
 
   bool round_ended = false;
@@ -325,6 +343,7 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
   if (newly_acked > 0 || have_rate) {
     cc::AckSample sample;
     sample.bytes_acked = newly_acked;
+    sample.bytes_lost = bytes_lost_since_ack_;
     sample.rtt = rtt_sample;
     sample.smoothed_rtt = rtt_.smoothed_rtt();
     if (have_rate) {
@@ -334,9 +353,10 @@ void QuicSendSide::on_ack_frame(const QuicPacket& packet) {
     sample.bytes_in_flight = bytes_in_flight_;
     sample.round_trip_ended = round_ended;
     cc_->on_ack(now, sample);
+    bytes_lost_since_ack_ = 0;  // consumed; keep accumulating otherwise
     pto_backoff_ = 0;
   }
-  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  pacer_.set_rate(simulator_.now(), cc_->pacing_rate(rtt_.smoothed_rtt()));
 
   if (simulator_.trace() != nullptr) {
     simulator_.trace_event(
@@ -377,7 +397,7 @@ void QuicSendSide::enter_recovery_if_needed(std::uint64_t lost_pn) {
                            lost_pn, bytes_in_flight_);
   }
   cc_->on_congestion_event(simulator_.now(), bytes_in_flight_);
-  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  pacer_.set_rate(simulator_.now(), cc_->pacing_rate(rtt_.smoothed_rtt()));
 }
 
 void QuicSendSide::detect_losses(SimTime now) {
@@ -399,6 +419,7 @@ void QuicSendSide::detect_losses(SimTime now) {
       QPERC_DCHECK_GE(bytes_in_flight_, up.payload_bytes);
       bytes_in_flight_ -= up.payload_bytes;
       sampler_.on_packet_lost(pn);
+      bytes_lost_since_ack_ += up.stream_bytes;
       requeue_lost(up);
       largest_lost = pn;
       if (simulator_.trace() != nullptr) {
@@ -465,6 +486,8 @@ void QuicSendSide::on_timer() {
     QPERC_DCHECK_GE(bytes_in_flight_, up.payload_bytes);
     bytes_in_flight_ -= up.payload_bytes;
     sampler_.on_packet_lost(it->first);
+    bytes_lost_since_ack_ += up.stream_bytes;
+    pto_lost_pns_.insert(it->first);
     if (simulator_.trace() != nullptr) {
       traced_lost_pns_.insert(it->first);
       simulator_.trace_event(trace::EventType::kPacketLost, trace_endpoint_, trace_flow_,

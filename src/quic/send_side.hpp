@@ -151,6 +151,17 @@ class QuicSendSide {
   SimTime loss_deadline_{0};
   std::uint32_t pto_backoff_ = 0;
 
+  /// Bytes declared lost since the congestion controller last consumed an
+  /// AckSample (feeds BBR's long-term bandwidth estimator).
+  std::uint64_t bytes_lost_since_ack_ = 0;
+  /// Packet numbers the PTO path declared lost. An ACK range later covering
+  /// one proves the probe timeout spurious (the original packet arrived, the
+  /// link was merely slow): reset the backoff and undo the controller's
+  /// timeout reaction instead of escalating into a retransmission storm.
+  /// Always-on (unlike traced_lost_pns_) because it changes behaviour.
+  std::set<std::uint64_t, std::less<std::uint64_t>, ArenaAllocator<std::uint64_t>>
+      pto_lost_pns_;
+
   sim::Timer send_timer_;
 
   // Trace-only state (touched exclusively when a sink is attached, so

@@ -121,6 +121,8 @@ std::uint64_t FairnessSpec::fingerprint() const {
   os << "\nstaggers";
   for (const auto stagger : staggers) os << '\n' << stagger.count();
   os << "\npattern\n" << burst_bytes << '\n' << off_time.count();
+  os << "\nschedule\n" << net::to_string(link_trace) << '\n' << link_trace_seed << '\n'
+     << policer_rate.bps() << '\n' << policer_burst_bytes;
   return fnv1a(os.str());
 }
 
@@ -283,7 +285,14 @@ namespace {
 FairnessCell run_cell(const FairnessTask& task, const FairnessSpec& spec,
                       const web::Website& site, core::TrialContext& context) {
   const core::ProtocolConfig& protocol = core::protocol_by_name(task.protocol);
-  const net::NetworkProfile& profile = net::profile_for(task.network);
+  net::NetworkProfile profile = net::profile_for(task.network);
+  // Spec-level variable-rate/policing knobs (shared by every cell, hashed
+  // into the fingerprint so stores never alias across configurations).
+  net::LinkConditions{.link_trace = spec.link_trace,
+                      .link_trace_seed = spec.link_trace_seed,
+                      .policer_rate = spec.policer_rate,
+                      .policer_burst_bytes = spec.policer_burst_bytes}
+      .apply(profile);
 
   net::ContentionConfig config;
   config.flows = task.flows;

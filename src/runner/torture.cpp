@@ -1,5 +1,6 @@
 #include "runner/torture.hpp"
 
+#include <array>
 #include <exception>
 #include <optional>
 #include <ostream>
@@ -211,6 +212,45 @@ std::vector<TortureScenario> contention_scenarios(const net::NetworkProfile& bas
   return scenarios;
 }
 
+std::vector<TortureScenario> schedule_scenarios(const net::NetworkProfile& base) {
+  std::vector<TortureScenario> scenarios;
+  const auto derive = [&](std::string name, auto mutate) {
+    net::NetworkProfile profile = base;
+    profile.name = std::string(base.name) + "/" + name;
+    mutate(profile);
+    profile.validate();
+    scenarios.push_back(TortureScenario{std::move(name), std::move(profile)});
+  };
+
+  // Synthetic cellular/Wi-Fi downlink rate traces: mid-backlog serialization
+  // re-derivation on every epoch boundary, all trial long.
+  derive("lte-trace", [](net::NetworkProfile& profile) {
+    profile.downlink_schedule = net::RateSchedule::lte_trace(profile.downlink, 11);
+  });
+  derive("wifi-trace", [](net::NetworkProfile& profile) {
+    profile.downlink_schedule = net::RateSchedule::wifi_trace(profile.downlink, 12);
+  });
+
+  // Token-bucket policer at half the provisioned rate: sustained
+  // post-serialization drops once the burst drains (BBR's lt_bw food).
+  derive("policed", [](net::NetworkProfile& profile) {
+    profile.impairments.policer_rate = profile.downlink.scaled(0.5);
+    profile.impairments.policer_burst_bytes = 64 * 1024;
+  });
+
+  // Sudden 10x rate cliff one second in, recovering two seconds later: the
+  // RTT inflation that historically triggered spurious-RTO retransmit storms.
+  derive("rate-cliff", [](net::NetworkProfile& profile) {
+    const std::array<net::RateStep, 3> steps{{
+        {SimDuration::zero(), profile.downlink},
+        {seconds(1), profile.downlink.scaled(0.1)},
+        {seconds(3), profile.downlink},
+    }};
+    profile.downlink_schedule = net::RateSchedule::steps(steps.data(), steps.size());
+  });
+  return scenarios;
+}
+
 net::NetworkProfile zero_delay_profile() {
   net::NetworkProfile profile;
   profile.kind = net::NetworkKind::kDsl;
@@ -272,8 +312,17 @@ TortureReport run_torture(const TortureOptions& options, std::ostream* progress)
   for (const auto& scenario : contention_scenarios(net::dsl_profile())) {
     scenarios.push_back(scenario);
   }
+  // Variable-rate/policing cells run in both grids: the serialization
+  // re-derivation and policer accounting are new enough to earn small-grid
+  // coverage on the paper's cellular profile.
+  for (const auto& scenario : schedule_scenarios(net::lte_profile())) {
+    scenarios.push_back(scenario);
+  }
   if (!small) {
     for (const auto& scenario : contention_scenarios(net::lte_profile())) {
+      scenarios.push_back(scenario);
+    }
+    for (const auto& scenario : schedule_scenarios(net::dsl_profile())) {
       scenarios.push_back(scenario);
     }
   }

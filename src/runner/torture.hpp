@@ -51,6 +51,12 @@ struct TortureScenario {
 [[nodiscard]] std::vector<TortureScenario> contention_scenarios(
     const net::NetworkProfile& base);
 
+/// Variable-rate and policing cells layered over one base profile: synthetic
+/// LTE and Wi-Fi downlink traces, a token-bucket policer, and a 10x
+/// rate-cliff step schedule (the spurious-RTO regression surface).
+[[nodiscard]] std::vector<TortureScenario> schedule_scenarios(
+    const net::NetworkProfile& base);
+
 /// Degenerate profile with zero propagation delay and (near-)instant
 /// serialization: every RTT sample collapses toward 0 ticks (the
 /// RttEstimator positivity regression).

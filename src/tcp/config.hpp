@@ -13,6 +13,9 @@ struct TcpConfig {
   /// IW10 for stock Linux, IW32 for the paper's TCP+ variants.
   std::uint32_t initial_window_segments = 10;
   cc::CcKind congestion_control = cc::CcKind::kCubic;
+  /// BBRv1 long-term (policer) bandwidth estimation; ignored by other
+  /// controllers. Off reproduces pre-lt_bw "stock" BBR on policed links.
+  bool bbr_lt_bw = true;
   /// sch_fq-style pacing; off for stock Linux TCP.
   bool pacing = false;
   /// "Enlarge the send and receive buffers according to the BDP" (§3). When

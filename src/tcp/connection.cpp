@@ -109,10 +109,12 @@ void TcpConnection::connect() {
   }
 }
 
-void TcpConnection::send_handshake(bool from_client, HandshakeStep step) {
+void TcpConnection::send_handshake(bool from_client, HandshakeStep step,
+                                   std::uint8_t have_mask) {
   const auto emit = [&](std::uint32_t wire, std::uint8_t index, std::uint8_t flight_size) {
     auto* segment = simulator_.arena().create<TcpSegment>();
     segment->handshake = step;
+    segment->flight_have_mask = have_mask;
     segment->flight_index = index;
     segment->flight_size = flight_size;
     net::Packet packet;
@@ -140,7 +142,11 @@ void TcpConnection::send_handshake(bool from_client, HandshakeStep step) {
       emit(kClientHelloWireBytes, 0, 1);
       break;
     case HandshakeStep::kServerFlight:
+      // Resend only the pieces the client reports missing (selective flight
+      // retransmission): behind a token-bucket policer the full flight may
+      // never fit through at once.
       for (std::uint8_t i = 0; i < kServerFlightWireBytes.size(); ++i) {
+        if (have_mask & (1u << i)) continue;
         emit(kServerFlightWireBytes[i], i,
              static_cast<std::uint8_t>(kServerFlightWireBytes.size()));
       }
@@ -173,7 +179,7 @@ void TcpConnection::on_client_handshake_timeout() {
       simulator_.trace_event(trace::EventType::kHandshakeRetransmitted,
                              trace::Endpoint::kClient, static_cast<std::uint64_t>(flow_),
                              /*id=*/0, /*bytes=*/0, hs_backoff_);
-      send_handshake(true, HandshakeStep::kClientHello);
+      send_handshake(true, HandshakeStep::kClientHello, server_flight_received_mask_);
       client_hs_timer_.set_in(client_handshake_rto() * (1u << hs_backoff_));
     }
     return;
@@ -187,8 +193,9 @@ void TcpConnection::on_client_handshake_timeout() {
     send_handshake(true, HandshakeStep::kSyn);
     client_hs_timer_.set_in(kInitialHandshakeTimeout * (1u << hs_backoff_));
   } else if (client_hs_ == ClientHsState::kHelloSent) {
-    server_flight_received_mask_ = 0;
-    send_handshake(true, HandshakeStep::kClientHello);
+    // Keep the pieces of the server flight that already arrived and tell the
+    // server which ones, so the retry only carries what is missing.
+    send_handshake(true, HandshakeStep::kClientHello, server_flight_received_mask_);
     client_hs_timer_.set_in(client_handshake_rto() * (1u << hs_backoff_));
   }
 }
@@ -250,8 +257,9 @@ void TcpConnection::server_handshake_packet(const TcpSegment& segment) {
         server_sender_.on_established(client_receiver_.rwnd_limit(),
                                        syn_ack_sent_at_ > SimTime{0} ? rtt : SimDuration{0});
       }
-      // Always answer (duplicate CH means the flight was lost).
-      send_handshake(false, HandshakeStep::kServerFlight);
+      // Always answer (duplicate CH means part of the flight was lost); the
+      // CH's mask trims the resend to the missing pieces.
+      send_handshake(false, HandshakeStep::kServerFlight, segment.flight_have_mask);
       break;
     }
     default:

@@ -73,7 +73,7 @@ class TcpConnection {
   void server_on_packet(const net::Packet& packet);
   void client_handshake_packet(const TcpSegment& segment);
   void server_handshake_packet(const TcpSegment& segment);
-  void send_handshake(bool from_client, HandshakeStep step);
+  void send_handshake(bool from_client, HandshakeStep step, std::uint8_t have_mask = 0);
   [[nodiscard]] SimDuration client_handshake_rto() const;
   void on_client_handshake_timeout();
   void client_emit(TcpSegment segment);

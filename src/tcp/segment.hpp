@@ -41,6 +41,13 @@ struct TcpSegment final : net::Payload {
   /// Index of this packet within a multi-packet handshake flight.
   std::uint8_t flight_index = 0;
   std::uint8_t flight_size = 1;
+  /// In a retried ClientHello: bitmask of server-flight pieces the client
+  /// already holds, so the server retransmits only the missing ones (the
+  /// moral equivalent of TCP retransmitting just the lost crypto segment).
+  /// Without it a policer whose bucket is smaller than the full flight
+  /// livelocks the handshake: the head packets always consume the tokens
+  /// the tail needs.
+  std::uint8_t flight_have_mask = 0;
 
   // Data part.
   bool has_data = false;

@@ -18,7 +18,8 @@ TcpSender::TcpSender(sim::Simulator& simulator, const TcpConfig& config,
       config_(config),
       send_segment_(std::move(send_segment)),
       cc_(cc::make_congestion_controller(config.congestion_control,
-                                         config.initial_window_segments, config.mss)),
+                                         config.initial_window_segments, config.mss,
+                                         config.bbr_lt_bw)),
       pacer_(cc::PacerConfig{.enabled = config.pacing,
                              .initial_quantum_segments = 10,
                              .refill_quantum_segments = 2,
@@ -37,7 +38,7 @@ void TcpSender::on_established(std::uint64_t initial_peer_rwnd, SimDuration hand
   established_ = true;
   peer_rwnd_ = initial_peer_rwnd;
   if (handshake_rtt > SimDuration::zero()) rtt_.on_rtt_sample(handshake_rtt);
-  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  pacer_.set_rate(simulator_.now(), cc_->pacing_rate(rtt_.smoothed_rtt()));
   last_send_time_ = simulator_.now();
   maybe_send();
 }
@@ -169,6 +170,11 @@ void TcpSender::mark_delivered(SegmentRecord& record, SimTime now,
     simulator_.trace_event(trace::EventType::kSpuriousLoss, trace_endpoint_, trace_flow_,
                            record.start, len, record.lost_by_rto ? 1 : 0);
   }
+  if (record.lost && record.lost_by_rto && record.transmissions == 1) {
+    // The ACK acknowledges the *original* transmission of a segment the RTO
+    // declared lost: the timeout was spurious (F-RTO/RFC 3522 detection).
+    spurious_rto_detected_ = true;
+  }
   newly_delivered += len;
   stats_.bytes_delivered += len;
   if (record.outstanding) {
@@ -259,6 +265,11 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
   if (rtt_sample > SimDuration::zero()) rtt_.on_rtt_sample(rtt_sample);
   if (newest_sent_time > rack_newest_sent_time_) rack_newest_sent_time_ = newest_sent_time;
 
+  if (spurious_rto_detected_) {
+    spurious_rto_detected_ = false;
+    undo_spurious_rto();
+  }
+
   detect_losses(rack_newest_sent_time_);
   QPERC_DCHECK_LE(outstanding_bytes_, next_seq_ - highest_cum_ack_)
       << "pipe exceeds un-acknowledged sequence range";
@@ -271,6 +282,7 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
   }
   cc::AckSample ack_sample;
   ack_sample.bytes_acked = newly_delivered;
+  ack_sample.bytes_lost = bytes_lost_since_ack_;
   ack_sample.rtt = rtt_sample;
   ack_sample.smoothed_rtt = rtt_.smoothed_rtt();
   if (have_rate_sample) {
@@ -281,10 +293,11 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
   ack_sample.round_trip_ended = round_ended;
   if (newly_delivered > 0) {
     cc_->on_ack(now, ack_sample);
+    bytes_lost_since_ack_ = 0;  // consumed; keep accumulating otherwise
     rto_backoff_ = 0;
     tlp_fired_this_episode_ = false;
   }
-  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  pacer_.set_rate(simulator_.now(), cc_->pacing_rate(rtt_.smoothed_rtt()));
 
   if (simulator_.trace() != nullptr) {
     simulator_.trace_event(
@@ -297,6 +310,27 @@ void TcpSender::on_ack_received(const TcpSegment& segment) {
 
   if (cum_advanced && on_writable_ && writable_bytes() > 0) on_writable_();
   maybe_send();
+}
+
+void TcpSender::undo_spurious_rto() {
+  // The RTO that marked everything lost was bogus: original-transmission ACKs
+  // are still arriving. Un-mark the not-yet-retransmitted segments so the
+  // sender keeps waiting for their original ACKs instead of blasting a
+  // go-back-N retransmission storm into an already-slow link, and undo the
+  // window collapse (the path did not actually lose anything).
+  for (auto& [start, record] : segments_) {
+    if (!record.lost || !record.lost_by_rto || record.sacked) continue;
+    record.lost = false;
+    record.lost_by_rto = false;
+    if (!record.outstanding) {
+      record.outstanding = true;
+      outstanding_bytes_ += record.end - record.start;
+    }
+  }
+  rto_backoff_ = 0;
+  ++stats_.spurious_timeouts;
+  cc_->on_spurious_retransmission_timeout();
+  pacer_.set_rate(simulator_.now(), cc_->pacing_rate(rtt_.smoothed_rtt()));
 }
 
 void TcpSender::detect_losses(SimTime newest_delivered_sent_time) {
@@ -316,6 +350,7 @@ void TcpSender::detect_losses(SimTime newest_delivered_sent_time) {
       QPERC_DCHECK_GE(outstanding_bytes_, record.end - record.start);
       outstanding_bytes_ -= record.end - record.start;
       sampler_.on_packet_lost(record.packet_id);
+      bytes_lost_since_ack_ += record.end - record.start;
       any_lost = true;
       if (simulator_.trace() != nullptr) {
         simulator_.trace_event(trace::EventType::kPacketLost, trace_endpoint_, trace_flow_,
@@ -335,7 +370,7 @@ void TcpSender::enter_recovery_if_needed() {
                            /*id=*/0, outstanding_bytes_, /*value=*/0);
   }
   cc_->on_congestion_event(simulator_.now(), outstanding_bytes_);
-  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  pacer_.set_rate(simulator_.now(), cc_->pacing_rate(rtt_.smoothed_rtt()));
 }
 
 void TcpSender::rearm_retransmission_timer() {
@@ -394,6 +429,7 @@ void TcpSender::on_retransmission_timer() {
       outstanding_bytes_ -= record.end - record.start;
     }
     sampler_.on_packet_lost(record.packet_id);
+    bytes_lost_since_ack_ += record.end - record.start;
     if (simulator_.trace() != nullptr) {
       simulator_.trace_event(trace::EventType::kPacketLost, trace_endpoint_, trace_flow_,
                              record.start, record.end - record.start, /*value=*/1);
@@ -401,7 +437,7 @@ void TcpSender::on_retransmission_timer() {
   }
   recovery_point_ = next_seq_;
   cc_->on_retransmission_timeout();
-  pacer_.set_rate(cc_->pacing_rate(rtt_.smoothed_rtt()));
+  pacer_.set_rate(simulator_.now(), cc_->pacing_rate(rtt_.smoothed_rtt()));
   maybe_send();
   rearm_retransmission_timer();
 }

@@ -90,6 +90,9 @@ class TcpSender {
                       SimDuration& rtt_sample, SimTime& newest_delivered_sent_time,
                       std::uint64_t& newest_delivered_packet_id);
   void detect_losses(SimTime newest_delivered_sent_time);
+  /// Reverts an RTO's loss markings and window collapse after the ACK stream
+  /// proved the timeout spurious (original transmissions kept arriving).
+  void undo_spurious_rto();
   void enter_recovery_if_needed();
   void rearm_retransmission_timer();
   void on_retransmission_timer();
@@ -140,6 +143,13 @@ class TcpSender {
   bool timer_is_tlp_ = false;
   std::uint32_t rto_backoff_ = 0;
   bool tlp_fired_this_episode_ = false;
+
+  /// Bytes declared lost since the congestion controller last consumed an
+  /// AckSample (feeds BBR's long-term bandwidth estimator).
+  std::uint64_t bytes_lost_since_ack_ = 0;
+  /// Set by mark_delivered when an ACK covers the original transmission of a
+  /// segment an RTO declared lost; consumed once per ACK.
+  bool spurious_rto_detected_ = false;
 
   sim::Timer send_timer_;  // pacing release
 };

@@ -103,6 +103,9 @@ void TrialCounters::observe(const Event& event) {
     case EventType::kLinkReordered:
       ++link_reorders;
       break;
+    case EventType::kLinkDroppedPolicer:
+      ++policer_drops;
+      break;
   }
 }
 
@@ -139,6 +142,7 @@ void TrialCounters::merge(const TrialCounters& other) {
   outage_drops += other.outage_drops;
   link_duplicates += other.link_duplicates;
   link_reorders += other.link_reorders;
+  policer_drops += other.policer_drops;
   requests_submitted += other.requests_submitted;
   responses_completed += other.responses_completed;
   connections_opened += other.connections_opened;

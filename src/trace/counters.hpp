@@ -51,6 +51,7 @@ struct TrialCounters {
   std::uint64_t outage_drops = 0;      // packets dropped during a link outage
   std::uint64_t link_duplicates = 0;   // extra copies delivered by duplication
   std::uint64_t link_reorders = 0;     // packets given extra reordering delay
+  std::uint64_t policer_drops = 0;     // token-bucket policer exhausted
 
   // http / browser
   std::uint64_t requests_submitted = 0;

@@ -39,6 +39,7 @@ Category category_of(EventType type) noexcept {
     case EventType::kLinkDroppedOutage:
     case EventType::kLinkDuplicated:
     case EventType::kLinkReordered:
+    case EventType::kLinkDroppedPolicer:
       return Category::kNet;
   }
   return Category::kTransport;  // unreachable with valid input
@@ -97,6 +98,7 @@ std::string_view to_string(EventType type) noexcept {
     case EventType::kLinkDroppedOutage: return "link_dropped_outage";
     case EventType::kLinkDuplicated: return "link_duplicated";
     case EventType::kLinkReordered: return "link_reordered";
+    case EventType::kLinkDroppedPolicer: return "link_dropped_policer";
   }
   return "?";
 }

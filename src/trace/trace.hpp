@@ -62,6 +62,7 @@ enum class EventType : std::uint8_t {
   kLinkDroppedOutage,       // link was down (outage/flap window)
   kLinkDuplicated,          // a second copy was scheduled for delivery
   kLinkReordered,           // id = extra delay applied (ns)
+  kLinkDroppedPolicer,      // token-bucket policer exhausted
 };
 
 [[nodiscard]] Category category_of(EventType type) noexcept;

@@ -199,7 +199,7 @@ TEST(Bbr, LossDoesNotCollapseTheModel) {
 
 TEST(Pacer, DisabledPacerNeverDelays) {
   Pacer pacer(PacerConfig{.enabled = false});
-  pacer.set_rate(DataRate::kilobits_per_second(1));
+  pacer.set_rate(SimTime{0}, DataRate::kilobits_per_second(1));
   EXPECT_EQ(pacer.next_send_time(SimTime{seconds(1)}, 100000), SimTime{seconds(1)});
 }
 
@@ -208,7 +208,7 @@ TEST(Pacer, InitialQuantumAllowsBurstOfTen) {
                           .initial_quantum_segments = 10,
                           .refill_quantum_segments = 2,
                           .segment_bytes = 1000});
-  pacer.set_rate(DataRate::bytes_per_second(100'000));
+  pacer.set_rate(SimTime{0}, DataRate::bytes_per_second(100'000));
   SimTime now{0};
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(pacer.next_send_time(now, 1000), now) << i;
@@ -223,7 +223,7 @@ TEST(Pacer, SteadyStatePacesAtRate) {
                           .initial_quantum_segments = 1,
                           .refill_quantum_segments = 2,
                           .segment_bytes = 1000});
-  pacer.set_rate(DataRate::bytes_per_second(1'000'000));  // 1 ms per kB
+  pacer.set_rate(SimTime{0}, DataRate::bytes_per_second(1'000'000));  // 1 ms per kB
   SimTime now{0};
   pacer.on_packet_sent(now, 1000);
   pacer.on_packet_sent(now, 1000);  // deficit now
@@ -237,12 +237,136 @@ TEST(Pacer, IdleRestartRegrantsBurst) {
                           .initial_quantum_segments = 10,
                           .refill_quantum_segments = 2,
                           .segment_bytes = 1000});
-  pacer.set_rate(DataRate::bytes_per_second(10'000));
+  pacer.set_rate(SimTime{0}, DataRate::bytes_per_second(10'000));
   SimTime now{0};
   for (int i = 0; i < 10; ++i) pacer.on_packet_sent(now, 1000);
   EXPECT_GT(pacer.next_send_time(now, 1000), now);
   pacer.on_restart_from_idle(now + seconds(5));
   EXPECT_EQ(pacer.next_send_time(now + seconds(5), 1000), now + seconds(5));
+}
+
+TEST(Pacer, RateChangeSettlesCreditAtTheOldRate) {
+  // Regression: set_rate used to be a plain setter, so credit for the whole
+  // gap since the last send was retroactively re-priced at the *new* rate —
+  // a rate upswing after a stall granted an instant burst the old rate never
+  // earned. The credit banked across a rate change must be what the old rate
+  // accrued.
+  Pacer pacer(PacerConfig{.enabled = true,
+                          .initial_quantum_segments = 10,
+                          .refill_quantum_segments = 2,
+                          .segment_bytes = 1000});
+  pacer.set_rate(SimTime{0}, DataRate::bytes_per_second(1000));
+  SimTime now{0};
+  for (int i = 0; i < 10; ++i) pacer.on_packet_sent(now, 1000);  // drain the burst
+  now += seconds(1);  // old rate earns exactly 1000 bytes of credit
+  pacer.set_rate(now, DataRate::bytes_per_second(1'000'000));
+  // A 2000-byte send has a 1000-byte deficit, repaid at the *new* rate in
+  // exactly 1 ms. The buggy setter would have answered "now" (the re-priced
+  // gap earns the full 2000-byte cap instantly).
+  EXPECT_EQ(pacer.next_send_time(now, 2000), now + milliseconds(1));
+}
+
+// ------------------------------------------------- long-term bw (policing)
+
+/// One lossy policed round: ~30% of bytes lost, constant delivery rate.
+AckSample policed_round(std::uint64_t acked, std::uint64_t lost, DataRate rate,
+                        std::uint64_t in_flight) {
+  AckSample sample = make_ack(acked, milliseconds(100), true, rate, in_flight);
+  sample.bytes_lost = lost;
+  return sample;
+}
+
+TEST(Bbr, LtBwEngagesOnConsistentLossyIntervals) {
+  Bbr bbr(BbrConfig{});
+  const DataRate policed = DataRate::bytes_per_second(100'000);  // 800 kbit/s
+  SimTime now{seconds(1)};
+  // Every 100 ms round delivers 10 kB and loses 3 kB (30% >= the ~20%
+  // lt threshold). Two consecutive sampling intervals then measure the same
+  // 100 kB/s delivery rate, which flips the policer detector.
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_FALSE(bbr.lt_bw_in_use()) << round;
+    now += milliseconds(100);
+    bbr.on_ack(now, policed_round(10'000, 3'000, policed, 20 * kMss));
+  }
+  EXPECT_TRUE(bbr.lt_bw_in_use());
+  // The estimate converged to the policed rate (well within 10%).
+  EXPECT_NEAR(static_cast<double>(bbr.lt_bw().bps()), 800'000.0, 80'000.0);
+  EXPECT_EQ(bbr.bandwidth_estimate().bps(), bbr.lt_bw().bps());
+}
+
+TEST(Bbr, LtBwExpiresAfterMaxRoundsAndReprobes) {
+  Bbr bbr(BbrConfig{});
+  const DataRate policed = DataRate::bytes_per_second(100'000);
+  SimTime now{seconds(1)};
+  for (int round = 0; round < 8; ++round) {
+    now += milliseconds(100);
+    bbr.on_ack(now, policed_round(10'000, 3'000, policed, 20 * kMss));
+  }
+  ASSERT_TRUE(bbr.lt_bw_in_use());
+  // Pacing at the policed rate stops the loss; low in-flight lets the mode
+  // machine settle into PROBE_BW, where the 48-round trust window runs out
+  // and BBR goes back to probing for fresh capacity.
+  for (int round = 0; round < 60 && bbr.lt_bw_in_use(); ++round) {
+    now += milliseconds(100);
+    bbr.on_ack(now, policed_round(10'000, 0, policed, 2 * kMss));
+  }
+  EXPECT_FALSE(bbr.lt_bw_in_use());
+}
+
+TEST(Bbr, LtBwIgnoresAppLimitedStretches) {
+  // A policer's bucket refills while the sender is app-limited, so sampling
+  // intervals must restart at every app-limited ACK; a sender that is
+  // app-limited every few rounds never accumulates a full interval.
+  Bbr bbr(BbrConfig{});
+  const DataRate rate = DataRate::bytes_per_second(100'000);
+  SimTime now{seconds(1)};
+  for (int round = 0; round < 24; ++round) {
+    now += milliseconds(100);
+    AckSample sample = policed_round(10'000, 3'000, rate, 20 * kMss);
+    sample.is_app_limited = round % 3 == 2;
+    bbr.on_ack(now, sample);
+  }
+  EXPECT_FALSE(bbr.lt_bw_in_use());
+}
+
+// ------------------------------------------------------- spurious-RTO undo
+
+TEST(Bbr, SpuriousRtoRestoresCollapsedWindow) {
+  Bbr bbr(BbrConfig{});
+  SimTime now{milliseconds(0)};
+  const auto bw = DataRate::megabits_per_second(10.0);
+  for (int round = 0; round < 6; ++round) {
+    now += milliseconds(50);
+    bbr.on_ack(now, make_ack(10 * kMss, milliseconds(50), true, bw, 30 * kMss));
+  }
+  const std::uint64_t before = bbr.congestion_window();
+  bbr.on_retransmission_timeout();
+  EXPECT_LT(bbr.congestion_window(), before);
+  bbr.on_spurious_retransmission_timeout();
+  EXPECT_GE(bbr.congestion_window(), before);
+}
+
+TEST(Cubic, SpuriousRtoRestoresCollapsedWindow) {
+  Cubic cubic(CubicConfig{});
+  SimTime now{milliseconds(0)};
+  // Grow out of the initial window first so the undo is observable.
+  for (int round = 0; round < 4; ++round) {
+    now += milliseconds(40);
+    cubic.on_ack(now, make_ack(10 * kMss, milliseconds(40), true));
+  }
+  const std::uint64_t before = cubic.congestion_window();
+  cubic.on_retransmission_timeout();
+  EXPECT_LT(cubic.congestion_window(), before);
+  cubic.on_spurious_retransmission_timeout();
+  EXPECT_GE(cubic.congestion_window(), before);
+}
+
+TEST(Cubic, SpuriousRtoUndoIsIdempotentAndConservative) {
+  Cubic cubic(CubicConfig{});
+  // Undo without a preceding RTO must not inflate anything.
+  const std::uint64_t initial = cubic.congestion_window();
+  cubic.on_spurious_retransmission_timeout();
+  EXPECT_EQ(cubic.congestion_window(), initial);
 }
 
 TEST(BandwidthSampler, MeasuresDeliveryRate) {

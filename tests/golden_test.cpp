@@ -58,27 +58,36 @@ struct GoldenRow {
 };
 
 // Captured on the LTE profile, catalog seed 7, trial seed 12345.
+//
+// Re-captured after the variable-rate-link PR's deliberate transport fixes:
+// the pacer no longer retroactively accrues credit at a new rate (shifts
+// every BBR row a little), spurious RTO/PTO detection undoes needless
+// cwnd collapses on the lossy site (fewer timeouts and retransmissions on
+// the Cubic rows), and BBRv1 now carries Linux's long-term (policer)
+// bandwidth sampler, whose known false-positive on bursty queue-drop loss
+// slows TCP+BBR on nytimes — faithful to tcp_bbr v1, and the cost the
+// policed cells buy their >= 80%-of-policed-rate goodput with.
 constexpr GoldenRow kGolden[] = {
     {"apache.org", "TCP", 647300561, 663078063, 653075796, 1354227624, 1354227624, 167, 0, 0, 77,
      105629, 0, 0, 3, 3},
     {"apache.org", "TCP+", 568486088, 586947742, 573441514, 1354184958, 1354184958, 167, 0, 0, 76,
      137749, 0, 0, 3, 3},
-    {"apache.org", "TCP+BBR", 601002376, 618678816, 609232334, 1371059280, 1371059280, 165, 0, 0,
+    {"apache.org", "TCP+BBR", 601156617, 618839382, 609446815, 1371059280, 1371059280, 165, 0, 0,
      75, 96533, 0, 0, 3, 3},
     {"apache.org", "QUIC", 392869146, 424490515, 439909347, 1286233534, 1286233534, 177, 0, 0, 87,
      135180, 0, 0, 3, 3},
-    {"apache.org", "QUIC+BBR", 429186304, 459344874, 480251741, 1293224081, 1293224081, 177, 0, 0,
+    {"apache.org", "QUIC+BBR", 429186304, 459388800, 480432351, 1293224081, 1293224081, 177, 0, 0,
      87, 96088, 0, 0, 3, 3},
-    {"nytimes.com", "TCP", 3005431508, 3121635542, 3079311088, 4406065036, 4406065036, 3724, 306,
-     4, 2134, 328156, 261, 0, 29, 29},
-    {"nytimes.com", "TCP+", 3179278248, 3291016942, 3299969231, 4869756248, 4869756248, 3885, 490,
-     8, 2343, 496481, 512, 0, 29, 29},
-    {"nytimes.com", "TCP+BBR", 3774296515, 3812928120, 3774296515, 4323000971, 4323000971, 3944,
-     540, 10, 2425, 241484, 532, 0, 29, 29},
-    {"nytimes.com", "QUIC", 3027189840, 3186640356, 3226119669, 5376428975, 5376428975, 4513, 812,
-     1, 1844, 421548, 822, 0, 29, 29},
-    {"nytimes.com", "QUIC+BBR", 1710832515, 2045282020, 1880104828, 4466694304, 4466694304, 4474,
-     753, 3, 1858, 458852, 761, 0, 29, 29},
+    {"nytimes.com", "TCP", 2964583528, 3086667951, 3053478719, 4296365025, 4296365025, 3673, 255,
+     3, 2091, 328156, 234, 0, 29, 29},
+    {"nytimes.com", "TCP+", 2921365239, 3025390858, 2921365239, 4420944486, 4420944486, 3963, 568,
+     8, 2415, 496481, 578, 0, 29, 29},
+    {"nytimes.com", "TCP+BBR", 5952531146, 5953344052, 5952531146, 6038957328, 6038957328, 3825,
+     418, 9, 2331, 307051, 417, 0, 29, 29},
+    {"nytimes.com", "QUIC", 2846597462, 3027862230, 3289862382, 5289519703, 5289519703, 4539, 836,
+     0, 1850, 422890, 848, 0, 29, 29},
+    {"nytimes.com", "QUIC+BBR", 1637119933, 1965359884, 2234268644, 4525116505, 4525116505, 4526,
+     803, 2, 1883, 441349, 805, 0, 29, 29},
 };
 
 TEST(Golden, TrialsAreBitExactPerTable1Protocol) {

@@ -100,6 +100,43 @@ TEST(QuicSendSide, PtoBacksOffExponentially) {
   EXPECT_LE(harness.sender.stats().tail_probes, 12u);
 }
 
+TEST(QuicSendSide, LateAckForPtoMarkedPacketsIsSpurious) {
+  SenderHarness harness;
+  harness.sender.on_established(milliseconds(50));
+  harness.sender.write_stream(5, 20'000, true, 1);
+  harness.simulator.run_until(SimTime(milliseconds(100)));
+  const std::size_t initial = harness.packets_sent();
+  ASSERT_GE(initial, 5u);
+  // No ACKs arrive: the probe timeout escalates and starts declaring the
+  // oldest packets of the flight lost.
+  harness.simulator.run_until(SimTime(seconds(3)));
+  ASSERT_GE(harness.sender.stats().timeouts, 1u);
+  EXPECT_EQ(harness.sender.stats().spurious_timeouts, 0u);
+  // The original flight's ACK finally lands (it was delayed, never dropped):
+  // that proves the timeouts spurious — the backoff resets and the undo is
+  // counted, instead of the timeout storm re-sending a flight the peer
+  // already has.
+  const std::uint64_t largest = harness.sent[initial - 1].packet_number;
+  harness.ack({{1, largest}});
+  EXPECT_GE(harness.sender.stats().spurious_timeouts, 1u);
+}
+
+TEST(QuicSendSide, AckOfRetransmittedDataIsNotSpurious) {
+  SenderHarness harness;
+  harness.sender.on_established(milliseconds(50));
+  harness.sender.write_stream(5, 20'000, true, 1);
+  harness.simulator.run_until(SimTime(milliseconds(100)));
+  const std::size_t initial = harness.packets_sent();
+  harness.simulator.run_until(SimTime(seconds(3)));
+  ASSERT_GT(harness.packets_sent(), initial);  // PTO probes went out
+  // ACK only packets sent *after* the timeouts (the retransmissions): the
+  // originals really were lost, so no spurious undo may fire.
+  const std::uint64_t first_retx = harness.sent[initial].packet_number;
+  const std::uint64_t largest = harness.sent.back().packet_number;
+  harness.ack({{first_retx, largest}});
+  EXPECT_EQ(harness.sender.stats().spurious_timeouts, 0u);
+}
+
 TEST(QuicSendSide, OneCongestionEventPerLossEpisode) {
   SenderHarness harness;
   harness.sender.on_established(milliseconds(50));

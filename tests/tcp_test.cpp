@@ -352,5 +352,29 @@ TEST(TcpImpairment, SurvivesGilbertElliottBurstsAndFlaps) {
   EXPECT_GT(harness.connection->stats().retransmissions, 0u);
 }
 
+// A delay spike on the ACK path — every ACK ~800 ms late for 600 ms of sim
+// time, nothing actually dropped — makes the RTO fire even though the data
+// all arrived. F-RTO-style detection must recognize the late cumulative ACK
+// of never-retransmitted segments as proof the timeout was spurious: undo
+// the collapse and the backoff instead of re-sending the window.
+TEST(TcpImpairment, AckDelaySpikeIsDetectedAsSpuriousRto) {
+  TcpHarness harness(net::dsl_profile(), tuned_config(), 6'000'000, 5);
+  net::LinkImpairments spike;
+  spike.reorder_rate = 1.0;
+  spike.reorder_delay_min = milliseconds(800);
+  spike.reorder_delay_max = milliseconds(801);
+  harness.simulator.schedule_at(SimTime{seconds(1)}, [&harness, spike] {
+    harness.network->uplink().set_impairments(spike);
+  });
+  harness.simulator.schedule_at(SimTime{milliseconds(1600)}, [&harness] {
+    harness.network->uplink().set_impairments(net::LinkImpairments{});
+  });
+  ASSERT_TRUE(harness.run(seconds(120)));
+  EXPECT_EQ(harness.delivered, 6'000'000u);
+  const net::TransportStats stats = harness.connection->stats();
+  EXPECT_GE(stats.timeouts, 1u);
+  EXPECT_GE(stats.spurious_timeouts, 1u);
+}
+
 }  // namespace
 }  // namespace qperc::tcp

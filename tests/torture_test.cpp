@@ -57,8 +57,10 @@ TEST(TortureSmoke, SmallGridRunsCleanAndDeterministically) {
   EXPECT_EQ(first.conservation_failures, 0u);
   EXPECT_EQ(first.exceptions, 0u);
   // 2 bases x 5 impairment scenarios + zero-delay, x 2 protocols x 4 sites,
-  // plus the DSL contention pair (contended-8cubic, reorder-contended).
-  EXPECT_EQ(first.trials, 104u);
+  // plus the DSL contention pair (contended-8cubic, reorder-contended) and
+  // the four LTE variable-rate/policing cells (lte-trace, wifi-trace,
+  // policed, rate-cliff).
+  EXPECT_EQ(first.trials, 136u);
   EXPECT_FALSE(progress.str().empty());
 
   const TortureReport second = run_torture(options);

@@ -14,6 +14,7 @@
 //                  goodput, Jain's index, queue occupancy, QoE under load
 //   qperc bench throughput              steady-state trial throughput through
 //                  a reused TrialContext (trials/sec, allocations/trial)
+#include <array>
 #include <charconv>
 #include <chrono>
 #include <cstdint>
@@ -65,6 +66,8 @@ int usage() {
          "        [--queue-ms T] [--reorder-rate P --reorder-min-ms T --reorder-max-ms T]\n"
          "        [--dup-rate P] [--ge-enter P --ge-exit P --ge-loss-good P --ge-loss-bad P]\n"
          "        [--outage-start-ms T --outage-ms T [--outage-interval-ms T]]\n"
+         "        [--rate-schedule ms:mbps,ms:mbps,...] [--link-trace lte|wifi]\n"
+         "        [--link-trace-seed K] [--policer-rate-mbps M [--policer-burst-kb N]]\n"
          "  torture [--seed K] [--grid small|full] [--max-events N] [--quiet]\n"
          "  video --site S --protocol P --network N [--runs R] [--seed K]\n"
          "  study --kind ab|rating [--group lab|uworker|internet] [--runs R]\n"
@@ -73,9 +76,13 @@ int usage() {
          "               [--shard I/N] [--resume] [--out DIR] [--export FILE]\n"
          "               [--seed K] [--sites N] [--runs R] [--block-size B]\n"
          "               [--max-blocks N] [--checkpoint-every N] [--videos-work N]\n"
-         "               [--videos-free N] [--videos-plane N] [--videos-ab N] [--quiet]\n"
+         "               [--videos-free N] [--videos-plane N] [--videos-ab N]\n"
+         "               [--link-trace lte|wifi] [--link-trace-seed K]\n"
+         "               [--policer-rate-mbps M [--policer-burst-kb N]] [--quiet]\n"
          "  study report [--kind ab|rating] [--group G] [--participants N] [--out DIR]\n"
          "               [--export FILE] [--seed K] [--sites N] [--runs R]\n"
+         "               [--link-trace lte|wifi] [--link-trace-seed K]\n"
+         "               [--policer-rate-mbps M [--policer-burst-kb N]]\n"
          "  campaign run    [--jobs J] [--shard I/N] [--resume] [--out DIR]\n"
          "                  [--sites N] [--runs R] [--seed K] [--protocols A,B]\n"
          "                  [--networks A,B] [--checkpoint-every N] [--max-tasks N]\n"
@@ -85,7 +92,9 @@ int usage() {
          "  campaign export [--out DIR] [--runs R] [--seed K]\n"
          "  fairness [--sites A,B] [--protocols A,B] [--networks A,B] [--flows N,M]\n"
          "           [--mix cubic|reno|bbr|quic|mixed,..] [--stagger-ms T,U]\n"
-         "           [--runs R] [--seed K] [--burst-kb N] [--off-ms T] [--jobs J]\n"
+         "           [--runs R] [--seed K] [--burst-kb N] [--off-ms T]\n"
+         "           [--link-trace lte|wifi] [--link-trace-seed K]\n"
+         "           [--policer-rate-mbps M [--policer-burst-kb N]] [--jobs J]\n"
          "           [--shard I/N] [--resume] [--out DIR] [--export FILE]\n"
          "           [--max-cells N] [--retries N] [--checkpoint-every N]\n"
          "           [--report] [--quiet]\n"
@@ -148,6 +157,54 @@ net::NetworkProfile apply_profile_overrides(net::NetworkProfile profile, const A
   }
   if (args.has("outage-interval-ms")) {
     imp.outage_interval = from_seconds(args.get_double("outage-interval-ms", 0.0) / 1e3);
+  }
+  if (args.has("policer-rate-mbps")) {
+    imp.policer_rate =
+        DataRate::megabits_per_second(args.get_double("policer-rate-mbps", 0.0));
+    // Carrier policers are commonly provisioned with bursts in the tens of
+    // kilobytes; 64 kB is the documented default, override with --policer-burst-kb.
+    imp.policer_burst_bytes = args.get_u64("policer-burst-kb", 64) * 1024;
+  }
+  if (args.has("rate-schedule")) {
+    // "ms:mbps,ms:mbps,..." — step changes of the downlink serialization rate.
+    const auto parts = split_csv(args.get("rate-schedule", ""));
+    if (parts.empty() || parts.size() > net::RateSchedule::kMaxSteps) {
+      throw std::invalid_argument(
+          "--rate-schedule expects 1.." + std::to_string(net::RateSchedule::kMaxSteps) +
+          " comma-separated ms:mbps pairs");
+    }
+    std::array<net::RateStep, net::RateSchedule::kMaxSteps> steps{};
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const auto colon = parts[i].find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--rate-schedule step '" + parts[i] +
+                                    "' is not ms:mbps");
+      }
+      try {
+        steps[i].at = from_seconds(std::stod(parts[i].substr(0, colon)) / 1e3);
+        steps[i].rate =
+            DataRate::megabits_per_second(std::stod(parts[i].substr(colon + 1)));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("--rate-schedule step '" + parts[i] +
+                                    "' is not ms:mbps");
+      }
+    }
+    profile.downlink_schedule = net::RateSchedule::steps(steps.data(), parts.size());
+  }
+  if (args.has("link-trace")) {
+    // Synthetic Mahimahi-style variable-rate trace modulating the downlink
+    // around its base rate. (The ISSUE sketch called this `--trace`, but that
+    // flag already names the JSONL event-trace output path.)
+    const std::string kind = args.get("link-trace", "lte");
+    const std::uint64_t trace_seed = args.get_u64("link-trace-seed", 1);
+    if (kind == "lte") {
+      profile.downlink_schedule = net::RateSchedule::lte_trace(profile.downlink, trace_seed);
+    } else if (kind == "wifi") {
+      profile.downlink_schedule =
+          net::RateSchedule::wifi_trace(profile.downlink, trace_seed);
+    } else {
+      throw std::invalid_argument("--link-trace expects lte or wifi, got '" + kind + "'");
+    }
   }
   profile.validate();
   return profile;
@@ -375,6 +432,47 @@ int cmd_study(const Args& args) {
   return 0;
 }
 
+/// Shared by the fairness and population-study subcommands: the grid-wide
+/// variable-rate/policing overlay (--link-trace [--link-trace-seed],
+/// --policer-rate-mbps [--policer-burst-kb]).
+net::LinkConditions link_conditions_from_args(const Args& args) {
+  net::LinkConditions conditions;
+  if (args.has("link-trace")) {
+    const std::string kind = args.get("link-trace", "lte");
+    if (kind == "lte") {
+      conditions.link_trace = net::RateSchedule::Kind::kLteTrace;
+    } else if (kind == "wifi") {
+      conditions.link_trace = net::RateSchedule::Kind::kWifiTrace;
+    } else {
+      throw std::invalid_argument("--link-trace expects lte or wifi, got '" + kind + "'");
+    }
+    conditions.link_trace_seed = args.get_u64("link-trace-seed", 1);
+  }
+  if (args.has("policer-rate-mbps")) {
+    conditions.policer_rate =
+        DataRate::megabits_per_second(args.get_double("policer-rate-mbps", 0.0));
+    conditions.policer_burst_bytes = args.get_u64("policer-burst-kb", 64) * 1024;
+  }
+  return conditions;
+}
+
+/// File-name fragment for an enabled overlay ("" when none): caches and
+/// checkpoints taken under different conditions land in different files
+/// (their headers/fingerprints would refuse to mix regardless).
+std::string link_conditions_file_tag(const net::LinkConditions& conditions) {
+  if (!conditions.any()) return "";
+  std::string tag;
+  if (conditions.link_trace != net::RateSchedule::Kind::kNone) {
+    tag += std::string("_") + net::to_string(conditions.link_trace) +
+           std::to_string(conditions.link_trace_seed);
+  }
+  if (!conditions.policer_rate.is_zero()) {
+    tag += "_pol" + std::to_string(conditions.policer_rate.bps()) + "b" +
+           std::to_string(conditions.policer_burst_bytes);
+  }
+  return tag;
+}
+
 // --- qperc study run/report (population-scale streaming studies) ------------
 
 population::StudySpec population_spec_from_args(const Args& args) {
@@ -390,6 +488,7 @@ population::StudySpec population_spec_from_args(const Args& args) {
   spec.videos_free_time = args.get_u64("videos-free", 11);
   spec.videos_plane = args.get_u64("videos-plane", 5);
   spec.videos_ab = args.get_u64("videos-ab", 26);
+  spec.conditions = link_conditions_from_args(args);
   spec.validate();
   return spec;
 }
@@ -402,7 +501,8 @@ std::string population_file_name(const population::StudySpec& spec, unsigned sha
   std::string name = "population_seed" + std::to_string(spec.seed) + "_" +
                      std::string(population::kind_token(spec.kind)) + "_" +
                      std::string(study::to_string(spec.group)) + "_n" +
-                     std::to_string(spec.participants);
+                     std::to_string(spec.participants) +
+                     link_conditions_file_tag(spec.conditions);
   if (shard_count > 1) {
     name += "_shard" + std::to_string(shard_index) + "of" + std::to_string(shard_count);
   }
@@ -517,12 +617,13 @@ int cmd_study_run(const Args& args) {
     };
   }
 
-  core::VideoLibrary library(spec.seed, spec.video_runs);
+  core::VideoLibrary library(spec.seed, spec.video_runs, spec.conditions);
   // Stimulus production dominates cold-start cost (the whole grid is
   // simulated once); persist the condition cache so reruns, resumes, and
-  // sibling shards pay it only once per (seed, runs).
+  // sibling shards pay it only once per (seed, runs, link conditions).
   const std::string cache_path = out_dir + "/videos_seed" + std::to_string(spec.seed) +
-                                 "_runs" + std::to_string(spec.video_runs) + ".qvc";
+                                 "_runs" + std::to_string(spec.video_runs) +
+                                 link_conditions_file_tag(spec.conditions) + ".qvc";
   if (library.load_cache(cache_path)) {
     std::cerr << "study: reusing " << library.cached_conditions()
               << " cached condition videos from " << cache_path << "\n";
@@ -895,6 +996,11 @@ runner::FairnessSpec fairness_spec_from_args(const Args& args) {
   }
   spec.burst_bytes = args.get_u64("burst-kb", 0) * 1024;
   spec.off_time = from_seconds(args.get_double("off-ms", 0.0) / 1e3);
+  const net::LinkConditions conditions = link_conditions_from_args(args);
+  spec.link_trace = conditions.link_trace;
+  spec.link_trace_seed = conditions.link_trace_seed;
+  spec.policer_rate = conditions.policer_rate;
+  spec.policer_burst_bytes = conditions.policer_burst_bytes;
   apply_shard_flag(args, spec.shard_index, spec.shard_count);
   spec.validate();
   return spec;
@@ -1200,7 +1306,9 @@ int main(int argc, char** argv) {
                              "downlink-mbps", "rtt-ms", "queue-ms", "reorder-rate",
                              "reorder-min-ms", "reorder-max-ms", "dup-rate", "ge-enter",
                              "ge-exit", "ge-loss-good", "ge-loss-bad", "outage-start-ms",
-                             "outage-ms", "outage-interval-ms"}));
+                             "outage-ms", "outage-interval-ms", "rate-schedule",
+                             "link-trace", "link-trace-seed", "policer-rate-mbps",
+                             "policer-burst-kb"}));
     }
     if (command == "torture") {
       return cmd_torture(
@@ -1216,13 +1324,16 @@ int main(int argc, char** argv) {
             argc, argv, 3, "study run",
             {"kind", "group", "participants", "seed", "sites", "runs", "videos-work",
              "videos-free", "videos-plane", "videos-ab", "jobs", "shard", "block-size",
-             "max-blocks", "checkpoint-every", "resume", "out", "export", "quiet"}));
+             "max-blocks", "checkpoint-every", "resume", "out", "export", "quiet",
+             "link-trace", "link-trace-seed", "policer-rate-mbps", "policer-burst-kb"}));
       }
       if (argc >= 3 && std::string_view(argv[2]) == "report") {
         return cmd_study_report(
             Args(argc, argv, 3, "study report",
                  {"kind", "group", "participants", "seed", "sites", "runs", "videos-work",
-                  "videos-free", "videos-plane", "videos-ab", "out", "export"}));
+                  "videos-free", "videos-plane", "videos-ab", "out", "export",
+                  "link-trace", "link-trace-seed", "policer-rate-mbps",
+                  "policer-burst-kb"}));
       }
       return cmd_study(
           Args(argc, argv, 2, "study", {"kind", "group", "runs", "sites", "seed"}));
@@ -1232,8 +1343,10 @@ int main(int argc, char** argv) {
       return cmd_fairness(
           Args(argc, argv, 2, "fairness",
                {"sites", "protocols", "networks", "flows", "mix", "stagger-ms", "runs",
-                "seed", "burst-kb", "off-ms", "jobs", "shard", "resume", "out", "export",
-                "max-cells", "retries", "checkpoint-every", "report", "quiet"}));
+                "seed", "burst-kb", "off-ms", "link-trace", "link-trace-seed",
+                "policer-rate-mbps", "policer-burst-kb", "jobs", "shard", "resume",
+                "out", "export", "max-cells", "retries", "checkpoint-every", "report",
+                "quiet"}));
     }
     if (command == "bench") return cmd_bench(argc, argv);
   } catch (const std::exception& error) {
